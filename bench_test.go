@@ -1,0 +1,546 @@
+// Package rubic's benchmark harness: one testing.B benchmark per table and
+// figure of the paper's evaluation, plus micro-benchmarks of the STM
+// substrate and ablations of RUBIC's design choices.
+//
+// Figure/table benchmarks run a reduced-repetition configuration per
+// iteration and publish their headline quantities via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates the whole evaluation:
+//
+//	BenchmarkFig1IntruderScalability   Figure 1: intruder peak and collapse
+//	BenchmarkFig2ConvergenceGeometry   Figure 2: AIAD vs AIMD fairness gap
+//	BenchmarkFig3AIMDSawtooth          Figure 3: AIMD utilization (~75%)
+//	BenchmarkFig4CubicFunction         Figure 4: Equation (1) evaluation
+//	BenchmarkFig5CIMDUtilization       Figure 5: CIMD utilization (~94%)
+//	BenchmarkFig6ScalabilityCurves     Figure 6: all workload sweeps
+//	BenchmarkFig7PairwiseSystem        Figure 7: NSBP / threads / efficiency
+//	BenchmarkFig8PairwisePerProcess    Figure 8: per-process stats
+//	BenchmarkFig9SingleProcess         Figure 9: single-process stats
+//	BenchmarkFig10Convergence          Figure 10: staggered-arrival dynamics
+//	BenchmarkHeadlineNumbers           Section 4.5.1 ratios
+//	BenchmarkAblation*                 design-choice ablations
+//	BenchmarkSTM*                      real STM substrate micro-benchmarks
+package rubic
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"rubic/internal/core"
+	"rubic/internal/harness"
+	"rubic/internal/sim"
+	"rubic/internal/stamp"
+	"rubic/internal/stamp/genome"
+	"rubic/internal/stamp/intruder"
+	"rubic/internal/stamp/kmeans"
+	"rubic/internal/stamp/labyrinth"
+	"rubic/internal/stamp/rbtree"
+	"rubic/internal/stamp/stmbench7"
+	"rubic/internal/stamp/vacation"
+	"rubic/internal/stm"
+)
+
+// benchConfig is the evaluation setup with repetitions reduced to keep a
+// full -bench=. pass quick; pass -reps via harness.Config in cmd/rubic-bench
+// for the paper's 50.
+func benchConfig() harness.Config {
+	cfg := harness.Default()
+	cfg.Reps = 10
+	return cfg
+}
+
+func BenchmarkFig1IntruderScalability(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		sweep, err := harness.Scalability(cfg, "intruder")
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak := 0
+		for j, p := range sweep {
+			if p.Speedup > sweep[peak].Speedup {
+				peak = j
+			}
+		}
+		b.ReportMetric(float64(sweep[peak].Threads), "peak-threads")
+		b.ReportMetric(sweep[len(sweep)-1].Speedup, "speedup@64")
+	}
+}
+
+func BenchmarkFig2ConvergenceGeometry(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		aiad, err := harness.Geometry(cfg, "aiad")
+		if err != nil {
+			b.Fatal(err)
+		}
+		aimd, err := harness.Geometry(cfg, "aimd")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(aiad.FinalGap, "aiad-final-gap")
+		b.ReportMetric(aimd.FinalGap, "aimd-final-gap")
+	}
+}
+
+func BenchmarkFig3AIMDSawtooth(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Rounds = 2000
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Sawtooth(cfg, "aimd")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Utilization*100, "utilization-%")
+	}
+}
+
+func BenchmarkFig4CubicFunction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := harness.CubicShape(64, 0.8, 0.1, 16)
+		b.ReportMetric(s.V[8], "value-at-inflection")
+	}
+}
+
+func BenchmarkFig5CIMDUtilization(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Rounds = 2000
+	for i := 0; i < b.N; i++ {
+		cimd, err := harness.Sawtooth(cfg, "cimd")
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, err := harness.Sawtooth(cfg, "rubic")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cimd.Utilization*100, "cimd-utilization-%")
+		b.ReportMetric(full.Utilization*100, "rubic-utilization-%")
+	}
+}
+
+func BenchmarkFig6ScalabilityCurves(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		for _, w := range []string{"intruder", "vacation", "rbt", "rbt-ro"} {
+			if _, err := harness.Scalability(cfg, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig7PairwiseSystem(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Pairwise(cfg, core.PolicyNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GeoNSBP["rubic"], "rubic-geo-nsbp")
+		b.ReportMetric(res.GeoNSBP["ebs"], "ebs-geo-nsbp")
+		b.ReportMetric(res.GeoNSBP["greedy"], "greedy-geo-nsbp")
+	}
+}
+
+func BenchmarkFig8PairwisePerProcess(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Pairwise(cfg, []string{"ebs", "rubic"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The Figure 8b stability metric, averaged over cells.
+		var rubicStd, ebsStd float64
+		for j := range res.Cells {
+			c := &res.Cells[j]
+			s := (c.Procs[0].LevelStd + c.Procs[1].LevelStd) / 2
+			if c.Policy == "rubic" {
+				rubicStd += s / 3
+			} else {
+				ebsStd += s / 3
+			}
+		}
+		b.ReportMetric(rubicStd, "rubic-level-std")
+		b.ReportMetric(ebsStd, "ebs-level-std")
+	}
+}
+
+func BenchmarkFig9SingleProcess(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Single(cfg, []string{"greedy", "f2c2", "ebs", "rubic"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := res.Cell("intruder", "rubic")
+		b.ReportMetric(c.Speedup, "rubic-intruder-speedup")
+		b.ReportMetric(c.MeanLevel, "rubic-intruder-level")
+	}
+}
+
+func BenchmarkFig10Convergence(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Convergence(cfg, "rubic", cfg.Seed+int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.FairGap, "fair-gap")
+		b.ReportMetric(r.TotalPost, "total-threads-post")
+	}
+}
+
+func BenchmarkHeadlineNumbers(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Pairwise(cfg, core.PolicyNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := harness.ComputeHeadline(res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(h.NSBPGainOver["ebs"]*100, "gain-vs-ebs-%")
+		b.ReportMetric(h.NSBPGainOver["greedy"]*100, "gain-vs-greedy-%")
+		b.ReportMetric(h.EfficiencyFactorOver["ebs"], "eff-factor-vs-ebs")
+	}
+}
+
+// --- Ablations: the design choices DESIGN.md calls out -------------------
+
+// ablationScenario measures one RUBIC variant on the paper's hardest pair.
+func ablationScenario(b *testing.B, mk core.Factory) (nsbp float64) {
+	res, err := sim.Run(sim.Scenario{
+		Machine: sim.Machine{Contexts: 64},
+		Procs: []sim.ProcessSpec{
+			{Name: "vac", Workload: sim.Vacation(), Controller: mk},
+			{Name: "rbt", Workload: sim.RBTree(), Controller: mk},
+		},
+		Rounds: 1000,
+		Seed:   17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.NSBP
+}
+
+func BenchmarkAblationHybridGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hybrid := ablationScenario(b, func() core.Controller {
+			return core.NewRUBIC(core.RUBICConfig{MaxLevel: 128})
+		})
+		pure := ablationScenario(b, func() core.Controller {
+			return core.NewRUBIC(core.RUBICConfig{MaxLevel: 128, DisableHybridGrowth: true})
+		})
+		b.ReportMetric(hybrid, "hybrid-nsbp")
+		b.ReportMetric(pure, "pure-cubic-nsbp")
+	}
+}
+
+func BenchmarkAblationHybridReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hybrid := ablationScenario(b, func() core.Controller {
+			return core.NewRUBIC(core.RUBICConfig{MaxLevel: 128})
+		})
+		pure := ablationScenario(b, func() core.Controller {
+			return core.NewRUBIC(core.RUBICConfig{MaxLevel: 128, DisableHybridReduction: true})
+		})
+		b.ReportMetric(hybrid, "hybrid-nsbp")
+		b.ReportMetric(pure, "pure-md-nsbp")
+	}
+}
+
+func BenchmarkAblationAlpha(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, alpha := range []float64{0.5, 0.8, 0.9} {
+			alpha := alpha
+			nsbp := ablationScenario(b, func() core.Controller {
+				return core.NewRUBIC(core.RUBICConfig{MaxLevel: 128, Alpha: alpha})
+			})
+			switch alpha {
+			case 0.5:
+				b.ReportMetric(nsbp, "nsbp-alpha-0.5")
+			case 0.8:
+				b.ReportMetric(nsbp, "nsbp-alpha-0.8")
+			case 0.9:
+				b.ReportMetric(nsbp, "nsbp-alpha-0.9")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationNoise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sigma := range []float64{-1, 0.01, 0.05} {
+			res, err := sim.Run(sim.Scenario{
+				Machine: sim.Machine{Contexts: 64},
+				Procs: []sim.ProcessSpec{
+					{Name: "rbt", Workload: sim.ConflictFreeRBT(),
+						Controller: func() core.Controller {
+							return core.NewRUBIC(core.RUBICConfig{MaxLevel: 128})
+						}},
+				},
+				Rounds:     1000,
+				NoiseSigma: sigma,
+				Seed:       5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			util := res.Procs[0].Levels.MeanAfter(2) / 64 * 100
+			switch {
+			case sigma < 0:
+				b.ReportMetric(util, "util-noiseless-%")
+			case sigma == 0.01:
+				b.ReportMetric(util, "util-noise1-%")
+			default:
+				b.ReportMetric(util, "util-noise5-%")
+			}
+		}
+	}
+}
+
+// --- STM substrate micro-benchmarks --------------------------------------
+
+func BenchmarkSTMUncontendedWrite(b *testing.B) {
+	rt := stm.New(stm.Config{})
+	x := stm.NewVar(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rt.Atomic(func(tx *stm.Tx) error {
+			x.Write(tx, x.Read(tx)+1)
+			return nil
+		})
+	}
+}
+
+func BenchmarkSTMReadOnly(b *testing.B) {
+	rt := stm.New(stm.Config{})
+	x := stm.NewVar(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rt.AtomicRO(func(tx *stm.Tx) error {
+			_ = x.Read(tx)
+			return nil
+		})
+	}
+}
+
+func BenchmarkSTMContendedCounter(b *testing.B) {
+	rt := stm.New(stm.Config{})
+	x := stm.NewVar(0)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = rt.Atomic(func(tx *stm.Tx) error {
+				x.Write(tx, x.Read(tx)+1)
+				return nil
+			})
+		}
+	})
+}
+
+func BenchmarkSTMRBTreeLookup(b *testing.B) {
+	rt := stm.New(stm.Config{})
+	bench := rbtree.New(rt, rbtree.Config{Elements: 16 << 10, LookupPct: 100})
+	if err := bench.Setup(rand.New(rand.NewSource(1))); err != nil {
+		b.Fatal(err)
+	}
+	task := bench.Task()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(2))
+		for pb.Next() {
+			task(0, rng)
+		}
+	})
+}
+
+func BenchmarkSTMRBTreeMixed(b *testing.B) {
+	rt := stm.New(stm.Config{})
+	bench := rbtree.New(rt, rbtree.Config{Elements: 16 << 10, LookupPct: 90})
+	if err := bench.Setup(rand.New(rand.NewSource(1))); err != nil {
+		b.Fatal(err)
+	}
+	task := bench.Task()
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(100 + seed.Add(1)))
+		for pb.Next() {
+			task(0, rng)
+		}
+	})
+	b.StopTimer()
+	if err := bench.Verify(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSTMVacationSession(b *testing.B) {
+	rt := stm.New(stm.Config{})
+	bench := vacation.New(rt, vacation.Config{Relations: 1024})
+	if err := bench.Setup(rand.New(rand.NewSource(1))); err != nil {
+		b.Fatal(err)
+	}
+	task := bench.Task()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(3))
+		for pb.Next() {
+			task(0, rng)
+		}
+	})
+	b.StopTimer()
+	if err := bench.Verify(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSTMIntruderFragment(b *testing.B) {
+	rt := stm.New(stm.Config{})
+	bench := intruder.New(rt, intruder.Config{Flows: 128, FragmentsPerFlow: 8, PayloadLen: 128})
+	if err := bench.Setup(rand.New(rand.NewSource(1))); err != nil {
+		b.Fatal(err)
+	}
+	task := bench.Task()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(4))
+		for pb.Next() {
+			task(0, rng)
+		}
+	})
+	b.StopTimer()
+	if err := bench.Verify(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Extension experiments (beyond the paper) -----------------------------
+
+func BenchmarkExtScaling(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Reps = 3
+	for i := 0; i < b.N; i++ {
+		points, err := harness.Scaling(cfg, "rubic", 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		b.ReportMetric(last.Jain, "jain@N=4")
+		b.ReportMetric(last.TotalThreads, "threads@N=4")
+	}
+}
+
+func BenchmarkExtChurn(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Churn(cfg, "rubic")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.OversubscribedFrac*100, "oversub-%")
+	}
+}
+
+// --- Batch pipeline makespans on the real STM ------------------------------
+
+func BenchmarkSTMGenomeMakespan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := genome.New(stm.New(stm.Config{}), genome.Config{GenomeLen: 512, SegmentLen: 14})
+		b.StartTimer()
+		if _, err := stamp.RunBatch(w, stamp.BatchOptions{PoolSize: 4, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSTMKMeansMakespan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := kmeans.New(stm.New(stm.Config{}), kmeans.Config{Points: 1024, Clusters: 4})
+		b.StartTimer()
+		if _, err := stamp.RunBatch(w, stamp.BatchOptions{PoolSize: 4, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSTMLabyrinthMakespan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := labyrinth.New(stm.New(stm.Config{}), labyrinth.Config{X: 16, Y: 16, Z: 2, Requests: 24})
+		b.StartTimer()
+		if _, err := stamp.RunBatch(w, stamp.BatchOptions{PoolSize: 4, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Engine comparison: TL2 vs NOrec ---------------------------------------
+
+func benchEngineCounter(b *testing.B, algo stm.Algorithm) {
+	rt := stm.New(stm.Config{Algorithm: algo})
+	x := stm.NewVar(0)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = rt.Atomic(func(tx *stm.Tx) error {
+				x.Write(tx, x.Read(tx)+1)
+				return nil
+			})
+		}
+	})
+}
+
+func BenchmarkEngineTL2Counter(b *testing.B)   { benchEngineCounter(b, stm.TL2) }
+func BenchmarkEngineNOrecCounter(b *testing.B) { benchEngineCounter(b, stm.NOrec) }
+
+func benchEngineRBTree(b *testing.B, algo stm.Algorithm) {
+	rt := stm.New(stm.Config{Algorithm: algo})
+	bench := rbtree.New(rt, rbtree.Config{Elements: 8 << 10, LookupPct: 95})
+	if err := bench.Setup(rand.New(rand.NewSource(1))); err != nil {
+		b.Fatal(err)
+	}
+	task := bench.Task()
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			task(0, rng)
+		}
+	})
+	b.StopTimer()
+	if err := bench.Verify(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEngineTL2RBTree(b *testing.B)   { benchEngineRBTree(b, stm.TL2) }
+func BenchmarkEngineNOrecRBTree(b *testing.B) { benchEngineRBTree(b, stm.NOrec) }
+
+func BenchmarkSTMBench7Mix(b *testing.B) {
+	rt := stm.New(stm.Config{})
+	bench := stmbench7.New(rt, stmbench7.Config{InitialComposites: 64})
+	if err := bench.Setup(rand.New(rand.NewSource(1))); err != nil {
+		b.Fatal(err)
+	}
+	task := bench.Task()
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			task(0, rng)
+		}
+	})
+	b.StopTimer()
+	if err := bench.Verify(); err != nil {
+		b.Fatal(err)
+	}
+}

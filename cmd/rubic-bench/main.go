@@ -1,0 +1,270 @@
+// Command rubic-bench regenerates the tables and figures of the RUBIC paper
+// (SPAA 2016) on the co-location simulator. Each figure of the evaluation
+// has an experiment id; "all" runs the entire evaluation.
+//
+// Usage:
+//
+//	rubic-bench -experiment fig7 [-reps 50] [-rounds 1000] [-contexts 64]
+//	            [-seed 1] [-noise 0.01] [-csv out.csv]
+//
+// Experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 headline all
+// (fig7 and fig8 share one run and are printed together, as are fig3/fig5
+// and fig1/fig6.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rubic/internal/core"
+	"rubic/internal/harness"
+	"rubic/internal/trace"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id: fig1..fig10, headline, ext-scaling, ext-churn, all")
+		reps       = flag.Int("reps", 50, "repetitions per experiment cell")
+		rounds     = flag.Int("rounds", 1000, "controller rounds per run (10ms each)")
+		contexts   = flag.Int("contexts", 64, "hardware contexts of the simulated machine")
+		maxLevel   = flag.Int("maxlevel", 128, "per-process thread-pool size")
+		seed       = flag.Int64("seed", 1, "base seed of the repetition ladder")
+		noise      = flag.Float64("noise", 0.01, "relative measurement noise (sigma)")
+		csvPath    = flag.String("csv", "", "also write trace data as CSV to this file (trace experiments)")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		Contexts:   *contexts,
+		MaxLevel:   *maxLevel,
+		Rounds:     *rounds,
+		Reps:       *reps,
+		Seed:       *seed,
+		NoiseSigma: *noise,
+	}
+	if err := run(os.Stdout, cfg, *experiment, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "rubic-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, cfg harness.Config, experiment, csvPath string) error {
+	var csvSet *trace.Set
+	switch experiment {
+	case "fig1", "fig6":
+		harness.Banner(w, "Figures 1 & 6: workload scalability")
+		sweeps := map[string][]harness.CurvePoint{}
+		for _, name := range []string{"intruder", "vacation", "rbt", "rbt-ro"} {
+			s, err := harness.Scalability(cfg, name)
+			if err != nil {
+				return err
+			}
+			sweeps[name] = s
+		}
+		rows := []int{1, 2, 4, 7, 8, 12, 16, 24, 32, 40, 48, 56, 64}
+		if err := harness.WriteScalabilityReport(w, sweeps, rows); err != nil {
+			return err
+		}
+
+	case "fig2":
+		harness.Banner(w, "Figure 2: AIAD vs AIMD convergence geometry")
+		var results []*harness.GeometryResult
+		for _, scheme := range []string{"aiad", "aimd"} {
+			r, err := harness.Geometry(cfg, scheme)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		if err := harness.WriteGeometryReport(w, results); err != nil {
+			return err
+		}
+		csvSet = &trace.Set{}
+		for _, r := range results {
+			r.L1.Name = r.Scheme + "/" + r.L1.Name
+			r.L2.Name = r.Scheme + "/" + r.L2.Name
+			csvSet.Add(r.L1)
+			csvSet.Add(r.L2)
+		}
+
+	case "fig3", "fig5":
+		harness.Banner(w, "Figures 3 & 5: AIMD sawtooth vs CIMD steady state")
+		var results []*harness.SawtoothResult
+		for _, pol := range []string{"aimd", "cimd", "rubic"} {
+			r, err := harness.Sawtooth(cfg, pol)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		if err := harness.WriteSawtoothReport(w, results, cfg.Contexts); err != nil {
+			return err
+		}
+		csvSet = &trace.Set{}
+		for _, r := range results {
+			csvSet.Add(r.Levels)
+		}
+
+	case "fig4":
+		harness.Banner(w, "Figure 4: the cubic growth function")
+		s := harness.CubicShape(64, 0.8, 0.1, 16)
+		set := &trace.Set{}
+		set.Add(s)
+		fmt.Fprint(w, trace.Plot(set, trace.PlotOptions{
+			Title: "Equation (1): L_max=64, alpha=0.8, beta=0.1 (steady state below 64, probing above)",
+		}))
+		k := core.CubicInflection(64, 0.8, 0.1)
+		fmt.Fprintf(w, "inflection K = %.2f rounds (curve crosses L_max there)\n", k)
+		csvSet = set
+
+	case "fig7", "fig8":
+		harness.Banner(w, "Figures 7 & 8: pairwise execution")
+		res, err := harness.Pairwise(cfg, core.PolicyNames())
+		if err != nil {
+			return err
+		}
+		if err := harness.WritePairwiseReport(w, res, cfg.Contexts); err != nil {
+			return err
+		}
+
+	case "fig9":
+		harness.Banner(w, "Figure 9: single-process execution")
+		res, err := harness.Single(cfg, []string{"greedy", "f2c2", "ebs", "rubic"})
+		if err != nil {
+			return err
+		}
+		if err := harness.WriteSingleReport(w, res); err != nil {
+			return err
+		}
+
+	case "fig10":
+		harness.Banner(w, "Figure 10: convergence with staggered arrival")
+		var results []*harness.ConvergenceResult
+		for _, pol := range []string{"f2c2", "ebs", "rubic"} {
+			r, err := harness.Convergence(cfg, pol, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		if err := harness.WriteConvergenceReport(w, results, cfg.Contexts); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\naggregate over %d seeds (mean fair-gap ± std, settled%%, mean settle time):\n", cfg.Reps)
+		for _, pol := range []string{"f2c2", "ebs", "rubic"} {
+			s, err := harness.ConvergenceStats(cfg, pol)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  %-6s gap %.1f ± %.1f   settled %.0f%%   settle %.2fs\n",
+				pol, s.FairGapMean, s.FairGapStd, s.SettledFrac*100, s.SettleMean)
+		}
+		csvSet = &trace.Set{}
+		for _, r := range results {
+			r.P1.Name = r.Policy + "/" + r.P1.Name
+			r.P2.Name = r.Policy + "/" + r.P2.Name
+			csvSet.Add(r.P1)
+			csvSet.Add(r.P2)
+		}
+
+	case "headline":
+		harness.Banner(w, "Headline numbers (section 4.5.1)")
+		res, err := harness.Pairwise(cfg, core.PolicyNames())
+		if err != nil {
+			return err
+		}
+		h, err := harness.ComputeHeadline(res)
+		if err != nil {
+			return err
+		}
+		if err := harness.WriteHeadlineReport(w, h); err != nil {
+			return err
+		}
+
+	case "ext-scaling":
+		harness.Banner(w, "Extension: N-process scaling (beyond the paper)")
+		for _, pol := range []string{"rubic", "ebs"} {
+			points, err := harness.Scaling(cfg, pol, 6)
+			if err != nil {
+				return err
+			}
+			if err := harness.WriteScalingReport(w, points, pol, cfg.Contexts); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+
+	case "ext-churn":
+		harness.Banner(w, "Extension: arrival/departure churn (beyond the paper)")
+		for _, pol := range []string{"rubic", "ebs", "greedy"} {
+			r, err := harness.Churn(cfg, pol)
+			if err != nil {
+				return err
+			}
+			if err := harness.WriteChurnReport(w, r, cfg.Contexts); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+
+	case "ext-noise":
+		harness.Banner(w, "Extension: noise sensitivity (beyond the paper)")
+		points, err := harness.NoiseSensitivity(cfg, []float64{0, 0.005, 0.01, 0.02, 0.05})
+		if err != nil {
+			return err
+		}
+		if err := harness.WriteNoiseReport(w, points); err != nil {
+			return err
+		}
+
+	case "ext-params":
+		harness.Banner(w, "Extension: alpha/beta sweep (section 4.3's constants)")
+		points, err := harness.ParamSweep(cfg,
+			[]float64{0.5, 0.7, 0.8, 0.9}, []float64{0.05, 0.1, 0.2})
+		if err != nil {
+			return err
+		}
+		if err := harness.WriteParamReport(w, points); err != nil {
+			return err
+		}
+
+	case "ext-hw":
+		harness.Banner(w, "Extension: dynamic hardware capacity (beyond the paper)")
+		var results []*harness.HWResult
+		for _, pol := range []string{"rubic", "ebs", "profile"} {
+			r, err := harness.DynamicHardware(cfg, pol)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		if err := harness.WriteHWReport(w, results); err != nil {
+			return err
+		}
+
+	case "all":
+		for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig7", "fig9", "fig10", "headline", "ext-scaling", "ext-churn", "ext-noise", "ext-params", "ext-hw"} {
+			if err := run(w, cfg, id, ""); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+
+	default:
+		return fmt.Errorf("unknown experiment %q (want fig1..fig10, headline, ext-scaling, ext-churn, all)", experiment)
+	}
+
+	if csvPath != "" && csvSet != nil {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f, csvSet); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\ntrace data written to %s\n", csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rubic/internal/harness"
+)
+
+// tinyConfig keeps CLI tests fast.
+func tinyConfig() harness.Config {
+	return harness.Config{
+		Contexts:   64,
+		MaxLevel:   128,
+		Rounds:     300,
+		Reps:       2,
+		Seed:       1,
+		NoiseSigma: 0.01,
+	}
+}
+
+func TestRunEveryExperiment(t *testing.T) {
+	for _, exp := range []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "headline",
+		"ext-scaling", "ext-churn", "ext-noise", "ext-params", "ext-hw",
+	} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, tinyConfig(), exp, ""); err != nil {
+				t.Fatalf("run(%s): %v", exp, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("run(%s) produced no output", exp)
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, tinyConfig(), "all", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 7", "Figure 9", "Headline", "ext-scaling", "ext-churn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("all output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, tinyConfig(), "fig99", ""); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig10.csv")
+	var buf bytes.Buffer
+	if err := run(&buf, tinyConfig(), "fig10", path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), path) {
+		t.Error("csv path not reported")
+	}
+}

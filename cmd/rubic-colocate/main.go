@@ -1,0 +1,130 @@
+// Command rubic-colocate runs several real application stacks side by side
+// in one process — the paper's co-located multi-process scenario on the
+// actual STM runtime. Each stack gets its own STM, workload, worker pool
+// and controller; they share only the CPU.
+//
+//	rubic-colocate -procs rbtree-ro:rubic,rbtree-ro:rubic@2s -duration 4s
+//	rubic-colocate -procs vacation:rubic,intruder:ebs -pool 8
+//
+// Workloads: see internal/stamp/workloads (rbtree, rbtree-ro, vacation,
+// vacation-low, vacation-high, intruder, stmbench7, bank, genome, kmeans,
+// labyrinth, ssca2). Policies: rubic, ebs, f2c2, aiad, aimd, profile;
+// "greedy" pins all workers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"rubic/internal/colocate"
+	"rubic/internal/core"
+	"rubic/internal/stamp/workloads"
+	"rubic/internal/stm"
+	"rubic/internal/trace"
+)
+
+func main() {
+	var (
+		procs    = flag.String("procs", "rbtree-ro:rubic,rbtree-ro:rubic", "comma-separated workload:policy[@arrivalDelay] stacks")
+		poolSize = flag.Int("pool", 2*runtime.NumCPU(), "per-stack worker pool size")
+		duration = flag.Duration("duration", 2*time.Second, "run duration")
+		period   = flag.Duration("period", 10*time.Millisecond, "controller period")
+		seed     = flag.Int64("seed", 1, "random seed")
+		algo     = flag.String("algo", "tl2", "stm engine: tl2 or norec")
+		plot     = flag.Bool("plot", true, "render the level traces")
+	)
+	flag.Parse()
+	if err := run(*procs, *poolSize, *duration, *period, *seed, *algo, *plot); err != nil {
+		fmt.Fprintln(os.Stderr, "rubic-colocate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(procSpecs string, poolSize int, duration, period time.Duration, seed int64, algoName string, plot bool) error {
+	var algo stm.Algorithm
+	switch algoName {
+	case "tl2":
+		algo = stm.TL2
+	case "norec":
+		algo = stm.NOrec
+	default:
+		return fmt.Errorf("unknown stm engine %q", algoName)
+	}
+
+	specs := strings.Split(procSpecs, ",")
+	var stacks []colocate.Proc
+	for i, spec := range specs {
+		var delay time.Duration
+		if at := strings.IndexByte(spec, '@'); at >= 0 {
+			d, err := time.ParseDuration(spec[at+1:])
+			if err != nil {
+				return fmt.Errorf("bad arrival delay in %q: %w", spec, err)
+			}
+			delay = d
+			spec = spec[:at]
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) != 2 {
+			return fmt.Errorf("bad stack spec %q (want workload:policy[@delay])", spec)
+		}
+		w, _, err := workloads.New(parts[0], stm.Config{Algorithm: algo})
+		if err != nil {
+			return err
+		}
+		var ctrl core.Controller
+		if parts[1] != "greedy" {
+			fac, err := core.ByName(parts[1], poolSize, len(specs), poolSize)
+			if err != nil {
+				return err
+			}
+			ctrl = fac()
+		}
+		stacks = append(stacks, colocate.Proc{
+			Name:         "P" + strconv.Itoa(i+1) + "-" + parts[0] + "-" + parts[1],
+			Workload:     w,
+			Controller:   ctrl,
+			PoolSize:     poolSize,
+			Seed:         seed + int64(i)*7919,
+			ArrivalDelay: delay,
+		})
+	}
+
+	group, err := colocate.NewGroup(stacks, period)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("co-locating %d stacks for %v (pool %d each, engine %s, %d CPUs)...\n",
+		len(stacks), duration, poolSize, algoName, runtime.NumCPU())
+	results, err := group.Run(duration)
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nstack\tcompleted\tthroughput/s\tmean-level")
+	set := &trace.Set{}
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.1f\n", r.Name, r.Completed, r.Throughput, r.MeanLevel)
+		if r.Levels != nil {
+			set.Add(r.Levels)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("all workload invariants verified")
+
+	if plot && len(set.Series) > 0 {
+		fmt.Print("\n" + trace.Plot(set, trace.PlotOptions{
+			Title:  "active workers over time",
+			Height: 10,
+		}))
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunTwoStacks(t *testing.T) {
+	err := run("rbtree-ro:rubic,bank:ebs", 2, 200*time.Millisecond,
+		5*time.Millisecond, 1, "tl2", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStaggeredNOrec(t *testing.T) {
+	err := run("bank:rubic,bank:rubic@100ms", 2, 250*time.Millisecond,
+		5*time.Millisecond, 1, "norec", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGreedyStack(t *testing.T) {
+	err := run("rbtree:greedy", 2, 100*time.Millisecond,
+		5*time.Millisecond, 1, "tl2", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	cases := []struct {
+		procs, algo string
+	}{
+		{"rbtree", "tl2"},           // missing policy
+		{"rbtree:nope", "tl2"},      // unknown policy
+		{"nope:rubic", "tl2"},       // unknown workload
+		{"rbtree:rubic@x", "tl2"},   // bad delay
+		{"rbtree:rubic", "quantum"}, // unknown engine
+		{"a:b:c", "tl2"},            // malformed
+	}
+	for _, tc := range cases {
+		if err := run(tc.procs, 2, 100*time.Millisecond,
+			5*time.Millisecond, 1, tc.algo, false); err == nil {
+			t.Errorf("procs %q algo %q accepted", tc.procs, tc.algo)
+		}
+	}
+}

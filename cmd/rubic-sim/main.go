@@ -1,0 +1,128 @@
+// Command rubic-sim runs ad-hoc co-location scenarios on the simulator.
+// Processes are described as workload:policy[@arrivalRound] specs:
+//
+//	rubic-sim -procs rbt:rubic,vacation:rubic
+//	rubic-sim -procs rbt-ro:ebs,rbt-ro:ebs@500 -rounds 1000 -plot
+//
+// Workloads: intruder, vacation, rbt, rbt-ro, linear.
+// Policies: rubic, ebs, f2c2, aiad, aimd, greedy, equalshare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"rubic/internal/core"
+	"rubic/internal/sim"
+	"rubic/internal/trace"
+)
+
+func main() {
+	var (
+		procs    = flag.String("procs", "rbt:rubic,vacation:rubic", "comma-separated workload:policy[@arrivalRound] specs")
+		contexts = flag.Int("contexts", 64, "hardware contexts")
+		maxLevel = flag.Int("maxlevel", 128, "per-process pool size")
+		rounds   = flag.Int("rounds", 1000, "controller rounds (10ms each)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		noise    = flag.Float64("noise", 0.01, "measurement noise sigma (negative disables)")
+		plot     = flag.Bool("plot", false, "render an ASCII plot of the levels over time")
+		csvPath  = flag.String("csv", "", "write level traces as CSV to this file")
+	)
+	flag.Parse()
+	if err := run(*procs, *contexts, *maxLevel, *rounds, *seed, *noise, *plot, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "rubic-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(procSpecs string, contexts, maxLevel, rounds int, seed int64, noise float64, plot bool, csvPath string) error {
+	specs := strings.Split(procSpecs, ",")
+	if len(specs) == 0 || procSpecs == "" {
+		return fmt.Errorf("no processes given")
+	}
+	var ps []sim.ProcessSpec
+	for i, spec := range specs {
+		arrival := 0
+		if at := strings.IndexByte(spec, '@'); at >= 0 {
+			n, err := strconv.Atoi(spec[at+1:])
+			if err != nil {
+				return fmt.Errorf("bad arrival round in %q: %w", spec, err)
+			}
+			arrival = n
+			spec = spec[:at]
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) != 2 {
+			return fmt.Errorf("bad process spec %q (want workload:policy[@round])", spec)
+		}
+		w, err := sim.WorkloadByName(parts[0])
+		if err != nil {
+			return err
+		}
+		fac, err := core.ByName(parts[1], contexts, len(specs), maxLevel)
+		if err != nil {
+			return err
+		}
+		ps = append(ps, sim.ProcessSpec{
+			Name:         fmt.Sprintf("P%d-%s-%s", i+1, parts[0], parts[1]),
+			Workload:     w,
+			Controller:   fac,
+			ArrivalRound: arrival,
+		})
+	}
+
+	res, err := sim.Run(sim.Scenario{
+		Machine:    sim.Machine{Contexts: contexts},
+		Procs:      ps,
+		Rounds:     rounds,
+		Seed:       seed,
+		NoiseSigma: noise,
+	})
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "process\tspeedup\tmean-level\tefficiency")
+	for _, p := range res.Procs {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.1f\t%.4f\n", p.Name, p.Speedup, p.MeanLevel, p.Efficiency)
+	}
+	fmt.Fprintf(tw, "\nNSBP (speed-up product)\t%.2f\n", res.NSBP)
+	fmt.Fprintf(tw, "total efficiency\t%.4f\n", res.TotalEfficiency)
+	fmt.Fprintf(tw, "mean total threads\t%.1f / %d\n", res.TotalThreads.Mean(), contexts)
+	fmt.Fprintf(tw, "oversubscribed rounds\t%.0f%%\n", res.OversubscribedFrac*100)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	set := &trace.Set{}
+	for _, p := range res.Procs {
+		set.Add(p.Levels.Downsample(rounds / 100))
+	}
+	if plot {
+		fmt.Print("\n" + trace.Plot(set, trace.PlotOptions{
+			Title: fmt.Sprintf("parallelism levels over time (contexts = %d)", contexts),
+		}))
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		full := &trace.Set{}
+		for _, p := range res.Procs {
+			full.Add(p.Levels)
+		}
+		full.Add(res.TotalThreads)
+		if err := trace.WriteCSV(f, full); err != nil {
+			return err
+		}
+		fmt.Printf("\ntraces written to %s\n", csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBasicScenario(t *testing.T) {
+	if err := run("rbt:rubic,vacation:ebs", 64, 128, 200, 1, 0.01, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithArrivalAndPlot(t *testing.T) {
+	if err := run("rbt-ro:rubic,rbt-ro:rubic@100", 64, 128, 200, 1, 0.01, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := run("intruder:rubic", 64, 128, 100, 1, 0.01, false, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadSpecs(t *testing.T) {
+	cases := []string{
+		"",
+		"rbt",             // missing policy
+		"rbt:nope",        // unknown policy
+		"nope:rubic",      // unknown workload
+		"rbt:rubic@x",     // bad arrival
+		"rbt:rubic:extra", // too many fields
+	}
+	for _, spec := range cases {
+		if err := run(spec, 64, 128, 100, 1, 0.01, false, ""); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Command rubic-stm runs the real STM workloads (the paper's benchmarks
+// ported to the Go STM substrate) on a malleable worker pool steered by a
+// parallelism controller — the full RUBIC stack, live.
+//
+//	rubic-stm -workload rbtree -policy rubic -pool 8 -duration 2s
+//	rubic-stm -workload vacation -policy ebs -cm greedy
+//
+// On a machine with few cores the throughput numbers are modest — the
+// purpose of this binary is to exercise the real runtime end to end (the
+// scalability evaluation lives in rubic-bench on the simulator).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rubic/internal/core"
+	"rubic/internal/stamp"
+	"rubic/internal/stamp/bank"
+	"rubic/internal/stamp/genome"
+	"rubic/internal/stamp/intruder"
+	"rubic/internal/stamp/kmeans"
+	"rubic/internal/stamp/labyrinth"
+	"rubic/internal/stamp/rbtree"
+	"rubic/internal/stamp/ssca2"
+	"rubic/internal/stamp/stmbench7"
+	"rubic/internal/stamp/vacation"
+	"rubic/internal/stm"
+	"rubic/internal/trace"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "rbtree", "rbtree, vacation, intruder, stmbench7, bank, genome, kmeans, labyrinth or ssca2")
+		policy    = flag.String("policy", "rubic", "rubic, ebs, f2c2, aiad, aimd or greedy")
+		cmName    = flag.String("cm", "backoff", "contention manager: suicide, backoff, greedy, two-phase, karma, polka")
+		algoName  = flag.String("algo", "tl2", "stm engine: tl2 or norec")
+		poolSize  = flag.Int("pool", 8, "worker pool size (max parallelism level)")
+		duration  = flag.Duration("duration", 2*time.Second, "measurement duration")
+		period    = flag.Duration("period", 10*time.Millisecond, "controller period")
+		seed      = flag.Int64("seed", 1, "random seed")
+		elements  = flag.Int("elements", 64<<10, "rbtree: initial elements")
+		lookup    = flag.Int("lookup", 98, "rbtree: lookup percentage")
+		relations = flag.Int("relations", 4096, "vacation: rows per table")
+		plot      = flag.Bool("plot", true, "render the level trace")
+	)
+	flag.Parse()
+	if err := run(*workload, *policy, *cmName, *algoName, *poolSize, *duration, *period, *seed,
+		*elements, *lookup, *relations, *plot); err != nil {
+		fmt.Fprintln(os.Stderr, "rubic-stm:", err)
+		os.Exit(1)
+	}
+}
+
+func contentionManager(name string) (stm.ContentionManager, error) {
+	switch name {
+	case "suicide":
+		return stm.SuicideCM{}, nil
+	case "backoff":
+		return stm.BackoffCM{}, nil
+	case "greedy":
+		return stm.GreedyCM{}, nil
+	case "two-phase":
+		return stm.TwoPhaseCM{}, nil
+	case "karma":
+		return stm.KarmaCM{}, nil
+	case "polka":
+		return stm.PolkaCM{}, nil
+	}
+	return nil, fmt.Errorf("unknown contention manager %q", name)
+}
+
+func run(workload, policy, cmName, algoName string, poolSize int, duration, period time.Duration,
+	seed int64, elements, lookup, relations int, plot bool) error {
+	cm, err := contentionManager(cmName)
+	if err != nil {
+		return err
+	}
+	var algo stm.Algorithm
+	switch algoName {
+	case "tl2":
+		algo = stm.TL2
+	case "norec":
+		algo = stm.NOrec
+	default:
+		return fmt.Errorf("unknown stm engine %q", algoName)
+	}
+	rt := stm.New(stm.Config{CM: cm, Algorithm: algo})
+
+	var w stamp.Workload
+	var batch stamp.BatchWorkload
+	switch workload {
+	case "rbtree":
+		w = rbtree.New(rt, rbtree.Config{Elements: elements, LookupPct: lookup})
+	case "vacation":
+		w = vacation.New(rt, vacation.Config{Relations: relations})
+	case "intruder":
+		w = intruder.New(rt, intruder.Config{})
+	case "stmbench7":
+		w = stmbench7.New(rt, stmbench7.Config{})
+	case "bank":
+		w = bank.New(rt, bank.Config{})
+	case "genome":
+		batch = genome.New(rt, genome.Config{})
+	case "kmeans":
+		batch = kmeans.New(rt, kmeans.Config{})
+	case "labyrinth":
+		batch = labyrinth.New(rt, labyrinth.Config{})
+	case "ssca2":
+		batch = ssca2.New(rt, ssca2.Config{})
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+
+	var ctrl core.Controller
+	if policy != "greedy" {
+		fac, err := core.ByName(policy, poolSize, 1, poolSize)
+		if err != nil {
+			return err
+		}
+		ctrl = fac()
+	}
+
+	var levels *trace.Series
+	if batch != nil {
+		// Pipeline benchmarks run to completion (makespan measurement).
+		fmt.Printf("running %s to completion under %s (pool %d, cm %s)...\n",
+			batch.Name(), policy, poolSize, rt.ContentionManagerName())
+		rep, err := stamp.RunBatch(batch, stamp.BatchOptions{
+			PoolSize:   poolSize,
+			Controller: ctrl,
+			Period:     period,
+			Seed:       seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ncompleted tasks:      %d\n", rep.Completed)
+		fmt.Printf("makespan:             %v\n", rep.Elapsed)
+		fmt.Printf("stm:                  %v\n", rt.Stats())
+		fmt.Println("workload invariants:  OK")
+		levels = rep.Levels
+	} else {
+		fmt.Printf("running %s under %s (pool %d, cm %s, engine %s) for %v...\n",
+			w.Name(), policy, poolSize, rt.ContentionManagerName(), rt.Algorithm(), duration)
+		rep, err := stamp.Run(w, stamp.RunOptions{
+			PoolSize:   poolSize,
+			Duration:   duration,
+			Period:     period,
+			Controller: ctrl,
+			Seed:       seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ncompleted operations: %d\n", rep.Completed)
+		fmt.Printf("throughput:           %.0f ops/s\n", rep.Throughput)
+		fmt.Printf("mean level:           %.1f / %d\n", rep.MeanLevel, poolSize)
+		fmt.Printf("stm:                  %v\n", rt.Stats())
+		fmt.Println("workload invariants:  OK")
+		levels = rep.Levels
+	}
+
+	if plot && levels != nil && levels.Len() > 1 {
+		set := &trace.Set{}
+		set.Add(levels)
+		fmt.Print("\n" + trace.Plot(set, trace.PlotOptions{
+			Title:  "parallelism level over time",
+			Height: 10,
+			YFixed: true, YMin: 0, YMax: float64(poolSize) + 1,
+		}))
+	}
+	return nil
+}

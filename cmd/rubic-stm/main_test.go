@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestContentionManagerLookup(t *testing.T) {
+	for _, name := range []string{"suicide", "backoff", "greedy", "two-phase", "karma", "polka"} {
+		cm, err := contentionManager(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cm.Name() != name {
+			t.Fatalf("lookup %q returned %q", name, cm.Name())
+		}
+	}
+	if _, err := contentionManager("nope"); err == nil {
+		t.Fatal("unknown cm accepted")
+	}
+}
+
+func TestRunContinuousWorkload(t *testing.T) {
+	err := run("rbtree", "rubic", "backoff", "tl2", 2, 100*time.Millisecond,
+		5*time.Millisecond, 1, 1024, 98, 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBatchWorkloadNOrec(t *testing.T) {
+	err := run("genome", "rubic", "backoff", "norec", 2, time.Second,
+		5*time.Millisecond, 1, 1024, 98, 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGreedyNoController(t *testing.T) {
+	err := run("ssca2", "greedy", "polka", "tl2", 2, time.Second,
+		5*time.Millisecond, 1, 1024, 98, 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("nope", "rubic", "backoff", "tl2", 2, time.Second,
+		time.Millisecond, 1, 1024, 98, 64, false); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := run("rbtree", "nope", "backoff", "tl2", 2, time.Second,
+		time.Millisecond, 1, 1024, 98, 64, false); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := run("rbtree", "rubic", "nope", "tl2", 2, time.Second,
+		time.Millisecond, 1, 1024, 98, 64, false); err == nil {
+		t.Fatal("unknown cm accepted")
+	}
+	if err := run("rbtree", "rubic", "backoff", "nope", 2, time.Second,
+		time.Millisecond, 1, 1024, 98, 64, false); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}

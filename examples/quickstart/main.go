@@ -1,0 +1,74 @@
+// Quickstart: tune the parallelism of a malleable workload with RUBIC in a
+// few lines.
+//
+// The program builds a worker pool whose task is a small transactional
+// counter update, attaches a RUBIC controller through the monitoring loop,
+// lets it run for two seconds, and prints what the controller decided.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"rubic/internal/core"
+	"rubic/internal/pool"
+	"rubic/internal/stm"
+)
+
+func main() {
+	// 1. A transactional workload: 64 shared counters, each task increments
+	//    one of them atomically.
+	rt := stm.New(stm.Config{})
+	counters := make([]*stm.Var[int], 64)
+	for i := range counters {
+		counters[i] = stm.NewVar(0)
+	}
+
+	// 2. A malleable pool: up to NumCPU workers, each repeatedly running
+	//    one transaction per task (the per-worker counters feed the tuner).
+	size := runtime.NumCPU()
+	if size < 2 {
+		size = 2
+	}
+	p, err := pool.New(size, 42, func(_ int, rng *rand.Rand) bool {
+		c := counters[rng.Intn(len(counters))]
+		return rt.Atomic(func(tx *stm.Tx) error {
+			c.Write(tx, c.Read(tx)+1)
+			return nil
+		}) == nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. RUBIC: the controller observes the pool's commit rate every 10 ms
+	//    and adapts the number of active workers.
+	tuner := &core.Tuner{
+		Controller: core.NewRUBIC(core.RUBICConfig{MaxLevel: size}),
+		Target:     p,
+		Period:     10 * time.Millisecond,
+	}
+
+	p.Start()
+	tuner.Start()
+	time.Sleep(2 * time.Second)
+	tuner.Stop()
+	p.Stop()
+
+	total := 0
+	for _, c := range counters {
+		total += c.Peek()
+	}
+	fmt.Printf("completed tasks: %d\n", p.Completed())
+	fmt.Printf("counter total:   %d (must match)\n", total)
+	fmt.Printf("final level:     %d of %d workers\n", p.Level(), size)
+	fmt.Printf("stm stats:       %v\n", rt.Stats())
+	if uint64(total) != p.Completed() {
+		log.Fatal("count mismatch: STM lost updates")
+	}
+}

@@ -1,0 +1,3 @@
+module rubic
+
+go 1.22

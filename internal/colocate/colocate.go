@@ -1,0 +1,170 @@
+// Package colocate runs several independent application stacks — each with
+// its own workload, worker pool and parallelism controller — side by side in
+// one OS process, standing in for the paper's co-located processes on hosts
+// where spawning real processes with shared hardware contexts is not
+// practical. The stacks share nothing but the CPU: controllers observe only
+// their own pool's commit counters and decide unilaterally, exactly as the
+// paper requires.
+package colocate
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rubic/internal/core"
+	"rubic/internal/pool"
+	"rubic/internal/stamp"
+	"rubic/internal/trace"
+)
+
+// Proc describes one co-located application stack.
+type Proc struct {
+	// Name labels the stack in results.
+	Name string
+	// Workload provides the tasks (it owns its STM runtime).
+	Workload stamp.Workload
+	// Controller steers the stack's pool; nil pins the level at PoolSize.
+	Controller core.Controller
+	// PoolSize is the stack's worker count.
+	PoolSize int
+	// Seed derives the stack's random streams.
+	Seed int64
+	// ArrivalDelay postpones the stack's start relative to the group's,
+	// reproducing the staggered arrivals of the paper's section 4.6.
+	ArrivalDelay time.Duration
+}
+
+// Result is one stack's outcome.
+type Result struct {
+	Name string
+	// Completed is the number of finished tasks.
+	Completed uint64
+	// Throughput is Completed over the stack's own active time.
+	Throughput float64
+	// MeanLevel is the time-averaged parallelism level (PoolSize when no
+	// controller is attached).
+	MeanLevel float64
+	// Levels traces the controller's decisions (nil without a controller).
+	Levels *trace.Series
+}
+
+// Group is a set of co-located stacks.
+type Group struct {
+	procs  []Proc
+	period time.Duration
+}
+
+// NewGroup validates the stacks and returns a group. period is the
+// controllers' monitoring period (default 10 ms).
+func NewGroup(procs []Proc, period time.Duration) (*Group, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("colocate: no stacks")
+	}
+	names := map[string]struct{}{}
+	for i, p := range procs {
+		if p.Workload == nil {
+			return nil, fmt.Errorf("colocate: stack %d (%s) has no workload", i, p.Name)
+		}
+		if p.PoolSize < 1 {
+			return nil, fmt.Errorf("colocate: stack %d (%s) pool size %d", i, p.Name, p.PoolSize)
+		}
+		if _, dup := names[p.Name]; dup {
+			return nil, fmt.Errorf("colocate: duplicate stack name %q", p.Name)
+		}
+		names[p.Name] = struct{}{}
+	}
+	if period <= 0 {
+		period = 10 * time.Millisecond
+	}
+	return &Group{procs: procs, period: period}, nil
+}
+
+// Run sets up every workload, starts the stacks (honoring arrival delays),
+// lets the group run for the given duration, stops everything, verifies all
+// workload invariants and returns per-stack results in input order.
+func (g *Group) Run(duration time.Duration) ([]Result, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("colocate: duration must be positive")
+	}
+	// Setup is sequential and up front so arrival delays measure pure
+	// execution, not population.
+	for i := range g.procs {
+		p := &g.procs[i]
+		if err := p.Workload.Setup(rand.New(rand.NewSource(p.Seed))); err != nil {
+			return nil, fmt.Errorf("colocate: setup %s: %w", p.Name, err)
+		}
+	}
+
+	results := make([]Result, len(g.procs))
+	errs := make([]error, len(g.procs))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range g.procs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := &g.procs[i]
+			if p.ArrivalDelay > 0 {
+				time.Sleep(p.ArrivalDelay)
+			}
+			active := duration - p.ArrivalDelay
+			if active <= 0 {
+				errs[i] = fmt.Errorf("colocate: %s arrives after the run ends", p.Name)
+				return
+			}
+			pl, err := pool.New(p.PoolSize, p.Seed+1, p.Workload.Task())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var tuner *core.Tuner
+			if p.Controller != nil {
+				results[i].Levels = trace.NewSeries(p.Name + "/level")
+				tuner = &core.Tuner{
+					Controller: p.Controller,
+					Target:     pl,
+					Period:     g.period,
+					Levels:     results[i].Levels,
+				}
+			} else {
+				pl.SetLevel(p.PoolSize)
+			}
+			began := time.Now()
+			pl.Start()
+			if tuner != nil {
+				tuner.Start()
+			}
+			time.Sleep(duration - time.Since(start))
+			if tuner != nil {
+				tuner.Stop()
+			}
+			pl.Stop()
+			elapsed := time.Since(began).Seconds()
+
+			results[i].Name = p.Name
+			results[i].Completed = pl.Completed()
+			if elapsed > 0 {
+				results[i].Throughput = float64(results[i].Completed) / elapsed
+			}
+			if results[i].Levels != nil && results[i].Levels.Len() > 0 {
+				results[i].MeanLevel = results[i].Levels.Mean()
+			} else {
+				results[i].MeanLevel = float64(p.PoolSize)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	for i := range g.procs {
+		if err := g.procs[i].Workload.Verify(); err != nil {
+			return results, fmt.Errorf("colocate: %s verification: %w", g.procs[i].Name, err)
+		}
+	}
+	return results, nil
+}

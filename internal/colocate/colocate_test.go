@@ -1,0 +1,124 @@
+package colocate
+
+import (
+	"testing"
+	"time"
+
+	"rubic/internal/core"
+	"rubic/internal/stamp/rbtree"
+	"rubic/internal/stm"
+)
+
+func mkProc(name string, seed int64) Proc {
+	return Proc{
+		Name:     name,
+		Workload: rbtree.New(stm.New(stm.Config{}), rbtree.Config{Elements: 1024, LookupPct: 100}),
+		Controller: core.NewRUBIC(core.RUBICConfig{
+			MaxLevel: 4,
+		}),
+		PoolSize: 4,
+		Seed:     seed,
+	}
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(nil, 0); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	p := mkProc("a", 1)
+	p.Workload = nil
+	if _, err := NewGroup([]Proc{p}, 0); err == nil {
+		t.Fatal("nil workload accepted")
+	}
+	p = mkProc("a", 1)
+	p.PoolSize = 0
+	if _, err := NewGroup([]Proc{p}, 0); err == nil {
+		t.Fatal("zero pool accepted")
+	}
+	if _, err := NewGroup([]Proc{mkProc("a", 1), mkProc("a", 2)}, 0); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g, err := NewGroup([]Proc{mkProc("a", 1)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	p := mkProc("late", 1)
+	p.ArrivalDelay = time.Second
+	g, err = NewGroup([]Proc{p}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(100 * time.Millisecond); err == nil {
+		t.Fatal("arrival after end accepted")
+	}
+}
+
+func TestTwoStacksRun(t *testing.T) {
+	g, err := NewGroup([]Proc{mkProc("P1", 1), mkProc("P2", 2)}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := g.Run(300 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Completed == 0 {
+			t.Errorf("%s completed nothing", r.Name)
+		}
+		if r.Levels == nil || r.Levels.Len() == 0 {
+			t.Errorf("%s recorded no levels", r.Name)
+		}
+		if r.MeanLevel < 1 || r.MeanLevel > 4 {
+			t.Errorf("%s mean level %v out of range", r.Name, r.MeanLevel)
+		}
+	}
+}
+
+func TestStaggeredArrival(t *testing.T) {
+	p1 := mkProc("early", 1)
+	p2 := mkProc("late", 2)
+	p2.ArrivalDelay = 150 * time.Millisecond
+	g, err := NewGroup([]Proc{p1, p2}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := g.Run(300 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1].Completed == 0 {
+		t.Fatal("late stack never ran")
+	}
+	// The late stack had roughly half the time; its controller must have
+	// recorded fewer rounds than the early one.
+	if results[1].Levels.Len() >= results[0].Levels.Len() {
+		t.Errorf("late stack recorded %d rounds, early %d; expected fewer",
+			results[1].Levels.Len(), results[0].Levels.Len())
+	}
+}
+
+func TestGreedyStack(t *testing.T) {
+	p := mkProc("greedy", 3)
+	p.Controller = nil // pinned at pool size
+	g, err := NewGroup([]Proc{p}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := g.Run(100 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].MeanLevel != 4 {
+		t.Fatalf("greedy mean level = %v, want 4", results[0].MeanLevel)
+	}
+}

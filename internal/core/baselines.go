@@ -1,0 +1,279 @@
+package core
+
+// AIAD is the additive-increase/additive-decrease scheme the state of the
+// art relies on (paper section 2): gain or tie adds Delta, loss subtracts
+// Delta.
+type AIAD struct {
+	max   int
+	delta float64
+	level float64
+	tp    float64
+	init  float64
+}
+
+// NewAIAD returns an AIAD controller starting at level 1.
+func NewAIAD(maxLevel int, delta float64) *AIAD {
+	if maxLevel < 1 {
+		panic("core: AIAD MaxLevel < 1")
+	}
+	if delta <= 0 {
+		delta = 1
+	}
+	a := &AIAD{max: maxLevel, delta: delta, init: 1}
+	a.Reset()
+	return a
+}
+
+// NewAIADAt returns an AIAD controller starting (and resetting) at the given
+// level; the Figure 2 geometry experiment starts processes from an arbitrary
+// unequal allocation.
+func NewAIADAt(maxLevel int, delta float64, initial int) *AIAD {
+	a := NewAIAD(maxLevel, delta)
+	a.init = float64(clamp(float64(initial), maxLevel))
+	a.Reset()
+	return a
+}
+
+// Reset implements Controller.
+func (a *AIAD) Reset() { a.level, a.tp = a.init, 0 }
+
+// Name implements Controller.
+func (a *AIAD) Name() string { return "aiad" }
+
+// Level implements Controller.
+func (a *AIAD) Level() int { return clamp(a.level, a.max) }
+
+// Next implements Controller.
+func (a *AIAD) Next(tc float64) int {
+	if tc >= a.tp {
+		a.level += a.delta
+	} else {
+		a.level -= a.delta
+	}
+	if a.level < 1 {
+		a.level = 1
+	}
+	if a.level > float64(a.max) {
+		a.level = float64(a.max)
+	}
+	a.tp = tc
+	return a.Level()
+}
+
+// EBS models Didona et al.'s exploration-based scaling as the paper
+// characterizes it: a pure AIAD hill-climber on the commit rate.
+type EBS struct {
+	AIAD
+}
+
+// NewEBS returns an EBS controller.
+func NewEBS(maxLevel int) *EBS {
+	return &EBS{AIAD: *NewAIAD(maxLevel, 1)}
+}
+
+// Name implements Controller.
+func (e *EBS) Name() string { return "ebs" }
+
+// F2C2 models Ravichandran & Pande's F2C2-STM as the paper characterizes
+// it: identical to EBS except for an initial exponential growth phase that
+// doubles the level until the first performance loss, halves once, and then
+// switches to pure AIAD for the rest of the run.
+type F2C2 struct {
+	max         int
+	level       float64
+	tp          float64
+	exponential bool
+}
+
+// NewF2C2 returns an F2C2 controller starting at level 1 in the exponential
+// phase.
+func NewF2C2(maxLevel int) *F2C2 {
+	if maxLevel < 1 {
+		panic("core: F2C2 MaxLevel < 1")
+	}
+	f := &F2C2{max: maxLevel}
+	f.Reset()
+	return f
+}
+
+// Reset implements Controller.
+func (f *F2C2) Reset() { f.level, f.tp, f.exponential = 1, 0, true }
+
+// Name implements Controller.
+func (f *F2C2) Name() string { return "f2c2" }
+
+// Level implements Controller.
+func (f *F2C2) Level() int { return clamp(f.level, f.max) }
+
+// Next implements Controller.
+func (f *F2C2) Next(tc float64) int {
+	if f.exponential {
+		if tc >= f.tp {
+			f.level *= 2
+		} else {
+			f.level /= 2
+			f.exponential = false
+		}
+	} else {
+		if tc >= f.tp {
+			f.level++
+		} else {
+			f.level--
+		}
+	}
+	if f.level < 1 {
+		f.level = 1
+	}
+	if f.level > float64(f.max) {
+		f.level = float64(f.max)
+	}
+	f.tp = tc
+	return f.Level()
+}
+
+// AIMD is the additive-increase/multiplicative-decrease controller of the
+// authors' SPAA'15 brief announcement: +1 on gain, level*Alpha on loss. It
+// converges in multi-process settings but undersubscribes the machine
+// (Figure 3: with Alpha=0.5 a 64-context machine averages 48 threads).
+type AIMD struct {
+	max   int
+	alpha float64
+	level float64
+	tp    float64
+	init  float64
+}
+
+// NewAIMD returns an AIMD controller with the given decrease factor
+// (0 < alpha < 1; defaults to 0.5 when out of range).
+func NewAIMD(maxLevel int, alpha float64) *AIMD {
+	if maxLevel < 1 {
+		panic("core: AIMD MaxLevel < 1")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.5
+	}
+	a := &AIMD{max: maxLevel, alpha: alpha, init: 1}
+	a.Reset()
+	return a
+}
+
+// NewAIMDAt returns an AIMD controller starting (and resetting) at the given
+// level (see NewAIADAt).
+func NewAIMDAt(maxLevel int, alpha float64, initial int) *AIMD {
+	a := NewAIMD(maxLevel, alpha)
+	a.init = float64(clamp(float64(initial), maxLevel))
+	a.Reset()
+	return a
+}
+
+// Reset implements Controller.
+func (a *AIMD) Reset() { a.level, a.tp = a.init, 0 }
+
+// Name implements Controller.
+func (a *AIMD) Name() string { return "aimd" }
+
+// Level implements Controller.
+func (a *AIMD) Level() int { return clamp(a.level, a.max) }
+
+// Next implements Controller.
+func (a *AIMD) Next(tc float64) int {
+	if tc >= a.tp {
+		a.level++
+		a.tp = tc
+	} else {
+		a.level *= a.alpha
+		// Like RUBIC, forget the reference throughput after a cut so the
+		// next observation is accepted as the new baseline.
+		a.tp = 0
+	}
+	if a.level < 1 {
+		a.level = 1
+	}
+	if a.level > float64(a.max) {
+		a.level = float64(a.max)
+	}
+	return a.Level()
+}
+
+// Static pins the level to a constant: Greedy (all hardware contexts) and
+// EqualShare (contexts divided by the number of co-located processes, handed
+// out by a central entity) are both Static instances.
+type Static struct {
+	name  string
+	fixed int
+	max   int
+}
+
+// NewStatic returns a controller pinned to min(fixed, maxLevel).
+func NewStatic(name string, fixed, maxLevel int) *Static {
+	if fixed < 1 {
+		fixed = 1
+	}
+	if maxLevel >= 1 && fixed > maxLevel {
+		fixed = maxLevel
+	}
+	return &Static{name: name, fixed: fixed, max: maxLevel}
+}
+
+// Reset implements Controller.
+func (s *Static) Reset() {}
+
+// Name implements Controller.
+func (s *Static) Name() string { return s.name }
+
+// Level implements Controller.
+func (s *Static) Level() int { return s.fixed }
+
+// Next implements Controller.
+func (s *Static) Next(float64) int { return s.fixed }
+
+// HillClimb is a direction-memory hill climber: keep moving in the current
+// direction while throughput improves, reverse on loss. Didona et al.'s
+// exploration-based scaling implements this refinement of plain AIAD (the
+// paper's section 2 abstracts both as AIAD; this variant is provided for
+// comparison). On a slope its reversal is restoring, which avoids plain
+// AIAD's wrong-direction response to self-inflicted losses.
+type HillClimb struct {
+	max   int
+	level float64
+	tp    float64
+	dir   float64
+}
+
+// NewHillClimb returns a direction-memory hill climber starting at level 1,
+// climbing.
+func NewHillClimb(maxLevel int) *HillClimb {
+	if maxLevel < 1 {
+		panic("core: HillClimb MaxLevel < 1")
+	}
+	h := &HillClimb{max: maxLevel}
+	h.Reset()
+	return h
+}
+
+// Reset implements Controller.
+func (h *HillClimb) Reset() { h.level, h.tp, h.dir = 1, 0, 1 }
+
+// Name implements Controller.
+func (h *HillClimb) Name() string { return "hillclimb" }
+
+// Level implements Controller.
+func (h *HillClimb) Level() int { return clamp(h.level, h.max) }
+
+// Next implements Controller.
+func (h *HillClimb) Next(tc float64) int {
+	if tc < h.tp {
+		h.dir = -h.dir
+	}
+	h.level += h.dir
+	if h.level < 1 {
+		h.level = 1
+		h.dir = 1
+	}
+	if h.level > float64(h.max) {
+		h.level = float64(h.max)
+		h.dir = -1
+	}
+	h.tp = tc
+	return h.Level()
+}

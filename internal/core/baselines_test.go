@@ -1,0 +1,302 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAIADStepsUpAndDown(t *testing.T) {
+	a := NewAIAD(16, 1)
+	if a.Level() != 1 {
+		t.Fatalf("initial level = %d", a.Level())
+	}
+	if got := a.Next(10); got != 2 {
+		t.Fatalf("gain step = %d, want 2", got)
+	}
+	if got := a.Next(20); got != 3 {
+		t.Fatalf("gain step = %d, want 3", got)
+	}
+	if got := a.Next(5); got != 2 {
+		t.Fatalf("loss step = %d, want 2", got)
+	}
+	// Equal throughput counts as gain (Tc >= Tp).
+	if got := a.Next(5); got != 3 {
+		t.Fatalf("tie step = %d, want 3", got)
+	}
+}
+
+func TestAIADBounds(t *testing.T) {
+	a := NewAIAD(4, 1)
+	for i := 0; i < 20; i++ {
+		a.Next(float64(i))
+	}
+	if a.Level() != 4 {
+		t.Fatalf("level = %d, want clamped to 4", a.Level())
+	}
+	for i := 0; i < 20; i++ {
+		a.Next(1 / float64(i+2)) // strictly decreasing
+	}
+	if a.Level() != 1 {
+		t.Fatalf("level = %d, want clamped to 1", a.Level())
+	}
+}
+
+func TestEBSIsAIAD(t *testing.T) {
+	e := NewEBS(32)
+	a := NewAIAD(32, 1)
+	obs := []float64{5, 9, 12, 3, 8, 8, 2, 15, 1, 1}
+	for _, o := range obs {
+		if ge, ga := e.Next(o), a.Next(o); ge != ga {
+			t.Fatalf("EBS %d != AIAD %d on obs %v", ge, ga, o)
+		}
+	}
+	if e.Name() != "ebs" {
+		t.Fatalf("name = %q", e.Name())
+	}
+}
+
+func TestF2C2ExponentialThenAIAD(t *testing.T) {
+	f := NewF2C2(128)
+	// Exponential doubling while gaining: 1 -> 2 -> 4 -> 8 -> 16.
+	want := []int{2, 4, 8, 16}
+	for i, w := range want {
+		if got := f.Next(float64(10 * (i + 1))); got != w {
+			t.Fatalf("exp round %d = %d, want %d", i, got, w)
+		}
+	}
+	// First loss: halve once and leave the exponential phase.
+	if got := f.Next(1); got != 8 {
+		t.Fatalf("halving = %d, want 8", got)
+	}
+	// From now on plain AIAD.
+	if got := f.Next(2); got != 9 {
+		t.Fatalf("post-exp gain = %d, want 9", got)
+	}
+	if got := f.Next(1); got != 8 {
+		t.Fatalf("post-exp loss = %d, want 8", got)
+	}
+	// Never doubles again even on large gains.
+	if got := f.Next(1000); got != 9 {
+		t.Fatalf("post-exp big gain = %d, want 9", got)
+	}
+}
+
+func TestAIMDMultiplicativeCut(t *testing.T) {
+	a := NewAIMD(64, 0.5)
+	for i := 0; i < 40; i++ {
+		a.Next(float64(i + 1))
+	}
+	if a.Level() != 41 {
+		t.Fatalf("level after 40 gains = %d, want 41", a.Level())
+	}
+	if got := a.Next(0.5); got != 21 { // 41*0.5 = 20.5 rounds to 21
+		t.Fatalf("after loss = %d, want 21", got)
+	}
+	// tp was zeroed: next round is a forced gain.
+	if got := a.Next(0.1); got != 22 {
+		t.Fatalf("forced gain = %d, want 22", got)
+	}
+}
+
+func TestStaticPins(t *testing.T) {
+	s := NewStatic("greedy", 64, 64)
+	for _, o := range []float64{0, 100, -5} {
+		if got := s.Next(o); got != 64 {
+			t.Fatalf("static level = %d, want 64", got)
+		}
+	}
+	if NewStatic("x", 100, 64).Level() != 64 {
+		t.Fatal("static not clamped to max")
+	}
+	if NewStatic("x", 0, 64).Level() != 1 {
+		t.Fatal("static not clamped to 1")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range PolicyNames() {
+		fac, err := ByName(name, 64, 2, 128)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		c := fac()
+		if c.Name() != name {
+			t.Fatalf("factory for %q built %q", name, c.Name())
+		}
+		if l := c.Level(); l < 1 || l > 128 {
+			t.Fatalf("%q initial level %d out of range", name, l)
+		}
+	}
+	if _, err := ByName("nope", 64, 2, 128); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	// EqualShare with 2 processes on 64 contexts pins 32 threads.
+	fac, _ := ByName("equalshare", 64, 2, 128)
+	if got := fac().Level(); got != 32 {
+		t.Fatalf("equalshare level = %d, want 32", got)
+	}
+	// Greedy pins all contexts.
+	fac, _ = ByName("greedy", 64, 2, 128)
+	if got := fac().Level(); got != 64 {
+		t.Fatalf("greedy level = %d, want 64", got)
+	}
+}
+
+// TestQuickAllControllersBounded property: every adaptive policy keeps its
+// level within [1, max] for arbitrary observation streams.
+func TestQuickAllControllersBounded(t *testing.T) {
+	build := map[string]func(max int) Controller{
+		"rubic": func(m int) Controller { return NewRUBIC(RUBICConfig{MaxLevel: m}) },
+		"ebs":   func(m int) Controller { return NewEBS(m) },
+		"f2c2":  func(m int) Controller { return NewF2C2(m) },
+		"aiad":  func(m int) Controller { return NewAIAD(m, 1) },
+		"aimd":  func(m int) Controller { return NewAIMD(m, 0.5) },
+	}
+	for name, mk := range build {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			f := func(obs []float64, max uint8) bool {
+				m := int(max%50) + 1
+				c := mk(m)
+				for _, o := range obs {
+					if got := c.Next(o); got < 1 || got > m {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAIADTwoProcessNonConvergence reproduces the Figure 2a argument in
+// miniature: two AIAD controllers sharing a hard capacity oscillate along
+// the 45-degree line, so the gap between their levels never closes — AIAD
+// cannot equalize an initially unequal allocation.
+func TestAIADTwoProcessNonConvergence(t *testing.T) {
+	const capacity = 16.0
+	p1 := NewAIAD(64, 1)
+	p2 := NewAIAD(64, 1)
+	// Unequal start: p1 at 10, p2 at 2 (drive them there deterministically).
+	for p1.Level() < 10 {
+		p1.Next(float64(p1.Level() + 1000))
+	}
+	for p2.Level() < 2 {
+		p2.Next(float64(p2.Level() + 1000))
+	}
+	gap := p1.Level() - p2.Level()
+	// Shared-capacity feedback: beyond capacity both lose, below both gain.
+	t1, t2 := 0.0, 0.0
+	for round := 0; round < 200; round++ {
+		total := float64(p1.Level() + p2.Level())
+		if total > capacity {
+			t1, t2 = t1*0.5, t2*0.5 // both observe loss
+		} else {
+			t1, t2 = t1+1, t2+1 // both observe gain
+		}
+		p1.Next(t1)
+		p2.Next(t2)
+	}
+	if got := p1.Level() - p2.Level(); got < gap-2 || got > gap+2 {
+		t.Fatalf("AIAD gap changed from %d to %d; additive moves should preserve it", gap, got)
+	}
+}
+
+// TestAIMDTwoProcessConvergence is the Figure 2b counterpart: replacing the
+// additive decrease with a multiplicative one shrinks the gap toward zero.
+func TestAIMDTwoProcessConvergence(t *testing.T) {
+	const capacity = 16.0
+	p1 := NewAIMD(64, 0.5)
+	p2 := NewAIMD(64, 0.5)
+	for p1.Level() < 10 {
+		p1.Next(float64(p1.Level() + 1000))
+	}
+	for p2.Level() < 2 {
+		p2.Next(float64(p2.Level() + 1000))
+	}
+	t1, t2 := 1000.0, 1000.0
+	for round := 0; round < 300; round++ {
+		total := float64(p1.Level() + p2.Level())
+		if total > capacity {
+			t1, t2 = 0, 0
+		} else {
+			t1, t2 = t1+1, t2+1
+		}
+		p1.Next(t1)
+		p2.Next(t2)
+	}
+	gap := p1.Level() - p2.Level()
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > 3 {
+		t.Fatalf("AIMD gap after convergence = %d, want <= 3", gap)
+	}
+}
+
+func TestHillClimbTracksPeak(t *testing.T) {
+	h := NewHillClimb(64)
+	peak := 20.0
+	curve := func(level int) float64 {
+		l := float64(level)
+		if l <= peak {
+			return l
+		}
+		return 2*peak - l
+	}
+	level := h.Level()
+	sum, n := 0.0, 0
+	for i := 0; i < 300; i++ {
+		level = h.Next(curve(level))
+		if i >= 100 {
+			sum += float64(level)
+			n++
+		}
+	}
+	avg := sum / float64(n)
+	if avg < 16 || avg > 24 {
+		t.Fatalf("hill climber settled at %.1f, want ~20", avg)
+	}
+}
+
+// TestHillClimbRestoringOnSlope: unlike plain AIAD, a dip below the plateau
+// is answered by a reversal back up, not a continued descent.
+func TestHillClimbRestoringOnSlope(t *testing.T) {
+	h := NewHillClimb(64)
+	// Climb to 10 with gains.
+	for h.Level() < 10 {
+		h.Next(float64(h.Level() * 100))
+	}
+	// Now feed losses: first loss reverses to descend, second (still losing
+	// while descending on an upward slope) reverses back up.
+	l1 := h.Next(1)   // loss: reverse, descend
+	l2 := h.Next(0.5) // loss again: reverse, ascend
+	if l1 >= 10 {
+		t.Fatalf("first loss did not descend: %d", l1)
+	}
+	if l2 <= l1 {
+		t.Fatalf("second loss did not reverse back up: %d <= %d", l2, l1)
+	}
+}
+
+func TestHillClimbBounds(t *testing.T) {
+	h := NewHillClimb(8)
+	for i := 0; i < 100; i++ {
+		if got := h.Next(float64(i % 3)); got < 1 || got > 8 {
+			t.Fatalf("level %d out of bounds", got)
+		}
+	}
+}
+
+func TestByNameHillClimb(t *testing.T) {
+	fac, err := ByName("hillclimb", 64, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fac().Name() != "hillclimb" {
+		t.Fatal("wrong controller")
+	}
+}

@@ -1,0 +1,27 @@
+package core
+
+import "math"
+
+// CubicGrowth evaluates the paper's Equation (1):
+//
+//	L_cubic = L_max + beta * (dt - cbrt(L_max * alpha / beta))^3
+//
+// where lmax is the last parallelism level at which a performance loss was
+// observed, dt is the number of cubic-growth rounds since that loss, alpha
+// is the multiplicative-decrease factor and beta the growth scaling factor.
+//
+// The curve has the two regimes Figure 4 depicts: below lmax it flattens
+// into a steady state as dt approaches the inflection delay K =
+// cbrt(lmax*alpha/beta), and beyond lmax it accelerates into the probing
+// phase with ever longer steps.
+func CubicGrowth(lmax, dt, alpha, beta float64) float64 {
+	k := math.Cbrt(lmax * alpha / beta)
+	d := dt - k
+	return lmax + beta*d*d*d
+}
+
+// CubicInflection returns K, the number of cubic rounds after which the
+// curve crosses L_max and the probing phase begins.
+func CubicInflection(lmax, alpha, beta float64) float64 {
+	return math.Cbrt(lmax * alpha / beta)
+}

@@ -1,0 +1,105 @@
+package core
+
+// This file provides composable observation filters around any Controller.
+// The paper's controllers compare raw adjacent-period throughputs (Tc >= Tp);
+// in noisy environments two standard hardenings are an EWMA low-pass filter
+// on the observations and a relative loss tolerance. Both are provided as
+// decorators so any policy — RUBIC or a baseline — can be hardened
+// identically, and their effect is measurable in the ablation benchmarks.
+
+// Smoothed wraps a controller with an exponentially weighted moving average
+// over the observed throughput: the inner controller sees
+//
+//	s_t = gamma*obs + (1-gamma)*s_{t-1}
+//
+// Gamma = 1 passes observations through unchanged.
+type Smoothed struct {
+	Inner Controller
+	// Gamma is the EWMA weight of the newest observation (0 < Gamma <= 1).
+	Gamma float64
+
+	state   float64
+	started bool
+}
+
+// NewSmoothed returns a smoothing decorator. Gamma outside (0, 1] is
+// clamped to 1 (no smoothing).
+func NewSmoothed(inner Controller, gamma float64) *Smoothed {
+	if gamma <= 0 || gamma > 1 {
+		gamma = 1
+	}
+	return &Smoothed{Inner: inner, Gamma: gamma}
+}
+
+// Next implements Controller.
+func (s *Smoothed) Next(tc float64) int {
+	if !s.started {
+		s.state = tc
+		s.started = true
+	} else {
+		s.state = s.Gamma*tc + (1-s.Gamma)*s.state
+	}
+	return s.Inner.Next(s.state)
+}
+
+// Level implements Controller.
+func (s *Smoothed) Level() int { return s.Inner.Level() }
+
+// Reset implements Controller.
+func (s *Smoothed) Reset() {
+	s.state = 0
+	s.started = false
+	s.Inner.Reset()
+}
+
+// Name implements Controller.
+func (s *Smoothed) Name() string { return s.Inner.Name() + "+ewma" }
+
+// Tolerant wraps a controller so that throughput dips smaller than a
+// relative tolerance are reported as ties instead of losses: an observation
+// obs with obs >= (1-Tol)*best-so-far-since-last-loss is lifted to the
+// inner controller's last seen value. This suppresses reactions to
+// measurement noise at the cost of a slower response to genuine small
+// regressions.
+type Tolerant struct {
+	Inner Controller
+	// Tol is the relative dip treated as noise (e.g. 0.02 for 2%).
+	Tol float64
+
+	last    float64
+	started bool
+}
+
+// NewTolerant returns a tolerance decorator; negative Tol is clamped to 0.
+func NewTolerant(inner Controller, tol float64) *Tolerant {
+	if tol < 0 {
+		tol = 0
+	}
+	return &Tolerant{Inner: inner, Tol: tol}
+}
+
+// Next implements Controller.
+func (t *Tolerant) Next(tc float64) int {
+	obs := tc
+	if t.started && tc < t.last && tc >= (1-t.Tol)*t.last {
+		// Within tolerance: report a tie (the previous value), which every
+		// policy in this package treats as "no loss".
+		obs = t.last
+	}
+	t.last = obs
+	t.started = true
+	return t.Inner.Next(obs)
+}
+
+// Level implements Controller.
+func (t *Tolerant) Level() int { return t.Inner.Level() }
+
+// Reset implements Controller.
+func (t *Tolerant) Reset() {
+	t.last = 0
+	t.started = false
+	t.Inner.Reset()
+}
+
+// Name implements Controller.
+func (t *Tolerant) Name() string { return t.Inner.Name() + "+tol" }

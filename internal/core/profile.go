@@ -1,0 +1,95 @@
+package core
+
+// ProfileThenPin models the offline, profile-based tuners the paper's
+// related work discusses (e.g. Pusukuri et al.'s Thread Reinforcer): an
+// initial profiling phase sweeps a ladder of candidate levels, measuring
+// each for a fixed number of rounds, then the level with the best mean
+// throughput is pinned for the rest of the run. Being offline, it "is not
+// able to cope with dynamic changes in workload or available hardware
+// resources" (section 5) — which the churn experiments make measurable.
+type ProfileThenPin struct {
+	max         int
+	step        int
+	probeRounds int
+
+	level    int
+	pinned   bool
+	inLevel  int     // rounds measured at the current candidate
+	sum      float64 // throughput accumulated at the current candidate
+	best     float64
+	bestLvl  int
+	started  bool
+	firstObs bool
+}
+
+// NewProfileThenPin returns a controller probing levels 1, 1+step, ... up
+// to maxLevel, each for probeRounds rounds (defaults: step 4, probeRounds 3).
+func NewProfileThenPin(maxLevel, step, probeRounds int) *ProfileThenPin {
+	if maxLevel < 1 {
+		panic("core: ProfileThenPin MaxLevel < 1")
+	}
+	if step < 1 {
+		step = 4
+	}
+	if probeRounds < 1 {
+		probeRounds = 3
+	}
+	p := &ProfileThenPin{max: maxLevel, step: step, probeRounds: probeRounds}
+	p.Reset()
+	return p
+}
+
+// Reset implements Controller.
+func (p *ProfileThenPin) Reset() {
+	p.level = 1
+	p.pinned = false
+	p.inLevel = 0
+	p.sum = 0
+	p.best = -1
+	p.bestLvl = 1
+	p.firstObs = true
+}
+
+// Name implements Controller.
+func (p *ProfileThenPin) Name() string { return "profile" }
+
+// Level implements Controller.
+func (p *ProfileThenPin) Level() int { return p.level }
+
+// Next implements Controller.
+func (p *ProfileThenPin) Next(tc float64) int {
+	if p.pinned {
+		return p.level
+	}
+	if p.firstObs {
+		// The first observation measures the pre-run warmup, not a probed
+		// level; discard it.
+		p.firstObs = false
+		return p.level
+	}
+	p.sum += tc
+	p.inLevel++
+	if p.inLevel < p.probeRounds {
+		return p.level
+	}
+	// Candidate finished: record and move on.
+	mean := p.sum / float64(p.inLevel)
+	if mean > p.best {
+		p.best = mean
+		p.bestLvl = p.level
+	}
+	p.sum = 0
+	p.inLevel = 0
+	next := p.level + p.step
+	if next > p.max {
+		// Profiling done: pin the winner.
+		p.level = p.bestLvl
+		p.pinned = true
+		return p.level
+	}
+	p.level = next
+	return p.level
+}
+
+// Pinned reports whether profiling has finished.
+func (p *ProfileThenPin) Pinned() bool { return p.pinned }

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestProfileThenPinSweepsAndPins(t *testing.T) {
+	p := NewProfileThenPin(16, 4, 2)
+	if p.Level() != 1 {
+		t.Fatalf("initial level = %d", p.Level())
+	}
+	// Simulated curve with peak at level 9 (closest probe: 9).
+	curve := func(l int) float64 {
+		d := float64(l - 9)
+		return 100 - d*d
+	}
+	for i := 0; i < 100 && !p.Pinned(); i++ {
+		p.Next(curve(p.Level()))
+	}
+	if !p.Pinned() {
+		t.Fatal("never pinned")
+	}
+	if got := p.Level(); got != 9 {
+		t.Fatalf("pinned at %d, want 9 (probes 1,5,9,13; curve peak 9)", got)
+	}
+	// Once pinned, observations are ignored.
+	if got := p.Next(0); got != 9 {
+		t.Fatalf("post-pin level = %d", got)
+	}
+	if got := p.Next(1e9); got != 9 {
+		t.Fatalf("post-pin level = %d", got)
+	}
+}
+
+func TestProfileThenPinReset(t *testing.T) {
+	p := NewProfileThenPin(8, 2, 1)
+	for i := 0; i < 50; i++ {
+		p.Next(float64(i))
+	}
+	p.Reset()
+	if p.Pinned() || p.Level() != 1 {
+		t.Fatal("Reset did not restore the profiling phase")
+	}
+}
+
+func TestProfileThenPinDefaults(t *testing.T) {
+	p := NewProfileThenPin(32, 0, 0)
+	if p.step != 4 || p.probeRounds != 3 {
+		t.Fatalf("defaults = step %d, probeRounds %d", p.step, p.probeRounds)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+// growthPhase and reductionPhase are the two interleaving flags of
+// Algorithm 2.
+type growthPhase uint8
+
+const (
+	growthCubic growthPhase = iota
+	growthLinear
+)
+
+type reductionPhase uint8
+
+const (
+	reductionLinear reductionPhase = iota
+	reductionMultiplicative
+)
+
+// RUBICConfig parameterizes a RUBIC controller.
+type RUBICConfig struct {
+	// MaxLevel bounds the level (the thread-pool size S). Required.
+	MaxLevel int
+	// Alpha is the multiplicative decrease factor (0 < Alpha < 1).
+	// Defaults to 0.8, the value the evaluation uses.
+	Alpha float64
+	// Beta is the cubic growth scaling factor. Defaults to 0.1.
+	Beta float64
+	// InitialLevel is the starting parallelism level; defaults to 1
+	// ("at the application initialization, the parallelism level is set to
+	// minimum").
+	InitialLevel int
+	// DisableHybridGrowth makes every growth round cubic instead of
+	// interleaving cubic and +1 linear rounds (ablation).
+	DisableHybridGrowth bool
+	// DisableHybridReduction makes every reduction round multiplicative
+	// instead of trying a linear -2 round first (ablation).
+	DisableHybridReduction bool
+}
+
+func (c *RUBICConfig) defaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 0.8
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.1
+	}
+	if c.InitialLevel == 0 {
+		c.InitialLevel = 1
+	}
+}
+
+// RUBIC is the paper's controller (Algorithm 2): on throughput gain or tie
+// it grows the level, interleaving cubic rounds — Equation (1), taken as
+// max(L_cubic, L+1) — with linear +1 rounds so adjacent levels can be
+// compared; on throughput loss it first tries a linear -2 round and only
+// escalates to a multiplicative cut (L_max <- L; L <- Alpha*L) when the loss
+// persists, distinguishing "stepped past the peak" from "the environment
+// changed".
+type RUBIC struct {
+	cfg RUBICConfig
+
+	level     float64 // kept fractional internally; actuated rounded
+	lmax      float64
+	dtmax     float64
+	tp        float64
+	growth    growthPhase
+	reduction reductionPhase
+}
+
+// NewRUBIC returns a RUBIC controller. It panics if cfg.MaxLevel < 1, which
+// is a programming error (the pool size is always known).
+func NewRUBIC(cfg RUBICConfig) *RUBIC {
+	cfg.defaults()
+	if cfg.MaxLevel < 1 {
+		panic("core: RUBIC MaxLevel < 1")
+	}
+	r := &RUBIC{cfg: cfg}
+	r.Reset()
+	return r
+}
+
+// Reset implements Controller.
+func (r *RUBIC) Reset() {
+	r.level = float64(r.cfg.InitialLevel)
+	r.lmax = float64(r.cfg.InitialLevel)
+	r.dtmax = 0
+	r.tp = 0
+	r.growth = growthCubic
+	r.reduction = reductionLinear
+}
+
+// Name implements Controller.
+func (r *RUBIC) Name() string { return "rubic" }
+
+// Level implements Controller.
+func (r *RUBIC) Level() int { return clamp(r.level, r.cfg.MaxLevel) }
+
+// Next implements Controller with the literal structure of Algorithm 2.
+func (r *RUBIC) Next(tc float64) int {
+	if tc >= r.tp {
+		// Growth rounds (lines 6-23).
+		if r.growth == growthCubic || r.cfg.DisableHybridGrowth {
+			r.dtmax++
+			lcubic := CubicGrowth(r.lmax, r.dtmax, r.cfg.Alpha, r.cfg.Beta)
+			if lc := r.level + 1; lcubic < lc {
+				lcubic = lc
+			}
+			r.level = lcubic
+			r.growth = growthLinear
+		} else {
+			r.level++
+			r.growth = growthCubic
+		}
+		if r.tp != 0 {
+			// A genuine gain (not the forced round after a reduction, which
+			// zeroes tp): re-arm the gentle linear reduction.
+			r.reduction = reductionLinear
+		}
+		r.tp = tc
+	} else {
+		// Reduction rounds (lines 25-36).
+		r.dtmax = 0
+		if r.reduction == reductionMultiplicative || r.cfg.DisableHybridReduction {
+			r.lmax = r.level
+			r.level = r.cfg.Alpha * r.level
+			r.reduction = reductionLinear
+		} else {
+			r.level -= 2
+			r.reduction = reductionMultiplicative
+		}
+		r.growth = growthLinear
+		r.tp = 0
+	}
+	if r.level < 1 {
+		r.level = 1
+	}
+	if r.level > float64(r.cfg.MaxLevel) {
+		r.level = float64(r.cfg.MaxLevel)
+	}
+	return r.Level()
+}

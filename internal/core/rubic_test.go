@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCubicGrowthAnchors(t *testing.T) {
+	const alpha, beta = 0.8, 0.1
+	lmax := 64.0
+	k := CubicInflection(lmax, alpha, beta)
+	// At dt = K the curve crosses L_max exactly.
+	if got := CubicGrowth(lmax, k, alpha, beta); math.Abs(got-lmax) > 1e-9 {
+		t.Fatalf("CubicGrowth at inflection = %v, want %v", got, lmax)
+	}
+	// At dt = 0 the curve sits alpha*lmax below L_max (the paper's form).
+	want := lmax - alpha*lmax
+	if got := CubicGrowth(lmax, 0, alpha, beta); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CubicGrowth at 0 = %v, want %v", got, want)
+	}
+	// Strictly increasing in dt.
+	prev := math.Inf(-1)
+	for dt := 0.0; dt < 30; dt++ {
+		cur := CubicGrowth(lmax, dt, alpha, beta)
+		if cur <= prev {
+			t.Fatalf("cubic not increasing at dt=%v: %v <= %v", dt, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestCubicGrowthQuickMonotone(t *testing.T) {
+	f := func(l uint8, a, b uint8) bool {
+		lmax := float64(l%100) + 1
+		alpha := float64(a%9+1) / 10 // 0.1..0.9
+		beta := float64(b%9+1) / 100 // 0.01..0.09
+		prev := math.Inf(-1)
+		for dt := 0.0; dt < 50; dt++ {
+			cur := CubicGrowth(lmax, dt, alpha, beta)
+			if cur <= prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRUBICInitialState(t *testing.T) {
+	r := NewRUBIC(RUBICConfig{MaxLevel: 64})
+	if r.Level() != 1 {
+		t.Fatalf("initial level = %d, want 1", r.Level())
+	}
+	if r.Name() != "rubic" {
+		t.Fatalf("name = %q", r.Name())
+	}
+}
+
+// TestRUBICProbesOnGains: with monotonically non-decreasing throughput the
+// level must climb to the maximum (the probing phase of Figure 5).
+func TestRUBICProbesOnGains(t *testing.T) {
+	r := NewRUBIC(RUBICConfig{MaxLevel: 64})
+	tc := 1.0
+	rounds := 0
+	for r.Level() < 64 && rounds < 500 {
+		r.Next(tc)
+		tc += 1 // always improving
+		rounds++
+	}
+	if r.Level() != 64 {
+		t.Fatalf("level after %d improving rounds = %d, want 64", rounds, r.Level())
+	}
+	// Probing must be much faster than pure +1 stepping: the cubic phase
+	// takes longer and longer steps once past the inflection.
+	if rounds >= 126 { // 2 rounds per +1 would need 126
+		t.Fatalf("reached 64 in %d rounds; cubic probing should beat pure linear", rounds)
+	}
+}
+
+// TestRUBICHybridReduction: a single loss triggers a -2 linear cut; a
+// persistent loss escalates to a multiplicative cut to Alpha*L.
+func TestRUBICHybridReduction(t *testing.T) {
+	r := NewRUBIC(RUBICConfig{MaxLevel: 128})
+	// Drive to a known level with gains.
+	for i := 0; i < 40; i++ {
+		r.Next(float64(10 + i))
+	}
+	lvl := r.Level()
+	if lvl < 10 {
+		t.Fatalf("setup level = %d, want >= 10", lvl)
+	}
+	// First loss: linear -2.
+	got := r.Next(0.1)
+	if got != lvl-2 {
+		t.Fatalf("after first loss level = %d, want %d", got, lvl-2)
+	}
+	// The round after a reduction always grows (T_p was zeroed): +1.
+	got2 := r.Next(0.1)
+	if got2 != got+1 {
+		t.Fatalf("forced growth round level = %d, want %d", got2, got+1)
+	}
+	// Persistent loss: multiplicative cut to Alpha * level.
+	got3 := r.Next(0.05)
+	want := clamp(0.8*float64(got2), 128)
+	if got3 != want {
+		t.Fatalf("after persistent loss level = %d, want %d", got3, want)
+	}
+}
+
+// TestRUBICGainReArmsLinearReduction: after a loss followed by genuine
+// recovery, the next loss must again be linear (-2), not multiplicative.
+func TestRUBICGainReArmsLinearReduction(t *testing.T) {
+	r := NewRUBIC(RUBICConfig{MaxLevel: 128})
+	for i := 0; i < 30; i++ {
+		r.Next(float64(10 + i))
+	}
+	r.Next(1)            // loss: linear -2, tp=0
+	r.Next(5)            // forced growth, tp=5
+	lvl := r.Next(9)     // genuine gain (9 >= 5): re-arms linear reduction
+	got := r.Next(0.001) // loss again
+	if got != lvl-2 {
+		t.Fatalf("re-armed loss level = %d, want linear cut to %d", got, lvl-2)
+	}
+}
+
+// TestRUBICSteadyState: with a throughput cliff at 32 threads, RUBIC must
+// oscillate near 32 with high average utilization (the Figure 5 behaviour).
+func TestRUBICSteadyState(t *testing.T) {
+	r := NewRUBIC(RUBICConfig{MaxLevel: 128})
+	peak := 32.0
+	throughputAt := func(level int) float64 {
+		l := float64(level)
+		if l <= peak {
+			return l
+		}
+		return peak - 3*(l-peak) // steep penalty beyond the peak
+	}
+	var sum float64
+	const rounds = 600
+	const warm = 100
+	level := r.Level()
+	for i := 0; i < rounds; i++ {
+		level = r.Next(throughputAt(level))
+		if i >= warm {
+			sum += float64(level)
+		}
+	}
+	avg := sum / (rounds - warm)
+	if avg < 26 || avg > 36 {
+		t.Fatalf("steady-state average level = %.1f, want ~32 (26..36)", avg)
+	}
+}
+
+func TestRUBICLevelBounds(t *testing.T) {
+	r := NewRUBIC(RUBICConfig{MaxLevel: 8})
+	// Hammer with losses: never below 1.
+	for i := 0; i < 50; i++ {
+		if got := r.Next(-float64(i)); got < 1 {
+			t.Fatalf("level %d < 1", got)
+		}
+	}
+	r.Reset()
+	// Hammer with gains: never above MaxLevel.
+	for i := 0; i < 200; i++ {
+		if got := r.Next(float64(i)); got > 8 {
+			t.Fatalf("level %d > max 8", got)
+		}
+	}
+}
+
+// TestRUBICQuickBounds property: any throughput sequence keeps the level in
+// [1, MaxLevel].
+func TestRUBICQuickBounds(t *testing.T) {
+	f := func(obs []float64, max uint8) bool {
+		m := int(max%64) + 1
+		r := NewRUBIC(RUBICConfig{MaxLevel: m})
+		for _, o := range obs {
+			if got := r.Next(o); got < 1 || got > m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRUBICResetRestoresInitialState(t *testing.T) {
+	r := NewRUBIC(RUBICConfig{MaxLevel: 64})
+	for i := 0; i < 25; i++ {
+		r.Next(float64(i))
+	}
+	r.Reset()
+	if r.Level() != 1 {
+		t.Fatalf("level after Reset = %d, want 1", r.Level())
+	}
+	// Behaviour after reset matches a fresh controller.
+	fresh := NewRUBIC(RUBICConfig{MaxLevel: 64})
+	for i := 0; i < 25; i++ {
+		a, b := r.Next(float64(i)), fresh.Next(float64(i))
+		if a != b {
+			t.Fatalf("round %d: reset controller %d != fresh %d", i, a, b)
+		}
+	}
+}
+
+func TestRUBICAblationFlags(t *testing.T) {
+	pure := NewRUBIC(RUBICConfig{MaxLevel: 256, DisableHybridGrowth: true})
+	hybrid := NewRUBIC(RUBICConfig{MaxLevel: 256})
+	// With hybrid growth disabled, every round is cubic, so the level grows
+	// at least as fast under identical observations.
+	tp, th := 1, 1
+	for i := 0; i < 60; i++ {
+		tp = pure.Next(float64(10 + i))
+		th = hybrid.Next(float64(10 + i))
+	}
+	if tp < th {
+		t.Fatalf("pure-cubic level %d < hybrid level %d after equal gains", tp, th)
+	}
+
+	md := NewRUBIC(RUBICConfig{MaxLevel: 256, DisableHybridReduction: true})
+	for i := 0; i < 40; i++ {
+		md.Next(float64(10 + i))
+	}
+	before := md.Level()
+	after := md.Next(0.01)
+	if want := clamp(0.8*float64(before), 256); after != want {
+		t.Fatalf("pure-MD first loss level = %d, want immediate cut to %d", after, want)
+	}
+}

@@ -1,0 +1,318 @@
+package harness
+
+import (
+	"fmt"
+
+	"rubic/internal/metrics"
+
+	"rubic/internal/core"
+	"rubic/internal/sim"
+	"rubic/internal/trace"
+)
+
+// ConvergenceResult captures the section 4.6 experiment for one policy: two
+// identical conflict-free processes, the second arriving mid-run.
+type ConvergenceResult struct {
+	Policy string
+	// P1 and P2 are the per-process parallelism-level traces (Figure 10).
+	P1, P2 *trace.Series
+	// Total is the system-wide thread count trace.
+	Total *trace.Series
+	// P1Pre is P1's mean level between its convergence and P2's arrival.
+	P1Pre float64
+	// P1Post and P2Post are the mean levels over the final quarter of the
+	// run, when a converged policy should sit at the fair 32/32 split.
+	P1Post, P2Post float64
+	// TotalPost is the mean total threads over the final quarter.
+	TotalPost float64
+	// FairGap is |P1Post - P2Post|; 0 is perfectly fair.
+	FairGap float64
+	// SettleSeconds is how long after P2's arrival both processes entered
+	// (and stayed in) a ±40% band around the fair split; Settled is false
+	// when either never settles. The paper calls RUBIC's convergence
+	// "impressively fast"; this makes the claim measurable. The band is
+	// generous enough to contain RUBIC's steady-state oscillation yet far
+	// from the baselines' unfair splits.
+	SettleSeconds float64
+	Settled       bool
+}
+
+// Convergence runs the Figure 10 experiment: both processes run the
+// conflict-free red-black tree (100% lookups), P2 arrives halfway through.
+func Convergence(cfg Config, policy string, seed int64) (*ConvergenceResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fac, err := cfg.factory(policy, 2)
+	if err != nil {
+		return nil, err
+	}
+	w := sim.ConflictFreeRBT()
+	arrival := cfg.Rounds / 2
+	out, err := sim.Run(sim.Scenario{
+		Machine: cfg.machine(),
+		Procs: []sim.ProcessSpec{
+			{Name: "P1", Workload: w, Controller: fac},
+			{Name: "P2", Workload: w, Controller: fac, ArrivalRound: arrival},
+		},
+		Rounds:     cfg.Rounds,
+		NoiseSigma: cfg.NoiseSigma,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("convergence %s: %w", policy, err)
+	}
+	period := 0.01
+	arrivalT := float64(arrival) * period
+	lastQuarterT := float64(cfg.Rounds) * period * 0.75
+	r := &ConvergenceResult{
+		Policy:    policy,
+		P1:        out.Procs[0].Levels,
+		P2:        out.Procs[1].Levels,
+		Total:     out.TotalThreads,
+		P1Pre:     out.Procs[0].Levels.Window(arrivalT/2, arrivalT).Mean(),
+		P1Post:    out.Procs[0].Levels.MeanAfter(lastQuarterT),
+		P2Post:    out.Procs[1].Levels.MeanAfter(lastQuarterT),
+		TotalPost: out.TotalThreads.MeanAfter(lastQuarterT),
+	}
+	r.FairGap = r.P1Post - r.P2Post
+	if r.FairGap < 0 {
+		r.FairGap = -r.FairGap
+	}
+	fair := float64(cfg.Contexts) / 2
+	tol := fair * 0.4
+	t1, ok1 := r.P1.SettlingTime(arrivalT, fair, tol)
+	t2, ok2 := r.P2.SettlingTime(arrivalT, fair, tol)
+	if ok1 && ok2 {
+		r.Settled = true
+		r.SettleSeconds = t1 - arrivalT
+		if t2 > t1 {
+			r.SettleSeconds = t2 - arrivalT
+		}
+	}
+	return r, nil
+}
+
+// SawtoothResult captures the idealized single-process dynamics of Figures
+// 3 (AIMD) and 5 (CIMD/RUBIC): a perfectly scalable process on a noiseless
+// machine.
+type SawtoothResult struct {
+	Policy string
+	Levels *trace.Series
+	// MeanLevel is the time-averaged level after the initial climb — the
+	// dashed line of Figures 3 and 5.
+	MeanLevel float64
+	// Utilization is MeanLevel over the machine's context count.
+	Utilization float64
+}
+
+// Sawtooth runs the idealized experiment behind Figure 3 (policy "aimd",
+// alpha 0.5) and Figure 5 (policy "cimd", alpha 0.5, beta 0.1). Both figures
+// depict the *pure* section-2 models — every loss answered by a
+// multiplicative decrease, every gain by the model's growth function — so
+// "cimd" runs RUBIC's Equation (1) with the hybrid linear phases disabled.
+// Policy "rubic" runs the full Algorithm 2 for comparison (its hybrid
+// reduction absorbs isolated losses, holding the level even closer to the
+// capacity).
+func Sawtooth(cfg Config, policy string) (*SawtoothResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var fac core.Factory
+	switch policy {
+	case "aimd":
+		fac = func() core.Controller { return core.NewAIMD(cfg.MaxLevel, 0.5) }
+	case "cimd":
+		fac = func() core.Controller {
+			return core.NewRUBIC(core.RUBICConfig{
+				MaxLevel: cfg.MaxLevel, Alpha: 0.5, Beta: 0.1,
+				DisableHybridGrowth: true, DisableHybridReduction: true,
+			})
+		}
+	case "rubic":
+		fac = func() core.Controller {
+			return core.NewRUBIC(core.RUBICConfig{MaxLevel: cfg.MaxLevel, Alpha: 0.5, Beta: 0.1})
+		}
+	default:
+		return nil, fmt.Errorf("harness: sawtooth supports aimd, cimd and rubic, not %q", policy)
+	}
+	out, err := sim.Run(sim.Scenario{
+		Machine: cfg.machine(),
+		Procs: []sim.ProcessSpec{
+			{Name: policy, Workload: sim.ConflictFreeRBT(), Controller: fac},
+		},
+		Rounds:     cfg.Rounds,
+		NoiseSigma: -1, // the figures depict the noiseless expected behaviour
+		Seed:       1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	skip := float64(cfg.Rounds) * 0.01 * 0.2 // skip the first 20%: initial climb
+	mean := out.Procs[0].Levels.MeanAfter(skip)
+	return &SawtoothResult{
+		Policy:      policy,
+		Levels:      out.Procs[0].Levels,
+		MeanLevel:   mean,
+		Utilization: mean / float64(cfg.Contexts),
+	}, nil
+}
+
+// GeometryResult captures the Figure 2 phase-space experiment: two identical
+// perfectly scalable processes starting from an unequal allocation, under
+// AIAD or AIMD.
+type GeometryResult struct {
+	Scheme string
+	// L1, L2 are the two processes' level trajectories.
+	L1, L2 *trace.Series
+	// FinalGap is |L1-L2| averaged over the last quarter: AIMD drives it
+	// toward zero (convergence to the fair point), AIAD preserves it.
+	FinalGap float64
+	// InitialGap is the configured starting inequality.
+	InitialGap float64
+}
+
+// Geometry runs the Figure 2 experiment for scheme "aiad" or "aimd",
+// starting the processes at unequal levels (40 and 10 on the 64-context
+// default machine).
+//
+// Unlike the other experiments, Figure 2 is the paper's idealized geometric
+// argument: both processes receive the *same binary feedback* — loss exactly
+// when the system is oversubscribed, gain otherwise — so the system state
+// moves along 45-degree lines (AIAD) or toward the origin (the MD phase).
+// We therefore drive the controllers with synthetic feedback rather than the
+// continuous machine model, which would blur the geometry with asymmetric
+// share effects.
+func Geometry(cfg Config, scheme string) (*GeometryResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l1, l2 := cfg.Contexts*5/8, cfg.Contexts/8
+	var mk func(init int) core.Controller
+	switch scheme {
+	case "aiad":
+		mk = func(init int) core.Controller { return core.NewAIADAt(cfg.MaxLevel, 1, init) }
+	case "aimd":
+		mk = func(init int) core.Controller { return core.NewAIMDAt(cfg.MaxLevel, 0.5, init) }
+	default:
+		return nil, fmt.Errorf("harness: geometry supports aiad and aimd, not %q", scheme)
+	}
+	p1, p2 := mk(l1), mk(l2)
+	s1 := trace.NewSeries("P1/level")
+	s2 := trace.NewSeries("P2/level")
+	// Synthetic observation streams: strictly increasing on gain rounds,
+	// strictly decreasing on loss rounds, shared by both processes.
+	obs1, obs2 := 1.0, 1.0
+	lv1, lv2 := p1.Level(), p2.Level()
+	for round := 0; round < cfg.Rounds; round++ {
+		now := float64(round) * 0.01
+		s1.Add(now, float64(lv1))
+		s2.Add(now, float64(lv2))
+		if lv1+lv2 > cfg.Contexts {
+			obs1, obs2 = obs1*0.9, obs2*0.9
+		} else {
+			obs1, obs2 = obs1*1.1, obs2*1.1
+		}
+		lv1, lv2 = p1.Next(obs1), p2.Next(obs2)
+	}
+	t0 := float64(cfg.Rounds) * 0.01 * 0.75
+	gap := s1.MeanAfter(t0) - s2.MeanAfter(t0)
+	if gap < 0 {
+		gap = -gap
+	}
+	return &GeometryResult{
+		Scheme:     scheme,
+		L1:         s1,
+		L2:         s2,
+		FinalGap:   gap,
+		InitialGap: float64(l1 - l2),
+	}, nil
+}
+
+// CurvePoint is one sample of a Figure 1/6 scalability sweep.
+type CurvePoint struct {
+	Threads    int
+	Speedup    float64
+	Normalized float64 // relative to the workload's peak (Figure 6)
+}
+
+// Scalability sweeps a workload's curve from 1 to the machine's context
+// count, as measured on the simulated machine with a single pinned process —
+// regenerating Figure 1 (intruder, absolute) and Figure 6 (all, normalized).
+func Scalability(cfg Config, workloadName string) ([]CurvePoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	curve, err := workload(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.machine()
+	points := make([]CurvePoint, 0, cfg.Contexts)
+	peak := 0.0
+	for l := 1; l <= cfg.Contexts; l++ {
+		s := m.Throughput(curve, curve.Kappa(), l, l)
+		if s > peak {
+			peak = s
+		}
+		points = append(points, CurvePoint{Threads: l, Speedup: s})
+	}
+	for i := range points {
+		points[i].Normalized = points[i].Speedup / peak
+	}
+	return points, nil
+}
+
+// CubicShape samples the cubic growth function of Equation (1) for Figure 4.
+func CubicShape(lmax, alpha, beta float64, rounds int) *trace.Series {
+	s := trace.NewSeries(fmt.Sprintf("cubic(lmax=%g,a=%g,b=%g)", lmax, alpha, beta))
+	for dt := 0; dt <= rounds; dt++ {
+		s.Add(float64(dt), core.CubicGrowth(lmax, float64(dt), alpha, beta))
+	}
+	return s
+}
+
+// ConvergenceSummary aggregates the Figure 10 experiment over many seeds,
+// putting error bars on the convergence claims.
+type ConvergenceSummary struct {
+	Policy string
+	// FairGapMean / FairGapStd summarize |P1-P2| over the final quarter.
+	FairGapMean, FairGapStd float64
+	// TotalPostMean is the mean system thread count over the final quarter.
+	TotalPostMean float64
+	// SettledFrac is the fraction of repetitions that settled into the
+	// fair band (see ConvergenceResult.Settled).
+	SettledFrac float64
+	// SettleMean is the mean settle time of the settled repetitions.
+	SettleMean float64
+}
+
+// ConvergenceStats repeats the Figure 10 experiment cfg.Reps times over the
+// seed ladder and aggregates.
+func ConvergenceStats(cfg Config, policy string) (*ConvergenceSummary, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var gaps, totals, settles []float64
+	settled := 0
+	for rep := 0; rep < cfg.Reps; rep++ {
+		r, err := Convergence(cfg, policy, cfg.Seed+int64(rep))
+		if err != nil {
+			return nil, err
+		}
+		gaps = append(gaps, r.FairGap)
+		totals = append(totals, r.TotalPost)
+		if r.Settled {
+			settled++
+			settles = append(settles, r.SettleSeconds)
+		}
+	}
+	return &ConvergenceSummary{
+		Policy:        policy,
+		FairGapMean:   metrics.Mean(gaps),
+		FairGapStd:    metrics.StdDev(gaps),
+		TotalPostMean: metrics.Mean(totals),
+		SettledFrac:   float64(settled) / float64(cfg.Reps),
+		SettleMean:    metrics.Mean(settles),
+	}, nil
+}

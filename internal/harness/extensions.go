@@ -1,0 +1,323 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"rubic/internal/metrics"
+	"rubic/internal/sim"
+	"rubic/internal/trace"
+)
+
+// The experiments in this file extend the paper's evaluation beyond its
+// two-process scenarios, along the directions its future-work section
+// gestures at: more co-located processes, and dynamic arrival/departure
+// churn. DESIGN.md lists them in the experiment index as ext-scaling and
+// ext-churn.
+
+// ScalingPoint is the outcome for one process count N.
+type ScalingPoint struct {
+	N int
+	// NSBP is the mean product of speed-ups over repetitions.
+	NSBP float64
+	// Jain is the mean Jain fairness index of the processes' speed-ups
+	// (1 = perfectly fair).
+	Jain float64
+	// TotalThreads is the mean system-wide thread count.
+	TotalThreads float64
+	// OversubscribedFrac is the mean fraction of oversubscribed rounds.
+	OversubscribedFrac float64
+	// PerProcessLevel is the mean thread count per process.
+	PerProcessLevel float64
+}
+
+// Scaling runs N identical conflict-free processes for N = 1..maxN under
+// one policy: with decentralized controllers the fair outcome is an equal
+// C/N split with the machine fully used, so Jain should stay near 1 and
+// TotalThreads near the context count for every N.
+func Scaling(cfg Config, policy string, maxN int) ([]ScalingPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if maxN < 1 {
+		return nil, fmt.Errorf("harness: maxN %d < 1", maxN)
+	}
+	w := sim.ConflictFreeRBT()
+	var out []ScalingPoint
+	for n := 1; n <= maxN; n++ {
+		fac, err := cfg.factory(policy, n)
+		if err != nil {
+			return nil, err
+		}
+		var nsbps, jains, totals, overs, levels []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			procs := make([]sim.ProcessSpec, n)
+			for i := range procs {
+				procs[i] = sim.ProcessSpec{
+					Name:       fmt.Sprintf("P%d", i+1),
+					Workload:   w,
+					Controller: fac,
+				}
+			}
+			res, err := sim.Run(sim.Scenario{
+				Machine:    cfg.machine(),
+				Procs:      procs,
+				Rounds:     cfg.Rounds,
+				NoiseSigma: cfg.NoiseSigma,
+				Seed:       cfg.Seed + int64(rep),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("scaling N=%d rep %d: %w", n, rep, err)
+			}
+			sp := make([]float64, n)
+			lv := 0.0
+			for i, p := range res.Procs {
+				sp[i] = p.Speedup
+				lv += p.MeanLevel
+			}
+			nsbps = append(nsbps, res.NSBP)
+			jains = append(jains, metrics.Jain(sp))
+			totals = append(totals, res.TotalThreads.Mean())
+			overs = append(overs, res.OversubscribedFrac)
+			levels = append(levels, lv/float64(n))
+		}
+		out = append(out, ScalingPoint{
+			N:                  n,
+			NSBP:               metrics.Mean(nsbps),
+			Jain:               metrics.Mean(jains),
+			TotalThreads:       metrics.Mean(totals),
+			OversubscribedFrac: metrics.Mean(overs),
+			PerProcessLevel:    metrics.Mean(levels),
+		})
+	}
+	return out, nil
+}
+
+// ChurnPhase describes one interval of the churn schedule with the set of
+// processes present and the measured allocation.
+type ChurnPhase struct {
+	Start, End   float64 // seconds
+	Present      []string
+	TotalThreads float64
+	Jain         float64 // fairness of the present processes' mean levels
+}
+
+// ChurnResult is the outcome of the dynamic arrival/departure experiment.
+type ChurnResult struct {
+	Policy string
+	Phases []ChurnPhase
+	// Levels holds each process' full level trace.
+	Levels *trace.Set
+	// OversubscribedFrac is the whole-run oversubscription fraction.
+	OversubscribedFrac float64
+}
+
+// churnSchedule defines the experiment: four identical conflict-free
+// processes with staggered presence windows (fractions of the run),
+// producing phases with 1, 2, 3, 2 and 1 live processes.
+var churnSchedule = []struct {
+	name           string
+	arrive, depart float64 // fractions of the horizon; depart 0 = stays
+}{
+	{"P1", 0.0, 0.0},
+	{"P2", 0.2, 0.8},
+	{"P3", 0.4, 0.6},
+	{"P4", 0.9, 0.0},
+}
+
+// Churn runs a dynamic co-location scenario where processes arrive and
+// depart mid-run, and reports the per-phase allocations: an adaptive policy
+// must re-divide the machine at every transition.
+func Churn(cfg Config, policy string) (*ChurnResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fac, err := cfg.factory(policy, len(churnSchedule))
+	if err != nil {
+		return nil, err
+	}
+	w := sim.ConflictFreeRBT()
+	procs := make([]sim.ProcessSpec, len(churnSchedule))
+	for i, s := range churnSchedule {
+		procs[i] = sim.ProcessSpec{
+			Name:         s.name,
+			Workload:     w,
+			Controller:   fac,
+			ArrivalRound: int(s.arrive * float64(cfg.Rounds)),
+		}
+		if s.depart > 0 {
+			procs[i].DepartRound = int(s.depart * float64(cfg.Rounds))
+		}
+	}
+	res, err := sim.Run(sim.Scenario{
+		Machine:    cfg.machine(),
+		Procs:      procs,
+		Rounds:     cfg.Rounds,
+		NoiseSigma: cfg.NoiseSigma,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ChurnResult{
+		Policy:             policy,
+		Levels:             &trace.Set{},
+		OversubscribedFrac: res.OversubscribedFrac,
+	}
+	for _, p := range res.Procs {
+		out.Levels.Add(p.Levels)
+	}
+
+	// Build the phase boundaries from the schedule.
+	horizon := float64(cfg.Rounds) * 0.01
+	boundaries := map[float64]struct{}{0: {}, horizon: {}}
+	for _, s := range churnSchedule {
+		boundaries[s.arrive*horizon] = struct{}{}
+		if s.depart > 0 {
+			boundaries[s.depart*horizon] = struct{}{}
+		}
+	}
+	cuts := make([]float64, 0, len(boundaries))
+	for b := range boundaries {
+		cuts = append(cuts, b)
+	}
+	sortFloats(cuts)
+
+	for i := 1; i < len(cuts); i++ {
+		lo, hi := cuts[i-1], cuts[i]
+		// Skip the first 20% of each phase: adaptation transient.
+		mLo := lo + (hi-lo)*0.2
+		phase := ChurnPhase{Start: lo, End: hi}
+		var levels []float64
+		total := 0.0
+		for j, p := range res.Procs {
+			s := churnSchedule[j]
+			present := s.arrive*horizon <= lo && (s.depart == 0 || s.depart*horizon >= hi)
+			if !present {
+				continue
+			}
+			phase.Present = append(phase.Present, p.Name)
+			l := p.Levels.Window(mLo, hi).Mean()
+			levels = append(levels, l)
+			total += l
+		}
+		phase.TotalThreads = total
+		phase.Jain = metrics.Jain(levels)
+		out.Phases = append(out.Phases, phase)
+	}
+	return out, nil
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// WriteScalingReport renders the ext-scaling table.
+func WriteScalingReport(w interface{ Write([]byte) (int, error) }, points []ScalingPoint, policy string, contexts int) error {
+	_, err := fmt.Fprintf(w, "ext-scaling — %d-context machine, identical conflict-free processes, policy %s\n", contexts, policy)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "N   NSBP        Jain    total-threads  per-proc  oversub%")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-3d %-11.1f %-7.3f %-14.1f %-9.1f %.0f%%\n",
+			p.N, p.NSBP, p.Jain, p.TotalThreads, p.PerProcessLevel, p.OversubscribedFrac*100)
+	}
+	return nil
+}
+
+// WriteChurnReport renders the ext-churn table.
+func WriteChurnReport(w interface{ Write([]byte) (int, error) }, r *ChurnResult, contexts int) error {
+	fmt.Fprintf(w, "ext-churn — staggered arrivals/departures, policy %s (contexts = %d)\n", r.Policy, contexts)
+	fmt.Fprintln(w, "phase            present            total-threads  jain")
+	for _, p := range r.Phases {
+		fmt.Fprintf(w, "[%5.1fs %5.1fs)  %-18s %-14.1f %.3f\n",
+			p.Start, p.End, fmt.Sprint(p.Present), p.TotalThreads, p.Jain)
+	}
+	fmt.Fprintf(w, "oversubscribed rounds: %.0f%%\n", r.OversubscribedFrac*100)
+	return nil
+}
+
+// HWPhase summarizes one interval of the dynamic-hardware experiment.
+type HWPhase struct {
+	Start, End float64
+	Contexts   int
+	MeanLevel  float64
+}
+
+// HWResult is the outcome of the ext-hw experiment for one policy.
+type HWResult struct {
+	Policy string
+	Phases []HWPhase
+}
+
+// DynamicHardware runs a single scalable process while the machine shrinks
+// to half capacity mid-run and grows back near the end — the "available
+// hardware resources change" scenario the paper's introduction motivates.
+func DynamicHardware(cfg Config, policy string) (*HWResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fac, err := cfg.factory(policy, 1)
+	if err != nil {
+		return nil, err
+	}
+	shrink := cfg.Rounds / 3
+	grow := cfg.Rounds * 2 / 3
+	res, err := sim.Run(sim.Scenario{
+		Machine: cfg.machine(),
+		Procs: []sim.ProcessSpec{
+			{Name: "p", Workload: sim.ConflictFreeRBT(), Controller: fac},
+		},
+		Rounds:     cfg.Rounds,
+		NoiseSigma: cfg.NoiseSigma,
+		Seed:       cfg.Seed,
+		ContextChanges: []sim.ContextChange{
+			{Round: shrink, Contexts: cfg.Contexts / 2},
+			{Round: grow, Contexts: cfg.Contexts},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	period := 0.01
+	cuts := []struct {
+		lo, hi   float64
+		contexts int
+	}{
+		{0, float64(shrink) * period, cfg.Contexts},
+		{float64(shrink) * period, float64(grow) * period, cfg.Contexts / 2},
+		{float64(grow) * period, float64(cfg.Rounds) * period, cfg.Contexts},
+	}
+	out := &HWResult{Policy: policy}
+	lv := res.Procs[0].Levels
+	for _, c := range cuts {
+		// Skip each phase's first 30%: adaptation transient.
+		mLo := c.lo + (c.hi-c.lo)*0.3
+		out.Phases = append(out.Phases, HWPhase{
+			Start:     c.lo,
+			End:       c.hi,
+			Contexts:  c.contexts,
+			MeanLevel: lv.Window(mLo, c.hi).Mean(),
+		})
+	}
+	return out, nil
+}
+
+// WriteHWReport renders the ext-hw table.
+func WriteHWReport(w io.Writer, results []*HWResult) error {
+	fmt.Fprintln(w, "ext-hw — machine shrinks to half capacity mid-run, then grows back")
+	fmt.Fprintln(w, "policy    phase            contexts  mean-level")
+	for _, r := range results {
+		for _, p := range r.Phases {
+			fmt.Fprintf(w, "%-9s [%5.1fs %5.1fs)  %-9d %.1f\n",
+				r.Policy, p.Start, p.End, p.Contexts, p.MeanLevel)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScalingFairAndFull(t *testing.T) {
+	cfg := testConfig()
+	cfg.Reps = 4
+	points, err := Scaling(cfg, "rubic", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	for _, p := range points {
+		// Decentralized RUBIC must divide the machine fairly at every N.
+		if p.Jain < 0.9 {
+			t.Errorf("N=%d: Jain %.3f, want >= 0.9", p.N, p.Jain)
+		}
+		// And keep the machine well used without oversubscribing on average.
+		if p.TotalThreads > float64(cfg.Contexts)+2 {
+			t.Errorf("N=%d: total threads %.1f above capacity", p.N, p.TotalThreads)
+		}
+		if p.N >= 2 && p.TotalThreads < float64(cfg.Contexts)*0.75 {
+			t.Errorf("N=%d: total threads %.1f, machine underused", p.N, p.TotalThreads)
+		}
+	}
+	// Per-process share should shrink roughly like C/N.
+	if points[0].PerProcessLevel < points[1].PerProcessLevel {
+		t.Errorf("per-process level should shrink with N: %v", points)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteScalingReport(&buf, points, "rubic", cfg.Contexts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ext-scaling") {
+		t.Error("scaling report missing title")
+	}
+
+	if _, err := Scaling(cfg, "rubic", 0); err == nil {
+		t.Error("maxN 0 accepted")
+	}
+	if _, err := Scaling(cfg, "bogus", 2); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestChurnAdaptation(t *testing.T) {
+	cfg := testConfig()
+	r, err := Churn(cfg, "rubic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Phases) < 4 {
+		t.Fatalf("got %d phases, want >= 4", len(r.Phases))
+	}
+	for _, p := range r.Phases {
+		if len(p.Present) == 0 {
+			continue
+		}
+		if p.Jain < 0.85 {
+			t.Errorf("phase [%.1f,%.1f) with %v: Jain %.3f, want >= 0.85",
+				p.Start, p.End, p.Present, p.Jain)
+		}
+		if p.TotalThreads > float64(cfg.Contexts)*1.10 {
+			t.Errorf("phase [%.1f,%.1f): total %.1f well above capacity",
+				p.Start, p.End, p.TotalThreads)
+		}
+	}
+	// RUBIC must not oversubscribe for long overall.
+	if r.OversubscribedFrac > 0.40 {
+		t.Errorf("oversubscribed %.0f%% of rounds", r.OversubscribedFrac*100)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChurnReport(&buf, r, cfg.Contexts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ext-churn") {
+		t.Error("churn report missing title")
+	}
+
+	if _, err := Churn(cfg, "bogus"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestChurnRUBICBeatsGreedyBaseline: under churn, greedy oversubscribes in
+// every multi-process phase while RUBIC does not.
+func TestChurnRUBICBeatsGreedyBaseline(t *testing.T) {
+	cfg := testConfig()
+	rubic, err := Churn(cfg, "rubic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := Churn(cfg, "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.OversubscribedFrac <= rubic.OversubscribedFrac {
+		t.Errorf("greedy oversub %.2f <= rubic %.2f",
+			greedy.OversubscribedFrac, rubic.OversubscribedFrac)
+	}
+}
+
+func TestDynamicHardware(t *testing.T) {
+	cfg := testConfig()
+	cfg.Rounds = 1200
+	r, err := DynamicHardware(cfg, "rubic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Phases) != 3 {
+		t.Fatalf("got %d phases", len(r.Phases))
+	}
+	full1, half, full2 := r.Phases[0], r.Phases[1], r.Phases[2]
+	if full1.MeanLevel < 50 {
+		t.Errorf("initial full-machine level %.1f, want near 64", full1.MeanLevel)
+	}
+	if half.MeanLevel > 42 {
+		t.Errorf("half-machine level %.1f, want to shrink toward 32", half.MeanLevel)
+	}
+	if full2.MeanLevel < 48 {
+		t.Errorf("restored-machine level %.1f, want to re-probe toward 64", full2.MeanLevel)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteHWReport(&buf, []*HWResult{r}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ext-hw") {
+		t.Error("hw report missing title")
+	}
+
+	if _, err := DynamicHardware(cfg, "bogus"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Package harness drives the paper's experiments end to end: it assembles
+// scenarios from workload names and policy names, runs them repeatedly over
+// a deterministic seed ladder, aggregates the metrics each figure reports,
+// and renders the result tables. One entry point exists for every figure of
+// the evaluation (see DESIGN.md's experiment index).
+package harness
+
+import (
+	"fmt"
+
+	"rubic/internal/core"
+	"rubic/internal/sim"
+)
+
+// Config collects the experiment parameters shared by all figures. The zero
+// value is not usable; call Default for the paper's setup.
+type Config struct {
+	// Contexts is the machine's hardware context count (paper: 64).
+	Contexts int
+	// MaxLevel is each process' thread-pool size, the upper bound of its
+	// parallelism level (2x contexts, so greedy races are expressible).
+	MaxLevel int
+	// Rounds is the controller rounds per run (paper: 10 s at 10 ms = 1000).
+	Rounds int
+	// Reps is the number of repetitions per experiment (paper: 50).
+	Reps int
+	// Seed is the base of the seed ladder; repetition r uses Seed + r.
+	Seed int64
+	// NoiseSigma is the relative measurement noise (see sim.Scenario).
+	NoiseSigma float64
+}
+
+// Default returns the paper's experimental setup: a 64-context machine,
+// 128-thread pools, 10-second runs, 50 repetitions.
+func Default() Config {
+	return Config{
+		Contexts:   64,
+		MaxLevel:   128,
+		Rounds:     1000,
+		Reps:       50,
+		Seed:       1,
+		NoiseSigma: 0.01,
+	}
+}
+
+// Validate reports configuration errors early.
+func (c Config) Validate() error {
+	switch {
+	case c.Contexts < 1:
+		return fmt.Errorf("harness: Contexts %d < 1", c.Contexts)
+	case c.MaxLevel < 1:
+		return fmt.Errorf("harness: MaxLevel %d < 1", c.MaxLevel)
+	case c.Rounds < 1:
+		return fmt.Errorf("harness: Rounds %d < 1", c.Rounds)
+	case c.Reps < 1:
+		return fmt.Errorf("harness: Reps %d < 1", c.Reps)
+	}
+	return nil
+}
+
+// Pairs returns the paper's three workload pairs in presentation order.
+func Pairs() [][2]string {
+	return [][2]string{
+		{"intruder", "vacation"},
+		{"intruder", "rbt"},
+		{"vacation", "rbt"},
+	}
+}
+
+// Workloads returns the three single-process workloads in presentation
+// order.
+func Workloads() []string {
+	return []string{"intruder", "vacation", "rbt"}
+}
+
+// factory resolves a policy factory for the configuration.
+func (c Config) factory(policy string, processes int) (core.Factory, error) {
+	return core.ByName(policy, c.Contexts, processes, c.MaxLevel)
+}
+
+// workload resolves a workload curve.
+func workload(name string) (*sim.Interp, error) {
+	return sim.WorkloadByName(name)
+}
+
+// machine returns the simulated machine.
+func (c Config) machine() sim.Machine {
+	return sim.Machine{Contexts: c.Contexts}
+}

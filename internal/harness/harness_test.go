@@ -1,0 +1,463 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testConfig returns a reduced-rep configuration so the suite stays fast;
+// the full 50-rep runs live in the benchmark harness.
+func testConfig() Config {
+	cfg := Default()
+	cfg.Reps = 8
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.Contexts = 0 },
+		func(c *Config) { c.MaxLevel = 0 },
+		func(c *Config) { c.Rounds = 0 },
+		func(c *Config) { c.Reps = 0 },
+	} {
+		cfg := Default()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("invalid config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestPairwiseFigure7(t *testing.T) {
+	cfg := testConfig()
+	res, err := Pairwise(cfg, []string{"greedy", "equalshare", "f2c2", "ebs", "rubic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 15 { // 3 pairs x 5 policies
+		t.Fatalf("got %d cells, want 15", len(res.Cells))
+	}
+
+	// Figure 7a orderings: RUBIC wins every pair; Greedy is worst.
+	for _, pair := range Pairs() {
+		rub := res.Cell(pair[0], pair[1], "rubic")
+		for _, pol := range []string{"greedy", "equalshare", "f2c2", "ebs"} {
+			other := res.Cell(pair[0], pair[1], pol)
+			if other == nil || rub == nil {
+				t.Fatalf("missing cell for %v", pair)
+			}
+			if rub.NSBP <= other.NSBP {
+				t.Errorf("pair %v: rubic NSBP %.1f <= %s %.1f", pair, rub.NSBP, pol, other.NSBP)
+			}
+			if pol != "greedy" {
+				greedy := res.Cell(pair[0], pair[1], "greedy")
+				if greedy.NSBP >= other.NSBP {
+					t.Errorf("pair %v: greedy %.1f >= %s %.1f; greedy should be worst",
+						pair, greedy.NSBP, pol, other.NSBP)
+				}
+			}
+		}
+	}
+
+	// Figure 7 geometric means: rubic > ebs > greedy; efficiency likewise.
+	if res.GeoNSBP["rubic"] <= res.GeoNSBP["ebs"] {
+		t.Errorf("geomean NSBP: rubic %.1f <= ebs %.1f", res.GeoNSBP["rubic"], res.GeoNSBP["ebs"])
+	}
+	if res.GeoNSBP["greedy"] >= res.GeoNSBP["equalshare"] {
+		t.Errorf("geomean NSBP: greedy not worst")
+	}
+	if res.GeoEfficiency["rubic"] <= res.GeoEfficiency["ebs"] {
+		t.Errorf("geomean efficiency: rubic <= ebs")
+	}
+
+	// Figure 7b: RUBIC's total threads stay below the oversubscription
+	// line on every pair; EBS/F2C2 exceed it on the rbt pairs.
+	for _, pair := range Pairs() {
+		if c := res.Cell(pair[0], pair[1], "rubic"); c.TotalThreads > float64(cfg.Contexts) {
+			t.Errorf("pair %v: rubic mean threads %.1f > %d", pair, c.TotalThreads, cfg.Contexts)
+		}
+	}
+	ebsRbt := res.Cell("intruder", "rbt", "ebs")
+	f2c2Rbt := res.Cell("vacation", "rbt", "f2c2")
+	if ebsRbt.OversubscribedFrac == 0 && f2c2Rbt.OversubscribedFrac == 0 {
+		t.Errorf("AIAD policies never oversubscribed on rbt pairs; expected races")
+	}
+
+	// Figure 8b: RUBIC is the most stable adaptive policy on average
+	// (lowest level-std), F2C2 the least stable.
+	stdOf := func(pol string) float64 {
+		sum := 0.0
+		n := 0
+		for i := range res.Cells {
+			c := &res.Cells[i]
+			if c.Policy == pol {
+				sum += c.Procs[0].LevelStd + c.Procs[1].LevelStd
+				n += 2
+			}
+		}
+		return sum / float64(n)
+	}
+	if stdOf("rubic") >= stdOf("f2c2") {
+		t.Errorf("stability: rubic std %.2f >= f2c2 std %.2f", stdOf("rubic"), stdOf("f2c2"))
+	}
+
+	// Section 4.5.1 text: on Int/Vac, EBS is comparable to RUBIC (both
+	// peaks fit in the machine).
+	rub := res.Cell("intruder", "vacation", "rubic")
+	ebs := res.Cell("intruder", "vacation", "ebs")
+	if ebs.NSBP < rub.NSBP*0.75 {
+		t.Errorf("int/vac: EBS %.1f not comparable to RUBIC %.1f", ebs.NSBP, rub.NSBP)
+	}
+}
+
+func TestHeadlineNumbers(t *testing.T) {
+	cfg := testConfig()
+	res, err := Pairwise(cfg, []string{"greedy", "equalshare", "f2c2", "ebs", "rubic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ComputeHeadline(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: +26% over EBS. Accept the right ballpark (10%..60%).
+	gain := h.NSBPGainOver["ebs"]
+	if gain < 0.10 || gain > 0.60 {
+		t.Errorf("NSBP gain over EBS = %+.0f%%, want tens of percent (paper: +26%%)", gain*100)
+	}
+	// Paper: +500% over Greedy; our model yields several-fold as well.
+	if h.NSBPGainOver["greedy"] < 3 {
+		t.Errorf("NSBP gain over Greedy = %+.0f%%, want >= +300%%", h.NSBPGainOver["greedy"]*100)
+	}
+	// Paper: efficiency 2x over EBS, 66x over Greedy.
+	if h.EfficiencyFactorOver["ebs"] < 1.1 {
+		t.Errorf("efficiency factor over EBS = %.2f, want > 1.1", h.EfficiencyFactorOver["ebs"])
+	}
+	if h.EfficiencyFactorOver["greedy"] < 20 {
+		t.Errorf("efficiency factor over Greedy = %.1f, want >> 20", h.EfficiencyFactorOver["greedy"])
+	}
+
+	if _, err := ComputeHeadline(&PairwiseResult{GeoNSBP: map[string]float64{"ebs": 1}}); err == nil {
+		t.Error("headline without rubic accepted")
+	}
+}
+
+func TestSingleFigure9(t *testing.T) {
+	cfg := testConfig()
+	res, err := Single(cfg, []string{"greedy", "f2c2", "ebs", "rubic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 12 {
+		t.Fatalf("got %d cells, want 12", len(res.Cells))
+	}
+	// Figure 9a: RUBIC comparable with the best policy on every workload.
+	for _, w := range Workloads() {
+		best := 0.0
+		for _, pol := range []string{"greedy", "f2c2", "ebs", "rubic"} {
+			if c := res.Cell(w, pol); c.Speedup > best {
+				best = c.Speedup
+			}
+		}
+		rub := res.Cell(w, "rubic")
+		if rub.Speedup < 0.8*best {
+			t.Errorf("%s: rubic speedup %.2f < 80%% of best %.2f", w, rub.Speedup, best)
+		}
+	}
+	// Greedy hammers intruder (level 64, Figure 9a/9b).
+	if g := res.Cell("intruder", "greedy"); g.Speedup > 1 || g.MeanLevel != 64 {
+		t.Errorf("greedy on intruder: speedup %.2f level %.1f, want collapse at 64", g.Speedup, g.MeanLevel)
+	}
+	// Figure 9c: RUBIC's stability at least comparable to the others on
+	// average.
+	avgStd := func(pol string) float64 {
+		sum := 0.0
+		for _, w := range Workloads() {
+			sum += res.Cell(w, pol).LevelStd
+		}
+		return sum / float64(len(Workloads()))
+	}
+	if avgStd("rubic") > avgStd("f2c2") {
+		t.Errorf("rubic avg level-std %.2f > f2c2 %.2f", avgStd("rubic"), avgStd("f2c2"))
+	}
+}
+
+func TestConvergenceFigure10(t *testing.T) {
+	cfg := testConfig()
+	var results []*ConvergenceResult
+	for _, pol := range []string{"f2c2", "ebs", "rubic"} {
+		r, err := Convergence(cfg, pol, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	rubic := results[2]
+	// RUBIC: both processes near the fair 32/32 split, small gap.
+	if rubic.FairGap > 10 {
+		t.Errorf("rubic fair gap %.1f, want small", rubic.FairGap)
+	}
+	if rubic.P1Post < 24 || rubic.P1Post > 40 || rubic.P2Post < 24 || rubic.P2Post > 40 {
+		t.Errorf("rubic post levels (%.1f, %.1f), want near 32", rubic.P1Post, rubic.P2Post)
+	}
+	if rubic.TotalPost > float64(cfg.Contexts)+4 {
+		t.Errorf("rubic total post %.1f, want <= ~%d", rubic.TotalPost, cfg.Contexts)
+	}
+	// Baselines: worse oversubscription or worse fairness than RUBIC.
+	for _, r := range results[:2] {
+		if r.TotalPost <= rubic.TotalPost && r.FairGap <= rubic.FairGap {
+			t.Errorf("%s converged as well as rubic (total %.1f gap %.1f)", r.Policy, r.TotalPost, r.FairGap)
+		}
+	}
+	// Report renders.
+	var buf bytes.Buffer
+	if err := WriteConvergenceReport(&buf, results, cfg.Contexts); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rubic", "ebs", "f2c2", "fair-gap"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("convergence report missing %q", want)
+		}
+	}
+}
+
+func TestSawtoothFigures3And5(t *testing.T) {
+	cfg := testConfig()
+	cfg.Rounds = 2000
+	aimd, err := Sawtooth(cfg, "aimd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cimd, err := Sawtooth(cfg, "cimd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rubic, err := Sawtooth(cfg, "rubic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 3: AIMD(0.5) averages ~75% utilization.
+	if aimd.Utilization < 0.65 || aimd.Utilization > 0.88 {
+		t.Errorf("AIMD utilization %.0f%%, want ~75%%", aimd.Utilization*100)
+	}
+	// Figure 5: pure CIMD clearly above AIMD (paper: ~94%; our model ~85%).
+	if cimd.Utilization < 0.78 {
+		t.Errorf("CIMD utilization %.0f%%, want >= 78%%", cimd.Utilization*100)
+	}
+	if cimd.Utilization <= aimd.Utilization {
+		t.Errorf("CIMD %.2f <= AIMD %.2f utilization", cimd.Utilization, aimd.Utilization)
+	}
+	// Full RUBIC (hybrid reduction) holds the level even closer to capacity.
+	if rubic.Utilization < cimd.Utilization {
+		t.Errorf("RUBIC %.2f < CIMD %.2f utilization", rubic.Utilization, cimd.Utilization)
+	}
+	if _, err := Sawtooth(cfg, "ebs"); err == nil {
+		t.Error("sawtooth accepted unsupported policy")
+	}
+}
+
+func TestGeometryFigure2(t *testing.T) {
+	cfg := testConfig()
+	aiad, err := Geometry(cfg, "aiad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aimd, err := Geometry(cfg, "aimd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 2a: AIAD preserves the initial inequality.
+	if aiad.FinalGap < aiad.InitialGap*0.5 {
+		t.Errorf("AIAD gap shrank from %.0f to %.1f; additive moves should preserve it",
+			aiad.InitialGap, aiad.FinalGap)
+	}
+	// Figure 2b: AIMD converges toward the fair allocation.
+	if aimd.FinalGap > aimd.InitialGap*0.25 {
+		t.Errorf("AIMD gap only shrank from %.0f to %.1f; should approach zero",
+			aimd.InitialGap, aimd.FinalGap)
+	}
+	if _, err := Geometry(cfg, "rubic"); err == nil {
+		t.Error("geometry accepted unsupported scheme")
+	}
+}
+
+func TestScalabilityFigures1And6(t *testing.T) {
+	cfg := testConfig()
+	sweep, err := Scalability(cfg, "intruder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != cfg.Contexts {
+		t.Fatalf("sweep has %d points, want %d", len(sweep), cfg.Contexts)
+	}
+	// Figure 1: peak at 7 threads, < half sequential at 64.
+	bestIdx := 0
+	for i, p := range sweep {
+		if p.Speedup > sweep[bestIdx].Speedup {
+			bestIdx = i
+		}
+	}
+	if sweep[bestIdx].Threads != 7 {
+		t.Errorf("intruder peak at %d threads, want 7", sweep[bestIdx].Threads)
+	}
+	if last := sweep[len(sweep)-1]; last.Speedup >= 0.5*sweep[0].Speedup {
+		t.Errorf("intruder at 64 = %.2f, want < half of sequential %.2f", last.Speedup, sweep[0].Speedup)
+	}
+	if sweep[bestIdx].Normalized != 1 {
+		t.Errorf("normalized peak = %v, want 1", sweep[bestIdx].Normalized)
+	}
+	if _, err := Scalability(cfg, "bogus"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestCubicShapeFigure4(t *testing.T) {
+	s := CubicShape(64, 0.8, 0.1, 20)
+	if s.Len() != 21 {
+		t.Fatalf("len = %d, want 21", s.Len())
+	}
+	// Steady state: approaches 64 from below; probing: exceeds it after the
+	// inflection (K = cbrt(64*0.8/0.1) = 8).
+	if s.V[8] < 63.9 || s.V[8] > 64.1 {
+		t.Errorf("value at inflection = %.2f, want 64", s.V[8])
+	}
+	if s.V[0] >= 64 || s.V[20] <= 64 {
+		t.Errorf("cubic shape wrong: start %.1f (want <64), end %.1f (want >64)", s.V[0], s.V[20])
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	cfg := testConfig()
+	cfg.Reps = 3
+	pw, err := Pairwise(cfg, []string{"greedy", "ebs", "rubic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePairwiseReport(&buf, pw, cfg.Contexts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 7", "Figure 8", "NSBP", "intruder/vacation", "geometric means"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pairwise report missing %q", want)
+		}
+	}
+
+	h, err := ComputeHeadline(pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteHeadlineReport(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Headline") {
+		t.Error("headline report missing title")
+	}
+
+	sg, err := Single(cfg, []string{"greedy", "rubic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteSingleReport(&buf, sg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 9") {
+		t.Error("single report missing title")
+	}
+
+	st, err := Sawtooth(cfg, "rubic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteSawtoothReport(&buf, []*SawtoothResult{st}, cfg.Contexts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figures 3 & 5") {
+		t.Error("sawtooth report missing title")
+	}
+
+	geo, err := Geometry(cfg, "aimd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteGeometryReport(&buf, []*GeometryResult{geo}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Error("geometry report missing title")
+	}
+
+	sw, err := Scalability(cfg, "vacation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteScalabilityReport(&buf, map[string][]CurvePoint{"vacation": sw}, []int{1, 8, 64}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "vacation") {
+		t.Error("scalability report missing workload")
+	}
+}
+
+// TestConvergenceSettlingSpeed pins the "impressively fast" claim: RUBIC
+// settles both processes into the fair band within about a second of P2's
+// arrival, while the AIAD baselines do not settle at all.
+func TestConvergenceSettlingSpeed(t *testing.T) {
+	cfg := testConfig()
+	rubic, err := Convergence(cfg, "rubic", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rubic.Settled {
+		t.Fatal("rubic never settled into the fair band")
+	}
+	if rubic.SettleSeconds > 2.0 {
+		t.Errorf("rubic settled in %.2fs, want <= 2s", rubic.SettleSeconds)
+	}
+	for _, pol := range []string{"ebs", "f2c2"} {
+		r, err := Convergence(cfg, pol, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Settled && r.SettleSeconds < rubic.SettleSeconds {
+			t.Errorf("%s settled faster (%.2fs) than rubic (%.2fs)", pol, r.SettleSeconds, rubic.SettleSeconds)
+		}
+	}
+}
+
+// TestConvergenceStats aggregates Figure 10 over seeds: RUBIC settles in
+// (almost) every repetition with a small mean gap; EBS essentially never.
+func TestConvergenceStats(t *testing.T) {
+	cfg := testConfig()
+	cfg.Reps = 10
+	rubic, err := ConvergenceStats(cfg, "rubic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rubic.SettledFrac < 0.8 {
+		t.Errorf("rubic settled in only %.0f%% of reps", rubic.SettledFrac*100)
+	}
+	if rubic.FairGapMean > 10 {
+		t.Errorf("rubic mean fair gap %.1f", rubic.FairGapMean)
+	}
+	ebs, err := ConvergenceStats(cfg, "ebs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ebs.SettledFrac >= rubic.SettledFrac {
+		t.Errorf("ebs settled as often as rubic (%.2f >= %.2f)", ebs.SettledFrac, rubic.SettledFrac)
+	}
+	if ebs.FairGapMean <= rubic.FairGapMean {
+		t.Errorf("ebs mean gap %.1f <= rubic %.1f", ebs.FairGapMean, rubic.FairGapMean)
+	}
+}

@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"fmt"
+
+	"rubic/internal/metrics"
+	"rubic/internal/sim"
+)
+
+// ProcStats aggregates one process' outcome across the repetitions of one
+// experiment cell.
+type ProcStats struct {
+	Workload string
+	// Speedup is the mean speed-up across repetitions (Figures 8a / 9a).
+	Speedup float64
+	// MeanLevel is the mean of per-repetition mean levels (Figures 8c / 9b).
+	MeanLevel float64
+	// LevelStd is the standard deviation of per-repetition mean levels —
+	// the paper's stability metric (Figures 8b / 9c, lower is better).
+	LevelStd float64
+}
+
+// PairwiseCell is one (pair, policy) cell of the Figure 7/8 experiment.
+type PairwiseCell struct {
+	Pair   [2]string
+	Policy string
+	// NSBP is the mean product of speed-ups (Figure 7a).
+	NSBP float64
+	// NSBPStd is its standard deviation across repetitions.
+	NSBPStd float64
+	// TotalThreads is the mean system-wide thread count (Figure 7b).
+	TotalThreads float64
+	// TotalEfficiency is the mean product of efficiencies (Figure 7c).
+	TotalEfficiency float64
+	// OversubscribedFrac is the mean fraction of oversubscribed rounds.
+	OversubscribedFrac float64
+	// Procs holds the two processes' aggregated stats (Figure 8).
+	Procs [2]ProcStats
+}
+
+// PairwiseResult is the complete Figure 7/8 dataset: one cell per
+// (pair, policy), plus per-policy geometric means across pairs.
+type PairwiseResult struct {
+	Cells []PairwiseCell
+	// GeoNSBP maps policy to the geometric mean of its NSBP over all pairs
+	// (the "average" bars of Figure 7a).
+	GeoNSBP map[string]float64
+	// GeoEfficiency is the analogous geometric mean of total efficiency.
+	GeoEfficiency map[string]float64
+}
+
+// Cell returns the cell for a pair and policy, or nil.
+func (r *PairwiseResult) Cell(a, b, policy string) *PairwiseCell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Pair[0] == a && c.Pair[1] == b && c.Policy == policy {
+			return c
+		}
+	}
+	return nil
+}
+
+// Pairwise runs the pairwise co-location experiment of section 4.5.1 for the
+// given policies over the paper's three workload pairs.
+func Pairwise(cfg Config, policies []string) (*PairwiseResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &PairwiseResult{
+		GeoNSBP:       make(map[string]float64, len(policies)),
+		GeoEfficiency: make(map[string]float64, len(policies)),
+	}
+	perPolicyNSBP := make(map[string][]float64, len(policies))
+	perPolicyEff := make(map[string][]float64, len(policies))
+
+	for _, pair := range Pairs() {
+		w0, err := workload(pair[0])
+		if err != nil {
+			return nil, err
+		}
+		w1, err := workload(pair[1])
+		if err != nil {
+			return nil, err
+		}
+		for _, pol := range policies {
+			fac, err := cfg.factory(pol, 2)
+			if err != nil {
+				return nil, err
+			}
+			var (
+				nsbps   []float64
+				effs    []float64
+				threads []float64
+				overs   []float64
+				sp      [2][]float64
+				lv      [2][]float64
+			)
+			for rep := 0; rep < cfg.Reps; rep++ {
+				out, err := sim.Run(sim.Scenario{
+					Machine: cfg.machine(),
+					Procs: []sim.ProcessSpec{
+						{Name: pair[0], Workload: w0, Controller: fac},
+						{Name: pair[1], Workload: w1, Controller: fac},
+					},
+					Rounds:     cfg.Rounds,
+					NoiseSigma: cfg.NoiseSigma,
+					Seed:       cfg.Seed + int64(rep),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("pairwise %v/%s rep %d: %w", pair, pol, rep, err)
+				}
+				nsbps = append(nsbps, out.NSBP)
+				effs = append(effs, out.TotalEfficiency)
+				threads = append(threads, out.TotalThreads.Mean())
+				overs = append(overs, out.OversubscribedFrac)
+				for i := 0; i < 2; i++ {
+					sp[i] = append(sp[i], out.Procs[i].Speedup)
+					lv[i] = append(lv[i], out.Procs[i].MeanLevel)
+				}
+			}
+			cell := PairwiseCell{
+				Pair:               pair,
+				Policy:             pol,
+				NSBP:               metrics.Mean(nsbps),
+				NSBPStd:            metrics.StdDev(nsbps),
+				TotalThreads:       metrics.Mean(threads),
+				TotalEfficiency:    metrics.Mean(effs),
+				OversubscribedFrac: metrics.Mean(overs),
+			}
+			for i := 0; i < 2; i++ {
+				cell.Procs[i] = ProcStats{
+					Workload:  pair[i],
+					Speedup:   metrics.Mean(sp[i]),
+					MeanLevel: metrics.Mean(lv[i]),
+					LevelStd:  metrics.StdDev(lv[i]),
+				}
+			}
+			res.Cells = append(res.Cells, cell)
+			perPolicyNSBP[pol] = append(perPolicyNSBP[pol], cell.NSBP)
+			perPolicyEff[pol] = append(perPolicyEff[pol], cell.TotalEfficiency)
+		}
+	}
+	for pol, xs := range perPolicyNSBP {
+		g, err := metrics.GeoMean(xs)
+		if err != nil {
+			return nil, fmt.Errorf("geomean NSBP for %s: %w", pol, err)
+		}
+		res.GeoNSBP[pol] = g
+	}
+	for pol, xs := range perPolicyEff {
+		g, err := metrics.GeoMean(xs)
+		if err != nil {
+			return nil, fmt.Errorf("geomean efficiency for %s: %w", pol, err)
+		}
+		res.GeoEfficiency[pol] = g
+	}
+	return res, nil
+}
+
+// Headline computes the section 4.5.1 headline ratios from a pairwise
+// result: RUBIC's geometric-mean NSBP improvement over every other policy
+// (paper: +26% vs EBS, +500% vs Greedy) and the efficiency factors (2x vs
+// EBS, 66x vs Greedy).
+type Headline struct {
+	// NSBPGainOver maps policy to RUBIC's relative NSBP gain (0.26 = +26%).
+	NSBPGainOver map[string]float64
+	// EfficiencyFactorOver maps policy to RUBIC's efficiency multiple.
+	EfficiencyFactorOver map[string]float64
+}
+
+// ComputeHeadline derives the headline numbers. The result must contain a
+// "rubic" policy.
+func ComputeHeadline(r *PairwiseResult) (*Headline, error) {
+	base, ok := r.GeoNSBP["rubic"]
+	if !ok {
+		return nil, fmt.Errorf("harness: pairwise result lacks rubic")
+	}
+	h := &Headline{
+		NSBPGainOver:         map[string]float64{},
+		EfficiencyFactorOver: map[string]float64{},
+	}
+	for pol, v := range r.GeoNSBP {
+		if pol == "rubic" || v == 0 {
+			continue
+		}
+		h.NSBPGainOver[pol] = base/v - 1
+	}
+	effBase := r.GeoEfficiency["rubic"]
+	for pol, v := range r.GeoEfficiency {
+		if pol == "rubic" || v == 0 {
+			continue
+		}
+		h.EfficiencyFactorOver[pol] = effBase / v
+	}
+	return h, nil
+}

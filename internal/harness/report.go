@@ -1,0 +1,207 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"rubic/internal/trace"
+)
+
+// WritePairwiseReport renders the Figure 7 and Figure 8 tables.
+func WritePairwiseReport(w io.Writer, r *PairwiseResult, contexts int) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 7 — system-wide metrics, pairwise execution")
+	fmt.Fprintln(tw, "pair\tpolicy\tNSBP\t±std\ttotal-threads\toversub%\ttotal-efficiency")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		over := ""
+		if c.TotalThreads > float64(contexts) {
+			over = " (!)"
+		}
+		fmt.Fprintf(tw, "%s/%s\t%s\t%.2f\t%.2f\t%.1f%s\t%.0f%%\t%.4f\n",
+			c.Pair[0], c.Pair[1], c.Policy, c.NSBP, c.NSBPStd,
+			c.TotalThreads, over, c.OversubscribedFrac*100, c.TotalEfficiency)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprintln(tw, "geometric means across pairs")
+	fmt.Fprintln(tw, "policy\tNSBP\ttotal-efficiency")
+	for _, pol := range orderedPolicies(r) {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.4f\n", pol, r.GeoNSBP[pol], r.GeoEfficiency[pol])
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprintln(tw, "Figure 8 — per-process metrics, pairwise execution")
+	fmt.Fprintln(tw, "pair\tpolicy\tproc\tspeedup\tmean-threads\tlevel-std")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		for _, p := range c.Procs {
+			fmt.Fprintf(tw, "%s/%s\t%s\t%s\t%.2f\t%.1f\t%.2f\n",
+				c.Pair[0], c.Pair[1], c.Policy, p.Workload, p.Speedup, p.MeanLevel, p.LevelStd)
+		}
+	}
+	return tw.Flush()
+}
+
+func orderedPolicies(r *PairwiseResult) []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := range r.Cells {
+		if pol := r.Cells[i].Policy; !seen[pol] {
+			seen[pol] = true
+			out = append(out, pol)
+		}
+	}
+	return out
+}
+
+// WriteHeadlineReport renders the section 4.5.1 headline ratios.
+func WriteHeadlineReport(w io.Writer, h *Headline) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Headline (section 4.5.1) — RUBIC vs each policy, geometric mean over pairs")
+	fmt.Fprintln(tw, "policy\tNSBP gain\tefficiency factor")
+	for pol, gain := range h.NSBPGainOver {
+		fmt.Fprintf(tw, "%s\t%+.0f%%\t%.1fx\n", pol, gain*100, h.EfficiencyFactorOver[pol])
+	}
+	return tw.Flush()
+}
+
+// WriteSingleReport renders the Figure 9 table.
+func WriteSingleReport(w io.Writer, r *SingleResult) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 9 — single-process execution")
+	fmt.Fprintln(tw, "workload\tpolicy\tspeedup\t±std\tmean-threads\tlevel-std\tefficiency")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.1f\t%.2f\t%.4f\n",
+			c.Workload, c.Policy, c.Speedup, c.SpeedupStd, c.MeanLevel, c.LevelStd, c.Efficiency)
+	}
+	return tw.Flush()
+}
+
+// WriteConvergenceReport renders the Figure 10 summary and an ASCII plot of
+// the two processes' levels over time.
+func WriteConvergenceReport(w io.Writer, results []*ConvergenceResult, contexts int) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 10 — convergence with staggered arrival (conflict-free RBT)")
+	fmt.Fprintln(tw, "policy\tP1 pre-arrival\tP1 post\tP2 post\ttotal post\tfair-gap\tsettle")
+	for _, r := range results {
+		settle := "never"
+		if r.Settled {
+			settle = fmt.Sprintf("%.2fs", r.SettleSeconds)
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%s\n",
+			r.Policy, r.P1Pre, r.P1Post, r.P2Post, r.TotalPost, r.FairGap, settle)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, r := range results {
+		set := &trace.Set{}
+		set.Add(r.P1.Downsample(10))
+		set.Add(r.P2.Downsample(10))
+		if _, err := io.WriteString(w, "\n"+trace.Plot(set, trace.PlotOptions{
+			Title:  fmt.Sprintf("Figure 10 (%s): active threads over time (fair split = %d)", r.Policy, contexts/2),
+			Height: 12,
+			Width:  72,
+		})); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSawtoothReport renders the Figure 3 / Figure 5 summary and plots.
+func WriteSawtoothReport(w io.Writer, results []*SawtoothResult, contexts int) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figures 3 & 5 — idealized single scalable process (noiseless)")
+	fmt.Fprintln(tw, "policy\tmean level\tutilization")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.0f%%\n", r.Policy, r.MeanLevel, r.Utilization*100)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, r := range results {
+		set := &trace.Set{}
+		set.Add(r.Levels.Downsample(10))
+		if _, err := io.WriteString(w, "\n"+trace.Plot(set, trace.PlotOptions{
+			Title:  fmt.Sprintf("%s level over time (contexts = %d)", r.Policy, contexts),
+			Height: 12,
+			Width:  72,
+		})); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteGeometryReport renders the Figure 2 summary.
+func WriteGeometryReport(w io.Writer, results []*GeometryResult) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 2 — convergence geometry of two processes from an unequal start")
+	fmt.Fprintln(tw, "scheme\tinitial |L1-L2|\tfinal |L1-L2|\tconverges to fairness")
+	for _, r := range results {
+		verdict := "no"
+		if r.FinalGap <= r.InitialGap/4 {
+			verdict = "yes"
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.1f\t%s\n", r.Scheme, r.InitialGap, r.FinalGap, verdict)
+	}
+	return tw.Flush()
+}
+
+// WriteScalabilityReport renders the Figure 1 / Figure 6 sweeps.
+func WriteScalabilityReport(w io.Writer, sweeps map[string][]CurvePoint, threads []int) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figures 1 & 6 — scalability sweeps (speedup, normalized-to-peak)")
+	names := make([]string, 0, len(sweeps))
+	for name := range sweeps {
+		names = append(names, name)
+	}
+	// Stable order: the evaluation's usual ordering.
+	order := []string{"intruder", "vacation", "rbt", "rbt-ro"}
+	var cols []string
+	for _, o := range order {
+		if _, ok := sweeps[o]; ok {
+			cols = append(cols, o)
+		}
+	}
+	for _, n := range names {
+		found := false
+		for _, c := range cols {
+			if c == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			cols = append(cols, n)
+		}
+	}
+	header := "threads"
+	for _, c := range cols {
+		header += "\t" + c
+	}
+	fmt.Fprintln(tw, header)
+	for _, th := range threads {
+		row := fmt.Sprintf("%d", th)
+		for _, c := range cols {
+			pts := sweeps[c]
+			if th >= 1 && th <= len(pts) {
+				p := pts[th-1]
+				row += fmt.Sprintf("\t%.2f (%.2f)", p.Speedup, p.Normalized)
+			} else {
+				row += "\t-"
+			}
+		}
+		fmt.Fprintln(tw, row)
+	}
+	return tw.Flush()
+}
+
+// Banner renders a section divider used by the CLI between experiments.
+func Banner(w io.Writer, title string) {
+	line := strings.Repeat("=", len(title)+8)
+	fmt.Fprintf(w, "\n%s\n=== %s ===\n%s\n", line, title, line)
+}

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"rubic/internal/core"
+	"rubic/internal/metrics"
+	"rubic/internal/sim"
+)
+
+// NoisePoint is the outcome of one measurement-noise level.
+type NoisePoint struct {
+	Sigma float64
+	// Utilization is the mean post-climb level over the context count for a
+	// single scalable process.
+	Utilization float64
+	// PairNSBP is the Vac/RBT pair's NSBP at this noise level.
+	PairNSBP float64
+}
+
+// NoiseSensitivity sweeps the relative measurement noise and reports how
+// RUBIC's utilization and pairwise performance degrade. The paper measures
+// at real-hardware noise; this experiment bounds the regime in which any
+// Tc-vs-Tp controller remains usable.
+func NoiseSensitivity(cfg Config, sigmas []float64) ([]NoisePoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fac1, err := cfg.factory("rubic", 1)
+	if err != nil {
+		return nil, err
+	}
+	fac2, err := cfg.factory("rubic", 2)
+	if err != nil {
+		return nil, err
+	}
+	var out []NoisePoint
+	for _, sigma := range sigmas {
+		s := sigma
+		if s == 0 {
+			s = -1 // explicit zero means "no noise" here
+		}
+		var utils, nsbps []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			single, err := sim.Run(sim.Scenario{
+				Machine: cfg.machine(),
+				Procs: []sim.ProcessSpec{
+					{Name: "p", Workload: sim.ConflictFreeRBT(), Controller: fac1},
+				},
+				Rounds:     cfg.Rounds,
+				NoiseSigma: s,
+				Seed:       cfg.Seed + int64(rep),
+			})
+			if err != nil {
+				return nil, err
+			}
+			utils = append(utils,
+				single.Procs[0].Levels.MeanAfter(float64(cfg.Rounds)*0.01*0.2)/float64(cfg.Contexts))
+			pair, err := sim.Run(sim.Scenario{
+				Machine: cfg.machine(),
+				Procs: []sim.ProcessSpec{
+					{Name: "vac", Workload: sim.Vacation(), Controller: fac2},
+					{Name: "rbt", Workload: sim.RBTree(), Controller: fac2},
+				},
+				Rounds:     cfg.Rounds,
+				NoiseSigma: s,
+				Seed:       cfg.Seed + 1000 + int64(rep),
+			})
+			if err != nil {
+				return nil, err
+			}
+			nsbps = append(nsbps, pair.NSBP)
+		}
+		out = append(out, NoisePoint{
+			Sigma:       sigma,
+			Utilization: metrics.Mean(utils),
+			PairNSBP:    metrics.Mean(nsbps),
+		})
+	}
+	return out, nil
+}
+
+// ParamPoint is the outcome of one (alpha, beta) setting.
+type ParamPoint struct {
+	Alpha, Beta float64
+	// PairNSBP is the Vac/RBT pair's NSBP.
+	PairNSBP float64
+	// ConvergenceGap is the Figure 10 fairness gap.
+	ConvergenceGap float64
+}
+
+// ParamSweep evaluates RUBIC's alpha/beta constants on the pairwise and
+// convergence scenarios, reproducing the reasoning behind the paper's choice
+// of alpha = 0.8, beta = 0.1 ("to obtain the best results", section 4.3).
+func ParamSweep(cfg Config, alphas, betas []float64) ([]ParamPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var out []ParamPoint
+	for _, alpha := range alphas {
+		for _, beta := range betas {
+			alpha, beta := alpha, beta
+			fac := func() core.Controller {
+				return core.NewRUBIC(core.RUBICConfig{MaxLevel: cfg.MaxLevel, Alpha: alpha, Beta: beta})
+			}
+			var nsbps, gaps []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				pair, err := sim.Run(sim.Scenario{
+					Machine: cfg.machine(),
+					Procs: []sim.ProcessSpec{
+						{Name: "vac", Workload: sim.Vacation(), Controller: fac},
+						{Name: "rbt", Workload: sim.RBTree(), Controller: fac},
+					},
+					Rounds:     cfg.Rounds,
+					NoiseSigma: cfg.NoiseSigma,
+					Seed:       cfg.Seed + int64(rep),
+				})
+				if err != nil {
+					return nil, err
+				}
+				nsbps = append(nsbps, pair.NSBP)
+
+				conv, err := sim.Run(sim.Scenario{
+					Machine: cfg.machine(),
+					Procs: []sim.ProcessSpec{
+						{Name: "P1", Workload: sim.ConflictFreeRBT(), Controller: fac},
+						{Name: "P2", Workload: sim.ConflictFreeRBT(), Controller: fac,
+							ArrivalRound: cfg.Rounds / 2},
+					},
+					Rounds:     cfg.Rounds,
+					NoiseSigma: cfg.NoiseSigma,
+					Seed:       cfg.Seed + 500 + int64(rep),
+				})
+				if err != nil {
+					return nil, err
+				}
+				t0 := float64(cfg.Rounds) * 0.01 * 0.75
+				gap := conv.Procs[0].Levels.MeanAfter(t0) - conv.Procs[1].Levels.MeanAfter(t0)
+				if gap < 0 {
+					gap = -gap
+				}
+				gaps = append(gaps, gap)
+			}
+			out = append(out, ParamPoint{
+				Alpha:          alpha,
+				Beta:           beta,
+				PairNSBP:       metrics.Mean(nsbps),
+				ConvergenceGap: metrics.Mean(gaps),
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteNoiseReport renders the ext-noise table.
+func WriteNoiseReport(w io.Writer, points []NoisePoint) error {
+	fmt.Fprintln(w, "ext-noise — RUBIC under measurement noise")
+	fmt.Fprintln(w, "sigma    utilization  vac/rbt NSBP")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-8.3f %-12.0f %.1f\n", p.Sigma, p.Utilization*100, p.PairNSBP)
+	}
+	return nil
+}
+
+// WriteParamReport renders the ext-params table.
+func WriteParamReport(w io.Writer, points []ParamPoint) error {
+	fmt.Fprintln(w, "ext-params — RUBIC alpha/beta sweep (paper: alpha=0.8, beta=0.1)")
+	fmt.Fprintln(w, "alpha  beta   vac/rbt NSBP  convergence gap")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-6.2f %-6.2f %-13.1f %.1f\n", p.Alpha, p.Beta, p.PairNSBP, p.ConvergenceGap)
+	}
+	return nil
+}

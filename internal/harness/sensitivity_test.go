@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNoiseSensitivity(t *testing.T) {
+	cfg := testConfig()
+	cfg.Reps = 3
+	points, err := NoiseSensitivity(cfg, []float64{0, 0.01, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Utilization degrades monotonically-ish with noise; the noiseless run
+	// must be clearly the best and 5% noise clearly worse than 1%.
+	if points[0].Utilization < points[1].Utilization {
+		t.Errorf("noiseless utilization %.2f < 1%%-noise %.2f",
+			points[0].Utilization, points[1].Utilization)
+	}
+	if points[2].Utilization > points[1].Utilization {
+		t.Errorf("5%%-noise utilization %.2f > 1%%-noise %.2f",
+			points[2].Utilization, points[1].Utilization)
+	}
+	// At the paper's 1% noise RUBIC keeps most of the machine.
+	if points[1].Utilization < 0.80 {
+		t.Errorf("1%%-noise utilization %.0f%%, want >= 80%%", points[1].Utilization*100)
+	}
+	var buf bytes.Buffer
+	if err := WriteNoiseReport(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ext-noise") {
+		t.Error("noise report missing title")
+	}
+}
+
+func TestParamSweep(t *testing.T) {
+	cfg := testConfig()
+	cfg.Reps = 3
+	points, err := ParamSweep(cfg, []float64{0.5, 0.8}, []float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	var a05, a08 ParamPoint
+	for _, p := range points {
+		if p.Alpha == 0.5 {
+			a05 = p
+		} else {
+			a08 = p
+		}
+	}
+	// The paper's alpha=0.8 beats the SPAA'15 alpha=0.5 on throughput
+	// (shallower cuts waste less capacity).
+	if a08.PairNSBP <= a05.PairNSBP {
+		t.Errorf("alpha 0.8 NSBP %.1f <= alpha 0.5 %.1f", a08.PairNSBP, a05.PairNSBP)
+	}
+	// Both must still converge to near-fair splits.
+	for _, p := range points {
+		if p.ConvergenceGap > 12 {
+			t.Errorf("alpha %.1f: convergence gap %.1f too large", p.Alpha, p.ConvergenceGap)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteParamReport(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ext-params") {
+		t.Error("param report missing title")
+	}
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+
+	"rubic/internal/metrics"
+	"rubic/internal/sim"
+)
+
+// SingleCell is one (workload, policy) cell of the Figure 9 single-process
+// experiment.
+type SingleCell struct {
+	Workload string
+	Policy   string
+	// Speedup is the mean speed-up across repetitions (Figure 9a).
+	Speedup float64
+	// SpeedupStd is its standard deviation.
+	SpeedupStd float64
+	// MeanLevel is the mean of per-repetition mean levels (Figure 9b).
+	MeanLevel float64
+	// LevelStd is the allocation standard deviation across repetitions,
+	// the paper's stability metric (Figure 9c, lower is better).
+	LevelStd float64
+	// Efficiency is the mean speed-up per thread.
+	Efficiency float64
+}
+
+// SingleResult is the complete Figure 9 dataset.
+type SingleResult struct {
+	Cells []SingleCell
+}
+
+// Cell returns the cell for a workload and policy, or nil.
+func (r *SingleResult) Cell(workload, policy string) *SingleCell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Workload == workload && c.Policy == policy {
+			return c
+		}
+	}
+	return nil
+}
+
+// Single runs the single-process experiment of section 4.5.2. In this
+// setting EqualShare and Greedy coincide (both give the process the whole
+// machine), so callers typically pass greedy plus the adaptive policies.
+func Single(cfg Config, policies []string) (*SingleResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &SingleResult{}
+	for _, w := range Workloads() {
+		curve, err := workload(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, pol := range policies {
+			fac, err := cfg.factory(pol, 1)
+			if err != nil {
+				return nil, err
+			}
+			var sps, lvs, effs []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				out, err := sim.Run(sim.Scenario{
+					Machine: cfg.machine(),
+					Procs: []sim.ProcessSpec{
+						{Name: w, Workload: curve, Controller: fac},
+					},
+					Rounds:     cfg.Rounds,
+					NoiseSigma: cfg.NoiseSigma,
+					Seed:       cfg.Seed + int64(rep),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("single %s/%s rep %d: %w", w, pol, rep, err)
+				}
+				sps = append(sps, out.Procs[0].Speedup)
+				lvs = append(lvs, out.Procs[0].MeanLevel)
+				effs = append(effs, out.Procs[0].Efficiency)
+			}
+			res.Cells = append(res.Cells, SingleCell{
+				Workload:   w,
+				Policy:     pol,
+				Speedup:    metrics.Mean(sps),
+				SpeedupStd: metrics.StdDev(sps),
+				MeanLevel:  metrics.Mean(lvs),
+				LevelStd:   metrics.StdDev(lvs),
+				Efficiency: metrics.Mean(effs),
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,171 @@
+// Package metrics implements the performance, efficiency and fairness
+// metrics used throughout the RUBIC evaluation (paper sections 4.1 and 4.2):
+// per-process speed-up, the Nash-bargaining system performance function
+// (the product of speed-ups), per-process and system efficiency, Jain's
+// fairness index, and the descriptive statistics (geometric mean, standard
+// deviation) the figures report.
+package metrics
+
+import (
+	"errors"
+	"math"
+)
+
+// Speedup returns the speed-up S of a process: the ratio between the
+// throughput it obtained and the throughput of a sequential (1-thread,
+// single-process) execution of the same workload.
+//
+// S_p(w) = T_p(w) / T_seq(w)   (paper section 4.1).
+func Speedup(throughput, sequential float64) float64 {
+	if sequential <= 0 {
+		return 0
+	}
+	return throughput / sequential
+}
+
+// Efficiency returns the efficiency E of a process: its speed-up divided by
+// its parallelism level (number of active threads).
+//
+// E_p(w) = S_p(w) / L_p(w)   (paper section 4.2).
+func Efficiency(speedup float64, level float64) float64 {
+	if level <= 0 {
+		return 0
+	}
+	return speedup / level
+}
+
+// NSBP returns the system's overall performance under Nash's solution to the
+// bargaining problem: the product of all processes' speed-ups (paper
+// section 4.1). An empty slice yields 1 (the empty product).
+func NSBP(speedups []float64) float64 {
+	p := 1.0
+	for _, s := range speedups {
+		p *= s
+	}
+	return p
+}
+
+// SystemEfficiency returns the system's total efficiency: the product of all
+// processes' efficiencies (paper section 4.2).
+func SystemEfficiency(efficiencies []float64) float64 {
+	p := 1.0
+	for _, e := range efficiencies {
+		p *= e
+	}
+	return p
+}
+
+// ErrEmpty is returned by aggregate statistics when given no samples.
+var ErrEmpty = errors.New("metrics: empty sample set")
+
+// GeoMean returns the geometric mean of xs. All samples must be positive;
+// non-positive samples make the geometric mean undefined and yield an error.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("metrics: geometric mean of non-positive sample")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs. The paper uses the
+// standard deviation of a process's thread allocation across the 50
+// repetitions of each experiment as its stability metric (Figures 8b, 9c).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Jain returns Jain's fairness index of the allocation xs:
+//
+//	J = (sum x)^2 / (n * sum x^2)
+//
+// J is 1 when all processes receive equal shares and approaches 1/n as the
+// allocation concentrates on a single process. The paper discusses fairness
+// qualitatively; we expose Jain's index as the standard quantitative
+// companion metric for the convergence experiments.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// Min returns the smallest element of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Normalize returns xs scaled so that its maximum is 1. A zero or empty
+// input is returned as a copy, unchanged. Figure 6 normalizes each
+// workload's scalability curve to its own peak this way.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	peak := Max(xs)
+	if peak == 0 {
+		copy(out, xs)
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / peak
+	}
+	return out
+}

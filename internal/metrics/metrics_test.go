@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(200, 100); !almost(got, 2) {
+		t.Errorf("Speedup(200,100) = %v", got)
+	}
+	if got := Speedup(5, 0); got != 0 {
+		t.Errorf("Speedup with zero sequential = %v, want 0", got)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if got := Efficiency(8, 16); !almost(got, 0.5) {
+		t.Errorf("Efficiency(8,16) = %v", got)
+	}
+	if got := Efficiency(8, 0); got != 0 {
+		t.Errorf("Efficiency at level 0 = %v, want 0", got)
+	}
+}
+
+func TestNSBP(t *testing.T) {
+	if got := NSBP(nil); !almost(got, 1) {
+		t.Errorf("empty NSBP = %v, want 1", got)
+	}
+	if got := NSBP([]float64{2, 3, 4}); !almost(got, 24) {
+		t.Errorf("NSBP = %v, want 24", got)
+	}
+	// The paper's example: identical processes maximize the product by
+	// equal sharing. Speedups (3,3) beat (2,4) even though the sums match.
+	if NSBP([]float64{3, 3}) <= NSBP([]float64{2, 4}) {
+		t.Error("equal sharing should maximize NSBP for identical processes")
+	}
+}
+
+func TestSystemEfficiency(t *testing.T) {
+	if got := SystemEfficiency([]float64{0.5, 0.5}); !almost(got, 0.25) {
+		t.Errorf("SystemEfficiency = %v, want 0.25", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 100})
+	if err != nil || !almost(got, 10) {
+		t.Errorf("GeoMean(1,100) = %v, %v; want 10", got, err)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty GeoMean accepted")
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("GeoMean with zero accepted")
+	}
+	if _, err := GeoMean([]float64{-1}); err == nil {
+		t.Error("GeoMean with negative accepted")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("empty Mean = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); !almost(got, 2) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("empty StdDev = %v", got)
+	}
+	if got := StdDev([]float64{5, 5, 5}); !almost(got, 0) {
+		t.Errorf("constant StdDev = %v", got)
+	}
+	if got := StdDev([]float64{2, 4}); !almost(got, 1) {
+		t.Errorf("StdDev(2,4) = %v, want 1", got)
+	}
+}
+
+func TestJain(t *testing.T) {
+	if got := Jain([]float64{1, 1, 1, 1}); !almost(got, 1) {
+		t.Errorf("equal Jain = %v, want 1", got)
+	}
+	if got := Jain([]float64{1, 0, 0, 0}); !almost(got, 0.25) {
+		t.Errorf("concentrated Jain = %v, want 1/4", got)
+	}
+	if got := Jain(nil); got != 0 {
+		t.Errorf("empty Jain = %v", got)
+	}
+	if got := Jain([]float64{0, 0}); got != 0 {
+		t.Errorf("all-zero Jain = %v", got)
+	}
+}
+
+func TestJainQuickBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		j := Jain(clean)
+		return j >= 1/float64(len(clean))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty Min/Max should be 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{1, 2, 4})
+	want := []float64{0.25, 0.5, 1}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Fatalf("Normalize = %v, want %v", got, want)
+		}
+	}
+	if got := Normalize([]float64{0, 0}); got[0] != 0 || got[1] != 0 {
+		t.Errorf("all-zero Normalize = %v", got)
+	}
+	if got := Normalize(nil); len(got) != 0 {
+		t.Errorf("empty Normalize = %v", got)
+	}
+}
+
+// TestQuickGeoMeanLeqMax property: the geometric mean never exceeds the max
+// nor undercuts the min.
+func TestQuickGeoMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if x > 1e-100 && x < 1e100 && !math.IsNaN(x) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		g, err := GeoMean(clean)
+		if err != nil {
+			return false
+		}
+		return g <= Max(clean)*(1+1e-9) && g >= Min(clean)*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package pool implements the malleable worker thread-pool of the paper's
+// Algorithm 1: a fixed set of workers, each with a unique id and a private
+// semaphore, gated by a process-wide parallelism level L. Workers with
+// tid >= L park on their semaphore before acquiring the next task; raising
+// the level signals exactly the semaphores of the newly admitted workers.
+// Each worker maintains a cache-line padded completion counter that a
+// monitoring thread reads without synchronizing with the worker (paper
+// section 3.1: writers never contend, the monitor only reads).
+package pool
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one unit of work (typically: execute one transaction). It receives
+// the worker's id and a worker-private random source, and reports whether
+// the unit completed (completed units increment the worker's counter).
+type Task func(workerID int, rng *rand.Rand) bool
+
+// paddedCounter avoids false sharing between adjacent workers' counters.
+type paddedCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Pool is a malleable pool of workers executing a Task in a closed loop.
+// The parallelism level can be changed at any time with SetLevel.
+type Pool struct {
+	size int
+	task Task
+	seed int64
+
+	level atomic.Int32
+	stop  chan struct{}
+	sems  []chan struct{}
+	count []paddedCounter
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+}
+
+// New creates a pool of size workers running task, initially at level 1
+// (the paper starts every process at minimum parallelism). seed derives the
+// per-worker random sources, keeping runs reproducible.
+func New(size int, seed int64, task Task) (*Pool, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("pool: size %d < 1", size)
+	}
+	if task == nil {
+		return nil, fmt.Errorf("pool: nil task")
+	}
+	p := &Pool{
+		size:  size,
+		task:  task,
+		seed:  seed,
+		stop:  make(chan struct{}),
+		sems:  make([]chan struct{}, size),
+		count: make([]paddedCounter, size),
+	}
+	for i := range p.sems {
+		p.sems[i] = make(chan struct{}, 1)
+	}
+	p.level.Store(1)
+	return p, nil
+}
+
+// Size returns the pool's worker count (the maximum parallelism level).
+func (p *Pool) Size() int { return p.size }
+
+// Level returns the current parallelism level.
+func (p *Pool) Level() int { return int(p.level.Load()) }
+
+// SetLevel changes the number of admitted workers, clamped to [1, Size].
+// Newly admitted workers are woken; workers above the level park themselves
+// before their next task acquisition, exactly as in Algorithm 1.
+func (p *Pool) SetLevel(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.size {
+		n = p.size
+	}
+	old := int(p.level.Swap(int32(n)))
+	for tid := old; tid < n; tid++ {
+		select {
+		case p.sems[tid] <- struct{}{}:
+		default: // already signalled
+		}
+	}
+}
+
+// Start launches the workers. It is idempotent.
+func (p *Pool) Start() {
+	p.startOnce.Do(func() {
+		for tid := 0; tid < p.size; tid++ {
+			p.wg.Add(1)
+			go p.worker(tid)
+		}
+	})
+}
+
+// Stop terminates all workers (parked or running after their current task)
+// and waits for them to exit. It is idempotent.
+func (p *Pool) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// worker is Algorithm 1's task-acquisition loop.
+func (p *Pool) worker(tid int) {
+	defer p.wg.Done()
+	rng := rand.New(rand.NewSource(p.seed + int64(tid)*1_000_003))
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		if tid >= int(p.level.Load()) {
+			// Park until admitted again. The normal acquisition path above
+			// performs no blocking call, mirroring the paper's observation
+			// that Wait only happens when a thread must block.
+			select {
+			case <-p.sems[tid]:
+				continue // re-check the level before working
+			case <-p.stop:
+				return
+			}
+		}
+		if p.task(tid, rng) {
+			// Only this worker writes its slot; the monitor only reads.
+			p.count[tid].n.Add(1)
+		}
+	}
+}
+
+// Completed returns the total number of completed tasks across all workers.
+// The sum is not a consistent snapshot (counters advance concurrently),
+// which is exactly the sampling the paper's monitoring thread performs.
+func (p *Pool) Completed() uint64 {
+	var sum uint64
+	for i := range p.count {
+		sum += p.count[i].n.Load()
+	}
+	return sum
+}
+
+// PerWorkerCompleted returns each worker's completion count.
+func (p *Pool) PerWorkerCompleted() []uint64 {
+	out := make([]uint64, p.size)
+	for i := range p.count {
+		out[i] = p.count[i].n.Load()
+	}
+	return out
+}

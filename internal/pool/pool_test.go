@@ -1,0 +1,209 @@
+package pool
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, func(int, *rand.Rand) bool { return true }); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := New(4, 1, nil); err == nil {
+		t.Fatal("nil task accepted")
+	}
+}
+
+func TestInitialLevelIsOne(t *testing.T) {
+	p, err := New(8, 1, func(int, *rand.Rand) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Level() != 1 {
+		t.Fatalf("initial level = %d, want 1", p.Level())
+	}
+	if p.Size() != 8 {
+		t.Fatalf("size = %d, want 8", p.Size())
+	}
+}
+
+func TestSetLevelClamps(t *testing.T) {
+	p, _ := New(4, 1, func(int, *rand.Rand) bool { return true })
+	p.SetLevel(100)
+	if p.Level() != 4 {
+		t.Fatalf("level = %d, want 4", p.Level())
+	}
+	p.SetLevel(-3)
+	if p.Level() != 1 {
+		t.Fatalf("level = %d, want 1", p.Level())
+	}
+}
+
+// TestGatingRespectsLevel verifies that only workers with tid < level run
+// tasks: with level 1, only worker 0's counter advances.
+func TestGatingRespectsLevel(t *testing.T) {
+	var active [4]atomic.Int64
+	p, _ := New(4, 1, func(id int, _ *rand.Rand) bool {
+		active[id].Add(1)
+		time.Sleep(100 * time.Microsecond)
+		return true
+	})
+	p.Start()
+	defer p.Stop()
+
+	time.Sleep(50 * time.Millisecond)
+	for id := 1; id < 4; id++ {
+		if n := active[id].Load(); n != 0 {
+			t.Fatalf("worker %d ran %d tasks at level 1", id, n)
+		}
+	}
+	if active[0].Load() == 0 {
+		t.Fatal("worker 0 never ran")
+	}
+
+	// Raise to 3: workers 0..2 run, worker 3 stays parked.
+	p.SetLevel(3)
+	time.Sleep(50 * time.Millisecond)
+	for id := 0; id < 3; id++ {
+		if active[id].Load() == 0 {
+			t.Fatalf("worker %d never ran at level 3", id)
+		}
+	}
+	if n := active[3].Load(); n != 0 {
+		t.Fatalf("worker 3 ran %d tasks at level 3", n)
+	}
+
+	// Lower back to 1: workers 1..2 park; their counters stop advancing.
+	p.SetLevel(1)
+	time.Sleep(20 * time.Millisecond) // let in-flight tasks finish
+	snap1, snap2 := active[1].Load(), active[2].Load()
+	time.Sleep(50 * time.Millisecond)
+	if active[1].Load() != snap1 || active[2].Load() != snap2 {
+		t.Fatal("parked workers kept running after level decrease")
+	}
+}
+
+func TestCompletedCounts(t *testing.T) {
+	p, _ := New(2, 1, func(int, *rand.Rand) bool { return true })
+	p.SetLevel(2)
+	p.Start()
+	time.Sleep(30 * time.Millisecond)
+	p.Stop()
+	total := p.Completed()
+	if total == 0 {
+		t.Fatal("no tasks completed")
+	}
+	per := p.PerWorkerCompleted()
+	var sum uint64
+	for _, n := range per {
+		sum += n
+	}
+	if sum != total {
+		t.Fatalf("per-worker sum %d != total %d", sum, total)
+	}
+}
+
+func TestFailedTasksNotCounted(t *testing.T) {
+	p, _ := New(1, 1, func(int, *rand.Rand) bool { return false })
+	p.Start()
+	time.Sleep(20 * time.Millisecond)
+	p.Stop()
+	if n := p.Completed(); n != 0 {
+		t.Fatalf("failed tasks counted: %d", n)
+	}
+}
+
+func TestStopUnparksBlockedWorkers(t *testing.T) {
+	p, _ := New(8, 1, func(int, *rand.Rand) bool {
+		runtime.Gosched()
+		return true
+	})
+	p.Start()
+	// All workers 1..7 are parked; Stop must not hang.
+	done := make(chan struct{})
+	go func() {
+		p.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung with parked workers")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	p, _ := New(2, 1, func(int, *rand.Rand) bool { return true })
+	p.Start()
+	p.Stop()
+	p.Stop() // must not panic or hang
+}
+
+func TestLevelChurn(t *testing.T) {
+	p, _ := New(16, 1, func(int, *rand.Rand) bool {
+		return true
+	})
+	p.Start()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 500; i++ {
+			p.SetLevel(1 + rng.Intn(16))
+		}
+	}()
+	wg.Wait()
+	p.SetLevel(4)
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Completed() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	if p.Completed() == 0 {
+		t.Fatal("no work completed under level churn")
+	}
+}
+
+func TestDeterministicWorkerSeeds(t *testing.T) {
+	collect := func() []int64 {
+		var mu sync.Mutex
+		var out []int64
+		p, _ := New(1, 42, func(_ int, rng *rand.Rand) bool {
+			mu.Lock()
+			if len(out) < 5 {
+				out = append(out, rng.Int63())
+			}
+			n := len(out)
+			mu.Unlock()
+			if n >= 5 {
+				time.Sleep(time.Millisecond)
+			}
+			return true
+		})
+		p.Start()
+		for {
+			mu.Lock()
+			n := len(out)
+			mu.Unlock()
+			if n >= 5 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		p.Stop()
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]int64(nil), out[:5]...)
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different streams: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"rubic/internal/core"
+)
+
+// TestDynamicHardwareShrink: when half the machine disappears mid-run,
+// RUBIC tracks the new capacity; a pinned profile controller does not.
+func TestDynamicHardwareShrink(t *testing.T) {
+	run := func(fac core.Factory) *Result {
+		res, err := Run(Scenario{
+			Machine: Machine{Contexts: 64},
+			Procs: []ProcessSpec{
+				{Name: "p", Workload: ConflictFreeRBT(), Controller: fac},
+			},
+			Rounds:         1000,
+			Seed:           13,
+			ContextChanges: []ContextChange{{Round: 500, Contexts: 32}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	rubic := run(func() core.Controller {
+		return core.NewRUBIC(core.RUBICConfig{MaxLevel: 128})
+	})
+	before := rubic.Procs[0].Levels.Window(3, 5).Mean()
+	after := rubic.Procs[0].Levels.MeanAfter(8)
+	if before < 55 {
+		t.Fatalf("pre-shrink level %.1f, want near 64", before)
+	}
+	if after > 40 {
+		t.Fatalf("post-shrink level %.1f, want to track the 32-context machine", after)
+	}
+
+	pinned := run(func() core.Controller {
+		return core.NewProfileThenPin(128, 8, 2)
+	})
+	pAfter := pinned.Procs[0].Levels.MeanAfter(8)
+	if pAfter < 50 {
+		t.Fatalf("pinned controller moved to %.1f; it should have stayed high (its flaw)", pAfter)
+	}
+}
+
+// TestDynamicHardwareGrow: hot-added capacity is discovered by the cubic
+// probing phase.
+func TestDynamicHardwareGrow(t *testing.T) {
+	res, err := Run(Scenario{
+		Machine: Machine{Contexts: 32},
+		Procs: []ProcessSpec{
+			{Name: "p", Workload: ConflictFreeRBT(),
+				Controller: func() core.Controller {
+					return core.NewRUBIC(core.RUBICConfig{MaxLevel: 128})
+				}},
+		},
+		Rounds:         1200,
+		Seed:           14,
+		ContextChanges: []ContextChange{{Round: 600, Contexts: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := res.Procs[0].Levels.Window(3, 6).Mean()
+	after := res.Procs[0].Levels.MeanAfter(10)
+	if before > 40 {
+		t.Fatalf("pre-grow level %.1f, want near 32", before)
+	}
+	if after < 48 {
+		t.Fatalf("post-grow level %.1f, want to discover the 64-context machine", after)
+	}
+}

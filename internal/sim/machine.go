@@ -1,0 +1,38 @@
+package sim
+
+// Machine models the shared hardware: a number of identical contexts
+// (hardware threads) time-shared fairly among all runnable software threads
+// by the OS scheduler.
+type Machine struct {
+	// Contexts is the number of hardware contexts (the paper's machine has
+	// 64: 4 sockets of 16-core Opteron 6272).
+	Contexts int
+}
+
+// Throughput evaluates the co-location model for one process: its curve,
+// its active thread count, the system-wide total thread count, and the
+// workload's oversubscription sensitivity kappa.
+func (m Machine) Throughput(curve Curve, kappa float64, level int, totalThreads int) float64 {
+	if level <= 0 {
+		return 0
+	}
+	l := float64(level)
+	t := float64(totalThreads)
+	c := float64(m.Contexts)
+	share := 1.0
+	if t > c {
+		share = c / t
+	}
+	effective := l * share
+	penalty := 1.0
+	if t > c {
+		penalty = 1 / (1 + kappa*(t-c)/c)
+	}
+	return curve.Throughput(effective) * penalty
+}
+
+// Oversubscribed reports whether the given total thread count exceeds the
+// machine's contexts.
+func (m Machine) Oversubscribed(totalThreads int) bool {
+	return totalThreads > m.Contexts
+}

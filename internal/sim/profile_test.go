@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+
+	"rubic/internal/core"
+)
+
+// TestProfileThenPinCannotAdapt demonstrates the offline pathology the
+// paper's related work points out (section 5): a profile-and-pin tuner
+// cannot cope with dynamic changes — after a competitor arrives, its level
+// never moves, while a co-located RUBIC squeezes into what is left.
+func TestProfileThenPinCannotAdapt(t *testing.T) {
+	res, err := Run(Scenario{
+		Machine: Machine{Contexts: 64},
+		Procs: []ProcessSpec{
+			{Name: "pinned", Workload: ConflictFreeRBT(),
+				Controller: func() core.Controller { return core.NewProfileThenPin(128, 8, 2) }},
+			{Name: "late", Workload: ConflictFreeRBT(),
+				Controller: func() core.Controller {
+					return core.NewRUBIC(core.RUBICConfig{MaxLevel: 128})
+				},
+				ArrivalRound: 500},
+		},
+		Rounds: 1000,
+		Seed:   9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinnedEarly := res.Procs[0].Levels.Window(3, 5).Mean()
+	pinnedLate := res.Procs[0].Levels.MeanAfter(8)
+	if diff := pinnedLate - pinnedEarly; diff > 1 || diff < -1 {
+		t.Fatalf("pinned level moved from %.1f to %.1f after arrival", pinnedEarly, pinnedLate)
+	}
+	late := res.Procs[1].Levels.MeanAfter(8)
+	if late < 4 {
+		t.Fatalf("late RUBIC process got only %.1f threads", late)
+	}
+}

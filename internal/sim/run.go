@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rubic/internal/core"
+	"rubic/internal/metrics"
+	"rubic/internal/trace"
+)
+
+// ProcessSpec describes one malleable process of a scenario.
+type ProcessSpec struct {
+	// Name labels the process in traces and reports.
+	Name string
+	// Workload is the process' scalability curve.
+	Workload *Interp
+	// Controller builds the process' (fresh) parallelism controller.
+	Controller core.Factory
+	// ArrivalRound is the controller round at which the process starts
+	// (0 = present from the beginning). Section 4.6 staggers arrivals.
+	ArrivalRound int
+	// DepartRound, when > 0, is the round at which the process leaves.
+	DepartRound int
+}
+
+// Scenario is a complete co-location experiment: a machine, a set of
+// processes, a horizon and a measurement-noise level.
+type Scenario struct {
+	Machine Machine
+	// Procs are the co-located processes.
+	Procs []ProcessSpec
+	// Rounds is the number of controller periods to simulate. The paper's
+	// experiments run 10 s of 10 ms periods: 1000 rounds.
+	Rounds int
+	// Period is the wall-clock duration of one round in seconds, used only
+	// to produce time axes in traces; defaults to 0.01 (10 ms).
+	Period float64
+	// NoiseSigma is the relative standard deviation of multiplicative
+	// measurement noise applied to the throughput each controller observes
+	// (the true throughput is recorded unnoised). Zero selects the default
+	// of 0.01; a negative value disables noise entirely, for the idealized
+	// "expected behaviour" runs of Figures 2, 3 and 5.
+	NoiseSigma float64
+	// Seed makes the run reproducible.
+	Seed int64
+	// ContextChanges optionally shrinks or grows the machine mid-run (e.g.
+	// cores taken by a batch job, or hot-added capacity): at each listed
+	// round the machine's context count becomes the given value. The paper
+	// motivates online tuning with exactly such "dynamic changes in ...
+	// available hardware resources".
+	ContextChanges []ContextChange
+}
+
+// ContextChange is one step of a dynamic-hardware schedule.
+type ContextChange struct {
+	Round    int
+	Contexts int
+}
+
+// ProcessResult aggregates one process' outcome over a run.
+type ProcessResult struct {
+	Name string
+	// Speedup is the process' time-averaged true throughput over the rounds
+	// it was present; curves are normalized to sequential = 1, so this is
+	// directly the paper's speed-up metric.
+	Speedup float64
+	// MeanLevel is the time-averaged parallelism level while present.
+	MeanLevel float64
+	// Efficiency is Speedup / MeanLevel (paper section 4.2).
+	Efficiency float64
+	// Levels and Throughputs are the full per-round traces (time in
+	// seconds; absent rounds omitted).
+	Levels      *trace.Series
+	Throughputs *trace.Series
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Procs []ProcessResult
+	// TotalThreads traces the system-wide active thread count.
+	TotalThreads *trace.Series
+	// NSBP is the product of the processes' speed-ups (section 4.1).
+	NSBP float64
+	// TotalEfficiency is the product of the processes' efficiencies.
+	TotalEfficiency float64
+	// OversubscribedFrac is the fraction of rounds with more threads than
+	// contexts.
+	OversubscribedFrac float64
+}
+
+// Run simulates the scenario and returns its result.
+func Run(sc Scenario) (*Result, error) {
+	if sc.Rounds <= 0 {
+		return nil, fmt.Errorf("sim: Rounds must be positive")
+	}
+	if len(sc.Procs) == 0 {
+		return nil, fmt.Errorf("sim: no processes")
+	}
+	if sc.Machine.Contexts <= 0 {
+		return nil, fmt.Errorf("sim: machine has no contexts")
+	}
+	period := sc.Period
+	if period <= 0 {
+		period = 0.01
+	}
+	sigma := sc.NoiseSigma
+	if sigma == 0 {
+		sigma = 0.01
+	} else if sigma < 0 {
+		sigma = 0
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+
+	type procState struct {
+		spec       ProcessSpec
+		ctrl       core.Controller
+		level      int
+		present    bool
+		sumThpt    float64
+		sumLevel   float64
+		rounds     int
+		levels     *trace.Series
+		throughput *trace.Series
+	}
+	procs := make([]*procState, len(sc.Procs))
+	for i, spec := range sc.Procs {
+		if spec.Workload == nil || spec.Controller == nil {
+			return nil, fmt.Errorf("sim: process %d (%s) incomplete", i, spec.Name)
+		}
+		procs[i] = &procState{
+			spec:       spec,
+			ctrl:       spec.Controller(),
+			levels:     trace.NewSeries(spec.Name + "/level"),
+			throughput: trace.NewSeries(spec.Name + "/throughput"),
+		}
+	}
+
+	total := trace.NewSeries("total-threads")
+	overRounds := 0
+	machine := sc.Machine
+
+	for round := 0; round < sc.Rounds; round++ {
+		now := float64(round) * period
+		for _, ch := range sc.ContextChanges {
+			if ch.Round == round && ch.Contexts > 0 {
+				machine.Contexts = ch.Contexts
+			}
+		}
+		// Arrival / departure transitions.
+		for _, p := range procs {
+			if !p.present && round >= p.spec.ArrivalRound &&
+				(p.spec.DepartRound <= 0 || round < p.spec.DepartRound) {
+				p.present = true
+				p.ctrl.Reset()
+				p.level = p.ctrl.Level()
+			}
+			if p.present && p.spec.DepartRound > 0 && round >= p.spec.DepartRound {
+				p.present = false
+				p.level = 0
+			}
+		}
+		// System-wide thread count for this round.
+		t := 0
+		for _, p := range procs {
+			if p.present {
+				t += p.level
+			}
+		}
+		total.Add(now, float64(t))
+		if machine.Oversubscribed(t) {
+			overRounds++
+		}
+		// Each process observes its throughput for the period and decides.
+		for _, p := range procs {
+			if !p.present {
+				continue
+			}
+			thpt := machine.Throughput(p.spec.Workload, p.spec.Workload.Kappa(), p.level, t)
+			p.sumThpt += thpt
+			p.sumLevel += float64(p.level)
+			p.rounds++
+			p.levels.Add(now, float64(p.level))
+			p.throughput.Add(now, thpt)
+			observed := thpt * (1 + sigma*rng.NormFloat64())
+			if observed < 0 {
+				observed = 0
+			}
+			p.level = p.ctrl.Next(observed)
+		}
+	}
+
+	res := &Result{TotalThreads: total}
+	speedups := make([]float64, 0, len(procs))
+	effs := make([]float64, 0, len(procs))
+	for _, p := range procs {
+		pr := ProcessResult{
+			Name:        p.spec.Name,
+			Levels:      p.levels,
+			Throughputs: p.throughput,
+		}
+		if p.rounds > 0 {
+			pr.Speedup = p.sumThpt / float64(p.rounds)
+			pr.MeanLevel = p.sumLevel / float64(p.rounds)
+			pr.Efficiency = metrics.Efficiency(pr.Speedup, pr.MeanLevel)
+		}
+		speedups = append(speedups, pr.Speedup)
+		effs = append(effs, pr.Efficiency)
+		res.Procs = append(res.Procs, pr)
+	}
+	res.NSBP = metrics.NSBP(speedups)
+	res.TotalEfficiency = metrics.SystemEfficiency(effs)
+	res.OversubscribedFrac = float64(overRounds) / float64(sc.Rounds)
+	return res, nil
+}

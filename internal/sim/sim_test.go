@@ -1,0 +1,405 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rubic/internal/core"
+)
+
+func fac(t *testing.T, name string, contexts, procs, max int) core.Factory {
+	t.Helper()
+	f, err := core.ByName(name, contexts, procs, max)
+	if err != nil {
+		t.Fatalf("ByName(%q): %v", name, err)
+	}
+	return f
+}
+
+func TestInterpAnchors(t *testing.T) {
+	c := MustInterp("x", 1, []Point{{1, 1}, {4, 3}, {8, 5}})
+	cases := []struct{ in, want float64 }{
+		{1, 1}, {4, 3}, {8, 5},
+		{2.5, 2},   // midway 1..4
+		{6, 4},     // midway 4..8
+		{16, 5},    // flat extrapolation
+		{0.5, 0.5}, // through the origin
+		{0, 0},
+		{-3, 0},
+	}
+	for _, tc := range cases {
+		if got := c.Throughput(tc.in); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Throughput(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestInterpValidation(t *testing.T) {
+	if _, err := NewInterp("empty", 1, nil); err == nil {
+		t.Fatal("empty curve accepted")
+	}
+	if _, err := NewInterp("dup", 1, []Point{{1, 1}, {1, 2}}); err == nil {
+		t.Fatal("duplicate level accepted")
+	}
+	// Unsorted input is sorted internally.
+	c, err := NewInterp("unsorted", 1, []Point{{8, 5}, {1, 1}, {4, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Throughput(4); got != 3 {
+		t.Fatalf("unsorted curve Throughput(4) = %v", got)
+	}
+}
+
+// TestWorkloadCurveShapes pins the Figure 6 / Figure 1 shapes: sequential
+// normalization, peak locations and the Intruder collapse.
+func TestWorkloadCurveShapes(t *testing.T) {
+	for _, name := range []string{"intruder", "vacation", "rbt", "rbt-ro", "linear", "genome", "kmeans", "labyrinth"} {
+		c, err := WorkloadByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Throughput(1); math.Abs(got-1) > 1e-9 {
+			t.Errorf("%s: sequential speed-up = %v, want 1", name, got)
+		}
+		if c.Kappa() <= 0 {
+			t.Errorf("%s: kappa = %v, want > 0", name, c.Kappa())
+		}
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+
+	intr := Intruder()
+	if lvl, _ := intr.Peak(); lvl != 7 {
+		t.Errorf("intruder peak at %v threads, want 7 (Figure 1)", lvl)
+	}
+	if got := intr.Throughput(64); got >= 0.5 {
+		t.Errorf("intruder at 64 threads = %v, want < 0.5x sequential (Figure 1)", got)
+	}
+	if lvl, _ := Vacation().Peak(); lvl < 32 || lvl > 48 {
+		t.Errorf("vacation peak at %v, want in [32, 48]", lvl)
+	}
+	if lvl, _ := Labyrinth().Peak(); lvl < 6 || lvl > 14 {
+		t.Errorf("labyrinth peak at %v, want ~10", lvl)
+	}
+	// The paper's monotonicity requirement: increasing up to the peak.
+	for _, c := range []*Interp{Intruder(), Vacation(), RBTree(), ConflictFreeRBT(), Genome(), KMeans(), Labyrinth()} {
+		peak, _ := c.Peak()
+		prev := 0.0
+		for l := 1.0; l <= peak; l++ {
+			cur := c.Throughput(l)
+			if cur < prev {
+				t.Errorf("%s: not monotone below peak at level %v", c.Name(), l)
+				break
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestMachineModel(t *testing.T) {
+	m := Machine{Contexts: 64}
+	c := ConflictFreeRBT()
+	// Undersubscribed: the curve value, untouched.
+	if got, want := m.Throughput(c, c.Kappa(), 32, 48), c.Throughput(32); got != want {
+		t.Fatalf("undersubscribed throughput = %v, want %v", got, want)
+	}
+	// Oversubscribed single process: effective concurrency capped at C and
+	// penalty applied, so throughput strictly below the 64-thread value.
+	at64 := m.Throughput(c, c.Kappa(), 64, 64)
+	at96 := m.Throughput(c, c.Kappa(), 96, 96)
+	if at96 >= at64 {
+		t.Fatalf("oversubscription did not hurt: %v >= %v", at96, at64)
+	}
+	// Co-location shrinks the share: same level, bigger total, less thpt.
+	alone := m.Throughput(c, c.Kappa(), 64, 64)
+	crowded := m.Throughput(c, c.Kappa(), 64, 100)
+	if crowded >= alone {
+		t.Fatalf("co-location did not hurt: %v >= %v", crowded, alone)
+	}
+	if m.Throughput(c, c.Kappa(), 0, 10) != 0 {
+		t.Fatal("zero threads should yield zero throughput")
+	}
+	if !m.Oversubscribed(65) || m.Oversubscribed(64) {
+		t.Fatal("Oversubscribed boundary wrong")
+	}
+}
+
+// TestMachineModelQuick property: throughput is non-negative and co-location
+// monotone (adding foreign threads never helps).
+func TestMachineModelQuick(t *testing.T) {
+	m := Machine{Contexts: 64}
+	c := Vacation()
+	f := func(level, extra uint8) bool {
+		l := int(level%128) + 1
+		t1 := l + int(extra)
+		thpt0 := m.Throughput(c, c.Kappa(), l, l)
+		thpt1 := m.Throughput(c, c.Kappa(), l, t1)
+		return thpt0 >= 0 && thpt1 >= 0 && thpt1 <= thpt0+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	good := Scenario{
+		Machine: Machine{Contexts: 64},
+		Procs: []ProcessSpec{
+			{Name: "p", Workload: RBTree(), Controller: fac(t, "rubic", 64, 1, 128)},
+		},
+		Rounds: 10,
+	}
+	if _, err := Run(good); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	bad := good
+	bad.Rounds = 0
+	if _, err := Run(bad); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	bad = good
+	bad.Procs = nil
+	if _, err := Run(bad); err == nil {
+		t.Fatal("no processes accepted")
+	}
+	bad = good
+	bad.Machine.Contexts = 0
+	if _, err := Run(bad); err == nil {
+		t.Fatal("zero contexts accepted")
+	}
+	bad = good
+	bad.Procs = []ProcessSpec{{Name: "p"}}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("incomplete process accepted")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	sc := Scenario{
+		Machine: Machine{Contexts: 64},
+		Procs: []ProcessSpec{
+			{Name: "a", Workload: Vacation(), Controller: fac(t, "rubic", 64, 2, 128)},
+			{Name: "b", Workload: RBTree(), Controller: fac(t, "ebs", 64, 2, 128)},
+		},
+		Rounds: 300,
+		Seed:   11,
+	}
+	r1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.NSBP != r2.NSBP {
+		t.Fatalf("same seed, different NSBP: %v vs %v", r1.NSBP, r2.NSBP)
+	}
+	for i := range r1.Procs {
+		if r1.Procs[i].Speedup != r2.Procs[i].Speedup {
+			t.Fatalf("proc %d speedup differs across identical runs", i)
+		}
+	}
+	sc.Seed = 12
+	r3, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.NSBP == r1.NSBP {
+		t.Fatal("different seeds produced identical NSBP (noise not applied?)")
+	}
+}
+
+// TestSingleProcessAdaptiveFindsPeak: every adaptive policy should steer a
+// single Intruder close to its 7-thread peak, far from the pool maximum.
+func TestSingleProcessAdaptiveFindsPeak(t *testing.T) {
+	for _, pol := range []string{"rubic", "ebs", "f2c2"} {
+		res, err := Run(Scenario{
+			Machine: Machine{Contexts: 64},
+			Procs: []ProcessSpec{
+				{Name: "int", Workload: Intruder(), Controller: fac(t, pol, 64, 1, 128)},
+			},
+			Rounds: 1000,
+			Seed:   5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := res.Procs[0]
+		if p.MeanLevel < 4 || p.MeanLevel > 14 {
+			t.Errorf("%s: intruder mean level = %.1f, want near the 7-thread peak", pol, p.MeanLevel)
+		}
+		if p.Speedup < 2.0 {
+			t.Errorf("%s: intruder speedup = %.2f, want > 2.0", pol, p.Speedup)
+		}
+	}
+}
+
+// TestPairwiseRUBICBeatsBaselines pins the Figure 7a headline: RUBIC yields
+// the highest NSBP on every workload pair (averaged over a few seeds).
+func TestPairwiseRUBICBeatsBaselines(t *testing.T) {
+	workloads := map[string]*Interp{
+		"intruder": Intruder(), "vacation": Vacation(), "rbt": RBTree(),
+	}
+	pairs := [][2]string{{"intruder", "vacation"}, {"intruder", "rbt"}, {"vacation", "rbt"}}
+	const reps = 5
+	for _, pair := range pairs {
+		nsbp := map[string]float64{}
+		for _, pol := range []string{"greedy", "equalshare", "f2c2", "ebs", "rubic"} {
+			for rep := int64(0); rep < reps; rep++ {
+				res, err := Run(Scenario{
+					Machine: Machine{Contexts: 64},
+					Procs: []ProcessSpec{
+						{Name: pair[0], Workload: workloads[pair[0]], Controller: fac(t, pol, 64, 2, 128)},
+						{Name: pair[1], Workload: workloads[pair[1]], Controller: fac(t, pol, 64, 2, 128)},
+					},
+					Rounds: 1000,
+					Seed:   900 + rep,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				nsbp[pol] += res.NSBP / reps
+			}
+		}
+		for _, pol := range []string{"greedy", "equalshare", "f2c2", "ebs"} {
+			if nsbp["rubic"] <= nsbp[pol] {
+				t.Errorf("pair %v: RUBIC NSBP %.1f <= %s %.1f", pair, nsbp["rubic"], pol, nsbp[pol])
+			}
+		}
+		if nsbp["greedy"] >= nsbp["equalshare"] {
+			t.Errorf("pair %v: greedy %.1f >= equalshare %.1f; greedy should be worst",
+				pair, nsbp["greedy"], nsbp["equalshare"])
+		}
+	}
+}
+
+// TestConvergenceFigure10 pins the section 4.6 dynamics: with two staggered
+// conflict-free processes, RUBIC drives both to a fair ~32/32 split while
+// EBS and F2C2 leave the system oversubscribed or unfair.
+func TestConvergenceFigure10(t *testing.T) {
+	runPolicy := func(pol string) (p1Post, p2Post, totalPost float64) {
+		res, err := Run(Scenario{
+			Machine: Machine{Contexts: 64},
+			Procs: []ProcessSpec{
+				{Name: "P1", Workload: ConflictFreeRBT(), Controller: fac(t, pol, 64, 2, 128)},
+				{Name: "P2", Workload: ConflictFreeRBT(), Controller: fac(t, pol, 64, 2, 128), ArrivalRound: 500},
+			},
+			Rounds: 1000,
+			Seed:   7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Procs[0].Levels.MeanAfter(8),
+			res.Procs[1].Levels.MeanAfter(8),
+			res.TotalThreads.MeanAfter(8)
+	}
+
+	p1, p2, total := runPolicy("rubic")
+	if math.Abs(p1-32) > 6 || math.Abs(p2-32) > 6 {
+		t.Errorf("RUBIC post-arrival levels (%.1f, %.1f), want both near 32", p1, p2)
+	}
+	if total > 66 {
+		t.Errorf("RUBIC post-arrival total threads %.1f, want <= ~64 (no oversubscription)", total)
+	}
+
+	_, _, ebsTotal := runPolicy("ebs")
+	_, _, f2c2Total := runPolicy("f2c2")
+	if ebsTotal <= total && f2c2Total <= total {
+		t.Errorf("baselines did not oversubscribe more than RUBIC (ebs %.1f, f2c2 %.1f, rubic %.1f)",
+			ebsTotal, f2c2Total, total)
+	}
+}
+
+// TestRUBICKeepsSystemUndersubscribed pins Figure 7b: across pairs, RUBIC's
+// mean total thread count stays below the 64-context line.
+func TestRUBICKeepsSystemUndersubscribed(t *testing.T) {
+	workloads := []*Interp{Intruder(), Vacation(), RBTree()}
+	for i := 0; i < len(workloads); i++ {
+		for j := i + 1; j < len(workloads); j++ {
+			res, err := Run(Scenario{
+				Machine: Machine{Contexts: 64},
+				Procs: []ProcessSpec{
+					{Name: "a", Workload: workloads[i], Controller: fac(t, "rubic", 64, 2, 128)},
+					{Name: "b", Workload: workloads[j], Controller: fac(t, "rubic", 64, 2, 128)},
+				},
+				Rounds: 1000,
+				Seed:   33,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.TotalThreads.Mean(); got > 64 {
+				t.Errorf("pair (%s,%s): mean total threads %.1f > 64",
+					workloads[i].Name(), workloads[j].Name(), got)
+			}
+		}
+	}
+}
+
+// TestArrivalDeparture checks presence windows are honored.
+func TestArrivalDeparture(t *testing.T) {
+	res, err := Run(Scenario{
+		Machine: Machine{Contexts: 64},
+		Procs: []ProcessSpec{
+			{Name: "p", Workload: RBTree(), Controller: fac(t, "rubic", 64, 1, 128),
+				ArrivalRound: 100, DepartRound: 300},
+		},
+		Rounds: 500,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := res.Procs[0].Levels
+	if lv.Len() != 200 {
+		t.Fatalf("present for %d rounds, want 200", lv.Len())
+	}
+	if lv.T[0] < 1.0-1e-9 || lv.T[lv.Len()-1] >= 3.0 {
+		t.Fatalf("presence window [%v, %v], want [1, 3)", lv.T[0], lv.T[lv.Len()-1])
+	}
+	// Total threads must be zero outside the window.
+	tot := res.TotalThreads
+	for i, tm := range tot.T {
+		inWindow := tm >= 1.0-1e-9 && tm < 3.0-1e-9
+		if !inWindow && tot.V[i] != 0 {
+			t.Fatalf("threads %v at t=%v outside presence window", tot.V[i], tm)
+		}
+	}
+}
+
+// TestNoiselessSawtooth pins the idealized Figures 3 and 5: without noise, a
+// single perfectly scalable process under AIMD(0.5) averages ~75% of the
+// machine, while RUBIC's CIMD averages >= ~90%.
+func TestNoiselessSawtooth(t *testing.T) {
+	run := func(f core.Factory) float64 {
+		res, err := Run(Scenario{
+			Machine: Machine{Contexts: 64},
+			Procs: []ProcessSpec{
+				{Name: "p", Workload: ConflictFreeRBT(), Controller: f},
+			},
+			Rounds:     2000,
+			NoiseSigma: -1, // negative disables noise (see Run)
+			Seed:       1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Procs[0].Levels.MeanAfter(4) // skip the initial climb
+	}
+	aimd := run(func() core.Controller { return core.NewAIMD(128, 0.5) })
+	rubic := run(func() core.Controller { return core.NewRUBIC(core.RUBICConfig{MaxLevel: 128}) })
+	if aimd < 42 || aimd > 56 {
+		t.Errorf("AIMD mean level = %.1f, want ~48 (75%% utilization, Figure 3)", aimd)
+	}
+	if rubic < 57 {
+		t.Errorf("RUBIC mean level = %.1f, want >= ~57 (>=90%% utilization, Figure 5)", rubic)
+	}
+	if rubic <= aimd {
+		t.Errorf("RUBIC (%.1f) should average above AIMD (%.1f)", rubic, aimd)
+	}
+}

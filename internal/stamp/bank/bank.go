@@ -1,0 +1,158 @@
+// Package bank is the classic STM bank microbenchmark (used by the SwissTM
+// paper among many others): an array of accounts exercised with transfers
+// and whole-bank balance audits. Transfers touch two random accounts; audits
+// read every account in one transaction, making them long read-only
+// transactions that stress snapshot consistency.
+package bank
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"rubic/internal/pool"
+	"rubic/internal/stm"
+)
+
+// Config parameterizes the benchmark.
+type Config struct {
+	// Accounts is the number of accounts (default 1024).
+	Accounts int
+	// InitialBalance per account (default 1000).
+	InitialBalance int
+	// AuditPct is the percentage of whole-bank audit operations; the rest
+	// are transfers (default 10).
+	AuditPct int
+	// MaxTransfer bounds the transfer amount (default 100).
+	MaxTransfer int
+}
+
+func (c *Config) defaults() {
+	if c.Accounts == 0 {
+		c.Accounts = 1024
+	}
+	if c.InitialBalance == 0 {
+		c.InitialBalance = 1000
+	}
+	if c.AuditPct == 0 {
+		c.AuditPct = 10
+	}
+	if c.MaxTransfer == 0 {
+		c.MaxTransfer = 100
+	}
+}
+
+// Bench is a Bank instance.
+type Bench struct {
+	cfg      Config
+	rt       *stm.Runtime
+	accounts []*stm.Var[int]
+
+	transfers atomic.Uint64
+	audits    atomic.Uint64
+	// auditFailures counts audits that observed a wrong total — any value
+	// above zero is an STM consistency bug.
+	auditFailures atomic.Uint64
+	total         int
+}
+
+// New returns an unpopulated benchmark on the given runtime.
+func New(rt *stm.Runtime, cfg Config) *Bench {
+	cfg.defaults()
+	return &Bench{cfg: cfg, rt: rt}
+}
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string {
+	return fmt.Sprintf("bank(a=%d,audit=%d%%)", b.cfg.Accounts, b.cfg.AuditPct)
+}
+
+// Setup implements stamp.Workload.
+func (b *Bench) Setup(_ *rand.Rand) error {
+	if b.cfg.Accounts < 2 {
+		return fmt.Errorf("bank: need at least 2 accounts")
+	}
+	b.accounts = make([]*stm.Var[int], b.cfg.Accounts)
+	for i := range b.accounts {
+		b.accounts[i] = stm.NewVar(b.cfg.InitialBalance)
+	}
+	b.total = b.cfg.Accounts * b.cfg.InitialBalance
+	return nil
+}
+
+// Task implements stamp.Workload.
+func (b *Bench) Task() pool.Task {
+	return func(_ int, rng *rand.Rand) bool {
+		if rng.Intn(100) < b.cfg.AuditPct {
+			b.audits.Add(1)
+			return b.audit() == nil
+		}
+		b.transfers.Add(1)
+		return b.transfer(rng) == nil
+	}
+}
+
+// transfer moves a random amount between two random accounts, allowing the
+// source to go negative like the classic benchmark (the invariant is the
+// total, not individual balances).
+func (b *Bench) transfer(rng *rand.Rand) error {
+	from := rng.Intn(len(b.accounts))
+	to := rng.Intn(len(b.accounts) - 1)
+	if to >= from {
+		to++
+	}
+	amount := rng.Intn(b.cfg.MaxTransfer) + 1
+	return b.rt.Atomic(func(tx *stm.Tx) error {
+		b.accounts[from].Write(tx, b.accounts[from].Read(tx)-amount)
+		b.accounts[to].Write(tx, b.accounts[to].Read(tx)+amount)
+		return nil
+	})
+}
+
+// audit sums every account in one read-only transaction.
+func (b *Bench) audit() error {
+	sum := 0
+	err := b.rt.AtomicRO(func(tx *stm.Tx) error {
+		sum = 0
+		for _, a := range b.accounts {
+			sum += a.Read(tx)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if sum != b.total {
+		b.auditFailures.Add(1)
+		return fmt.Errorf("bank: audit saw %d, want %d", sum, b.total)
+	}
+	return nil
+}
+
+// Verify implements stamp.Workload: the final total must be intact and no
+// audit may ever have failed.
+func (b *Bench) Verify() error {
+	if n := b.auditFailures.Load(); n > 0 {
+		return fmt.Errorf("bank: %d audits observed a torn total", n)
+	}
+	sum := 0
+	err := b.rt.AtomicRO(func(tx *stm.Tx) error {
+		sum = 0
+		for _, a := range b.accounts {
+			sum += a.Read(tx)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if sum != b.total {
+		return fmt.Errorf("bank: final total %d, want %d", sum, b.total)
+	}
+	return nil
+}
+
+// Ops reports (transfers, audits) issued so far.
+func (b *Bench) Ops() (transfers, audits uint64) {
+	return b.transfers.Load(), b.audits.Load()
+}

@@ -1,0 +1,68 @@
+package bank
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rubic/internal/stm"
+)
+
+func TestSetupValidation(t *testing.T) {
+	b := New(stm.New(stm.Config{}), Config{Accounts: 1})
+	if err := b.Setup(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("single account accepted")
+	}
+}
+
+func TestSequentialMix(t *testing.T) {
+	b := New(stm.New(stm.Config{}), Config{Accounts: 64, AuditPct: 20})
+	if err := b.Setup(rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	task := b.Task()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		if !task(0, rng) {
+			t.Fatalf("task %d failed", i)
+		}
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	tr, au := b.Ops()
+	if tr+au != 2000 || au == 0 || tr == 0 {
+		t.Fatalf("ops = %d transfers, %d audits", tr, au)
+	}
+}
+
+func TestConcurrentOnBothEngines(t *testing.T) {
+	for _, algo := range []stm.Algorithm{stm.TL2, stm.NOrec} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			b := New(stm.New(stm.Config{Algorithm: algo}), Config{Accounts: 128, AuditPct: 15})
+			if err := b.Setup(rand.New(rand.NewSource(4))); err != nil {
+				t.Fatal(err)
+			}
+			task := b.Task()
+			var wg sync.WaitGroup
+			for g := 0; g < 6; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					for i := 0; i < 500; i++ {
+						if !task(g, rng) {
+							t.Errorf("worker %d task %d failed", g, i)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if err := b.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

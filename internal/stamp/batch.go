@@ -1,0 +1,110 @@
+package stamp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rubic/internal/core"
+	"rubic/internal/pool"
+	"rubic/internal/trace"
+)
+
+// BatchWorkload is a Workload with a finite amount of work: the pipeline
+// benchmarks (Genome, KMeans, Labyrinth) run until Done reports true rather
+// than for a fixed duration. This matches the paper's task-queue model
+// ("as soon as a s/w thread completes its current task, it picks a new task
+// from a task queue, until all tasks have been completed").
+type BatchWorkload interface {
+	Workload
+	// Done reports whether all tasks have been completed. It must be safe
+	// for concurrent use.
+	Done() bool
+}
+
+// BatchReport is the outcome of a run-to-completion execution.
+type BatchReport struct {
+	Workload string
+	// Elapsed is the wall-clock makespan.
+	Elapsed time.Duration
+	// Completed is the number of tasks executed.
+	Completed uint64
+	// Levels traces the controller's decisions (nil without a controller).
+	Levels *trace.Series
+}
+
+// BatchOptions configures RunBatch.
+type BatchOptions struct {
+	// PoolSize is the worker count.
+	PoolSize int
+	// Controller steers the pool; nil pins the level at PoolSize.
+	Controller core.Controller
+	// Period is the controller period (default 10 ms).
+	Period time.Duration
+	// Seed derives the workload's and workers' random streams.
+	Seed int64
+	// Timeout aborts a run that does not complete (default 2 minutes);
+	// RunBatch returns an error when it fires.
+	Timeout time.Duration
+}
+
+// RunBatch populates the workload, executes it to completion on a malleable
+// pool, verifies its invariants and reports the makespan.
+func RunBatch(w BatchWorkload, opt BatchOptions) (*BatchReport, error) {
+	if opt.PoolSize < 1 {
+		return nil, fmt.Errorf("stamp: pool size %d < 1", opt.PoolSize)
+	}
+	timeout := opt.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	if err := w.Setup(rand.New(rand.NewSource(opt.Seed))); err != nil {
+		return nil, fmt.Errorf("stamp: setup %s: %w", w.Name(), err)
+	}
+	p, err := pool.New(opt.PoolSize, opt.Seed+1, w.Task())
+	if err != nil {
+		return nil, err
+	}
+	rep := &BatchReport{Workload: w.Name()}
+
+	var tuner *core.Tuner
+	if opt.Controller != nil {
+		rep.Levels = trace.NewSeries(w.Name() + "/level")
+		tuner = &core.Tuner{
+			Controller: opt.Controller,
+			Target:     p,
+			Period:     opt.Period,
+			Levels:     rep.Levels,
+		}
+	} else {
+		p.SetLevel(opt.PoolSize)
+	}
+
+	start := time.Now()
+	p.Start()
+	if tuner != nil {
+		tuner.Start()
+	}
+	deadline := start.Add(timeout)
+	for !w.Done() {
+		if time.Now().After(deadline) {
+			if tuner != nil {
+				tuner.Stop()
+			}
+			p.Stop()
+			return rep, fmt.Errorf("stamp: %s did not complete within %v", w.Name(), timeout)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	rep.Elapsed = time.Since(start)
+	if tuner != nil {
+		tuner.Stop()
+	}
+	p.Stop()
+	rep.Completed = p.Completed()
+
+	if err := w.Verify(); err != nil {
+		return rep, fmt.Errorf("stamp: verification failed: %w", err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,94 @@
+package stamp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rubic/internal/core"
+	"rubic/internal/pool"
+	"rubic/internal/stamp/genome"
+	"rubic/internal/stamp/kmeans"
+	"rubic/internal/stamp/labyrinth"
+	"rubic/internal/stm"
+)
+
+func TestRunBatchValidation(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	w := genome.New(rt, genome.Config{GenomeLen: 128, SegmentLen: 8})
+	if _, err := RunBatch(w, BatchOptions{PoolSize: 0}); err == nil {
+		t.Fatal("zero pool size accepted")
+	}
+}
+
+func TestRunBatchEachWorkload(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() BatchWorkload
+	}{
+		{"genome", func() BatchWorkload {
+			return genome.New(stm.New(stm.Config{}), genome.Config{GenomeLen: 256, SegmentLen: 12})
+		}},
+		{"kmeans", func() BatchWorkload {
+			return kmeans.New(stm.New(stm.Config{}), kmeans.Config{Points: 512, Clusters: 4})
+		}},
+		{"labyrinth", func() BatchWorkload {
+			return labyrinth.New(stm.New(stm.Config{}), labyrinth.Config{X: 16, Y: 16, Z: 2, Requests: 16})
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name+"/greedy", func(t *testing.T) {
+			rep, err := RunBatch(tc.mk(), BatchOptions{
+				PoolSize: 4,
+				Seed:     1,
+				Timeout:  time.Minute,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Completed == 0 {
+				t.Fatal("no tasks completed")
+			}
+			if rep.Elapsed <= 0 {
+				t.Fatal("no makespan recorded")
+			}
+		})
+		t.Run(tc.name+"/rubic", func(t *testing.T) {
+			rep, err := RunBatch(tc.mk(), BatchOptions{
+				PoolSize:   4,
+				Controller: core.NewRUBIC(core.RUBICConfig{MaxLevel: 4}),
+				Period:     2 * time.Millisecond,
+				Seed:       2,
+				Timeout:    time.Minute,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Completed == 0 {
+				t.Fatal("no tasks completed under controller")
+			}
+		})
+	}
+}
+
+func TestRunBatchTimeout(t *testing.T) {
+	// A workload that never finishes must trip the timeout.
+	rt := stm.New(stm.Config{})
+	w := &neverDone{inner: genome.New(rt, genome.Config{GenomeLen: 128, SegmentLen: 8})}
+	_, err := RunBatch(w, BatchOptions{PoolSize: 2, Seed: 1, Timeout: 50 * time.Millisecond})
+	if err == nil {
+		t.Fatal("timeout did not fire")
+	}
+}
+
+// neverDone wraps a batch workload and hides its completion.
+type neverDone struct {
+	inner *genome.Bench
+}
+
+func (n *neverDone) Name() string             { return "never-done" }
+func (n *neverDone) Setup(r *rand.Rand) error { return n.inner.Setup(r) }
+func (n *neverDone) Task() pool.Task          { return n.inner.Task() }
+func (n *neverDone) Done() bool               { return false }
+func (n *neverDone) Verify() error            { return n.inner.Verify() }

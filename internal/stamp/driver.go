@@ -1,0 +1,106 @@
+package stamp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rubic/internal/core"
+	"rubic/internal/pool"
+	"rubic/internal/trace"
+)
+
+// RunOptions configures a real-runtime measurement of a workload under a
+// parallelism controller.
+type RunOptions struct {
+	// PoolSize is the worker count (the maximum parallelism level).
+	PoolSize int
+	// Duration is the measurement length.
+	Duration time.Duration
+	// Period is the controller period; defaults to the paper's 10 ms.
+	Period time.Duration
+	// Controller steers the pool; nil runs at a fixed level of PoolSize
+	// (greedy).
+	Controller core.Controller
+	// Seed derives the workload's and the workers' random streams.
+	Seed int64
+	// SkipSetup reuses previously populated workload state (for repeated
+	// runs on the same instance).
+	SkipSetup bool
+}
+
+// Report is the outcome of one real run.
+type Report struct {
+	Workload string
+	// Completed is the number of tasks (transactional operations) finished.
+	Completed uint64
+	// Throughput is Completed divided by the wall-clock duration.
+	Throughput float64
+	// Levels and Throughputs trace the controller's rounds (nil without a
+	// controller).
+	Levels      *trace.Series
+	Throughputs *trace.Series
+	// MeanLevel is the time-averaged level (PoolSize without a controller).
+	MeanLevel float64
+}
+
+// Run populates the workload, runs it on a malleable pool under the given
+// controller for the configured duration, verifies the workload's
+// invariants, and reports the measured throughput.
+func Run(w Workload, opt RunOptions) (*Report, error) {
+	if opt.PoolSize < 1 {
+		return nil, fmt.Errorf("stamp: pool size %d < 1", opt.PoolSize)
+	}
+	if opt.Duration <= 0 {
+		return nil, fmt.Errorf("stamp: duration must be positive")
+	}
+	if !opt.SkipSetup {
+		if err := w.Setup(rand.New(rand.NewSource(opt.Seed))); err != nil {
+			return nil, fmt.Errorf("stamp: setup %s: %w", w.Name(), err)
+		}
+	}
+	p, err := pool.New(opt.PoolSize, opt.Seed+1, w.Task())
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Workload: w.Name()}
+
+	var tuner *core.Tuner
+	if opt.Controller != nil {
+		rep.Levels = trace.NewSeries(w.Name() + "/level")
+		rep.Throughputs = trace.NewSeries(w.Name() + "/throughput")
+		tuner = &core.Tuner{
+			Controller:  opt.Controller,
+			Target:      p,
+			Period:      opt.Period,
+			Levels:      rep.Levels,
+			Throughputs: rep.Throughputs,
+		}
+	} else {
+		p.SetLevel(opt.PoolSize)
+	}
+
+	start := time.Now()
+	p.Start()
+	if tuner != nil {
+		tuner.Start()
+	}
+	time.Sleep(opt.Duration)
+	if tuner != nil {
+		tuner.Stop()
+	}
+	p.Stop()
+	elapsed := time.Since(start).Seconds()
+
+	rep.Completed = p.Completed()
+	rep.Throughput = float64(rep.Completed) / elapsed
+	if rep.Levels != nil && rep.Levels.Len() > 0 {
+		rep.MeanLevel = rep.Levels.Mean()
+	} else {
+		rep.MeanLevel = float64(opt.PoolSize)
+	}
+	if err := w.Verify(); err != nil {
+		return rep, fmt.Errorf("stamp: verification failed: %w", err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,86 @@
+package stamp
+
+import (
+	"testing"
+	"time"
+
+	"rubic/internal/core"
+	"rubic/internal/stamp/intruder"
+	"rubic/internal/stamp/rbtree"
+	"rubic/internal/stamp/vacation"
+	"rubic/internal/stm"
+)
+
+func TestRunValidation(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	w := rbtree.New(rt, rbtree.Config{Elements: 64})
+	if _, err := Run(w, RunOptions{PoolSize: 0, Duration: time.Millisecond}); err == nil {
+		t.Fatal("zero pool size accepted")
+	}
+	if _, err := Run(w, RunOptions{PoolSize: 2, Duration: 0}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+// TestRunEachWorkloadGreedy drives every workload on the real STM for a
+// short burst without a controller and verifies its invariants afterwards.
+func TestRunEachWorkloadGreedy(t *testing.T) {
+	workloads := []Workload{
+		rbtree.New(stm.New(stm.Config{}), rbtree.Config{Elements: 512}),
+		vacation.New(stm.New(stm.Config{}), vacation.Config{Relations: 64}),
+		intruder.New(stm.New(stm.Config{}), intruder.Config{Flows: 32, FragmentsPerFlow: 4, PayloadLen: 64}),
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			rep, err := Run(w, RunOptions{
+				PoolSize: 4,
+				Duration: 150 * time.Millisecond,
+				Seed:     1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Completed == 0 {
+				t.Fatal("no tasks completed")
+			}
+			if rep.Throughput <= 0 {
+				t.Fatalf("throughput = %v", rep.Throughput)
+			}
+			if rep.MeanLevel != 4 {
+				t.Fatalf("mean level = %v, want pool size 4", rep.MeanLevel)
+			}
+		})
+	}
+}
+
+// TestRunUnderRUBIC drives the rbtree workload under a live RUBIC controller
+// and checks that the tuner actually adjusted the level and recorded traces.
+func TestRunUnderRUBIC(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	w := rbtree.New(rt, rbtree.Config{Elements: 1024})
+	rep, err := Run(w, RunOptions{
+		PoolSize:   8,
+		Duration:   400 * time.Millisecond,
+		Period:     10 * time.Millisecond,
+		Controller: core.NewRUBIC(core.RUBICConfig{MaxLevel: 8}),
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no tasks completed")
+	}
+	if rep.Levels == nil || rep.Levels.Len() < 10 {
+		t.Fatalf("controller recorded %d rounds, want >= 10", rep.Levels.Len())
+	}
+	if rep.MeanLevel < 1 || rep.MeanLevel > 8 {
+		t.Fatalf("mean level = %v, out of [1, 8]", rep.MeanLevel)
+	}
+	// The controller must have moved off the initial level at some point.
+	lo, hi := rep.Levels.MinMax()
+	if lo == hi {
+		t.Fatalf("level never changed (stuck at %v)", lo)
+	}
+}

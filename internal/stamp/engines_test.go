@@ -1,0 +1,65 @@
+package stamp
+
+import (
+	"testing"
+	"time"
+
+	"rubic/internal/stamp/genome"
+	"rubic/internal/stamp/intruder"
+	"rubic/internal/stamp/rbtree"
+	"rubic/internal/stamp/vacation"
+	"rubic/internal/stm"
+)
+
+// TestWorkloadsOnBothEngines runs every workload on both STM engines (the
+// RSTM-style point of the substrate: the algorithm is a plug-in) and
+// verifies all invariants.
+func TestWorkloadsOnBothEngines(t *testing.T) {
+	for _, algo := range []stm.Algorithm{stm.TL2, stm.NOrec} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			cfg := stm.Config{Algorithm: algo}
+
+			t.Run("rbtree", func(t *testing.T) {
+				w := rbtree.New(stm.New(cfg), rbtree.Config{Elements: 512, LookupPct: 80})
+				rep, err := Run(w, RunOptions{PoolSize: 4, Duration: 120 * time.Millisecond, Seed: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Completed == 0 {
+					t.Fatal("no work done")
+				}
+			})
+			t.Run("vacation", func(t *testing.T) {
+				w := vacation.New(stm.New(cfg), vacation.Config{Relations: 64})
+				rep, err := Run(w, RunOptions{PoolSize: 4, Duration: 120 * time.Millisecond, Seed: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Completed == 0 {
+					t.Fatal("no work done")
+				}
+			})
+			t.Run("intruder", func(t *testing.T) {
+				w := intruder.New(stm.New(cfg), intruder.Config{Flows: 32, FragmentsPerFlow: 4, PayloadLen: 64})
+				rep, err := Run(w, RunOptions{PoolSize: 4, Duration: 120 * time.Millisecond, Seed: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Completed == 0 {
+					t.Fatal("no work done")
+				}
+			})
+			t.Run("genome", func(t *testing.T) {
+				w := genome.New(stm.New(cfg), genome.Config{GenomeLen: 256, SegmentLen: 12})
+				rep, err := RunBatch(w, BatchOptions{PoolSize: 4, Seed: 4, Timeout: time.Minute})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Completed == 0 {
+					t.Fatal("no work done")
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,333 @@
+// Package genome ports STAMP's Genome benchmark: gene sequencing by
+// segment deduplication and overlap matching. The benchmark proceeds in
+// three parallel phases over a shared transactional state:
+//
+//  1. deduplicate the sampled segments into a transactional hash table;
+//  2. index every unique segment by its (length-1)-prefix;
+//  3. link each segment to its unique successor (the segment whose prefix
+//     equals its suffix).
+//
+// Verification reassembles the genome by walking the links and compares it
+// byte for byte with the generated original — a run is correct only if
+// every transactional insert, index and lookup was.
+package genome
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rubic/internal/pool"
+	"rubic/internal/stm"
+	"rubic/internal/stm/container"
+)
+
+// Config parameterizes the benchmark.
+type Config struct {
+	// GenomeLen is the genome length in bases (default 1024).
+	GenomeLen int
+	// SegmentLen is the sampled segment length (default 16).
+	SegmentLen int
+	// Duplicates is the number of extra duplicate segments mixed into the
+	// sample (default GenomeLen/2), giving phase 1 real dedup work.
+	Duplicates int
+}
+
+func (c *Config) defaults() {
+	if c.GenomeLen == 0 {
+		c.GenomeLen = 1024
+	}
+	if c.SegmentLen == 0 {
+		c.SegmentLen = 16
+	}
+	if c.Duplicates == 0 {
+		c.Duplicates = c.GenomeLen / 2
+	}
+}
+
+// The parallel phases.
+const (
+	phaseDedup int32 = iota
+	phaseIndex
+	phaseLink
+	phaseDone
+)
+
+// Bench is a Genome instance.
+type Bench struct {
+	cfg Config
+	rt  *stm.Runtime
+
+	genome   string
+	segments []string // sampled segments (with duplicates), shuffled
+
+	dedup *container.HashMap[string] // content hash -> segment
+	index *container.HashMap[[]int]  // prefix hash -> unique indexes
+
+	phase     atomic.Int32
+	cursor    [3]atomic.Int64 // per-phase work claim counters
+	completed [3]atomic.Int64 // per-phase completion counters
+	workLen   [3]atomic.Int64
+
+	mu      sync.Mutex // guards phase transitions
+	uniques []string   // built at the dedup->index transition
+	next    []int32    // uniques[i]'s successor, -1 if none; single writer per slot
+}
+
+// New returns an unpopulated benchmark on the given runtime.
+func New(rt *stm.Runtime, cfg Config) *Bench {
+	cfg.defaults()
+	return &Bench{
+		cfg:   cfg,
+		rt:    rt,
+		dedup: container.NewHashMap[string](cfg.GenomeLen),
+		index: container.NewHashMap[[]int](cfg.GenomeLen),
+	}
+}
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string {
+	return fmt.Sprintf("genome(G=%d,S=%d)", b.cfg.GenomeLen, b.cfg.SegmentLen)
+}
+
+const bases = "ACGT"
+
+func hash64(s string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return int64(h.Sum64())
+}
+
+// Setup implements stamp.Workload: generates a genome whose overlapping
+// (SegmentLen-1)-mers are all distinct (so every segment has a unique
+// successor), samples every segment position plus duplicates, and shuffles.
+func (b *Bench) Setup(rng *rand.Rand) error {
+	g, s := b.cfg.GenomeLen, b.cfg.SegmentLen
+	if s < 4 || s >= g {
+		return fmt.Errorf("genome: segment length %d out of range (4..%d)", s, g-1)
+	}
+	const maxAttempts = 100
+	for attempt := 0; ; attempt++ {
+		if attempt == maxAttempts {
+			return fmt.Errorf("genome: could not generate distinct %d-mers in %d attempts", s-1, maxAttempts)
+		}
+		buf := make([]byte, g)
+		for i := range buf {
+			buf[i] = bases[rng.Intn(len(bases))]
+		}
+		genome := string(buf)
+		seen := make(map[string]struct{}, g)
+		distinct := true
+		for i := 0; i+s-1 <= g; i++ {
+			k := genome[i : i+s-1]
+			if _, ok := seen[k]; ok {
+				distinct = false
+				break
+			}
+			seen[k] = struct{}{}
+		}
+		if !distinct {
+			continue
+		}
+		b.genome = genome
+		break
+	}
+	// Sample: every position once, plus duplicates.
+	positions := g - s + 1
+	b.segments = make([]string, 0, positions+b.cfg.Duplicates)
+	for i := 0; i < positions; i++ {
+		b.segments = append(b.segments, b.genome[i:i+s])
+	}
+	for i := 0; i < b.cfg.Duplicates; i++ {
+		p := rng.Intn(positions)
+		b.segments = append(b.segments, b.genome[p:p+s])
+	}
+	rng.Shuffle(len(b.segments), func(i, j int) {
+		b.segments[i], b.segments[j] = b.segments[j], b.segments[i]
+	})
+	b.workLen[phaseDedup].Store(int64(len(b.segments)))
+	b.phase.Store(phaseDedup)
+	return nil
+}
+
+// Done implements stamp.BatchWorkload.
+func (b *Bench) Done() bool { return b.phase.Load() == phaseDone }
+
+// Task implements stamp.Workload: claim and execute one unit of the current
+// phase; drive the phase transition when the current phase drains.
+func (b *Bench) Task() pool.Task {
+	return func(_ int, _ *rand.Rand) bool {
+		for {
+			ph := b.phase.Load()
+			if ph == phaseDone {
+				runtime.Gosched()
+				return false
+			}
+			idx := b.cursor[ph].Add(1) - 1
+			if idx >= b.workLen[ph].Load() {
+				if !b.tryAdvance(ph) {
+					// Stragglers still finishing this phase; try later.
+					runtime.Gosched()
+					return false
+				}
+				continue
+			}
+			var err error
+			switch ph {
+			case phaseDedup:
+				err = b.doDedup(int(idx))
+			case phaseIndex:
+				err = b.doIndex(int(idx))
+			case phaseLink:
+				err = b.doLink(int(idx))
+			}
+			if err != nil {
+				return false
+			}
+			b.completed[ph].Add(1)
+			return true
+		}
+	}
+}
+
+// tryAdvance moves to the next phase once every unit of ph has completed.
+// It reports whether the phase advanced (by this or a concurrent worker).
+func (b *Bench) tryAdvance(ph int32) bool {
+	if b.phase.Load() != ph {
+		return true // someone else advanced already
+	}
+	if b.completed[ph].Load() != b.workLen[ph].Load() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.phase.Load() != ph {
+		return true
+	}
+	switch ph {
+	case phaseDedup:
+		// Collect the unique segments for the indexing phase.
+		if err := b.rt.Atomic(func(tx *stm.Tx) error {
+			b.uniques = b.uniques[:0]
+			b.dedup.Range(tx, func(_ int64, seg string) bool {
+				b.uniques = append(b.uniques, seg)
+				return true
+			})
+			return nil
+		}); err != nil {
+			return false
+		}
+		b.next = make([]int32, len(b.uniques))
+		for i := range b.next {
+			b.next[i] = -1
+		}
+		b.workLen[phaseIndex].Store(int64(len(b.uniques)))
+		b.phase.Store(phaseIndex)
+	case phaseIndex:
+		b.workLen[phaseLink].Store(int64(len(b.uniques)))
+		b.phase.Store(phaseLink)
+	case phaseLink:
+		b.phase.Store(phaseDone)
+	}
+	return true
+}
+
+// doDedup inserts segment idx into the dedup table.
+func (b *Bench) doDedup(idx int) error {
+	seg := b.segments[idx]
+	return b.rt.Atomic(func(tx *stm.Tx) error {
+		b.dedup.PutIfAbsent(tx, hash64(seg), seg)
+		return nil
+	})
+}
+
+// doIndex registers unique idx under its prefix hash.
+func (b *Bench) doIndex(idx int) error {
+	prefix := b.uniques[idx][:b.cfg.SegmentLen-1]
+	key := hash64(prefix)
+	return b.rt.Atomic(func(tx *stm.Tx) error {
+		lst, _ := b.index.Get(tx, key)
+		updated := make([]int, 0, len(lst)+1)
+		updated = append(updated, lst...)
+		updated = append(updated, idx)
+		b.index.Put(tx, key, updated)
+		return nil
+	})
+}
+
+// doLink finds unique idx's successor: the unique whose prefix equals idx's
+// suffix. The write target is owned by this task alone, so only the index
+// lookup is transactional.
+func (b *Bench) doLink(idx int) error {
+	suffix := b.uniques[idx][1:]
+	key := hash64(suffix)
+	var candidates []int
+	if err := b.rt.AtomicRO(func(tx *stm.Tx) error {
+		candidates, _ = b.index.Get(tx, key)
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, c := range candidates {
+		if c != idx && b.uniques[c][:b.cfg.SegmentLen-1] == suffix {
+			b.next[idx] = int32(c)
+			return nil
+		}
+	}
+	return nil // the final segment has no successor
+}
+
+// Verify implements stamp.Workload: walks the computed successor links from
+// the unique start segment and compares the reassembled genome with the
+// original.
+func (b *Bench) Verify() error {
+	if !b.Done() {
+		return fmt.Errorf("genome: verification before completion (phase %d)", b.phase.Load())
+	}
+	wantUniques := b.cfg.GenomeLen - b.cfg.SegmentLen + 1
+	if len(b.uniques) != wantUniques {
+		return fmt.Errorf("genome: %d unique segments, want %d", len(b.uniques), wantUniques)
+	}
+	// The start segment is the one that is nobody's successor.
+	isSuccessor := make([]bool, len(b.uniques))
+	for _, n := range b.next {
+		if n >= 0 {
+			isSuccessor[n] = true
+		}
+	}
+	start := -1
+	for i, s := range isSuccessor {
+		if !s {
+			if start != -1 {
+				return fmt.Errorf("genome: multiple chain starts (%d and %d)", start, i)
+			}
+			start = i
+		}
+	}
+	if start < 0 {
+		return fmt.Errorf("genome: no chain start (cycle)")
+	}
+	assembled := make([]byte, 0, b.cfg.GenomeLen)
+	assembled = append(assembled, b.uniques[start]...)
+	seen := 1
+	for cur := b.next[start]; cur >= 0; cur = b.next[cur] {
+		assembled = append(assembled, b.uniques[cur][b.cfg.SegmentLen-1])
+		seen++
+		if seen > len(b.uniques) {
+			return fmt.Errorf("genome: successor chain longer than unique count (cycle)")
+		}
+	}
+	if seen != len(b.uniques) {
+		return fmt.Errorf("genome: chain covers %d of %d uniques", seen, len(b.uniques))
+	}
+	if string(assembled) != b.genome {
+		return fmt.Errorf("genome: reassembled genome differs from original")
+	}
+	return nil
+}
+
+// Phase reports the current phase for tests and progress displays.
+func (b *Bench) Phase() int32 { return b.phase.Load() }

@@ -1,0 +1,101 @@
+package genome
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rubic/internal/stm"
+)
+
+func TestSetupValidation(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{GenomeLen: 64, SegmentLen: 2})
+	if err := b.Setup(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("tiny segment accepted")
+	}
+	b = New(rt, Config{GenomeLen: 8, SegmentLen: 8})
+	if err := b.Setup(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("segment = genome accepted")
+	}
+}
+
+func TestSetupDistinctKmers(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{GenomeLen: 512, SegmentLen: 16})
+	if err := b.Setup(rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.genome) != 512 {
+		t.Fatalf("genome length %d", len(b.genome))
+	}
+	want := 512 - 16 + 1 + 256 // positions + default duplicates (512/2)
+	if len(b.segments) != want {
+		t.Fatalf("segments = %d, want %d", len(b.segments), want)
+	}
+	seen := map[string]struct{}{}
+	for i := 0; i+15 <= 512; i++ {
+		k := b.genome[i : i+15]
+		if _, ok := seen[k]; ok {
+			t.Fatal("duplicate 15-mer in genome")
+		}
+		seen[k] = struct{}{}
+	}
+}
+
+func TestSequentialCompletion(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{GenomeLen: 256, SegmentLen: 12, Duplicates: 64})
+	if err := b.Setup(rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	task := b.Task()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100000 && !b.Done(); i++ {
+		task(0, rng)
+	}
+	if !b.Done() {
+		t.Fatal("workload did not complete")
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAssembly(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{GenomeLen: 384, SegmentLen: 14, Duplicates: 128})
+	if err := b.Setup(rand.New(rand.NewSource(5))); err != nil {
+		t.Fatal(err)
+	}
+	task := b.Task()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200000 && !b.Done(); i++ {
+				task(g, rng)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !b.Done() {
+		t.Fatalf("workload stuck in phase %d", b.Phase())
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyBeforeCompletion(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{GenomeLen: 128, SegmentLen: 8})
+	if err := b.Setup(rand.New(rand.NewSource(6))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(); err == nil {
+		t.Fatal("Verify before completion accepted")
+	}
+}

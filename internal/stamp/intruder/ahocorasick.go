@@ -1,0 +1,120 @@
+package intruder
+
+// Aho-Corasick multi-pattern matcher: the detection phase of the original
+// Intruder scans each reassembled flow against a signature dictionary with
+// exactly this automaton, making detection cost independent of the
+// dictionary size.
+
+// acNode is one state of the automaton.
+type acNode struct {
+	next    map[byte]*acNode
+	fail    *acNode
+	matches []int // indexes of patterns ending at this state
+}
+
+// Matcher is an immutable Aho-Corasick automaton over a set of patterns.
+// Safe for concurrent use once built.
+type Matcher struct {
+	root     *acNode
+	patterns []string
+}
+
+// NewMatcher builds the automaton for the given patterns; empty patterns
+// are ignored.
+func NewMatcher(patterns []string) *Matcher {
+	m := &Matcher{root: &acNode{next: map[byte]*acNode{}}}
+	for _, p := range patterns {
+		if p == "" {
+			continue
+		}
+		m.patterns = append(m.patterns, p)
+	}
+	// Trie construction.
+	for i, p := range m.patterns {
+		cur := m.root
+		for j := 0; j < len(p); j++ {
+			c := p[j]
+			nxt, ok := cur.next[c]
+			if !ok {
+				nxt = &acNode{next: map[byte]*acNode{}}
+				cur.next[c] = nxt
+			}
+			cur = nxt
+		}
+		cur.matches = append(cur.matches, i)
+	}
+	// Failure links, breadth-first.
+	queue := make([]*acNode, 0, 16)
+	for _, child := range m.root.next {
+		child.fail = m.root
+		queue = append(queue, child)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for c, child := range cur.next {
+			f := cur.fail
+			for f != nil {
+				if nxt, ok := f.next[c]; ok {
+					child.fail = nxt
+					break
+				}
+				f = f.fail
+			}
+			if child.fail == nil {
+				child.fail = m.root
+			}
+			child.matches = append(child.matches, child.fail.matches...)
+			queue = append(queue, child)
+		}
+	}
+	return m
+}
+
+// step advances the automaton from state on byte c.
+func (m *Matcher) step(state *acNode, c byte) *acNode {
+	for {
+		if nxt, ok := state.next[c]; ok {
+			return nxt
+		}
+		if state == m.root {
+			return m.root
+		}
+		state = state.fail
+	}
+}
+
+// FindAny returns the index of the first pattern found in text, or -1.
+func (m *Matcher) FindAny(text string) int {
+	state := m.root
+	for i := 0; i < len(text); i++ {
+		state = m.step(state, text[i])
+		if len(state.matches) > 0 {
+			return state.matches[0]
+		}
+	}
+	return -1
+}
+
+// FindAll returns the set of distinct pattern indexes occurring in text.
+func (m *Matcher) FindAll(text string) []int {
+	seen := map[int]struct{}{}
+	state := m.root
+	for i := 0; i < len(text); i++ {
+		state = m.step(state, text[i])
+		for _, p := range state.matches {
+			seen[p] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Pattern returns the idx-th pattern.
+func (m *Matcher) Pattern(idx int) string { return m.patterns[idx] }
+
+// NumPatterns returns the dictionary size.
+func (m *Matcher) NumPatterns() int { return len(m.patterns) }

@@ -1,0 +1,110 @@
+package intruder
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatcherBasic(t *testing.T) {
+	m := NewMatcher([]string{"he", "she", "his", "hers"})
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"ushers", []string{"he", "she", "hers"}},
+		{"his", []string{"his"}},
+		{"xyz", nil},
+		{"", nil},
+		{"hehehe", []string{"he"}},
+		{"shis", []string{"his"}},
+	}
+	for _, tc := range cases {
+		got := m.FindAll(tc.text)
+		var names []string
+		for _, idx := range got {
+			names = append(names, m.Pattern(idx))
+		}
+		sort.Strings(names)
+		want := append([]string(nil), tc.want...)
+		sort.Strings(want)
+		if len(names) != len(want) {
+			t.Errorf("FindAll(%q) = %v, want %v", tc.text, names, want)
+			continue
+		}
+		for i := range want {
+			if names[i] != want[i] {
+				t.Errorf("FindAll(%q) = %v, want %v", tc.text, names, want)
+				break
+			}
+		}
+	}
+}
+
+func TestMatcherFindAny(t *testing.T) {
+	m := NewMatcher([]string{"needle"})
+	if m.FindAny("haystack") != -1 {
+		t.Error("found a needle in a clean haystack")
+	}
+	if idx := m.FindAny("hayneedlestack"); idx != 0 {
+		t.Errorf("FindAny = %d, want 0", idx)
+	}
+	if m.NumPatterns() != 1 || m.Pattern(0) != "needle" {
+		t.Error("pattern accessors wrong")
+	}
+}
+
+func TestMatcherEmptyPatternsIgnored(t *testing.T) {
+	m := NewMatcher([]string{"", "abc", ""})
+	if m.NumPatterns() != 1 {
+		t.Fatalf("NumPatterns = %d, want 1", m.NumPatterns())
+	}
+	if m.FindAny("zzabczz") != 0 {
+		t.Fatal("abc not found")
+	}
+}
+
+func TestMatcherOverlappingPatterns(t *testing.T) {
+	m := NewMatcher([]string{"aaa", "aa", "a"})
+	got := m.FindAll("aaa")
+	if len(got) != 3 {
+		t.Fatalf("FindAll(aaa) found %d patterns, want all 3", len(got))
+	}
+}
+
+// TestMatcherQuickAgainstContains property: FindAll agrees with
+// strings.Contains for random texts and dictionaries.
+func TestMatcherQuickAgainstContains(t *testing.T) {
+	alphabet := "abcd"
+	randWord := func(rng *rand.Rand, n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var patterns []string
+		for i := 0; i < rng.Intn(6)+1; i++ {
+			patterns = append(patterns, randWord(rng, rng.Intn(4)+1))
+		}
+		text := randWord(rng, rng.Intn(60))
+		m := NewMatcher(patterns)
+		found := map[string]bool{}
+		for _, idx := range m.FindAll(text) {
+			found[m.Pattern(idx)] = true
+		}
+		for _, p := range patterns {
+			if strings.Contains(text, p) != found[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package intruder ports STAMP's Intruder benchmark: network intrusion
+// detection over fragmented flows. Each task processes one packet fragment
+// through the benchmark's three phases — capture (pop a fragment from the
+// shared stream), reassembly (insert it into the shared flow dictionary,
+// extracting the flow once complete) and detection (scan the reassembled
+// payload for attack signatures, pure computation).
+//
+// The capture cursor and the flow dictionary are the benchmark's inherent
+// serialization points; as in the original, they make Intruder scale poorly
+// and collapse under heavy parallelism (Figure 1 of the paper).
+//
+// The host machine being unable to replay the original's packet traces, the
+// stream is synthetic: a deterministic set of flows, fragmented and
+// shuffled, replayed in epochs so the stream never runs dry during
+// throughput measurement. Reassembled payloads are compared with the
+// original flows byte for byte, making the workload a continuous
+// correctness check of the STM under contention.
+package intruder
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+
+	"rubic/internal/pool"
+	"rubic/internal/stm"
+	"rubic/internal/stm/container"
+)
+
+// Attack signatures planted in (and searched for in) flow payloads; a small
+// stand-in for the original's signature dictionary.
+var signatures = []string{
+	"ABOUT_TO_OWN_YOU",
+	"R00T_SHELL_NOW",
+	"DROP_TABLE_USERS",
+	"EVIL_PAYLOAD_42",
+}
+
+// Config parameterizes the benchmark.
+type Config struct {
+	// Flows is the number of distinct flows in the synthetic stream
+	// (default 256).
+	Flows int
+	// FragmentsPerFlow is the number of fragments each flow splits into
+	// (default 8).
+	FragmentsPerFlow int
+	// PayloadLen is each flow's payload length in bytes (default 256).
+	PayloadLen int
+	// AttackPct is the percentage of flows carrying an attack (default 10).
+	AttackPct int
+}
+
+func (c *Config) defaults() {
+	if c.Flows == 0 {
+		c.Flows = 256
+	}
+	if c.FragmentsPerFlow == 0 {
+		c.FragmentsPerFlow = 8
+	}
+	if c.PayloadLen == 0 {
+		c.PayloadLen = 256
+	}
+	if c.AttackPct == 0 {
+		c.AttackPct = 10
+	}
+}
+
+// fragment is one packet of the synthetic stream. Immutable after
+// generation.
+type fragment struct {
+	flow  int
+	index int
+	data  string
+}
+
+// flowState is a flow's partial reassembly in the shared dictionary.
+type flowState struct {
+	pieces   *container.RBTree[string]
+	received *stm.Var[int]
+}
+
+// Bench is an Intruder instance.
+type Bench struct {
+	cfg Config
+	rt  *stm.Runtime
+
+	flows    []string // original payloads, for end-to-end verification
+	isAttack []bool
+	stream   []fragment // shuffled fragment order, replayed in epochs
+
+	cursor *stm.Var[int64] // capture phase serialization point
+	dict   *container.HashMap[*flowState]
+
+	matcher *Matcher // Aho-Corasick over the signature dictionary
+
+	assembled  atomic.Uint64
+	attacks    atomic.Uint64
+	mismatches atomic.Uint64
+	outOfOrder atomic.Uint64
+}
+
+// New returns an unpopulated benchmark on the given runtime.
+func New(rt *stm.Runtime, cfg Config) *Bench {
+	cfg.defaults()
+	return &Bench{
+		cfg:     cfg,
+		rt:      rt,
+		cursor:  stm.NewVar[int64](0),
+		dict:    container.NewHashMap[*flowState](cfg.Flows),
+		matcher: NewMatcher(signatures),
+	}
+}
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string {
+	return fmt.Sprintf("intruder(f=%d,frag=%d)", b.cfg.Flows, b.cfg.FragmentsPerFlow)
+}
+
+const payloadAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+// Setup implements stamp.Workload: generates the flows, plants attacks,
+// fragments everything and shuffles the stream.
+func (b *Bench) Setup(rng *rand.Rand) error {
+	if b.cfg.PayloadLen < len(signatures[0])+8 {
+		return fmt.Errorf("intruder: payload length %d too short", b.cfg.PayloadLen)
+	}
+	b.flows = make([]string, b.cfg.Flows)
+	b.isAttack = make([]bool, b.cfg.Flows)
+	for f := range b.flows {
+		payload := make([]byte, b.cfg.PayloadLen)
+		for i := range payload {
+			payload[i] = payloadAlphabet[rng.Intn(len(payloadAlphabet))]
+		}
+		if rng.Intn(100) < b.cfg.AttackPct {
+			sig := signatures[rng.Intn(len(signatures))]
+			pos := rng.Intn(len(payload) - len(sig))
+			copy(payload[pos:], sig)
+			b.isAttack[f] = true
+		}
+		b.flows[f] = string(payload)
+	}
+	// Fragment: split each payload into FragmentsPerFlow contiguous chunks.
+	for f, payload := range b.flows {
+		n := b.cfg.FragmentsPerFlow
+		for i := 0; i < n; i++ {
+			lo := i * len(payload) / n
+			hi := (i + 1) * len(payload) / n
+			b.stream = append(b.stream, fragment{flow: f, index: i, data: payload[lo:hi]})
+		}
+	}
+	rng.Shuffle(len(b.stream), func(i, j int) {
+		b.stream[i], b.stream[j] = b.stream[j], b.stream[i]
+	})
+	return nil
+}
+
+// Task implements stamp.Workload. One invocation: capture + reassemble one
+// fragment; when that fragment completes its flow, also detect.
+func (b *Bench) Task() pool.Task {
+	return func(_ int, _ *rand.Rand) bool {
+		payload, flowID, complete, err := b.processOne()
+		if err != nil {
+			return false
+		}
+		if complete {
+			b.detect(flowID, payload)
+		}
+		return true
+	}
+}
+
+// processOne runs the capture and reassembly phases in one transaction, as
+// the original's decoder does. It returns the reassembled payload when this
+// fragment completed its flow.
+func (b *Bench) processOne() (payload string, flowID int, complete bool, err error) {
+	err = b.rt.Atomic(func(tx *stm.Tx) error {
+		payload, flowID, complete = "", 0, false
+		// Capture: claim the next stream position.
+		pos := b.cursor.Read(tx)
+		b.cursor.Write(tx, pos+1)
+		frag := b.stream[int(pos)%len(b.stream)]
+		epoch := pos / int64(len(b.stream))
+		key := epoch*int64(b.cfg.Flows) + int64(frag.flow)
+
+		// Reassembly: insert the fragment into the flow's state.
+		st, ok := b.dict.Get(tx, key)
+		if !ok {
+			st = &flowState{
+				pieces:   container.NewRBTree[string](),
+				received: stm.NewVar(0),
+			}
+			b.dict.Put(tx, key, st)
+		}
+		if !st.pieces.Put(tx, int64(frag.index), frag.data) {
+			// Duplicate fragment: impossible in the synthetic stream.
+			b.outOfOrder.Add(1)
+			return nil
+		}
+		n := st.received.Read(tx) + 1
+		st.received.Write(tx, n)
+		if n < b.cfg.FragmentsPerFlow {
+			return nil
+		}
+		// Flow complete: concatenate in fragment order and retire it.
+		var sb strings.Builder
+		st.pieces.Range(tx, func(_ int64, piece string) bool {
+			sb.WriteString(piece)
+			return true
+		})
+		b.dict.Delete(tx, key)
+		payload, flowID, complete = sb.String(), frag.flow, true
+		return nil
+	})
+	return payload, flowID, complete, err
+}
+
+// detect is the computation phase: an Aho-Corasick signature scan (as in
+// the original's dictionary search) plus an end-to-end check of the
+// reassembled payload against the original flow.
+func (b *Bench) detect(flowID int, payload string) {
+	b.assembled.Add(1)
+	if payload != b.flows[flowID] {
+		b.mismatches.Add(1)
+		return
+	}
+	if b.matcher.FindAny(payload) >= 0 {
+		b.attacks.Add(1)
+	}
+}
+
+// Verify implements stamp.Workload: no reassembled payload may differ from
+// its original, no duplicate fragments may have been observed, and the
+// attack count must be consistent with the attack rate of assembled flows.
+func (b *Bench) Verify() error {
+	if n := b.mismatches.Load(); n > 0 {
+		return fmt.Errorf("intruder: %d reassembled flows mismatched their originals", n)
+	}
+	if n := b.outOfOrder.Load(); n > 0 {
+		return fmt.Errorf("intruder: %d duplicate fragments observed", n)
+	}
+	// Every attack detection corresponds to an attack flow; with whole
+	// epochs processed the counts match exactly, so the rate can never
+	// exceed the planted rate.
+	planted := 0
+	for _, a := range b.isAttack {
+		if a {
+			planted++
+		}
+	}
+	if planted == 0 && b.attacks.Load() > 0 {
+		return fmt.Errorf("intruder: detected %d attacks but none planted", b.attacks.Load())
+	}
+	if b.attacks.Load() > b.assembled.Load() {
+		return fmt.Errorf("intruder: more attacks (%d) than assembled flows (%d)",
+			b.attacks.Load(), b.assembled.Load())
+	}
+	return nil
+}
+
+// Stats reports (assembled flows, detected attacks).
+func (b *Bench) Stats() (assembled, attacks uint64) {
+	return b.assembled.Load(), b.attacks.Load()
+}

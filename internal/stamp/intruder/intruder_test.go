@@ -1,0 +1,138 @@
+package intruder
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"rubic/internal/stm"
+)
+
+func setup(t *testing.T, cfg Config) *Bench {
+	t.Helper()
+	b := New(stm.New(stm.Config{}), cfg)
+	if err := b.Setup(rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSetupGeneratesStream(t *testing.T) {
+	b := setup(t, Config{Flows: 32, FragmentsPerFlow: 4, PayloadLen: 128})
+	if len(b.flows) != 32 {
+		t.Fatalf("flows = %d, want 32", len(b.flows))
+	}
+	if len(b.stream) != 32*4 {
+		t.Fatalf("stream = %d fragments, want 128", len(b.stream))
+	}
+	// Fragments of each flow must concatenate back to the payload.
+	rebuilt := make([]string, 32)
+	parts := make(map[int][]string)
+	for _, f := range b.stream {
+		for len(parts[f.flow]) <= f.index {
+			parts[f.flow] = append(parts[f.flow], "")
+		}
+		parts[f.flow][f.index] = f.data
+	}
+	for flow, ps := range parts {
+		rebuilt[flow] = strings.Join(ps, "")
+		if rebuilt[flow] != b.flows[flow] {
+			t.Fatalf("flow %d fragments do not reassemble", flow)
+		}
+	}
+}
+
+func TestPayloadTooShort(t *testing.T) {
+	b := New(stm.New(stm.Config{}), Config{PayloadLen: 4, Flows: 2, FragmentsPerFlow: 2})
+	if err := b.Setup(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("tiny payload accepted")
+	}
+}
+
+func TestSequentialFullEpoch(t *testing.T) {
+	const flows, frags = 16, 4
+	b := setup(t, Config{Flows: flows, FragmentsPerFlow: frags, PayloadLen: 64, AttackPct: 50})
+	task := b.Task()
+	rng := rand.New(rand.NewSource(2))
+	// Exactly one epoch: every flow reassembles exactly once.
+	for i := 0; i < flows*frags; i++ {
+		if !task(0, rng) {
+			t.Fatalf("task %d failed", i)
+		}
+	}
+	assembled, attacks := b.Stats()
+	if assembled != flows {
+		t.Fatalf("assembled = %d, want %d", assembled, flows)
+	}
+	planted := uint64(0)
+	for _, a := range b.isAttack {
+		if a {
+			planted++
+		}
+	}
+	if attacks != planted {
+		t.Fatalf("attacks = %d, want %d planted", attacks, planted)
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleEpochs(t *testing.T) {
+	const flows, frags = 8, 4
+	b := setup(t, Config{Flows: flows, FragmentsPerFlow: frags, PayloadLen: 64})
+	task := b.Task()
+	rng := rand.New(rand.NewSource(3))
+	const epochs = 3
+	for i := 0; i < flows*frags*epochs; i++ {
+		if !task(0, rng) {
+			t.Fatalf("task %d failed", i)
+		}
+	}
+	assembled, _ := b.Stats()
+	if assembled != flows*epochs {
+		t.Fatalf("assembled = %d, want %d", assembled, flows*epochs)
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReassembly(t *testing.T) {
+	const flows, frags = 24, 6
+	b := setup(t, Config{Flows: flows, FragmentsPerFlow: frags, PayloadLen: 96, AttackPct: 25})
+	task := b.Task()
+	const workers = 6
+	const perWorker = flows * frags / workers * 2 // two epochs total
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perWorker; i++ {
+				if !task(g, rng) {
+					t.Errorf("worker %d task %d failed", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	assembled, _ := b.Stats()
+	if assembled != flows*2 {
+		t.Fatalf("assembled = %d, want %d (two full epochs)", assembled, flows*2)
+	}
+}
+
+func TestVerifyCatchesMismatch(t *testing.T) {
+	b := setup(t, Config{Flows: 4, FragmentsPerFlow: 2, PayloadLen: 64})
+	b.mismatches.Add(1)
+	if err := b.Verify(); err == nil {
+		t.Fatal("Verify missed a payload mismatch")
+	}
+}

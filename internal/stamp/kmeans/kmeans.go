@@ -1,0 +1,309 @@
+// Package kmeans ports STAMP's KMeans benchmark: iterative k-means
+// clustering where each worker assigns a chunk of points to the nearest
+// centroid locally and folds its partial sums into shared, transactional
+// per-cluster accumulators — the benchmark's contention point. An iteration
+// barrier recomputes the centroids and tests convergence.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rubic/internal/pool"
+	"rubic/internal/stm"
+)
+
+// Config parameterizes the benchmark.
+type Config struct {
+	// Points is the dataset size (default 2048).
+	Points int
+	// Dims is the dimensionality (default 4).
+	Dims int
+	// Clusters is K (default 8).
+	Clusters int
+	// ChunkSize is the points-per-task granularity (default 32).
+	ChunkSize int
+	// Threshold is the fraction of points allowed to change membership in
+	// the final iteration (default 0, i.e. run to a fixed point).
+	Threshold float64
+	// MaxIterations bounds the run (default 64).
+	MaxIterations int
+}
+
+func (c *Config) defaults() {
+	if c.Points == 0 {
+		c.Points = 2048
+	}
+	if c.Dims == 0 {
+		c.Dims = 4
+	}
+	if c.Clusters == 0 {
+		c.Clusters = 8
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 32
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 64
+	}
+}
+
+// accum is a cluster's transactional accumulator for one iteration.
+type accum struct {
+	Sum   []float64
+	Count int
+}
+
+// Bench is a KMeans instance.
+type Bench struct {
+	cfg Config
+	rt  *stm.Runtime
+
+	points     [][]float64
+	membership []int32 // last assignment per point; chunk-owned writes
+
+	centroids [][]float64 // rewritten at each barrier, read-only in between
+	accums    []*stm.Var[accum]
+	changed   *stm.Var[int] // points that switched clusters this iteration
+
+	iteration atomic.Int32
+	cursor    atomic.Int64 // chunk claim counter for the current iteration
+	completed atomic.Int64 // chunks finished in the current iteration
+	chunks    int
+	done      atomic.Bool
+	mu        sync.Mutex // guards the barrier
+}
+
+// New returns an unpopulated benchmark on the given runtime.
+func New(rt *stm.Runtime, cfg Config) *Bench {
+	cfg.defaults()
+	return &Bench{cfg: cfg, rt: rt}
+}
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string {
+	return fmt.Sprintf("kmeans(n=%d,k=%d,d=%d)", b.cfg.Points, b.cfg.Clusters, b.cfg.Dims)
+}
+
+// Setup implements stamp.Workload: draws clustered points (a mixture of K
+// Gaussians, so convergence is quick and the result checkable) and seeds the
+// centroids with the first K points, like the original.
+func (b *Bench) Setup(rng *rand.Rand) error {
+	if b.cfg.Clusters >= b.cfg.Points {
+		return fmt.Errorf("kmeans: %d clusters for %d points", b.cfg.Clusters, b.cfg.Points)
+	}
+	centers := make([][]float64, b.cfg.Clusters)
+	for k := range centers {
+		centers[k] = make([]float64, b.cfg.Dims)
+		for d := range centers[k] {
+			centers[k][d] = rng.Float64() * 100
+		}
+	}
+	b.points = make([][]float64, b.cfg.Points)
+	for i := range b.points {
+		c := centers[rng.Intn(len(centers))]
+		p := make([]float64, b.cfg.Dims)
+		for d := range p {
+			p[d] = c[d] + rng.NormFloat64()*2
+		}
+		b.points[i] = p
+	}
+	b.membership = make([]int32, b.cfg.Points)
+	for i := range b.membership {
+		b.membership[i] = -1
+	}
+	b.centroids = make([][]float64, b.cfg.Clusters)
+	for k := range b.centroids {
+		b.centroids[k] = append([]float64(nil), b.points[k]...)
+	}
+	b.accums = make([]*stm.Var[accum], b.cfg.Clusters)
+	for k := range b.accums {
+		b.accums[k] = stm.NewVar(accum{Sum: make([]float64, b.cfg.Dims)})
+	}
+	b.changed = stm.NewVar(0)
+	b.chunks = (b.cfg.Points + b.cfg.ChunkSize - 1) / b.cfg.ChunkSize
+	return nil
+}
+
+// Done implements stamp.BatchWorkload.
+func (b *Bench) Done() bool { return b.done.Load() }
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func (b *Bench) nearest(p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for k, c := range b.centroids {
+		if d := sqDist(p, c); d < bestD {
+			best, bestD = k, d
+		}
+	}
+	return best
+}
+
+// Task implements stamp.Workload: process one chunk of the current
+// iteration; the worker draining the last chunk runs the barrier.
+func (b *Bench) Task() pool.Task {
+	return func(_ int, _ *rand.Rand) bool {
+		if b.done.Load() {
+			runtime.Gosched()
+			return false
+		}
+		idx := b.cursor.Add(1) - 1
+		if idx >= int64(b.chunks) {
+			b.tryBarrier()
+			runtime.Gosched()
+			return false
+		}
+		if err := b.processChunk(int(idx)); err != nil {
+			return false
+		}
+		b.completed.Add(1)
+		return true
+	}
+}
+
+// processChunk assigns the chunk's points locally and folds the partial
+// sums into the shared accumulators — one transaction per touched cluster,
+// as the original does.
+func (b *Bench) processChunk(chunk int) error {
+	lo := chunk * b.cfg.ChunkSize
+	hi := lo + b.cfg.ChunkSize
+	if hi > len(b.points) {
+		hi = len(b.points)
+	}
+	partial := make(map[int]*accum)
+	moved := 0
+	for i := lo; i < hi; i++ {
+		k := b.nearest(b.points[i])
+		if int32(k) != b.membership[i] {
+			moved++
+			b.membership[i] = int32(k)
+		}
+		pa := partial[k]
+		if pa == nil {
+			pa = &accum{Sum: make([]float64, b.cfg.Dims)}
+			partial[k] = pa
+		}
+		for d, v := range b.points[i] {
+			pa.Sum[d] += v
+		}
+		pa.Count++
+	}
+	for k, pa := range partial {
+		k, pa := k, pa
+		if err := b.rt.Atomic(func(tx *stm.Tx) error {
+			cur := b.accums[k].Read(tx)
+			next := accum{Sum: make([]float64, b.cfg.Dims), Count: cur.Count + pa.Count}
+			for d := range next.Sum {
+				next.Sum[d] = cur.Sum[d] + pa.Sum[d]
+			}
+			b.accums[k].Write(tx, next)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if moved > 0 {
+		if err := b.rt.Atomic(func(tx *stm.Tx) error {
+			b.changed.Write(tx, b.changed.Read(tx)+moved)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tryBarrier recomputes the centroids once every chunk of the iteration has
+// completed, then either finishes or opens the next iteration.
+func (b *Bench) tryBarrier() {
+	if b.completed.Load() != int64(b.chunks) || b.done.Load() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.completed.Load() != int64(b.chunks) || b.done.Load() {
+		return
+	}
+	var moved int
+	err := b.rt.Atomic(func(tx *stm.Tx) error {
+		moved = b.changed.Read(tx)
+		for k, av := range b.accums {
+			a := av.Read(tx)
+			if a.Count > 0 {
+				c := make([]float64, b.cfg.Dims)
+				for d := range c {
+					c[d] = a.Sum[d] / float64(a.Count)
+				}
+				b.centroids[k] = c
+			}
+			av.Write(tx, accum{Sum: make([]float64, b.cfg.Dims)})
+		}
+		b.changed.Write(tx, 0)
+		return nil
+	})
+	if err != nil {
+		return
+	}
+	it := b.iteration.Add(1)
+	if float64(moved) <= b.cfg.Threshold*float64(b.cfg.Points) || int(it) >= b.cfg.MaxIterations {
+		b.done.Store(true)
+		return
+	}
+	// Open the next iteration.
+	b.completed.Store(0)
+	b.cursor.Store(0)
+}
+
+// Verify implements stamp.Workload: at the fixed point every point must be
+// assigned to its nearest centroid, and every centroid must equal the mean
+// of its members (both recomputed sequentially).
+func (b *Bench) Verify() error {
+	if !b.Done() {
+		return fmt.Errorf("kmeans: verification before completion")
+	}
+	if int(b.iteration.Load()) >= b.cfg.MaxIterations && b.cfg.Threshold == 0 {
+		return fmt.Errorf("kmeans: hit the iteration cap (%d) without converging", b.cfg.MaxIterations)
+	}
+	sums := make([][]float64, b.cfg.Clusters)
+	counts := make([]int, b.cfg.Clusters)
+	for k := range sums {
+		sums[k] = make([]float64, b.cfg.Dims)
+	}
+	for i, p := range b.points {
+		k := b.nearest(p)
+		if int32(k) != b.membership[i] {
+			return fmt.Errorf("kmeans: point %d assigned to %d, nearest is %d", i, b.membership[i], k)
+		}
+		for d, v := range p {
+			sums[k][d] += v
+		}
+		counts[k]++
+	}
+	for k := range b.centroids {
+		if counts[k] == 0 {
+			continue
+		}
+		for d := range b.centroids[k] {
+			want := sums[k][d] / float64(counts[k])
+			if math.Abs(b.centroids[k][d]-want) > 1e-6 {
+				return fmt.Errorf("kmeans: centroid %d dim %d = %v, want %v", k, d, b.centroids[k][d], want)
+			}
+		}
+	}
+	return nil
+}
+
+// Iterations reports how many iterations ran.
+func (b *Bench) Iterations() int { return int(b.iteration.Load()) }

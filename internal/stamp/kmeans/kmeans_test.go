@@ -1,0 +1,98 @@
+package kmeans
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rubic/internal/stm"
+)
+
+func TestSetupValidation(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{Points: 4, Clusters: 8})
+	if err := b.Setup(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("more clusters than points accepted")
+	}
+}
+
+func TestSequentialConvergence(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{Points: 512, Clusters: 4, Dims: 3, ChunkSize: 16})
+	if err := b.Setup(rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	task := b.Task()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000000 && !b.Done(); i++ {
+		task(0, rng)
+	}
+	if !b.Done() {
+		t.Fatal("did not converge")
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Iterations() < 2 {
+		t.Fatalf("converged in %d iterations; expected at least 2", b.Iterations())
+	}
+}
+
+func TestConcurrentConvergence(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{Points: 1024, Clusters: 6, Dims: 4, ChunkSize: 32})
+	if err := b.Setup(rand.New(rand.NewSource(4))); err != nil {
+		t.Fatal(err)
+	}
+	task := b.Task()
+	var wg sync.WaitGroup
+	for g := 0; g < 5; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000000 && !b.Done(); i++ {
+				task(g, rng)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !b.Done() {
+		t.Fatal("did not converge concurrently")
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyBeforeCompletion(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{Points: 64, Clusters: 2})
+	if err := b.Setup(rand.New(rand.NewSource(5))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(); err == nil {
+		t.Fatal("Verify before completion accepted")
+	}
+}
+
+func TestMaxIterationCap(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	// Threshold 0 with a 1-iteration cap: kmeans will stop at the cap and
+	// Verify must flag the non-convergence.
+	b := New(rt, Config{Points: 256, Clusters: 4, MaxIterations: 1})
+	if err := b.Setup(rand.New(rand.NewSource(6))); err != nil {
+		t.Fatal(err)
+	}
+	task := b.Task()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100000 && !b.Done(); i++ {
+		task(0, rng)
+	}
+	if !b.Done() {
+		t.Fatal("did not stop at the iteration cap")
+	}
+	if err := b.Verify(); err == nil {
+		t.Fatal("Verify accepted a capped, unconverged run")
+	}
+}

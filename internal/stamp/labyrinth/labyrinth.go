@@ -1,0 +1,280 @@
+// Package labyrinth ports STAMP's Labyrinth benchmark: concurrent maze
+// routing. Each task routes one (source, destination) request through a
+// shared three-dimensional grid inside a single transaction: it searches a
+// shortest path over transactionally read cells (occupied cells are walls)
+// and claims the path's cells with transactional writes. Overlapping paths
+// conflict and retry, exactly like the original's router.
+package labyrinth
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+
+	"rubic/internal/pool"
+	"rubic/internal/stm"
+)
+
+// Config parameterizes the benchmark.
+type Config struct {
+	// X, Y, Z are the grid dimensions (default 24 x 24 x 3, a smaller
+	// sibling of STAMP's 256 x 256 x 3 input).
+	X, Y, Z int
+	// Requests is the number of routing requests (default 48).
+	Requests int
+}
+
+func (c *Config) defaults() {
+	if c.X == 0 {
+		c.X = 24
+	}
+	if c.Y == 0 {
+		c.Y = 24
+	}
+	if c.Z == 0 {
+		c.Z = 3
+	}
+	if c.Requests == 0 {
+		c.Requests = 48
+	}
+}
+
+// point is a grid coordinate.
+type point struct{ x, y, z int }
+
+// request is one routing task. Immutable.
+type request struct {
+	id       int
+	src, dst point
+}
+
+// Bench is a Labyrinth instance. Grid cells hold 0 (free) or the claiming
+// request id + 1.
+type Bench struct {
+	cfg Config
+	rt  *stm.Runtime
+
+	grid     []*stm.Var[int32]
+	requests []request
+
+	cursor  atomic.Int64
+	routed  atomic.Int64
+	failed  atomic.Int64
+	pending atomic.Int64
+
+	paths []atomic.Pointer[[]point] // per-request claimed path
+}
+
+// New returns an unpopulated benchmark on the given runtime.
+func New(rt *stm.Runtime, cfg Config) *Bench {
+	cfg.defaults()
+	return &Bench{cfg: cfg, rt: rt}
+}
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string {
+	return fmt.Sprintf("labyrinth(%dx%dx%d,r=%d)", b.cfg.X, b.cfg.Y, b.cfg.Z, b.cfg.Requests)
+}
+
+func (b *Bench) cell(p point) *stm.Var[int32] {
+	return b.grid[(p.z*b.cfg.Y+p.y)*b.cfg.X+p.x]
+}
+
+func (b *Bench) inBounds(p point) bool {
+	return p.x >= 0 && p.x < b.cfg.X && p.y >= 0 && p.y < b.cfg.Y && p.z >= 0 && p.z < b.cfg.Z
+}
+
+// Setup implements stamp.Workload: allocates the grid and draws distinct
+// source/destination endpoints.
+func (b *Bench) Setup(rng *rand.Rand) error {
+	n := b.cfg.X * b.cfg.Y * b.cfg.Z
+	if n == 0 {
+		return fmt.Errorf("labyrinth: empty grid")
+	}
+	if 2*b.cfg.Requests > n/2 {
+		return fmt.Errorf("labyrinth: %d requests too many for %d cells", b.cfg.Requests, n)
+	}
+	b.grid = make([]*stm.Var[int32], n)
+	for i := range b.grid {
+		b.grid[i] = stm.NewVar[int32](0)
+	}
+	used := map[point]struct{}{}
+	draw := func() point {
+		for {
+			p := point{rng.Intn(b.cfg.X), rng.Intn(b.cfg.Y), rng.Intn(b.cfg.Z)}
+			if _, ok := used[p]; !ok {
+				used[p] = struct{}{}
+				return p
+			}
+		}
+	}
+	b.requests = make([]request, b.cfg.Requests)
+	for i := range b.requests {
+		b.requests[i] = request{id: i, src: draw(), dst: draw()}
+	}
+	b.paths = make([]atomic.Pointer[[]point], b.cfg.Requests)
+	b.pending.Store(int64(b.cfg.Requests))
+	return nil
+}
+
+// Done implements stamp.BatchWorkload.
+func (b *Bench) Done() bool { return b.pending.Load() == 0 }
+
+// Task implements stamp.Workload: route one request.
+func (b *Bench) Task() pool.Task {
+	return func(_ int, _ *rand.Rand) bool {
+		idx := b.cursor.Add(1) - 1
+		if idx >= int64(len(b.requests)) {
+			runtime.Gosched()
+			return false
+		}
+		b.route(b.requests[int(idx)])
+		b.pending.Add(-1)
+		return true
+	}
+}
+
+// neighbors of p in the six axis directions.
+var directions = []point{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
+
+// route performs the transactional expansion-and-traceback of the original:
+// a breadth-first search over transactionally read cells, then claiming the
+// found path with transactional writes. The whole operation is one
+// transaction, so concurrent routers whose searches touched each other's
+// paths conflict and retry with a fresh view.
+func (b *Bench) route(r request) {
+	var path []point
+	err := b.rt.Atomic(func(tx *stm.Tx) error {
+		path = nil
+		// The endpoints themselves may have been claimed by an earlier
+		// path; such a request is blocked.
+		if b.cell(r.src).Read(tx) != 0 || b.cell(r.dst).Read(tx) != 0 {
+			return errBlocked
+		}
+		// Expansion (BFS). Cells are read through the transaction, so any
+		// cell we relied on being free is validated at commit.
+		prev := map[point]point{r.src: r.src}
+		queue := []point{r.src}
+		found := false
+		for len(queue) > 0 && !found {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, d := range directions {
+				nxt := point{cur.x + d.x, cur.y + d.y, cur.z + d.z}
+				if !b.inBounds(nxt) {
+					continue
+				}
+				if _, seen := prev[nxt]; seen {
+					continue
+				}
+				if b.cell(nxt).Read(tx) != 0 {
+					continue // occupied: wall
+				}
+				prev[nxt] = cur
+				if nxt == r.dst {
+					found = true
+					break
+				}
+				queue = append(queue, nxt)
+			}
+		}
+		if !found {
+			// Blocked: count the failure outside the retry path.
+			return errBlocked
+		}
+		// Traceback: claim the path.
+		for p := r.dst; ; p = prev[p] {
+			b.cell(p).Write(tx, int32(r.id)+1)
+			path = append(path, p)
+			if p == r.src {
+				break
+			}
+		}
+		return nil
+	})
+	switch err {
+	case nil:
+		// Publish the path only after the claiming transaction committed.
+		b.paths[r.id].Store(&path)
+		b.routed.Add(1)
+	case errBlocked:
+		b.failed.Add(1)
+	default:
+		b.failed.Add(1)
+	}
+}
+
+// errBlocked aborts a routing transaction whose destination is unreachable.
+var errBlocked = fmt.Errorf("labyrinth: no path")
+
+// Verify implements stamp.Workload: every routed path must be connected
+// from source to destination, every path cell must carry the owner's mark,
+// and no cell may belong to two paths.
+func (b *Bench) Verify() error {
+	if !b.Done() {
+		return fmt.Errorf("labyrinth: verification before completion")
+	}
+	if got := b.routed.Load() + b.failed.Load(); got != int64(len(b.requests)) {
+		return fmt.Errorf("labyrinth: %d outcomes for %d requests", got, len(b.requests))
+	}
+	owner := map[point]int{}
+	for i := range b.requests {
+		pp := b.paths[i].Load()
+		if pp == nil {
+			continue // failed request
+		}
+		path := *pp
+		if len(path) == 0 {
+			return fmt.Errorf("labyrinth: request %d has an empty path", i)
+		}
+		if path[0] != b.requests[i].dst || path[len(path)-1] != b.requests[i].src {
+			return fmt.Errorf("labyrinth: request %d path endpoints wrong", i)
+		}
+		for j := 1; j < len(path); j++ {
+			d := manhattan(path[j-1], path[j])
+			if d != 1 {
+				return fmt.Errorf("labyrinth: request %d path not connected at hop %d", i, j)
+			}
+		}
+		for _, p := range path {
+			if prev, ok := owner[p]; ok {
+				return fmt.Errorf("labyrinth: cell %v claimed by requests %d and %d", p, prev, i)
+			}
+			owner[p] = i
+			if got := b.cell(p).Peek(); got != int32(i)+1 {
+				return fmt.Errorf("labyrinth: cell %v marked %d, want %d", p, got, i+1)
+			}
+		}
+	}
+	// Conversely, every marked cell belongs to some verified path.
+	for z := 0; z < b.cfg.Z; z++ {
+		for y := 0; y < b.cfg.Y; y++ {
+			for x := 0; x < b.cfg.X; x++ {
+				p := point{x, y, z}
+				if m := b.cell(p).Peek(); m != 0 {
+					if _, ok := owner[p]; !ok {
+						return fmt.Errorf("labyrinth: cell %v marked %d but on no path", p, m)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func manhattan(a, b point) int {
+	d := 0
+	for _, v := range []int{a.x - b.x, a.y - b.y, a.z - b.z} {
+		if v < 0 {
+			v = -v
+		}
+		d += v
+	}
+	return d
+}
+
+// Stats reports (routed, failed) request counts.
+func (b *Bench) Stats() (routed, failed int64) {
+	return b.routed.Load(), b.failed.Load()
+}

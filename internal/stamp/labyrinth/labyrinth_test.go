@@ -1,0 +1,111 @@
+package labyrinth
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rubic/internal/stm"
+)
+
+func TestSetupValidation(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{X: 4, Y: 4, Z: 1, Requests: 16})
+	if err := b.Setup(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("overcrowded grid accepted")
+	}
+}
+
+func TestSequentialRouting(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{X: 16, Y: 16, Z: 2, Requests: 12})
+	if err := b.Setup(rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	task := b.Task()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000 && !b.Done(); i++ {
+		task(0, rng)
+	}
+	if !b.Done() {
+		t.Fatal("did not finish routing")
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	routed, failed := b.Stats()
+	if routed+failed != 12 {
+		t.Fatalf("outcomes %d+%d != 12", routed, failed)
+	}
+	if routed == 0 {
+		t.Fatal("no request routed on a sparse grid")
+	}
+}
+
+func TestConcurrentRouting(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{X: 20, Y: 20, Z: 3, Requests: 40})
+	if err := b.Setup(rand.New(rand.NewSource(4))); err != nil {
+		t.Fatal(err)
+	}
+	task := b.Task()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 100000 && !b.Done(); i++ {
+				task(g, rng)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !b.Done() {
+		t.Fatal("did not finish routing concurrently")
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	routed, _ := b.Stats()
+	if routed < 20 {
+		t.Fatalf("only %d of 40 routed; expected most to succeed", routed)
+	}
+}
+
+func TestPathsDisjointUnderContention(t *testing.T) {
+	// A tight grid forces overlapping search areas; disjointness of the
+	// claimed paths is the critical transactional invariant.
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{X: 10, Y: 10, Z: 1, Requests: 10})
+	if err := b.Setup(rand.New(rand.NewSource(5))); err != nil {
+		t.Fatal(err)
+	}
+	task := b.Task()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 100000 && !b.Done(); i++ {
+				task(g, rng)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyBeforeCompletion(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{Requests: 4})
+	if err := b.Setup(rand.New(rand.NewSource(6))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(); err == nil {
+		t.Fatal("Verify before completion accepted")
+	}
+}

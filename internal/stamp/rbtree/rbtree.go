@@ -1,0 +1,164 @@
+// Package rbtree is the red-black tree microbenchmark of the paper's
+// evaluation: a transactional tree preloaded with 64K elements, exercised
+// with a configurable mix of lookups, inserts and deletes (the paper uses
+// 98% lookups; the section 4.6 convergence experiment uses 100%).
+package rbtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"rubic/internal/pool"
+	"rubic/internal/stm"
+	"rubic/internal/stm/container"
+)
+
+// Config parameterizes the microbenchmark.
+type Config struct {
+	// Elements is the initial tree size (paper: 64K, i.e. 65536).
+	Elements int
+	// KeyRange is the key universe; defaults to 2*Elements so updates hit
+	// roughly half present / half absent keys.
+	KeyRange int64
+	// LookupPct is the percentage of read-only lookups (paper: 98). The
+	// remaining operations split evenly between inserts and deletes.
+	LookupPct int
+}
+
+func (c *Config) defaults() {
+	if c.Elements == 0 {
+		c.Elements = 64 << 10
+	}
+	if c.KeyRange == 0 {
+		c.KeyRange = int64(2 * c.Elements)
+	}
+	if c.LookupPct == 0 {
+		c.LookupPct = 98
+	}
+}
+
+// Bench is the workload instance.
+type Bench struct {
+	cfg  Config
+	rt   *stm.Runtime
+	tree *container.RBTree[int64]
+
+	lookups atomic.Uint64
+	inserts atomic.Uint64
+	deletes atomic.Uint64
+	// insertOK/deleteOK track successful structural changes so Verify can
+	// reconcile the final size.
+	insertOK atomic.Uint64
+	deleteOK atomic.Uint64
+	initial  int
+}
+
+// New returns an unpopulated benchmark on the given runtime.
+func New(rt *stm.Runtime, cfg Config) *Bench {
+	cfg.defaults()
+	return &Bench{cfg: cfg, rt: rt, tree: container.NewRBTree[int64]()}
+}
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string {
+	return fmt.Sprintf("rbtree(%dK,%d%%)", b.cfg.Elements>>10, b.cfg.LookupPct)
+}
+
+// Setup implements stamp.Workload: inserts Elements distinct random keys.
+func (b *Bench) Setup(rng *rand.Rand) error {
+	inserted := 0
+	for inserted < b.cfg.Elements {
+		key := rng.Int63n(b.cfg.KeyRange)
+		err := b.rt.Atomic(func(tx *stm.Tx) error {
+			if b.tree.Put(tx, key, key) {
+				inserted++
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("rbtree setup: %w", err)
+		}
+	}
+	b.initial = inserted
+	return nil
+}
+
+// Task implements stamp.Workload: one operation per invocation.
+func (b *Bench) Task() pool.Task {
+	return func(_ int, rng *rand.Rand) bool {
+		op := rng.Intn(100)
+		key := rng.Int63n(b.cfg.KeyRange)
+		switch {
+		case op < b.cfg.LookupPct:
+			b.lookups.Add(1)
+			err := b.rt.AtomicRO(func(tx *stm.Tx) error {
+				_, _ = b.tree.Get(tx, key)
+				return nil
+			})
+			return err == nil
+		case op < b.cfg.LookupPct+(100-b.cfg.LookupPct+1)/2:
+			b.inserts.Add(1)
+			ok := false
+			err := b.rt.Atomic(func(tx *stm.Tx) error {
+				ok = b.tree.Put(tx, key, key)
+				return nil
+			})
+			if err == nil && ok {
+				b.insertOK.Add(1)
+			}
+			return err == nil
+		default:
+			b.deletes.Add(1)
+			ok := false
+			err := b.rt.Atomic(func(tx *stm.Tx) error {
+				ok = b.tree.Delete(tx, key)
+				return nil
+			})
+			if err == nil && ok {
+				b.deleteOK.Add(1)
+			}
+			return err == nil
+		}
+	}
+}
+
+// Verify implements stamp.Workload: checks the red-black invariants, that
+// every stored value equals its key, and that the final size reconciles with
+// the successful structural operations.
+func (b *Bench) Verify() error {
+	var verr error
+	err := b.rt.Atomic(func(tx *stm.Tx) error {
+		if msg := b.tree.CheckInvariants(tx); msg != "" {
+			verr = fmt.Errorf("rbtree: invariant violated: %s", msg)
+			return nil
+		}
+		want := b.initial + int(b.insertOK.Load()) - int(b.deleteOK.Load())
+		if got := b.tree.Len(tx); got != want {
+			verr = fmt.Errorf("rbtree: size %d, want %d (initial %d +%d -%d)",
+				got, want, b.initial, b.insertOK.Load(), b.deleteOK.Load())
+			return nil
+		}
+		bad := false
+		b.tree.Range(tx, func(k int64, v int64) bool {
+			if k != v {
+				bad = true
+				return false
+			}
+			return true
+		})
+		if bad {
+			verr = fmt.Errorf("rbtree: value does not match key")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return verr
+}
+
+// Ops reports the operation counts issued so far (lookups, inserts, deletes).
+func (b *Bench) Ops() (lookups, inserts, deletes uint64) {
+	return b.lookups.Load(), b.inserts.Load(), b.deletes.Load()
+}

@@ -1,0 +1,87 @@
+package rbtree
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"rubic/internal/stm"
+)
+
+func TestSetupPopulates(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{Elements: 512})
+	if err := b.Setup(rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatalf("fresh benchmark fails verification: %v", err)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	b := New(stm.New(stm.Config{}), Config{})
+	if b.cfg.Elements != 64<<10 || b.cfg.LookupPct != 98 {
+		t.Fatalf("defaults = %+v, want 64K elements, 98%% lookups", b.cfg)
+	}
+	if !strings.Contains(b.Name(), "98%") {
+		t.Fatalf("Name = %q", b.Name())
+	}
+}
+
+func TestSequentialOperations(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{Elements: 256, LookupPct: 50})
+	if err := b.Setup(rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	task := b.Task()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		if !task(0, rng) {
+			t.Fatalf("task %d failed", i)
+		}
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	l, ins, del := b.Ops()
+	if l+ins+del != 2000 {
+		t.Fatalf("op counts %d+%d+%d != 2000", l, ins, del)
+	}
+	// Roughly half the ops should be lookups at LookupPct 50.
+	if l < 800 || l > 1200 {
+		t.Fatalf("lookups = %d, want ~1000", l)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{Elements: 512, LookupPct: 60})
+	if err := b.Setup(rand.New(rand.NewSource(4))); err != nil {
+		t.Fatal(err)
+	}
+	task := b.Task()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < 400; i++ {
+				if !task(g, rng) {
+					t.Errorf("worker %d task %d failed", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if s := rt.Stats(); s.Commits == 0 {
+		t.Fatal("no commits recorded")
+	}
+}

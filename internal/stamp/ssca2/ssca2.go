@@ -1,0 +1,238 @@
+// Package ssca2 ports the graph-construction kernel of STAMP's SSCA2
+// benchmark (Scalable Synthetic Compact Applications 2, kernel 1): workers
+// insert batches of directed edges into a shared adjacency structure held in
+// transactional containers. Contention concentrates on high-degree vertices,
+// as in the original's R-MAT-style inputs.
+package ssca2
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"rubic/internal/pool"
+	"rubic/internal/stm"
+	"rubic/internal/stm/container"
+)
+
+// Config parameterizes the kernel.
+type Config struct {
+	// Vertices is the vertex count (default 512).
+	Vertices int
+	// Edges is the number of directed edges to insert (default 4096).
+	Edges int
+	// BatchSize is edges-per-task (default 8).
+	BatchSize int
+	// SkewPct is the percentage of edges whose source is drawn from the hot
+	// eighth of the vertex set, concentrating conflicts (default 40).
+	SkewPct int
+}
+
+func (c *Config) defaults() {
+	if c.Vertices == 0 {
+		c.Vertices = 512
+	}
+	if c.Edges == 0 {
+		c.Edges = 4096
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8
+	}
+	if c.SkewPct == 0 {
+		c.SkewPct = 40
+	}
+}
+
+// edge is one directed edge with a weight.
+type edge struct {
+	src, dst int64
+	weight   int
+}
+
+// Bench is an SSCA2 kernel-1 instance.
+type Bench struct {
+	cfg Config
+	rt  *stm.Runtime
+
+	edges []edge
+	// adjacency[v] is the transactional out-edge list of v: dst -> weight.
+	adjacency []*container.SortedList[int]
+	// degree tracks each vertex's out-degree transactionally.
+	degree []*stm.Var[int]
+	// edgeCount is the global transactional edge counter (a deliberate
+	// shared hot spot, like the original's global counters).
+	edgeCount *stm.Var[int]
+
+	cursor    atomic.Int64
+	completed atomic.Int64
+	// duplicate edges are dropped; track how many for verification.
+	duplicates atomic.Int64
+}
+
+// New returns an unpopulated kernel on the given runtime.
+func New(rt *stm.Runtime, cfg Config) *Bench {
+	cfg.defaults()
+	return &Bench{cfg: cfg, rt: rt}
+}
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string {
+	return fmt.Sprintf("ssca2(v=%d,e=%d)", b.cfg.Vertices, b.cfg.Edges)
+}
+
+// Setup implements stamp.Workload: draws the edge list (with skewed sources)
+// and allocates the adjacency structure.
+func (b *Bench) Setup(rng *rand.Rand) error {
+	if b.cfg.Vertices < 8 {
+		return fmt.Errorf("ssca2: need at least 8 vertices, got %d", b.cfg.Vertices)
+	}
+	hot := b.cfg.Vertices / 8
+	b.edges = make([]edge, b.cfg.Edges)
+	for i := range b.edges {
+		var src int64
+		if rng.Intn(100) < b.cfg.SkewPct {
+			src = int64(rng.Intn(hot))
+		} else {
+			src = int64(rng.Intn(b.cfg.Vertices))
+		}
+		b.edges[i] = edge{
+			src:    src,
+			dst:    int64(rng.Intn(b.cfg.Vertices)),
+			weight: rng.Intn(100) + 1,
+		}
+	}
+	b.adjacency = make([]*container.SortedList[int], b.cfg.Vertices)
+	b.degree = make([]*stm.Var[int], b.cfg.Vertices)
+	for v := range b.adjacency {
+		b.adjacency[v] = container.NewSortedList[int]()
+		b.degree[v] = stm.NewVar(0)
+	}
+	b.edgeCount = stm.NewVar(0)
+	return nil
+}
+
+// Done implements stamp.BatchWorkload.
+func (b *Bench) Done() bool {
+	return b.completed.Load() >= int64(b.batches())
+}
+
+func (b *Bench) batches() int {
+	return (len(b.edges) + b.cfg.BatchSize - 1) / b.cfg.BatchSize
+}
+
+// Task implements stamp.Workload: insert one batch of edges, one
+// transaction per batch (the original inserts in bulk too).
+func (b *Bench) Task() pool.Task {
+	return func(_ int, _ *rand.Rand) bool {
+		idx := b.cursor.Add(1) - 1
+		if idx >= int64(b.batches()) {
+			runtime.Gosched()
+			return false
+		}
+		lo := int(idx) * b.cfg.BatchSize
+		hi := lo + b.cfg.BatchSize
+		if hi > len(b.edges) {
+			hi = len(b.edges)
+		}
+		var dups int
+		err := b.rt.Atomic(func(tx *stm.Tx) error {
+			dups = 0
+			added := 0
+			for _, e := range b.edges[lo:hi] {
+				if !b.adjacency[e.src].Insert(tx, e.dst, e.weight) {
+					dups++ // parallel duplicate: first weight wins
+					continue
+				}
+				b.degree[e.src].Write(tx, b.degree[e.src].Read(tx)+1)
+				added++
+			}
+			b.edgeCount.Write(tx, b.edgeCount.Read(tx)+added)
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		b.duplicates.Add(int64(dups))
+		b.completed.Add(1)
+		return true
+	}
+}
+
+// Verify implements stamp.Workload: the adjacency structure must contain
+// exactly the distinct edges of the input, degrees must match list lengths,
+// and the global counter must reconcile.
+func (b *Bench) Verify() error {
+	if !b.Done() {
+		return fmt.Errorf("ssca2: verification before completion")
+	}
+	// Model: the distinct (src, dst) pairs of the input.
+	type key struct{ src, dst int64 }
+	distinct := map[key]struct{}{}
+	for _, e := range b.edges {
+		distinct[key{e.src, e.dst}] = struct{}{}
+	}
+	var verr error
+	total := 0
+	err := b.rt.Atomic(func(tx *stm.Tx) error {
+		verr = nil
+		total = 0
+		for v := int64(0); v < int64(b.cfg.Vertices); v++ {
+			deg := b.degree[v].Read(tx)
+			n := b.adjacency[v].Len(tx)
+			if deg != n {
+				verr = fmt.Errorf("ssca2: vertex %d degree %d but %d out-edges", v, deg, n)
+				return nil
+			}
+			total += n
+			ok := true
+			b.adjacency[v].Range(tx, func(dst int64, _ int) bool {
+				if _, present := distinct[key{v, dst}]; !present {
+					ok = false
+					return false
+				}
+				delete(distinct, key{v, dst})
+				return true
+			})
+			if !ok {
+				verr = fmt.Errorf("ssca2: vertex %d has an edge not in the input", v)
+				return nil
+			}
+		}
+		if got := b.edgeCount.Read(tx); got != total {
+			verr = fmt.Errorf("ssca2: global edge count %d, adjacency holds %d", got, total)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if verr != nil {
+		return verr
+	}
+	if len(distinct) != 0 {
+		return fmt.Errorf("ssca2: %d input edges missing from the graph", len(distinct))
+	}
+	if int64(total)+b.duplicates.Load() != int64(len(b.edges)) {
+		return fmt.Errorf("ssca2: %d inserted + %d duplicates != %d input edges",
+			total, b.duplicates.Load(), len(b.edges))
+	}
+	return nil
+}
+
+// DegreeHistogram returns the sorted out-degrees, for tests and demos.
+func (b *Bench) DegreeHistogram() ([]int, error) {
+	out := make([]int, b.cfg.Vertices)
+	err := b.rt.AtomicRO(func(tx *stm.Tx) error {
+		for v := range out {
+			out[v] = b.degree[v].Read(tx)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package ssca2
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rubic/internal/stm"
+)
+
+func TestSetupValidation(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{Vertices: 4})
+	if err := b.Setup(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("tiny vertex set accepted")
+	}
+}
+
+func TestSequentialConstruction(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{Vertices: 64, Edges: 512, BatchSize: 4})
+	if err := b.Setup(rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	task := b.Task()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000 && !b.Done(); i++ {
+		task(0, rng)
+	}
+	if !b.Done() {
+		t.Fatal("did not finish")
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentConstruction(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{Vertices: 128, Edges: 2048, BatchSize: 8, SkewPct: 60})
+	if err := b.Setup(rand.New(rand.NewSource(4))); err != nil {
+		t.Fatal(err)
+	}
+	task := b.Task()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 100000 && !b.Done(); i++ {
+				task(g, rng)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !b.Done() {
+		t.Fatal("did not finish concurrently")
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Skewed sources: the hottest vertex should carry far more edges than
+	// the median.
+	hist, err := b.DegreeHistogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist[len(hist)-1] < 3*hist[len(hist)/2] {
+		t.Logf("degree skew weaker than expected: max %d, median %d",
+			hist[len(hist)-1], hist[len(hist)/2])
+	}
+}
+
+func TestVerifyBeforeCompletion(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	b := New(rt, Config{Vertices: 32, Edges: 128})
+	if err := b.Setup(rand.New(rand.NewSource(5))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(); err == nil {
+		t.Fatal("Verify before completion accepted")
+	}
+}

@@ -1,0 +1,28 @@
+// Package stamp ports the paper's benchmark workloads to the Go STM
+// substrate: Vacation and Intruder from the STAMP suite, and the red-black
+// tree microbenchmark (64K elements, 98% lookups). Each workload produces
+// pool.Task functions — one task is one transactional operation — so any
+// parallelism controller can steer it through the malleable pool.
+package stamp
+
+import (
+	"math/rand"
+
+	"rubic/internal/pool"
+)
+
+// Workload is a benchmark program: it populates its shared data once, hands
+// out the per-operation task, and can verify its invariants after a run.
+type Workload interface {
+	// Name identifies the workload.
+	Name() string
+	// Setup populates the initial shared state; must be called once, before
+	// any worker runs, with a deterministic rng.
+	Setup(rng *rand.Rand) error
+	// Task returns the operation the pool's workers execute in a loop. The
+	// returned task must be safe for concurrent use by all workers.
+	Task() pool.Task
+	// Verify checks the workload's invariants after the pool has stopped,
+	// returning a descriptive error on violation.
+	Verify() error
+}

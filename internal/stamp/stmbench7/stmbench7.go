@@ -1,0 +1,436 @@
+// Package stmbench7 is a scaled-down port of STMBench7 (Guerraoui, Kapalka
+// & Vitek, EuroSys 2007), the other reference TM benchmark the paper cites:
+// a CAD-like object graph of assemblies and shared composite parts,
+// exercised with a mix of long and short traversals, queries and structural
+// modifications.
+//
+// Structure (all counts configurable):
+//
+//	module root: a complete tree of complex assemblies (depth, fanout)
+//	leaves: base assemblies, each holding a transactional list of
+//	        composite-part ids (shared: a composite may be used by many)
+//	composite part: an immutable graph of atomic parts (a chain plus random
+//	        extra edges, so the root reaches every part) with transactional
+//	        build-date attributes, plus a transactional use count
+//	index:  a transactional red-black tree from composite id to the part
+//
+// Operations (weights in Config):
+//
+//	short traversal  — walk a random root-to-leaf path, read one date
+//	long traversal   — BFS a random composite's atomic graph, sum dates
+//	query            — index lookup by id
+//	update dates     — increment every build date of one composite
+//	create (SM1)     — build a composite, index it, link it into a leaf
+//	delete (SM2)     — unlink a composite from a leaf; drop it from the
+//	                   index when its use count reaches zero
+//
+// Verify audits the full referential integrity of the graph, so a run is
+// correct only if every structural transaction was atomic.
+package stmbench7
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"rubic/internal/pool"
+	"rubic/internal/stm"
+	"rubic/internal/stm/container"
+)
+
+// Config parameterizes the benchmark.
+type Config struct {
+	// Depth is the complex-assembly tree depth (default 4).
+	Depth int
+	// Fanout is the per-assembly child count (default 3).
+	Fanout int
+	// InitialComposites is the number of composite parts built at setup
+	// (default 64).
+	InitialComposites int
+	// PartsPerComposite is the atomic-part count per composite (default 12).
+	PartsPerComposite int
+	// ExtraEdges is the number of random extra connections per composite
+	// graph beyond the reachability chain (default 6).
+	ExtraEdges int
+	// Weights of the operation mix, in percent; they must sum to 100.
+	// Defaults: 30 short, 15 long, 25 query, 15 update, 8 create, 7 delete
+	// (STMBench7's read-dominated-with-structural-modifications profile).
+	WShort, WLong, WQuery, WUpdate, WCreate, WDelete int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Depth == 0 {
+		c.Depth = 4
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 3
+	}
+	if c.InitialComposites == 0 {
+		c.InitialComposites = 64
+	}
+	if c.PartsPerComposite == 0 {
+		c.PartsPerComposite = 12
+	}
+	if c.ExtraEdges == 0 {
+		c.ExtraEdges = 6
+	}
+	if c.WShort+c.WLong+c.WQuery+c.WUpdate+c.WCreate+c.WDelete == 0 {
+		c.WShort, c.WLong, c.WQuery, c.WUpdate, c.WCreate, c.WDelete = 30, 15, 25, 15, 8, 7
+	}
+}
+
+func (c *Config) validate() error {
+	if sum := c.WShort + c.WLong + c.WQuery + c.WUpdate + c.WCreate + c.WDelete; sum != 100 {
+		return fmt.Errorf("stmbench7: operation weights sum to %d, want 100", sum)
+	}
+	return nil
+}
+
+// atomicPart is one node of a composite's immutable connection graph with a
+// transactional build date.
+type atomicPart struct {
+	id        int
+	buildDate *stm.Var[int]
+	to        []int // out-edges by part index; immutable after construction
+}
+
+// compositePart is the shared design object.
+type compositePart struct {
+	id    int64
+	parts []*atomicPart
+	// usedIn counts the base assemblies referencing this composite.
+	usedIn *stm.Var[int]
+}
+
+// baseAssembly is a leaf of the assembly tree.
+type baseAssembly struct {
+	id int64
+	// components holds the ids of this leaf's composite parts.
+	components *container.SortedList[struct{}]
+}
+
+// Bench is an STMBench7-lite instance.
+type Bench struct {
+	cfg Config
+	rt  *stm.Runtime
+
+	leaves []*baseAssembly
+	// index maps composite id -> part; the design library.
+	index *container.RBTree[*compositePart]
+	// totalComposites / totalAtomicParts are global transactional counters
+	// audited by Verify.
+	totalComposites  *stm.Var[int]
+	totalAtomicParts *stm.Var[int]
+
+	nextID atomic.Int64
+
+	ops [6]atomic.Uint64 // per-operation counters
+}
+
+// Operation indexes for the ops counters.
+const (
+	opShort = iota
+	opLong
+	opQuery
+	opUpdate
+	opCreate
+	opDelete
+)
+
+// New returns an unpopulated benchmark on the given runtime.
+func New(rt *stm.Runtime, cfg Config) *Bench {
+	cfg.applyDefaults()
+	return &Bench{cfg: cfg, rt: rt}
+}
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string {
+	return fmt.Sprintf("stmbench7(d=%d,f=%d,c=%d)", b.cfg.Depth, b.cfg.Fanout, b.cfg.InitialComposites)
+}
+
+// Setup implements stamp.Workload: builds the assembly tree and the initial
+// composite library, linking every composite into one random leaf.
+func (b *Bench) Setup(rng *rand.Rand) error {
+	if err := b.cfg.validate(); err != nil {
+		return err
+	}
+	// The assembly hierarchy itself is immutable: only the leaves matter
+	// operationally, so materialize just those (fanout^(depth-1) of them).
+	leafCount := 1
+	for i := 1; i < b.cfg.Depth; i++ {
+		leafCount *= b.cfg.Fanout
+	}
+	b.leaves = make([]*baseAssembly, leafCount)
+	for i := range b.leaves {
+		b.leaves[i] = &baseAssembly{
+			id:         int64(i),
+			components: container.NewSortedList[struct{}](),
+		}
+	}
+	b.index = container.NewRBTree[*compositePart]()
+	b.totalComposites = stm.NewVar(0)
+	b.totalAtomicParts = stm.NewVar(0)
+
+	for i := 0; i < b.cfg.InitialComposites; i++ {
+		leaf := b.leaves[rng.Intn(len(b.leaves))]
+		if err := b.createComposite(rng, leaf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newComposite builds the immutable atomic-part graph: a chain 0 -> 1 ->
+// ... -> n-1 guaranteeing reachability from part 0, plus random extras.
+func (b *Bench) newComposite(rng *rand.Rand) *compositePart {
+	n := b.cfg.PartsPerComposite
+	cp := &compositePart{
+		id:     b.nextID.Add(1),
+		parts:  make([]*atomicPart, n),
+		usedIn: stm.NewVar(0),
+	}
+	for i := range cp.parts {
+		cp.parts[i] = &atomicPart{id: i, buildDate: stm.NewVar(2000 + i)}
+	}
+	for i := 1; i < n; i++ {
+		cp.parts[i-1].to = append(cp.parts[i-1].to, i)
+	}
+	for e := 0; e < b.cfg.ExtraEdges; e++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		cp.parts[from].to = append(cp.parts[from].to, to)
+	}
+	return cp
+}
+
+// createComposite runs SM1 as one transaction.
+func (b *Bench) createComposite(rng *rand.Rand, leaf *baseAssembly) error {
+	cp := b.newComposite(rng)
+	return b.rt.Atomic(func(tx *stm.Tx) error {
+		b.index.Put(tx, cp.id, cp)
+		leaf.components.Insert(tx, cp.id, struct{}{})
+		cp.usedIn.Write(tx, 1)
+		b.totalComposites.Write(tx, b.totalComposites.Read(tx)+1)
+		b.totalAtomicParts.Write(tx, b.totalAtomicParts.Read(tx)+len(cp.parts))
+		return nil
+	})
+}
+
+// pickComposite returns a random composite id from a leaf, or -1.
+func (b *Bench) pickComposite(tx *stm.Tx, leaf *baseAssembly, rng *rand.Rand) int64 {
+	ids := leaf.components.Keys(tx)
+	if len(ids) == 0 {
+		return -1
+	}
+	return ids[rng.Intn(len(ids))]
+}
+
+// Task implements stamp.Workload: one operation per invocation, drawn from
+// the configured mix.
+func (b *Bench) Task() pool.Task {
+	return func(_ int, rng *rand.Rand) bool {
+		p := rng.Intn(100)
+		leaf := b.leaves[rng.Intn(len(b.leaves))]
+		var err error
+		switch {
+		case p < b.cfg.WShort:
+			b.ops[opShort].Add(1)
+			err = b.shortTraversal(leaf, rng)
+		case p < b.cfg.WShort+b.cfg.WLong:
+			b.ops[opLong].Add(1)
+			err = b.longTraversal(leaf, rng)
+		case p < b.cfg.WShort+b.cfg.WLong+b.cfg.WQuery:
+			b.ops[opQuery].Add(1)
+			err = b.query(rng)
+		case p < b.cfg.WShort+b.cfg.WLong+b.cfg.WQuery+b.cfg.WUpdate:
+			b.ops[opUpdate].Add(1)
+			err = b.updateDates(leaf, rng)
+		case p < 100-b.cfg.WDelete:
+			b.ops[opCreate].Add(1)
+			err = b.createComposite(rng, leaf)
+		default:
+			b.ops[opDelete].Add(1)
+			err = b.deleteComposite(leaf, rng)
+		}
+		return err == nil
+	}
+}
+
+// shortTraversal reads one composite's first build date through the leaf.
+func (b *Bench) shortTraversal(leaf *baseAssembly, rng *rand.Rand) error {
+	return b.rt.AtomicRO(func(tx *stm.Tx) error {
+		id := b.pickComposite(tx, leaf, rng)
+		if id < 0 {
+			return nil
+		}
+		cp, ok := b.index.Get(tx, id)
+		if !ok {
+			return fmt.Errorf("stmbench7: leaf references missing composite %d", id)
+		}
+		_ = cp.parts[0].buildDate.Read(tx)
+		return nil
+	})
+}
+
+// longTraversal BFSes one composite's graph, summing build dates, and
+// checks reachability on the fly.
+func (b *Bench) longTraversal(leaf *baseAssembly, rng *rand.Rand) error {
+	return b.rt.AtomicRO(func(tx *stm.Tx) error {
+		id := b.pickComposite(tx, leaf, rng)
+		if id < 0 {
+			return nil
+		}
+		cp, ok := b.index.Get(tx, id)
+		if !ok {
+			return fmt.Errorf("stmbench7: leaf references missing composite %d", id)
+		}
+		seen := make([]bool, len(cp.parts))
+		queue := []int{0}
+		seen[0] = true
+		sum := 0
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			sum += cp.parts[cur].buildDate.Read(tx)
+			for _, nxt := range cp.parts[cur].to {
+				if !seen[nxt] {
+					seen[nxt] = true
+					queue = append(queue, nxt)
+				}
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				return fmt.Errorf("stmbench7: part %d unreachable in composite %d", i, id)
+			}
+		}
+		return nil
+	})
+}
+
+// query is the short index operation.
+func (b *Bench) query(rng *rand.Rand) error {
+	target := rng.Int63n(b.nextID.Load() + 1)
+	return b.rt.AtomicRO(func(tx *stm.Tx) error {
+		_, _ = b.index.Get(tx, target)
+		return nil
+	})
+}
+
+// updateDates is the read-write traversal: bump every date of one composite.
+func (b *Bench) updateDates(leaf *baseAssembly, rng *rand.Rand) error {
+	return b.rt.Atomic(func(tx *stm.Tx) error {
+		id := b.pickComposite(tx, leaf, rng)
+		if id < 0 {
+			return nil
+		}
+		cp, ok := b.index.Get(tx, id)
+		if !ok {
+			return fmt.Errorf("stmbench7: leaf references missing composite %d", id)
+		}
+		for _, part := range cp.parts {
+			part.buildDate.Write(tx, part.buildDate.Read(tx)+1)
+		}
+		return nil
+	})
+}
+
+// deleteComposite runs SM2: unlink from the leaf, drop from the index when
+// unused.
+func (b *Bench) deleteComposite(leaf *baseAssembly, rng *rand.Rand) error {
+	return b.rt.Atomic(func(tx *stm.Tx) error {
+		id := b.pickComposite(tx, leaf, rng)
+		if id < 0 {
+			return nil
+		}
+		cp, ok := b.index.Get(tx, id)
+		if !ok {
+			return fmt.Errorf("stmbench7: leaf references missing composite %d", id)
+		}
+		if !leaf.components.Remove(tx, id) {
+			return fmt.Errorf("stmbench7: component %d vanished from leaf", id)
+		}
+		uses := cp.usedIn.Read(tx) - 1
+		cp.usedIn.Write(tx, uses)
+		if uses == 0 {
+			b.index.Delete(tx, id)
+			b.totalComposites.Write(tx, b.totalComposites.Read(tx)-1)
+			b.totalAtomicParts.Write(tx, b.totalAtomicParts.Read(tx)-len(cp.parts))
+		}
+		return nil
+	})
+}
+
+// Verify implements stamp.Workload: full referential integrity.
+func (b *Bench) Verify() error {
+	var verr error
+	err := b.rt.Atomic(func(tx *stm.Tx) error {
+		verr = nil
+		// 1. Counters match the index contents.
+		nComposites := 0
+		nParts := 0
+		uses := map[int64]int{}
+		b.index.Range(tx, func(id int64, cp *compositePart) bool {
+			nComposites++
+			nParts += len(cp.parts)
+			uses[id] = 0
+			return true
+		})
+		if got := b.totalComposites.Read(tx); got != nComposites {
+			verr = fmt.Errorf("stmbench7: composite counter %d, index holds %d", got, nComposites)
+			return nil
+		}
+		if got := b.totalAtomicParts.Read(tx); got != nParts {
+			verr = fmt.Errorf("stmbench7: atomic counter %d, graphs hold %d", got, nParts)
+			return nil
+		}
+		// 2. Every leaf reference resolves, and reference counts match.
+		for _, leaf := range b.leaves {
+			bad := false
+			leaf.components.Range(tx, func(id int64, _ struct{}) bool {
+				if _, ok := uses[id]; !ok {
+					bad = true
+					return false
+				}
+				uses[id]++
+				return true
+			})
+			if bad {
+				verr = fmt.Errorf("stmbench7: leaf %d references a missing composite", leaf.id)
+				return nil
+			}
+		}
+		broken := false
+		b.index.Range(tx, func(id int64, cp *compositePart) bool {
+			if cp.usedIn.Read(tx) != uses[id] {
+				verr = fmt.Errorf("stmbench7: composite %d usedIn %d, referenced by %d leaves",
+					id, cp.usedIn.Read(tx), uses[id])
+				broken = true
+				return false
+			}
+			if uses[id] == 0 {
+				verr = fmt.Errorf("stmbench7: composite %d indexed but unreferenced", id)
+				broken = true
+				return false
+			}
+			return true
+		})
+		if broken {
+			return nil
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return verr
+}
+
+// Ops returns the per-operation counts (short, long, query, update, create,
+// delete).
+func (b *Bench) Ops() [6]uint64 {
+	var out [6]uint64
+	for i := range b.ops {
+		out[i] = b.ops[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package stmbench7
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rubic/internal/stm"
+)
+
+func setup(t *testing.T, cfg Config) *Bench {
+	t.Helper()
+	b := New(stm.New(stm.Config{}), cfg)
+	if err := b.Setup(rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSetupBuildsValidState(t *testing.T) {
+	b := setup(t, Config{})
+	if err := b.Verify(); err != nil {
+		t.Fatalf("fresh benchmark fails verification: %v", err)
+	}
+	// Depth 4, fanout 3: 27 leaves.
+	if len(b.leaves) != 27 {
+		t.Fatalf("leaves = %d, want 27", len(b.leaves))
+	}
+}
+
+func TestWeightsValidation(t *testing.T) {
+	b := New(stm.New(stm.Config{}), Config{WShort: 50, WLong: 10})
+	if err := b.Setup(rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("weights not summing to 100 accepted")
+	}
+}
+
+func TestSequentialOperationMix(t *testing.T) {
+	b := setup(t, Config{InitialComposites: 32, PartsPerComposite: 8})
+	task := b.Task()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		if !task(0, rng) {
+			t.Fatalf("task %d failed", i)
+		}
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	ops := b.Ops()
+	var total uint64
+	for _, n := range ops {
+		total += n
+	}
+	if total != 3000 {
+		t.Fatalf("op counts sum to %d, want 3000", total)
+	}
+	// Every operation class must have run under the default mix.
+	for i, n := range ops {
+		if n == 0 {
+			t.Errorf("operation class %d never ran", i)
+		}
+	}
+}
+
+func TestConcurrentOperationMix(t *testing.T) {
+	b := setup(t, Config{InitialComposites: 48, PartsPerComposite: 10})
+	task := b.Task()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(10 + g)))
+			for i := 0; i < 500; i++ {
+				if !task(g, rng) {
+					t.Errorf("worker %d task %d failed", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentOnNOrec(t *testing.T) {
+	b := New(stm.New(stm.Config{Algorithm: stm.NOrec}), Config{InitialComposites: 32})
+	if err := b.Setup(rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	task := b.Task()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(20 + g)))
+			for i := 0; i < 400; i++ {
+				if !task(g, rng) {
+					t.Errorf("worker %d task %d failed", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChurnHeavyMix(t *testing.T) {
+	// Create/delete dominated: exercises SM1/SM2 under contention.
+	b := setup(t, Config{
+		InitialComposites: 16,
+		PartsPerComposite: 6,
+		WShort:            10, WLong: 5, WQuery: 10, WUpdate: 5, WCreate: 35, WDelete: 35,
+	})
+	task := b.Task()
+	var wg sync.WaitGroup
+	for g := 0; g < 5; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(30 + g)))
+			for i := 0; i < 600; i++ {
+				if !task(g, rng) {
+					t.Errorf("worker %d task %d failed", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,351 @@
+// Package vacation ports STAMP's Vacation benchmark: a travel reservation
+// system with car, flight and room tables plus a customer database, all
+// kept in transactional red-black trees. Each task is one client session —
+// make a reservation, delete a customer, or update the tables — executed as
+// a single transaction, exactly like the original's coarse transactions.
+package vacation
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"rubic/internal/pool"
+	"rubic/internal/stm"
+	"rubic/internal/stm/container"
+)
+
+// Kind enumerates the three reservation tables.
+type Kind int
+
+// Reservation kinds.
+const (
+	Car Kind = iota
+	Flight
+	Room
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Car:
+		return "car"
+	case Flight:
+		return "flight"
+	case Room:
+		return "room"
+	}
+	return "unknown"
+}
+
+// Item is one reservable resource: capacity accounting plus a price.
+// Stored by value in the table, so any change conflicts exactly on the item.
+type Item struct {
+	Total int
+	Used  int
+	Free  int
+	Price int
+}
+
+// resKey packs (kind, id) into a customer's reservation-list key.
+func resKey(kind Kind, id int64) int64 { return int64(kind)<<32 | id }
+
+// Customer holds the transactional list of a customer's reservations, keyed
+// by resKey and storing the price paid.
+type Customer struct {
+	ID           int64
+	Reservations *container.SortedList[int]
+}
+
+// Config parameterizes the benchmark with STAMP's knobs.
+type Config struct {
+	// Relations is the number of rows per table (STAMP -r). Default 4096.
+	Relations int
+	// QueryPct bounds the id range queried to this percentage of Relations
+	// (STAMP -q). Default 90.
+	QueryPct int
+	// UserPct is the percentage of MakeReservation sessions (STAMP -u); the
+	// rest split between DeleteCustomer and UpdateTables. Default 90.
+	UserPct int
+	// Queries is the number of table probes per session (STAMP -n).
+	// Default 4.
+	Queries int
+}
+
+func (c *Config) defaults() {
+	if c.Relations == 0 {
+		c.Relations = 4096
+	}
+	if c.QueryPct == 0 {
+		c.QueryPct = 90
+	}
+	if c.UserPct == 0 {
+		c.UserPct = 90
+	}
+	if c.Queries == 0 {
+		c.Queries = 4
+	}
+}
+
+// Bench is a Vacation instance.
+type Bench struct {
+	cfg       Config
+	rt        *stm.Runtime
+	tables    [numKinds]*container.RBTree[Item]
+	customers *container.RBTree[*Customer]
+}
+
+// New returns an unpopulated benchmark on the given runtime.
+func New(rt *stm.Runtime, cfg Config) *Bench {
+	cfg.defaults()
+	b := &Bench{cfg: cfg, rt: rt}
+	for k := range b.tables {
+		b.tables[k] = container.NewRBTree[Item]()
+	}
+	b.customers = container.NewRBTree[*Customer]()
+	return b
+}
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string { return fmt.Sprintf("vacation(r=%d)", b.cfg.Relations) }
+
+// Setup implements stamp.Workload: populates each table with Relations rows
+// (capacities and prices drawn like STAMP's manager initialization) and
+// seeds the customer database.
+func (b *Bench) Setup(rng *rand.Rand) error {
+	for k := Kind(0); k < numKinds; k++ {
+		for id := int64(0); id < int64(b.cfg.Relations); id++ {
+			total := (rng.Intn(5) + 1) * 100
+			price := rng.Intn(5)*10 + 50
+			item := Item{Total: total, Used: 0, Free: total, Price: price}
+			if err := b.rt.Atomic(func(tx *stm.Tx) error {
+				b.tables[k].Put(tx, id, item)
+				return nil
+			}); err != nil {
+				return fmt.Errorf("vacation setup table %v: %w", k, err)
+			}
+		}
+	}
+	for id := int64(0); id < int64(b.cfg.Relations); id++ {
+		cust := &Customer{ID: id, Reservations: container.NewSortedList[int]()}
+		if err := b.rt.Atomic(func(tx *stm.Tx) error {
+			b.customers.Put(tx, id, cust)
+			return nil
+		}); err != nil {
+			return fmt.Errorf("vacation setup customers: %w", err)
+		}
+	}
+	return nil
+}
+
+// queryRange returns the id range sessions draw from.
+func (b *Bench) queryRange() int64 {
+	r := int64(b.cfg.Relations) * int64(b.cfg.QueryPct) / 100
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Task implements stamp.Workload: one client session per invocation.
+func (b *Bench) Task() pool.Task {
+	return func(_ int, rng *rand.Rand) bool {
+		op := rng.Intn(100)
+		switch {
+		case op < b.cfg.UserPct:
+			return b.makeReservation(rng) == nil
+		case op < b.cfg.UserPct+(100-b.cfg.UserPct)/2:
+			return b.deleteCustomer(rng) == nil
+		default:
+			return b.updateTables(rng) == nil
+		}
+	}
+}
+
+// makeReservation is STAMP's MAKE_RESERVATION session: probe Queries random
+// rows, remember the highest-priced available item of each kind, then book
+// one of each remembered kind for a random customer.
+func (b *Bench) makeReservation(rng *rand.Rand) error {
+	qr := b.queryRange()
+	custID := rng.Int63n(int64(b.cfg.Relations))
+	type pick struct {
+		id    int64
+		price int
+		found bool
+	}
+	// Pre-draw the probe sequence outside the transaction so a conflict
+	// retry re-executes the same session.
+	probes := make([]struct {
+		kind Kind
+		id   int64
+	}, b.cfg.Queries)
+	for i := range probes {
+		probes[i].kind = Kind(rng.Intn(int(numKinds)))
+		probes[i].id = rng.Int63n(qr)
+	}
+	return b.rt.Atomic(func(tx *stm.Tx) error {
+		var picks [numKinds]pick
+		for _, p := range probes {
+			item, ok := b.tables[p.kind].Get(tx, p.id)
+			if !ok || item.Free <= 0 {
+				continue
+			}
+			if !picks[p.kind].found || item.Price > picks[p.kind].price {
+				picks[p.kind] = pick{id: p.id, price: item.Price, found: true}
+			}
+		}
+		cust, ok := b.customers.Get(tx, custID)
+		if !ok {
+			cust = &Customer{ID: custID, Reservations: container.NewSortedList[int]()}
+			b.customers.Put(tx, custID, cust)
+		}
+		for k := Kind(0); k < numKinds; k++ {
+			if !picks[k].found {
+				continue
+			}
+			item, ok := b.tables[k].Get(tx, picks[k].id)
+			if !ok || item.Free <= 0 {
+				continue
+			}
+			key := resKey(k, picks[k].id)
+			if !cust.Reservations.Insert(tx, key, item.Price) {
+				continue // already holds this exact reservation
+			}
+			item.Used++
+			item.Free--
+			b.tables[k].Put(tx, picks[k].id, item)
+		}
+		return nil
+	})
+}
+
+// deleteCustomer is STAMP's DELETE_CUSTOMER session: bill the customer and
+// release every reservation they hold.
+func (b *Bench) deleteCustomer(rng *rand.Rand) error {
+	custID := rng.Int63n(int64(b.cfg.Relations))
+	return b.rt.Atomic(func(tx *stm.Tx) error {
+		cust, ok := b.customers.Get(tx, custID)
+		if !ok {
+			return nil
+		}
+		// Bill, then release.
+		bill := 0
+		var keys []int64
+		cust.Reservations.Range(tx, func(key int64, price int) bool {
+			bill += price
+			keys = append(keys, key)
+			return true
+		})
+		_ = bill // the original charges the customer; we only need the reads
+		for _, key := range keys {
+			kind := Kind(key >> 32)
+			id := key & (1<<32 - 1)
+			item, ok := b.tables[kind].Get(tx, id)
+			if !ok {
+				return errors.New("vacation: reservation for missing item")
+			}
+			item.Used--
+			item.Free++
+			b.tables[kind].Put(tx, id, item)
+		}
+		b.customers.Delete(tx, custID)
+		return nil
+	})
+}
+
+// updateTables is STAMP's UPDATE_TABLES session: grow or price-update random
+// rows. Unlike the original we never shrink capacity below Used, so the
+// accounting invariants stay checkable.
+func (b *Bench) updateTables(rng *rand.Rand) error {
+	qr := b.queryRange()
+	updates := make([]struct {
+		kind  Kind
+		id    int64
+		grow  bool
+		price int
+	}, b.cfg.Queries)
+	for i := range updates {
+		updates[i].kind = Kind(rng.Intn(int(numKinds)))
+		updates[i].id = rng.Int63n(qr)
+		updates[i].grow = rng.Intn(2) == 0
+		updates[i].price = rng.Intn(5)*10 + 50
+	}
+	return b.rt.Atomic(func(tx *stm.Tx) error {
+		for _, u := range updates {
+			item, ok := b.tables[u.kind].Get(tx, u.id)
+			if !ok {
+				continue
+			}
+			if u.grow {
+				item.Total += 100
+				item.Free += 100
+			} else {
+				item.Price = u.price
+			}
+			b.tables[u.kind].Put(tx, u.id, item)
+		}
+		return nil
+	})
+}
+
+// Verify implements stamp.Workload: per-item capacity accounting must be
+// consistent, and the number of used slots per item must equal the number of
+// customer reservations referencing it.
+func (b *Bench) Verify() error {
+	var verr error
+	err := b.rt.Atomic(func(tx *stm.Tx) error {
+		// Count references from customers.
+		refs := map[int64]int{}
+		b.customers.Range(tx, func(_ int64, cust *Customer) bool {
+			cust.Reservations.Range(tx, func(key int64, _ int) bool {
+				refs[key]++
+				return true
+			})
+			return true
+		})
+		for k := Kind(0); k < numKinds; k++ {
+			k := k
+			b.tables[k].Range(tx, func(id int64, item Item) bool {
+				if item.Used+item.Free != item.Total {
+					verr = fmt.Errorf("vacation: %v %d: used %d + free %d != total %d",
+						k, id, item.Used, item.Free, item.Total)
+					return false
+				}
+				if item.Used < 0 || item.Free < 0 {
+					verr = fmt.Errorf("vacation: %v %d: negative accounting", k, id)
+					return false
+				}
+				if got := refs[resKey(k, id)]; got != item.Used {
+					verr = fmt.Errorf("vacation: %v %d: used %d but %d customer references",
+						k, id, item.Used, got)
+					return false
+				}
+				delete(refs, resKey(k, id))
+				return true
+			})
+			if verr != nil {
+				return nil
+			}
+		}
+		if len(refs) != 0 {
+			verr = fmt.Errorf("vacation: %d dangling customer references", len(refs))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return verr
+}
+
+// LowContention returns STAMP's vacation-low configuration scaled to this
+// port: few probes over a wide id range, almost all sessions reservations.
+func LowContention() Config {
+	return Config{Relations: 4096, QueryPct: 90, UserPct: 98, Queries: 2}
+}
+
+// HighContention returns STAMP's vacation-high configuration scaled to this
+// port: more probes over a narrow id range with more table updates.
+func HighContention() Config {
+	return Config{Relations: 4096, QueryPct: 60, UserPct: 90, Queries: 4}
+}

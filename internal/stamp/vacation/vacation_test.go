@@ -1,0 +1,172 @@
+package vacation
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rubic/internal/stm"
+)
+
+func setup(t *testing.T, cfg Config) (*stm.Runtime, *Bench) {
+	t.Helper()
+	rt := stm.New(stm.Config{})
+	b := New(rt, cfg)
+	if err := b.Setup(rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	return rt, b
+}
+
+func TestSetupInvariants(t *testing.T) {
+	_, b := setup(t, Config{Relations: 128})
+	if err := b.Verify(); err != nil {
+		t.Fatalf("fresh benchmark fails verification: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Car: "car", Flight: "flight", Room: "room", Kind(9): "unknown"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestMakeReservationBooks(t *testing.T) {
+	rt, b := setup(t, Config{Relations: 64, Queries: 8})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		if err := b.makeReservation(rng); err != nil {
+			t.Fatalf("makeReservation: %v", err)
+		}
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Some bookings must have happened: total Used > 0.
+	used := 0
+	err := rt.Atomic(func(tx *stm.Tx) error {
+		used = 0
+		for k := Kind(0); k < numKinds; k++ {
+			b.tables[k].Range(tx, func(_ int64, item Item) bool {
+				used += item.Used
+				return true
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used == 0 {
+		t.Fatal("no reservations were booked")
+	}
+}
+
+func TestDeleteCustomerReleases(t *testing.T) {
+	rt, b := setup(t, Config{Relations: 32, Queries: 8})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		if err := b.makeReservation(rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete all customers: every slot must be released.
+	for id := int64(0); id < 32; id++ {
+		err := rt.Atomic(func(tx *stm.Tx) error {
+			if _, ok := b.customers.Get(tx, id); !ok {
+				return nil
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng2 := rand.New(rand.NewSource(4))
+	for i := 0; i < 400; i++ {
+		if err := b.deleteCustomer(rng2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateTablesPreservesAccounting(t *testing.T) {
+	_, b := setup(t, Config{Relations: 32, Queries: 8})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		if err := b.updateTables(rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskMix(t *testing.T) {
+	_, b := setup(t, Config{Relations: 64, UserPct: 80})
+	task := b.Task()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 1500; i++ {
+		if !task(0, rng) {
+			t.Fatalf("task %d failed", i)
+		}
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	rt, b := setup(t, Config{Relations: 48, Queries: 4})
+	task := b.Task()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(50 + g)))
+			for i := 0; i < 250; i++ {
+				if !task(g, rng) {
+					t.Errorf("worker %d task %d failed", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if s := rt.Stats(); s.Commits == 0 {
+		t.Fatal("no commits recorded")
+	}
+}
+
+func TestContentionPresets(t *testing.T) {
+	low, high := LowContention(), HighContention()
+	if low.QueryPct <= high.QueryPct {
+		t.Error("low contention should query a wider id range")
+	}
+	if low.Queries >= high.Queries {
+		t.Error("high contention should probe more per session")
+	}
+	for _, cfg := range []Config{low, high} {
+		_, b := setup(t, cfg)
+		task := b.Task()
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 300; i++ {
+			if !task(0, rng) {
+				t.Fatal("preset task failed")
+			}
+		}
+		if err := b.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

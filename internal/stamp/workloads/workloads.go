@@ -1,0 +1,72 @@
+// Package workloads aggregates every benchmark of the suite behind a
+// by-name constructor, so CLIs and the co-location driver can build
+// workload stacks from strings. Each construction creates a fresh STM
+// runtime — workloads never share transactional state.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"rubic/internal/stamp"
+	"rubic/internal/stamp/bank"
+	"rubic/internal/stamp/genome"
+	"rubic/internal/stamp/intruder"
+	"rubic/internal/stamp/kmeans"
+	"rubic/internal/stamp/labyrinth"
+	"rubic/internal/stamp/rbtree"
+	"rubic/internal/stamp/ssca2"
+	"rubic/internal/stamp/stmbench7"
+	"rubic/internal/stamp/vacation"
+	"rubic/internal/stm"
+)
+
+// builders maps workload names to constructors with default parameters.
+var builders = map[string]func(rt *stm.Runtime) stamp.Workload{
+	"rbtree":    func(rt *stm.Runtime) stamp.Workload { return rbtree.New(rt, rbtree.Config{}) },
+	"rbtree-ro": func(rt *stm.Runtime) stamp.Workload { return rbtree.New(rt, rbtree.Config{LookupPct: 100}) },
+	"vacation":  func(rt *stm.Runtime) stamp.Workload { return vacation.New(rt, vacation.Config{}) },
+	"vacation-low": func(rt *stm.Runtime) stamp.Workload {
+		return vacation.New(rt, vacation.LowContention())
+	},
+	"vacation-high": func(rt *stm.Runtime) stamp.Workload {
+		return vacation.New(rt, vacation.HighContention())
+	},
+	"intruder":  func(rt *stm.Runtime) stamp.Workload { return intruder.New(rt, intruder.Config{}) },
+	"stmbench7": func(rt *stm.Runtime) stamp.Workload { return stmbench7.New(rt, stmbench7.Config{}) },
+	"bank":      func(rt *stm.Runtime) stamp.Workload { return bank.New(rt, bank.Config{}) },
+	"genome":    func(rt *stm.Runtime) stamp.Workload { return genome.New(rt, genome.Config{}) },
+	"kmeans":    func(rt *stm.Runtime) stamp.Workload { return kmeans.New(rt, kmeans.Config{}) },
+	"labyrinth": func(rt *stm.Runtime) stamp.Workload { return labyrinth.New(rt, labyrinth.Config{}) },
+	"ssca2":     func(rt *stm.Runtime) stamp.Workload { return ssca2.New(rt, ssca2.Config{}) },
+}
+
+// New builds the named workload on a fresh runtime with the given engine
+// and contention manager. The returned Workload may also implement
+// stamp.BatchWorkload (the pipeline benchmarks); callers choosing between
+// duration-based and run-to-completion execution should type-assert.
+func New(name string, cfg stm.Config) (stamp.Workload, *stm.Runtime, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	rt := stm.New(cfg)
+	return b(rt), rt, nil
+}
+
+// Names returns the available workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for name := range builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsBatch reports whether the named workload runs to completion rather than
+// for a fixed duration.
+func IsBatch(w stamp.Workload) bool {
+	_, ok := w.(stamp.BatchWorkload)
+	return ok
+}

@@ -1,0 +1,66 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+
+	"rubic/internal/stm"
+)
+
+func TestEveryNameBuildsAndSetsUp(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, rt, err := New(name, stm.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rt == nil {
+				t.Fatal("nil runtime")
+			}
+			if w.Name() == "" {
+				t.Fatal("empty workload name")
+			}
+			if err := w.Setup(rand.New(rand.NewSource(1))); err != nil {
+				t.Fatalf("Setup: %v", err)
+			}
+			// One task invocation must work right after setup.
+			task := w.Task()
+			rng := rand.New(rand.NewSource(2))
+			task(0, rng)
+		})
+	}
+}
+
+func TestUnknownName(t *testing.T) {
+	if _, _, err := New("bogus", stm.Config{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestBatchClassification(t *testing.T) {
+	batch := map[string]bool{
+		"genome": true, "kmeans": true, "labyrinth": true, "ssca2": true,
+		"rbtree": false, "vacation": false, "intruder": false,
+		"stmbench7": false, "bank": false,
+	}
+	for name, want := range batch {
+		w, _, err := New(name, stm.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := IsBatch(w); got != want {
+			t.Errorf("%s: IsBatch = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestNOrecConstruction(t *testing.T) {
+	_, rt, err := New("bank", stm.Config{Algorithm: stm.NOrec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Algorithm() != stm.NOrec {
+		t.Fatal("engine config not honored")
+	}
+}

@@ -1,0 +1,17 @@
+package stm
+
+import "sync/atomic"
+
+// clock is the global version clock shared by all transactions of a Runtime.
+// Committing writer transactions advance it; readers snapshot it to obtain
+// their read version (TL2/SwissTM style time-based validation).
+type clock struct {
+	c atomic.Uint64
+}
+
+// now returns the current global version.
+func (c *clock) now() uint64 { return c.c.Load() }
+
+// tick advances the clock and returns the new version, which becomes the
+// commit timestamp of the calling writer.
+func (c *clock) tick() uint64 { return c.c.Add(1) }

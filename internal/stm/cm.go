@@ -1,0 +1,184 @@
+package stm
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// A ContentionManager arbitrates conflicts between a running transaction
+// (the attacker, which found a location locked) and the lock owner, and
+// paces retries after aborts. Implementations must be safe for concurrent
+// use by many transactions.
+type ContentionManager interface {
+	// ShouldAbort decides the attacker's fate upon finding owner's lock:
+	// true aborts the attacker (it will retry from scratch); false makes the
+	// attacker wait and re-attempt the operation, possibly after the manager
+	// doomed the owner.
+	ShouldAbort(attacker, owner *Tx) bool
+	// BeforeRetry is called before the attempt-th re-execution of an aborted
+	// transaction and may block to space retries out.
+	BeforeRetry(tx *Tx, attempt int)
+	// Name identifies the policy in statistics and logs.
+	Name() string
+}
+
+// SuicideCM aborts the attacker immediately on any conflict and retries
+// without delay. It is the simplest livelock-prone baseline.
+type SuicideCM struct{}
+
+// ShouldAbort always sacrifices the attacker.
+func (SuicideCM) ShouldAbort(_, _ *Tx) bool { return true }
+
+// BeforeRetry yields once so the owner can finish.
+func (SuicideCM) BeforeRetry(_ *Tx, _ int) { runtime.Gosched() }
+
+// Name implements ContentionManager.
+func (SuicideCM) Name() string { return "suicide" }
+
+// BackoffCM aborts the attacker and applies randomized exponential backoff
+// between retries, bounding both the exponent and the ceiling. It is the
+// default manager: free of deadlock and, probabilistically, of livelock.
+type BackoffCM struct {
+	// Base is the first-retry backoff ceiling; defaults to 1µs.
+	Base time.Duration
+	// Max bounds the backoff ceiling; defaults to 100µs.
+	Max time.Duration
+}
+
+// ShouldAbort always sacrifices the attacker; progress comes from backoff.
+func (BackoffCM) ShouldAbort(_, _ *Tx) bool { return true }
+
+// BeforeRetry sleeps for a uniformly random duration below an exponentially
+// growing ceiling.
+func (b BackoffCM) BeforeRetry(_ *Tx, attempt int) {
+	base := b.Base
+	if base <= 0 {
+		base = time.Microsecond
+	}
+	maxd := b.Max
+	if maxd <= 0 {
+		maxd = 100 * time.Microsecond
+	}
+	if attempt > 16 {
+		attempt = 16
+	}
+	ceil := base << uint(attempt)
+	if ceil > maxd {
+		ceil = maxd
+	}
+	d := time.Duration(rand.Int63n(int64(ceil) + 1))
+	if d < time.Microsecond {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(d)
+}
+
+// Name implements ContentionManager.
+func (BackoffCM) Name() string { return "backoff" }
+
+// GreedyCM implements timestamp-based greedy contention management (Guerraoui
+// et al., PODC'05), the policy SwissTM applies to long transactions: the
+// transaction with the older birth timestamp wins. A younger attacker aborts
+// itself; an older attacker dooms the owner and waits for the lock. Because
+// timestamps are stable across retries, every transaction eventually becomes
+// the oldest and finishes: the policy is starvation-free.
+type GreedyCM struct{}
+
+// ShouldAbort compares birth timestamps; older transactions win conflicts.
+func (GreedyCM) ShouldAbort(attacker, owner *Tx) bool {
+	if attacker.ts < owner.ts {
+		// Attacker is older: doom the owner (no effect if it already
+		// committed or aborted) and wait for the lock to be released.
+		owner.status.CompareAndSwap(txActive, txDoomed)
+		return false
+	}
+	return true
+}
+
+// BeforeRetry yields once; ordering, not delay, provides progress.
+func (GreedyCM) BeforeRetry(_ *Tx, _ int) { runtime.Gosched() }
+
+// Name implements ContentionManager.
+func (GreedyCM) Name() string { return "greedy" }
+
+// TwoPhaseCM approximates SwissTM's two-phase contention management: short
+// transactions (few writes, few retries) behave timidly (abort + backoff),
+// while transactions that have invested work (attempt count at or beyond
+// Threshold) escalate to greedy timestamp ordering.
+type TwoPhaseCM struct {
+	// Threshold is the attempt count at which a transaction turns greedy;
+	// defaults to 2.
+	Threshold int
+	backoff   BackoffCM
+	greedy    GreedyCM
+}
+
+// ShouldAbort is timid for young attempts and greedy for old ones.
+func (c TwoPhaseCM) ShouldAbort(attacker, owner *Tx) bool {
+	th := c.Threshold
+	if th <= 0 {
+		th = 2
+	}
+	if attacker.attempt >= th {
+		return c.greedy.ShouldAbort(attacker, owner)
+	}
+	return c.backoff.ShouldAbort(attacker, owner)
+}
+
+// BeforeRetry delegates to the phase-appropriate policy.
+func (c TwoPhaseCM) BeforeRetry(tx *Tx, attempt int) {
+	th := c.Threshold
+	if th <= 0 {
+		th = 2
+	}
+	if attempt >= th {
+		c.greedy.BeforeRetry(tx, attempt)
+		return
+	}
+	c.backoff.BeforeRetry(tx, attempt)
+}
+
+// Name implements ContentionManager.
+func (TwoPhaseCM) Name() string { return "two-phase" }
+
+// KarmaCM implements Scherer & Scott's Karma policy: a transaction's
+// priority is the work it has invested (transactional operations performed,
+// accumulated across retries). An attacker with at least the owner's karma
+// dooms the owner; a poorer attacker aborts itself and retries, carrying its
+// karma forward so it eventually out-prioritizes the owner.
+type KarmaCM struct{}
+
+// ShouldAbort compares invested work; the richer transaction wins.
+func (KarmaCM) ShouldAbort(attacker, owner *Tx) bool {
+	if attacker.work.Load() >= owner.work.Load() {
+		owner.status.CompareAndSwap(txActive, txDoomed)
+		return false
+	}
+	return true
+}
+
+// BeforeRetry yields once; karma accumulation provides progress.
+func (KarmaCM) BeforeRetry(_ *Tx, _ int) { runtime.Gosched() }
+
+// Name implements ContentionManager.
+func (KarmaCM) Name() string { return "karma" }
+
+// PolkaCM is Karma with Polite's randomized exponential backoff: conflicts
+// are arbitrated by invested work, and retries are spaced out to let the
+// winner finish. It is the best all-round policy of Scherer & Scott's study.
+type PolkaCM struct {
+	backoff BackoffCM
+}
+
+// ShouldAbort delegates to Karma's work comparison.
+func (PolkaCM) ShouldAbort(attacker, owner *Tx) bool {
+	return KarmaCM{}.ShouldAbort(attacker, owner)
+}
+
+// BeforeRetry applies randomized exponential backoff.
+func (p PolkaCM) BeforeRetry(tx *Tx, attempt int) { p.backoff.BeforeRetry(tx, attempt) }
+
+// Name implements ContentionManager.
+func (PolkaCM) Name() string { return "polka" }

@@ -1,0 +1,320 @@
+package container
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"rubic/internal/stm"
+)
+
+func TestHashMapBasic(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	m := NewHashMap[string](4)
+	run(t, rt, func(tx *stm.Tx) {
+		if m.Len(tx) != 0 {
+			t.Error("new map not empty")
+		}
+		if !m.Put(tx, 1, "one") {
+			t.Error("first Put should insert")
+		}
+		if m.Put(tx, 1, "uno") {
+			t.Error("second Put should update")
+		}
+		if v, ok := m.Get(tx, 1); !ok || v != "uno" {
+			t.Errorf("Get(1) = %q,%v", v, ok)
+		}
+		if v, inserted := m.PutIfAbsent(tx, 1, "x"); inserted || v != "uno" {
+			t.Errorf("PutIfAbsent existing = %q,%v", v, inserted)
+		}
+		if v, inserted := m.PutIfAbsent(tx, 2, "two"); !inserted || v != "two" {
+			t.Errorf("PutIfAbsent new = %q,%v", v, inserted)
+		}
+		if m.Len(tx) != 2 {
+			t.Errorf("Len = %d, want 2", m.Len(tx))
+		}
+		if !m.Delete(tx, 1) || m.Delete(tx, 1) {
+			t.Error("Delete semantics wrong")
+		}
+		if m.Contains(tx, 1) {
+			t.Error("deleted key still present")
+		}
+	})
+}
+
+// TestHashMapModel compares against a Go map under a random op stream,
+// including colliding keys (tiny bucket count forces chains).
+func TestHashMapModel(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	m := NewHashMap[int](1) // 16 buckets: plenty of chaining with 200 keys
+	model := map[int64]int{}
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 3000; step++ {
+		key := int64(rng.Intn(200))
+		val := rng.Int()
+		op := rng.Intn(10)
+		run(t, rt, func(tx *stm.Tx) {
+			switch {
+			case op < 5:
+				inserted := m.Put(tx, key, val)
+				_, existed := model[key]
+				if inserted == existed {
+					t.Fatalf("step %d: Put inserted=%v existed=%v", step, inserted, existed)
+				}
+				model[key] = val
+			case op < 8:
+				deleted := m.Delete(tx, key)
+				if _, existed := model[key]; deleted != existed {
+					t.Fatalf("step %d: Delete=%v existed=%v", step, deleted, existed)
+				}
+				delete(model, key)
+			default:
+				got, ok := m.Get(tx, key)
+				want, existed := model[key]
+				if ok != existed || (ok && got != want) {
+					t.Fatalf("step %d: Get=(%d,%v) want (%d,%v)", step, got, ok, want, existed)
+				}
+			}
+			if m.Len(tx) != len(model) {
+				t.Fatalf("step %d: Len=%d model=%d", step, m.Len(tx), len(model))
+			}
+		})
+	}
+	run(t, rt, func(tx *stm.Tx) {
+		count := 0
+		m.Range(tx, func(k int64, v int) bool {
+			if want, ok := model[k]; !ok || want != v {
+				t.Fatalf("Range entry (%d,%d) not in model", k, v)
+			}
+			count++
+			return true
+		})
+		if count != len(model) {
+			t.Fatalf("Range visited %d, want %d", count, len(model))
+		}
+	})
+}
+
+func TestHashMapConcurrentDisjoint(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	m := NewHashMap[int](64)
+	const workers = 5
+	const n = 80
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				key := int64(w*n + i)
+				if err := rt.Atomic(func(tx *stm.Tx) error {
+					m.Put(tx, key, int(key)*2)
+					return nil
+				}); err != nil {
+					t.Errorf("Put: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	run(t, rt, func(tx *stm.Tx) {
+		if m.Len(tx) != workers*n {
+			t.Fatalf("Len = %d, want %d", m.Len(tx), workers*n)
+		}
+		for k := int64(0); k < workers*n; k++ {
+			if v, ok := m.Get(tx, k); !ok || v != int(k)*2 {
+				t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+			}
+		}
+	})
+}
+
+func TestSortedListBasic(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	l := NewSortedList[string]()
+	run(t, rt, func(tx *stm.Tx) {
+		for _, k := range []int64{5, 1, 3, 2, 4} {
+			if !l.Insert(tx, k, "v") {
+				t.Fatalf("Insert(%d) failed", k)
+			}
+		}
+		if l.Insert(tx, 3, "dup") {
+			t.Error("duplicate Insert succeeded")
+		}
+		keys := l.Keys(tx)
+		want := []int64{1, 2, 3, 4, 5}
+		for i := range want {
+			if keys[i] != want[i] {
+				t.Fatalf("Keys = %v, want %v", keys, want)
+			}
+		}
+		if !l.Update(tx, 3, "three") {
+			t.Error("Update of present key failed")
+		}
+		if l.Update(tx, 9, "none") {
+			t.Error("Update of absent key succeeded")
+		}
+		if v, ok := l.Get(tx, 3); !ok || v != "three" {
+			t.Errorf("Get(3) = %q,%v", v, ok)
+		}
+		if !l.Remove(tx, 1) || !l.Remove(tx, 5) || l.Remove(tx, 7) {
+			t.Error("Remove semantics wrong")
+		}
+		if l.Len(tx) != 3 {
+			t.Errorf("Len = %d, want 3", l.Len(tx))
+		}
+	})
+}
+
+// TestSortedListQuickSortedness property: after arbitrary inserts and
+// removes, keys are strictly ascending and match a set model.
+func TestSortedListQuickSortedness(t *testing.T) {
+	f := func(ins []int8, del []int8) bool {
+		rt := stm.New(stm.Config{})
+		l := NewSortedList[struct{}]()
+		model := map[int64]struct{}{}
+		good := true
+		err := rt.Atomic(func(tx *stm.Tx) error {
+			for _, k := range ins {
+				l.Insert(tx, int64(k), struct{}{})
+				model[int64(k)] = struct{}{}
+			}
+			for _, k := range del {
+				l.Remove(tx, int64(k))
+				delete(model, int64(k))
+			}
+			keys := l.Keys(tx)
+			if len(keys) != len(model) {
+				good = false
+				return nil
+			}
+			for i := 1; i < len(keys); i++ {
+				if keys[i-1] >= keys[i] {
+					good = false
+					return nil
+				}
+			}
+			for _, k := range keys {
+				if _, ok := model[k]; !ok {
+					good = false
+					return nil
+				}
+			}
+			return nil
+		})
+		return err == nil && good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	q := NewQueue[int]()
+	run(t, rt, func(tx *stm.Tx) {
+		if !q.Empty(tx) {
+			t.Error("new queue not empty")
+		}
+		if _, ok := q.Pop(tx); ok {
+			t.Error("Pop from empty queue succeeded")
+		}
+		for i := 0; i < 10; i++ {
+			q.Push(tx, i)
+		}
+		if v, ok := q.Peek(tx); !ok || v != 0 {
+			t.Errorf("Peek = %d,%v", v, ok)
+		}
+		for i := 0; i < 10; i++ {
+			v, ok := q.Pop(tx)
+			if !ok || v != i {
+				t.Fatalf("Pop #%d = %d,%v", i, v, ok)
+			}
+		}
+		if !q.Empty(tx) || q.Len(tx) != 0 {
+			t.Error("queue not empty after draining")
+		}
+		// Push after drain must work (tail reset path).
+		q.Push(tx, 99)
+		if v, ok := q.Pop(tx); !ok || v != 99 {
+			t.Errorf("Pop after drain = %d,%v", v, ok)
+		}
+	})
+}
+
+// TestQueueConcurrentProducersConsumers checks that every produced element
+// is consumed exactly once.
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	q := NewQueue[int]()
+	const producers = 3
+	const consumers = 3
+	const perProducer = 100
+	total := producers * perProducer
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				if err := rt.Atomic(func(tx *stm.Tx) error {
+					q.Push(tx, v)
+					return nil
+				}); err != nil {
+					t.Errorf("Push: %v", err)
+				}
+			}
+		}(p)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				var v int
+				var ok bool
+				if err := rt.Atomic(func(tx *stm.Tx) error {
+					v, ok = q.Pop(tx)
+					return nil
+				}); err != nil {
+					t.Errorf("Pop: %v", err)
+					return
+				}
+				if ok {
+					mu.Lock()
+					seen[v]++
+					n := len(seen)
+					mu.Unlock()
+					if n == total {
+						close(done)
+					}
+					continue
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	cwg.Wait()
+	if len(seen) != total {
+		t.Fatalf("consumed %d distinct values, want %d", len(seen), total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d consumed %d times", v, n)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package container
+
+import (
+	"rubic/internal/stm"
+)
+
+// hentry is a singly linked chain node of a HashMap bucket. Key is immutable;
+// value and next pointer are transactional.
+type hentry[V any] struct {
+	key  int64
+	val  *stm.Var[V]
+	next *stm.Var[*hentry[V]]
+}
+
+// HashMap is a transactional fixed-capacity chained hash table from int64
+// keys to V. The bucket count is fixed at construction (STAMP's hashtable is
+// likewise non-resizing), so transactions only conflict within a bucket
+// chain. It backs Intruder's fragment dictionary.
+type HashMap[V any] struct {
+	buckets []*stm.Var[*hentry[V]]
+	size    *stm.Var[int]
+	mask    uint64
+}
+
+// NewHashMap returns a map with at least minBuckets buckets (rounded up to a
+// power of two, minimum 16).
+func NewHashMap[V any](minBuckets int) *HashMap[V] {
+	n := 16
+	for n < minBuckets {
+		n <<= 1
+	}
+	m := &HashMap[V]{
+		buckets: make([]*stm.Var[*hentry[V]], n),
+		size:    stm.NewVar(0),
+		mask:    uint64(n - 1),
+	}
+	for i := range m.buckets {
+		m.buckets[i] = stm.NewVar[*hentry[V]](nil)
+	}
+	return m
+}
+
+// hash mixes the key (splitmix64 finalizer) so sequential keys spread.
+func (m *HashMap[V]) hash(key int64) uint64 {
+	x := uint64(key)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x & m.mask
+}
+
+// Len returns the number of entries.
+func (m *HashMap[V]) Len(tx *stm.Tx) int { return m.size.Read(tx) }
+
+// Get returns the value stored under key.
+func (m *HashMap[V]) Get(tx *stm.Tx, key int64) (V, bool) {
+	e := m.buckets[m.hash(key)].Read(tx)
+	for e != nil {
+		if e.key == key {
+			return e.val.Read(tx), true
+		}
+		e = e.next.Read(tx)
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (m *HashMap[V]) Contains(tx *stm.Tx, key int64) bool {
+	_, ok := m.Get(tx, key)
+	return ok
+}
+
+// Put inserts or updates key and reports whether a new entry was created.
+func (m *HashMap[V]) Put(tx *stm.Tx, key int64, val V) bool {
+	head := m.buckets[m.hash(key)]
+	e := head.Read(tx)
+	for n := e; n != nil; n = n.next.Read(tx) {
+		if n.key == key {
+			n.val.Write(tx, val)
+			return false
+		}
+	}
+	head.Write(tx, &hentry[V]{
+		key:  key,
+		val:  stm.NewVar(val),
+		next: stm.NewVar(e),
+	})
+	m.size.Write(tx, m.size.Read(tx)+1)
+	return true
+}
+
+// PutIfAbsent inserts key only when missing; it returns the resident value
+// and whether an insertion happened.
+func (m *HashMap[V]) PutIfAbsent(tx *stm.Tx, key int64, val V) (V, bool) {
+	head := m.buckets[m.hash(key)]
+	e := head.Read(tx)
+	for n := e; n != nil; n = n.next.Read(tx) {
+		if n.key == key {
+			return n.val.Read(tx), false
+		}
+	}
+	head.Write(tx, &hentry[V]{
+		key:  key,
+		val:  stm.NewVar(val),
+		next: stm.NewVar(e),
+	})
+	m.size.Write(tx, m.size.Read(tx)+1)
+	return val, true
+}
+
+// Delete removes key and reports whether it was present.
+func (m *HashMap[V]) Delete(tx *stm.Tx, key int64) bool {
+	head := m.buckets[m.hash(key)]
+	prev := (*hentry[V])(nil)
+	e := head.Read(tx)
+	for e != nil {
+		next := e.next.Read(tx)
+		if e.key == key {
+			if prev == nil {
+				head.Write(tx, next)
+			} else {
+				prev.next.Write(tx, next)
+			}
+			m.size.Write(tx, m.size.Read(tx)-1)
+			return true
+		}
+		prev, e = e, next
+	}
+	return false
+}
+
+// Range calls fn for every entry (bucket order, chain order) until fn
+// returns false.
+func (m *HashMap[V]) Range(tx *stm.Tx, fn func(key int64, val V) bool) {
+	for _, b := range m.buckets {
+		for e := b.Read(tx); e != nil; e = e.next.Read(tx) {
+			if !fn(e.key, e.val.Read(tx)) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package container
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"rubic/internal/stm"
+)
+
+// run executes fn in a transaction, failing the test on error.
+func run(t *testing.T, rt *stm.Runtime, fn func(tx *stm.Tx)) {
+	t.Helper()
+	if err := rt.Atomic(func(tx *stm.Tx) error {
+		fn(tx)
+		return nil
+	}); err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+}
+
+func TestRBTreeBasic(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	tree := NewRBTree[string]()
+	run(t, rt, func(tx *stm.Tx) {
+		if tree.Len(tx) != 0 {
+			t.Error("new tree not empty")
+		}
+		if !tree.Put(tx, 5, "five") {
+			t.Error("first Put should insert")
+		}
+		if tree.Put(tx, 5, "FIVE") {
+			t.Error("second Put of same key should update")
+		}
+		v, ok := tree.Get(tx, 5)
+		if !ok || v != "FIVE" {
+			t.Errorf("Get(5) = %q,%v", v, ok)
+		}
+		if _, ok := tree.Get(tx, 6); ok {
+			t.Error("Get of absent key succeeded")
+		}
+		if !tree.Delete(tx, 5) {
+			t.Error("Delete of present key failed")
+		}
+		if tree.Delete(tx, 5) {
+			t.Error("Delete of absent key succeeded")
+		}
+		if tree.Len(tx) != 0 {
+			t.Error("tree not empty after delete")
+		}
+	})
+}
+
+// TestRBTreeModel drives the tree with a random op sequence against a map
+// model, validating red-black invariants throughout.
+func TestRBTreeModel(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	tree := NewRBTree[int]()
+	model := map[int64]int{}
+	rng := rand.New(rand.NewSource(42))
+
+	for step := 0; step < 4000; step++ {
+		key := int64(rng.Intn(200))
+		val := rng.Int()
+		op := rng.Intn(10)
+		run(t, rt, func(tx *stm.Tx) {
+			switch {
+			case op < 5: // put
+				inserted := tree.Put(tx, key, val)
+				_, existed := model[key]
+				if inserted == existed {
+					t.Fatalf("step %d: Put(%d) inserted=%v but existed=%v", step, key, inserted, existed)
+				}
+				model[key] = val
+			case op < 8: // delete
+				deleted := tree.Delete(tx, key)
+				_, existed := model[key]
+				if deleted != existed {
+					t.Fatalf("step %d: Delete(%d)=%v but existed=%v", step, key, deleted, existed)
+				}
+				delete(model, key)
+			default: // get
+				got, ok := tree.Get(tx, key)
+				want, existed := model[key]
+				if ok != existed || (ok && got != want) {
+					t.Fatalf("step %d: Get(%d)=(%d,%v) want (%d,%v)", step, key, got, ok, want, existed)
+				}
+			}
+			if step%97 == 0 {
+				if msg := tree.CheckInvariants(tx); msg != "" {
+					t.Fatalf("step %d: invariant violated: %s", step, msg)
+				}
+				if tree.Len(tx) != len(model) {
+					t.Fatalf("step %d: Len=%d model=%d", step, tree.Len(tx), len(model))
+				}
+			}
+		})
+	}
+	// Final full check: keys sorted and matching the model.
+	run(t, rt, func(tx *stm.Tx) {
+		if msg := tree.CheckInvariants(tx); msg != "" {
+			t.Fatalf("final invariant violated: %s", msg)
+		}
+		keys := tree.Keys(tx)
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			t.Fatal("Keys not sorted")
+		}
+		if len(keys) != len(model) {
+			t.Fatalf("key count %d, model %d", len(keys), len(model))
+		}
+		for _, k := range keys {
+			if _, ok := model[k]; !ok {
+				t.Fatalf("tree key %d missing from model", k)
+			}
+		}
+	})
+}
+
+// TestRBTreeQuickInsertDelete property: inserting a set then deleting a
+// subset leaves exactly the difference, with valid invariants.
+func TestRBTreeQuickInsertDelete(t *testing.T) {
+	f := func(ins []int16, del []int16) bool {
+		rt := stm.New(stm.Config{})
+		tree := NewRBTree[struct{}]()
+		want := map[int64]struct{}{}
+		ok := true
+		err := rt.Atomic(func(tx *stm.Tx) error {
+			for _, k := range ins {
+				tree.Put(tx, int64(k), struct{}{})
+				want[int64(k)] = struct{}{}
+			}
+			for _, k := range del {
+				tree.Delete(tx, int64(k))
+				delete(want, int64(k))
+			}
+			if msg := tree.CheckInvariants(tx); msg != "" {
+				ok = false
+				return nil
+			}
+			if tree.Len(tx) != len(want) {
+				ok = false
+				return nil
+			}
+			for k := range want {
+				if !tree.Contains(tx, k) {
+					ok = false
+					return nil
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRBTreeConcurrent stresses concurrent transactional mutation on
+// disjoint and overlapping key ranges and verifies the final state.
+func TestRBTreeConcurrent(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	tree := NewRBTree[int]()
+	const workers = 6
+	const keysPerWorker = 60
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			// Each worker owns keys w, w+workers, w+2*workers, ...
+			for i := 0; i < keysPerWorker; i++ {
+				key := int64(w + i*workers)
+				if err := rt.Atomic(func(tx *stm.Tx) error {
+					tree.Put(tx, key, int(key))
+					return nil
+				}); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				// Occasionally churn a shared key range to force conflicts.
+				if rng.Intn(4) == 0 {
+					shared := int64(100000 + rng.Intn(8))
+					_ = rt.Atomic(func(tx *stm.Tx) error {
+						if tree.Contains(tx, shared) {
+							tree.Delete(tx, shared)
+						} else {
+							tree.Put(tx, shared, 1)
+						}
+						return nil
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	run(t, rt, func(tx *stm.Tx) {
+		if msg := tree.CheckInvariants(tx); msg != "" {
+			t.Fatalf("invariants after stress: %s", msg)
+		}
+		for w := 0; w < workers; w++ {
+			for i := 0; i < keysPerWorker; i++ {
+				key := int64(w + i*workers)
+				if v, ok := tree.Get(tx, key); !ok || v != int(key) {
+					t.Fatalf("key %d = (%d,%v), want (%d,true)", key, v, ok, key)
+				}
+			}
+		}
+	})
+}
+
+func TestRBTreeRangeEarlyStop(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	tree := NewRBTree[int]()
+	run(t, rt, func(tx *stm.Tx) {
+		for i := 0; i < 20; i++ {
+			tree.Put(tx, int64(i), i)
+		}
+		seen := 0
+		tree.Range(tx, func(k int64, v int) bool {
+			seen++
+			return seen < 5
+		})
+		if seen != 5 {
+			t.Fatalf("Range visited %d, want 5", seen)
+		}
+	})
+}
+
+func TestRBTreeAscendingDescendingInsert(t *testing.T) {
+	for name, gen := range map[string]func(i int) int64{
+		"ascending":  func(i int) int64 { return int64(i) },
+		"descending": func(i int) int64 { return int64(1000 - i) },
+		"zigzag":     func(i int) int64 { return int64((i%2)*2000 - i) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			rt := stm.New(stm.Config{})
+			tree := NewRBTree[int]()
+			run(t, rt, func(tx *stm.Tx) {
+				for i := 0; i < 500; i++ {
+					tree.Put(tx, gen(i), i)
+				}
+				if msg := tree.CheckInvariants(tx); msg != "" {
+					t.Fatalf("invariants: %s", msg)
+				}
+			})
+		})
+	}
+}
+
+func TestRBTreeNavigation(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	tree := NewRBTree[int]()
+	run(t, rt, func(tx *stm.Tx) {
+		// Empty-tree cases.
+		if _, _, ok := tree.Min(tx); ok {
+			t.Error("Min on empty tree")
+		}
+		if _, _, ok := tree.Max(tx); ok {
+			t.Error("Max on empty tree")
+		}
+		if _, _, ok := tree.Ceiling(tx, 0); ok {
+			t.Error("Ceiling on empty tree")
+		}
+		if _, _, ok := tree.Floor(tx, 0); ok {
+			t.Error("Floor on empty tree")
+		}
+		for _, k := range []int64{10, 20, 30, 40, 50} {
+			tree.Put(tx, k, int(k))
+		}
+		if k, v, ok := tree.Min(tx); !ok || k != 10 || v != 10 {
+			t.Errorf("Min = %d,%d,%v", k, v, ok)
+		}
+		if k, _, ok := tree.Max(tx); !ok || k != 50 {
+			t.Errorf("Max = %d,%v", k, ok)
+		}
+		if k, _, ok := tree.Ceiling(tx, 25); !ok || k != 30 {
+			t.Errorf("Ceiling(25) = %d,%v", k, ok)
+		}
+		if k, _, ok := tree.Ceiling(tx, 30); !ok || k != 30 {
+			t.Errorf("Ceiling(30) = %d,%v", k, ok)
+		}
+		if _, _, ok := tree.Ceiling(tx, 51); ok {
+			t.Error("Ceiling beyond max")
+		}
+		if k, _, ok := tree.Floor(tx, 25); !ok || k != 20 {
+			t.Errorf("Floor(25) = %d,%v", k, ok)
+		}
+		if k, _, ok := tree.Floor(tx, 20); !ok || k != 20 {
+			t.Errorf("Floor(20) = %d,%v", k, ok)
+		}
+		if _, _, ok := tree.Floor(tx, 9); ok {
+			t.Error("Floor below min")
+		}
+		var got []int64
+		tree.RangeBetween(tx, 15, 45, func(k int64, _ int) bool {
+			got = append(got, k)
+			return true
+		})
+		want := []int64{20, 30, 40}
+		if len(got) != len(want) {
+			t.Fatalf("RangeBetween = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("RangeBetween = %v, want %v", got, want)
+			}
+		}
+		// Early stop.
+		n := 0
+		tree.RangeBetween(tx, 0, 100, func(int64, int) bool {
+			n++
+			return n < 2
+		})
+		if n != 2 {
+			t.Fatalf("RangeBetween early stop visited %d", n)
+		}
+	})
+}
+
+// TestRBTreeNavigationQuick property: Ceiling/Floor agree with a sorted
+// model for random key sets.
+func TestRBTreeNavigationQuick(t *testing.T) {
+	f := func(keys []int16, probe int16) bool {
+		rt := stm.New(stm.Config{})
+		tree := NewRBTree[struct{}]()
+		model := map[int64]bool{}
+		ok := true
+		err := rt.Atomic(func(tx *stm.Tx) error {
+			for _, k := range keys {
+				tree.Put(tx, int64(k), struct{}{})
+				model[int64(k)] = true
+			}
+			// Model ceiling/floor.
+			var wantCeil, wantFloor int64
+			haveCeil, haveFloor := false, false
+			for k := range model {
+				if k >= int64(probe) && (!haveCeil || k < wantCeil) {
+					wantCeil, haveCeil = k, true
+				}
+				if k <= int64(probe) && (!haveFloor || k > wantFloor) {
+					wantFloor, haveFloor = k, true
+				}
+			}
+			gotCeil, _, okCeil := tree.Ceiling(tx, int64(probe))
+			gotFloor, _, okFloor := tree.Floor(tx, int64(probe))
+			if okCeil != haveCeil || (okCeil && gotCeil != wantCeil) {
+				ok = false
+			}
+			if okFloor != haveFloor || (okFloor && gotFloor != wantFloor) {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

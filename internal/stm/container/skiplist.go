@@ -1,0 +1,190 @@
+package container
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"rubic/internal/stm"
+)
+
+// maxSkipHeight bounds skip-list towers; 2^16 expected elements per level-1
+// link is far beyond the benchmarks' sizes.
+const maxSkipHeight = 16
+
+// snode is a skip-list tower. The key and height are immutable; the forward
+// pointers and the value are transactional.
+type snode[V any] struct {
+	key  int64
+	val  *stm.Var[V]
+	next []*stm.Var[*snode[V]] // len == tower height
+}
+
+// SkipList is a transactional ordered map from int64 keys to V, implemented
+// as a classic skip list. It offers the same interface as RBTree with
+// shallower write footprints for inserts (no rebalancing), which makes it
+// the index of choice for insert-heavy workloads.
+type SkipList[V any] struct {
+	head *snode[V] // sentinel with key = math.MinInt64, full height
+	size *stm.Var[int]
+	// seed drives tower-height coin flips; deterministic across runs for a
+	// given construction order.
+	seed atomic.Uint64
+}
+
+// NewSkipList returns an empty skip list.
+func NewSkipList[V any]() *SkipList[V] {
+	head := &snode[V]{
+		key:  -1 << 63,
+		next: make([]*stm.Var[*snode[V]], maxSkipHeight),
+	}
+	for i := range head.next {
+		head.next[i] = stm.NewVar[*snode[V]](nil)
+	}
+	s := &SkipList[V]{head: head, size: stm.NewVar(0)}
+	s.seed.Store(0x9e3779b97f4a7c15)
+	return s
+}
+
+// height draws a geometric tower height from the list's deterministic
+// stream.
+func (s *SkipList[V]) height() int {
+	x := s.seed.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	rng := rand.New(rand.NewSource(int64(x)))
+	h := 1
+	for h < maxSkipHeight && rng.Intn(2) == 0 {
+		h++
+	}
+	return h
+}
+
+// Len returns the number of keys.
+func (s *SkipList[V]) Len(tx *stm.Tx) int { return s.size.Read(tx) }
+
+// findPredecessors fills pred with the rightmost node before key at every
+// level and returns the node at key, if present.
+func (s *SkipList[V]) findPredecessors(tx *stm.Tx, key int64, pred []*snode[V]) *snode[V] {
+	cur := s.head
+	for lvl := maxSkipHeight - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := cur.next[lvl].Read(tx)
+			if nxt == nil || nxt.key >= key {
+				break
+			}
+			cur = nxt
+		}
+		if pred != nil {
+			pred[lvl] = cur
+		}
+	}
+	nxt := cur.next[0].Read(tx)
+	if nxt != nil && nxt.key == key {
+		return nxt
+	}
+	return nil
+}
+
+// Get returns the value stored under key.
+func (s *SkipList[V]) Get(tx *stm.Tx, key int64) (V, bool) {
+	if n := s.findPredecessors(tx, key, nil); n != nil {
+		return n.val.Read(tx), true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (s *SkipList[V]) Contains(tx *stm.Tx, key int64) bool {
+	return s.findPredecessors(tx, key, nil) != nil
+}
+
+// Put inserts or updates key, reporting whether a new key was inserted.
+func (s *SkipList[V]) Put(tx *stm.Tx, key int64, val V) bool {
+	pred := make([]*snode[V], maxSkipHeight)
+	if n := s.findPredecessors(tx, key, pred); n != nil {
+		n.val.Write(tx, val)
+		return false
+	}
+	h := s.height()
+	n := &snode[V]{
+		key:  key,
+		val:  stm.NewVar(val),
+		next: make([]*stm.Var[*snode[V]], h),
+	}
+	for lvl := 0; lvl < h; lvl++ {
+		n.next[lvl] = stm.NewVar(pred[lvl].next[lvl].Read(tx))
+		pred[lvl].next[lvl].Write(tx, n)
+	}
+	s.size.Write(tx, s.size.Read(tx)+1)
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *SkipList[V]) Delete(tx *stm.Tx, key int64) bool {
+	pred := make([]*snode[V], maxSkipHeight)
+	n := s.findPredecessors(tx, key, pred)
+	if n == nil {
+		return false
+	}
+	for lvl := 0; lvl < len(n.next); lvl++ {
+		pred[lvl].next[lvl].Write(tx, n.next[lvl].Read(tx))
+	}
+	s.size.Write(tx, s.size.Read(tx)-1)
+	return true
+}
+
+// Range calls fn in ascending key order until fn returns false.
+func (s *SkipList[V]) Range(tx *stm.Tx, fn func(key int64, val V) bool) {
+	for n := s.head.next[0].Read(tx); n != nil; n = n.next[0].Read(tx) {
+		if !fn(n.key, n.val.Read(tx)) {
+			return
+		}
+	}
+}
+
+// Keys returns all keys in ascending order.
+func (s *SkipList[V]) Keys(tx *stm.Tx) []int64 {
+	out := make([]int64, 0, s.size.Read(tx))
+	s.Range(tx, func(k int64, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// CheckInvariants verifies structural sanity inside tx: every level sorted,
+// every tower member linked at level 0, size consistent. Returns "" when
+// valid; for tests.
+func (s *SkipList[V]) CheckInvariants(tx *stm.Tx) string {
+	// Level 0 ordering and count.
+	count := 0
+	prev := int64(-1 << 63)
+	level0 := map[*snode[V]]bool{}
+	for n := s.head.next[0].Read(tx); n != nil; n = n.next[0].Read(tx) {
+		if n.key <= prev {
+			return "level 0 out of order"
+		}
+		prev = n.key
+		count++
+		level0[n] = true
+	}
+	if got := s.size.Read(tx); got != count {
+		return "size mismatch"
+	}
+	// Every upper-level chain is a sorted subsequence of level 0.
+	for lvl := 1; lvl < maxSkipHeight; lvl++ {
+		prev = int64(-1 << 63)
+		for n := s.head.next[lvl].Read(tx); n != nil; n = n.next[lvl].Read(tx) {
+			if n.key <= prev {
+				return "upper level out of order"
+			}
+			if !level0[n] {
+				return "upper-level node missing from level 0"
+			}
+			prev = n.key
+		}
+	}
+	return ""
+}

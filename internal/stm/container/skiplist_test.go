@@ -1,0 +1,167 @@
+package container
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"rubic/internal/stm"
+)
+
+func TestSkipListBasic(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	s := NewSkipList[string]()
+	run(t, rt, func(tx *stm.Tx) {
+		if s.Len(tx) != 0 {
+			t.Error("new list not empty")
+		}
+		if !s.Put(tx, 7, "seven") {
+			t.Error("first Put should insert")
+		}
+		if s.Put(tx, 7, "SEVEN") {
+			t.Error("second Put should update")
+		}
+		if v, ok := s.Get(tx, 7); !ok || v != "SEVEN" {
+			t.Errorf("Get = %q,%v", v, ok)
+		}
+		if !s.Contains(tx, 7) || s.Contains(tx, 8) {
+			t.Error("Contains wrong")
+		}
+		if !s.Delete(tx, 7) || s.Delete(tx, 7) {
+			t.Error("Delete semantics wrong")
+		}
+		if s.Len(tx) != 0 {
+			t.Error("not empty after delete")
+		}
+	})
+}
+
+func TestSkipListModel(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	s := NewSkipList[int]()
+	model := map[int64]int{}
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 3000; step++ {
+		key := int64(rng.Intn(300))
+		val := rng.Int()
+		op := rng.Intn(10)
+		run(t, rt, func(tx *stm.Tx) {
+			switch {
+			case op < 5:
+				inserted := s.Put(tx, key, val)
+				if _, existed := model[key]; inserted == existed {
+					t.Fatalf("step %d: Put inserted=%v existed=%v", step, inserted, existed)
+				}
+				model[key] = val
+			case op < 8:
+				deleted := s.Delete(tx, key)
+				if _, existed := model[key]; deleted != existed {
+					t.Fatalf("step %d: Delete=%v existed=%v", step, deleted, existed)
+				}
+				delete(model, key)
+			default:
+				got, ok := s.Get(tx, key)
+				want, existed := model[key]
+				if ok != existed || (ok && got != want) {
+					t.Fatalf("step %d: Get mismatch", step)
+				}
+			}
+			if step%211 == 0 {
+				if msg := s.CheckInvariants(tx); msg != "" {
+					t.Fatalf("step %d: %s", step, msg)
+				}
+			}
+		})
+	}
+	run(t, rt, func(tx *stm.Tx) {
+		if msg := s.CheckInvariants(tx); msg != "" {
+			t.Fatalf("final: %s", msg)
+		}
+		keys := s.Keys(tx)
+		if len(keys) != len(model) {
+			t.Fatalf("keys %d, model %d", len(keys), len(model))
+		}
+	})
+}
+
+func TestSkipListQuickSorted(t *testing.T) {
+	f := func(ins []int16) bool {
+		rt := stm.New(stm.Config{})
+		s := NewSkipList[struct{}]()
+		good := true
+		err := rt.Atomic(func(tx *stm.Tx) error {
+			for _, k := range ins {
+				s.Put(tx, int64(k), struct{}{})
+			}
+			keys := s.Keys(tx)
+			for i := 1; i < len(keys); i++ {
+				if keys[i-1] >= keys[i] {
+					good = false
+					return nil
+				}
+			}
+			good = s.CheckInvariants(tx) == ""
+			return nil
+		})
+		return err == nil && good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListConcurrent(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	s := NewSkipList[int]()
+	const workers, perWorker = 6, 80
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := int64(w + i*workers)
+				if err := rt.Atomic(func(tx *stm.Tx) error {
+					s.Put(tx, key, int(key))
+					return nil
+				}); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	run(t, rt, func(tx *stm.Tx) {
+		if msg := s.CheckInvariants(tx); msg != "" {
+			t.Fatalf("invariants: %s", msg)
+		}
+		if s.Len(tx) != workers*perWorker {
+			t.Fatalf("Len = %d, want %d", s.Len(tx), workers*perWorker)
+		}
+		for k := int64(0); k < workers*perWorker; k++ {
+			if v, ok := s.Get(tx, k); !ok || v != int(k) {
+				t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+			}
+		}
+	})
+}
+
+func TestSkipListRangeEarlyStop(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	s := NewSkipList[int]()
+	run(t, rt, func(tx *stm.Tx) {
+		for i := 0; i < 30; i++ {
+			s.Put(tx, int64(i), i)
+		}
+		n := 0
+		s.Range(tx, func(int64, int) bool {
+			n++
+			return n < 7
+		})
+		if n != 7 {
+			t.Fatalf("Range visited %d, want 7", n)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package stm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// This file implements the NOrec algorithm (Dalessandro, Spear & Scott,
+// PPoPP 2010) as an alternative engine behind the same Runtime/Var/Tx API:
+// no per-location ownership records; a single global sequence lock
+// serializes write-back, and readers validate by value. Writers buffer
+// everything and acquire nothing until commit, so transactions never block
+// each other mid-flight; the cost is serialized commits and value-log
+// revalidation whenever any writer commits.
+//
+// The paper's substrate, RSTM, is precisely such a multi-algorithm
+// framework; Config.Algorithm selects between the default TL2/SwissTM-style
+// engine (eager per-location locking) and NOrec. Vars, containers and
+// workloads are engine-agnostic.
+
+// Algorithm selects a Runtime's concurrency-control engine.
+type Algorithm uint8
+
+const (
+	// TL2 is the default engine: per-location versioned locks, eager write
+	// locking, invisible readers with timestamp validation (TL2/SwissTM).
+	TL2 Algorithm = iota
+	// NOrec is the value-validating engine with a single commit seqlock.
+	NOrec
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case TL2:
+		return "tl2"
+	case NOrec:
+		return "norec"
+	}
+	return "unknown"
+}
+
+// norecState is the NOrec global: a sequence lock, odd while a writer is in
+// its write-back phase.
+type norecState struct {
+	seq atomic.Uint64
+}
+
+// valueRead is one value-log entry: the location and the boxed value pointer
+// observed. Write-back always publishes a fresh allocation, so pointer
+// equality certifies the value is unchanged.
+type valueRead struct {
+	base *varBase
+	p    *any
+}
+
+// waitEven spins until the sequence lock is even (no write-back in
+// progress) and returns its value.
+func (n *norecState) waitEven() uint64 {
+	for {
+		s := n.seq.Load()
+		if s&1 == 0 {
+			return s
+		}
+		runtime.Gosched()
+	}
+}
+
+// readNorec is the NOrec read protocol: consistent value sampling against
+// the global sequence lock, with full value-log revalidation whenever a
+// concurrent commit moved the clock.
+func (tx *Tx) readNorec(b *varBase) any {
+	tx.work.Add(1)
+	if tx.windex != nil {
+		if i, ok := tx.windex[b]; ok {
+			return tx.writes[i].val
+		}
+	}
+	for {
+		s1 := tx.rt.norec.waitEven()
+		if s1 != tx.rv {
+			if !tx.revalidateNorec() {
+				tx.conflict(ConflictStaleRead)
+			}
+			continue
+		}
+		p := b.val.Load()
+		s2 := tx.rt.norec.seq.Load()
+		if s1 != s2 {
+			continue
+		}
+		tx.vreads = append(tx.vreads, valueRead{base: b, p: p})
+		return *p
+	}
+}
+
+// revalidateNorec re-reads every logged location and compares the boxed
+// pointers, adopting the new snapshot on success.
+func (tx *Tx) revalidateNorec() bool {
+	for {
+		s := tx.rt.norec.waitEven()
+		ok := true
+		for i := range tx.vreads {
+			r := &tx.vreads[i]
+			if r.base.val.Load() != r.p {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+		if tx.rt.norec.seq.Load() == s {
+			tx.rv = s
+			tx.rt.stats.extensions.Add(1)
+			return true
+		}
+	}
+}
+
+// writeNorec buffers the write; NOrec acquires nothing before commit.
+func (tx *Tx) writeNorec(b *varBase, v any) {
+	tx.work.Add(1)
+	if tx.readOnly {
+		panic("stm: write inside a read-only transaction")
+	}
+	if tx.windex != nil {
+		if i, ok := tx.windex[b]; ok {
+			tx.writes[i].val = v
+			return
+		}
+	}
+	tx.writes = append(tx.writes, writeEntry{base: b, val: v})
+	if tx.windex == nil {
+		tx.windex = make(map[*varBase]int, 8)
+	}
+	tx.windex[b] = len(tx.writes) - 1
+}
+
+// commitNorec serializes on the global sequence lock: validate the value
+// log, publish the writes, release.
+func (tx *Tx) commitNorec() bool {
+	if len(tx.writes) == 0 {
+		tx.status.Store(txCommitted)
+		tx.rt.stats.readOnlyCommits.Add(1)
+		return true
+	}
+	for {
+		s := tx.rt.norec.waitEven()
+		if s != tx.rv && !tx.revalidateNorecAt(s) {
+			tx.status.Store(txAborted)
+			tx.rt.stats.conflicts[ConflictValidation].Add(1)
+			return false
+		}
+		if !tx.rt.norec.seq.CompareAndSwap(s, s+1) {
+			continue // lost the lock race; re-check
+		}
+		for i := range tx.writes {
+			w := &tx.writes[i]
+			p := new(any)
+			*p = w.val
+			w.base.val.Store(p)
+			// Keep the location's version moving so Var.Version and the
+			// TL2-style consistent sampling remain meaningful.
+			w.base.meta.Add(1 << 1)
+		}
+		tx.rt.norec.seq.Store(s + 2)
+		tx.status.Store(txCommitted)
+		return true
+	}
+}
+
+// revalidateNorecAt validates the value log at a specific even sequence
+// value (pre-commit validation holds no lock; the CAS re-checks s).
+func (tx *Tx) revalidateNorecAt(s uint64) bool {
+	for i := range tx.vreads {
+		r := &tx.vreads[i]
+		if r.base.val.Load() != r.p {
+			return false
+		}
+	}
+	tx.rv = s
+	return true
+}
+
+// rollbackNorec: nothing is held; just mark the attempt.
+func (tx *Tx) rollbackNorec() {
+	tx.status.Store(txAborted)
+}

@@ -1,0 +1,235 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlgorithmString(t *testing.T) {
+	if TL2.String() != "tl2" || NOrec.String() != "norec" {
+		t.Fatal("algorithm names wrong")
+	}
+	if Algorithm(9).String() != "unknown" {
+		t.Fatal("out-of-range algorithm name")
+	}
+	if New(Config{}).Algorithm() != TL2 {
+		t.Fatal("default algorithm not TL2")
+	}
+	if New(Config{Algorithm: NOrec}).Algorithm() != NOrec {
+		t.Fatal("NOrec config ignored")
+	}
+}
+
+func TestNOrecBasicReadWrite(t *testing.T) {
+	rt := New(Config{Algorithm: NOrec})
+	x := NewVar(10)
+	err := rt.Atomic(func(tx *Tx) error {
+		if got := x.Read(tx); got != 10 {
+			t.Errorf("read = %d", got)
+		}
+		x.Write(tx, 42)
+		if got := x.Read(tx); got != 42 {
+			t.Errorf("read-own-write = %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Peek(); got != 42 {
+		t.Fatalf("Peek = %d", got)
+	}
+}
+
+func TestNOrecUserErrorRollsBack(t *testing.T) {
+	rt := New(Config{Algorithm: NOrec})
+	x := NewVar("before")
+	boom := errors.New("boom")
+	if err := rt.Atomic(func(tx *Tx) error {
+		x.Write(tx, "after")
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if x.Peek() != "before" {
+		t.Fatal("write leaked from aborted NOrec transaction")
+	}
+}
+
+func TestNOrecReadOnlyWritePanics(t *testing.T) {
+	rt := New(Config{Algorithm: NOrec})
+	x := NewVar(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = rt.AtomicRO(func(tx *Tx) error {
+		x.Write(tx, 1)
+		return nil
+	})
+}
+
+func TestNOrecConcurrentCounter(t *testing.T) {
+	rt := New(Config{Algorithm: NOrec})
+	x := NewVar(0)
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := rt.Atomic(func(tx *Tx) error {
+					x.Write(tx, x.Read(tx)+1)
+					return nil
+				}); err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := x.Peek(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestNOrecSnapshotConsistency: concurrent transfers preserve the invariant
+// under value validation exactly as under TL2.
+func TestNOrecSnapshotConsistency(t *testing.T) {
+	rt := New(Config{Algorithm: NOrec})
+	const total = 1000
+	a := NewVar(total)
+	b := NewVar(0)
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				_ = rt.Atomic(func(tx *Tx) error {
+					av, bv := a.Read(tx), b.Read(tx)
+					amt := (i+g)%17 + 1
+					if g%2 == 0 && av >= amt {
+						a.Write(tx, av-amt)
+						b.Write(tx, bv+amt)
+					} else if bv >= amt {
+						b.Write(tx, bv-amt)
+						a.Write(tx, av+amt)
+					}
+					return nil
+				})
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = rt.AtomicRO(func(tx *Tx) error {
+					if sum := a.Read(tx) + b.Read(tx); sum != total {
+						t.Errorf("torn snapshot: %d", sum)
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if sum := a.Peek() + b.Peek(); sum != total {
+		t.Fatalf("final total %d", sum)
+	}
+}
+
+// TestNOrecFalseConflictImmunity: NOrec validates by value, so a competitor
+// writing the same boxed pointer... cannot happen (each commit allocates),
+// but writes to *unrelated* variables must not abort a reader whose values
+// are revalidated successfully.
+func TestNOrecUnrelatedWritesDoNotAbortReaders(t *testing.T) {
+	rt := New(Config{Algorithm: NOrec})
+	x := NewVar(1)
+	y := NewVar(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			_ = rt.Atomic(func(tx *Tx) error {
+				y.Write(tx, y.Read(tx)+1)
+				return nil
+			})
+		}
+	}()
+	// Readers of x proceed despite the churn on y (revalidation of the
+	// value log succeeds since x never changes).
+	for i := 0; i < 500; i++ {
+		if err := rt.AtomicRO(func(tx *Tx) error {
+			if got := x.Read(tx); got != 1 {
+				t.Errorf("x = %d", got)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("reader aborted: %v", err)
+		}
+	}
+	<-done
+	s := rt.Stats()
+	if s.Commits == 0 {
+		t.Fatal("no commits")
+	}
+}
+
+// TestNOrecQuickMatchesTL2 property: any single-threaded op sequence leaves
+// both engines' state identical.
+func TestNOrecQuickMatchesTL2(t *testing.T) {
+	f := func(ops []int16) bool {
+		a := New(Config{})
+		b := New(Config{Algorithm: NOrec})
+		xa, xb := NewVar(0), NewVar(0)
+		for _, op := range ops {
+			v := int(op)
+			_ = a.Atomic(func(tx *Tx) error {
+				if v%3 == 0 {
+					xa.Write(tx, v)
+				} else {
+					xa.Write(tx, xa.Read(tx)+v)
+				}
+				return nil
+			})
+			_ = b.Atomic(func(tx *Tx) error {
+				if v%3 == 0 {
+					xb.Write(tx, v)
+				} else {
+					xb.Write(tx, xb.Read(tx)+v)
+				}
+				return nil
+			})
+		}
+		return xa.Peek() == xb.Peek()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNOrecVersionAdvances(t *testing.T) {
+	rt := New(Config{Algorithm: NOrec})
+	x := NewVar(0)
+	v0 := x.Version()
+	_ = rt.Atomic(func(tx *Tx) error { x.Write(tx, 1); return nil })
+	if x.Version() <= v0 {
+		t.Fatal("Var version did not advance under NOrec")
+	}
+}

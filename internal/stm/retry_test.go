@@ -1,0 +1,154 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRetryWithoutReads(t *testing.T) {
+	for _, algo := range []Algorithm{TL2, NOrec} {
+		rt := New(Config{Algorithm: algo})
+		err := rt.Atomic(func(tx *Tx) error {
+			tx.Retry()
+			return nil
+		})
+		if !errors.Is(err, ErrRetryWithoutReads) {
+			t.Fatalf("%v: err = %v, want ErrRetryWithoutReads", algo, err)
+		}
+	}
+}
+
+func TestRetryWakesOnWrite(t *testing.T) {
+	for _, algo := range []Algorithm{TL2, NOrec} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			rt := New(Config{Algorithm: algo})
+			flag := NewVar(false)
+			value := NewVar(0)
+
+			got := make(chan int, 1)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				err := rt.Atomic(func(tx *Tx) error {
+					if !flag.Read(tx) {
+						tx.Retry()
+					}
+					got <- value.Read(tx)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("consumer: %v", err)
+				}
+			}()
+
+			// Give the consumer time to park, then publish.
+			time.Sleep(20 * time.Millisecond)
+			select {
+			case <-got:
+				t.Fatal("consumer proceeded before the flag was set")
+			default:
+			}
+			if err := rt.Atomic(func(tx *Tx) error {
+				value.Write(tx, 42)
+				flag.Write(tx, true)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case v := <-got:
+				if v != 42 {
+					t.Fatalf("consumer observed %d, want 42", v)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("consumer never woke")
+			}
+			wg.Wait()
+			if s := rt.Stats(); s.RetryWaits == 0 {
+				t.Fatal("no retry wait recorded")
+			}
+		})
+	}
+}
+
+// TestRetryBlockingQueue drives a producer/consumer pair where consumers
+// block via Retry instead of spinning on an empty queue.
+func TestRetryBlockingQueue(t *testing.T) {
+	rt := New(Config{})
+	head := NewVar(0) // next index to consume
+	tail := NewVar(0) // next index to produce
+	buf := make([]*Var[int], 64)
+	for i := range buf {
+		buf[i] = NewVar(0)
+	}
+	const items = 200
+
+	var consumed []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var v int
+				done := false
+				err := rt.Atomic(func(tx *Tx) error {
+					h, tl := head.Read(tx), tail.Read(tx)
+					if h >= items {
+						done = true
+						return nil
+					}
+					if h == tl {
+						tx.Retry() // empty: sleep until a producer commits
+					}
+					v = buf[h%len(buf)].Read(tx)
+					head.Write(tx, h+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("consumer: %v", err)
+					return
+				}
+				if done {
+					return
+				}
+				mu.Lock()
+				consumed = append(consumed, v)
+				mu.Unlock()
+			}
+		}()
+	}
+	// One producer fills the bounded buffer, blocking via Retry when full.
+	for i := 0; i < items; i++ {
+		if err := rt.Atomic(func(tx *Tx) error {
+			h, tl := head.Read(tx), tail.Read(tx)
+			if tl-h >= len(buf) {
+				tx.Retry() // full: sleep until a consumer commits
+			}
+			buf[tl%len(buf)].Write(tx, tl*3)
+			tail.Write(tx, tl+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			time.Sleep(time.Millisecond) // let consumers drain and park
+		}
+	}
+	wg.Wait()
+	if len(consumed) != items {
+		t.Fatalf("consumed %d items, want %d", len(consumed), items)
+	}
+	seen := map[int]bool{}
+	for _, v := range consumed {
+		if v%3 != 0 || seen[v] {
+			t.Fatalf("bad or duplicate item %d", v)
+		}
+		seen[v] = true
+	}
+}

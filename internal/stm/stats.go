@@ -1,0 +1,86 @@
+package stm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// runtimeStats aggregates counters across all transactions of a Runtime.
+// Counters are updated with atomic adds on hot paths only where the paper's
+// instrumentation would (commits/aborts); per-read costs are avoided.
+type runtimeStats struct {
+	commits         atomic.Uint64
+	readOnlyCommits atomic.Uint64
+	aborts          atomic.Uint64
+	userAborts      atomic.Uint64
+	extensions      atomic.Uint64
+	retryWaits      atomic.Uint64
+	conflicts       [conflictKinds]atomic.Uint64
+}
+
+// Stats is an immutable snapshot of a Runtime's counters.
+type Stats struct {
+	// Commits counts successfully committed transactions, including
+	// read-only ones.
+	Commits uint64
+	// ReadOnlyCommits counts commits that wrote nothing.
+	ReadOnlyCommits uint64
+	// Aborts counts attempts rolled back due to conflicts (each retry of the
+	// same atomic block counts once).
+	Aborts uint64
+	// UserAborts counts atomic blocks abandoned because the user function
+	// returned an error.
+	UserAborts uint64
+	// Extensions counts successful read-version extensions.
+	Extensions uint64
+	// RetryWaits counts Tx.Retry blocks that woke and re-executed.
+	RetryWaits uint64
+	// Conflicts breaks Aborts down by cause.
+	Conflicts map[ConflictKind]uint64
+}
+
+// AbortRatio returns aborts / (commits + aborts), the wasted-work measure
+// used by abort-ratio-driven tuners in the related work.
+func (s Stats) AbortRatio() float64 {
+	total := s.Commits + s.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// String renders the snapshot compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("commits=%d (ro=%d) aborts=%d (ratio=%.3f) user-aborts=%d extensions=%d",
+		s.Commits, s.ReadOnlyCommits, s.Aborts, s.AbortRatio(), s.UserAborts, s.Extensions)
+}
+
+func (rs *runtimeStats) snapshot() Stats {
+	out := Stats{
+		Commits:         rs.commits.Load(),
+		ReadOnlyCommits: rs.readOnlyCommits.Load(),
+		Aborts:          rs.aborts.Load(),
+		UserAborts:      rs.userAborts.Load(),
+		Extensions:      rs.extensions.Load(),
+		RetryWaits:      rs.retryWaits.Load(),
+		Conflicts:       make(map[ConflictKind]uint64, int(conflictKinds)),
+	}
+	for k := ConflictKind(0); k < conflictKinds; k++ {
+		if n := rs.conflicts[k].Load(); n > 0 {
+			out.Conflicts[k] = n
+		}
+	}
+	return out
+}
+
+func (rs *runtimeStats) reset() {
+	rs.commits.Store(0)
+	rs.readOnlyCommits.Store(0)
+	rs.aborts.Store(0)
+	rs.userAborts.Store(0)
+	rs.extensions.Store(0)
+	rs.retryWaits.Store(0)
+	for k := range rs.conflicts {
+		rs.conflicts[k].Store(0)
+	}
+}

@@ -1,0 +1,163 @@
+// Package stm implements a software transactional memory runtime in the
+// style of TL2/SwissTM: a global version clock, per-location versioned
+// write-locks, eager write locking with commit-time write-back, invisible
+// readers validated by timestamp with lazy snapshot extension, and pluggable
+// contention management.
+//
+// It is the substrate the RUBIC reproduction runs its STAMP-style workloads
+// on, standing in for the paper's RSTM framework with the SwissTM runtime.
+//
+// Typical use:
+//
+//	rt := stm.New(stm.Config{})
+//	x := stm.NewVar(0)
+//	err := rt.Atomic(func(tx *stm.Tx) error {
+//	    x.Write(tx, x.Read(tx)+1)
+//	    return nil
+//	})
+//
+// Conflicts are handled internally with automatic retry; the error returned
+// by Atomic is non-nil only when the user function returned an error (the
+// transaction is then rolled back and not retried) or when Config.MaxRetries
+// is exhausted.
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// CM selects the contention manager; nil defaults to BackoffCM{}. Only
+	// the TL2 engine consults it for conflicts (NOrec has no per-location
+	// owners); both use it to pace retries.
+	CM ContentionManager
+	// MaxRetries bounds the number of attempts per atomic block; 0 means
+	// unlimited. When exhausted, Atomic returns ErrTooManyRetries.
+	MaxRetries int
+	// Algorithm selects the concurrency-control engine; defaults to TL2.
+	Algorithm Algorithm
+}
+
+// ErrTooManyRetries is returned by Atomic when Config.MaxRetries attempts
+// all aborted.
+var ErrTooManyRetries = errors.New("stm: transaction exceeded retry limit")
+
+// Runtime is an STM instance: a version clock, a contention manager and
+// statistics. Independent Runtimes are fully isolated; Vars are implicitly
+// bound to whichever Runtime's transactions access them, so a Var must not
+// be shared across Runtimes.
+type Runtime struct {
+	cfg   Config
+	algo  Algorithm
+	clock clock
+	norec norecState
+	cm    ContentionManager
+	tsc   atomic.Uint64 // birth-timestamp source for greedy CM
+	stats runtimeStats
+}
+
+// New returns a Runtime with the given configuration.
+func New(cfg Config) *Runtime {
+	rt := &Runtime{cfg: cfg, algo: cfg.Algorithm}
+	rt.cm = cfg.CM
+	if rt.cm == nil {
+		rt.cm = BackoffCM{}
+	}
+	return rt
+}
+
+// Algorithm reports the runtime's engine.
+func (rt *Runtime) Algorithm() Algorithm { return rt.algo }
+
+// Atomic executes fn transactionally, retrying on conflicts until it
+// commits, fn returns an error, or the retry limit is exhausted.
+//
+// fn must confine all shared-state access to Var Read/Write through tx, must
+// not retain tx, and must be safe to re-execute (side effects outside the
+// STM should be buffered until Atomic returns).
+func (rt *Runtime) Atomic(fn func(tx *Tx) error) error {
+	return rt.run(fn, false)
+}
+
+// AtomicRO executes fn as a read-only transaction: reads skip read-set
+// bookkeeping entirely (in-flight validation still guarantees a consistent
+// snapshot) and writes panic. Prefer it for lookup-dominated operations.
+func (rt *Runtime) AtomicRO(fn func(tx *Tx) error) error {
+	return rt.run(fn, true)
+}
+
+func (rt *Runtime) run(fn func(tx *Tx) error, readOnly bool) error {
+	tx := &Tx{rt: rt, readOnly: readOnly}
+	tx.ts = rt.tsc.Add(1)
+	for attempt := 0; ; attempt++ {
+		if rt.cfg.MaxRetries > 0 && attempt >= rt.cfg.MaxRetries {
+			return fmt.Errorf("%w (after %d attempts)", ErrTooManyRetries, attempt)
+		}
+		if attempt > 0 {
+			rt.cm.BeforeRetry(tx, attempt)
+		}
+		tx.attempt = attempt
+		tx.reset()
+		userErr, conflicted, retried := tx.execute(fn)
+		if retried {
+			// Tx.Retry: block until a watched location changes, then
+			// re-execute the whole block.
+			if err := tx.waitForChange(); err != nil {
+				return err
+			}
+			rt.stats.retryWaits.Add(1)
+			continue
+		}
+		if conflicted {
+			rt.stats.aborts.Add(1)
+			continue
+		}
+		if userErr != nil {
+			tx.rollback()
+			rt.stats.userAborts.Add(1)
+			return userErr
+		}
+		if tx.commit() {
+			rt.stats.commits.Add(1)
+			return nil
+		}
+		rt.stats.aborts.Add(1)
+	}
+}
+
+// execute runs one attempt of fn, converting the internal conflict and
+// retry panics into (rolled back) indications while letting any other panic
+// propagate after releasing the attempt's locks.
+func (tx *Tx) execute(fn func(tx *Tx) error) (userErr error, conflicted, retried bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			tx.rollback()
+			switch sig := r.(type) {
+			case conflictSignal:
+				tx.rt.stats.conflicts[sig.reason].Add(1)
+				conflicted = true
+			case retrySignal:
+				retried = true
+			default:
+				panic(r)
+			}
+		}
+	}()
+	return fn(tx), false, false
+}
+
+// Stats returns a snapshot of the runtime's counters.
+func (rt *Runtime) Stats() Stats { return rt.stats.snapshot() }
+
+// ResetStats zeroes the runtime's counters, e.g. between measurement rounds.
+func (rt *Runtime) ResetStats() { rt.stats.reset() }
+
+// ContentionManagerName reports the active contention policy.
+func (rt *Runtime) ContentionManagerName() string { return rt.cm.Name() }
+
+// GlobalVersion exposes the current value of the version clock for tests and
+// diagnostics.
+func (rt *Runtime) GlobalVersion() uint64 { return rt.clock.now() }

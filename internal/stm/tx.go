@@ -1,0 +1,330 @@
+package stm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Transaction status values. Transitions: active -> {doomed, committed,
+// aborted}. A greedy contention manager dooms a competitor by CASing its
+// status from active to doomed; the victim notices at its next transactional
+// operation or at commit and restarts.
+const (
+	txActive uint32 = iota
+	txDoomed
+	txCommitted
+	txAborted
+)
+
+// conflictSignal is the sentinel panic payload used to unwind a doomed or
+// conflicting transaction back to Runtime.Atomic, which rolls back and
+// retries. It never escapes this package.
+type conflictSignal struct {
+	reason ConflictKind
+}
+
+// ConflictKind classifies why a transaction attempt failed, for statistics.
+type ConflictKind uint8
+
+// Conflict classifications reported in Stats.
+const (
+	ConflictLockedRead  ConflictKind = iota // read found location locked by another tx
+	ConflictLockedWrite                     // write found location locked by another tx
+	ConflictStaleRead                       // version newer than read version, extension failed
+	ConflictValidation                      // commit-time read-set validation failed
+	ConflictDoomed                          // doomed by a competitor's contention manager
+	conflictKinds
+)
+
+func (k ConflictKind) String() string {
+	switch k {
+	case ConflictLockedRead:
+		return "locked-read"
+	case ConflictLockedWrite:
+		return "locked-write"
+	case ConflictStaleRead:
+		return "stale-read"
+	case ConflictValidation:
+		return "validation"
+	case ConflictDoomed:
+		return "doomed"
+	}
+	return "unknown"
+}
+
+type readEntry struct {
+	base *varBase
+	meta uint64 // unlocked meta word observed at read time
+}
+
+type writeEntry struct {
+	base     *varBase
+	prevMeta uint64 // meta word before our acquisition, restored on abort
+	val      any
+}
+
+// Tx is one transaction attempt context. A Tx is created by Runtime.Atomic
+// and reused across retries of the same atomic block; it must not be
+// retained or shared outside the atomic function.
+type Tx struct {
+	rt     *Runtime
+	status atomic.Uint32
+
+	rv uint64 // read version: snapshot of the global clock
+	ts uint64 // birth timestamp for greedy contention management; stable across retries
+
+	// work counts transactional operations performed since the atomic block
+	// started, accumulated across retries (it is the "karma" of Karma/Polka
+	// contention management). Atomic because competitors read it.
+	work atomic.Int64
+
+	reads    []readEntry
+	vreads   []valueRead // NOrec value log
+	writes   []writeEntry
+	windex   map[*varBase]int
+	readOnly bool
+
+	attempt int
+}
+
+// Attempt reports the zero-based retry count of the current execution of the
+// atomic block. Workload code can use it to, e.g., shrink its operation
+// after repeated conflicts.
+func (tx *Tx) Attempt() int { return tx.attempt }
+
+// ReadOnly reports whether the transaction was started with AtomicRO.
+func (tx *Tx) ReadOnly() bool { return tx.readOnly }
+
+func (tx *Tx) reset() {
+	tx.status.Store(txActive)
+	if tx.rt.algo == NOrec {
+		tx.rv = tx.rt.norec.waitEven()
+	} else {
+		tx.rv = tx.rt.clock.now()
+	}
+	tx.reads = tx.reads[:0]
+	tx.vreads = tx.vreads[:0]
+	tx.writes = tx.writes[:0]
+	if len(tx.windex) > 0 {
+		tx.windex = nil
+	}
+}
+
+// conflict unwinds the attempt with the sentinel panic.
+func (tx *Tx) conflict(kind ConflictKind) {
+	panic(conflictSignal{reason: kind})
+}
+
+// checkAlive aborts the attempt if a competitor doomed us.
+func (tx *Tx) checkAlive() {
+	if tx.status.Load() == txDoomed {
+		tx.conflict(ConflictDoomed)
+	}
+}
+
+// read dispatches to the runtime's engine: TL2's invisible-reader protocol
+// with timestamp extension, or NOrec's value-validated sampling.
+func (tx *Tx) read(b *varBase) any {
+	if tx.rt.algo == NOrec {
+		return tx.readNorec(b)
+	}
+	tx.checkAlive()
+	tx.work.Add(1)
+	if tx.windex != nil {
+		if i, ok := tx.windex[b]; ok {
+			return tx.writes[i].val
+		}
+	}
+	for spins := 0; ; spins++ {
+		m1 := b.meta.Load()
+		if m1&lockedBit != 0 {
+			owner := b.owner.Load()
+			if owner == nil || owner == tx {
+				// Transient acquisition/release window, or our own lock
+				// racing with the windex check (cannot happen for a
+				// well-formed Tx, but harmless): retry.
+				runtime.Gosched()
+				continue
+			}
+			if tx.rt.cm.ShouldAbort(tx, owner) {
+				tx.conflict(ConflictLockedRead)
+			}
+			backoffSpin(spins)
+			continue
+		}
+		p := b.val.Load()
+		m2 := b.meta.Load()
+		if m1 != m2 {
+			continue
+		}
+		if m1>>1 > tx.rv {
+			// A read-only transaction keeps no read set, so its snapshot
+			// cannot be revalidated: it must restart with a fresh read
+			// version instead of extending.
+			if tx.readOnly || !tx.extend() {
+				tx.conflict(ConflictStaleRead)
+			}
+		}
+		if !tx.readOnly {
+			tx.reads = append(tx.reads, readEntry{base: b, meta: m1})
+		}
+		return *p
+	}
+}
+
+// write dispatches to the engine: TL2 acquires the location's write lock
+// eagerly and buffers the value; NOrec only buffers.
+func (tx *Tx) write(b *varBase, v any) {
+	if tx.rt.algo == NOrec {
+		tx.writeNorec(b, v)
+		return
+	}
+	tx.checkAlive()
+	tx.work.Add(1)
+	if tx.readOnly {
+		panic("stm: write inside a read-only transaction")
+	}
+	if tx.windex != nil {
+		if i, ok := tx.windex[b]; ok {
+			tx.writes[i].val = v
+			return
+		}
+	}
+	for spins := 0; ; spins++ {
+		m := b.meta.Load()
+		if m&lockedBit != 0 {
+			owner := b.owner.Load()
+			if owner == nil {
+				runtime.Gosched()
+				continue
+			}
+			if owner == tx {
+				// Locked by us but absent from windex: impossible for a
+				// well-formed Tx; treat as programming error.
+				panic("stm: lock held without write-set entry")
+			}
+			if tx.rt.cm.ShouldAbort(tx, owner) {
+				tx.conflict(ConflictLockedWrite)
+			}
+			backoffSpin(spins)
+			continue
+		}
+		if m>>1 > tx.rv {
+			if !tx.extend() {
+				tx.conflict(ConflictStaleRead)
+			}
+		}
+		if b.meta.CompareAndSwap(m, m|lockedBit) {
+			b.owner.Store(tx)
+			tx.writes = append(tx.writes, writeEntry{base: b, prevMeta: m, val: v})
+			if tx.windex == nil {
+				tx.windex = make(map[*varBase]int, 8)
+			}
+			tx.windex[b] = len(tx.writes) - 1
+			return
+		}
+	}
+}
+
+// extend attempts to advance the read version after observing a location
+// newer than rv: it revalidates the entire read set against the current
+// clock (SwissTM's lazy snapshot extension). It returns false when some read
+// location changed, in which case the transaction must abort.
+func (tx *Tx) extend() bool {
+	newRv := tx.rt.clock.now()
+	if !tx.validateReads() {
+		return false
+	}
+	tx.rv = newRv
+	tx.rt.stats.extensions.Add(1)
+	return true
+}
+
+// validateReads checks that every location in the read set still carries the
+// version observed at read time and is not locked by a competitor.
+func (tx *Tx) validateReads() bool {
+	for i := range tx.reads {
+		e := &tx.reads[i]
+		cur := e.base.meta.Load()
+		if cur&lockedBit != 0 {
+			if e.base.owner.Load() != tx {
+				return false
+			}
+			cur &^= lockedBit
+		}
+		if cur != e.meta {
+			return false
+		}
+	}
+	return true
+}
+
+// commit attempts to make the transaction's writes visible. It returns false
+// (after rolling back) when validation fails or the transaction was doomed.
+func (tx *Tx) commit() bool {
+	if tx.rt.algo == NOrec {
+		return tx.commitNorec()
+	}
+	if tx.status.Load() == txDoomed {
+		tx.rollback()
+		tx.rt.stats.conflicts[ConflictDoomed].Add(1)
+		return false
+	}
+	if len(tx.writes) == 0 {
+		// Read-only commit: in-flight validation already guaranteed a
+		// consistent snapshot at version rv.
+		tx.status.Store(txCommitted)
+		tx.rt.stats.readOnlyCommits.Add(1)
+		return true
+	}
+	wv := tx.rt.clock.tick()
+	if wv != tx.rv+1 && !tx.validateReads() {
+		tx.rollback()
+		tx.rt.stats.conflicts[ConflictValidation].Add(1)
+		return false
+	}
+	// Win the race against contention managers trying to doom us: once
+	// committed, write-back proceeds and doomers must wait for the locks.
+	if !tx.status.CompareAndSwap(txActive, txCommitted) {
+		tx.rollback()
+		tx.rt.stats.conflicts[ConflictDoomed].Add(1)
+		return false
+	}
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		p := new(any)
+		*p = w.val
+		w.base.val.Store(p)
+		w.base.owner.Store(nil)
+		w.base.meta.Store(wv << 1)
+	}
+	return true
+}
+
+// rollback releases every write lock, restoring the pre-acquisition version,
+// and marks the attempt aborted. Values were never written back, so no data
+// restoration is needed. (NOrec holds nothing.)
+func (tx *Tx) rollback() {
+	if tx.rt.algo == NOrec {
+		tx.rollbackNorec()
+		return
+	}
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		w.base.owner.Store(nil)
+		w.base.meta.Store(w.prevMeta)
+	}
+	tx.status.Store(txAborted)
+}
+
+// backoffSpin yields the processor with a cost growing in the number of
+// failed spins, bounded to keep worst-case latency low on few-core hosts.
+func backoffSpin(spins int) {
+	if spins > 64 {
+		spins = 64
+	}
+	for i := 0; i < spins; i++ {
+		runtime.Gosched()
+	}
+	runtime.Gosched()
+}

@@ -1,0 +1,100 @@
+package stm
+
+import "sync/atomic"
+
+// lockedBit marks a varBase metadata word as write-locked. The remaining
+// bits hold the location's commit version shifted left by one.
+const lockedBit uint64 = 1
+
+// varBase is the runtime representation of one transactional location: a
+// versioned write-lock (meta), the owning transaction while locked, and the
+// current value. It is the Go analogue of a SwissTM ownership record fused
+// with its data word.
+//
+// Invariants:
+//   - meta is either version<<1 (unlocked) or version<<1|lockedBit (locked,
+//     version preserved from before the acquisition).
+//   - While the locked bit is set, owner is nil only transiently (between
+//     the acquiring CAS and the owner store, or between the owner clear and
+//     the releasing store); readers observing nil simply retry.
+//   - val is written only by the lock holder during commit write-back, and
+//     is published with a fresh allocation so concurrent optimistic readers
+//     never observe a torn value.
+type varBase struct {
+	meta  atomic.Uint64
+	owner atomic.Pointer[Tx]
+	val   atomic.Pointer[any]
+}
+
+func (b *varBase) init(v any) {
+	p := new(any)
+	*p = v
+	b.val.Store(p)
+}
+
+// sampleConsistent performs a lock-free consistent read of (value, version)
+// outside any transaction, retrying across concurrent commits.
+func (b *varBase) sampleConsistent() (any, uint64) {
+	for {
+		m1 := b.meta.Load()
+		if m1&lockedBit != 0 {
+			continue
+		}
+		p := b.val.Load()
+		m2 := b.meta.Load()
+		if m1 == m2 {
+			return *p, m1 >> 1
+		}
+	}
+}
+
+// Var is a typed transactional variable. All access from concurrent code
+// must go through a transaction (Read/Write); Peek and Set are provided for
+// quiescent phases such as initialization and post-run verification.
+type Var[T any] struct {
+	base varBase
+}
+
+// NewVar returns a transactional variable holding init.
+func NewVar[T any](init T) *Var[T] {
+	v := &Var[T]{}
+	v.base.init(init)
+	return v
+}
+
+// Read returns the variable's value as seen by tx, recording the read for
+// commit-time validation. It panics with an internal conflict signal (caught
+// by Runtime.Atomic, which retries the transaction) when a consistent value
+// cannot be obtained.
+func (v *Var[T]) Read(tx *Tx) T {
+	return tx.read(&v.base).(T)
+}
+
+// Write buffers a new value for the variable in tx. The write lock is
+// acquired eagerly (SwissTM style); the value itself is published only if
+// the transaction commits.
+func (v *Var[T]) Write(tx *Tx, val T) {
+	tx.write(&v.base, val)
+}
+
+// Peek returns the variable's current committed value without a transaction.
+// The read is individually consistent but carries no ordering guarantee with
+// respect to other variables; use it only outside transactional phases.
+func (v *Var[T]) Peek() T {
+	val, _ := v.base.sampleConsistent()
+	return val.(T)
+}
+
+// Set stores a value without a transaction. It must only be used while no
+// transaction can access the variable (e.g. single-threaded initialization);
+// concurrent transactional use would bypass conflict detection.
+func (v *Var[T]) Set(val T) {
+	v.base.init(val)
+}
+
+// Version returns the variable's current commit version, mainly for tests
+// and diagnostics.
+func (v *Var[T]) Version() uint64 {
+	_, ver := v.base.sampleConsistent()
+	return ver
+}

@@ -1,0 +1,145 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestNoWriteSkew checks serializability (not mere snapshot isolation) on
+// both engines with the classic write-skew anomaly: with the constraint
+// "x + y >= 1" and x = y = 1, two transactions that each read both
+// variables and zero a different one must not both commit.
+func TestNoWriteSkew(t *testing.T) {
+	for _, algo := range []Algorithm{TL2, NOrec} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			for round := 0; round < 200; round++ {
+				rt := New(Config{Algorithm: algo})
+				x := NewVar(1)
+				y := NewVar(1)
+				var wg sync.WaitGroup
+				body := func(zeroed *Var[int]) {
+					defer wg.Done()
+					_ = rt.Atomic(func(tx *Tx) error {
+						if x.Read(tx)+y.Read(tx) == 2 {
+							zeroed.Write(tx, 0)
+						}
+						return nil
+					})
+				}
+				wg.Add(2)
+				go body(x)
+				go body(y)
+				wg.Wait()
+				if sum := x.Peek() + y.Peek(); sum < 1 {
+					t.Fatalf("round %d: write skew! x+y = %d", round, sum)
+				}
+			}
+		})
+	}
+}
+
+// TestNoLostUpdateAcrossEngines: read-modify-write on both engines from
+// many goroutines never loses an update.
+func TestNoLostUpdateAcrossEngines(t *testing.T) {
+	for _, algo := range []Algorithm{TL2, NOrec} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			rt := New(Config{Algorithm: algo})
+			vars := make([]*Var[int], 8)
+			for i := range vars {
+				vars[i] = NewVar(0)
+			}
+			const workers, perWorker = 6, 150
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						v := vars[(w+i)%len(vars)]
+						if err := rt.Atomic(func(tx *Tx) error {
+							v.Write(tx, v.Read(tx)+1)
+							return nil
+						}); err != nil {
+							t.Errorf("Atomic: %v", err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			total := 0
+			for _, v := range vars {
+				total += v.Peek()
+			}
+			if total != workers*perWorker {
+				t.Fatalf("total = %d, want %d", total, workers*perWorker)
+			}
+		})
+	}
+}
+
+// TestChainInvariant: a ring of K variables whose sum is invariant under
+// concurrent rotations; read-only audits must never observe a partial
+// rotation on either engine.
+func TestChainInvariant(t *testing.T) {
+	for _, algo := range []Algorithm{TL2, NOrec} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			rt := New(Config{Algorithm: algo})
+			const k = 8
+			const total = 800
+			ring := make([]*Var[int], k)
+			for i := range ring {
+				ring[i] = NewVar(total / k)
+			}
+			stop := make(chan struct{})
+			var writers, readers sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				writers.Add(1)
+				go func(w int) {
+					defer writers.Done()
+					for i := 0; i < 200; i++ {
+						from, to := (w+i)%k, (w+i+3)%k
+						_ = rt.Atomic(func(tx *Tx) error {
+							f := ring[from].Read(tx)
+							if f == 0 {
+								return nil
+							}
+							ring[from].Write(tx, f-1)
+							ring[to].Write(tx, ring[to].Read(tx)+1)
+							return nil
+						})
+					}
+				}(w)
+			}
+			for r := 0; r < 2; r++ {
+				readers.Add(1)
+				go func() {
+					defer readers.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						_ = rt.AtomicRO(func(tx *Tx) error {
+							sum := 0
+							for _, v := range ring {
+								sum += v.Read(tx)
+							}
+							if sum != total {
+								t.Errorf("audit saw sum %d, want %d", sum, total)
+							}
+							return nil
+						})
+					}
+				}()
+			}
+			writers.Wait()
+			close(stop)
+			readers.Wait()
+		})
+	}
+}

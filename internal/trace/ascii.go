@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PlotOptions configures ASCII rendering.
+type PlotOptions struct {
+	Width  int     // columns of the plot area (default 72)
+	Height int     // rows of the plot area (default 16)
+	YMin   float64 // fixed lower bound; used when YFixed is true
+	YMax   float64 // fixed upper bound; used when YFixed is true
+	YFixed bool
+	Title  string
+}
+
+// markers cycle across series in a set.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Plot renders one or more series as an ASCII chart. Series are overlaid
+// with distinct markers; a legend is appended. It is intentionally simple —
+// the CSV writer is the path for faithful plotting — but it makes the
+// convergence dynamics of Figures 3, 5 and 10 visible in a terminal.
+func Plot(set *Set, opt PlotOptions) string {
+	if opt.Width <= 0 {
+		opt.Width = 72
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	// Establish bounds.
+	tLo, tHi := math.Inf(1), math.Inf(-1)
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range set.Series {
+		for i := range s.V {
+			any = true
+			if s.T[i] < tLo {
+				tLo = s.T[i]
+			}
+			if s.T[i] > tHi {
+				tHi = s.T[i]
+			}
+			if s.V[i] < yLo {
+				yLo = s.V[i]
+			}
+			if s.V[i] > yHi {
+				yHi = s.V[i]
+			}
+		}
+	}
+	if !any {
+		return "(empty plot)\n"
+	}
+	if opt.YFixed {
+		yLo, yHi = opt.YMin, opt.YMax
+	}
+	if yHi == yLo {
+		yHi = yLo + 1
+	}
+	if tHi == tLo {
+		tHi = tLo + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range set.Series {
+		m := markers[si%len(markers)]
+		for i := range s.V {
+			c := int((s.T[i] - tLo) / (tHi - tLo) * float64(opt.Width-1))
+			r := int((s.V[i] - yLo) / (yHi - yLo) * float64(opt.Height-1))
+			if c < 0 || c >= opt.Width || r < 0 || r >= opt.Height {
+				continue
+			}
+			row := opt.Height - 1 - r
+			if grid[row][c] == ' ' || grid[row][c] == m {
+				grid[row][c] = m
+			} else {
+				grid[row][c] = '&' // overlap of different series
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	for r, row := range grid {
+		y := yHi - (yHi-yLo)*float64(r)/float64(opt.Height-1)
+		fmt.Fprintf(&b, "%8.1f |%s\n", y, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", opt.Width))
+	fmt.Fprintf(&b, "%8s  %-12.2f%*s\n", "", tLo, opt.Width-12, fmt.Sprintf("%.2f", tHi))
+	for si, s := range set.Series {
+		fmt.Fprintf(&b, "  [%c] %s\n", markers[si%len(markers)], s.String())
+	}
+	return b.String()
+}
+
+// PlotSeries renders a single series.
+func PlotSeries(s *Series, opt PlotOptions) string {
+	set := &Set{}
+	set.Add(s)
+	return Plot(set, opt)
+}

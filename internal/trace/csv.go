@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV writes the set as CSV with one row per distinct time stamp and
+// one column per series. Missing samples (a series without a value at a
+// given time) are written as empty fields. Column order follows insertion
+// order of the series.
+func WriteCSV(w io.Writer, set *Set) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"t"}, func() []string {
+		names := make([]string, len(set.Series))
+		for i, s := range set.Series {
+			names[i] = sanitizeName(s.Name)
+		}
+		return names
+	}()...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write csv header: %w", err)
+	}
+
+	stamps := map[float64]struct{}{}
+	for _, s := range set.Series {
+		for _, t := range s.T {
+			stamps[t] = struct{}{}
+		}
+	}
+	ts := make([]float64, 0, len(stamps))
+	for t := range stamps {
+		ts = append(ts, t)
+	}
+	sort.Float64s(ts)
+
+	// Per-series index from time to value. Later duplicates win.
+	lookup := make([]map[float64]float64, len(set.Series))
+	for i, s := range set.Series {
+		lookup[i] = make(map[float64]float64, len(s.T))
+		for j, t := range s.T {
+			lookup[i][t] = s.V[j]
+		}
+	}
+
+	row := make([]string, len(set.Series)+1)
+	for _, t := range ts {
+		row[0] = strconv.FormatFloat(t, 'g', -1, 64)
+		for i := range set.Series {
+			if v, ok := lookup[i][t]; ok {
+				row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+			} else {
+				row[i+1] = ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV previously produced by WriteCSV back into a Set.
+func ReadCSV(r io.Reader) (*Set, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(records) == 0 || len(records[0]) < 2 || records[0][0] != "t" {
+		return nil, fmt.Errorf("trace: malformed csv header")
+	}
+	set := &Set{}
+	for _, name := range records[0][1:] {
+		set.Add(NewSeries(name))
+	}
+	for _, rec := range records[1:] {
+		if len(rec) != len(records[0]) {
+			return nil, fmt.Errorf("trace: ragged csv row")
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad time %q: %w", rec[0], err)
+		}
+		for i, field := range rec[1:] {
+			if field == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad value %q: %w", field, err)
+			}
+			set.Series[i].Add(t, v)
+		}
+	}
+	return set, nil
+}

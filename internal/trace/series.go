@@ -1,0 +1,221 @@
+// Package trace records and renders time series produced by the experiment
+// harness: parallelism levels and throughput over time, one sample per
+// controller round. It supports the convergence figures (3, 5 and 10) both
+// as CSV for external plotting and as ASCII charts for terminal inspection.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is a named sequence of (time, value) samples with uniform or
+// non-uniform spacing.
+type Series struct {
+	Name string
+	T    []float64 // sample times (seconds)
+	V    []float64 // sample values
+}
+
+// NewSeries returns an empty series with the given name.
+func NewSeries(name string) *Series {
+	return &Series{Name: name}
+}
+
+// Add appends one sample.
+func (s *Series) Add(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.V) }
+
+// Mean returns the arithmetic mean of the values, or 0 if empty.
+func (s *Series) Mean() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.V {
+		sum += v
+	}
+	return sum / float64(len(s.V))
+}
+
+// MeanAfter returns the mean of samples with time >= t0, or 0 if none.
+// Convergence analysis uses it to measure steady-state levels while skipping
+// the initial probing transient.
+func (s *Series) MeanAfter(t0 float64) float64 {
+	sum, n := 0.0, 0
+	for i, t := range s.T {
+		if t >= t0 {
+			sum += s.V[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Window returns a new series restricted to samples with t0 <= t < t1.
+func (s *Series) Window(t0, t1 float64) *Series {
+	out := NewSeries(s.Name)
+	for i, t := range s.T {
+		if t >= t0 && t < t1 {
+			out.Add(t, s.V[i])
+		}
+	}
+	return out
+}
+
+// Last returns the final value of the series, or 0 if empty.
+func (s *Series) Last() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	return s.V[len(s.V)-1]
+}
+
+// MinMax returns the smallest and largest values, or (0, 0) if empty.
+func (s *Series) MinMax() (lo, hi float64) {
+	if len(s.V) == 0 {
+		return 0, 0
+	}
+	lo, hi = s.V[0], s.V[0]
+	for _, v := range s.V[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// SettlingTime returns the first time after from at which the series enters
+// the band [target-tol, target+tol] and never leaves it again. It returns
+// (0, false) if the series never settles. This quantifies the paper's
+// "impressively fast" convergence claim for Figure 10.
+func (s *Series) SettlingTime(from, target, tol float64) (float64, bool) {
+	settled := -1
+	for i := range s.V {
+		if s.T[i] < from {
+			continue
+		}
+		in := s.V[i] >= target-tol && s.V[i] <= target+tol
+		if in {
+			if settled < 0 {
+				settled = i
+			}
+		} else {
+			settled = -1
+		}
+	}
+	if settled < 0 {
+		return 0, false
+	}
+	return s.T[settled], true
+}
+
+// OscillationAmplitude returns half the peak-to-peak range of the samples
+// with time >= t0. A small amplitude around a steady state indicates the
+// stable oscillation that Figures 3, 5 and 10 depict.
+func (s *Series) OscillationAmplitude(t0 float64) float64 {
+	w := s.Window(t0, s.T[len(s.T)-1]+1)
+	lo, hi := w.MinMax()
+	return (hi - lo) / 2
+}
+
+// Set is an ordered collection of series sharing a time axis, e.g. the
+// per-process parallelism levels of one convergence run.
+type Set struct {
+	Series []*Series
+}
+
+// Add appends a series to the set and returns it for chaining.
+func (set *Set) Add(s *Series) *Series {
+	set.Series = append(set.Series, s)
+	return s
+}
+
+// Get returns the series with the given name, or nil.
+func (set *Set) Get(name string) *Series {
+	for _, s := range set.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Names returns the series names in insertion order.
+func (set *Set) Names() []string {
+	out := make([]string, len(set.Series))
+	for i, s := range set.Series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Sum returns a new series whose value at each distinct time point is the
+// sum of every member series' most recent value at or before that time.
+// It is used to compute the system's total thread count over time.
+func (set *Set) Sum(name string) *Series {
+	// Collect the union of all time stamps.
+	stamps := map[float64]struct{}{}
+	for _, s := range set.Series {
+		for _, t := range s.T {
+			stamps[t] = struct{}{}
+		}
+	}
+	ts := make([]float64, 0, len(stamps))
+	for t := range stamps {
+		ts = append(ts, t)
+	}
+	sort.Float64s(ts)
+
+	out := NewSeries(name)
+	idx := make([]int, len(set.Series))
+	for _, t := range ts {
+		sum := 0.0
+		for i, s := range set.Series {
+			for idx[i] < len(s.T) && s.T[idx[i]] <= t {
+				idx[i]++
+			}
+			if idx[i] > 0 {
+				sum += s.V[idx[i]-1]
+			}
+		}
+		out.Add(t, sum)
+	}
+	return out
+}
+
+// String renders a compact one-line summary of the series.
+func (s *Series) String() string {
+	lo, hi := s.MinMax()
+	return fmt.Sprintf("%s: n=%d mean=%.2f min=%.2f max=%.2f last=%.2f",
+		s.Name, s.Len(), s.Mean(), lo, hi, s.Last())
+}
+
+// Downsample returns a new series keeping every k-th sample (k >= 1).
+func (s *Series) Downsample(k int) *Series {
+	if k < 1 {
+		k = 1
+	}
+	out := NewSeries(s.Name)
+	for i := 0; i < len(s.V); i += k {
+		out.Add(s.T[i], s.V[i])
+	}
+	return out
+}
+
+// sanitizeName makes a series name safe for CSV headers.
+func sanitizeName(name string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(name, ",", "_"), "\n", " ")
+}

@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mkSeries(name string, vals ...float64) *Series {
+	s := NewSeries(name)
+	for i, v := range vals {
+		s.Add(float64(i), v)
+	}
+	return s
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := mkSeries("x", 1, 2, 3, 4)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Mean(); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := s.Last(); got != 4 {
+		t.Fatalf("Last = %v", got)
+	}
+	lo, hi := s.MinMax()
+	if lo != 1 || hi != 4 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+	empty := NewSeries("e")
+	if empty.Mean() != 0 || empty.Last() != 0 {
+		t.Fatal("empty series stats should be 0")
+	}
+	if lo, hi := empty.MinMax(); lo != 0 || hi != 0 {
+		t.Fatal("empty MinMax should be 0,0")
+	}
+}
+
+func TestMeanAfterAndWindow(t *testing.T) {
+	s := mkSeries("x", 10, 20, 30, 40) // times 0..3
+	if got := s.MeanAfter(2); got != 35 {
+		t.Fatalf("MeanAfter(2) = %v, want 35", got)
+	}
+	if got := s.MeanAfter(99); got != 0 {
+		t.Fatalf("MeanAfter beyond end = %v, want 0", got)
+	}
+	w := s.Window(1, 3)
+	if w.Len() != 2 || w.V[0] != 20 || w.V[1] != 30 {
+		t.Fatalf("Window = %+v", w)
+	}
+}
+
+func TestSettlingTime(t *testing.T) {
+	s := NewSeries("lvl")
+	// Oscillates, then settles at 32 from t=5 on.
+	for i := 0; i < 5; i++ {
+		s.Add(float64(i), float64(10+i*10))
+	}
+	for i := 5; i < 10; i++ {
+		s.Add(float64(i), 32)
+	}
+	got, ok := s.SettlingTime(0, 32, 2)
+	if !ok || got != 5 {
+		t.Fatalf("SettlingTime = %v, %v; want 5, true", got, ok)
+	}
+	if _, ok := s.SettlingTime(0, 100, 1); ok {
+		t.Fatal("settled on unreachable target")
+	}
+}
+
+func TestOscillationAmplitude(t *testing.T) {
+	s := mkSeries("x", 30, 34, 30, 34, 30)
+	if got := s.OscillationAmplitude(0); got != 2 {
+		t.Fatalf("amplitude = %v, want 2", got)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := mkSeries("x", 0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	d := s.Downsample(3)
+	if d.Len() != 4 || d.V[1] != 3 {
+		t.Fatalf("Downsample = %+v", d)
+	}
+	if s.Downsample(0).Len() != s.Len() {
+		t.Fatal("Downsample(0) should keep everything")
+	}
+}
+
+func TestSetSumAndLookup(t *testing.T) {
+	set := &Set{}
+	a := set.Add(NewSeries("a"))
+	b := set.Add(NewSeries("b"))
+	a.Add(0, 10)
+	a.Add(2, 20)
+	b.Add(1, 5)
+	sum := set.Sum("total")
+	// t=0: a=10; t=1: a=10+b=5; t=2: a=20+b=5.
+	want := []float64{10, 15, 25}
+	for i, w := range want {
+		if sum.V[i] != w {
+			t.Fatalf("Sum = %v, want %v", sum.V, want)
+		}
+	}
+	if set.Get("a") != a || set.Get("zzz") != nil {
+		t.Fatal("Get lookup broken")
+	}
+	names := set.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	set := &Set{}
+	a := set.Add(NewSeries("alpha"))
+	b := set.Add(NewSeries("beta,with,commas"))
+	for i := 0; i < 5; i++ {
+		a.Add(float64(i), float64(i)*1.5)
+		if i%2 == 0 {
+			b.Add(float64(i), float64(-i))
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 2 {
+		t.Fatalf("round trip lost series: %d", len(got.Series))
+	}
+	ra := got.Series[0]
+	if ra.Len() != 5 {
+		t.Fatalf("alpha has %d samples", ra.Len())
+	}
+	for i := range ra.V {
+		if ra.V[i] != a.V[i] || ra.T[i] != a.T[i] {
+			t.Fatalf("alpha sample %d differs", i)
+		}
+	}
+	rb := got.Series[1]
+	if rb.Len() != 3 {
+		t.Fatalf("beta has %d samples, want 3 (sparse)", rb.Len())
+	}
+}
+
+func TestCSVQuickRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		s := NewSeries("q")
+		for i, v := range vals {
+			if v != v || v > 1e300 || v < -1e300 { // NaN / huge skipped
+				continue
+			}
+			s.Add(float64(i), v)
+		}
+		set := &Set{}
+		set.Add(s)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, set); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil || len(got.Series) != 1 {
+			return false
+		}
+		r := got.Series[0]
+		if r.Len() != s.Len() {
+			return false
+		}
+		for i := range s.V {
+			if r.V[i] != s.V[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"x,y\n1,2\n",           // header must start with t
+		"t,a\nnope,2\n",        // bad time
+		"t,a\n1,abc\n",         // bad value
+		"t,a\n\"1\",\"2\",3\n", // ragged row is a csv error
+	} {
+		if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("bad csv %q accepted", bad)
+		}
+	}
+}
+
+func TestPlotRenders(t *testing.T) {
+	set := &Set{}
+	s := set.Add(NewSeries("wave"))
+	for i := 0; i < 50; i++ {
+		s.Add(float64(i), float64(i%10))
+	}
+	out := Plot(set, PlotOptions{Title: "test plot", Width: 40, Height: 8})
+	if !strings.Contains(out, "test plot") {
+		t.Error("plot missing title")
+	}
+	if !strings.Contains(out, "wave") {
+		t.Error("plot missing legend")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("plot has no marks")
+	}
+	if got := Plot(&Set{}, PlotOptions{}); !strings.Contains(got, "empty") {
+		t.Errorf("empty plot = %q", got)
+	}
+	// Fixed bounds and single-series helper.
+	out = PlotSeries(s, PlotOptions{YFixed: true, YMin: 0, YMax: 100})
+	if !strings.Contains(out, "100.0") {
+		t.Error("fixed bounds not honored")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	// A constant series must not divide by zero.
+	s := mkSeries("flat", 5, 5, 5)
+	out := PlotSeries(s, PlotOptions{})
+	if !strings.Contains(out, "flat") {
+		t.Error("constant series plot broken")
+	}
+}
