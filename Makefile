@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet fmtcheck test race
+
+# check is the PR gate: vet, formatting, the full test suite, and a
+# race-detector pass over the concurrency-heavy packages.
+check: vet fmtcheck test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmtcheck:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/pool/... ./internal/core/... ./internal/mproc/...

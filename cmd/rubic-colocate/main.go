@@ -1,10 +1,22 @@
-// Command rubic-colocate runs several real application stacks side by side
-// in one process — the paper's co-located multi-process scenario on the
-// actual STM runtime. Each stack gets its own STM, workload, worker pool
-// and controller; they share only the CPU.
+// Command rubic-colocate runs several real application stacks side by side —
+// the paper's co-located multi-process scenario on the actual STM runtime.
+// Each stack gets its own STM, workload, worker pool and controller; they
+// share only the CPU.
 //
-//	rubic-colocate -procs rbtree-ro:rubic,rbtree-ro:rubic@2s -duration 4s
-//	rubic-colocate -procs vacation:rubic,intruder:ebs -pool 8
+// Two execution modes are available:
+//
+//   - -mode=goroutine (default) runs every stack in one OS process, each in
+//     its own goroutine group — quick and portable.
+//
+//   - -mode=proc re-executes this binary once per stack ("agent" mode): each
+//     stack becomes a real child OS process with its own Go runtime and
+//     scheduler, streaming telemetry back to the supervisor over a pipe.
+//     This is the paper's actual setup (section 4: independent processes,
+//     kernel-level CPU contention, no communication between controllers).
+//
+//     rubic-colocate -procs rbtree-ro:rubic,rbtree-ro:rubic@2s -duration 4s
+//     rubic-colocate -mode=proc -procs rbtree-ro:rubic,rbtree-ro:rubic -duration 2s
+//     rubic-colocate -mode=proc -gomaxprocs 4 -procs vacation:rubic,intruder:ebs
 //
 // Workloads: see internal/stamp/workloads (rbtree, rbtree-ro, vacation,
 // vacation-low, vacation-high, intruder, stmbench7, bank, genome, kmeans,
@@ -18,80 +30,80 @@ import (
 	"os"
 	"runtime"
 	"strconv"
-	"strings"
 	"text/tabwriter"
 	"time"
 
 	"rubic/internal/colocate"
-	"rubic/internal/core"
-	"rubic/internal/stamp/workloads"
-	"rubic/internal/stm"
+	"rubic/internal/metrics"
+	"rubic/internal/mproc"
 	"rubic/internal/trace"
 )
 
+// agentExec lets tests reroute agent children to a helper binary; nil uses
+// the supervisor's default self-exec.
+var agentExec mproc.ExecFunc
+
 func main() {
+	// The hidden "agent" subcommand is how the supervisor re-executes this
+	// binary as one co-located child process.
+	if len(os.Args) > 1 && os.Args[1] == "agent" {
+		if err := mproc.AgentMain(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rubic-colocate agent:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
-		procs    = flag.String("procs", "rbtree-ro:rubic,rbtree-ro:rubic", "comma-separated workload:policy[@arrivalDelay] stacks")
-		poolSize = flag.Int("pool", 2*runtime.NumCPU(), "per-stack worker pool size")
-		duration = flag.Duration("duration", 2*time.Second, "run duration")
-		period   = flag.Duration("period", 10*time.Millisecond, "controller period")
-		seed     = flag.Int64("seed", 1, "random seed")
-		algo     = flag.String("algo", "tl2", "stm engine: tl2 or norec")
-		plot     = flag.Bool("plot", true, "render the level traces")
+		mode       = flag.String("mode", "goroutine", "execution mode: goroutine (in-process) or proc (real child OS processes)")
+		procs      = flag.String("procs", "rbtree-ro:rubic,rbtree-ro:rubic", "comma-separated workload:policy[@arrivalDelay] stacks")
+		poolSize   = flag.Int("pool", 2*runtime.NumCPU(), "per-stack worker pool size")
+		duration   = flag.Duration("duration", 2*time.Second, "run duration")
+		period     = flag.Duration("period", 10*time.Millisecond, "controller period")
+		seed       = flag.Int64("seed", 1, "random seed")
+		algo       = flag.String("algo", "tl2", "stm engine: tl2 or norec")
+		gomaxprocs = flag.Int("gomaxprocs", 0, "per-child GOMAXPROCS in proc mode (0 leaves the Go default)")
+		plot       = flag.Bool("plot", true, "render the level traces")
 	)
 	flag.Parse()
-	if err := run(*procs, *poolSize, *duration, *period, *seed, *algo, *plot); err != nil {
+	if err := run(*mode, *procs, *poolSize, *duration, *period, *seed, *algo, *gomaxprocs, *plot); err != nil {
 		fmt.Fprintln(os.Stderr, "rubic-colocate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(procSpecs string, poolSize int, duration, period time.Duration, seed int64, algoName string, plot bool) error {
-	var algo stm.Algorithm
-	switch algoName {
-	case "tl2":
-		algo = stm.TL2
-	case "norec":
-		algo = stm.NOrec
-	default:
-		return fmt.Errorf("unknown stm engine %q", algoName)
+func run(mode, procSpecs string, poolSize int, duration, period time.Duration, seed int64, algoName string, gomaxprocs int, plot bool) error {
+	specs, err := colocate.ParseSpecs(procSpecs)
+	if err != nil {
+		return err
 	}
+	switch mode {
+	case "goroutine":
+		return runGoroutine(specs, poolSize, duration, period, seed, algoName, plot)
+	case "proc":
+		return runProc(specs, poolSize, duration, period, seed, algoName, gomaxprocs, plot)
+	}
+	return fmt.Errorf("unknown mode %q (want goroutine or proc)", mode)
+}
 
-	specs := strings.Split(procSpecs, ",")
+// stackName labels the i-th stack the way both modes report it.
+func stackName(i int, s colocate.StackSpec) string {
+	return "P" + strconv.Itoa(i+1) + "-" + s.Workload + "-" + s.Policy
+}
+
+func runGoroutine(specs []colocate.StackSpec, poolSize int, duration, period time.Duration, seed int64, algoName string, plot bool) error {
 	var stacks []colocate.Proc
-	for i, spec := range specs {
-		var delay time.Duration
-		if at := strings.IndexByte(spec, '@'); at >= 0 {
-			d, err := time.ParseDuration(spec[at+1:])
-			if err != nil {
-				return fmt.Errorf("bad arrival delay in %q: %w", spec, err)
-			}
-			delay = d
-			spec = spec[:at]
-		}
-		parts := strings.Split(spec, ":")
-		if len(parts) != 2 {
-			return fmt.Errorf("bad stack spec %q (want workload:policy[@delay])", spec)
-		}
-		w, _, err := workloads.New(parts[0], stm.Config{Algorithm: algo})
+	for i, s := range specs {
+		w, _, ctrl, err := s.Build(algoName, poolSize, len(specs))
 		if err != nil {
 			return err
 		}
-		var ctrl core.Controller
-		if parts[1] != "greedy" {
-			fac, err := core.ByName(parts[1], poolSize, len(specs), poolSize)
-			if err != nil {
-				return err
-			}
-			ctrl = fac()
-		}
 		stacks = append(stacks, colocate.Proc{
-			Name:         "P" + strconv.Itoa(i+1) + "-" + parts[0] + "-" + parts[1],
+			Name:         stackName(i, s),
 			Workload:     w,
 			Controller:   ctrl,
 			PoolSize:     poolSize,
 			Seed:         seed + int64(i)*7919,
-			ArrivalDelay: delay,
+			ArrivalDelay: s.ArrivalDelay,
 		})
 	}
 
@@ -99,7 +111,7 @@ func run(procSpecs string, poolSize int, duration, period time.Duration, seed in
 	if err != nil {
 		return err
 	}
-	fmt.Printf("co-locating %d stacks for %v (pool %d each, engine %s, %d CPUs)...\n",
+	fmt.Printf("co-locating %d stacks in goroutine mode for %v (pool %d each, engine %s, %d CPUs)...\n",
 		len(stacks), duration, poolSize, algoName, runtime.NumCPU())
 	results, err := group.Run(duration)
 	if err != nil {
@@ -109,8 +121,10 @@ func run(procSpecs string, poolSize int, duration, period time.Duration, seed in
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "\nstack\tcompleted\tthroughput/s\tmean-level")
 	set := &trace.Set{}
+	var tputs []float64
 	for _, r := range results {
 		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.1f\n", r.Name, r.Completed, r.Throughput, r.MeanLevel)
+		tputs = append(tputs, r.Throughput)
 		if r.Levels != nil {
 			set.Add(r.Levels)
 		}
@@ -118,13 +132,81 @@ func run(procSpecs string, poolSize int, duration, period time.Duration, seed in
 	if err := tw.Flush(); err != nil {
 		return err
 	}
+	fmt.Printf("Jain fairness (throughput): %.3f\n", metrics.Jain(tputs))
 	fmt.Println("all workload invariants verified")
+	plotLevels(set, plot)
+	return nil
+}
 
+func runProc(specs []colocate.StackSpec, poolSize int, duration, period time.Duration, seed int64, algoName string, gomaxprocs int, plot bool) error {
+	if _, err := colocate.ParseEngine(algoName); err != nil {
+		return err
+	}
+	var children []mproc.ChildSpec
+	for i, s := range specs {
+		children = append(children, mproc.ChildSpec{
+			Name:         stackName(i, s),
+			Workload:     s.Workload,
+			Policy:       s.Policy,
+			ArrivalDelay: s.ArrivalDelay,
+			Pool:         poolSize,
+			Seed:         seed + int64(i)*7919,
+			GOMAXPROCS:   gomaxprocs,
+		})
+	}
+	fmt.Printf("co-locating %d real OS processes for %v (pool %d each, engine %s, %d CPUs, gomaxprocs %d)...\n",
+		len(children), duration, poolSize, algoName, runtime.NumCPU(), gomaxprocs)
+	results, err := mproc.Run(children, mproc.Options{
+		Duration: duration,
+		Period:   period,
+		Engine:   algoName,
+		Exec:     agentExec,
+	})
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nprocess\tpid\tcompleted\tthroughput/s\tmean-level\tcommits\taborts\tstatus")
+	set := &trace.Set{}
+	var tputs, levels []float64
+	for _, r := range results {
+		pid, status := "-", "ok"
+		if r.Hello != nil {
+			pid = strconv.Itoa(r.Hello.PID)
+		}
+		if r.Err != nil {
+			status = "FAILED"
+		} else if !r.Verified {
+			status = "unverified"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.1f\t%d\t%d\t%s\n",
+			r.Name, pid, r.Completed, r.Throughput, r.MeanLevel, r.Commits, r.Aborts, status)
+		if r.Err == nil {
+			tputs = append(tputs, r.Throughput)
+			levels = append(levels, r.MeanLevel)
+		}
+		if r.Levels != nil && r.Levels.Len() > 0 {
+			set.Add(r.Levels)
+		}
+	}
+	if ferr := tw.Flush(); ferr != nil {
+		return ferr
+	}
+	if len(tputs) > 0 {
+		fmt.Printf("Jain fairness (throughput): %.3f  mean level: %.1f\n",
+			metrics.Jain(tputs), metrics.Mean(levels))
+	}
+	plotLevels(set, plot)
+	if err != nil {
+		return err
+	}
+	fmt.Println("all workload invariants verified")
+	return nil
+}
+
+func plotLevels(set *trace.Set, plot bool) {
 	if plot && len(set.Series) > 0 {
 		fmt.Print("\n" + trace.Plot(set, trace.PlotOptions{
 			Title:  "active workers over time",
 			Height: 10,
 		}))
 	}
-	return nil
 }

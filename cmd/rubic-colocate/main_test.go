@@ -1,31 +1,98 @@
 package main
 
 import (
+	"fmt"
+	"os"
+	"os/exec"
 	"testing"
 	"time"
+
+	"rubic/internal/mproc"
 )
 
+// TestHelperAgent is the agent child the proc-mode tests spawn: the real
+// cmd binary isn't built during go test, so the supervisor is pointed at
+// this test binary, which runs the production agent entry point and exits.
+func TestHelperAgent(t *testing.T) {
+	if os.Getenv("RUBIC_COLOCATE_HELPER") != "agent" {
+		return
+	}
+	var args []string
+	for i, a := range os.Args {
+		if a == "--" {
+			args = os.Args[i+1:]
+			break
+		}
+	}
+	if err := mproc.AgentMain(args, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// useHelperAgents reroutes proc-mode children to TestHelperAgent for the
+// duration of one test.
+func useHelperAgents(t *testing.T) {
+	t.Helper()
+	agentExec = func(spec mproc.ChildSpec, args []string) (*exec.Cmd, error) {
+		cmd := exec.Command(os.Args[0], append([]string{"-test.run=^TestHelperAgent$", "--"}, args...)...)
+		cmd.Env = append(os.Environ(), "RUBIC_COLOCATE_HELPER=agent")
+		return cmd, nil
+	}
+	t.Cleanup(func() { agentExec = nil })
+}
+
 func TestRunTwoStacks(t *testing.T) {
-	err := run("rbtree-ro:rubic,bank:ebs", 2, 200*time.Millisecond,
-		5*time.Millisecond, 1, "tl2", false)
+	err := run("goroutine", "rbtree-ro:rubic,bank:ebs", 2, 200*time.Millisecond,
+		5*time.Millisecond, 1, "tl2", 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStaggeredNOrec(t *testing.T) {
-	err := run("bank:rubic,bank:rubic@100ms", 2, 250*time.Millisecond,
-		5*time.Millisecond, 1, "norec", false)
+	err := run("goroutine", "bank:rubic,bank:rubic@100ms", 2, 250*time.Millisecond,
+		5*time.Millisecond, 1, "norec", 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunGreedyStack(t *testing.T) {
-	err := run("rbtree:greedy", 2, 100*time.Millisecond,
-		5*time.Millisecond, 1, "tl2", false)
+	err := run("goroutine", "rbtree:greedy", 2, 100*time.Millisecond,
+		5*time.Millisecond, 1, "tl2", 0, false)
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunProcMode is the CLI-level smoke test for process mode: two real
+// agent child processes for ~200 ms, results and fairness printed, clean exit.
+func TestRunProcMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-spawning smoke test in -short mode")
+	}
+	useHelperAgents(t)
+	err := run("proc", "rbtree-ro:rubic,rbtree-ro:rubic", 2, 200*time.Millisecond,
+		5*time.Millisecond, 1, "tl2", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProcModeBadEngine(t *testing.T) {
+	useHelperAgents(t)
+	if err := run("proc", "rbtree-ro:rubic", 2, 100*time.Millisecond,
+		5*time.Millisecond, 1, "quantum", 0, false); err == nil {
+		t.Fatal("unknown engine accepted in proc mode")
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	if err := run("threads", "rbtree-ro:rubic", 2, 100*time.Millisecond,
+		5*time.Millisecond, 1, "tl2", 0, false); err == nil {
+		t.Fatal("unknown mode accepted")
 	}
 }
 
@@ -41,8 +108,8 @@ func TestRunBadInputs(t *testing.T) {
 		{"a:b:c", "tl2"},            // malformed
 	}
 	for _, tc := range cases {
-		if err := run(tc.procs, 2, 100*time.Millisecond,
-			5*time.Millisecond, 1, tc.algo, false); err == nil {
+		if err := run("goroutine", tc.procs, 2, 100*time.Millisecond,
+			5*time.Millisecond, 1, tc.algo, 0, false); err == nil {
 			t.Errorf("procs %q algo %q accepted", tc.procs, tc.algo)
 		}
 	}

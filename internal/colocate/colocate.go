@@ -99,6 +99,33 @@ func (g *Group) Run(duration time.Duration) ([]Result, error) {
 
 	results := make([]Result, len(g.procs))
 	errs := make([]error, len(g.procs))
+	// abort is closed on the first stack failure so the surviving stacks cut
+	// their runs short instead of burning the full duration; firstErr records
+	// the failure that triggered it, already labelled with its stack name.
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	var firstErr error
+	fail := func(i int, err error) {
+		errs[i] = err
+		abortOnce.Do(func() {
+			firstErr = err
+			close(abort)
+		})
+	}
+	// sleep waits for d but returns early (false) once the group aborts.
+	sleep := func(d time.Duration) bool {
+		if d <= 0 {
+			return true
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return true
+		case <-abort:
+			return false
+		}
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := range g.procs {
@@ -106,17 +133,17 @@ func (g *Group) Run(duration time.Duration) ([]Result, error) {
 		go func(i int) {
 			defer wg.Done()
 			p := &g.procs[i]
-			if p.ArrivalDelay > 0 {
-				time.Sleep(p.ArrivalDelay)
+			if !sleep(p.ArrivalDelay) {
+				return
 			}
 			active := duration - p.ArrivalDelay
 			if active <= 0 {
-				errs[i] = fmt.Errorf("colocate: %s arrives after the run ends", p.Name)
+				fail(i, fmt.Errorf("colocate: %s arrives after the run ends", p.Name))
 				return
 			}
 			pl, err := pool.New(p.PoolSize, p.Seed+1, p.Workload.Task())
 			if err != nil {
-				errs[i] = err
+				fail(i, fmt.Errorf("colocate: %s: %w", p.Name, err))
 				return
 			}
 			var tuner *core.Tuner
@@ -136,7 +163,7 @@ func (g *Group) Run(duration time.Duration) ([]Result, error) {
 			if tuner != nil {
 				tuner.Start()
 			}
-			time.Sleep(duration - time.Since(start))
+			sleep(duration - time.Since(start))
 			if tuner != nil {
 				tuner.Stop()
 			}
@@ -156,6 +183,9 @@ func (g *Group) Run(duration time.Duration) ([]Result, error) {
 		}(i)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return results, firstErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return results, err

@@ -1,10 +1,13 @@
 package colocate
 
 import (
+	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
 	"rubic/internal/core"
+	"rubic/internal/pool"
 	"rubic/internal/stamp/rbtree"
 	"rubic/internal/stm"
 )
@@ -104,6 +107,43 @@ func TestStaggeredArrival(t *testing.T) {
 	if results[1].Levels.Len() >= results[0].Levels.Len() {
 		t.Errorf("late stack recorded %d rounds, early %d; expected fewer",
 			results[1].Levels.Len(), results[0].Levels.Len())
+	}
+}
+
+// brokenWorkload sabotages pool construction by returning a nil task.
+type brokenWorkload struct{}
+
+func (brokenWorkload) Name() string               { return "broken" }
+func (brokenWorkload) Setup(rng *rand.Rand) error { return nil }
+func (brokenWorkload) Task() pool.Task            { return nil }
+func (brokenWorkload) Verify() error              { return nil }
+
+func TestFailingStackAbortsGroupPromptly(t *testing.T) {
+	healthy := mkProc("healthy", 1)
+	broken := Proc{
+		Name:     "broken",
+		Workload: brokenWorkload{},
+		PoolSize: 2,
+		Seed:     2,
+		// Delay the failure so the healthy stack is already mid-run.
+		ArrivalDelay: 50 * time.Millisecond,
+	}
+	g, err := NewGroup([]Proc{healthy, broken}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = g.Run(10 * time.Second)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("broken stack went unreported")
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error does not name the failing stack: %v", err)
+	}
+	// The healthy stack must have been cut short, not run the full 10 s.
+	if elapsed > 3*time.Second {
+		t.Fatalf("group ran %v after a stack failed; want a prompt abort", elapsed)
 	}
 }
 

@@ -1,0 +1,94 @@
+package colocate
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rubic/internal/core"
+	"rubic/internal/stamp"
+	"rubic/internal/stamp/workloads"
+	"rubic/internal/stm"
+)
+
+// StackSpec is the parsed form of one "workload:policy[@arrivalDelay]"
+// stack description. It is the shared currency between the goroutine-mode
+// co-location driver (this package's Group) and the process-mode supervisor
+// (internal/mproc): both assemble the same workload/controller stack from it,
+// so every spec accepted by one mode runs unchanged in the other.
+type StackSpec struct {
+	// Workload names a benchmark from internal/stamp/workloads.
+	Workload string
+	// Policy names a controller from core.ByName, or "greedy" for a pinned
+	// full-size pool (no controller).
+	Policy string
+	// ArrivalDelay postpones the stack's start relative to the group's.
+	ArrivalDelay time.Duration
+}
+
+// ParseSpec parses one "workload:policy[@arrivalDelay]" description.
+func ParseSpec(s string) (StackSpec, error) {
+	var spec StackSpec
+	if at := strings.IndexByte(s, '@'); at >= 0 {
+		d, err := time.ParseDuration(s[at+1:])
+		if err != nil {
+			return spec, fmt.Errorf("colocate: bad arrival delay in %q: %w", s, err)
+		}
+		spec.ArrivalDelay = d
+		s = s[:at]
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return spec, fmt.Errorf("colocate: bad stack spec %q (want workload:policy[@delay])", s)
+	}
+	spec.Workload, spec.Policy = parts[0], parts[1]
+	return spec, nil
+}
+
+// ParseSpecs parses a comma-separated list of stack descriptions.
+func ParseSpecs(s string) ([]StackSpec, error) {
+	var out []StackSpec
+	for _, part := range strings.Split(s, ",") {
+		spec, err := ParseSpec(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// ParseEngine maps an engine name to its STM algorithm.
+func ParseEngine(name string) (stm.Algorithm, error) {
+	switch name {
+	case "tl2":
+		return stm.TL2, nil
+	case "norec":
+		return stm.NOrec, nil
+	}
+	return 0, fmt.Errorf("colocate: unknown stm engine %q (want tl2 or norec)", name)
+}
+
+// Build assembles the stack: a fresh workload on its own STM runtime plus the
+// spec's controller (nil for "greedy" — the caller pins the pool instead).
+// poolSize bounds the controller's level; processes is the co-located stack
+// count (the equalshare policy divides the machine by it).
+func (s StackSpec) Build(engine string, poolSize, processes int) (stamp.Workload, *stm.Runtime, core.Controller, error) {
+	algo, err := ParseEngine(engine)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	w, rt, err := workloads.New(s.Workload, stm.Config{Algorithm: algo})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var ctrl core.Controller
+	if s.Policy != "greedy" {
+		fac, err := core.ByName(s.Policy, poolSize, processes, poolSize)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ctrl = fac()
+	}
+	return w, rt, ctrl, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"rubic/internal/trace"
@@ -35,8 +36,9 @@ type Tuner struct {
 	Levels      *trace.Series
 	Throughputs *trace.Series
 
-	stop chan struct{}
-	done chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
 }
 
 // Start launches the monitoring loop in its own goroutine.
@@ -49,9 +51,14 @@ func (t *Tuner) Start() {
 	go t.run()
 }
 
-// Stop terminates the loop and waits for it to exit.
+// Stop terminates the loop and waits for it to exit. Calling Stop without a
+// prior Start is a no-op, and repeated Stops are safe — supervision error
+// paths tear tuners down without tracking whether they ever started.
 func (t *Tuner) Stop() {
-	close(t.stop)
+	if t.stop == nil {
+		return
+	}
+	t.stopOnce.Do(func() { close(t.stop) })
 	<-t.done
 }
 

@@ -82,6 +82,17 @@ func TestTunerDefaultPeriod(t *testing.T) {
 	tuner.Stop()
 }
 
+func TestTunerStopBeforeStart(t *testing.T) {
+	tuner := &Tuner{
+		Controller: NewStatic("pin", 2, 4),
+		Target:     &fakeTarget{},
+	}
+	tuner.Stop() // must not panic or block
+	tuner.Start()
+	tuner.Stop()
+	tuner.Stop() // double Stop after a full cycle is also safe
+}
+
 func TestTunerStopIsPrompt(t *testing.T) {
 	target := &fakeTarget{}
 	tuner := &Tuner{

@@ -1,0 +1,209 @@
+package mproc
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"rubic/internal/colocate"
+	"rubic/internal/core"
+	"rubic/internal/pool"
+	"rubic/internal/trace"
+)
+
+// AgentConfig describes the single stack an agent process runs.
+type AgentConfig struct {
+	// Workload and Policy select the stack, as in colocate.StackSpec.
+	Workload string
+	Policy   string
+	// Pool is the worker count (the maximum parallelism level).
+	Pool int
+	// Seed derives the workload's and the workers' random streams.
+	Seed int64
+	// Duration is the measurement length; Period the controller period.
+	Duration time.Duration
+	Period   time.Duration
+	// Engine selects the STM engine (tl2 or norec).
+	Engine string
+	// GOMAXPROCS, when positive, caps the child's Go scheduler — the knob
+	// for pinning each co-located process to a hardware-context budget.
+	GOMAXPROCS int
+	// Processes is the number of co-located siblings (equalshare divides
+	// the machine by it); defaults to 1.
+	Processes int
+}
+
+// AgentMain parses agent-mode command-line flags and runs the agent,
+// streaming protocol frames to out. It is the body of the "agent"
+// subcommand of cmd/rubic-colocate.
+func AgentMain(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("agent", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var cfg AgentConfig
+	fs.StringVar(&cfg.Workload, "workload", "", "workload name")
+	fs.StringVar(&cfg.Policy, "policy", "rubic", "controller policy (or greedy)")
+	fs.IntVar(&cfg.Pool, "pool", runtime.NumCPU(), "worker pool size")
+	fs.Int64Var(&cfg.Seed, "seed", 1, "random seed")
+	fs.DurationVar(&cfg.Duration, "duration", 2*time.Second, "run duration")
+	fs.DurationVar(&cfg.Period, "period", 10*time.Millisecond, "controller period")
+	fs.StringVar(&cfg.Engine, "engine", "tl2", "stm engine: tl2 or norec")
+	fs.IntVar(&cfg.GOMAXPROCS, "gomaxprocs", 0, "GOMAXPROCS for this agent (0 leaves the default)")
+	fs.IntVar(&cfg.Processes, "processes", 1, "number of co-located processes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return RunAgent(cfg, out)
+}
+
+// RunAgent runs one co-located stack to completion, streaming a handshake,
+// periodic telemetry and a final result frame to out. A returned error (also
+// reported in the result frame when one can still be sent) makes the agent
+// process exit nonzero, which the supervisor surfaces as the child's cause.
+func RunAgent(cfg AgentConfig, out io.Writer) error {
+	if cfg.Workload == "" {
+		return fmt.Errorf("mproc: agent needs a workload")
+	}
+	if cfg.Pool < 1 {
+		return fmt.Errorf("mproc: agent pool size %d < 1", cfg.Pool)
+	}
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("mproc: agent duration must be positive")
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 10 * time.Millisecond
+	}
+	if cfg.Processes < 1 {
+		cfg.Processes = 1
+	}
+	if cfg.GOMAXPROCS > 0 {
+		runtime.GOMAXPROCS(cfg.GOMAXPROCS)
+	}
+
+	// The handshake goes out before the stack is assembled: it only echoes
+	// configuration, and workload population can take arbitrarily long — the
+	// supervisor's startup timeout must not charge the agent for it.
+	enc := NewEncoder(out)
+	if err := enc.Encode(HelloFrame(Hello{
+		Workload:   cfg.Workload,
+		Policy:     cfg.Policy,
+		Pool:       cfg.Pool,
+		Seed:       cfg.Seed,
+		PeriodNS:   int64(cfg.Period),
+		DurationNS: int64(cfg.Duration),
+		Engine:     cfg.Engine,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		PID:        os.Getpid(),
+	})); err != nil {
+		return fmt.Errorf("mproc: handshake: %w", err)
+	}
+
+	spec := colocate.StackSpec{Workload: cfg.Workload, Policy: cfg.Policy}
+	w, rt, ctrl, err := spec.Build(cfg.Engine, cfg.Pool, cfg.Processes)
+	if err != nil {
+		return err
+	}
+	if err := w.Setup(rand.New(rand.NewSource(cfg.Seed))); err != nil {
+		return fmt.Errorf("mproc: setup %s: %w", cfg.Workload, err)
+	}
+	pl, err := pool.New(cfg.Pool, cfg.Seed+1, w.Task())
+	if err != nil {
+		return err
+	}
+
+	var tuner *core.Tuner
+	levels := trace.NewSeries(cfg.Workload + "/level")
+	if ctrl != nil {
+		tuner = &core.Tuner{
+			Controller: ctrl,
+			Target:     pl,
+			Period:     cfg.Period,
+			Levels:     levels,
+		}
+	} else {
+		pl.SetLevel(cfg.Pool)
+	}
+
+	// The telemetry ticker samples the pool and STM counters at the
+	// controller period and streams one frame per sample. It runs alongside
+	// the tuner but shares nothing with it beyond atomic counter reads.
+	stopTelemetry := make(chan struct{})
+	telemetryDone := make(chan struct{})
+	started := time.Now()
+	go func() {
+		defer close(telemetryDone)
+		ticker := time.NewTicker(cfg.Period)
+		defer ticker.Stop()
+		prevCount := pl.Completed()
+		prevTime := started
+		for {
+			select {
+			case <-stopTelemetry:
+				return
+			case now := <-ticker.C:
+				count := pl.Completed()
+				elapsed := now.Sub(prevTime).Seconds()
+				if elapsed <= 0 {
+					continue
+				}
+				stats := rt.Stats()
+				frame := TelemetryFrame(Telemetry{
+					T:       now.Sub(started).Seconds(),
+					Level:   pl.Level(),
+					Tput:    float64(count-prevCount) / elapsed,
+					Commits: stats.Commits,
+					Aborts:  stats.Aborts,
+				})
+				prevCount, prevTime = count, now
+				if enc.Encode(frame) != nil {
+					// The supervisor hung up; keep running so the workload
+					// still verifies, but stop streaming.
+					return
+				}
+			}
+		}
+	}()
+
+	pl.Start()
+	if tuner != nil {
+		tuner.Start()
+	}
+	time.Sleep(cfg.Duration)
+	if tuner != nil {
+		tuner.Stop()
+	}
+	pl.Stop()
+	close(stopTelemetry)
+	<-telemetryDone
+	elapsed := time.Since(started).Seconds()
+
+	verifyErr := w.Verify()
+	stats := rt.Stats()
+	res := Result{
+		Completed: pl.Completed(),
+		Commits:   stats.Commits,
+		Aborts:    stats.Aborts,
+		Verified:  verifyErr == nil,
+	}
+	if elapsed > 0 {
+		res.Tput = float64(res.Completed) / elapsed
+	}
+	if tuner != nil && levels.Len() > 0 {
+		res.MeanLevel = levels.Mean()
+	} else {
+		res.MeanLevel = float64(cfg.Pool)
+	}
+	if verifyErr != nil {
+		res.Err = verifyErr.Error()
+	}
+	if err := enc.Encode(ResultFrame(res)); err != nil {
+		return fmt.Errorf("mproc: result: %w", err)
+	}
+	if verifyErr != nil {
+		return fmt.Errorf("mproc: %s verification: %w", cfg.Workload, verifyErr)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package mproc
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runAgentFrames runs an in-process agent and decodes everything it streams.
+func runAgentFrames(t *testing.T, cfg AgentConfig) []Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := RunAgent(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var frames []Frame
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		f, err := Decode(sc.Bytes())
+		if err != nil {
+			t.Fatalf("agent emitted a bad frame: %v", err)
+		}
+		frames = append(frames, f)
+	}
+	return frames
+}
+
+func TestAgentStreamsProtocol(t *testing.T) {
+	frames := runAgentFrames(t, AgentConfig{
+		Workload: "rbtree-ro",
+		Policy:   "rubic",
+		Pool:     2,
+		Seed:     1,
+		Duration: 150 * time.Millisecond,
+		Period:   5 * time.Millisecond,
+		Engine:   "tl2",
+	})
+	if len(frames) < 3 {
+		t.Fatalf("only %d frames (want hello + telemetry + result)", len(frames))
+	}
+	if frames[0].Type != FrameHello {
+		t.Fatalf("first frame is %s, want hello", frames[0].Type)
+	}
+	h := frames[0].Hello
+	if h.Workload != "rbtree-ro" || h.Policy != "rubic" || h.Pool != 2 || h.PID == 0 {
+		t.Errorf("handshake did not echo the config: %+v", h)
+	}
+	last := frames[len(frames)-1]
+	if last.Type != FrameResult {
+		t.Fatalf("last frame is %s, want result", last.Type)
+	}
+	r := last.Result
+	if !r.Verified || r.Completed == 0 || r.Tput <= 0 || r.Err != "" {
+		t.Errorf("bad result: %+v", r)
+	}
+	if r.MeanLevel < 1 || r.MeanLevel > 2 {
+		t.Errorf("mean level %v out of [1,2]", r.MeanLevel)
+	}
+	sawTelemetry := false
+	for _, f := range frames[1 : len(frames)-1] {
+		if f.Type != FrameTelemetry {
+			t.Fatalf("mid-stream frame of type %s", f.Type)
+		}
+		sawTelemetry = true
+	}
+	if !sawTelemetry {
+		t.Error("no telemetry frames in a 150 ms run")
+	}
+}
+
+func TestAgentGreedyPinsPool(t *testing.T) {
+	frames := runAgentFrames(t, AgentConfig{
+		Workload: "bank",
+		Policy:   "greedy",
+		Pool:     3,
+		Seed:     1,
+		Duration: 100 * time.Millisecond,
+		Period:   5 * time.Millisecond,
+		Engine:   "norec",
+	})
+	last := frames[len(frames)-1].Result
+	if last.MeanLevel != 3 {
+		t.Errorf("greedy mean level = %v, want 3", last.MeanLevel)
+	}
+	if last.Commits == 0 {
+		t.Error("no STM commits reported")
+	}
+}
+
+func TestAgentBadConfig(t *testing.T) {
+	cases := []AgentConfig{
+		{Policy: "rubic", Pool: 2, Duration: time.Second, Engine: "tl2"},                         // no workload
+		{Workload: "rbtree", Policy: "rubic", Pool: 0, Duration: time.Second, Engine: "tl2"},     // bad pool
+		{Workload: "rbtree", Policy: "rubic", Pool: 2, Engine: "tl2"},                            // no duration
+		{Workload: "nope", Policy: "rubic", Pool: 2, Duration: time.Second, Engine: "tl2"},       // bad workload
+		{Workload: "rbtree", Policy: "nope", Pool: 2, Duration: time.Second, Engine: "tl2"},      // bad policy
+		{Workload: "rbtree", Policy: "rubic", Pool: 2, Duration: time.Second, Engine: "quantum"}, // bad engine
+	}
+	for i, cfg := range cases {
+		var buf bytes.Buffer
+		if err := RunAgent(cfg, &buf); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestAgentMainFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := AgentMain([]string{
+		"-workload", "bank", "-policy", "rubic", "-pool", "2",
+		"-duration", "100ms", "-period", "5ms", "-engine", "tl2",
+		"-seed", "7", "-processes", "2",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"type":"result"`) {
+		t.Error("no result frame on the wire")
+	}
+	if err := AgentMain([]string{"-pool", "x"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

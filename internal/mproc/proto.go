@@ -1,0 +1,149 @@
+// Package mproc runs co-located application stacks as real OS processes —
+// the paper's actual experimental setup (section 4: N independent processes
+// contending for the machine with no communication between their
+// controllers). A supervisor re-executes the current binary once per stack
+// in agent mode; each agent assembles the usual workload/pool/controller
+// stack and streams telemetry back to the supervisor over its stdout pipe
+// using a versioned JSON-lines protocol. The supervisor multiplexes the
+// streams into trace series, enforces startup and run-duration deadlines,
+// and survives child crashes and malformed frames without hanging or leaking
+// processes.
+package mproc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProtoVersion is the wire-protocol version. A supervisor rejects frames
+// from any other version: supervisor and agent are the same binary in
+// normal operation, so a mismatch means a stale binary is being re-executed.
+const ProtoVersion = 1
+
+// Frame types.
+const (
+	// FrameHello is the agent's handshake: the first frame on the wire,
+	// echoing the configuration the agent is actually running with.
+	FrameHello = "hello"
+	// FrameTelemetry is a periodic sample of the agent's stack.
+	FrameTelemetry = "telemetry"
+	// FrameResult is the agent's final frame, sent after the run completes
+	// and the workload invariants are verified.
+	FrameResult = "result"
+)
+
+// Hello is the handshake payload.
+type Hello struct {
+	Workload   string `json:"workload"`
+	Policy     string `json:"policy"`
+	Pool       int    `json:"pool"`
+	Seed       int64  `json:"seed"`
+	PeriodNS   int64  `json:"period_ns"`
+	DurationNS int64  `json:"duration_ns"`
+	Engine     string `json:"engine"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	PID        int    `json:"pid"`
+}
+
+// Period returns the agent's controller period.
+func (h Hello) Period() time.Duration { return time.Duration(h.PeriodNS) }
+
+// Duration returns the agent's run duration.
+func (h Hello) Duration() time.Duration { return time.Duration(h.DurationNS) }
+
+// Telemetry is one periodic sample.
+type Telemetry struct {
+	// T is seconds since the agent's run started.
+	T float64 `json:"t"`
+	// Level is the pool's parallelism level at sampling time.
+	Level int `json:"level"`
+	// Tput is the interval throughput (completions/s over the last period).
+	Tput float64 `json:"tput"`
+	// Commits and Aborts are the STM runtime's cumulative counters.
+	Commits uint64 `json:"commits"`
+	Aborts  uint64 `json:"aborts"`
+}
+
+// Result is the agent's final report.
+type Result struct {
+	Completed uint64  `json:"completed"`
+	Tput      float64 `json:"tput"`
+	MeanLevel float64 `json:"mean_level"`
+	Commits   uint64  `json:"commits"`
+	Aborts    uint64  `json:"aborts"`
+	// Verified reports whether the workload invariants held after the run.
+	Verified bool `json:"verified"`
+	// Err carries the agent-side failure, if any (setup or verification).
+	Err string `json:"err,omitempty"`
+}
+
+// Frame is one line of the wire protocol: a version, a type tag, and exactly
+// one payload matching the tag.
+type Frame struct {
+	V         int        `json:"v"`
+	Type      string     `json:"type"`
+	Hello     *Hello     `json:"hello,omitempty"`
+	Telemetry *Telemetry `json:"telemetry,omitempty"`
+	Result    *Result    `json:"result,omitempty"`
+}
+
+// HelloFrame wraps a handshake payload.
+func HelloFrame(h Hello) Frame { return Frame{V: ProtoVersion, Type: FrameHello, Hello: &h} }
+
+// TelemetryFrame wraps a telemetry payload.
+func TelemetryFrame(t Telemetry) Frame {
+	return Frame{V: ProtoVersion, Type: FrameTelemetry, Telemetry: &t}
+}
+
+// ResultFrame wraps a result payload.
+func ResultFrame(r Result) Frame { return Frame{V: ProtoVersion, Type: FrameResult, Result: &r} }
+
+// Decode parses and validates one wire line. It rejects malformed JSON,
+// unknown versions, unknown frame types, and frames whose payload does not
+// match their type tag.
+func Decode(line []byte) (Frame, error) {
+	var f Frame
+	if err := json.Unmarshal(line, &f); err != nil {
+		return Frame{}, fmt.Errorf("mproc: malformed frame %.80q: %w", line, err)
+	}
+	if f.V != ProtoVersion {
+		return Frame{}, fmt.Errorf("mproc: protocol version %d (supervisor speaks %d)", f.V, ProtoVersion)
+	}
+	var want bool
+	switch f.Type {
+	case FrameHello:
+		want = f.Hello != nil
+	case FrameTelemetry:
+		want = f.Telemetry != nil
+	case FrameResult:
+		want = f.Result != nil
+	default:
+		return Frame{}, fmt.Errorf("mproc: unknown frame type %q", f.Type)
+	}
+	if !want {
+		return Frame{}, fmt.Errorf("mproc: %s frame without %s payload", f.Type, f.Type)
+	}
+	return f, nil
+}
+
+// Encoder writes frames as JSON lines. It serializes concurrent writers
+// (the agent's telemetry ticker and its main goroutine share one stdout).
+type Encoder struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewEncoder returns an encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{enc: json.NewEncoder(w)}
+}
+
+// Encode writes one frame followed by a newline.
+func (e *Encoder) Encode(f Frame) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.enc.Encode(f)
+}

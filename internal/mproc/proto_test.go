@@ -1,0 +1,88 @@
+package mproc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestProtoRoundTrip(t *testing.T) {
+	frames := []Frame{
+		HelloFrame(Hello{
+			Workload: "rbtree-ro", Policy: "rubic", Pool: 8, Seed: 42,
+			PeriodNS: 10_000_000, DurationNS: 2_000_000_000,
+			Engine: "tl2", GOMAXPROCS: 4, PID: 1234,
+		}),
+		TelemetryFrame(Telemetry{T: 0.01, Level: 3, Tput: 12345.6, Commits: 120, Aborts: 7}),
+		ResultFrame(Result{
+			Completed: 100_000, Tput: 50_000, MeanLevel: 3.25,
+			Commits: 100_100, Aborts: 900, Verified: true,
+		}),
+		ResultFrame(Result{Verified: false, Err: "tree invariant violated"}),
+	}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, f := range frames {
+		if err := enc.Encode(f); err != nil {
+			t.Fatalf("encode %s: %v", f.Type, err)
+		}
+	}
+	sc := bufio.NewScanner(&buf)
+	for i, want := range frames {
+		if !sc.Scan() {
+			t.Fatalf("stream ended before frame %d", i)
+		}
+		got, err := Decode(sc.Bytes())
+		if err != nil {
+			t.Fatalf("decode frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if sc.Scan() {
+		t.Fatal("extra frames on the wire")
+	}
+}
+
+func TestProtoRejectsUnknownVersion(t *testing.T) {
+	f := TelemetryFrame(Telemetry{T: 1})
+	f.V = ProtoVersion + 41
+	raw, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(raw); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("unknown version accepted (err=%v)", err)
+	}
+}
+
+func TestProtoRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"v":1`,                                   // truncated JSON
+		`not json at all`,                          // garbage
+		`{"v":1,"type":"launch"}`,                  // unknown type
+		`{"v":1,"type":"hello"}`,                   // payload missing
+		`{"v":1,"type":"telemetry"}`,               // payload missing
+		`{"v":1,"type":"result"}`,                  // payload missing
+		`{"type":"telemetry","telemetry":{"t":1}}`, // version missing (0)
+	}
+	for _, line := range cases {
+		if _, err := Decode([]byte(line)); err == nil {
+			t.Errorf("decoded %q without error", line)
+		}
+	}
+}
+
+func TestHelloAccessors(t *testing.T) {
+	h := Hello{PeriodNS: 10_000_000, DurationNS: 2_000_000_000}
+	if h.Period().Milliseconds() != 10 {
+		t.Errorf("period = %v", h.Period())
+	}
+	if h.Duration().Seconds() != 2 {
+		t.Errorf("duration = %v", h.Duration())
+	}
+}

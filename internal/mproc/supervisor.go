@@ -1,0 +1,388 @@
+package mproc
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"rubic/internal/trace"
+)
+
+// ChildSpec describes one co-located stack to run as a child OS process.
+type ChildSpec struct {
+	// Name labels the child in results and errors; empty names get a
+	// generated "P<i>-workload-policy" label.
+	Name string
+	// Workload and Policy select the stack (colocate.StackSpec semantics).
+	Workload string
+	Policy   string
+	// ArrivalDelay postpones the child's launch relative to the group's
+	// start; the child then runs for the remaining duration.
+	ArrivalDelay time.Duration
+	// Pool is the child's worker count.
+	Pool int
+	// Seed derives the child's random streams.
+	Seed int64
+	// GOMAXPROCS, when positive, caps the child's Go scheduler.
+	GOMAXPROCS int
+}
+
+// ExecFunc constructs the command for one agent child from its flag list.
+// Tests substitute fake agents; the default re-executes the current binary
+// with an "agent" subcommand.
+type ExecFunc func(spec ChildSpec, args []string) (*exec.Cmd, error)
+
+// Options configures a supervised run.
+type Options struct {
+	// Duration is the group's total run length (children with arrival
+	// delays run for the remainder).
+	Duration time.Duration
+	// Period is the controllers' monitoring period (default 10 ms).
+	Period time.Duration
+	// Engine selects the STM engine for every child (default tl2).
+	Engine string
+	// Processes overrides the sibling count passed to agents (for the
+	// equalshare policy); defaults to the number of specs.
+	Processes int
+	// StartupTimeout bounds the wait for a child's handshake (default 10s).
+	StartupTimeout time.Duration
+	// SetupTimeout bounds the wait between the handshake and the first
+	// telemetry or result frame — the child's workload-population window
+	// (default 120s; population of big workloads is slow on loaded hosts).
+	SetupTimeout time.Duration
+	// Grace is the extra time past a child's run length before the
+	// supervisor kills it (default 5s).
+	Grace time.Duration
+	// Exec overrides child command construction; nil re-executes the
+	// current binary in agent mode.
+	Exec ExecFunc
+}
+
+// ChildResult is one child's outcome, valid even when Err is set (the
+// telemetry streamed before the failure is preserved as partial results).
+type ChildResult struct {
+	Name string
+	// Hello is the child's handshake (nil if it never completed one).
+	Hello *Hello
+	// Levels and Throughputs are the multiplexed telemetry, timestamped on
+	// the group's clock (arrival delays already added).
+	Levels      *trace.Series
+	Throughputs *trace.Series
+	// Completed, Throughput and MeanLevel come from the result frame; until
+	// one arrives they are zero.
+	Completed  uint64
+	Throughput float64
+	MeanLevel  float64
+	// Commits and Aborts are the last STM counters seen (result frame, or
+	// the final telemetry frame for a child that died early).
+	Commits uint64
+	Aborts  uint64
+	// Verified reports whether the child's workload invariants held.
+	Verified bool
+	// Err is the child's failure cause: crash, timeout, protocol violation
+	// or agent-side error.
+	Err error
+}
+
+// Run launches one agent child per spec, multiplexes their telemetry, waits
+// for all of them (bounded by per-child deadlines — Run never hangs and
+// reaps every child it starts), and returns per-child results in spec order.
+// The returned error is the first failing child's cause, with the child
+// named; results are returned alongside it, partial for the failed children.
+func Run(specs []ChildSpec, opt Options) ([]ChildResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("mproc: no children")
+	}
+	if opt.Duration <= 0 {
+		return nil, fmt.Errorf("mproc: duration must be positive")
+	}
+	if opt.Period <= 0 {
+		opt.Period = 10 * time.Millisecond
+	}
+	if opt.Engine == "" {
+		opt.Engine = "tl2"
+	}
+	if opt.Processes <= 0 {
+		opt.Processes = len(specs)
+	}
+	if opt.StartupTimeout <= 0 {
+		opt.StartupTimeout = 10 * time.Second
+	}
+	if opt.SetupTimeout <= 0 {
+		opt.SetupTimeout = 120 * time.Second
+	}
+	if opt.Grace <= 0 {
+		opt.Grace = 5 * time.Second
+	}
+	if opt.Exec == nil {
+		opt.Exec = selfExec
+	}
+	names := map[string]struct{}{}
+	for i := range specs {
+		if specs[i].Name == "" {
+			specs[i].Name = fmt.Sprintf("P%d-%s-%s", i+1, specs[i].Workload, specs[i].Policy)
+		}
+		if _, dup := names[specs[i].Name]; dup {
+			return nil, fmt.Errorf("mproc: duplicate child name %q", specs[i].Name)
+		}
+		names[specs[i].Name] = struct{}{}
+		if specs[i].Pool < 1 {
+			return nil, fmt.Errorf("mproc: child %s pool size %d", specs[i].Name, specs[i].Pool)
+		}
+	}
+
+	results := make([]ChildResult, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runChild(specs[i], opt, &results[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("mproc: child %s: %w", results[i].Name, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// AgentArgs returns the agent-mode flag list for a child running for the
+// given active duration (total minus arrival delay).
+func AgentArgs(spec ChildSpec, opt Options, active time.Duration) []string {
+	return []string{
+		"-workload", spec.Workload,
+		"-policy", spec.Policy,
+		"-pool", strconv.Itoa(spec.Pool),
+		"-seed", strconv.FormatInt(spec.Seed, 10),
+		"-duration", active.String(),
+		"-period", opt.Period.String(),
+		"-engine", opt.Engine,
+		"-gomaxprocs", strconv.Itoa(spec.GOMAXPROCS),
+		"-processes", strconv.Itoa(opt.Processes),
+	}
+}
+
+// selfExec re-executes the current binary in agent mode, the production
+// path: supervisor and agent are one binary, so the protocol versions match
+// by construction.
+func selfExec(spec ChildSpec, args []string) (*exec.Cmd, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("mproc: locating own binary: %w", err)
+	}
+	return exec.Command(self, append([]string{"agent"}, args...)...), nil
+}
+
+// killer kills a child's process at most once, remembering why; the reason
+// distinguishes supervisor-initiated kills (timeouts, protocol errors) from
+// spontaneous child deaths when the exit status is interpreted.
+type killer struct {
+	mu     sync.Mutex
+	proc   *os.Process
+	reason string
+}
+
+func (k *killer) kill(reason string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.reason != "" {
+		return
+	}
+	k.reason = reason
+	_ = k.proc.Kill()
+}
+
+func (k *killer) why() string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.reason
+}
+
+// watchdog is the supervisor's liveness clock for one child: a single timer
+// re-armed at each protocol milestone (launch → hello → first telemetry →
+// result), so every stage of the child's life is bounded without charging
+// the run deadline for unboundedly long workload population.
+type watchdog struct {
+	k  *killer
+	mu sync.Mutex
+	t  *time.Timer
+}
+
+func (w *watchdog) arm(d time.Duration, reason string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.t != nil {
+		w.t.Stop()
+	}
+	w.t = time.AfterFunc(d, func() { w.k.kill(reason) })
+}
+
+func (w *watchdog) stop() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.t != nil {
+		w.t.Stop()
+	}
+}
+
+// tailBuffer captures the last part of a child's stderr for error reports.
+type tailBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+const tailMax = 2048
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > tailMax {
+		t.buf = t.buf[len(t.buf)-tailMax:]
+	}
+	return len(p), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(bytes.TrimSpace(t.buf))
+}
+
+// runChild drives one agent child from launch to reaped exit, filling res.
+// Its cardinal rule is boundedness: an absolute deadline kill covers every
+// misbehavior (silent child, runaway child, stuck pipe), so the frame loop
+// may simply read until EOF and Wait afterwards.
+func runChild(spec ChildSpec, opt Options, res *ChildResult) {
+	res.Name = spec.Name
+	res.Levels = trace.NewSeries(spec.Name + "/level")
+	res.Throughputs = trace.NewSeries(spec.Name + "/throughput")
+	if spec.ArrivalDelay > 0 {
+		time.Sleep(spec.ArrivalDelay)
+	}
+	active := opt.Duration - spec.ArrivalDelay
+	if active <= 0 {
+		res.Err = errors.New("arrives after the run ends")
+		return
+	}
+
+	cmd, err := opt.Exec(spec, AgentArgs(spec, opt, active))
+	if err != nil {
+		res.Err = err
+		return
+	}
+	stderr := &tailBuffer{}
+	cmd.Stderr = stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		res.Err = err
+		return
+	}
+	if err := cmd.Start(); err != nil {
+		res.Err = fmt.Errorf("launch: %w", err)
+		return
+	}
+
+	k := &killer{proc: cmd.Process}
+	wd := &watchdog{k: k}
+	wd.arm(opt.StartupTimeout, "no handshake within startup timeout")
+	defer wd.stop()
+
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	gotHello, gotTelemetry, gotResult := false, false, false
+	var protoErr error
+	offset := spec.ArrivalDelay.Seconds()
+frames:
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		f, err := Decode(line)
+		if err != nil {
+			protoErr = err
+			break frames
+		}
+		switch f.Type {
+		case FrameHello:
+			if gotHello {
+				protoErr = errors.New("mproc: duplicate handshake")
+				break frames
+			}
+			gotHello = true
+			wd.arm(opt.SetupTimeout, "no telemetry within setup timeout")
+			h := *f.Hello
+			res.Hello = &h
+		case FrameTelemetry:
+			if !gotHello {
+				protoErr = errors.New("mproc: telemetry before handshake")
+				break frames
+			}
+			if !gotTelemetry {
+				gotTelemetry = true
+				wd.arm(active+opt.Grace, "run deadline exceeded")
+			}
+			t := f.Telemetry
+			res.Levels.Add(t.T+offset, float64(t.Level))
+			res.Throughputs.Add(t.T+offset, t.Tput)
+			res.Commits, res.Aborts = t.Commits, t.Aborts
+		case FrameResult:
+			if !gotHello {
+				protoErr = errors.New("mproc: result before handshake")
+				break frames
+			}
+			gotResult = true
+			wd.arm(opt.Grace, "lingered after result frame")
+			r := f.Result
+			res.Completed = r.Completed
+			res.Throughput = r.Tput
+			res.MeanLevel = r.MeanLevel
+			res.Commits, res.Aborts = r.Commits, r.Aborts
+			res.Verified = r.Verified
+			if r.Err != "" {
+				protoErr = fmt.Errorf("agent reported: %s", r.Err)
+				break frames
+			}
+		}
+	}
+	if protoErr != nil {
+		k.kill("protocol error")
+	} else if err := sc.Err(); err != nil {
+		protoErr = fmt.Errorf("reading telemetry: %w", err)
+		k.kill("protocol error")
+	}
+	// Drain the remainder so the child never blocks on a full pipe while
+	// exiting; the deadline kill bounds this too.
+	_, _ = io.Copy(io.Discard, stdout)
+	werr := cmd.Wait()
+	wd.stop()
+
+	// Resolve the child's cause, most specific first.
+	switch reason := k.why(); {
+	case protoErr != nil:
+		res.Err = protoErr
+	case reason != "":
+		res.Err = errors.New(reason)
+	case werr != nil:
+		res.Err = fmt.Errorf("agent exited abnormally: %w", werr)
+	case !gotResult:
+		res.Err = errors.New("agent exited without a result frame")
+	}
+	if res.Err != nil {
+		if tail := stderr.String(); tail != "" {
+			res.Err = fmt.Errorf("%w (stderr: %s)", res.Err, tail)
+		}
+	}
+}

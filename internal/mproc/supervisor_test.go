@@ -1,0 +1,250 @@
+package mproc
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHelperAgent is not a test: it is the body of the fake (and real) agent
+// children the supervisor tests spawn. The parent re-executes its own test
+// binary with -test.run=^TestHelperAgent$ and RUBIC_MPROC_HELPER selecting a
+// behavior, so every child is a genuine OS process. Always exits via os.Exit
+// so the testing framework's PASS output never pollutes the protocol stream.
+func TestHelperAgent(t *testing.T) {
+	mode := os.Getenv("RUBIC_MPROC_HELPER")
+	if mode == "" {
+		return // normal test run, not a child
+	}
+	var args []string
+	for i, a := range os.Args {
+		if a == "--" {
+			args = os.Args[i+1:]
+			break
+		}
+	}
+	enc := NewEncoder(os.Stdout)
+	hello := HelloFrame(Hello{Workload: "fake", Policy: "fake", Pool: 2, PID: os.Getpid()})
+	switch mode {
+	case "agent":
+		// The real thing: run the production agent entry point.
+		if err := AgentMain(args, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "good":
+		enc.Encode(hello)
+		for i := 0; i < 3; i++ {
+			enc.Encode(TelemetryFrame(Telemetry{T: float64(i) * 0.01, Level: 1, Tput: 100, Commits: uint64(i) * 10}))
+		}
+		enc.Encode(ResultFrame(Result{Completed: 300, Tput: 100, MeanLevel: 1, Commits: 30, Verified: true}))
+	case "crash":
+		// Dies mid-run after streaming some telemetry: no result frame,
+		// nonzero exit.
+		enc.Encode(hello)
+		enc.Encode(TelemetryFrame(Telemetry{T: 0.01, Level: 2, Tput: 50}))
+		enc.Encode(TelemetryFrame(Telemetry{T: 0.02, Level: 2, Tput: 55}))
+		fmt.Fprintln(os.Stderr, "fake agent: simulated crash")
+		os.Exit(3)
+	case "truncated":
+		// Emits a frame cut off mid-token and exits "successfully".
+		enc.Encode(hello)
+		fmt.Print(`{"v":1,"type":"telemetry","telem`)
+	case "badversion":
+		enc.Encode(hello)
+		fmt.Println(`{"v":99,"type":"telemetry","telemetry":{"t":0.01,"level":1,"tput":1,"commits":0,"aborts":0}}`)
+	case "silent":
+		time.Sleep(10 * time.Second)
+	}
+	os.Exit(0)
+}
+
+// fakeExec reroutes each child to this test binary's TestHelperAgent with a
+// per-child-name behavior (children without an entry get the default mode).
+func fakeExec(defaultMode string, modes map[string]string) ExecFunc {
+	return func(spec ChildSpec, args []string) (*exec.Cmd, error) {
+		mode, ok := modes[spec.Name]
+		if !ok {
+			mode = defaultMode
+		}
+		cmd := exec.Command(os.Args[0], append([]string{"-test.run=^TestHelperAgent$", "--"}, args...)...)
+		cmd.Env = append(os.Environ(), "RUBIC_MPROC_HELPER="+mode)
+		return cmd, nil
+	}
+}
+
+func twoChildren() []ChildSpec {
+	return []ChildSpec{
+		{Name: "A", Workload: "rbtree-ro", Policy: "rubic", Pool: 2, Seed: 1},
+		{Name: "B", Workload: "rbtree-ro", Policy: "rubic", Pool: 2, Seed: 2},
+	}
+}
+
+func TestSupervisorFakeAgents(t *testing.T) {
+	results, err := Run(twoChildren(), Options{
+		Duration: 100 * time.Millisecond,
+		Exec:     fakeExec("good", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Name, r.Err)
+		}
+		if r.Hello == nil || r.Hello.PID == 0 {
+			t.Errorf("%s: no handshake", r.Name)
+		}
+		if r.Levels.Len() != 3 {
+			t.Errorf("%s: %d telemetry samples, want 3", r.Name, r.Levels.Len())
+		}
+		if r.Completed != 300 || !r.Verified {
+			t.Errorf("%s: result not recorded: %+v", r.Name, r)
+		}
+	}
+}
+
+func TestSupervisorChildCrashMidRun(t *testing.T) {
+	results, err := Run(twoChildren(), Options{
+		Duration: 100 * time.Millisecond,
+		Exec:     fakeExec("good", map[string]string{"B": "crash"}),
+	})
+	if err == nil {
+		t.Fatal("crash went unreported")
+	}
+	if !strings.Contains(err.Error(), "B") || !strings.Contains(err.Error(), "exit status 3") {
+		t.Errorf("error does not name the crashed child and cause: %v", err)
+	}
+	// The survivor's results are intact.
+	if results[0].Err != nil || !results[0].Verified || results[0].Completed != 300 {
+		t.Errorf("survivor damaged: %+v", results[0])
+	}
+	// The crashed child keeps its partial telemetry and a cause.
+	if results[1].Err == nil {
+		t.Error("crashed child has no error")
+	}
+	if results[1].Levels.Len() != 2 {
+		t.Errorf("crashed child streamed %d samples before dying, want 2", results[1].Levels.Len())
+	}
+	if !strings.Contains(results[1].Err.Error(), "simulated crash") {
+		t.Errorf("child stderr not surfaced: %v", results[1].Err)
+	}
+}
+
+func TestSupervisorTruncatedFrame(t *testing.T) {
+	results, err := Run(twoChildren(), Options{
+		Duration: 100 * time.Millisecond,
+		Exec:     fakeExec("good", map[string]string{"A": "truncated"}),
+	})
+	if err == nil {
+		t.Fatal("truncated frame went unreported")
+	}
+	if !strings.Contains(err.Error(), "A") || !strings.Contains(err.Error(), "malformed frame") {
+		t.Errorf("error does not name the child and the malformed frame: %v", err)
+	}
+	if results[1].Err != nil {
+		t.Errorf("survivor damaged: %v", results[1].Err)
+	}
+}
+
+func TestSupervisorVersionMismatch(t *testing.T) {
+	_, err := Run(twoChildren()[:1], Options{
+		Duration: 100 * time.Millisecond,
+		Exec:     fakeExec("badversion", nil),
+	})
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch went unreported: %v", err)
+	}
+}
+
+func TestSupervisorStartupTimeout(t *testing.T) {
+	start := time.Now()
+	_, err := Run(twoChildren()[:1], Options{
+		Duration:       100 * time.Millisecond,
+		StartupTimeout: 200 * time.Millisecond,
+		Grace:          100 * time.Millisecond,
+		Exec:           fakeExec("silent", nil),
+	})
+	if err == nil || !strings.Contains(err.Error(), "handshake") {
+		t.Fatalf("silent child went unreported: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("supervisor hung %v on a silent child", elapsed)
+	}
+}
+
+func TestSupervisorValidation(t *testing.T) {
+	good := twoChildren()
+	cases := []struct {
+		name  string
+		specs []ChildSpec
+		opt   Options
+	}{
+		{"no children", nil, Options{Duration: time.Second}},
+		{"zero duration", good, Options{}},
+		{"duplicate names", []ChildSpec{good[0], good[0]}, Options{Duration: time.Second}},
+		{"bad pool", []ChildSpec{{Name: "A", Workload: "bank", Policy: "rubic"}}, Options{Duration: time.Second}},
+	}
+	for _, tc := range cases {
+		tc.opt.Exec = fakeExec("good", nil)
+		if _, err := Run(tc.specs, tc.opt); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestSupervisorLateArrivalRejected(t *testing.T) {
+	specs := twoChildren()
+	specs[1].ArrivalDelay = time.Second
+	results, err := Run(specs, Options{
+		Duration: 50 * time.Millisecond,
+		Exec:     fakeExec("good", nil),
+	})
+	if err == nil || !strings.Contains(err.Error(), "B") {
+		t.Fatalf("late arrival not attributed to B: %v", err)
+	}
+	if results[0].Err != nil {
+		t.Errorf("on-time child damaged: %v", results[0].Err)
+	}
+}
+
+// TestSmokeTwoRealAgents is the process-mode smoke test: two genuine child
+// OS processes each run the full production agent (STM runtime, worker pool,
+// RUBIC controller) for ~200 ms and the supervisor must collect both
+// results and exit cleanly.
+func TestSmokeTwoRealAgents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-spawning smoke test in -short mode")
+	}
+	results, err := Run([]ChildSpec{
+		{Name: "P1", Workload: "rbtree-ro", Policy: "rubic", Pool: 2, Seed: 1},
+		{Name: "P2", Workload: "bank", Policy: "ebs", Pool: 2, Seed: 2},
+	}, Options{
+		Duration: 200 * time.Millisecond,
+		Period:   5 * time.Millisecond,
+		Exec:     fakeExec("agent", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Hello == nil {
+			t.Fatalf("%s: no handshake", r.Name)
+		}
+		if r.Hello.PID == os.Getpid() {
+			t.Errorf("%s ran in-process (pid %d), want a child", r.Name, r.Hello.PID)
+		}
+		if r.Completed == 0 {
+			t.Errorf("%s completed nothing", r.Name)
+		}
+		if !r.Verified {
+			t.Errorf("%s did not verify", r.Name)
+		}
+		if r.Levels.Len() == 0 {
+			t.Errorf("%s streamed no telemetry", r.Name)
+		}
+	}
+}
