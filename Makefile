@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet fmtcheck test race
+.PHONY: check build vet fmtcheck test race lint
 
-# check is the PR gate: vet, formatting, the full test suite, and a
-# race-detector pass over the concurrency-heavy packages.
-check: vet fmtcheck test race
+# check is the PR gate: vet, formatting, static analysis, the full test
+# suite, and a race-detector pass over the whole module.
+check: vet fmtcheck lint test race
 
 build:
 	$(GO) build ./...
@@ -21,5 +21,11 @@ fmtcheck:
 test:
 	$(GO) test ./...
 
+# race covers the full module; -short trims the STAMP workloads, which are
+# an order of magnitude slower under the race detector.
 race:
-	$(GO) test -race ./internal/pool/... ./internal/core/... ./internal/mproc/...
+	$(GO) test -race -short ./...
+
+# lint runs the repo's own static analyzers (see cmd/rubic-lint).
+lint:
+	$(GO) run ./cmd/rubic-lint ./...

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtureRoot = "../../internal/analysis/testdata/src"
+
+// TestSeededViolationsFail asserts the acceptance contract: rubic-lint exits
+// non-zero on every seeded fixture package, for each analyzer.
+func TestSeededViolationsFail(t *testing.T) {
+	dirs := []string{
+		"stmescape",
+		"txneffect",
+		"roviolation",
+		filepath.Join("ctlunits", "periods"),
+		filepath.Join("ctlunits", "core"),
+	}
+	for _, dir := range dirs {
+		var stdout, stderr strings.Builder
+		code := run([]string{filepath.Join(fixtureRoot, dir)}, &stdout, &stderr)
+		if code != 1 {
+			t.Errorf("%s: exit %d (stderr %q), want 1", dir, code, stderr.String())
+		}
+		if !strings.Contains(stdout.String(), "[rubic/") {
+			t.Errorf("%s: findings missing analyzer tag:\n%s", dir, stdout.String())
+		}
+	}
+}
+
+// TestJSONOutput checks the machine-readable mode round-trips.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-json", "-analyzers=stmescape", filepath.Join(fixtureRoot, "stmescape")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d (stderr %q), want 1", code, stderr.String())
+	}
+	var findings []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &findings); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout.String())
+	}
+	if len(findings) < 3 {
+		t.Fatalf("%d findings, want >= 3 seeded stmescape violations", len(findings))
+	}
+	for _, f := range findings {
+		if f.Analyzer != "stmescape" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+// TestRepoIsClean asserts the other half of the acceptance contract: the
+// tree itself carries no violations.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module scan skipped in -short mode")
+	}
+	var stdout, stderr strings.Builder
+	if code := run([]string{"../../..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestAnalyzerSubsetAndList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list: exit %d, want 0", code)
+	}
+	for _, name := range []string{"stmescape", "txneffect", "roviolation", "ctlunits"} {
+		if !strings.Contains(stdout.String(), "rubic/"+name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+
+	// A subset that cannot match the fixture stays clean.
+	stdout.Reset()
+	stderr.Reset()
+	code := run([]string{"-analyzers=roviolation", filepath.Join(fixtureRoot, "stmescape")}, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("subset scan: exit %d, want 0 (stdout %q)", code, stdout.String())
+	}
+
+	if code := run([]string{"-analyzers=nosuch"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2", code)
+	}
+}

@@ -51,7 +51,7 @@ func main() {
 	tuner := &core.Tuner{
 		Controller: core.NewRUBIC(core.RUBICConfig{MaxLevel: size}),
 		Target:     p,
-		Period:     10 * time.Millisecond,
+		Period:     core.DefaultPeriod,
 	}
 
 	p.Start()

@@ -1,0 +1,199 @@
+// Package analysis is rubic's custom static-analysis engine: a small
+// go/parser + go/types framework (standard library only, no x/tools) with
+// analyzers enforcing the STM runtime's correctness invariants — properties
+// the Go toolchain cannot check because they follow from transactional
+// re-execution, not the type system.
+//
+// An Atomic block may run any number of times before it commits, so code
+// inside one must be idempotent and must confine shared state to stm.Var
+// accesses through the transaction handle. The analyzers (stmescape,
+// txneffect, roviolation, ctlunits) each guard one such invariant; see their
+// Doc strings and DESIGN.md's "Static analysis layer" section.
+//
+// Findings can be suppressed with a comment on the flagged line or the line
+// directly above it:
+//
+//	//lint:ignore rubic/<analyzer> <reason>
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report, locatable and machine-readable.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [rubic/%s]", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name is the short identifier used in reports and suppressions
+	// (rubic/<name>).
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects pass.Pkg and reports findings through pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one (analyzer, package) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	// Loader gives cross-package access for call-graph walks: any
+	// module-internal package reachable from Pkg is already type-checked and
+	// its function bodies are available through it.
+	Loader *Loader
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (pass *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p := pass.Fset.Position(pos)
+	*pass.findings = append(*pass.findings, Finding{
+		Analyzer: pass.Analyzer.Name,
+		File:     p.Filename,
+		Line:     p.Line,
+		Col:      p.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{StmEscape, TxnEffect, ROViolation, CtlUnits}
+}
+
+// ByName resolves a comma-separated analyzer list ("stmescape,ctlunits");
+// an empty spec selects the whole suite.
+func ByName(spec string) ([]*Analyzer, error) {
+	if strings.TrimSpace(spec) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// findings (suppressions applied), sorted by position.
+func Run(loader *Loader, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     loader.Fset,
+				Pkg:      pkg,
+				Loader:   loader,
+				findings: &findings,
+			}
+			a.Run(pass)
+		}
+	}
+	findings = filterSuppressed(loader, pkgs, findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	// Identical findings can arrive via overlapping rules; report each once.
+	dedup := findings[:0]
+	for i, f := range findings {
+		if i == 0 || f != findings[i-1] {
+			dedup = append(dedup, f)
+		}
+	}
+	return dedup
+}
+
+// suppressionKey identifies one suppressed (file, line, analyzer) slot.
+type suppressionKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// filterSuppressed drops findings covered by a //lint:ignore rubic/<name>
+// comment on the same line or the line directly above. The analyzer name
+// "all" suppresses the whole suite for that line.
+func filterSuppressed(loader *Loader, pkgs []*Package, findings []Finding) []Finding {
+	suppressed := map[suppressionKey]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					name, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					p := loader.Fset.Position(c.Pos())
+					suppressed[suppressionKey{p.Filename, p.Line, name}] = true
+					suppressed[suppressionKey{p.Filename, p.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	if len(suppressed) == 0 {
+		return findings
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		if suppressed[suppressionKey{f.File, f.Line, f.Analyzer}] ||
+			suppressed[suppressionKey{f.File, f.Line, "all"}] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// parseIgnore recognizes `//lint:ignore rubic/<name> reason`, requiring a
+// non-empty reason like staticcheck does.
+func parseIgnore(text string) (analyzer string, ok bool) {
+	rest, found := strings.CutPrefix(text, "//lint:ignore ")
+	if !found {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 { // directive plus at least one reason word
+		return "", false
+	}
+	name, found := strings.CutPrefix(fields[0], "rubic/")
+	if !found {
+		return "", false
+	}
+	return name, true
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches the fixture expectation comments: // want "regexp".
+var wantRe = regexp.MustCompile(`^// want "(.*)"$`)
+
+// expectation is one // want annotation: a finding must match re on the
+// annotated line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// loadFixture type-checks one testdata package through a fresh-enough
+// loader; the loader is shared per test binary so the standard library is
+// only type-checked once.
+var sharedLoader *Loader
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	if sharedLoader == nil {
+		l, err := NewLoader(".")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		sharedLoader = l
+	}
+	return sharedLoader
+}
+
+func collectWants(t *testing.T, loader *Loader, pkg *Package) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(strings.TrimSpace(c.Text))
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				pos := loader.Fset.Position(c.Pos())
+				wants = append(wants, expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over one fixture package and diffs the
+// findings against the // want annotations.
+func checkFixture(t *testing.T, dir, analyzer string) {
+	t.Helper()
+	loader := fixtureLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	analyzers, err := ByName(analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(loader, []*Package{pkg}, analyzers)
+	wants := collectWants(t, loader, pkg)
+	if len(wants) < 3 {
+		t.Fatalf("fixture %s has %d seeded violations, want >= 3", dir, len(wants))
+	}
+
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		found := false
+		for i, f := range findings {
+			if matched[i] || f.File != w.file || f.Line != w.line || !w.re.MatchString(f.Message) {
+				continue
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+func TestStmEscapeFixtures(t *testing.T)   { checkFixture(t, "stmescape", "stmescape") }
+func TestTxnEffectFixtures(t *testing.T)   { checkFixture(t, "txneffect", "txneffect") }
+func TestROViolationFixtures(t *testing.T) { checkFixture(t, "roviolation", "roviolation") }
+func TestCtlUnitsFixtures(t *testing.T) {
+	checkFixture(t, filepath.Join("ctlunits", "periods"), "ctlunits")
+	checkFixture(t, filepath.Join("ctlunits", "core"), "ctlunits")
+}
+
+// TestRepoClean is the self-gate: the analyzers must run clean over the
+// whole module (the same scan `make lint` performs).
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module scan skipped in -short mode")
+	}
+	loader := fixtureLoader(t)
+	dirs, err := ExpandPatterns(loader.ModuleRoot, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	for _, f := range Run(loader, pkgs, All()) {
+		t.Errorf("repo not clean: %s", f)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	}
+	two, err := ByName("stmescape, ctlunits")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("ByName subset: %d analyzers, err %v; want 2, nil", len(two), err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) succeeded, want error")
+	}
+}
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//lint:ignore rubic/txneffect buffered deliberately", "txneffect", true},
+		{"//lint:ignore rubic/all migration in flight", "all", true},
+		{"//lint:ignore rubic/txneffect", "", false}, // reason required
+		{"//lint:ignore ST1000 wrong namespace", "", false},
+		{"// plain comment", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseIgnore(c.text)
+		if name != c.name || ok != c.ok {
+			t.Errorf("parseIgnore(%q) = %q, %v; want %q, %v", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	loader := fixtureLoader(t)
+	dirs, err := ExpandPatterns(loader.ModuleRoot, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("pattern expansion included testdata dir %s", d)
+		}
+	}
+	if len(dirs) < 10 {
+		t.Errorf("expected a full module expansion, got %d dirs: %v", len(dirs), dirs)
+	}
+}
+
+// Ensure Finding renders the machine-locatable file:line:col form.
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "txneffect", File: "x.go", Line: 3, Col: 7, Message: "boom"}
+	want := "x.go:3:7: boom [rubic/txneffect]"
+	if got := fmt.Sprint(f); got != want {
+		t.Errorf("Finding.String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtlUnits enforces the controller layer's unit discipline. The paper's
+// monitoring loop samples throughput every tick (core.DefaultPeriod); two
+// families of mistakes have corrupted reproductions of such controllers:
+//
+//   - raw time.Duration literals where the canonical tick constants must be
+//     used — a period written as `10 * time.Millisecond` in one component
+//     and `15 * time.Millisecond` in another silently decouples the
+//     controllers from the measurement cadence. Any literal flowing into a
+//     Period field, a Period assignment, or a period flag default must be
+//     spelled via a named constant from package core;
+//   - commit-rate arithmetic mixing per-tick and per-second quantities
+//     (adding or comparing a *PerTick value with a *PerSec value without a
+//     conversion). Multiplication and division are conversions and pass.
+//
+// Inside package core itself every non-zero duration literal outside a
+// const declaration is flagged, so the canonical constants stay the single
+// source of truth.
+var CtlUnits = &Analyzer{
+	Name: "ctlunits",
+	Doc: "reports raw duration literals where core's tick constants are " +
+		"required, and arithmetic mixing per-tick with per-second units",
+	Run: runCtlUnits,
+}
+
+func runCtlUnits(pass *Pass) {
+	info := pass.Pkg.Info
+	flagged := map[ast.Node]bool{}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if targetName(lhs) == "Period" && rawDurationExpr(info, n.Rhs[i]) {
+						flagged[n.Rhs[i]] = true
+						pass.Reportf(n.Rhs[i].Pos(), "raw duration literal assigned to Period; use core.DefaultPeriod or a named core constant")
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok && key.Name == "Period" && rawDurationExpr(info, n.Value) {
+					flagged[n.Value] = true
+					pass.Reportf(n.Value.Pos(), "raw duration literal for Period; use core.DefaultPeriod or a named core constant")
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, n); fn != nil && fn.Name() == "DurationVar" && len(n.Args) >= 3 {
+					if name, ok := stringArg(info, n.Args[1]); ok && strings.Contains(strings.ToLower(name), "period") &&
+						rawDurationExpr(info, n.Args[2]) {
+						flagged[n.Args[2]] = true
+						pass.Reportf(n.Args[2].Pos(), "raw duration literal as %q flag default; use core.DefaultPeriod", name)
+					}
+				}
+			case *ast.BinaryExpr:
+				checkUnitMixing(pass, n)
+			}
+			return true
+		})
+	}
+	if pass.Pkg.Types.Name() == "core" {
+		checkCoreLiterals(pass, flagged)
+	}
+}
+
+// targetName names an assignment destination: a bare identifier or the
+// final selector of a field access.
+func targetName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// stringArg extracts a constant string argument.
+func stringArg(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	s := tv.Value.ExactString()
+	if len(s) >= 2 && s[0] == '"' {
+		return s[1 : len(s)-1], true
+	}
+	return "", false
+}
+
+// rawDurationExpr reports whether e is a time.Duration expression built
+// from numeric literals (e.g. 10*time.Millisecond) rather than derived from
+// a named constant of package core. Zero literals are exempt: comparing or
+// resetting against zero carries no unit.
+func rawDurationExpr(info *types.Info, e ast.Expr) bool {
+	if !isDuration(info, e) {
+		return false
+	}
+	hasLit, usesCore := false, false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if n.Kind == token.INT || n.Kind == token.FLOAT {
+				if n.Value != "0" {
+					hasLit = true
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Name() == "core" {
+				if _, isConst := obj.(*types.Const); isConst {
+					usesCore = true
+				}
+			}
+		}
+		return true
+	})
+	return hasLit && !usesCore
+}
+
+// isDuration reports whether e's type is time.Duration.
+func isDuration(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+// rateUnit classifies an expression's rate unit from its identifier names:
+// per-tick vs per-second commit-rate quantities.
+func rateUnit(e ast.Expr) string {
+	unit := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		name := strings.ToLower(id.Name)
+		switch {
+		case strings.Contains(name, "pertick"), strings.Contains(name, "per_tick"):
+			unit = "per-tick"
+			return false
+		case strings.Contains(name, "persec"), strings.Contains(name, "per_sec"):
+			unit = "per-second"
+			return false
+		}
+		return true
+	})
+	return unit
+}
+
+// checkUnitMixing flags additive or comparison operators combining a
+// per-tick quantity with a per-second one.
+func checkUnitMixing(pass *Pass, n *ast.BinaryExpr) {
+	switch n.Op {
+	case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return // * and / convert between units
+	}
+	lu, ru := rateUnit(n.X), rateUnit(n.Y)
+	if lu != "" && ru != "" && lu != ru {
+		pass.Reportf(n.Pos(), "%s mixes %s and %s commit-rate units; convert with core.TicksPerSecond first", n.Op, lu, ru)
+	}
+}
+
+// checkCoreLiterals flags non-zero duration literals in package core
+// outside const declarations (and outside expressions already reported).
+func checkCoreLiterals(pass *Pass, flagged map[ast.Node]bool) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		var constRanges [][2]token.Pos
+		for _, decl := range file.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.CONST {
+				constRanges = append(constRanges, [2]token.Pos{gd.Pos(), gd.End()})
+			}
+		}
+		inConst := func(pos token.Pos) bool {
+			for _, r := range constRanges {
+				if pos >= r[0] && pos <= r[1] {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if flagged[e] {
+				return false
+			}
+			// Judge the outermost duration-typed expression as a unit: its
+			// literal subexpressions (the 3 in 3*DefaultPeriod) are part of
+			// the blessed derivation, not separate findings.
+			if isDuration(info, e) {
+				if rawDurationExpr(info, e) && !inConst(e.Pos()) {
+					pass.Reportf(e.Pos(), "raw duration literal in the controller layer; define or use a named constant (e.g. core.DefaultPeriod)")
+				}
+				return false
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,304 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package: the parsed files plus the go/types
+// artifacts the analyzers consume.
+type Package struct {
+	// Path is the package's import path; packages loaded from outside the
+	// module's import graph (e.g. testdata fixtures) get a synthetic path
+	// derived from their directory.
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	funcs map[*types.Func]*ast.FuncDecl // lazily built declaration index
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library: go/parser for syntax, go/types for semantics, and the
+// go/importer source importer for out-of-module (standard library)
+// dependencies. Module-internal imports are resolved against the module root
+// so that testdata fixtures and the real tree see the same stm/core types.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	std     types.Importer
+	pkgs    map[string]*Package // by cleaned absolute directory
+	byTypes map[*types.Package]*Package
+	loading map[string]bool
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// NewLoader returns a Loader rooted at the module containing dir (dir itself
+// or the nearest parent with a go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	mod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := moduleRe.FindSubmatch(mod)
+	if m == nil {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: string(m[1]),
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		byTypes:    map[*types.Package]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// Import implements types.Importer: module-internal paths load from source
+// under the module root; everything else (the standard library) goes through
+// the go/importer source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if rel, ok := l.moduleRel(path); ok {
+		pkg, err := l.LoadDir(filepath.Join(l.ModuleRoot, rel))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// moduleRel maps a module-internal import path to a root-relative directory.
+func (l *Loader) moduleRel(path string) (string, bool) {
+	if path == l.ModulePath {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.FromSlash(rest), true
+	}
+	return "", false
+}
+
+// LoadDir parses and type-checks the package in dir (non-test files only),
+// memoized per directory.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	abs = filepath.Clean(abs)
+	if pkg, ok := l.pkgs[abs]; ok {
+		return pkg, nil
+	}
+	if l.loading[abs] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", abs)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", abs)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(l.importPathFor(abs), l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", abs, typeErrs[0])
+	}
+	pkg := &Package{
+		Path:  l.importPathFor(abs),
+		Dir:   abs,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[abs] = pkg
+	l.byTypes[tpkg] = pkg
+	return pkg, nil
+}
+
+// importPathFor derives the import path of a directory: the module path plus
+// the root-relative directory when inside the module's import graph, or a
+// synthetic slash path otherwise (testdata trees, which the go tool ignores).
+func (l *Loader) importPathFor(abs string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(abs)
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// funcDecl returns the syntax of a function or method declared in any
+// package this loader has type-checked, or nil for functions whose source is
+// out of reach (standard library, interface methods, func literals).
+func (l *Loader) funcDecl(fn *types.Func) (*ast.FuncDecl, *Package) {
+	pkg := l.byTypes[fn.Pkg()]
+	if pkg == nil {
+		return nil, nil
+	}
+	if pkg.funcs == nil {
+		pkg.funcs = map[*types.Func]*ast.FuncDecl{}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					pkg.funcs[obj] = fd
+				}
+			}
+		}
+	}
+	return pkg.funcs[fn], pkg
+}
+
+// ExpandPatterns resolves go-tool-style package patterns (a directory, or a
+// `dir/...` subtree) into package directories. Like the go tool it skips
+// testdata, vendor and hidden directories when expanding `...`; naming a
+// testdata directory explicitly still works, which is how the fixture tests
+// load their seeded violations.
+func ExpandPatterns(base string, patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if pat == "" {
+			continue
+		}
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(base, root)
+		}
+		if !recursive {
+			if ok, err := hasGoFiles(root); err != nil {
+				return nil, err
+			} else if !ok {
+				return nil, fmt.Errorf("analysis: no Go files in %s", root)
+			}
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if ok, err := hasGoFiles(path); err != nil {
+				return err
+			} else if ok {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

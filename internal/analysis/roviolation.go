@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ROViolation flags transactional writes reachable from an AtomicRO block.
+// Read-only transactions skip read-set bookkeeping, so the runtime can only
+// enforce the no-write contract at runtime — with a panic mid-measurement.
+// This analyzer proves it statically instead: a Var.Write directly inside an
+// AtomicRO closure, or inside any helper function the closure passes its
+// transaction handle to (found with a call-graph walk over every
+// module-internal package the loader has type-checked), is reported at the
+// call site inside the block.
+var ROViolation = &Analyzer{
+	Name: "roviolation",
+	Doc: "reports Var.Write calls reachable from AtomicRO blocks, including " +
+		"writes buried in helper functions the block passes its tx to",
+	Run: runROViolation,
+}
+
+func runROViolation(pass *Pass) {
+	info := pass.Pkg.Info
+	writes := &writeSummaries{loader: pass.Loader, memo: map[*types.Func]bool{}}
+	for _, b := range atomicBlocks(pass.Pkg) {
+		if !b.readOnly {
+			continue
+		}
+		b := b
+		blockBodyInspect(info, b, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			if isVarWrite(fn) {
+				pass.Reportf(call.Pos(), "Var.Write inside an AtomicRO block panics at runtime")
+				return true
+			}
+			if passesTx(info, call) && writes.writesViaTx(fn) {
+				pass.Reportf(call.Pos(), "%s writes transactionally and must not be called from an AtomicRO block", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// passesTx reports whether the call forwards a *stm.Tx argument.
+func passesTx(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isTxType(tv.Type) {
+			return true
+		}
+	}
+	// Method values carry the receiver separately; a container method like
+	// m.Put(tx, k, v) has tx in Args, so receiver inspection is not needed.
+	return false
+}
+
+// writeSummaries computes, per function, whether it may perform a
+// transactional write with a transaction handle it received — directly via
+// Var.Write or transitively through other tx-taking functions. Results are
+// memoized; recursion through cycles conservatively assumes no write (the
+// cycle entry point is still scanned along its other edges).
+type writeSummaries struct {
+	loader *Loader
+	memo   map[*types.Func]bool
+}
+
+func (w *writeSummaries) writesViaTx(fn *types.Func) bool {
+	if res, ok := w.memo[fn]; ok {
+		return res
+	}
+	w.memo[fn] = false // cycle breaker
+	decl, pkg := w.loader.funcDecl(fn)
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	res := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if res {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pkg.Info, call)
+		if callee == nil {
+			return true
+		}
+		if isVarWrite(callee) {
+			res = true
+			return false
+		}
+		if callee != fn && passesTx(pkg.Info, call) && w.writesViaTx(callee) {
+			res = true
+			return false
+		}
+		return true
+	})
+	w.memo[fn] = res
+	return res
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file holds the STM-aware plumbing shared by the stmescape, txneffect
+// and roviolation analyzers: recognizing Atomic/AtomicRO blocks, the
+// transaction handle they bind, and stm package types, all by semantic
+// identity (types from a package named "stm" with the expected shape) so the
+// same code analyzes both the real tree and the testdata fixture universe.
+
+// atomicBlock is one rt.Atomic / rt.AtomicRO call whose argument is a
+// function literal — the unit of transactional re-execution.
+type atomicBlock struct {
+	call     *ast.CallExpr
+	lit      *ast.FuncLit
+	txObj    types.Object // the *stm.Tx parameter object; nil when blank
+	readOnly bool
+}
+
+// atomicBlocks collects every Atomic/AtomicRO function-literal block in the
+// package, including blocks nested inside other blocks (each is returned
+// once, as its own entry).
+func atomicBlocks(pkg *Package) []atomicBlock {
+	var blocks []atomicBlock
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ro, ok := isAtomicCall(pkg.Info, call)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			b := atomicBlock{call: call, lit: lit, readOnly: ro}
+			if params := lit.Type.Params; params != nil && len(params.List) == 1 &&
+				len(params.List[0].Names) == 1 {
+				b.txObj = pkg.Info.Defs[params.List[0].Names[0]]
+			}
+			blocks = append(blocks, b)
+			return true
+		})
+	}
+	return blocks
+}
+
+// isAtomicCall reports whether call invokes stm.Runtime.Atomic (ro=false) or
+// stm.Runtime.AtomicRO (ro=true).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) (ro, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return false, false
+	}
+	fn, okFn := info.Uses[sel.Sel].(*types.Func)
+	if !okFn {
+		return false, false
+	}
+	if fn.Name() != "Atomic" && fn.Name() != "AtomicRO" {
+		return false, false
+	}
+	sig, okSig := fn.Type().(*types.Signature)
+	if !okSig || sig.Recv() == nil {
+		return false, false
+	}
+	if !isStmNamed(sig.Recv().Type(), "Runtime") {
+		return false, false
+	}
+	return fn.Name() == "AtomicRO", true
+}
+
+// isStmNamed reports whether t (possibly behind a pointer) is the named type
+// stm.<name>, matching by package name so fixtures and the real module
+// resolve identically.
+func isStmNamed(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == "stm"
+}
+
+// isTxType reports whether t is *stm.Tx.
+func isTxType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isStmNamed(ptr.Elem(), "Tx")
+}
+
+// isVarWrite reports whether fn is the Write method of stm.Var (any
+// instantiation).
+func isVarWrite(fn *types.Func) bool {
+	if fn.Name() != "Write" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isStmNamed(sig.Recv().Type(), "Var")
+}
+
+// usesObject reports whether any identifier under n resolves to obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	if obj == nil || n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredOutside reports whether obj's declaration lies outside the given
+// function literal — i.e. the closure captured it from an enclosing scope
+// (including package scope).
+func declaredOutside(obj types.Object, lit *ast.FuncLit) bool {
+	if obj == nil {
+		return false
+	}
+	if obj.Pkg() == nil { // builtins such as the predeclared error vars
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// blockBodyInspect walks an atomic block's body, pruning nested
+// Atomic/AtomicRO function literals: those re-execute under their own
+// transaction and are analyzed as separate blocks.
+func blockBodyInspect(info *types.Info, b atomicBlock, f func(ast.Node) bool) {
+	ast.Inspect(b.lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, isAtomic := isAtomicCall(info, call); isAtomic && len(call.Args) == 1 {
+				if _, isLit := call.Args[0].(*ast.FuncLit); isLit {
+					// Visit the call itself but let the nested block's own
+					// pass handle the literal body.
+					for _, arg := range call.Args {
+						if _, skip := arg.(*ast.FuncLit); !skip {
+							ast.Inspect(arg, f)
+						}
+					}
+					ast.Inspect(call.Fun, f)
+					return false
+				}
+			}
+		}
+		return f(n)
+	})
+}

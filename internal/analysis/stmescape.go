@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StmEscape flags a transaction handle escaping its atomic block. A *stm.Tx
+// is one attempt's context: Runtime.Atomic rolls it back and reuses it on
+// retry, so a handle stored in a struct field, a global, a captured
+// variable, a container, a channel, or a goroutine outlives the attempt and
+// silently corrupts a later (or committed) transaction when used.
+var StmEscape = &Analyzer{
+	Name: "stmescape",
+	Doc: "reports *stm.Tx handles escaping their Atomic/AtomicRO block " +
+		"(stored in fields, globals or captured variables, sent on channels, " +
+		"or captured by go statements)",
+	Run: runStmEscape,
+}
+
+func runStmEscape(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, b := range atomicBlocks(pass.Pkg) {
+		if b.txObj == nil {
+			continue
+		}
+		b := b
+		blockBodyInspect(info, b, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if !carriesTx(info, rhs, b.txObj) {
+						continue
+					}
+					// Parallel assignment pairs lhs[i] with rhs[i]; a single
+					// multi-value rhs can reach every lhs.
+					if len(n.Rhs) == len(n.Lhs) {
+						pass.checkEscapeTarget(n.Lhs[i], b)
+					} else {
+						for _, lhs := range n.Lhs {
+							pass.checkEscapeTarget(lhs, b)
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if carriesTx(info, n.Value, b.txObj) {
+					pass.Reportf(n.Pos(), "transaction handle sent on a channel escapes its atomic block")
+				}
+			case *ast.GoStmt:
+				if usesObject(info, n.Call, b.txObj) {
+					pass.Reportf(n.Pos(), "transaction handle captured by a go statement escapes its atomic block")
+				}
+			case *ast.DeferStmt:
+				// A defer inside the closure runs per attempt, before
+				// rollback: the handle does not outlive the attempt.
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// carriesTx reports whether storing e can smuggle the transaction handle
+// out of the block: e is the handle itself (possibly via a composite or
+// address-of wrapping), or a closure that captured it. A value merely
+// computed *with* the handle, like v.Read(tx), does not carry it.
+func carriesTx(info *types.Info, e ast.Expr, txObj types.Object) bool {
+	if !usesObject(info, e, txObj) {
+		return false
+	}
+	switch x := e.(type) {
+	case *ast.FuncLit:
+		return true // a stored closure keeps the handle alive
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if carriesTx(info, elt, txObj) {
+				return true
+			}
+		}
+		return false
+	case *ast.UnaryExpr:
+		return carriesTx(info, x.X, txObj)
+	case *ast.ParenExpr:
+		return carriesTx(info, x.X, txObj)
+	}
+	// Everything else — identifiers, selectors, calls like v.Read(tx) —
+	// carries the handle only when its own type is *stm.Tx.
+	tv, ok := info.Types[e]
+	return ok && isTxType(tv.Type)
+}
+
+// checkEscapeTarget classifies an assignment destination receiving a value
+// derived from the transaction handle.
+func (pass *Pass) checkEscapeTarget(lhs ast.Expr, b atomicBlock) {
+	info := pass.Pkg.Info
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := info.Defs[lhs]
+		if obj == nil {
+			obj = info.Uses[lhs]
+		}
+		if obj == nil || obj.Pkg() == nil {
+			return
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			pass.Reportf(lhs.Pos(), "transaction handle stored in package-level variable %s escapes its atomic block", lhs.Name)
+			return
+		}
+		if declaredOutside(obj, b.lit) {
+			pass.Reportf(lhs.Pos(), "transaction handle stored in captured variable %s escapes its atomic block", lhs.Name)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+			pass.Reportf(lhs.Pos(), "transaction handle stored in struct field %s escapes its atomic block", lhs.Sel.Name)
+			return
+		}
+		// Qualified package-level variable (pkg.Global = tx).
+		if obj, ok := info.Uses[lhs.Sel].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			pass.Reportf(lhs.Pos(), "transaction handle stored in package-level variable %s escapes its atomic block", lhs.Sel.Name)
+		}
+	case *ast.IndexExpr:
+		pass.Reportf(lhs.Pos(), "transaction handle stored in a container escapes its atomic block")
+	case *ast.StarExpr:
+		pass.Reportf(lhs.Pos(), "transaction handle stored through a pointer escapes its atomic block")
+	}
+}

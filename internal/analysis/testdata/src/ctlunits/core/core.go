@@ -1,0 +1,39 @@
+// Package core seeds ctlunits violations specific to the controller layer:
+// in a package named core every non-zero duration literal outside a const
+// declaration must be hoisted into a named constant.
+package core
+
+import "time"
+
+// DefaultPeriod is the canonical tick; const declarations are the one place
+// literals belong.
+const DefaultPeriod = 10 * time.Millisecond
+
+type tuner struct {
+	Period time.Duration
+}
+
+func (t *tuner) defaults() {
+	if t.Period <= 0 {
+		t.Period = 15 * time.Millisecond // want "raw duration literal assigned to Period"
+	}
+}
+
+func settleDeadline() time.Duration {
+	return 150 * time.Millisecond // want "raw duration literal in the controller layer"
+}
+
+func warmup() time.Duration {
+	d := time.Duration(float64(time.Second) * 0.5) // want "raw duration literal in the controller layer"
+	return d
+}
+
+// negative: durations derived from the canonical constant.
+func cooldown() time.Duration {
+	return 3 * DefaultPeriod
+}
+
+// negative: zero carries no unit.
+func isZero(d time.Duration) bool {
+	return d == 0
+}

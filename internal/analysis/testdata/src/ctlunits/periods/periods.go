@@ -1,0 +1,64 @@
+// Package periods seeds violations for the ctlunits analyzer: raw duration
+// literals flowing into controller periods, and commit-rate arithmetic
+// mixing per-tick with per-second units.
+package periods
+
+import (
+	"flag"
+	"time"
+
+	"rubic/internal/core"
+)
+
+type tunerConfig struct {
+	Period time.Duration
+}
+
+func literalAssign(cfg *tunerConfig) {
+	cfg.Period = 10 * time.Millisecond // want "raw duration literal assigned to Period"
+}
+
+func literalComposite() tunerConfig {
+	return tunerConfig{
+		Period: 15 * time.Millisecond, // want "raw duration literal for Period"
+	}
+}
+
+func literalFlagDefault(fs *flag.FlagSet, cfg *tunerConfig) {
+	fs.DurationVar(&cfg.Period, "period", 10*time.Millisecond, "controller period") // want "flag default"
+}
+
+func mixedAddition(commitsPerTick, ratePerSec float64) float64 {
+	return commitsPerTick + ratePerSec // want "mixes per-tick and per-second"
+}
+
+func mixedComparison(commitsPerTick, targetPerSec float64) bool {
+	return commitsPerTick < targetPerSec // want "mixes per-tick and per-second"
+}
+
+// negative: the canonical constant is the required spelling.
+func constantAssign(cfg *tunerConfig) {
+	cfg.Period = core.DefaultPeriod
+}
+
+// negative: durations derived from the canonical constants carry the unit.
+func derivedComposite() tunerConfig {
+	return tunerConfig{Period: 2 * core.DefaultPeriod}
+}
+
+// negative: multiplying by a tick rate is the conversion between the units.
+func converted(commitsPerTick float64, ticksPerSec float64) float64 {
+	ratePerSec := commitsPerTick * ticksPerSec
+	return ratePerSec
+}
+
+// negative: zero comparisons carry no unit.
+func zeroCheck(cfg *tunerConfig) bool {
+	return cfg.Period <= 0
+}
+
+// negative: a justified suppression silences the finding.
+func suppressedPeriod(cfg *tunerConfig) {
+	//lint:ignore rubic/ctlunits fixture exercising suppression
+	cfg.Period = 25 * time.Millisecond
+}

@@ -1,0 +1,72 @@
+// Package roviolation seeds violations for the roviolation analyzer:
+// transactional writes reachable from read-only atomic blocks, directly and
+// through helper functions.
+package roviolation
+
+import "rubic/internal/stm"
+
+func directWrite(rt *stm.Runtime, v *stm.Var[int]) {
+	_ = rt.AtomicRO(func(tx *stm.Tx) error {
+		v.Write(tx, 1) // want "Var.Write inside an AtomicRO block"
+		return nil
+	})
+}
+
+func helperWrite(rt *stm.Runtime, v *stm.Var[int]) {
+	_ = rt.AtomicRO(func(tx *stm.Tx) error {
+		setOne(tx, v) // want "setOne writes transactionally"
+		return nil
+	})
+}
+
+func nestedHelperWrite(rt *stm.Runtime, v *stm.Var[int]) {
+	_ = rt.AtomicRO(func(tx *stm.Tx) error {
+		resetThrough(tx, v) // want "resetThrough writes transactionally"
+		return nil
+	})
+}
+
+func setOne(tx *stm.Tx, v *stm.Var[int]) {
+	v.Write(tx, 1)
+}
+
+// resetThrough only reaches Var.Write two calls deep; the analyzer's
+// call-graph walk must still see it.
+func resetThrough(tx *stm.Tx, v *stm.Var[int]) {
+	if v.Read(tx) != 0 {
+		setOne(tx, v)
+	}
+}
+
+func sum(tx *stm.Tx, a, b *stm.Var[int]) int {
+	return a.Read(tx) + b.Read(tx)
+}
+
+// negative: read-only helpers are what AtomicRO is for.
+func readOnlyHelper(rt *stm.Runtime, a, b *stm.Var[int]) int {
+	var out int
+	_ = rt.AtomicRO(func(tx *stm.Tx) error {
+		out = sum(tx, a, b)
+		return nil
+	})
+	return out
+}
+
+// negative: the same writing helpers are fine inside a read-write block.
+func writeInRW(rt *stm.Runtime, v *stm.Var[int]) {
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		setOne(tx, v)
+		resetThrough(tx, v)
+		v.Write(tx, 2)
+		return nil
+	})
+}
+
+// negative: a justified suppression silences the finding.
+func suppressedWrite(rt *stm.Runtime, v *stm.Var[int]) {
+	_ = rt.AtomicRO(func(tx *stm.Tx) error {
+		//lint:ignore rubic/roviolation fixture exercising suppression
+		setOne(tx, v)
+		return nil
+	})
+}

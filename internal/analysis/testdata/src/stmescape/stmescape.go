@@ -1,0 +1,83 @@
+// Package stmescape seeds violations for the stmescape analyzer: every
+// `want` comment marks a line the analyzer must flag, and the remaining
+// cases must stay silent.
+package stmescape
+
+import "rubic/internal/stm"
+
+type holder struct {
+	tx *stm.Tx
+}
+
+var globalTx *stm.Tx
+
+var txCh = make(chan *stm.Tx, 1)
+
+func fieldEscape(rt *stm.Runtime, h *holder) {
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		h.tx = tx // want "stored in struct field"
+		return nil
+	})
+}
+
+func globalEscape(rt *stm.Runtime) {
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		globalTx = tx // want "stored in package-level variable"
+		return nil
+	})
+}
+
+func channelEscape(rt *stm.Runtime) {
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		txCh <- tx // want "sent on a channel"
+		return nil
+	})
+}
+
+func goEscape(rt *stm.Runtime, v *stm.Var[int]) {
+	_ = rt.AtomicRO(func(tx *stm.Tx) error {
+		go func() { // want "captured by a go statement"
+			_ = v.Read(tx)
+		}()
+		return nil
+	})
+}
+
+func capturedEscape(rt *stm.Runtime) func() *stm.Tx {
+	var leaked *stm.Tx
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		leaked = tx // want "stored in captured variable"
+		return nil
+	})
+	return func() *stm.Tx { return leaked }
+}
+
+// negative: a local alias that dies with the attempt does not escape.
+func localAlias(rt *stm.Runtime, v *stm.Var[int]) {
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		t := tx
+		v.Write(t, v.Read(t)+1)
+		return nil
+	})
+}
+
+// negative: passing tx down to helpers is the intended composition style.
+func helperUse(rt *stm.Runtime, v *stm.Var[int]) {
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		bump(tx, v)
+		return nil
+	})
+}
+
+func bump(tx *stm.Tx, v *stm.Var[int]) {
+	v.Write(tx, v.Read(tx)+1)
+}
+
+// negative: a justified suppression silences the finding.
+func suppressedEscape(rt *stm.Runtime, h *holder) {
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		//lint:ignore rubic/stmescape fixture exercising suppression
+		h.tx = tx
+		return nil
+	})
+}

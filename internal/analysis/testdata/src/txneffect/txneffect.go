@@ -1,0 +1,121 @@
+// Package txneffect seeds violations for the txneffect analyzer:
+// non-idempotent side effects inside atomic blocks.
+package txneffect
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rubic/internal/stm"
+)
+
+func channelSend(rt *stm.Runtime, v *stm.Var[int], ch chan int) {
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		ch <- v.Read(tx) // want "channel send inside an atomic block"
+		return nil
+	})
+}
+
+func channelReceive(rt *stm.Runtime, v *stm.Var[int], ch chan int) {
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		v.Write(tx, <-ch) // want "channel receive inside an atomic block"
+		return nil
+	})
+}
+
+func sleeper(rt *stm.Runtime, v *stm.Var[int]) {
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		time.Sleep(time.Millisecond) // want "time.Sleep inside an atomic block"
+		v.Write(tx, 1)
+		return nil
+	})
+}
+
+func locker(rt *stm.Runtime, v *stm.Var[int], mu *sync.Mutex) {
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		mu.Lock()         // want "sync.Lock inside an atomic block"
+		defer mu.Unlock() // want "sync.Unlock inside an atomic block"
+		v.Write(tx, 1)
+		return nil
+	})
+}
+
+func printer(rt *stm.Runtime, v *stm.Var[int]) {
+	_ = rt.AtomicRO(func(tx *stm.Tx) error {
+		fmt.Println(v.Read(tx)) // want "fmt.Println inside an atomic block"
+		return nil
+	})
+}
+
+func accumulator(rt *stm.Runtime, v *stm.Var[int]) int {
+	total := 0
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		total += v.Read(tx) // want "compound assignment to captured variable total"
+		return nil
+	})
+	return total
+}
+
+func counter(rt *stm.Runtime, v *stm.Var[int]) int {
+	n := 0
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		n++ // want "captured variable n accumulates across retries"
+		v.Write(tx, n)
+		return nil
+	})
+	return n
+}
+
+func appender(rt *stm.Runtime, v *stm.Var[int]) []int {
+	var seen []int
+	_ = rt.AtomicRO(func(tx *stm.Tx) error {
+		seen = append(seen, v.Read(tx)) // want "append to captured variable seen"
+		return nil
+	})
+	return seen
+}
+
+// negative: a plain overwrite of a captured variable is idempotent — it is
+// the idiomatic way to pass a result out of an atomic block.
+func resultOut(rt *stm.Runtime, v *stm.Var[int]) int {
+	var out int
+	_ = rt.AtomicRO(func(tx *stm.Tx) error {
+		out = v.Read(tx)
+		return nil
+	})
+	return out
+}
+
+// negative: accumulation into a variable declared inside the block restarts
+// from scratch on every retry.
+func localAccumulation(rt *stm.Runtime, a, b *stm.Var[int], sum *stm.Var[int]) {
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		total := 0
+		total += a.Read(tx)
+		total += b.Read(tx)
+		sum.Write(tx, total)
+		return nil
+	})
+}
+
+// negative: effects after the atomic block returns are safe.
+func effectAfter(rt *stm.Runtime, v *stm.Var[int], ch chan int) {
+	var out int
+	_ = rt.AtomicRO(func(tx *stm.Tx) error {
+		out = v.Read(tx)
+		return nil
+	})
+	ch <- out
+	time.Sleep(time.Millisecond)
+}
+
+// negative: a justified suppression silences the finding.
+func suppressedEffect(rt *stm.Runtime, v *stm.Var[int]) {
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		//lint:ignore rubic/txneffect fixture exercising suppression
+		time.Sleep(time.Microsecond)
+		v.Write(tx, 2)
+		return nil
+	})
+}

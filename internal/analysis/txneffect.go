@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TxnEffect flags side effects inside an Atomic/AtomicRO block that are
+// unsafe under transactional re-execution. The runtime may run the closure
+// any number of times before one attempt commits, so effects the rollback
+// cannot undo must not live inside it:
+//
+//   - channel operations (send, receive, close, select) — a retried send
+//     delivers twice, a retried receive consumes twice;
+//   - sync primitives (Mutex/RWMutex lock and unlock, WaitGroup counting,
+//     Once.Do) — lock state does not roll back, and blocking inside a
+//     transaction invites lock-STM deadlocks;
+//   - file/network I/O (os, net, net/http, syscall; fmt/log printing) and
+//     time.Sleep — re-executed verbatim on every retry and a direct threat
+//     to commit-rate measurements;
+//   - accumulating writes to variables captured from the enclosing scope
+//     (x += ..., x++, x = append(x, ...)) — each retry accumulates again.
+//
+// A plain overwrite of a captured variable (x = ...) is idempotent across
+// retries and is the idiomatic way to pass a result out of an atomic block,
+// so it is deliberately not flagged.
+var TxnEffect = &Analyzer{
+	Name: "txneffect",
+	Doc: "reports non-idempotent side effects inside Atomic/AtomicRO blocks: " +
+		"channel ops, sync locking, I/O, time.Sleep, and accumulating writes " +
+		"to captured variables",
+	Run: runTxnEffect,
+}
+
+// effectPackages are packages whose calls perform external effects that a
+// transaction rollback cannot undo.
+var effectPackages = map[string]string{
+	"os":       "file I/O",
+	"net":      "network I/O",
+	"net/http": "network I/O",
+	"syscall":  "system call",
+	"log":      "logging I/O",
+}
+
+// effectFuncs are individual stdlib functions flagged by qualified name.
+var effectFuncs = map[string]string{
+	"time.Sleep":     "sleeping",
+	"time.After":     "timer channel",
+	"time.Tick":      "timer channel",
+	"time.NewTicker": "timer allocation",
+	"time.NewTimer":  "timer allocation",
+	"fmt.Print":      "stdout I/O",
+	"fmt.Printf":     "stdout I/O",
+	"fmt.Println":    "stdout I/O",
+}
+
+// syncMethods are the sync-package methods whose effect outlives an aborted
+// attempt.
+var syncMethods = map[string]bool{
+	"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true,
+	"TryLock": true, "TryRLock": true,
+	"Add": true, "Done": true, "Wait": true, "Do": true,
+}
+
+func runTxnEffect(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, b := range atomicBlocks(pass.Pkg) {
+		b := b
+		blockBodyInspect(info, b, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send inside an atomic block repeats on every retry")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive inside an atomic block consumes a value per retry")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select inside an atomic block performs channel operations per retry")
+				return false
+			case *ast.AssignStmt:
+				pass.checkCapturedWrite(n, b)
+			case *ast.IncDecStmt:
+				if id, ok := n.X.(*ast.Ident); ok {
+					if obj := info.Uses[id]; declaredOutside(obj, b.lit) {
+						pass.Reportf(n.Pos(), "%s of captured variable %s accumulates across retries", n.Tok, id.Name)
+					}
+				}
+			case *ast.CallExpr:
+				pass.checkEffectCall(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkCapturedWrite flags accumulating writes to captured variables:
+// compound assignment and self-append. Plain overwrites are idempotent and
+// allowed.
+func (pass *Pass) checkCapturedWrite(n *ast.AssignStmt, b atomicBlock) {
+	info := pass.Pkg.Info
+	capturedIdent := func(e ast.Expr) (*ast.Ident, bool) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		obj := info.Uses[id]
+		return id, obj != nil && declaredOutside(obj, b.lit)
+	}
+	switch n.Tok {
+	case token.ASSIGN:
+		// x = append(x, ...) on a captured x grows per retry.
+		for i, lhs := range n.Lhs {
+			if i >= len(n.Rhs) {
+				break
+			}
+			id, captured := capturedIdent(lhs)
+			if !captured {
+				continue
+			}
+			call, ok := n.Rhs[i].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+				continue
+			} else if _, isBuiltin := info.Uses[fn].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			if len(call.Args) > 0 && usesObject(info, call.Args[0], info.Uses[id]) {
+				pass.Reportf(n.Pos(), "append to captured variable %s accumulates across retries", id.Name)
+			}
+		}
+	case token.DEFINE:
+	default: // compound assignment: +=, -=, *=, |=, ...
+		for _, lhs := range n.Lhs {
+			if id, captured := capturedIdent(lhs); captured {
+				pass.Reportf(n.Pos(), "compound assignment to captured variable %s accumulates across retries", id.Name)
+			}
+		}
+	}
+}
+
+// checkEffectCall flags calls with external effects: close(), sync locking,
+// deny-listed packages and functions.
+func (pass *Pass) checkEffectCall(call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+			pass.Reportf(call.Pos(), "close of a channel inside an atomic block repeats on every retry")
+			return
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkgPath := fn.Pkg().Path()
+	if pkgPath == "sync" && syncMethods[fn.Name()] {
+		pass.Reportf(call.Pos(), "sync.%s inside an atomic block: lock state does not roll back on abort", fn.Name())
+		return
+	}
+	if kind, ok := effectPackages[pkgPath]; ok {
+		pass.Reportf(call.Pos(), "%s.%s inside an atomic block: %s repeats on every retry", fn.Pkg().Name(), fn.Name(), kind)
+		return
+	}
+	if kind, ok := effectFuncs[pkgPath+"."+fn.Name()]; ok {
+		pass.Reportf(call.Pos(), "%s.%s inside an atomic block: %s repeats on every retry", fn.Pkg().Name(), fn.Name(), kind)
+	}
+}
+
+// calleeFunc resolves the static callee of a call, or nil for indirect
+// calls, builtins and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}

@@ -76,7 +76,7 @@ func NewGroup(procs []Proc, period time.Duration) (*Group, error) {
 		names[p.Name] = struct{}{}
 	}
 	if period <= 0 {
-		period = 10 * time.Millisecond
+		period = core.DefaultPeriod
 	}
 	return &Group{procs: procs, period: period}, nil
 }

@@ -44,7 +44,7 @@ type Tuner struct {
 // Start launches the monitoring loop in its own goroutine.
 func (t *Tuner) Start() {
 	if t.Period <= 0 {
-		t.Period = 10 * time.Millisecond
+		t.Period = DefaultPeriod
 	}
 	t.stop = make(chan struct{})
 	t.done = make(chan struct{})

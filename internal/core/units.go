@@ -1,0 +1,19 @@
+package core
+
+import "time"
+
+// Canonical timing constants of the controller layer. Every component that
+// schedules or interprets controller rounds — the Tuner, the multi-process
+// supervisor and agents, the co-location drivers — must derive its timing
+// from these instead of spelling raw duration literals, so the measurement
+// cadence cannot silently diverge between components. The ctlunits analyzer
+// (rubic/internal/analysis) enforces this.
+const (
+	// DefaultPeriod is the controller tick: the paper's 10 ms monitoring
+	// interval over which throughput is measured and a new level actuated.
+	DefaultPeriod = 10 * time.Millisecond
+
+	// TicksPerSecond converts per-tick commit counts to per-second rates at
+	// the default period.
+	TicksPerSecond = int(time.Second / DefaultPeriod)
+)

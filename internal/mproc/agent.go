@@ -49,7 +49,7 @@ func AgentMain(args []string, out io.Writer) error {
 	fs.IntVar(&cfg.Pool, "pool", runtime.NumCPU(), "worker pool size")
 	fs.Int64Var(&cfg.Seed, "seed", 1, "random seed")
 	fs.DurationVar(&cfg.Duration, "duration", 2*time.Second, "run duration")
-	fs.DurationVar(&cfg.Period, "period", 10*time.Millisecond, "controller period")
+	fs.DurationVar(&cfg.Period, "period", core.DefaultPeriod, "controller period")
 	fs.StringVar(&cfg.Engine, "engine", "tl2", "stm engine: tl2 or norec")
 	fs.IntVar(&cfg.GOMAXPROCS, "gomaxprocs", 0, "GOMAXPROCS for this agent (0 leaves the default)")
 	fs.IntVar(&cfg.Processes, "processes", 1, "number of co-located processes")
@@ -74,7 +74,7 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 		return fmt.Errorf("mproc: agent duration must be positive")
 	}
 	if cfg.Period <= 0 {
-		cfg.Period = 10 * time.Millisecond
+		cfg.Period = core.DefaultPeriod
 	}
 	if cfg.Processes < 1 {
 		cfg.Processes = 1

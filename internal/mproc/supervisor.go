@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"rubic/internal/core"
 	"rubic/internal/trace"
 )
 
@@ -104,7 +105,7 @@ func Run(specs []ChildSpec, opt Options) ([]ChildResult, error) {
 		return nil, fmt.Errorf("mproc: duration must be positive")
 	}
 	if opt.Period <= 0 {
-		opt.Period = 10 * time.Millisecond
+		opt.Period = core.DefaultPeriod
 	}
 	if opt.Engine == "" {
 		opt.Engine = "tl2"

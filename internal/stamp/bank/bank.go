@@ -113,10 +113,11 @@ func (b *Bench) transfer(rng *rand.Rand) error {
 func (b *Bench) audit() error {
 	sum := 0
 	err := b.rt.AtomicRO(func(tx *stm.Tx) error {
-		sum = 0
+		total := 0
 		for _, a := range b.accounts {
-			sum += a.Read(tx)
+			total += a.Read(tx)
 		}
+		sum = total
 		return nil
 	})
 	if err != nil {
@@ -137,10 +138,11 @@ func (b *Bench) Verify() error {
 	}
 	sum := 0
 	err := b.rt.AtomicRO(func(tx *stm.Tx) error {
-		sum = 0
+		total := 0
 		for _, a := range b.accounts {
-			sum += a.Read(tx)
+			total += a.Read(tx)
 		}
+		sum = total
 		return nil
 	})
 	if err != nil {

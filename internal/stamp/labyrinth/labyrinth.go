@@ -146,7 +146,6 @@ var directions = []point{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}
 func (b *Bench) route(r request) {
 	var path []point
 	err := b.rt.Atomic(func(tx *stm.Tx) error {
-		path = nil
 		// The endpoints themselves may have been claimed by an earlier
 		// path; such a request is blocked.
 		if b.cell(r.src).Read(tx) != 0 || b.cell(r.dst).Read(tx) != 0 {
@@ -183,14 +182,18 @@ func (b *Bench) route(r request) {
 			// Blocked: count the failure outside the retry path.
 			return errBlocked
 		}
-		// Traceback: claim the path.
+		// Traceback: claim the path into an attempt-local trace; publish it
+		// to the captured variable only once, so a retried attempt starts
+		// from scratch.
+		var trace []point
 		for p := r.dst; ; p = prev[p] {
 			b.cell(p).Write(tx, int32(r.id)+1)
-			path = append(path, p)
+			trace = append(trace, p)
 			if p == r.src {
 				break
 			}
 		}
+		path = trace
 		return nil
 	})
 	switch err {

@@ -70,14 +70,16 @@ func (b *Bench) Setup(rng *rand.Rand) error {
 	inserted := 0
 	for inserted < b.cfg.Elements {
 		key := rng.Int63n(b.cfg.KeyRange)
+		fresh := false
 		err := b.rt.Atomic(func(tx *stm.Tx) error {
-			if b.tree.Put(tx, key, key) {
-				inserted++
-			}
+			fresh = b.tree.Put(tx, key, key)
 			return nil
 		})
 		if err != nil {
 			return fmt.Errorf("rbtree setup: %w", err)
+		}
+		if fresh {
+			inserted++
 		}
 	}
 	b.initial = inserted

@@ -138,17 +138,17 @@ func (b *Bench) Task() pool.Task {
 		}
 		var dups int
 		err := b.rt.Atomic(func(tx *stm.Tx) error {
-			dups = 0
-			added := 0
+			batchDups, added := 0, 0
 			for _, e := range b.edges[lo:hi] {
 				if !b.adjacency[e.src].Insert(tx, e.dst, e.weight) {
-					dups++ // parallel duplicate: first weight wins
+					batchDups++ // parallel duplicate: first weight wins
 					continue
 				}
 				b.degree[e.src].Write(tx, b.degree[e.src].Read(tx)+1)
 				added++
 			}
 			b.edgeCount.Write(tx, b.edgeCount.Read(tx)+added)
+			dups = batchDups
 			return nil
 		})
 		if err != nil {
@@ -177,7 +177,7 @@ func (b *Bench) Verify() error {
 	total := 0
 	err := b.rt.Atomic(func(tx *stm.Tx) error {
 		verr = nil
-		total = 0
+		edges := 0
 		for v := int64(0); v < int64(b.cfg.Vertices); v++ {
 			deg := b.degree[v].Read(tx)
 			n := b.adjacency[v].Len(tx)
@@ -185,7 +185,7 @@ func (b *Bench) Verify() error {
 				verr = fmt.Errorf("ssca2: vertex %d degree %d but %d out-edges", v, deg, n)
 				return nil
 			}
-			total += n
+			edges += n
 			ok := true
 			b.adjacency[v].Range(tx, func(dst int64, _ int) bool {
 				if _, present := distinct[key{v, dst}]; !present {
@@ -200,9 +200,10 @@ func (b *Bench) Verify() error {
 				return nil
 			}
 		}
-		if got := b.edgeCount.Read(tx); got != total {
-			verr = fmt.Errorf("ssca2: global edge count %d, adjacency holds %d", got, total)
+		if got := b.edgeCount.Read(tx); got != edges {
+			verr = fmt.Errorf("ssca2: global edge count %d, adjacency holds %d", got, edges)
 		}
+		total = edges
 		return nil
 	})
 	if err != nil {

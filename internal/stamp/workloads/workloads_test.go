@@ -7,10 +7,19 @@ import (
 	"rubic/internal/stm"
 )
 
+// heavySetup names workloads whose default-size Setup is expensive enough
+// to dominate a race-detector run; they are skipped under -short.
+var heavySetup = map[string]bool{
+	"rbtree": true, "rbtree-ro": true,
+}
+
 func TestEveryNameBuildsAndSetsUp(t *testing.T) {
 	for _, name := range Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
+			if testing.Short() && heavySetup[name] {
+				t.Skip("heavy setup skipped in -short mode")
+			}
 			w, rt, err := New(name, stm.Config{})
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,89 @@
+package stm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// These tests pin the runtime guard that rubic/roviolation enforces
+// statically: a Var.Write reached from an AtomicRO block panics, even when
+// the transaction handle travels through helper functions first.
+
+// bumpVar writes through a tx it received as an argument.
+func bumpVar(tx *Tx, v *Var[int], val int) {
+	v.Write(tx, val)
+}
+
+// bumpDeep adds a second call level between the block and the write.
+func bumpDeep(tx *Tx, v *Var[int], val int) {
+	bumpVar(tx, v, val)
+}
+
+func TestAtomicROHelperWritePanics(t *testing.T) {
+	for _, alg := range []Algorithm{TL2, NOrec} {
+		alg := alg
+		for _, tc := range []struct {
+			name  string
+			write func(tx *Tx, v *Var[int])
+		}{
+			{"direct", func(tx *Tx, v *Var[int]) { v.Write(tx, 1) }},
+			{"one-helper", func(tx *Tx, v *Var[int]) { bumpVar(tx, v, 1) }},
+			{"two-helpers", func(tx *Tx, v *Var[int]) { bumpDeep(tx, v, 1) }},
+		} {
+			tc := tc
+			t.Run(fmt.Sprintf("alg=%d/%s", alg, tc.name), func(t *testing.T) {
+				rt := New(Config{Algorithm: alg})
+				v := NewVar(0)
+				func() {
+					defer func() {
+						r := recover()
+						if r == nil {
+							t.Fatal("expected panic on RO write via helper")
+						}
+						if s, ok := r.(string); !ok || s != "stm: write inside a read-only transaction" {
+							t.Fatalf("unexpected panic value: %v", r)
+						}
+					}()
+					_ = rt.AtomicRO(func(tx *Tx) error {
+						tc.write(tx, v)
+						return nil
+					})
+				}()
+				// The runtime must remain usable after the panic.
+				if err := rt.Atomic(func(tx *Tx) error { v.Write(tx, 7); return nil }); err != nil {
+					t.Fatalf("Atomic after RO panic: %v", err)
+				}
+				if got := v.Peek(); got != 7 {
+					t.Fatalf("value = %d, want 7", got)
+				}
+			})
+		}
+	}
+}
+
+// TestAtomicROReadHelperAllowed is the negative counterpart: helpers that
+// only read through the tx are fine from AtomicRO.
+func TestAtomicROReadHelperAllowed(t *testing.T) {
+	sumVars := func(tx *Tx, vs []*Var[int]) int {
+		total := 0
+		for _, v := range vs {
+			total += v.Read(tx)
+		}
+		return total
+	}
+	for _, alg := range []Algorithm{TL2, NOrec} {
+		rt := New(Config{Algorithm: alg})
+		vs := []*Var[int]{NewVar(3), NewVar(4), NewVar(5)}
+		sum := 0
+		if err := rt.AtomicRO(func(tx *Tx) error {
+			total := sumVars(tx, vs)
+			sum = total
+			return nil
+		}); err != nil {
+			t.Fatalf("alg=%d: %v", alg, err)
+		}
+		if sum != 12 {
+			t.Fatalf("alg=%d: sum = %d, want 12", alg, sum)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenSet builds a deterministic two-series set resembling a convergence
+// trace: a parallelism level settling toward 32 and a sparser throughput
+// series, so the golden files exercise overlap markers and missing samples.
+func goldenSet() *Set {
+	set := &Set{}
+	level := set.Add(NewSeries("level"))
+	tput := set.Add(NewSeries("commits/s"))
+	for i := 0; i < 40; i++ {
+		t := float64(i) * 0.25
+		level.Add(t, 32+16*math.Cos(float64(i)/3)*math.Exp(-float64(i)/10))
+		if i%4 == 0 {
+			tput.Add(t, 1000+25*float64(i))
+		}
+	}
+	return set
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestPlotGolden(t *testing.T) {
+	out := Plot(goldenSet(), PlotOptions{Title: "convergence", Width: 64, Height: 12})
+	checkGolden(t, "plot.golden", []byte(out))
+}
+
+func TestPlotFixedBoundsGolden(t *testing.T) {
+	out := PlotSeries(goldenSet().Get("level"), PlotOptions{
+		Width: 48, Height: 10, YFixed: true, YMin: 0, YMax: 64,
+	})
+	checkGolden(t, "plot_fixed.golden", []byte(out))
+}
+
+func TestCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, goldenSet()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "set.csv.golden", buf.Bytes())
+
+	// The golden bytes must also parse back into the same shape.
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenSet()
+	if len(got.Series) != len(want.Series) {
+		t.Fatalf("round trip: %d series, want %d", len(got.Series), len(want.Series))
+	}
+	for i, s := range want.Series {
+		r := got.Series[i]
+		if r.Len() != s.Len() {
+			t.Fatalf("series %q: %d samples, want %d", s.Name, r.Len(), s.Len())
+		}
+		for j := range s.V {
+			if r.T[j] != s.T[j] || r.V[j] != s.V[j] {
+				t.Fatalf("series %q sample %d differs", s.Name, j)
+			}
+		}
+	}
+}
