@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet fmtcheck test race lint
+# Packages carrying go test -bench micro-benchmarks (STM hot path and the
+# transactional containers).
+BENCH_PKGS = ./internal/stm ./internal/stm/container
+
+.PHONY: check build vet fmtcheck test race lint bench benchgate
 
 # check is the PR gate: vet, formatting, static analysis, the full test
 # suite, and a race-detector pass over the whole module.
@@ -29,3 +33,16 @@ race:
 # lint runs the repo's own static analyzers (see cmd/rubic-lint).
 lint:
 	$(GO) run ./cmd/rubic-lint ./...
+
+# bench runs the hot-path and container micro-benchmarks and records them as
+# a dated BENCH_<date>.json snapshot (see cmd/rubic-benchgate).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) \
+		| $(GO) run ./cmd/rubic-benchgate -emit BENCH_$$(date +%F).json
+
+# benchgate re-runs the benchmarks (short benchtime: the allocation gate is
+# deterministic, the time gate is loose) and compares them against the
+# checked-in baseline, failing on regressions.
+benchgate:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 0.3s $(BENCH_PKGS) \
+		| $(GO) run ./cmd/rubic-benchgate -compare BENCH_baseline.json

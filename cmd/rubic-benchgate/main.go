@@ -1,0 +1,247 @@
+// Command rubic-benchgate turns `go test -bench -benchmem` output into the
+// repo's BENCH_<date>.json format and gates pull requests against a
+// checked-in baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/stm/... |
+//	    rubic-benchgate -emit BENCH_2026-08-06.json -compare BENCH_baseline.json
+//
+// Flags:
+//
+//	-emit FILE      write the parsed results as JSON to FILE
+//	-compare FILE   gate the parsed results against the baseline in FILE
+//	-time-tol F     fail when ns/op exceeds baseline*F (default 3.0; the
+//	                wide default tolerates CI hardware variance and still
+//	                catches catastrophic regressions)
+//	-alloc-slack F  fail when allocs/op exceeds baseline+F (default 0.5,
+//	                i.e. any whole extra allocation per op fails)
+//	-allow-missing  do not fail when a baseline benchmark is absent from
+//	                the new results (coverage rot is an error by default)
+//
+// Exit status: 0 clean, 1 regression or missing coverage, 2 usage or
+// parse failure.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Iters    int64              `json:"iters"`
+	NsPerOp  float64            `json:"ns_op"`
+	BPerOp   float64            `json:"b_op"`
+	AllocsOp float64            `json:"allocs_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_<date>.json schema.
+type File struct {
+	Schema     string            `json:"schema"`
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+const schemaID = "rubic-bench/v1"
+
+// gomaxprocsSuffix strips the -N procs suffix the testing package appends to
+// benchmark names, so results compare across machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads `go test -bench` output and collects per-benchmark
+// results. Unrecognized lines (package headers, PASS, custom test output)
+// are skipped. A benchmark appearing more than once (e.g. several packages
+// or -count > 1) keeps the run with the lowest ns/op, the standard
+// best-of-N noise reduction.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iters: iters}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+				seen = true
+			case "B/op":
+				res.BPerOp = val
+			case "allocs/op":
+				res.AllocsOp = val
+			case "MB/s":
+				// throughput column; derivable from ns/op, skip
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = val
+			}
+		}
+		if !seen {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		if prev, ok := out[name]; ok && prev.NsPerOp <= res.NsPerOp {
+			continue
+		}
+		out[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return out, nil
+}
+
+// regression describes one gate violation.
+type regression struct {
+	name string
+	what string
+}
+
+// compare gates new results against a baseline. Time regressions use a
+// multiplicative tolerance, allocation regressions an additive slack
+// (allocs/op is hardware-independent, so the gate is tight). Benchmarks in
+// the baseline but absent from the new results are reported unless
+// allowMissing; new benchmarks without a baseline entry pass silently.
+func compare(base, cur map[string]Result, timeTol, allocSlack float64, allowMissing bool) []regression {
+	var regs []regression
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			if !allowMissing {
+				regs = append(regs, regression{name, "present in baseline but missing from results"})
+			}
+			continue
+		}
+		if c.AllocsOp > b.AllocsOp+allocSlack {
+			regs = append(regs, regression{name, fmt.Sprintf(
+				"allocs/op %.2f exceeds baseline %.2f (+%.2f slack)", c.AllocsOp, b.AllocsOp, allocSlack)})
+		}
+		if timeTol > 0 && b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*timeTol {
+			regs = append(regs, regression{name, fmt.Sprintf(
+				"ns/op %.1f exceeds baseline %.1f × %.2f tolerance", c.NsPerOp, b.NsPerOp, timeTol)})
+		}
+	}
+	return regs
+}
+
+func loadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != schemaID {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, schemaID)
+	}
+	return &f, nil
+}
+
+func emitFile(path string, results map[string]Result) error {
+	f := File{
+		Schema:     schemaID,
+		Date:       time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	var (
+		emit         = flag.String("emit", "", "write parsed results as JSON to this file")
+		compareWith  = flag.String("compare", "", "gate results against this baseline JSON")
+		timeTol      = flag.Float64("time-tol", 3.0, "ns/op failure multiplier over baseline (0 disables)")
+		allocSlack   = flag.Float64("alloc-slack", 0.5, "allocs/op failure slack over baseline")
+		allowMissing = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from results")
+	)
+	flag.Parse()
+	if *emit == "" && *compareWith == "" {
+		fmt.Fprintln(os.Stderr, "rubic-benchgate: need -emit and/or -compare")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rubic-benchgate:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("rubic-benchgate: parsed %d benchmarks\n", len(results))
+
+	if *emit != "" {
+		if err := emitFile(*emit, results); err != nil {
+			fmt.Fprintln(os.Stderr, "rubic-benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("rubic-benchgate: wrote %s\n", *emit)
+	}
+
+	if *compareWith != "" {
+		base, err := loadFile(*compareWith)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rubic-benchgate:", err)
+			os.Exit(2)
+		}
+		regs := compare(base.Benchmarks, results, *timeTol, *allocSlack, *allowMissing)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "rubic-benchgate: REGRESSION %s: %s\n", r.name, r.what)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("rubic-benchgate: %d benchmarks within tolerance of %s\n", len(base.Benchmarks), *compareWith)
+	}
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: rubic/internal/stm
+cpu: some CPU
+BenchmarkAtomicRO/tl2-8          5013452               238.9 ns/op             0 B/op          0 allocs/op
+BenchmarkAtomicRO/norec-8        4000000               300.0 ns/op             0 B/op          0 allocs/op
+BenchmarkAtomicWrite/tl2-8       2000000               601.5 ns/op            16 B/op          1 allocs/op
+BenchmarkFig4CubicFunction-8     1000000              1000 ns/op              12.00 value-at-inflection
+garbage line
+PASS
+ok      rubic/internal/stm      8.123s
+`
+
+func parseSample(t *testing.T) map[string]Result {
+	t.Helper()
+	res, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParseBench(t *testing.T) {
+	res := parseSample(t)
+	if len(res) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(res), res)
+	}
+	ro, ok := res["BenchmarkAtomicRO/tl2"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", res)
+	}
+	if ro.Iters != 5013452 || ro.NsPerOp != 238.9 || ro.AllocsOp != 0 {
+		t.Errorf("BenchmarkAtomicRO/tl2 = %+v", ro)
+	}
+	wr := res["BenchmarkAtomicWrite/tl2"]
+	if wr.BPerOp != 16 || wr.AllocsOp != 1 {
+		t.Errorf("BenchmarkAtomicWrite/tl2 = %+v", wr)
+	}
+	fig := res["BenchmarkFig4CubicFunction"]
+	if fig.Metrics["value-at-inflection"] != 12 {
+		t.Errorf("custom metric not captured: %+v", fig)
+	}
+}
+
+func TestParseBenchKeepsFastestDuplicate(t *testing.T) {
+	in := "BenchmarkX-4 100 50.0 ns/op\nBenchmarkX-4 100 40.0 ns/op\nBenchmarkX-4 100 60.0 ns/op\n"
+	res, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res["BenchmarkX"].NsPerOp; got != 40 {
+		t.Errorf("kept %v ns/op, want fastest 40", got)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("want error for input without benchmarks")
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {NsPerOp: 100, AllocsOp: 0},
+		"BenchmarkB": {NsPerOp: 100, AllocsOp: 1},
+		"BenchmarkC": {NsPerOp: 100, AllocsOp: 0},
+	}
+	cur := map[string]Result{
+		"BenchmarkA":   {NsPerOp: 250, AllocsOp: 1}, // alloc regression, time OK at tol 3
+		"BenchmarkB":   {NsPerOp: 301, AllocsOp: 1}, // time regression
+		"BenchmarkNew": {NsPerOp: 1, AllocsOp: 50},  // no baseline: ignored
+		// BenchmarkC missing: coverage rot
+	}
+	regs := compare(base, cur, 3.0, 0.5, false)
+	if len(regs) != 3 {
+		t.Fatalf("got %d regressions, want 3: %v", len(regs), regs)
+	}
+	byName := map[string]string{}
+	for _, r := range regs {
+		byName[r.name] = r.what
+	}
+	if !strings.Contains(byName["BenchmarkA"], "allocs/op") {
+		t.Errorf("BenchmarkA: %q, want allocs/op violation", byName["BenchmarkA"])
+	}
+	if !strings.Contains(byName["BenchmarkB"], "ns/op") {
+		t.Errorf("BenchmarkB: %q, want ns/op violation", byName["BenchmarkB"])
+	}
+	if !strings.Contains(byName["BenchmarkC"], "missing") {
+		t.Errorf("BenchmarkC: %q, want missing-coverage violation", byName["BenchmarkC"])
+	}
+	if regs := compare(base, cur, 0, 1.5, true); len(regs) != 0 {
+		t.Errorf("loose gate: got %v, want none", regs)
+	}
+}
+
+func TestEmitAndLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	res := parseSample(t)
+	if err := emitFile(path, res); err != nil {
+		t.Fatal(err)
+	}
+	f, err := loadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != len(res) {
+		t.Fatalf("round trip lost benchmarks: %d != %d", len(f.Benchmarks), len(res))
+	}
+	if !reflect.DeepEqual(f.Benchmarks["BenchmarkAtomicWrite/tl2"],
+		Result{Iters: 2000000, NsPerOp: 601.5, BPerOp: 16, AllocsOp: 1}) {
+		t.Errorf("round trip mutated result: %+v", f.Benchmarks["BenchmarkAtomicWrite/tl2"])
+	}
+	if _, err := loadFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("want error for missing baseline file")
+	}
+}

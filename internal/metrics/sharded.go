@@ -1,0 +1,81 @@
+package metrics
+
+import "sync/atomic"
+
+// cacheLine is the assumed coherence granule. 64 bytes covers x86-64 and
+// most arm64 server parts; on 128-byte machines adjacent shards still only
+// pair up rather than all colliding.
+const cacheLine = 64
+
+// paddedUint64 is an atomic counter padded to a full cache line so adjacent
+// shards never share one.
+type paddedUint64 struct {
+	n atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// ShardedCounter is a monotonic event counter spread across cache-line
+// padded shards so concurrent writers on different shards never contend on
+// one line. It is the counter design the paper's Algorithm 1 prescribes for
+// per-worker completion counts (writers never contend, the monitor only
+// reads) and the STM runtime reuses for its commit/abort statistics.
+//
+// Writers pick a shard (worker id, or any per-goroutine-ish token) and Add
+// to it; readers Sum or PerShard without synchronizing with writers. Sums
+// are not consistent snapshots — exactly the sampling a monitoring thread
+// performs.
+type ShardedCounter struct {
+	shards []paddedUint64
+	mask   int
+}
+
+// NewShardedCounter returns a counter with at least n shards, rounded up to
+// a power of two (minimum 1) so shard selection is a mask, not a division.
+func NewShardedCounter(n int) *ShardedCounter {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &ShardedCounter{shards: make([]paddedUint64, size), mask: size - 1}
+}
+
+// Shards returns the number of shards (a power of two).
+func (c *ShardedCounter) Shards() int { return len(c.shards) }
+
+// Add adds delta to one shard. Any shard value works; it is reduced with a
+// mask, so callers may pass a round-robin token without bounds-checking.
+func (c *ShardedCounter) Add(shard int, delta uint64) {
+	c.shards[shard&c.mask].n.Add(delta)
+}
+
+// Load returns one shard's count (shard reduced with the mask, as in Add).
+func (c *ShardedCounter) Load(shard int) uint64 {
+	return c.shards[shard&c.mask].n.Load()
+}
+
+// Sum returns the total across all shards. Shards advance concurrently, so
+// the sum is a sample, not a snapshot.
+func (c *ShardedCounter) Sum() uint64 {
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].n.Load()
+	}
+	return sum
+}
+
+// PerShard returns each shard's count.
+func (c *ShardedCounter) PerShard() []uint64 {
+	out := make([]uint64, len(c.shards))
+	for i := range c.shards {
+		out[i] = c.shards[i].n.Load()
+	}
+	return out
+}
+
+// Reset zeroes every shard. Concurrent Adds may survive into the next
+// epoch; callers that need exact epochs must quiesce writers first.
+func (c *ShardedCounter) Reset() {
+	for i := range c.shards {
+		c.shards[i].n.Store(0)
+	}
+}

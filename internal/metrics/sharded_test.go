@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestShardedCounterRounding(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {6, 8}, {8, 8}, {9, 16},
+	} {
+		if got := NewShardedCounter(tc.n).Shards(); got != tc.want {
+			t.Errorf("NewShardedCounter(%d).Shards() = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestShardedCounterSumAndPerShard(t *testing.T) {
+	c := NewShardedCounter(4)
+	c.Add(0, 5)
+	c.Add(1, 7)
+	c.Add(3, 1)
+	c.Add(4, 2) // masks to shard 0
+	if got := c.Sum(); got != 15 {
+		t.Fatalf("Sum = %d, want 15", got)
+	}
+	per := c.PerShard()
+	want := []uint64{7, 7, 0, 1}
+	for i := range want {
+		if per[i] != want[i] {
+			t.Fatalf("PerShard = %v, want %v", per, want)
+		}
+	}
+	if got := c.Load(1); got != 7 {
+		t.Fatalf("Load(1) = %d, want 7", got)
+	}
+	c.Reset()
+	if got := c.Sum(); got != 0 {
+		t.Fatalf("Sum after Reset = %d, want 0", got)
+	}
+}
+
+func TestShardedCounterConcurrent(t *testing.T) {
+	const workers, per = 8, 10000
+	c := NewShardedCounter(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(w, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Sum(); got != workers*per {
+		t.Fatalf("Sum = %d, want %d", got, workers*per)
+	}
+	for i := 0; i < workers; i++ {
+		if got := c.Load(i); got != per {
+			t.Fatalf("shard %d = %d, want %d", i, got, per)
+		}
+	}
+}
+
+// TestShardPadding pins the anti-false-sharing layout: each shard occupies
+// exactly one cache line.
+func TestShardPadding(t *testing.T) {
+	if got := unsafe.Sizeof(paddedUint64{}); got != cacheLine {
+		t.Fatalf("sizeof(paddedUint64) = %d, want %d", got, cacheLine)
+	}
+}

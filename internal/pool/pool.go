@@ -3,9 +3,11 @@
 // semaphore, gated by a process-wide parallelism level L. Workers with
 // tid >= L park on their semaphore before acquiring the next task; raising
 // the level signals exactly the semaphores of the newly admitted workers.
-// Each worker maintains a cache-line padded completion counter that a
-// monitoring thread reads without synchronizing with the worker (paper
-// section 3.1: writers never contend, the monitor only reads).
+// Each worker maintains a cache-line padded completion counter (one shard of
+// a metrics.ShardedCounter, the same primitive the STM runtime shards its
+// statistics over) that a monitoring thread reads without synchronizing with
+// the worker (paper section 3.1: writers never contend, the monitor only
+// reads).
 package pool
 
 import (
@@ -13,18 +15,14 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+
+	"rubic/internal/metrics"
 )
 
 // Task is one unit of work (typically: execute one transaction). It receives
 // the worker's id and a worker-private random source, and reports whether
 // the unit completed (completed units increment the worker's counter).
 type Task func(workerID int, rng *rand.Rand) bool
-
-// paddedCounter avoids false sharing between adjacent workers' counters.
-type paddedCounter struct {
-	n atomic.Uint64
-	_ [56]byte
-}
 
 // Pool is a malleable pool of workers executing a Task in a closed loop.
 // The parallelism level can be changed at any time with SetLevel.
@@ -36,7 +34,7 @@ type Pool struct {
 	level atomic.Int32
 	stop  chan struct{}
 	sems  []chan struct{}
-	count []paddedCounter
+	count *metrics.ShardedCounter // shard = worker id
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -59,7 +57,7 @@ func New(size int, seed int64, task Task) (*Pool, error) {
 		seed:  seed,
 		stop:  make(chan struct{}),
 		sems:  make([]chan struct{}, size),
-		count: make([]paddedCounter, size),
+		count: metrics.NewShardedCounter(size),
 	}
 	for i := range p.sems {
 		p.sems[i] = make(chan struct{}, 1)
@@ -132,8 +130,8 @@ func (p *Pool) worker(tid int) {
 			}
 		}
 		if p.task(tid, rng) {
-			// Only this worker writes its slot; the monitor only reads.
-			p.count[tid].n.Add(1)
+			// Only this worker writes its shard; the monitor only reads.
+			p.count.Add(tid, 1)
 		}
 	}
 }
@@ -142,18 +140,10 @@ func (p *Pool) worker(tid int) {
 // The sum is not a consistent snapshot (counters advance concurrently),
 // which is exactly the sampling the paper's monitoring thread performs.
 func (p *Pool) Completed() uint64 {
-	var sum uint64
-	for i := range p.count {
-		sum += p.count[i].n.Load()
-	}
-	return sum
+	return p.count.Sum()
 }
 
 // PerWorkerCompleted returns each worker's completion count.
 func (p *Pool) PerWorkerCompleted() []uint64 {
-	out := make([]uint64, p.size)
-	for i := range p.count {
-		out[i] = p.count[i].n.Load()
-	}
-	return out
+	return p.count.PerShard()[:p.size]
 }

@@ -1,0 +1,125 @@
+package stm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// These tests pin the zero-allocation contract of the hot path (DESIGN.md
+// §8): a steady-state read-only block allocates nothing, and a small update
+// block allocates only its publication box. They are regression gates — a
+// change that reintroduces a per-transaction allocation fails them
+// deterministically, unlike the benchmark gate which tolerates noise.
+
+// allocEngines mirrors the benchmark matrix: both engines share the Tx
+// recycling machinery but exercise different read/commit protocols.
+var allocEngines = []Algorithm{TL2, NOrec}
+
+// warmPool drives enough transactions through rt for the Tx pool and the
+// write-set machinery to reach steady state before measuring.
+func warmPool(t *testing.T, rt *Runtime, x *Var[int]) {
+	t.Helper()
+	for i := 0; i < 64; i++ {
+		if err := rt.Atomic(func(tx *Tx) error {
+			x.Write(tx, x.Read(tx)&0x3f)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAtomicROAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector adds shadow allocations")
+	}
+	for _, algo := range allocEngines {
+		t.Run(algo.String(), func(t *testing.T) {
+			rt := New(Config{Algorithm: algo})
+			x := NewVar(41)
+			warmPool(t, rt, x)
+			var sink int
+			fn := func(tx *Tx) error {
+				sink = x.Read(tx)
+				return nil
+			}
+			allocs := testing.AllocsPerRun(1000, func() {
+				if err := rt.AtomicRO(fn); err != nil {
+					t.Error(err)
+				}
+			})
+			if allocs > 0.001 {
+				t.Errorf("AtomicRO allocates %.3f objects/op, want 0", allocs)
+			}
+			_ = sink
+		})
+	}
+}
+
+func TestAtomicSmallWriteSingleAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector adds shadow allocations")
+	}
+	for _, algo := range allocEngines {
+		t.Run(algo.String(), func(t *testing.T) {
+			rt := New(Config{Algorithm: algo})
+			x := NewVar(0)
+			warmPool(t, rt, x)
+			// Values below 256 box for free (Go interns small integers), so
+			// the only allocation left is the publication box.
+			fn := func(tx *Tx) error {
+				x.Write(tx, (x.Read(tx)+1)&0x7f)
+				return nil
+			}
+			allocs := testing.AllocsPerRun(1000, func() {
+				if err := rt.Atomic(fn); err != nil {
+					t.Error(err)
+				}
+			})
+			if allocs > 1.001 {
+				t.Errorf("small-write Atomic allocates %.3f objects/op, want <= 1", allocs)
+			}
+		})
+	}
+}
+
+// TestAllocScalesWithWriteSet documents that the per-write cost is exactly
+// one publication box: w writes cost w allocations, independent of engine.
+func TestAllocScalesWithWriteSet(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector adds shadow allocations")
+	}
+	for _, algo := range allocEngines {
+		for _, writes := range []int{2, 8} {
+			t.Run(fmt.Sprintf("%s/w=%d", algo.String(), writes), func(t *testing.T) {
+				rt := New(Config{Algorithm: algo})
+				vars := make([]*Var[int], writes)
+				for i := range vars {
+					vars[i] = NewVar(i & 0x7f)
+				}
+				warmPool(t, rt, vars[0])
+				fn := func(tx *Tx) error {
+					for _, v := range vars {
+						v.Write(tx, (v.Read(tx)+1)&0x7f)
+					}
+					return nil
+				}
+				// Warm the write set to the target capacity.
+				for i := 0; i < 8; i++ {
+					if err := rt.Atomic(fn); err != nil {
+						t.Fatal(err)
+					}
+				}
+				allocs := testing.AllocsPerRun(500, func() {
+					if err := rt.Atomic(fn); err != nil {
+						t.Error(err)
+					}
+				})
+				if allocs > float64(writes)+0.001 {
+					t.Errorf("%d-write Atomic allocates %.3f objects/op, want <= %d",
+						writes, allocs, writes)
+				}
+			})
+		}
+	}
+}

@@ -13,5 +13,38 @@ type clock struct {
 func (c *clock) now() uint64 { return c.c.Load() }
 
 // tick advances the clock and returns the new version, which becomes the
-// commit timestamp of the calling writer.
+// commit timestamp of the calling writer. This is TL2's GV1 scheme: a
+// fetch-and-add that every writer commit funnels through.
 func (c *clock) tick() uint64 { return c.c.Add(1) }
+
+// tickLazy is the lazy commit-timestamp scheme (TL2's GV4 "pass on
+// failure", the approach SwissTM-style runtimes use to keep one global
+// counter from serializing every commit). rv is the caller's read version.
+//
+// Fast path: if the clock still equals rv, a single CAS advances it to
+// rv+1. Success proves no competitor committed between the caller's
+// snapshot and this point, so the caller's read set cannot have changed:
+// quiet is true and commit-time validation can be skipped (the same
+// inference the eager scheme draws from wv == rv+1).
+//
+// Otherwise some writer advanced the clock. One more CAS from a fresh
+// sample is attempted; if that also fails the caller shares the competing
+// writer's timestamp instead of spinning on the counter. Sharing is safe
+// in this engine for the same reason it is safe in TL2: write locks are
+// acquired before the clock is sampled (encounter-time locking acquires
+// them even earlier), so every transition to the returned wv happens after
+// the caller's locks are all held. A reader with read version >= wv
+// therefore started after the locks were taken and can only observe the
+// caller's locations as locked or fully written back, never as a torn
+// pre-commit mix. Validation is still required on this path (quiet=false):
+// concurrent commits may have overwritten the caller's read set.
+func (c *clock) tickLazy(rv uint64) (wv uint64, quiet bool) {
+	if c.c.Load() == rv && c.c.CompareAndSwap(rv, rv+1) {
+		return rv + 1, true
+	}
+	s := c.c.Load()
+	if c.c.CompareAndSwap(s, s+1) {
+		return s + 1, false
+	}
+	return c.c.Load(), false
+}

@@ -88,7 +88,7 @@ type GreedyCM struct{}
 
 // ShouldAbort compares birth timestamps; older transactions win conflicts.
 func (GreedyCM) ShouldAbort(attacker, owner *Tx) bool {
-	if attacker.ts < owner.ts {
+	if attacker.ts.Load() < owner.ts.Load() {
 		// Attacker is older: doom the owner (no effect if it already
 		// committed or aborted) and wait for the lock to be released.
 		owner.status.CompareAndSwap(txActive, txDoomed)

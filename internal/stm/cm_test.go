@@ -72,9 +72,11 @@ func TestKarmaAccumulatesAcrossRetries(t *testing.T) {
 
 func TestTwoPhaseEscalates(t *testing.T) {
 	rt := New(Config{})
-	owner := &Tx{rt: rt, ts: 1}
+	owner := &Tx{rt: rt}
+	owner.ts.Store(1)
 	owner.reset()
-	attacker := &Tx{rt: rt, ts: 2}
+	attacker := &Tx{rt: rt}
+	attacker.ts.Store(2)
 	attacker.reset()
 
 	cm := TwoPhaseCM{Threshold: 2}
@@ -84,7 +86,7 @@ func TestTwoPhaseEscalates(t *testing.T) {
 		t.Fatal("young attacker should abort itself")
 	}
 	// Old attacker that is also older by timestamp: escalates to greedy.
-	older := &Tx{rt: rt, ts: 0}
+	older := &Tx{rt: rt}
 	older.reset()
 	older.attempt = 5
 	if cm.ShouldAbort(older, owner) {

@@ -1,0 +1,158 @@
+package container
+
+import (
+	"math/rand"
+	"testing"
+
+	"rubic/internal/stm"
+)
+
+// Container micro-benchmarks for the benchmark regression harness: the
+// red-black tree and the hash map on both STM engines, lookup-dominated and
+// update-heavy. Names are parsed into BENCH_<date>.json; keep them stable.
+
+var benchEngines = []struct {
+	name string
+	algo stm.Algorithm
+}{
+	{"tl2", stm.TL2},
+	{"norec", stm.NOrec},
+}
+
+const benchKeys = 1 << 10
+
+func benchTree(b *testing.B, algo stm.Algorithm) (*stm.Runtime, *RBTree[int]) {
+	rt := stm.New(stm.Config{Algorithm: algo})
+	tree := NewRBTree[int]()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < benchKeys; i++ {
+		k := int64(rng.Intn(4 * benchKeys))
+		if err := rt.Atomic(func(tx *stm.Tx) error {
+			tree.Put(tx, k, int(k)&0x7f)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rt, tree
+}
+
+func benchMap(b *testing.B, algo stm.Algorithm) (*stm.Runtime, *HashMap[int]) {
+	rt := stm.New(stm.Config{Algorithm: algo})
+	m := NewHashMap[int](benchKeys)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < benchKeys; i++ {
+		k := int64(rng.Intn(4 * benchKeys))
+		if err := rt.Atomic(func(tx *stm.Tx) error {
+			m.Put(tx, k, int(k)&0x7f)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rt, m
+}
+
+func BenchmarkRBTreeLookup(b *testing.B) {
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			rt, tree := benchTree(b, e.algo)
+			var key int64
+			hit := false
+			fn := func(tx *stm.Tx) error {
+				hit = tree.Contains(tx, key)
+				return nil
+			}
+			rng := rand.New(rand.NewSource(2))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key = int64(rng.Intn(4 * benchKeys))
+				if err := rt.AtomicRO(fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = hit
+		})
+	}
+}
+
+func BenchmarkRBTreeUpdate(b *testing.B) {
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			rt, tree := benchTree(b, e.algo)
+			var key int64
+			ins := false
+			fn := func(tx *stm.Tx) error {
+				if ins {
+					tree.Put(tx, key, int(key)&0x7f)
+				} else {
+					tree.Delete(tx, key)
+				}
+				return nil
+			}
+			rng := rand.New(rand.NewSource(3))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key = int64(rng.Intn(4 * benchKeys))
+				ins = i&1 == 0
+				if err := rt.Atomic(fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHashMapGet(b *testing.B) {
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			rt, m := benchMap(b, e.algo)
+			var key int64
+			sink := 0
+			fn := func(tx *stm.Tx) error {
+				sink, _ = m.Get(tx, key)
+				return nil
+			}
+			rng := rand.New(rand.NewSource(4))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key = int64(rng.Intn(4 * benchKeys))
+				if err := rt.AtomicRO(fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkHashMapUpdate(b *testing.B) {
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			rt, m := benchMap(b, e.algo)
+			var key int64
+			ins := false
+			fn := func(tx *stm.Tx) error {
+				if ins {
+					m.Put(tx, key, int(key)&0x7f)
+				} else {
+					m.Delete(tx, key)
+				}
+				return nil
+			}
+			rng := rand.New(rand.NewSource(5))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key = int64(rng.Intn(4 * benchKeys))
+				ins = i&1 == 0
+				if err := rt.Atomic(fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,141 @@
+package stm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Differential stress test: the same randomized workload runs on every
+// engine/clock configuration, and every run's commit history is checked
+// against a sequential specification by exhaustive interleaving search.
+// This pins the semantics the lazy GV4 clock must preserve — a commit that
+// wrongly skips validation shows up as a history no sequential order can
+// explain.
+
+// diffRecord is one committed transaction: the snapshot it observed and the
+// single write it published.
+type diffRecord struct {
+	reads [3]int
+	widx  int
+	val   int
+}
+
+// diffWorkload runs workers*txPerWorker transactions, each reading all
+// three vars and read-modify-writing one, and returns the per-worker commit
+// histories plus the final (Peek) state.
+func diffWorkload(t *testing.T, rt *Runtime, workers, txPerWorker int) ([][]diffRecord, [3]int) {
+	t.Helper()
+	vars := [3]*Var[int]{NewVar(0), NewVar(0), NewVar(0)}
+	histories := make([][]diffRecord, workers)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txPerWorker; i++ {
+				var snap [3]int
+				widx := (w + i) % 3
+				val := 1 + w*txPerWorker + i // unique, never the initial 0
+				err := rt.Atomic(func(tx *Tx) error {
+					for j, v := range vars {
+						snap[j] = v.Read(tx)
+					}
+					vars[widx].Write(tx, val)
+					return nil
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				histories[w] = append(histories[w], diffRecord{reads: snap, widx: widx, val: val})
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	var final [3]int
+	for j, v := range vars {
+		final[j] = v.Peek()
+	}
+	return histories, final
+}
+
+// findSerialOrder searches for a sequential execution explaining the
+// histories: transactions interleave arbitrarily across workers but respect
+// per-worker program order, every transaction's snapshot must equal the
+// state at its position, and the final state must match the observed one.
+// Because each transaction reads ALL variables, the snapshot constraint is
+// total and the branching factor is at most the worker count.
+func findSerialOrder(histories [][]diffRecord, final [3]int) bool {
+	next := make([]int, len(histories))
+	var state [3]int
+	remaining := 0
+	for _, h := range histories {
+		remaining += len(h)
+	}
+	var search func() bool
+	search = func() bool {
+		if remaining == 0 {
+			return state == final
+		}
+		for w, h := range histories {
+			if next[w] >= len(h) {
+				continue
+			}
+			r := h[next[w]]
+			if r.reads != state {
+				continue
+			}
+			prev := state[r.widx]
+			state[r.widx] = r.val
+			next[w]++
+			remaining--
+			if search() {
+				return true
+			}
+			remaining++
+			next[w]--
+			state[r.widx] = prev
+		}
+		return false
+	}
+	return search()
+}
+
+func TestDifferentialSerializability(t *testing.T) {
+	const workers, txPerWorker = 4, 6
+	for _, algo := range []Algorithm{TL2, NOrec} {
+		for _, disableLazy := range []bool{false, true} {
+			name := fmt.Sprintf("%s/lazy=%v", algo.String(), !disableLazy)
+			t.Run(name, func(t *testing.T) {
+				for round := 0; round < 20; round++ {
+					rt := New(Config{Algorithm: algo, DisableLazyClock: disableLazy})
+					histories, final := diffWorkload(t, rt, workers, txPerWorker)
+					if !findSerialOrder(histories, final) {
+						t.Fatalf("round %d: no sequential order explains the commit history\nhistories: %+v\nfinal: %v",
+							round, histories, final)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFindSerialOrderRejectsBadHistory sanity-checks the oracle itself: a
+// history with a snapshot no interleaving can produce must be rejected.
+func TestFindSerialOrderRejectsBadHistory(t *testing.T) {
+	histories := [][]diffRecord{
+		{{reads: [3]int{0, 0, 0}, widx: 0, val: 1}},
+		// Claims to have seen var0=1 and var1=5, but nobody ever wrote 5.
+		{{reads: [3]int{1, 5, 0}, widx: 1, val: 2}},
+	}
+	if findSerialOrder(histories, [3]int{1, 2, 0}) {
+		t.Fatal("oracle accepted an unserializable history")
+	}
+}

@@ -69,10 +69,11 @@ func (n *norecState) waitEven() uint64 {
 // the global sequence lock, with full value-log revalidation whenever a
 // concurrent commit moved the clock.
 func (tx *Tx) readNorec(b *varBase) any {
+	tx.checkAlive()
 	tx.work.Add(1)
-	if tx.windex != nil {
+	if len(tx.writes) > 0 {
 		if i, ok := tx.windex[b]; ok {
-			return tx.writes[i].val
+			return *tx.writes[i].valp
 		}
 	}
 	for {
@@ -111,7 +112,7 @@ func (tx *Tx) revalidateNorec() bool {
 		}
 		if tx.rt.norec.seq.Load() == s {
 			tx.rv = s
-			tx.rt.stats.extensions.Add(1)
+			tx.rt.stats.extensions.Add(tx.shard, 1)
 			return true
 		}
 	}
@@ -119,21 +120,18 @@ func (tx *Tx) revalidateNorec() bool {
 
 // writeNorec buffers the write; NOrec acquires nothing before commit.
 func (tx *Tx) writeNorec(b *varBase, v any) {
+	tx.checkAlive()
 	tx.work.Add(1)
 	if tx.readOnly {
 		panic("stm: write inside a read-only transaction")
 	}
-	if tx.windex != nil {
+	if len(tx.writes) > 0 {
 		if i, ok := tx.windex[b]; ok {
-			tx.writes[i].val = v
+			*tx.writes[i].valp = v
 			return
 		}
 	}
-	tx.writes = append(tx.writes, writeEntry{base: b, val: v})
-	if tx.windex == nil {
-		tx.windex = make(map[*varBase]int, 8)
-	}
-	tx.windex[b] = len(tx.writes) - 1
+	tx.appendWrite(writeEntry{base: b, valp: boxValue(v)})
 }
 
 // commitNorec serializes on the global sequence lock: validate the value
@@ -141,14 +139,14 @@ func (tx *Tx) writeNorec(b *varBase, v any) {
 func (tx *Tx) commitNorec() bool {
 	if len(tx.writes) == 0 {
 		tx.status.Store(txCommitted)
-		tx.rt.stats.readOnlyCommits.Add(1)
+		tx.rt.stats.readOnlyCommits.Add(tx.shard, 1)
 		return true
 	}
 	for {
 		s := tx.rt.norec.waitEven()
 		if s != tx.rv && !tx.revalidateNorecAt(s) {
 			tx.status.Store(txAborted)
-			tx.rt.stats.conflicts[ConflictValidation].Add(1)
+			tx.rt.stats.conflicts[ConflictValidation].Add(tx.shard, 1)
 			return false
 		}
 		if !tx.rt.norec.seq.CompareAndSwap(s, s+1) {
@@ -156,9 +154,10 @@ func (tx *Tx) commitNorec() bool {
 		}
 		for i := range tx.writes {
 			w := &tx.writes[i]
-			p := new(any)
-			*p = w.val
-			w.base.val.Store(p)
+			// Publish the box built at write time: it was private until this
+			// store, and it is never recycled, so readers' pointer-equality
+			// validation stays sound.
+			w.base.val.Store(w.valp)
 			// Keep the location's version moving so Var.Version and the
 			// TL2-style consistent sampling remain meaningful.
 			w.base.meta.Add(1 << 1)

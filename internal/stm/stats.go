@@ -2,20 +2,46 @@ package stm
 
 import (
 	"fmt"
-	"sync/atomic"
+	"runtime"
+
+	"rubic/internal/metrics"
 )
 
 // runtimeStats aggregates counters across all transactions of a Runtime.
-// Counters are updated with atomic adds on hot paths only where the paper's
-// instrumentation would (commits/aborts); per-read costs are avoided.
+// Counters are updated on hot paths only where the paper's instrumentation
+// would (commits/aborts); per-read costs are avoided. Every counter is a
+// cache-line padded sharded counter (the same metrics.ShardedCounter the
+// worker pool uses for completion counts): a transaction adds to the shard
+// its pooled Tx was assigned at construction, so commit accounting from
+// different workers lands on different cache lines instead of bouncing one
+// shared line across every core, and snapshot() folds the shards.
 type runtimeStats struct {
-	commits         atomic.Uint64
-	readOnlyCommits atomic.Uint64
-	aborts          atomic.Uint64
-	userAborts      atomic.Uint64
-	extensions      atomic.Uint64
-	retryWaits      atomic.Uint64
-	conflicts       [conflictKinds]atomic.Uint64
+	commits         *metrics.ShardedCounter
+	readOnlyCommits *metrics.ShardedCounter
+	aborts          *metrics.ShardedCounter
+	userAborts      *metrics.ShardedCounter
+	extensions      *metrics.ShardedCounter
+	retryWaits      *metrics.ShardedCounter
+	conflicts       [conflictKinds]*metrics.ShardedCounter
+}
+
+// newRuntimeStats sizes every counter to the scheduler's parallelism: more
+// shards than runnable goroutines buys nothing, and the count is rounded to
+// a power of two internally.
+func newRuntimeStats() runtimeStats {
+	shards := runtime.GOMAXPROCS(0)
+	rs := runtimeStats{
+		commits:         metrics.NewShardedCounter(shards),
+		readOnlyCommits: metrics.NewShardedCounter(shards),
+		aborts:          metrics.NewShardedCounter(shards),
+		userAborts:      metrics.NewShardedCounter(shards),
+		extensions:      metrics.NewShardedCounter(shards),
+		retryWaits:      metrics.NewShardedCounter(shards),
+	}
+	for k := range rs.conflicts {
+		rs.conflicts[k] = metrics.NewShardedCounter(shards)
+	}
+	return rs
 }
 
 // Stats is an immutable snapshot of a Runtime's counters.
@@ -57,16 +83,16 @@ func (s Stats) String() string {
 
 func (rs *runtimeStats) snapshot() Stats {
 	out := Stats{
-		Commits:         rs.commits.Load(),
-		ReadOnlyCommits: rs.readOnlyCommits.Load(),
-		Aborts:          rs.aborts.Load(),
-		UserAborts:      rs.userAborts.Load(),
-		Extensions:      rs.extensions.Load(),
-		RetryWaits:      rs.retryWaits.Load(),
+		Commits:         rs.commits.Sum(),
+		ReadOnlyCommits: rs.readOnlyCommits.Sum(),
+		Aborts:          rs.aborts.Sum(),
+		UserAborts:      rs.userAborts.Sum(),
+		Extensions:      rs.extensions.Sum(),
+		RetryWaits:      rs.retryWaits.Sum(),
 		Conflicts:       make(map[ConflictKind]uint64, int(conflictKinds)),
 	}
 	for k := ConflictKind(0); k < conflictKinds; k++ {
-		if n := rs.conflicts[k].Load(); n > 0 {
+		if n := rs.conflicts[k].Sum(); n > 0 {
 			out.Conflicts[k] = n
 		}
 	}
@@ -74,13 +100,13 @@ func (rs *runtimeStats) snapshot() Stats {
 }
 
 func (rs *runtimeStats) reset() {
-	rs.commits.Store(0)
-	rs.readOnlyCommits.Store(0)
-	rs.aborts.Store(0)
-	rs.userAborts.Store(0)
-	rs.extensions.Store(0)
-	rs.retryWaits.Store(0)
+	rs.commits.Reset()
+	rs.readOnlyCommits.Reset()
+	rs.aborts.Reset()
+	rs.userAborts.Reset()
+	rs.extensions.Reset()
+	rs.retryWaits.Reset()
 	for k := range rs.conflicts {
-		rs.conflicts[k].Store(0)
+		rs.conflicts[k].Reset()
 	}
 }

@@ -20,11 +20,21 @@
 // by Atomic is non-nil only when the user function returned an error (the
 // transaction is then rolled back and not retried) or when Config.MaxRetries
 // is exhausted.
+//
+// The hot path is engineered to be allocation-free and contention-resilient
+// (DESIGN.md §8): Tx contexts are recycled through a per-runtime sync.Pool
+// with capped reuse of their read/write sets, so a steady-state AtomicRO
+// block performs zero heap allocations and a small update transaction only
+// allocates its publication boxes; commit/abort statistics land on
+// cache-line padded shards instead of one shared line; and commit
+// timestamps come from a lazy GV4-style clock protocol unless
+// Config.DisableLazyClock asks for the eager fetch-and-add.
 package stm
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -39,32 +49,60 @@ type Config struct {
 	MaxRetries int
 	// Algorithm selects the concurrency-control engine; defaults to TL2.
 	Algorithm Algorithm
+	// DisableLazyClock reverts the TL2 engine's commit timestamping from the
+	// lazy GV4 scheme (clock.tickLazy: CAS fast path, shared timestamps on
+	// contention) to an unconditional fetch-and-add per writer commit. Both
+	// modes provide identical transactional semantics; the flag exists for
+	// measurement and as an escape hatch. NOrec ignores it (its sequence
+	// lock is the algorithm, not an optimization).
+	DisableLazyClock bool
 }
 
 // ErrTooManyRetries is returned by Atomic when Config.MaxRetries attempts
 // all aborted.
 var ErrTooManyRetries = errors.New("stm: transaction exceeded retry limit")
 
+// maxRetainedEntries caps the read/write/value-log capacity a pooled Tx
+// keeps between atomic blocks; a rare huge transaction releases its
+// oversized sets back to the garbage collector instead of pinning them.
+const maxRetainedEntries = 1 << 14
+
 // Runtime is an STM instance: a version clock, a contention manager and
 // statistics. Independent Runtimes are fully isolated; Vars are implicitly
 // bound to whichever Runtime's transactions access them, so a Var must not
 // be shared across Runtimes.
 type Runtime struct {
-	cfg   Config
-	algo  Algorithm
-	clock clock
-	norec norecState
-	cm    ContentionManager
-	tsc   atomic.Uint64 // birth-timestamp source for greedy CM
-	stats runtimeStats
+	cfg       Config
+	algo      Algorithm
+	lazyClock bool
+	clock     clock
+	norec     norecState
+	cm        ContentionManager
+	tsc       atomic.Uint64 // birth-timestamp source for greedy CM
+	stats     runtimeStats
+
+	// txPool recycles Tx contexts so steady-state atomic blocks allocate
+	// nothing. shardSeq deals statistics shards to new Txs round-robin;
+	// because sync.Pool is per-P, a recycled Tx (and therefore its shard)
+	// sticks to a P and counter updates stay core-local.
+	txPool   sync.Pool
+	shardSeq atomic.Uint64
 }
 
 // New returns a Runtime with the given configuration.
 func New(cfg Config) *Runtime {
-	rt := &Runtime{cfg: cfg, algo: cfg.Algorithm}
+	rt := &Runtime{
+		cfg:       cfg,
+		algo:      cfg.Algorithm,
+		lazyClock: !cfg.DisableLazyClock,
+		stats:     newRuntimeStats(),
+	}
 	rt.cm = cfg.CM
 	if rt.cm == nil {
 		rt.cm = BackoffCM{}
+	}
+	rt.txPool.New = func() any {
+		return &Tx{rt: rt, shard: int(rt.shardSeq.Add(1))}
 	}
 	return rt
 }
@@ -90,8 +128,11 @@ func (rt *Runtime) AtomicRO(fn func(tx *Tx) error) error {
 }
 
 func (rt *Runtime) run(fn func(tx *Tx) error, readOnly bool) error {
-	tx := &Tx{rt: rt, readOnly: readOnly}
-	tx.ts = rt.tsc.Add(1)
+	tx := rt.txPool.Get().(*Tx)
+	tx.readOnly = readOnly
+	tx.work.Store(0)
+	tx.ts.Store(rt.tsc.Add(1))
+	defer rt.release(tx)
 	for attempt := 0; ; attempt++ {
 		if rt.cfg.MaxRetries > 0 && attempt >= rt.cfg.MaxRetries {
 			return fmt.Errorf("%w (after %d attempts)", ErrTooManyRetries, attempt)
@@ -108,24 +149,56 @@ func (rt *Runtime) run(fn func(tx *Tx) error, readOnly bool) error {
 			if err := tx.waitForChange(); err != nil {
 				return err
 			}
-			rt.stats.retryWaits.Add(1)
+			rt.stats.retryWaits.Add(tx.shard, 1)
 			continue
 		}
 		if conflicted {
-			rt.stats.aborts.Add(1)
+			rt.stats.aborts.Add(tx.shard, 1)
 			continue
 		}
 		if userErr != nil {
 			tx.rollback()
-			rt.stats.userAborts.Add(1)
+			rt.stats.userAborts.Add(tx.shard, 1)
 			return userErr
 		}
 		if tx.commit() {
-			rt.stats.commits.Add(1)
+			rt.stats.commits.Add(tx.shard, 1)
 			return nil
 		}
-		rt.stats.aborts.Add(1)
+		rt.stats.aborts.Add(tx.shard, 1)
 	}
+}
+
+// release poisons a finished Tx and returns it to the pool. Poisoning first
+// (generation bump, then the status store that publishes it) makes a leaked
+// handle fail loudly on its next transactional operation instead of
+// corrupting whatever atomic block recycles the object next. The attempt
+// state is cleared so pooled Txs don't pin user values for the garbage
+// collector, and oversized sets are dropped entirely.
+func (rt *Runtime) release(tx *Tx) {
+	tx.gen.Add(1)
+	tx.status.Store(txPoisoned)
+	tx.reads = clearRetained(tx.reads)
+	tx.vreads = clearRetained(tx.vreads)
+	tx.writes = clearRetained(tx.writes)
+	if len(tx.windex) > maxRetainedEntries {
+		tx.windex = nil // Go maps never shrink; drop outsized indexes
+	} else {
+		clear(tx.windex)
+	}
+	rt.txPool.Put(tx)
+}
+
+// clearRetained zeroes s's full backing array (dropping references for the
+// GC) and returns it empty, or nil when its capacity exceeds the retention
+// cap.
+func clearRetained[E any](s []E) []E {
+	if cap(s) > maxRetainedEntries {
+		return nil
+	}
+	full := s[:cap(s)]
+	clear(full)
+	return full[:0]
 }
 
 // execute runs one attempt of fn, converting the internal conflict and
@@ -137,7 +210,7 @@ func (tx *Tx) execute(fn func(tx *Tx) error) (userErr error, conflicted, retried
 			tx.rollback()
 			switch sig := r.(type) {
 			case conflictSignal:
-				tx.rt.stats.conflicts[sig.reason].Add(1)
+				tx.rt.stats.conflicts[sig.reason].Add(tx.shard, 1)
 				conflicted = true
 			case retrySignal:
 				retried = true

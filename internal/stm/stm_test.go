@@ -214,9 +214,11 @@ func TestGreedyOlderWins(t *testing.T) {
 	rt := New(Config{CM: GreedyCM{}})
 	x := NewVar(0)
 
-	older := &Tx{rt: rt, ts: 1}
+	older := &Tx{rt: rt}
+	older.ts.Store(1)
 	older.reset()
-	younger := &Tx{rt: rt, ts: 2}
+	younger := &Tx{rt: rt}
+	younger.ts.Store(2)
 	younger.reset()
 	younger.write(&x.base, 5)
 

@@ -1,19 +1,25 @@
 package stm
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 )
 
 // Transaction status values. Transitions: active -> {doomed, committed,
-// aborted}. A greedy contention manager dooms a competitor by CASing its
-// status from active to doomed; the victim notices at its next transactional
-// operation or at commit and restarts.
+// aborted}, and any of those -> poisoned when Runtime.Atomic returns the
+// Tx to the pool. A greedy contention manager dooms a competitor by CASing
+// its status from active to doomed; the victim notices at its next
+// transactional operation or at commit and restarts. The poisoned state
+// turns use of a leaked handle (the pattern rubic-lint's stmescape flags)
+// into an immediate panic instead of silent corruption of a recycled
+// transaction.
 const (
 	txActive uint32 = iota
 	txDoomed
 	txCommitted
 	txAborted
+	txPoisoned
 )
 
 // conflictSignal is the sentinel panic payload used to unwind a doomed or
@@ -57,26 +63,51 @@ type readEntry struct {
 	meta uint64 // unlocked meta word observed at read time
 }
 
+// writeEntry buffers one write. valp is the publication box: the single
+// heap allocation a committed write costs. It is created when the write is
+// first buffered, mutated in place while the transaction remains active
+// (the box is still private), and published wholesale by commit write-back.
+// Publishing a fresh box per commit is what lets optimistic readers detect
+// concurrent change by pointer comparison (NOrec's value log relies on it),
+// so boxes are never recycled.
 type writeEntry struct {
 	base     *varBase
 	prevMeta uint64 // meta word before our acquisition, restored on abort
-	val      any
+	valp     *any
 }
 
 // Tx is one transaction attempt context. A Tx is created by Runtime.Atomic
 // and reused across retries of the same atomic block; it must not be
-// retained or shared outside the atomic function.
+// retained or shared outside the atomic function. Completed Txs are
+// recycled through the Runtime's pool (steady-state atomic blocks allocate
+// nothing), which is why a leaked handle is poisoned rather than merely
+// stale: touching it after Atomic returns panics with generation context.
+//
+// Fields read by competing transactions through a varBase owner pointer
+// (status, ts, work) are atomic: a competitor may hold a stale owner
+// reference to a Tx that has since been recycled for an unrelated block.
+// The worst a stale doomer can then do is doom an innocent transaction,
+// which costs one spurious retry and never breaks consistency.
 type Tx struct {
 	rt     *Runtime
 	status atomic.Uint32
 
-	rv uint64 // read version: snapshot of the global clock
-	ts uint64 // birth timestamp for greedy contention management; stable across retries
+	rv uint64        // read version: snapshot of the global clock
+	ts atomic.Uint64 // birth timestamp for greedy contention management; stable across retries
 
 	// work counts transactional operations performed since the atomic block
 	// started, accumulated across retries (it is the "karma" of Karma/Polka
 	// contention management). Atomic because competitors read it.
 	work atomic.Int64
+
+	// gen counts completed atomic blocks this Tx object has hosted; it is
+	// reported by the use-after-Atomic panic so leaks are attributable.
+	gen atomic.Uint64
+
+	// shard is the statistics shard this Tx feeds, assigned round-robin at
+	// pool construction. Pools are per-P, so a shard is effectively per-P
+	// too and commit accounting stays off shared cache lines.
+	shard int
 
 	reads    []readEntry
 	vreads   []valueRead // NOrec value log
@@ -105,9 +136,7 @@ func (tx *Tx) reset() {
 	tx.reads = tx.reads[:0]
 	tx.vreads = tx.vreads[:0]
 	tx.writes = tx.writes[:0]
-	if len(tx.windex) > 0 {
-		tx.windex = nil
-	}
+	clear(tx.windex) // keep the allocation: recycled across retries and pooled reuse
 }
 
 // conflict unwinds the attempt with the sentinel panic.
@@ -115,10 +144,21 @@ func (tx *Tx) conflict(kind ConflictKind) {
 	panic(conflictSignal{reason: kind})
 }
 
-// checkAlive aborts the attempt if a competitor doomed us.
+// poisonPanic reports use of a handle that outlived its atomic block.
+func (tx *Tx) poisonPanic() {
+	panic(fmt.Sprintf("stm: transaction handle used after its atomic block returned "+
+		"(object generation %d): the handle leaked from Atomic/AtomicRO — "+
+		"see rubic-lint's stmescape analyzer", tx.gen.Load()))
+}
+
+// checkAlive aborts the attempt if a competitor doomed us, and panics if
+// this handle leaked out of its atomic block and was poisoned on release.
 func (tx *Tx) checkAlive() {
-	if tx.status.Load() == txDoomed {
+	switch tx.status.Load() {
+	case txDoomed:
 		tx.conflict(ConflictDoomed)
+	case txPoisoned:
+		tx.poisonPanic()
 	}
 }
 
@@ -130,9 +170,9 @@ func (tx *Tx) read(b *varBase) any {
 	}
 	tx.checkAlive()
 	tx.work.Add(1)
-	if tx.windex != nil {
+	if len(tx.writes) > 0 {
 		if i, ok := tx.windex[b]; ok {
-			return tx.writes[i].val
+			return *tx.writes[i].valp
 		}
 	}
 	for spins := 0; ; spins++ {
@@ -184,9 +224,9 @@ func (tx *Tx) write(b *varBase, v any) {
 	if tx.readOnly {
 		panic("stm: write inside a read-only transaction")
 	}
-	if tx.windex != nil {
+	if len(tx.writes) > 0 {
 		if i, ok := tx.windex[b]; ok {
-			tx.writes[i].val = v
+			*tx.writes[i].valp = v
 			return
 		}
 	}
@@ -216,14 +256,30 @@ func (tx *Tx) write(b *varBase, v any) {
 		}
 		if b.meta.CompareAndSwap(m, m|lockedBit) {
 			b.owner.Store(tx)
-			tx.writes = append(tx.writes, writeEntry{base: b, prevMeta: m, val: v})
-			if tx.windex == nil {
-				tx.windex = make(map[*varBase]int, 8)
-			}
-			tx.windex[b] = len(tx.writes) - 1
+			tx.appendWrite(writeEntry{base: b, prevMeta: m, valp: boxValue(v)})
 			return
 		}
 	}
+}
+
+// boxValue wraps v in its publication box — the one allocation a committed
+// write costs (plus Go's ordinary boxing of large non-pointer values into
+// the `any` argument itself).
+func boxValue(v any) *any {
+	p := new(any)
+	*p = v
+	return p
+}
+
+// appendWrite records a new write-set entry and indexes it. The windex map
+// is created lazily (read-only and read-dominated transactions never pay
+// for it) and retained across retries and pooled reuse.
+func (tx *Tx) appendWrite(e writeEntry) {
+	tx.writes = append(tx.writes, e)
+	if tx.windex == nil {
+		tx.windex = make(map[*varBase]int, 8)
+	}
+	tx.windex[e.base] = len(tx.writes) - 1
 }
 
 // extend attempts to advance the read version after observing a location
@@ -236,7 +292,7 @@ func (tx *Tx) extend() bool {
 		return false
 	}
 	tx.rv = newRv
-	tx.rt.stats.extensions.Add(1)
+	tx.rt.stats.extensions.Add(tx.shard, 1)
 	return true
 }
 
@@ -267,34 +323,42 @@ func (tx *Tx) commit() bool {
 	}
 	if tx.status.Load() == txDoomed {
 		tx.rollback()
-		tx.rt.stats.conflicts[ConflictDoomed].Add(1)
+		tx.rt.stats.conflicts[ConflictDoomed].Add(tx.shard, 1)
 		return false
 	}
 	if len(tx.writes) == 0 {
 		// Read-only commit: in-flight validation already guaranteed a
 		// consistent snapshot at version rv.
 		tx.status.Store(txCommitted)
-		tx.rt.stats.readOnlyCommits.Add(1)
+		tx.rt.stats.readOnlyCommits.Add(tx.shard, 1)
 		return true
 	}
-	wv := tx.rt.clock.tick()
-	if wv != tx.rv+1 && !tx.validateReads() {
+	// quiet means no competitor committed between our snapshot and the
+	// acquisition of wv, so nothing we read can have changed and read-set
+	// validation is redundant.
+	var wv uint64
+	var quiet bool
+	if tx.rt.lazyClock {
+		wv, quiet = tx.rt.clock.tickLazy(tx.rv)
+	} else {
+		wv = tx.rt.clock.tick()
+		quiet = wv == tx.rv+1
+	}
+	if !quiet && !tx.validateReads() {
 		tx.rollback()
-		tx.rt.stats.conflicts[ConflictValidation].Add(1)
+		tx.rt.stats.conflicts[ConflictValidation].Add(tx.shard, 1)
 		return false
 	}
 	// Win the race against contention managers trying to doom us: once
 	// committed, write-back proceeds and doomers must wait for the locks.
 	if !tx.status.CompareAndSwap(txActive, txCommitted) {
 		tx.rollback()
-		tx.rt.stats.conflicts[ConflictDoomed].Add(1)
+		tx.rt.stats.conflicts[ConflictDoomed].Add(tx.shard, 1)
 		return false
 	}
 	for i := range tx.writes {
 		w := &tx.writes[i]
-		p := new(any)
-		*p = w.val
-		w.base.val.Store(p)
+		w.base.val.Store(w.valp)
 		w.base.owner.Store(nil)
 		w.base.meta.Store(wv << 1)
 	}
