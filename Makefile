@@ -4,7 +4,7 @@ GO ?= go
 # transactional containers).
 BENCH_PKGS = ./internal/stm ./internal/stm/container
 
-.PHONY: check build vet fmtcheck test race lint bench benchgate
+.PHONY: check build vet fmtcheck test race lint bench benchgate chaos
 
 # check is the PR gate: vet, formatting, static analysis, the full test
 # suite, and a race-detector pass over the whole module.
@@ -46,3 +46,10 @@ bench:
 benchgate:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 0.3s $(BENCH_PKGS) \
 		| $(GO) run ./cmd/rubic-benchgate -compare BENCH_baseline.json
+
+# chaos runs the seeded fault-injection soaks (internal/fault schedules are
+# pure functions of scenario@seed, so this is deterministic) under the race
+# detector. The Chaos* tests spawn real agent child processes; -short only
+# trims the unrelated slow STAMP tests — the soaks themselves always run.
+chaos:
+	$(GO) test -race -short -count=1 -run 'Chaos' ./internal/... ./cmd/rubic-colocate

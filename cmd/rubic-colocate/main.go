@@ -18,6 +18,16 @@
 //     rubic-colocate -mode=proc -procs rbtree-ro:rubic,rbtree-ro:rubic -duration 2s
 //     rubic-colocate -mode=proc -gomaxprocs 4 -procs vacation:rubic,intruder:ebs
 //
+// A seeded chaos scenario can be layered over either mode:
+//
+//	rubic-colocate -mode=proc -chaos crashloop@7 -procs bank:rubic,bank:rubic
+//	rubic-colocate -mode=proc -chaos mixed@11 -restarts 3 -duration 4s
+//
+// Scenarios (crashloop, stall, corrupt, mixed — see internal/fault) inject a
+// deterministic fault schedule derived from the seed; in proc mode the
+// supervisor restarts crashed agents with backoff and preserves their
+// controller state across the restart.
+//
 // Workloads: see internal/stamp/workloads (rbtree, rbtree-ro, vacation,
 // vacation-low, vacation-high, intruder, stmbench7, bank, genome, kmeans,
 // labyrinth, ssca2). Policies: rubic, ebs, f2c2, aiad, aimd, profile;
@@ -34,6 +44,8 @@ import (
 	"time"
 
 	"rubic/internal/colocate"
+	"rubic/internal/core"
+	"rubic/internal/fault"
 	"rubic/internal/metrics"
 	"rubic/internal/mproc"
 	"rubic/internal/trace"
@@ -42,6 +54,24 @@ import (
 // agentExec lets tests reroute agent children to a helper binary; nil uses
 // the supervisor's default self-exec.
 var agentExec mproc.ExecFunc
+
+// cliConfig is the parsed command line for one rubic-colocate run.
+type cliConfig struct {
+	mode       string
+	procs      string
+	pool       int
+	duration   time.Duration
+	period     time.Duration
+	seed       int64
+	engine     string
+	gomaxprocs int
+	// chaos names the fault scenario ("scenario@seed"); empty runs clean.
+	chaos string
+	// restarts is the per-child restart budget in proc mode when a chaos
+	// scenario (or a flaky machine) crashes an agent.
+	restarts int
+	plot     bool
+}
 
 func main() {
 	// The hidden "agent" subcommand is how the supervisor re-executes this
@@ -53,36 +83,42 @@ func main() {
 		}
 		return
 	}
-	var (
-		mode       = flag.String("mode", "goroutine", "execution mode: goroutine (in-process) or proc (real child OS processes)")
-		procs      = flag.String("procs", "rbtree-ro:rubic,rbtree-ro:rubic", "comma-separated workload:policy[@arrivalDelay] stacks")
-		poolSize   = flag.Int("pool", 2*runtime.NumCPU(), "per-stack worker pool size")
-		duration   = flag.Duration("duration", 2*time.Second, "run duration")
-		period     = flag.Duration("period", 10*time.Millisecond, "controller period")
-		seed       = flag.Int64("seed", 1, "random seed")
-		algo       = flag.String("algo", "tl2", "stm engine: tl2 or norec")
-		gomaxprocs = flag.Int("gomaxprocs", 0, "per-child GOMAXPROCS in proc mode (0 leaves the Go default)")
-		plot       = flag.Bool("plot", true, "render the level traces")
-	)
+	var cfg cliConfig
+	flag.StringVar(&cfg.mode, "mode", "goroutine", "execution mode: goroutine (in-process) or proc (real child OS processes)")
+	flag.StringVar(&cfg.procs, "procs", "rbtree-ro:rubic,rbtree-ro:rubic", "comma-separated workload:policy[@arrivalDelay] stacks")
+	flag.IntVar(&cfg.pool, "pool", 2*runtime.NumCPU(), "per-stack worker pool size")
+	flag.DurationVar(&cfg.duration, "duration", 2*time.Second, "run duration")
+	flag.DurationVar(&cfg.period, "period", core.DefaultPeriod, "controller period")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.StringVar(&cfg.engine, "algo", "tl2", "stm engine: tl2 or norec")
+	flag.IntVar(&cfg.gomaxprocs, "gomaxprocs", 0, "per-child GOMAXPROCS in proc mode (0 leaves the Go default)")
+	flag.StringVar(&cfg.chaos, "chaos", "", "seeded fault scenario: crashloop|stall|corrupt|mixed[@seed]")
+	flag.IntVar(&cfg.restarts, "restarts", 2, "proc mode: restart budget per crashed agent")
+	flag.BoolVar(&cfg.plot, "plot", true, "render the level traces")
 	flag.Parse()
-	if err := run(*mode, *procs, *poolSize, *duration, *period, *seed, *algo, *gomaxprocs, *plot); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rubic-colocate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mode, procSpecs string, poolSize int, duration, period time.Duration, seed int64, algoName string, gomaxprocs int, plot bool) error {
-	specs, err := colocate.ParseSpecs(procSpecs)
+func run(cfg cliConfig) error {
+	specs, err := colocate.ParseSpecs(cfg.procs)
 	if err != nil {
 		return err
 	}
-	switch mode {
-	case "goroutine":
-		return runGoroutine(specs, poolSize, duration, period, seed, algoName, plot)
-	case "proc":
-		return runProc(specs, poolSize, duration, period, seed, algoName, gomaxprocs, plot)
+	if cfg.chaos != "" {
+		if _, _, err := fault.ParseScenario(cfg.chaos); err != nil {
+			return err
+		}
 	}
-	return fmt.Errorf("unknown mode %q (want goroutine or proc)", mode)
+	switch cfg.mode {
+	case "goroutine":
+		return runGoroutine(cfg, specs)
+	case "proc":
+		return runProc(cfg, specs)
+	}
+	return fmt.Errorf("unknown mode %q (want goroutine or proc)", cfg.mode)
 }
 
 // stackName labels the i-th stack the way both modes report it.
@@ -90,40 +126,63 @@ func stackName(i int, s colocate.StackSpec) string {
 	return "P" + strconv.Itoa(i+1) + "-" + s.Workload + "-" + s.Policy
 }
 
-func runGoroutine(specs []colocate.StackSpec, poolSize int, duration, period time.Duration, seed int64, algoName string, plot bool) error {
+func runGoroutine(cfg cliConfig, specs []colocate.StackSpec) error {
 	var stacks []colocate.Proc
 	for i, s := range specs {
-		w, _, ctrl, err := s.Build(algoName, poolSize, len(specs))
+		w, _, ctrl, err := s.Build(cfg.engine, cfg.pool, len(specs))
 		if err != nil {
 			return err
 		}
-		stacks = append(stacks, colocate.Proc{
+		p := colocate.Proc{
 			Name:         stackName(i, s),
 			Workload:     w,
 			Controller:   ctrl,
-			PoolSize:     poolSize,
-			Seed:         seed + int64(i)*7919,
+			PoolSize:     cfg.pool,
+			Seed:         cfg.seed + int64(i)*7919,
 			ArrivalDelay: s.ArrivalDelay,
-		})
+		}
+		if cfg.chaos != "" {
+			// Goroutine mode has no agent processes, so only the pool and
+			// controller injection points of the scenario apply (incarnation
+			// is always 0: nothing restarts in-process).
+			name, seed, err := fault.ParseScenario(cfg.chaos)
+			if err != nil {
+				return err
+			}
+			plan, err := fault.PlanFor(name, seed, i, 0)
+			if err != nil {
+				return err
+			}
+			p.Faults = fault.New(plan)
+			fallback := cfg.pool / len(specs)
+			if fallback < 1 {
+				fallback = 1
+			}
+			p.Health = &core.HealthPolicy{FallbackLevel: fallback}
+		}
+		stacks = append(stacks, p)
 	}
 
-	group, err := colocate.NewGroup(stacks, period)
+	group, err := colocate.NewGroup(stacks, cfg.period)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("co-locating %d stacks in goroutine mode for %v (pool %d each, engine %s, %d CPUs)...\n",
-		len(stacks), duration, poolSize, algoName, runtime.NumCPU())
-	results, err := group.Run(duration)
+		len(stacks), cfg.duration, cfg.pool, cfg.engine, runtime.NumCPU())
+	if cfg.chaos != "" {
+		fmt.Printf("chaos scenario %s armed\n", cfg.chaos)
+	}
+	results, err := group.Run(cfg.duration)
 	if err != nil {
 		return err
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "\nstack\tcompleted\tthroughput/s\tmean-level")
+	fmt.Fprintln(tw, "\nstack\tcompleted\tthroughput/s\tmean-level\tfaults")
 	set := &trace.Set{}
 	var tputs []float64
 	for _, r := range results {
-		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.1f\n", r.Name, r.Completed, r.Throughput, r.MeanLevel)
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.1f\t%d\n", r.Name, r.Completed, r.Throughput, r.MeanLevel, r.Faults)
 		tputs = append(tputs, r.Throughput)
 		if r.Levels != nil {
 			set.Add(r.Levels)
@@ -134,12 +193,12 @@ func runGoroutine(specs []colocate.StackSpec, poolSize int, duration, period tim
 	}
 	fmt.Printf("Jain fairness (throughput): %.3f\n", metrics.Jain(tputs))
 	fmt.Println("all workload invariants verified")
-	plotLevels(set, plot)
+	plotLevels(set, cfg.plot)
 	return nil
 }
 
-func runProc(specs []colocate.StackSpec, poolSize int, duration, period time.Duration, seed int64, algoName string, gomaxprocs int, plot bool) error {
-	if _, err := colocate.ParseEngine(algoName); err != nil {
+func runProc(cfg cliConfig, specs []colocate.StackSpec) error {
+	if _, err := colocate.ParseEngine(cfg.engine); err != nil {
 		return err
 	}
 	var children []mproc.ChildSpec
@@ -149,22 +208,41 @@ func runProc(specs []colocate.StackSpec, poolSize int, duration, period time.Dur
 			Workload:     s.Workload,
 			Policy:       s.Policy,
 			ArrivalDelay: s.ArrivalDelay,
-			Pool:         poolSize,
-			Seed:         seed + int64(i)*7919,
-			GOMAXPROCS:   gomaxprocs,
+			Pool:         cfg.pool,
+			Seed:         cfg.seed + int64(i)*7919,
+			GOMAXPROCS:   cfg.gomaxprocs,
 		})
 	}
-	fmt.Printf("co-locating %d real OS processes for %v (pool %d each, engine %s, %d CPUs, gomaxprocs %d)...\n",
-		len(children), duration, poolSize, algoName, runtime.NumCPU(), gomaxprocs)
-	results, err := mproc.Run(children, mproc.Options{
-		Duration: duration,
-		Period:   period,
-		Engine:   algoName,
+	opt := mproc.Options{
+		Duration: cfg.duration,
+		Period:   cfg.period,
+		Engine:   cfg.engine,
 		Exec:     agentExec,
-	})
+	}
+	if cfg.restarts > 0 {
+		// The restart budget covers any crashed agent — a chaos scenario's
+		// scripted exits and a genuine kill -9 alike.
+		opt.Restart = mproc.RestartPolicy{
+			MaxRestarts:      cfg.restarts,
+			JitterSeed:       cfg.seed,
+			BreakerThreshold: 3,
+		}
+	}
+	if cfg.chaos != "" {
+		opt.Chaos = cfg.chaos
+		// The corrupt scenario injects up to four bad lines per incarnation;
+		// give the budget headroom so chaos exercises recovery, not failure.
+		opt.FrameErrorBudget = 8
+	}
+	fmt.Printf("co-locating %d real OS processes for %v (pool %d each, engine %s, %d CPUs, gomaxprocs %d)...\n",
+		len(children), cfg.duration, cfg.pool, cfg.engine, runtime.NumCPU(), cfg.gomaxprocs)
+	if cfg.chaos != "" {
+		fmt.Printf("chaos scenario %s armed (restart budget %d)\n", cfg.chaos, cfg.restarts)
+	}
+	results, err := mproc.Run(children, opt)
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "\nprocess\tpid\tcompleted\tthroughput/s\tmean-level\tcommits\taborts\tstatus")
+	fmt.Fprintln(tw, "\nprocess\tpid\tcompleted\tthroughput/s\tmean-level\tcommits\taborts\trestarts\tfaults\tstatus")
 	set := &trace.Set{}
 	var tputs, levels []float64
 	for _, r := range results {
@@ -174,11 +252,14 @@ func runProc(specs []colocate.StackSpec, poolSize int, duration, period time.Dur
 		}
 		if r.Err != nil {
 			status = "FAILED"
+			if r.BreakerTripped {
+				status = "BREAKER"
+			}
 		} else if !r.Verified {
 			status = "unverified"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.1f\t%d\t%d\t%s\n",
-			r.Name, pid, r.Completed, r.Throughput, r.MeanLevel, r.Commits, r.Aborts, status)
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.1f\t%d\t%d\t%d\t%d\t%s\n",
+			r.Name, pid, r.Completed, r.Throughput, r.MeanLevel, r.Commits, r.Aborts, r.Restarts, r.Faults, status)
 		if r.Err == nil {
 			tputs = append(tputs, r.Throughput)
 			levels = append(levels, r.MeanLevel)
@@ -194,7 +275,7 @@ func runProc(specs []colocate.StackSpec, poolSize int, duration, period time.Dur
 		fmt.Printf("Jain fairness (throughput): %.3f  mean level: %.1f\n",
 			metrics.Jain(tputs), metrics.Mean(levels))
 	}
-	plotLevels(set, plot)
+	plotLevels(set, cfg.plot)
 	if err != nil {
 		return err
 	}

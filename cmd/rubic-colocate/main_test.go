@@ -43,26 +43,39 @@ func useHelperAgents(t *testing.T) {
 	t.Cleanup(func() { agentExec = nil })
 }
 
+// testConfig mirrors the flag defaults at test-friendly scale.
+func testConfig(mode, procs string) cliConfig {
+	return cliConfig{
+		mode:     mode,
+		procs:    procs,
+		pool:     2,
+		duration: 200 * time.Millisecond,
+		period:   5 * time.Millisecond,
+		seed:     1,
+		engine:   "tl2",
+		restarts: 2,
+	}
+}
+
 func TestRunTwoStacks(t *testing.T) {
-	err := run("goroutine", "rbtree-ro:rubic,bank:ebs", 2, 200*time.Millisecond,
-		5*time.Millisecond, 1, "tl2", 0, false)
-	if err != nil {
+	if err := run(testConfig("goroutine", "rbtree-ro:rubic,bank:ebs")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStaggeredNOrec(t *testing.T) {
-	err := run("goroutine", "bank:rubic,bank:rubic@100ms", 2, 250*time.Millisecond,
-		5*time.Millisecond, 1, "norec", 0, false)
-	if err != nil {
+	cfg := testConfig("goroutine", "bank:rubic,bank:rubic@100ms")
+	cfg.duration = 250 * time.Millisecond
+	cfg.engine = "norec"
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunGreedyStack(t *testing.T) {
-	err := run("goroutine", "rbtree:greedy", 2, 100*time.Millisecond,
-		5*time.Millisecond, 1, "tl2", 0, false)
-	if err != nil {
+	cfg := testConfig("goroutine", "rbtree:greedy")
+	cfg.duration = 100 * time.Millisecond
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -74,24 +87,62 @@ func TestRunProcMode(t *testing.T) {
 		t.Skip("skipping process-spawning smoke test in -short mode")
 	}
 	useHelperAgents(t)
-	err := run("proc", "rbtree-ro:rubic,rbtree-ro:rubic", 2, 200*time.Millisecond,
-		5*time.Millisecond, 1, "tl2", 0, false)
-	if err != nil {
+	if err := run(testConfig("proc", "rbtree-ro:rubic,rbtree-ro:rubic")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunChaosGoroutine smoke-tests the -chaos flag end to end in goroutine
+// mode: the mixed scenario's pool and controller faults are injected, the
+// run still completes and verifies.
+func TestRunChaosGoroutine(t *testing.T) {
+	cfg := testConfig("goroutine", "bank:rubic,bank:rubic")
+	cfg.duration = 300 * time.Millisecond
+	cfg.chaos = "mixed@11"
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunChaosProcMode smoke-tests -chaos in proc mode: crashloop kills each
+// agent's first two incarnations and the CLI's default restart policy must
+// carry both stacks to a clean verified finish.
+func TestRunChaosProcMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-spawning smoke test in -short mode")
+	}
+	useHelperAgents(t)
+	cfg := testConfig("proc", "bank:rubic,bank:rubic")
+	cfg.duration = time.Second
+	cfg.chaos = "crashloop@7"
+	cfg.restarts = 3
+	cfg.seed = 7
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunChaosBadScenario(t *testing.T) {
+	cfg := testConfig("goroutine", "bank:rubic")
+	cfg.chaos = "earthquake@1"
+	if err := run(cfg); err == nil {
+		t.Fatal("unknown chaos scenario accepted")
 	}
 }
 
 func TestRunProcModeBadEngine(t *testing.T) {
 	useHelperAgents(t)
-	if err := run("proc", "rbtree-ro:rubic", 2, 100*time.Millisecond,
-		5*time.Millisecond, 1, "quantum", 0, false); err == nil {
+	cfg := testConfig("proc", "rbtree-ro:rubic")
+	cfg.duration = 100 * time.Millisecond
+	cfg.engine = "quantum"
+	if err := run(cfg); err == nil {
 		t.Fatal("unknown engine accepted in proc mode")
 	}
 }
 
 func TestRunUnknownMode(t *testing.T) {
-	if err := run("threads", "rbtree-ro:rubic", 2, 100*time.Millisecond,
-		5*time.Millisecond, 1, "tl2", 0, false); err == nil {
+	cfg := testConfig("threads", "rbtree-ro:rubic")
+	if err := run(cfg); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
 }
@@ -108,8 +159,10 @@ func TestRunBadInputs(t *testing.T) {
 		{"a:b:c", "tl2"},            // malformed
 	}
 	for _, tc := range cases {
-		if err := run("goroutine", tc.procs, 2, 100*time.Millisecond,
-			5*time.Millisecond, 1, tc.algo, 0, false); err == nil {
+		cfg := testConfig("goroutine", tc.procs)
+		cfg.duration = 100 * time.Millisecond
+		cfg.engine = tc.algo
+		if err := run(cfg); err == nil {
 			t.Errorf("procs %q algo %q accepted", tc.procs, tc.algo)
 		}
 	}

@@ -10,10 +10,13 @@ package colocate
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rubic/internal/core"
+	"rubic/internal/fault"
 	"rubic/internal/pool"
 	"rubic/internal/stamp"
 	"rubic/internal/trace"
@@ -34,6 +37,12 @@ type Proc struct {
 	// ArrivalDelay postpones the stack's start relative to the group's,
 	// reproducing the staggered arrivals of the paper's section 4.6.
 	ArrivalDelay time.Duration
+	// Faults, when non-nil, drives the stack's pool and controller injection
+	// points (see internal/fault); nil keeps them inert.
+	Faults *fault.Injector
+	// Health, when non-nil, wraps the controller in a telemetry health guard
+	// with this policy (hold on bad ticks, degrade to the fallback level).
+	Health *core.HealthPolicy
 }
 
 // Result is one stack's outcome.
@@ -48,12 +57,18 @@ type Result struct {
 	MeanLevel float64
 	// Levels traces the controller's decisions (nil without a controller).
 	Levels *trace.Series
+	// Faults is the pool's recovered-panic count over the run.
+	Faults uint64
 }
 
 // Group is a set of co-located stacks.
 type Group struct {
 	procs  []Proc
 	period time.Duration
+	// Grace bounds Run's teardown: once the run deadline passes, stacks get
+	// this much longer to stop before Run gives up on them and returns an
+	// error naming the wedged stacks instead of hanging (default 5 s).
+	Grace time.Duration
 }
 
 // NewGroup validates the stacks and returns a group. period is the
@@ -127,11 +142,15 @@ func (g *Group) Run(duration time.Duration) ([]Result, error) {
 		}
 	}
 	var wg sync.WaitGroup
+	// finished flags each stack's goroutine completion so a wedged teardown
+	// can be attributed to the stacks actually stuck in it.
+	finished := make([]atomic.Bool, len(g.procs))
 	start := time.Now()
 	for i := range g.procs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer finished[i].Store(true)
 			p := &g.procs[i]
 			if !sleep(p.ArrivalDelay) {
 				return
@@ -146,6 +165,7 @@ func (g *Group) Run(duration time.Duration) ([]Result, error) {
 				fail(i, fmt.Errorf("colocate: %s: %w", p.Name, err))
 				return
 			}
+			pl.InstallFaults(p.Faults)
 			var tuner *core.Tuner
 			if p.Controller != nil {
 				results[i].Levels = trace.NewSeries(p.Name + "/level")
@@ -154,6 +174,8 @@ func (g *Group) Run(duration time.Duration) ([]Result, error) {
 					Target:     pl,
 					Period:     g.period,
 					Levels:     results[i].Levels,
+					Health:     p.Health,
+					Faults:     p.Faults,
 				}
 			} else {
 				pl.SetLevel(p.PoolSize)
@@ -172,6 +194,7 @@ func (g *Group) Run(duration time.Duration) ([]Result, error) {
 
 			results[i].Name = p.Name
 			results[i].Completed = pl.Completed()
+			results[i].Faults = pl.Faults()
 			if elapsed > 0 {
 				results[i].Throughput = float64(results[i].Completed) / elapsed
 			}
@@ -182,7 +205,34 @@ func (g *Group) Run(duration time.Duration) ([]Result, error) {
 			}
 		}(i)
 	}
-	wg.Wait()
+	// Bounded teardown: a wedged stack (a task that never returns keeps its
+	// pool's Stop from completing) must not hang the whole run. Past the run
+	// deadline plus the grace period, give up and name the stuck stacks; their
+	// goroutines are unrecoverable in-process, but the caller gets its control
+	// flow — and every healthy stack's results — back.
+	grace := g.Grace
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	allDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(allDone)
+	}()
+	deadline := time.NewTimer(time.Until(start.Add(duration)) + grace)
+	defer deadline.Stop()
+	select {
+	case <-allDone:
+	case <-deadline.C:
+		var wedged []string
+		for i := range g.procs {
+			if !finished[i].Load() {
+				wedged = append(wedged, g.procs[i].Name)
+			}
+		}
+		return results, fmt.Errorf("colocate: teardown wedged %v past the deadline; stacks still stopping: %s",
+			grace, strings.Join(wedged, ", "))
+	}
 	if firstErr != nil {
 		return results, firstErr
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rubic/internal/core"
+	"rubic/internal/fault"
 	"rubic/internal/pool"
 	"rubic/internal/stamp/rbtree"
 	"rubic/internal/stm"
@@ -144,6 +145,68 @@ func TestFailingStackAbortsGroupPromptly(t *testing.T) {
 	// The healthy stack must have been cut short, not run the full 10 s.
 	if elapsed > 3*time.Second {
 		t.Fatalf("group ran %v after a stack failed; want a prompt abort", elapsed)
+	}
+}
+
+// wedgedWorkload's tasks never return, so its pool's Stop can never finish:
+// the stack is unrecoverable in-process and teardown must route around it.
+type wedgedWorkload struct{ block chan struct{} }
+
+func (w wedgedWorkload) Name() string           { return "wedged" }
+func (w wedgedWorkload) Setup(*rand.Rand) error { return nil }
+func (w wedgedWorkload) Verify() error          { return nil }
+func (w wedgedWorkload) Task() pool.Task {
+	return func(int, *rand.Rand) bool { <-w.block; return true }
+}
+
+// TestWedgedStackBoundedTeardown is the graceful-shutdown regression: a
+// stack wedged inside a task must not hang Run past the grace period, the
+// error must name it, and the healthy sibling's results must survive.
+func TestWedgedStackBoundedTeardown(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block) // release the leaked workers once the test is done
+	healthy := mkProc("healthy", 1)
+	stuck := Proc{Name: "stuck", Workload: wedgedWorkload{block: block}, PoolSize: 2, Seed: 2}
+	g, err := NewGroup([]Proc{healthy, stuck}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Grace = 300 * time.Millisecond
+	start := time.Now()
+	results, err := g.Run(200 * time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("wedged stack unreported or unnamed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("teardown hung %v on a wedged stack", elapsed)
+	}
+	if results[0].Completed == 0 {
+		t.Error("healthy sibling's results lost to the wedged stack")
+	}
+}
+
+// TestStackFaultsAndHealthWiring: a Proc-level fault plan reaches the
+// stack's pool (injected panics surface in Result.Faults) and a health
+// policy wraps its controller without disturbing a clean run.
+func TestStackFaultsAndHealthWiring(t *testing.T) {
+	p := mkProc("chaotic", 5)
+	p.Faults = fault.New(&fault.Plan{Seed: 2, Events: []fault.Event{
+		{Point: fault.WorkerPanic, From: 3, Count: 2},
+	}})
+	p.Health = &core.HealthPolicy{FallbackLevel: 2}
+	g, err := NewGroup([]Proc{p}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := g.Run(300 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Faults != 2 {
+		t.Errorf("injected panics not surfaced: Faults = %d, want 2", results[0].Faults)
+	}
+	if results[0].Completed == 0 {
+		t.Error("stack made no progress around the injected panics")
 	}
 }
 

@@ -41,6 +41,58 @@ func clamp(l float64, max int) int {
 	return n
 }
 
+// TuningState is the portable tuning state a controller preserves across a
+// process restart: the actuated level plus RUBIC's cubic anchors (the last
+// loss level wMax and the growth-round epoch). Restoring it lets a restarted
+// agent re-enter cubic growth from where its predecessor left off instead of
+// re-probing from the floor.
+type TuningState struct {
+	Level float64 `json:"level"`
+	WMax  float64 `json:"wmax"`
+	Epoch float64 `json:"epoch"`
+}
+
+// Resumable is implemented by controllers whose tuning state survives a
+// process restart. Controllers without it simply restart from their initial
+// state.
+type Resumable interface {
+	ExportState() TuningState
+	RestoreState(TuningState)
+}
+
+// StateOf extracts a controller's preserved tuning state, unwrapping
+// health-guard wrappers; ok is false for controllers that are not Resumable.
+func StateOf(c Controller) (st TuningState, ok bool) {
+	for c != nil {
+		if r, isR := c.(Resumable); isR {
+			return r.ExportState(), true
+		}
+		u, isU := c.(interface{ Unwrap() Controller })
+		if !isU {
+			break
+		}
+		c = u.Unwrap()
+	}
+	return TuningState{}, false
+}
+
+// RestoreInto installs a preserved tuning state into a controller (through
+// any health-guard wrappers); it reports whether the controller accepted it.
+func RestoreInto(c Controller, st TuningState) bool {
+	for c != nil {
+		if r, isR := c.(Resumable); isR {
+			r.RestoreState(st)
+			return true
+		}
+		u, isU := c.(interface{ Unwrap() Controller })
+		if !isU {
+			break
+		}
+		c = u.Unwrap()
+	}
+	return false
+}
+
 // Factory builds a fresh controller for a process; harness experiments use
 // factories so each repetition and each process gets independent state.
 type Factory func() Controller

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rubic/internal/fault"
+)
+
+// growTo drives a controller with monotonically improving throughput until
+// it reaches at least the target level (or the round budget runs out).
+func growTo(t *testing.T, c Controller, target int) int {
+	t.Helper()
+	tp, level := 100.0, c.Level()
+	for i := 0; i < 200 && level < target; i++ {
+		tp += 10
+		level = c.Next(tp)
+	}
+	if level < target {
+		t.Fatalf("controller stuck at level %d, wanted >= %d", level, target)
+	}
+	return level
+}
+
+func TestHealthGuardDelegatesWhenHealthy(t *testing.T) {
+	inner := NewRUBIC(RUBICConfig{MaxLevel: 16})
+	g := NewHealthGuard(inner, HealthPolicy{FallbackLevel: 4})
+	level := growTo(t, g, 6)
+	if g.State() != Healthy {
+		t.Fatalf("state %v after healthy samples", g.State())
+	}
+	if g.Level() != level || inner.Level() != level {
+		t.Fatalf("guard level %d / inner level %d, want %d", g.Level(), inner.Level(), level)
+	}
+	if g.Name() != "rubic" {
+		t.Fatalf("guard name %q, want the wrapped policy's", g.Name())
+	}
+}
+
+// TestHealthGuardDegradationLadder is the controller-degradation contract:
+// a 2×K outage mid-run first holds the last decision, then falls back to the
+// equal-share level, and a recovering sample re-enters CUBIC growth from the
+// preserved wMax instead of the floor.
+func TestHealthGuardDegradationLadder(t *testing.T) {
+	const k, fallback = 5, 4
+	inner := NewRUBIC(RUBICConfig{MaxLevel: 32})
+	g := NewHealthGuard(inner, HealthPolicy{DegradeAfter: k, FallbackLevel: fallback})
+	held := growTo(t, g, 8)
+
+	// Provoke losses until the multiplicative cut records a genuine wMax
+	// anchor: linear -2 first, a forced growth round, then the escalation.
+	held = g.Next(5)   // linear -2 round, reference forgotten
+	held = g.Next(500) // forced growth round, new baseline
+	held = g.Next(4)   // persistent loss: multiplicative cut, wMax <- level
+	held = g.Next(450) // accepted as the new baseline; growth resumes
+	before, ok := StateOf(g)
+	if !ok {
+		t.Fatal("guarded RUBIC is not resumable")
+	}
+	if before.WMax <= 1 {
+		t.Fatalf("wMax anchor not set before the outage: %+v", before)
+	}
+
+	// 2×K consecutive bad ticks: a mix of silence, garbage and staleness.
+	bad := []Sample{
+		{Tput: 0},
+		{Tput: math.NaN()},
+		{Tput: math.Inf(1)},
+		{Tput: -3},
+		{Tput: 100, Age: time.Hour}, // stale
+	}
+	for i := 0; i < 2*k; i++ {
+		var level int
+		if i%2 == 0 {
+			level = g.NextSample(bad[i%len(bad)])
+		} else {
+			level = g.Missed() // dropped tick: no sample at all
+		}
+		switch {
+		case i < k-1:
+			if g.State() != Holding || level != held {
+				t.Fatalf("bad tick %d: state %v level %d, want holding at %d", i, g.State(), level, held)
+			}
+		default:
+			if g.State() != Degraded || level != fallback {
+				t.Fatalf("bad tick %d: state %v level %d, want degraded at %d", i, g.State(), level, fallback)
+			}
+		}
+	}
+	st := g.Stats()
+	if st.Held != k-1 || st.Degradations != 1 {
+		t.Fatalf("ladder stats %+v, want %d holds and 1 degradation", st, k-1)
+	}
+
+	// Recovery: the inner controller never saw the outage, so its cubic
+	// anchors are intact and growth re-enters from the held state.
+	after, _ := StateOf(g)
+	if after != before {
+		t.Fatalf("inner state advanced during the outage: %+v -> %+v", before, after)
+	}
+	level := g.NextSample(Sample{Tput: 600})
+	if g.State() != Healthy || g.Stats().Recoveries != 1 {
+		t.Fatalf("state %v recoveries %d after a good sample", g.State(), g.Stats().Recoveries)
+	}
+	if level < held {
+		t.Fatalf("recovered at level %d, below the held level %d (reset to floor?)", level, held)
+	}
+	growTo(t, g, int(before.WMax)) // cubic growth reaches the preserved anchor again
+}
+
+// TestHealthGuardAIADHolds runs the same outage against an AIAD baseline:
+// not resumable, but the guard still holds, degrades and recovers it, and
+// its level survives the outage unchanged.
+func TestHealthGuardAIADHolds(t *testing.T) {
+	const k, fallback = 4, 3
+	inner := NewAIAD(16, 1)
+	g := NewHealthGuard(inner, HealthPolicy{DegradeAfter: k, FallbackLevel: fallback})
+	held := growTo(t, g, 6)
+	if _, ok := StateOf(g); ok {
+		t.Fatal("AIAD unexpectedly resumable")
+	}
+	for i := 0; i < 2*k; i++ {
+		level := g.NextSample(Sample{Tput: math.NaN()})
+		if i < k-1 && level != held {
+			t.Fatalf("bad tick %d: level %d, want held %d", i, level, held)
+		}
+		if i >= k-1 && level != fallback {
+			t.Fatalf("bad tick %d: level %d, want fallback %d", i, level, fallback)
+		}
+	}
+	if inner.Level() != held {
+		t.Fatalf("inner AIAD level %d changed during outage, want %d", inner.Level(), held)
+	}
+	if got := g.NextSample(Sample{Tput: 1000}); got < held {
+		t.Fatalf("recovered at %d, below held %d", got, held)
+	}
+}
+
+func TestHealthGuardReset(t *testing.T) {
+	g := NewHealthGuard(NewRUBIC(RUBICConfig{MaxLevel: 8}), HealthPolicy{})
+	growTo(t, g, 4)
+	for i := 0; i < DefaultDegradeAfter; i++ {
+		g.Missed()
+	}
+	if g.State() != Degraded {
+		t.Fatalf("state %v, want degraded", g.State())
+	}
+	g.Reset()
+	if g.State() != Healthy || g.Level() != 1 || g.Stats() != (HealthStats{}) {
+		t.Fatalf("reset left state %v level %d stats %+v", g.State(), g.Level(), g.Stats())
+	}
+}
+
+func TestRUBICStateRoundTrip(t *testing.T) {
+	a := NewRUBIC(RUBICConfig{MaxLevel: 32})
+	growTo(t, a, 10)
+	a.Next(5)   // linear cut
+	a.Next(500) // forced growth round
+	a.Next(4)   // multiplicative cut records wMax
+	st := a.ExportState()
+	if st.WMax < 2 || st.Level < 1 {
+		t.Fatalf("exported state %+v", st)
+	}
+
+	b := NewRUBIC(RUBICConfig{MaxLevel: 32})
+	if !RestoreInto(b, st) {
+		t.Fatal("RUBIC rejected its own state")
+	}
+	got := b.ExportState()
+	if got.Level != st.Level || got.WMax != st.WMax {
+		t.Fatalf("restored %+v, want %+v", got, st)
+	}
+	// The first post-restore observation is accepted as the new baseline and
+	// growth resumes from the restored level, not the floor.
+	if next := b.Next(100); next < int(st.Level) {
+		t.Fatalf("post-restore level %d below restored %v", next, st.Level)
+	}
+
+	// Restore clamps to the new controller's feasible range.
+	small := NewRUBIC(RUBICConfig{MaxLevel: 4})
+	RestoreInto(small, TuningState{Level: 99, WMax: 50, Epoch: 3})
+	if got := small.ExportState(); got.Level > 4 || got.WMax > 4 {
+		t.Fatalf("restore did not clamp: %+v", got)
+	}
+}
+
+// TestChaosTunerDegradesUnderSeededPlan drives a real Tuner with a seeded
+// fault plan that drops 2×K consecutive ticks and corrupts the samples
+// around them: the guard must hold, degrade and recover without the loop
+// ever stalling, and the schedule must be identical across runs.
+func TestChaosTunerDegradesUnderSeededPlan(t *testing.T) {
+	const k = 3
+	run := func() ([]fault.Firing, HealthStats) {
+		plan := &fault.Plan{Seed: 11, Events: []fault.Event{
+			{Point: fault.TickDrop, From: 6, Count: 2 * k},
+			{Point: fault.SampleNaN, From: 8, Count: 2},
+			{Point: fault.ClockJump, From: 12},
+		}}
+		target := &fakeTarget{}
+		target.level.Store(1)
+		inj := fault.New(plan)
+		tuner := &Tuner{
+			Controller: NewRUBIC(RUBICConfig{MaxLevel: 16}),
+			Target:     target,
+			Period:     2 * time.Millisecond,
+			Health:     &HealthPolicy{DegradeAfter: k, FallbackLevel: 2},
+			Faults:     inj,
+		}
+		tuner.Start()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if g := tuner.Guard(); g != nil && g.Stats().Recoveries > 0 && target.setCalls.Load() > 30 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		tuner.Stop()
+		return inj.Schedule(), tuner.Guard().Stats()
+	}
+	schedA, statsA := run()
+	schedB, _ := run()
+	if statsA.Degradations == 0 || statsA.Recoveries == 0 || statsA.Held == 0 {
+		t.Fatalf("guard never walked the ladder: %+v", statsA)
+	}
+	if len(schedA) != len(schedB) {
+		t.Fatalf("fault schedules differ across identical runs: %v vs %v", schedA, schedB)
+	}
+	for i := range schedA {
+		if schedA[i] != schedB[i] {
+			t.Fatalf("fault schedules diverge at %d: %v vs %v", i, schedA[i], schedB[i])
+		}
+	}
+}
+
+func TestTunerPublishesResumableState(t *testing.T) {
+	target := &fakeTarget{}
+	target.level.Store(1)
+	tuner := &Tuner{
+		Controller: NewRUBIC(RUBICConfig{MaxLevel: 16}),
+		Target:     target,
+		Period:     2 * time.Millisecond,
+	}
+	if _, ok := tuner.TuningState(); ok {
+		t.Fatal("state published before any decision")
+	}
+	tuner.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for target.setCalls.Load() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	tuner.Stop()
+	st, ok := tuner.TuningState()
+	if !ok || st.Level < 1 {
+		t.Fatalf("no resumable state published: %+v ok=%v", st, ok)
+	}
+}

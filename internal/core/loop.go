@@ -1,10 +1,25 @@
 package core
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"rubic/internal/fault"
 	"rubic/internal/trace"
+)
+
+// Fault-injection timing constants (derived from the canonical tick; see
+// units.go).
+const (
+	// clockJumpAge is the elapsed-time inflation the ctl.clockjump injection
+	// point adds to one tick, modelling a suspended or migrated process.
+	clockJumpAge = 20 * DefaultPeriod
+
+	// injectedStaleAge is the age the ctl.stalesample injection point stamps
+	// on one sample — past any reasonable staleness bound.
+	injectedStaleAge = 1000 * DefaultPeriod
 )
 
 // Target is the malleable process a Tuner steers: the real worker pool and
@@ -35,16 +50,28 @@ type Tuner struct {
 	// (time measured in seconds since Run started).
 	Levels      *trace.Series
 	Throughputs *trace.Series
+	// Health, when non-nil, wraps Controller in a HealthGuard at Start:
+	// samples are quality-tagged with their age, missed ticks hold the last
+	// decision, and sustained outages degrade to the policy's fallback level.
+	Health *HealthPolicy
+	// Faults is the controller-layer fault injector (nil: no injection, the
+	// production state — the injection points below cost one nil test each).
+	Faults *fault.Injector
 
-	stop     chan struct{}
-	done     chan struct{}
-	stopOnce sync.Once
+	guard     *HealthGuard
+	published atomic.Pointer[TuningState]
+	stop      chan struct{}
+	done      chan struct{}
+	stopOnce  sync.Once
 }
 
 // Start launches the monitoring loop in its own goroutine.
 func (t *Tuner) Start() {
 	if t.Period <= 0 {
 		t.Period = DefaultPeriod
+	}
+	if t.Health != nil && t.guard == nil {
+		t.guard = NewHealthGuard(t.Controller, *t.Health)
 	}
 	t.stop = make(chan struct{})
 	t.done = make(chan struct{})
@@ -62,6 +89,31 @@ func (t *Tuner) Stop() {
 	<-t.done
 }
 
+// Guard exposes the health guard installed at Start (nil without a Health
+// policy), for telemetry and tests.
+func (t *Tuner) Guard() *HealthGuard { return t.guard }
+
+// TuningState returns the most recent resumable controller state the loop
+// published (ok is false before the first decision or for controllers that
+// are not Resumable). It is safe to call concurrently with the loop — the
+// supervisor protocol streams this so a restarted process can resume tuning
+// where its predecessor stopped.
+func (t *Tuner) TuningState() (TuningState, bool) {
+	if st := t.published.Load(); st != nil {
+		return *st, true
+	}
+	return TuningState{}, false
+}
+
+// active is the controller the loop actually drives: the guard when a health
+// policy is installed, the raw controller otherwise.
+func (t *Tuner) active() Controller {
+	if t.guard != nil {
+		return t.guard
+	}
+	return t.Controller
+}
+
 func (t *Tuner) run() {
 	defer close(t.done)
 	ticker := time.NewTicker(t.Period)
@@ -74,15 +126,43 @@ func (t *Tuner) run() {
 		case <-t.stop:
 			return
 		case now := <-ticker.C:
+			if t.Faults.Fire(fault.TickDrop) {
+				// The tick is lost before any sample is taken. A guarded
+				// controller holds its last decision; an unguarded one just
+				// misses the round. The sample window is left open, so the
+				// next tick's observation covers it.
+				if t.guard != nil {
+					t.actuate(t.guard.Missed())
+				}
+				continue
+			}
 			count := t.Target.Completed()
-			elapsed := now.Sub(prevTime).Seconds()
+			elapsed := now.Sub(prevTime)
+			if t.Faults.Fire(fault.ClockJump) {
+				elapsed += clockJumpAge
+			}
 			if elapsed <= 0 {
 				continue
 			}
-			tc := float64(count-prevCount) / elapsed
+			tc := float64(count-prevCount) / elapsed.Seconds()
 			prevCount, prevTime = count, now
-			level := t.Controller.Next(tc)
-			t.Target.SetLevel(level)
+			if t.Faults.Fire(fault.SampleZero) {
+				tc = 0
+			}
+			if t.Faults.Fire(fault.SampleNaN) {
+				tc = math.NaN()
+			}
+			age := elapsed
+			if t.Faults.Fire(fault.SampleStale) {
+				age = injectedStaleAge
+			}
+			var level int
+			if t.guard != nil {
+				level = t.guard.NextSample(Sample{Tput: tc, Age: age})
+			} else {
+				level = t.Controller.Next(tc)
+			}
+			t.actuate(level)
 			if t.Levels != nil {
 				t.Levels.Add(now.Sub(start).Seconds(), float64(level))
 			}
@@ -90,5 +170,13 @@ func (t *Tuner) run() {
 				t.Throughputs.Add(now.Sub(start).Seconds(), tc)
 			}
 		}
+	}
+}
+
+// actuate applies a decision and publishes the controller's resumable state.
+func (t *Tuner) actuate(level int) {
+	t.Target.SetLevel(level)
+	if st, ok := StateOf(t.active()); ok {
+		t.published.Store(&st)
 	}
 }

@@ -95,6 +95,38 @@ func (r *RUBIC) Name() string { return "rubic" }
 // Level implements Controller.
 func (r *RUBIC) Level() int { return clamp(r.level, r.cfg.MaxLevel) }
 
+// ExportState implements Resumable: the level, the cubic anchor L_max (wMax)
+// and the growth epoch dtmax survive a process restart.
+func (r *RUBIC) ExportState() TuningState {
+	return TuningState{Level: r.level, WMax: r.lmax, Epoch: r.dtmax}
+}
+
+// RestoreState implements Resumable: the controller resumes from the
+// preserved level and cubic anchors instead of the floor. The reference
+// throughput is forgotten (tp = 0) so the first post-restart observation is
+// accepted as the new baseline, and the next round re-enters cubic growth
+// toward the preserved wMax.
+func (r *RUBIC) RestoreState(st TuningState) {
+	if st.Level >= 1 {
+		r.level = st.Level
+	}
+	if st.WMax >= 1 {
+		r.lmax = st.WMax
+	}
+	if st.Epoch > 0 {
+		r.dtmax = st.Epoch
+	}
+	if ceil := float64(r.cfg.MaxLevel); r.level > ceil {
+		r.level = ceil
+	}
+	if ceil := float64(r.cfg.MaxLevel); r.lmax > ceil {
+		r.lmax = ceil
+	}
+	r.tp = 0
+	r.growth = growthCubic
+	r.reduction = reductionLinear
+}
+
 // Next implements Controller with the literal structure of Algorithm 2.
 func (r *RUBIC) Next(tc float64) int {
 	if tc >= r.tp {

@@ -1,0 +1,190 @@
+// Package fault is a deterministic, seedable fault-injection framework for
+// the co-location stack. Subsystems thread named injection points through
+// their hot paths (the worker pool's task loop, the tuner's tick handler, the
+// agent's telemetry encoder, the supervisor/agent protocol); every point is a
+// no-op unless an Injector built from a Plan — a seed plus a scripted
+// schedule of point@occurrence events — is installed. A nil *Injector is the
+// inert state: all of its methods are nil-receiver-safe, allocation-free and
+// branch-predictable, so instrumented hot paths cost one pointer test when no
+// chaos is running.
+//
+// Determinism contract: every decision an injector makes is a pure function
+// of (plan, point, occurrence index). Occurrence indices are counted per
+// point under the injector's lock, so the schedule of firings — which
+// occurrences of which points inject — is identical across runs of the same
+// plan, independent of goroutine interleaving. (Which goroutine happens to
+// hit a given occurrence may vary; the injected fault sequence does not.)
+package fault
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Point names one injection point. The catalog below is the complete set the
+// stack threads through; DESIGN.md §9 documents where each one acts.
+type Point string
+
+const (
+	// AgentCrash kills the agent process (exit 3) in place of emitting the
+	// telemetry frame whose occurrence it matches.
+	AgentCrash Point = "agent.crash"
+	// AgentHang wedges the agent: telemetry stops, interrupts are ignored,
+	// only a supervisor kill ends the process.
+	AgentHang Point = "agent.hang"
+	// TelemetrySlow delays one telemetry line past its tick.
+	TelemetrySlow Point = "telemetry.slow"
+	// TelemetryTruncate cuts one telemetry line off mid-token.
+	TelemetryTruncate Point = "telemetry.truncate"
+	// TelemetryCorrupt replaces one telemetry line with seeded garbage.
+	TelemetryCorrupt Point = "telemetry.corrupt"
+	// TelemetrySkew stamps one telemetry line with a wrong protocol version.
+	TelemetrySkew Point = "telemetry.skew"
+	// WorkerPanic panics inside the worker's transactional task closure.
+	WorkerPanic Point = "pool.panic"
+	// WorkerStall blocks a worker inside the task slot until shutdown.
+	WorkerStall Point = "pool.stall"
+	// TickDrop makes the tuner lose a controller tick entirely.
+	TickDrop Point = "ctl.tickdrop"
+	// SampleZero zeroes one commit-rate sample (telemetry went silent).
+	SampleZero Point = "ctl.zerosample"
+	// SampleNaN replaces one commit-rate sample with NaN (garbage telemetry).
+	SampleNaN Point = "ctl.nansample"
+	// SampleStale ages one sample past any staleness bound.
+	SampleStale Point = "ctl.stalesample"
+	// ClockJump inflates one tick's elapsed-time measurement, as a suspended
+	// or migrated process would observe.
+	ClockJump Point = "ctl.clockjump"
+)
+
+// Event schedules consecutive firings of one point: occurrences
+// [From, From+Count) of the point inject the fault. Count defaults to 1.
+type Event struct {
+	Point Point
+	From  int
+	Count int
+}
+
+// Plan is a seeded, scripted fault schedule. The zero Plan injects nothing.
+type Plan struct {
+	Seed   int64
+	Events []Event
+}
+
+// Firing records one injected fault: the point and its occurrence index.
+type Firing struct {
+	Point      Point
+	Occurrence int
+}
+
+// Injector evaluates a Plan. The nil Injector is inert and is the only
+// injector production code ever holds unless chaos is explicitly installed.
+type Injector struct {
+	seed int64
+
+	mu      sync.Mutex
+	windows map[Point][]Event
+	seen    map[Point]int
+	log     []Firing
+}
+
+// New builds an injector from a plan; a nil plan yields the inert nil
+// injector.
+func New(p *Plan) *Injector {
+	if p == nil {
+		return nil
+	}
+	in := &Injector{
+		seed:    p.Seed,
+		windows: make(map[Point][]Event, len(p.Events)),
+		seen:    make(map[Point]int),
+	}
+	for _, e := range p.Events {
+		if e.Count <= 0 {
+			e.Count = 1
+		}
+		if e.From < 0 {
+			e.From = 0
+		}
+		in.windows[e.Point] = append(in.windows[e.Point], e)
+	}
+	return in
+}
+
+// Fire advances the point's occurrence counter and reports whether this
+// occurrence is scheduled to inject. Nil-safe and allocation-free on the
+// inert path.
+func (in *Injector) Fire(p Point) bool {
+	fired, _ := in.FireN(p)
+	return fired
+}
+
+// FireN is Fire returning the occurrence index as well, for points that
+// derive a deterministic payload from it (see Payload).
+func (in *Injector) FireN(p Point) (bool, int) {
+	if in == nil {
+		return false, 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	occ := in.seen[p]
+	in.seen[p] = occ + 1
+	for _, e := range in.windows[p] {
+		if occ >= e.From && occ < e.From+e.Count {
+			in.log = append(in.log, Firing{Point: p, Occurrence: occ})
+			return true, occ
+		}
+	}
+	return false, occ
+}
+
+// Schedule returns the firings injected so far, in firing order. Per the
+// determinism contract this sequence is identical across runs of the same
+// plan driven through the same per-point occurrence counts.
+func (in *Injector) Schedule() []Firing {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Firing(nil), in.log...)
+}
+
+// Fired returns the number of faults injected so far.
+func (in *Injector) Fired() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.log)
+}
+
+// Payload derives a deterministic 64-bit payload for one firing, used e.g.
+// as corruption bytes or a slow-line delay factor. It depends only on the
+// plan seed, the point name and the occurrence index.
+func (in *Injector) Payload(p Point, occurrence int) uint64 {
+	var seed int64
+	if in != nil {
+		seed = in.seed
+	}
+	h := uint64(seed)
+	for i := 0; i < len(p); i++ {
+		h = (h ^ uint64(p[i])) * 0x100000001b3
+	}
+	return Mix64(h ^ uint64(occurrence)<<32)
+}
+
+// Mix64 is a splitmix64 finalizer: a cheap, high-quality deterministic hash
+// used wherever the chaos layer needs reproducible pseudo-randomness without
+// a shared rand.Rand (backoff jitter, corruption payloads, scenario
+// derivation).
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// String renders a firing as point@occurrence.
+func (f Firing) String() string { return fmt.Sprintf("%s@%d", f.Point, f.Occurrence) }

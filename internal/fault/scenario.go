@@ -1,0 +1,100 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Named chaos scenarios, selectable as rubic-colocate -chaos <name>@<seed>.
+const (
+	// ScenarioCrashLoop crash-loops each stack's agent twice early in the run
+	// and lets the third incarnation run clean — the supervisor's restart
+	// policy, backoff schedule and tuning-state preservation carry the run.
+	ScenarioCrashLoop = "crashloop"
+	// ScenarioStall wedges workers inside the task slot and delays telemetry
+	// lines — the pool's gate accounting and the controller's hold behavior
+	// carry the run.
+	ScenarioStall = "stall"
+	// ScenarioCorrupt corrupts, truncates and version-skews telemetry lines
+	// on the first incarnation — the supervisor's frame-error budget and
+	// restart policy carry the run.
+	ScenarioCorrupt = "corrupt"
+	// ScenarioMixed layers controller-tick faults, worker panics, telemetry
+	// corruption and one crash per stack — every hardening layer at once.
+	ScenarioMixed = "mixed"
+)
+
+// Scenarios lists the named scenarios in presentation order.
+func Scenarios() []string {
+	return []string{ScenarioCrashLoop, ScenarioStall, ScenarioCorrupt, ScenarioMixed}
+}
+
+// ParseScenario splits a "<scenario>@<seed>" chaos spec; the seed defaults
+// to 1 when omitted. The scenario name is validated against the catalog.
+func ParseScenario(s string) (name string, seed int64, err error) {
+	name, seed = s, 1
+	if at := strings.IndexByte(s, '@'); at >= 0 {
+		name = s[:at]
+		seed, err = strconv.ParseInt(s[at+1:], 10, 64)
+		if err != nil {
+			return "", 0, fmt.Errorf("fault: bad chaos seed in %q: %v", s, err)
+		}
+	}
+	for _, known := range Scenarios() {
+		if name == known {
+			return name, seed, nil
+		}
+	}
+	return "", 0, fmt.Errorf("fault: unknown chaos scenario %q (want one of %s)",
+		name, strings.Join(Scenarios(), ", "))
+}
+
+// PlanFor builds the fault plan one stack's incarnation runs under. child is
+// the stack's index in the group and incarnation the supervisor's restart
+// count for it (0 for the first launch); both feed the derivation, so every
+// stack and every restart sees its own — but fully reproducible — schedule.
+func PlanFor(scenario string, seed int64, child, incarnation int) (*Plan, error) {
+	h := Mix64(uint64(seed) ^ Mix64(uint64(child)+0x9e37))
+	p := &Plan{Seed: int64(h)}
+	switch scenario {
+	case ScenarioCrashLoop:
+		if incarnation < 2 {
+			// Crash in place of an early telemetry frame; the exact tick
+			// varies per child and incarnation but is seed-determined.
+			p.Events = append(p.Events, Event{
+				Point: AgentCrash,
+				From:  2 + int((h>>uint(8*incarnation))%4),
+			})
+		}
+	case ScenarioStall:
+		p.Events = append(p.Events,
+			Event{Point: WorkerStall, From: int(h % 256), Count: 2},
+			Event{Point: TelemetrySlow, From: 3 + int(h%3), Count: 2},
+		)
+	case ScenarioCorrupt:
+		if incarnation == 0 {
+			base := 2 + int(h%3)
+			p.Events = append(p.Events,
+				Event{Point: TelemetryCorrupt, From: base, Count: 2},
+				Event{Point: TelemetryTruncate, From: base + 4},
+				Event{Point: TelemetrySkew, From: base + 7},
+			)
+		}
+	case ScenarioMixed:
+		p.Events = append(p.Events,
+			Event{Point: TickDrop, From: 4 + int(h%4), Count: 2},
+			Event{Point: SampleNaN, From: 12 + int(h%4)},
+			Event{Point: SampleZero, From: 18 + int(h%4), Count: 2},
+			Event{Point: ClockJump, From: 26 + int(h%4)},
+			Event{Point: WorkerPanic, From: int(h % 512), Count: 16},
+			Event{Point: TelemetryCorrupt, From: 8 + int(h%4)},
+		)
+		if incarnation == 0 {
+			p.Events = append(p.Events, Event{Point: AgentCrash, From: 30 + int(h%6)})
+		}
+	default:
+		return nil, fmt.Errorf("fault: unknown chaos scenario %q", scenario)
+	}
+	return p, nil
+}

@@ -6,11 +6,15 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"rubic/internal/colocate"
 	"rubic/internal/core"
+	"rubic/internal/fault"
 	"rubic/internal/pool"
 	"rubic/internal/trace"
 )
@@ -35,6 +39,23 @@ type AgentConfig struct {
 	// Processes is the number of co-located siblings (equalshare divides
 	// the machine by it); defaults to 1.
 	Processes int
+	// Chaos names the fault scenario ("scenario@seed") this agent runs
+	// under; empty means no injection (the inert nil injector).
+	Chaos string
+	// ChaosChild is this stack's index in the group, feeding the per-child
+	// schedule derivation.
+	ChaosChild int
+	// Incarnation is the supervisor's restart count for this child (0 for
+	// the first launch); restarted incarnations draw different schedules.
+	Incarnation int
+	// Restore, when non-empty, is a "level,wmax,epoch" tuning state the
+	// controller resumes from — the supervisor passes the crashed
+	// predecessor's last published state so CUBIC growth restarts from its
+	// preserved anchors instead of the floor.
+	Restore string
+	// Guard enables the controller health guard (hold on bad telemetry,
+	// degrade to the equal-share level after consecutive bad ticks).
+	Guard bool
 }
 
 // AgentMain parses agent-mode command-line flags and runs the agent,
@@ -53,16 +74,41 @@ func AgentMain(args []string, out io.Writer) error {
 	fs.StringVar(&cfg.Engine, "engine", "tl2", "stm engine: tl2 or norec")
 	fs.IntVar(&cfg.GOMAXPROCS, "gomaxprocs", 0, "GOMAXPROCS for this agent (0 leaves the default)")
 	fs.IntVar(&cfg.Processes, "processes", 1, "number of co-located processes")
+	fs.StringVar(&cfg.Chaos, "chaos", "", "fault scenario, scenario@seed (empty: none)")
+	fs.IntVar(&cfg.ChaosChild, "chaos-child", 0, "this stack's index in the chaos derivation")
+	fs.IntVar(&cfg.Incarnation, "incarnation", 0, "restart count (0 = first launch)")
+	fs.StringVar(&cfg.Restore, "restore", "", "tuning state to resume from, level,wmax,epoch")
+	fs.BoolVar(&cfg.Guard, "guard", true, "run the controller behind the telemetry health guard")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	return RunAgent(cfg, out)
 }
 
+// parseRestore decodes the -restore flag's "level,wmax,epoch" payload.
+func parseRestore(s string) (core.TuningState, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return core.TuningState{}, fmt.Errorf("mproc: restore state %q: want level,wmax,epoch", s)
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return core.TuningState{}, fmt.Errorf("mproc: restore state %q: %v", s, err)
+		}
+		vals[i] = v
+	}
+	return core.TuningState{Level: vals[0], WMax: vals[1], Epoch: vals[2]}, nil
+}
+
 // RunAgent runs one co-located stack to completion, streaming a handshake,
 // periodic telemetry and a final result frame to out. A returned error (also
 // reported in the result frame when one can still be sent) makes the agent
 // process exit nonzero, which the supervisor surfaces as the child's cause.
+// A supervisor interrupt (graceful-shutdown escalation) stops the run early:
+// the agent tears its stack down, verifies, and reports Interrupted in its
+// result instead of dying mid-write.
 func RunAgent(cfg AgentConfig, out io.Writer) error {
 	if cfg.Workload == "" {
 		return fmt.Errorf("mproc: agent needs a workload")
@@ -81,6 +127,18 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 	}
 	if cfg.GOMAXPROCS > 0 {
 		runtime.GOMAXPROCS(cfg.GOMAXPROCS)
+	}
+	var inj *fault.Injector
+	if cfg.Chaos != "" {
+		name, seed, err := fault.ParseScenario(cfg.Chaos)
+		if err != nil {
+			return err
+		}
+		plan, err := fault.PlanFor(name, seed, cfg.ChaosChild, cfg.Incarnation)
+		if err != nil {
+			return err
+		}
+		inj = fault.New(plan)
 	}
 
 	// The handshake goes out before the stack is assembled: it only echoes
@@ -106,6 +164,14 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if cfg.Restore != "" && ctrl != nil {
+		st, err := parseRestore(cfg.Restore)
+		if err != nil {
+			return err
+		}
+		// Non-resumable policies (the baselines) simply start fresh.
+		core.RestoreInto(ctrl, st)
+	}
 	if err := w.Setup(rand.New(rand.NewSource(cfg.Seed))); err != nil {
 		return fmt.Errorf("mproc: setup %s: %w", cfg.Workload, err)
 	}
@@ -113,6 +179,7 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	pl.InstallFaults(inj)
 
 	var tuner *core.Tuner
 	levels := trace.NewSeries(cfg.Workload + "/level")
@@ -122,14 +189,35 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 			Target:     pl,
 			Period:     cfg.Period,
 			Levels:     levels,
+			Faults:     inj,
+		}
+		if cfg.Guard {
+			// Degraded telemetry parks the stack at its equal share of the
+			// machine — the fair static split — until samples recover.
+			fallback := cfg.Pool / cfg.Processes
+			if fallback < 1 {
+				fallback = 1
+			}
+			tuner.Health = &core.HealthPolicy{
+				MaxStaleness:  core.DefaultMaxStaleness,
+				FallbackLevel: fallback,
+			}
 		}
 	} else {
 		pl.SetLevel(cfg.Pool)
 	}
 
+	// An interrupt from the supervisor's graceful-shutdown escalation ends
+	// the measurement early instead of killing the process mid-write.
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	defer signal.Stop(interrupt)
+
 	// The telemetry ticker samples the pool and STM counters at the
 	// controller period and streams one frame per sample. It runs alongside
 	// the tuner but shares nothing with it beyond atomic counter reads.
+	// The chaos points for process-level faults live here: each telemetry
+	// tick is one occurrence, so a scenario's From indexes are tick numbers.
 	stopTelemetry := make(chan struct{})
 	telemetryDone := make(chan struct{})
 	started := time.Now()
@@ -144,21 +232,51 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 			case <-stopTelemetry:
 				return
 			case now := <-ticker.C:
+				if inj.Fire(fault.AgentCrash) {
+					// A real crash: no teardown, no result frame, nonzero exit.
+					os.Exit(3)
+				}
+				if inj.Fire(fault.AgentHang) {
+					// A wedged agent: telemetry stops, interrupts are ignored,
+					// and the main goroutine will block on telemetryDone —
+					// only the supervisor's kill escalation ends the process.
+					signal.Ignore(os.Interrupt)
+					select {}
+				}
+				if fired, occ := inj.FireN(fault.TelemetrySlow); fired {
+					time.Sleep(cfg.Period * time.Duration(1+inj.Payload(fault.TelemetrySlow, occ)%3))
+				}
 				count := pl.Completed()
 				elapsed := now.Sub(prevTime).Seconds()
 				if elapsed <= 0 {
 					continue
 				}
 				stats := rt.Stats()
-				frame := TelemetryFrame(Telemetry{
+				tele := Telemetry{
 					T:       now.Sub(started).Seconds(),
 					Level:   pl.Level(),
 					Tput:    float64(count-prevCount) / elapsed,
 					Commits: stats.Commits,
 					Aborts:  stats.Aborts,
-				})
+					Faults:  pl.Faults(),
+				}
+				if tuner != nil {
+					if st, ok := tuner.TuningState(); ok {
+						tele.Ctl = &st
+					}
+				}
 				prevCount, prevTime = count, now
-				if enc.Encode(frame) != nil {
+				var encErr error
+				if fired, occ := inj.FireN(fault.TelemetryCorrupt); fired {
+					encErr = enc.WriteRaw(fmt.Sprintf("@@corrupt-telemetry:%016x@@\n", inj.Payload(fault.TelemetryCorrupt, occ)))
+				} else if inj.Fire(fault.TelemetryTruncate) {
+					encErr = enc.WriteRaw(`{"v":1,"type":"telemetry","telemetry":{"t":` + "\n")
+				} else if inj.Fire(fault.TelemetrySkew) {
+					encErr = enc.WriteRaw(`{"v":99,"type":"telemetry","telemetry":{"t":0,"level":1,"tput":0,"commits":0,"aborts":0}}` + "\n")
+				} else {
+					encErr = enc.Encode(TelemetryFrame(tele))
+				}
+				if encErr != nil {
 					// The supervisor hung up; keep running so the workload
 					// still verifies, but stop streaming.
 					return
@@ -171,7 +289,12 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 	if tuner != nil {
 		tuner.Start()
 	}
-	time.Sleep(cfg.Duration)
+	interrupted := false
+	select {
+	case <-time.After(cfg.Duration):
+	case <-interrupt:
+		interrupted = true
+	}
 	if tuner != nil {
 		tuner.Stop()
 	}
@@ -183,10 +306,12 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 	verifyErr := w.Verify()
 	stats := rt.Stats()
 	res := Result{
-		Completed: pl.Completed(),
-		Commits:   stats.Commits,
-		Aborts:    stats.Aborts,
-		Verified:  verifyErr == nil,
+		Completed:   pl.Completed(),
+		Commits:     stats.Commits,
+		Aborts:      stats.Aborts,
+		Faults:      pl.Faults(),
+		Verified:    verifyErr == nil,
+		Interrupted: interrupted,
 	}
 	if elapsed > 0 {
 		res.Tput = float64(res.Completed) / elapsed
@@ -204,6 +329,9 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 	}
 	if verifyErr != nil {
 		return fmt.Errorf("mproc: %s verification: %w", cfg.Workload, verifyErr)
+	}
+	if interrupted {
+		return fmt.Errorf("mproc: %s interrupted before completing its run", cfg.Workload)
 	}
 	return nil
 }

@@ -1,0 +1,181 @@
+package mproc
+
+import (
+	"testing"
+	"time"
+
+	"rubic/internal/fault"
+)
+
+// chaosChildren are the real-agent stacks the seeded soaks run: two genuine
+// child processes, each with the full STM runtime, worker pool and RUBIC
+// controller. The soaks run in -short mode too — `make chaos` depends on it.
+// Both stacks use the bank workload: its population is cheap, and restart
+// scenarios pay one population per incarnation (rbtree's 64K-element setup
+// would dominate the soak's wall time under -race).
+func chaosChildren() []ChildSpec {
+	return []ChildSpec{
+		{Name: "P1", Workload: "bank", Policy: "rubic", Pool: 2, Seed: 1},
+		{Name: "P2", Workload: "bank", Policy: "rubic", Pool: 2, Seed: 2},
+	}
+}
+
+// nonZeroFraction reports how many of a child's telemetry throughput samples
+// are positive — the soak's proxy for "the commit rate never collapsed".
+func nonZeroFraction(r ChildResult) float64 {
+	if r.Throughputs.Len() == 0 {
+		return 0
+	}
+	nz := 0
+	for _, v := range r.Throughputs.V {
+		if v > 0 {
+			nz++
+		}
+	}
+	return float64(nz) / float64(r.Throughputs.Len())
+}
+
+// TestChaosCrashLoopSoak is the acceptance soak: under crashloop@7 every
+// agent crashes on its first two incarnations at seed-determined ticks; the
+// supervisor must recover each within its backoff budget, hand the preserved
+// tuning state to the replacements, and the co-located survivor's commit
+// rate must never drop to zero while its sibling is being restarted.
+func TestChaosCrashLoopSoak(t *testing.T) {
+	// Duration is measurement budget: the supervisor charges each
+	// incarnation's telemetry clock against it, not the wall time its
+	// population burns, so 2 s comfortably covers three incarnations even on
+	// slow -race CI hosts.
+	results, err := Run(chaosChildren(), Options{
+		Duration: 2 * time.Second,
+		Period:   5 * time.Millisecond,
+		Chaos:    "crashloop@7",
+		Restart: RestartPolicy{MaxRestarts: 4, Backoff: 10 * time.Millisecond,
+			MaxBackoff: 40 * time.Millisecond, JitterSeed: 7},
+		Exec: fakeExec("agent", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Restarts != 2 {
+			t.Errorf("%s: %d restarts, want 2 (crashloop kills incarnations 0 and 1)", r.Name, r.Restarts)
+		}
+		if r.Completed == 0 || !r.Verified {
+			t.Errorf("%s: final incarnation did not complete cleanly: %+v", r.Name, r)
+		}
+		if frac := nonZeroFraction(r); frac < 0.5 {
+			t.Errorf("%s: commit rate collapsed during recovery: only %.0f%% of samples nonzero", r.Name, frac*100)
+		}
+	}
+	// The backoff schedules are pure functions of (policy, child, restart):
+	// identical across any two runs of this scenario@seed by construction.
+	for _, r := range results {
+		p := RestartPolicy{MaxRestarts: 4, Backoff: 10 * time.Millisecond,
+			MaxBackoff: 40 * time.Millisecond, JitterSeed: 7}
+		for i, d := range r.Backoffs {
+			if want := p.Delay(r.Name, i+1); d != want {
+				t.Errorf("%s: backoff %d = %v, want deterministic %v", r.Name, i, d, want)
+			}
+		}
+	}
+}
+
+// TestChaosCorruptSoak: corrupt@5 injects exactly four bad telemetry lines
+// (two corrupt, one truncated, one version-skewed) into each stack's first
+// incarnation; the frame-error budget absorbs all of them, deterministically.
+func TestChaosCorruptSoak(t *testing.T) {
+	results, err := Run(chaosChildren(), Options{
+		Duration:         500 * time.Millisecond,
+		Period:           5 * time.Millisecond,
+		Chaos:            "corrupt@5",
+		FrameErrorBudget: 4,
+		Exec:             fakeExec("agent", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.DroppedFrames != 4 {
+			t.Errorf("%s: dropped %d frames, want exactly the 4 scheduled", r.Name, r.DroppedFrames)
+		}
+		if r.Completed == 0 || !r.Verified {
+			t.Errorf("%s: run damaged by corrupt lines: %+v", r.Name, r)
+		}
+	}
+}
+
+// TestChaosStallSoak: stall@3 wedges workers in the task slot and delays
+// telemetry lines; the pool's gate accounting and the supervisor's deadlines
+// must carry the run to clean results.
+func TestChaosStallSoak(t *testing.T) {
+	results, err := Run(chaosChildren(), Options{
+		Duration: 500 * time.Millisecond,
+		Period:   5 * time.Millisecond,
+		Chaos:    "stall@3",
+		Exec:     fakeExec("agent", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Completed == 0 || !r.Verified {
+			t.Errorf("%s: stalled workers sank the run: %+v", r.Name, r)
+		}
+	}
+}
+
+// TestChaosMixedSoak layers controller-tick faults, worker panics, telemetry
+// corruption and one crash per stack: every hardening layer at once. The
+// recovered worker panics must surface in the supervisor's fault counter.
+func TestChaosMixedSoak(t *testing.T) {
+	results, err := Run(chaosChildren(), Options{
+		Duration: 2 * time.Second,
+		Period:   5 * time.Millisecond,
+		Chaos:    "mixed@11",
+		Restart: RestartPolicy{MaxRestarts: 2, Backoff: 10 * time.Millisecond,
+			MaxBackoff: 40 * time.Millisecond, JitterSeed: 11},
+		FrameErrorBudget: 2,
+		Exec:             fakeExec("agent", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Restarts != 1 {
+			t.Errorf("%s: %d restarts, want 1 (mixed crashes incarnation 0 only)", r.Name, r.Restarts)
+		}
+		if r.Faults == 0 {
+			t.Errorf("%s: injected worker panics never surfaced in telemetry", r.Name)
+		}
+		if r.Completed == 0 || !r.Verified {
+			t.Errorf("%s: run damaged: %+v", r.Name, r)
+		}
+	}
+}
+
+// TestChaosScheduleDeterministic pins the end-to-end determinism claim at
+// the plan layer: the exact fault plan each incarnation runs under is a pure
+// function of scenario@seed, child and incarnation — two supervisors running
+// the same chaos spec install identical schedules in every child.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	for _, scenario := range fault.Scenarios() {
+		for child := 0; child < 3; child++ {
+			for inc := 0; inc < 3; inc++ {
+				a, err := fault.PlanFor(scenario, 7, child, inc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, _ := fault.PlanFor(scenario, 7, child, inc)
+				if a.Seed != b.Seed || len(a.Events) != len(b.Events) {
+					t.Fatalf("%s child %d inc %d: plans differ", scenario, child, inc)
+				}
+				for i := range a.Events {
+					if a.Events[i] != b.Events[i] {
+						t.Fatalf("%s child %d inc %d: event %d differs: %+v vs %+v",
+							scenario, child, inc, i, a.Events[i], b.Events[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"rubic/internal/core"
 )
 
 // ProtoVersion is the wire-protocol version. A supervisor rejects frames
@@ -65,6 +67,13 @@ type Telemetry struct {
 	// Commits and Aborts are the STM runtime's cumulative counters.
 	Commits uint64 `json:"commits"`
 	Aborts  uint64 `json:"aborts"`
+	// Faults is the pool's cumulative recovered-panic count.
+	Faults uint64 `json:"faults,omitempty"`
+	// Ctl, when present, is the controller's resumable tuning state as of
+	// this sample. The supervisor preserves the latest one it saw and hands
+	// it to the replacement process after an agent restart, so tuning resumes
+	// from the preserved CUBIC anchors instead of the floor.
+	Ctl *core.TuningState `json:"ctl,omitempty"`
 }
 
 // Result is the agent's final report.
@@ -76,6 +85,12 @@ type Result struct {
 	Aborts    uint64  `json:"aborts"`
 	// Verified reports whether the workload invariants held after the run.
 	Verified bool `json:"verified"`
+	// Faults is the pool's recovered-panic count over the whole run.
+	Faults uint64 `json:"faults,omitempty"`
+	// Interrupted reports that the run was cut short by a supervisor
+	// interrupt (graceful-shutdown escalation) rather than completing its
+	// full duration.
+	Interrupted bool `json:"interrupted,omitempty"`
 	// Err carries the agent-side failure, if any (setup or verification).
 	Err string `json:"err,omitempty"`
 }
@@ -133,12 +148,13 @@ func Decode(line []byte) (Frame, error) {
 // (the agent's telemetry ticker and its main goroutine share one stdout).
 type Encoder struct {
 	mu  sync.Mutex
+	w   io.Writer
 	enc *json.Encoder
 }
 
 // NewEncoder returns an encoder writing to w.
 func NewEncoder(w io.Writer) *Encoder {
-	return &Encoder{enc: json.NewEncoder(w)}
+	return &Encoder{w: w, enc: json.NewEncoder(w)}
 }
 
 // Encode writes one frame followed by a newline.
@@ -146,4 +162,14 @@ func (e *Encoder) Encode(f Frame) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.enc.Encode(f)
+}
+
+// WriteRaw writes one raw line under the encoder's lock. The chaos layer
+// uses it to inject corrupt or truncated protocol lines without tearing a
+// concurrent frame in half.
+func (e *Encoder) WriteRaw(line string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, err := io.WriteString(e.w, line)
+	return err
 }

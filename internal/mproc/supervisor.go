@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"os/exec"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"rubic/internal/core"
+	"rubic/internal/fault"
 	"rubic/internal/trace"
 )
 
@@ -40,6 +42,68 @@ type ChildSpec struct {
 // with an "agent" subcommand.
 type ExecFunc func(spec ChildSpec, args []string) (*exec.Cmd, error)
 
+// RestartPolicy governs how the supervisor handles a crashed agent: restart
+// it with exponential backoff and deterministic jitter, up to a bounded
+// budget, with a circuit breaker that marks the stack failed once it
+// crash-loops — while the surviving stacks keep running untouched.
+type RestartPolicy struct {
+	// MaxRestarts is the restart budget per child; 0 (the zero value)
+	// disables restarts and fails the child on its first crash.
+	MaxRestarts int
+	// Backoff is the delay before the first restart (default 50 ms when
+	// restarts are enabled), doubling on each consecutive restart.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2 s).
+	MaxBackoff time.Duration
+	// JitterSeed derives the deterministic jitter factor applied to every
+	// delay; the same seed, child name and restart index always produce the
+	// same delay, so chaos runs are reproducible.
+	JitterSeed int64
+	// BreakerThreshold trips the circuit breaker after this many consecutive
+	// crash-loop attempts (an attempt that died without streaming telemetry,
+	// or before MinUptime); 0 disables the breaker and lets the restart
+	// budget govern alone.
+	BreakerThreshold int
+	// MinUptime classifies attempts: one that fails sooner than this counts
+	// as a crash-loop even if it streamed telemetry (0: only telemetry-less
+	// deaths count).
+	MinUptime time.Duration
+}
+
+func (p *RestartPolicy) defaults() {
+	if p.MaxRestarts > 0 {
+		if p.Backoff <= 0 {
+			p.Backoff = 50 * time.Millisecond
+		}
+		if p.MaxBackoff <= 0 {
+			p.MaxBackoff = 2 * time.Second
+		}
+	}
+}
+
+// Delay returns the deterministic backoff before the child's restart-th
+// restart (1-based): exponential from Backoff, capped at MaxBackoff, scaled
+// by a jitter factor in [0.5, 1.5) derived from JitterSeed, the child's name
+// and the restart index.
+func (p RestartPolicy) Delay(child string, restart int) time.Duration {
+	p.defaults()
+	if restart < 1 {
+		restart = 1
+	}
+	base := p.Backoff
+	for i := 1; i < restart && base < p.MaxBackoff; i++ {
+		base *= 2
+	}
+	if base > p.MaxBackoff {
+		base = p.MaxBackoff
+	}
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, child)
+	jitter := fault.Mix64(uint64(p.JitterSeed) ^ h.Sum64() ^ uint64(restart))
+	factor := 0.5 + float64(jitter%1024)/1024
+	return time.Duration(float64(base) * factor)
+}
+
 // Options configures a supervised run.
 type Options struct {
 	// Duration is the group's total run length (children with arrival
@@ -59,8 +123,24 @@ type Options struct {
 	// (default 120s; population of big workloads is slow on loaded hosts).
 	SetupTimeout time.Duration
 	// Grace is the extra time past a child's run length before the
-	// supervisor kills it (default 5s).
+	// supervisor starts tearing it down (default 5s).
 	Grace time.Duration
+	// KillGrace bounds the graceful-shutdown escalation: when a deadline
+	// expires the supervisor first interrupts the child and only kills it
+	// this much later (default 2s), so a healthy-but-slow agent can still
+	// flush its result while a wedged one cannot hang teardown.
+	KillGrace time.Duration
+	// Restart is the per-child restart policy (zero value: fail fast, the
+	// pre-chaos behavior).
+	Restart RestartPolicy
+	// FrameErrorBudget tolerates up to this many undecodable telemetry lines
+	// per attempt — counted in ChildResult.DroppedFrames — before declaring
+	// a protocol error (default 0: strict).
+	FrameErrorBudget int
+	// Chaos names a fault scenario ("scenario@seed", see fault.ParseScenario)
+	// threaded to every agent along with its child index and incarnation;
+	// empty runs no chaos.
+	Chaos string
 	// Exec overrides child command construction; nil re-executes the
 	// current binary in agent mode.
 	Exec ExecFunc
@@ -73,7 +153,8 @@ type ChildResult struct {
 	// Hello is the child's handshake (nil if it never completed one).
 	Hello *Hello
 	// Levels and Throughputs are the multiplexed telemetry, timestamped on
-	// the group's clock (arrival delays already added).
+	// the group's clock (arrival delays already added); across restarts the
+	// attempts' streams are concatenated on that clock.
 	Levels      *trace.Series
 	Throughputs *trace.Series
 	// Completed, Throughput and MeanLevel come from the result frame; until
@@ -85,8 +166,22 @@ type ChildResult struct {
 	// the final telemetry frame for a child that died early).
 	Commits uint64
 	Aborts  uint64
+	// Faults is the child pool's recovered-panic count (last seen).
+	Faults uint64
 	// Verified reports whether the child's workload invariants held.
 	Verified bool
+	// Restarts counts how many replacement processes the supervisor
+	// launched for this child.
+	Restarts int
+	// Backoffs records the restart delays actually scheduled, in order;
+	// with a fixed RestartPolicy seed the slice is identical across runs.
+	Backoffs []time.Duration
+	// BreakerTripped reports that the circuit breaker marked this stack
+	// failed after consecutive crash-loops.
+	BreakerTripped bool
+	// DroppedFrames counts undecodable telemetry lines absorbed by the
+	// frame-error budget.
+	DroppedFrames int
 	// Err is the child's failure cause: crash, timeout, protocol violation
 	// or agent-side error.
 	Err error
@@ -97,6 +192,9 @@ type ChildResult struct {
 // reaps every child it starts), and returns per-child results in spec order.
 // The returned error is the first failing child's cause, with the child
 // named; results are returned alongside it, partial for the failed children.
+// Failures are per-child: a crashed, wedged or crash-looping child never
+// stops its siblings, and with a RestartPolicy installed it is relaunched
+// within its backoff budget.
 func Run(specs []ChildSpec, opt Options) ([]ChildResult, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("mproc: no children")
@@ -122,6 +220,15 @@ func Run(specs []ChildSpec, opt Options) ([]ChildResult, error) {
 	if opt.Grace <= 0 {
 		opt.Grace = 5 * time.Second
 	}
+	if opt.KillGrace <= 0 {
+		opt.KillGrace = 2 * time.Second
+	}
+	opt.Restart.defaults()
+	if opt.Chaos != "" {
+		if _, _, err := fault.ParseScenario(opt.Chaos); err != nil {
+			return nil, err
+		}
+	}
 	if opt.Exec == nil {
 		opt.Exec = selfExec
 	}
@@ -145,7 +252,7 @@ func Run(specs []ChildSpec, opt Options) ([]ChildResult, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			runChild(specs[i], opt, &results[i])
+			runChild(specs[i], i, opt, &results[i])
 		}(i)
 	}
 	wg.Wait()
@@ -185,15 +292,50 @@ func selfExec(spec ChildSpec, args []string) (*exec.Cmd, error) {
 	return exec.Command(self, append([]string{"agent"}, args...)...), nil
 }
 
-// killer kills a child's process at most once, remembering why; the reason
-// distinguishes supervisor-initiated kills (timeouts, protocol errors) from
-// spontaneous child deaths when the exit status is interpreted.
+// killer tears a child process down at most once, remembering why; the
+// reason distinguishes supervisor-initiated teardowns (timeouts, protocol
+// errors) from spontaneous child deaths when the exit status is interpreted.
+// Teardown escalates: shutdown sends an interrupt and arms a bounded kill
+// timer, so a healthy agent can flush its result frame while a wedged one
+// is reaped after the grace period; kill is immediate for children whose
+// stream is already garbage.
 type killer struct {
 	mu     sync.Mutex
 	proc   *os.Process
+	grace  time.Duration
 	reason string
+	killed bool
+	esc    *time.Timer
 }
 
+// shutdown requests a graceful stop: interrupt now, kill after the grace
+// period. The first teardown reason wins.
+func (k *killer) shutdown(reason string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.reason != "" {
+		return
+	}
+	k.reason = reason
+	if err := k.proc.Signal(os.Interrupt); err != nil {
+		// Interrupt delivery unsupported or the process is already gone:
+		// skip straight to the kill.
+		k.killed = true
+		_ = k.proc.Kill()
+		return
+	}
+	k.esc = time.AfterFunc(k.grace, func() {
+		k.mu.Lock()
+		defer k.mu.Unlock()
+		if !k.killed {
+			k.killed = true
+			_ = k.proc.Kill()
+		}
+	})
+}
+
+// kill skips the escalation: the child's stream is already corrupt, there
+// is nothing worth letting it flush.
 func (k *killer) kill(reason string) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
@@ -201,7 +343,17 @@ func (k *killer) kill(reason string) {
 		return
 	}
 	k.reason = reason
+	k.killed = true
 	_ = k.proc.Kill()
+}
+
+// finish cancels any pending escalation once the child has been reaped.
+func (k *killer) finish() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.esc != nil {
+		k.esc.Stop()
+	}
 }
 
 func (k *killer) why() string {
@@ -226,7 +378,7 @@ func (w *watchdog) arm(d time.Duration, reason string) {
 	if w.t != nil {
 		w.t.Stop()
 	}
-	w.t = time.AfterFunc(d, func() { w.k.kill(reason) })
+	w.t = time.AfterFunc(d, func() { w.k.shutdown(reason) })
 }
 
 func (w *watchdog) stop() {
@@ -261,11 +413,27 @@ func (t *tailBuffer) String() string {
 	return string(bytes.TrimSpace(t.buf))
 }
 
-// runChild drives one agent child from launch to reaped exit, filling res.
-// Its cardinal rule is boundedness: an absolute deadline kill covers every
-// misbehavior (silent child, runaway child, stuck pipe), so the frame loop
-// may simply read until EOF and Wait afterwards.
-func runChild(spec ChildSpec, opt Options, res *ChildResult) {
+// attemptOutcome summarizes one incarnation of a child for the restart loop.
+type attemptOutcome struct {
+	err          error
+	gotTelemetry bool
+	uptime       time.Duration
+	// measured is how much of the run the incarnation actually measured (its
+	// last telemetry timestamp): an agent's duration clock starts after
+	// workload population, so the restart loop charges measured time — not
+	// wall time, which would bill every incarnation's setup against the run.
+	measured time.Duration
+	ctl      *core.TuningState
+	dropped  int
+}
+
+// runChild supervises one child slot from launch to final outcome: it runs
+// the agent, and — when a RestartPolicy is installed — relaunches crashed
+// incarnations with exponentially backed-off, deterministically jittered
+// delays, preserving the tuner's CUBIC state across restarts, until the
+// child succeeds, the budget is exhausted, the circuit breaker trips on a
+// crash-loop, or no meaningful run time remains.
+func runChild(spec ChildSpec, idx int, opt Options, res *ChildResult) {
 	res.Name = spec.Name
 	res.Levels = trace.NewSeries(spec.Name + "/level")
 	res.Throughputs = trace.NewSeries(spec.Name + "/throughput")
@@ -278,33 +446,106 @@ func runChild(spec ChildSpec, opt Options, res *ChildResult) {
 		return
 	}
 
-	cmd, err := opt.Exec(spec, AgentArgs(spec, opt, active))
+	var preserved *core.TuningState
+	var consumed time.Duration // measurement time burned by prior incarnations
+	crashLoops := 0
+	for attempt := 0; ; attempt++ {
+		out := runAttempt(spec, idx, attempt, active-consumed, preserved, opt, res)
+		consumed += out.measured
+		if out.ctl != nil {
+			preserved = out.ctl
+		}
+		res.DroppedFrames += out.dropped
+		if out.err == nil {
+			res.Err = nil
+			return
+		}
+		res.Err = out.err
+
+		if out.gotTelemetry && (opt.Restart.MinUptime <= 0 || out.uptime >= opt.Restart.MinUptime) {
+			crashLoops = 0
+		} else {
+			crashLoops++
+		}
+		if opt.Restart.BreakerThreshold > 0 && crashLoops >= opt.Restart.BreakerThreshold {
+			res.BreakerTripped = true
+			res.Err = fmt.Errorf("circuit breaker open after %d consecutive crash-loops: %w", crashLoops, out.err)
+			return
+		}
+		if attempt >= opt.Restart.MaxRestarts {
+			if opt.Restart.MaxRestarts > 0 {
+				res.Err = fmt.Errorf("restart budget exhausted after %d attempts: %w", attempt+1, out.err)
+			}
+			return
+		}
+		if active-consumed < opt.Period {
+			// Not enough measurement budget left for a replacement to observe
+			// even one tick; keep the failure rather than launching a doomed
+			// incarnation.
+			return
+		}
+		delay := opt.Restart.Delay(spec.Name, attempt+1)
+		res.Backoffs = append(res.Backoffs, delay)
+		time.Sleep(delay)
+		res.Restarts++
+	}
+}
+
+// runAttempt drives one agent incarnation from launch to reaped exit,
+// merging its telemetry into res. Its cardinal rule is boundedness: a
+// watchdog covers every stage of the child's life (silent child, runaway
+// child, stuck pipe) with an interrupt→kill escalation, so the frame loop
+// may simply read until EOF and Wait afterwards.
+func runAttempt(spec ChildSpec, idx, attempt int, active time.Duration, restore *core.TuningState, opt Options, res *ChildResult) attemptOutcome {
+	var out attemptOutcome
+	if active <= 0 {
+		out.err = errors.New("no run time left")
+		return out
+	}
+	args := AgentArgs(spec, opt, active)
+	if attempt > 0 {
+		args = append(args, "-incarnation", strconv.Itoa(attempt))
+	}
+	if opt.Chaos != "" {
+		args = append(args, "-chaos", opt.Chaos, "-chaos-child", strconv.Itoa(idx))
+	}
+	if restore != nil {
+		args = append(args, "-restore",
+			strconv.FormatFloat(restore.Level, 'g', -1, 64)+","+
+				strconv.FormatFloat(restore.WMax, 'g', -1, 64)+","+
+				strconv.FormatFloat(restore.Epoch, 'g', -1, 64))
+	}
+	cmd, err := opt.Exec(spec, args)
 	if err != nil {
-		res.Err = err
-		return
+		out.err = err
+		return out
 	}
 	stderr := &tailBuffer{}
 	cmd.Stderr = stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
-		res.Err = err
-		return
+		out.err = err
+		return out
 	}
 	if err := cmd.Start(); err != nil {
-		res.Err = fmt.Errorf("launch: %w", err)
-		return
+		out.err = fmt.Errorf("launch: %w", err)
+		return out
 	}
+	started := time.Now()
 
-	k := &killer{proc: cmd.Process}
+	k := &killer{proc: cmd.Process, grace: opt.KillGrace}
 	wd := &watchdog{k: k}
 	wd.arm(opt.StartupTimeout, "no handshake within startup timeout")
 	defer wd.stop()
 
+	// Telemetry timestamps are child-relative; offset re-bases them onto the
+	// group clock, including time burned by earlier incarnations.
+	offset := opt.Duration.Seconds() - active.Seconds()
+
 	sc := bufio.NewScanner(stdout)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	gotHello, gotTelemetry, gotResult := false, false, false
+	gotHello, gotResult := false, false
 	var protoErr error
-	offset := spec.ArrivalDelay.Seconds()
 frames:
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
@@ -313,6 +554,13 @@ frames:
 		}
 		f, err := Decode(line)
 		if err != nil {
+			if out.dropped < opt.FrameErrorBudget {
+				// The frame-error budget absorbs occasional corrupt,
+				// truncated or skewed lines instead of failing the child on
+				// the first one.
+				out.dropped++
+				continue
+			}
 			protoErr = err
 			break frames
 		}
@@ -331,14 +579,20 @@ frames:
 				protoErr = errors.New("mproc: telemetry before handshake")
 				break frames
 			}
-			if !gotTelemetry {
-				gotTelemetry = true
+			if !out.gotTelemetry {
+				out.gotTelemetry = true
 				wd.arm(active+opt.Grace, "run deadline exceeded")
 			}
 			t := f.Telemetry
+			out.measured = time.Duration(t.T * float64(time.Second))
 			res.Levels.Add(t.T+offset, float64(t.Level))
 			res.Throughputs.Add(t.T+offset, t.Tput)
 			res.Commits, res.Aborts = t.Commits, t.Aborts
+			res.Faults = t.Faults
+			if t.Ctl != nil {
+				ctl := *t.Ctl
+				out.ctl = &ctl
+			}
 		case FrameResult:
 			if !gotHello {
 				protoErr = errors.New("mproc: result before handshake")
@@ -351,9 +605,14 @@ frames:
 			res.Throughput = r.Tput
 			res.MeanLevel = r.MeanLevel
 			res.Commits, res.Aborts = r.Commits, r.Aborts
+			res.Faults = r.Faults
 			res.Verified = r.Verified
 			if r.Err != "" {
 				protoErr = fmt.Errorf("agent reported: %s", r.Err)
+				break frames
+			}
+			if r.Interrupted {
+				protoErr = errors.New("agent interrupted before completion")
 				break frames
 			}
 		}
@@ -365,25 +624,28 @@ frames:
 		k.kill("protocol error")
 	}
 	// Drain the remainder so the child never blocks on a full pipe while
-	// exiting; the deadline kill bounds this too.
+	// exiting; the deadline teardown bounds this too.
 	_, _ = io.Copy(io.Discard, stdout)
 	werr := cmd.Wait()
 	wd.stop()
+	k.finish()
+	out.uptime = time.Since(started)
 
-	// Resolve the child's cause, most specific first.
+	// Resolve the attempt's cause, most specific first.
 	switch reason := k.why(); {
 	case protoErr != nil:
-		res.Err = protoErr
+		out.err = protoErr
 	case reason != "":
-		res.Err = errors.New(reason)
+		out.err = errors.New(reason)
 	case werr != nil:
-		res.Err = fmt.Errorf("agent exited abnormally: %w", werr)
+		out.err = fmt.Errorf("agent exited abnormally: %w", werr)
 	case !gotResult:
-		res.Err = errors.New("agent exited without a result frame")
+		out.err = errors.New("agent exited without a result frame")
 	}
-	if res.Err != nil {
+	if out.err != nil {
 		if tail := stderr.String(); tail != "" {
-			res.Err = fmt.Errorf("%w (stderr: %s)", res.Err, tail)
+			out.err = fmt.Errorf("%w (stderr: %s)", out.err, tail)
 		}
 	}
+	return out
 }

@@ -4,10 +4,25 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"os/signal"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"rubic/internal/core"
 )
+
+// argAfter extracts the value following a flag in a raw agent argument list
+// (the helper children parse just the flags their behavior depends on).
+func argAfter(args []string, flag string) string {
+	for i := 0; i < len(args)-1; i++ {
+		if args[i] == flag {
+			return args[i+1]
+		}
+	}
+	return ""
+}
 
 // TestHelperAgent is not a test: it is the body of the fake (and real) agent
 // children the supervisor tests spawn. The parent re-executes its own test
@@ -58,6 +73,55 @@ func TestHelperAgent(t *testing.T) {
 		fmt.Println(`{"v":99,"type":"telemetry","telemetry":{"t":0.01,"level":1,"tput":1,"commits":0,"aborts":0}}`)
 	case "silent":
 		time.Sleep(10 * time.Second)
+	case "flaky":
+		// Crashes its first two incarnations after publishing resumable tuning
+		// state; the third incarnation succeeds and echoes the state the
+		// supervisor restored into it (as MeanLevel), proving preservation.
+		inc, _ := strconv.Atoi(argAfter(args, "-incarnation"))
+		enc.Encode(hello)
+		if inc < 2 {
+			enc.Encode(TelemetryFrame(Telemetry{T: 0.01, Level: 3, Tput: 50,
+				Ctl: &core.TuningState{Level: 7, WMax: 9 + float64(inc), Epoch: 1.5}}))
+			fmt.Fprintln(os.Stderr, "fake agent: flaky crash")
+			os.Exit(3)
+		}
+		res := Result{Completed: 100, Tput: 10, MeanLevel: 1, Verified: true}
+		if st, err := parseRestore(argAfter(args, "-restore")); err == nil {
+			res.MeanLevel = st.WMax
+		}
+		enc.Encode(ResultFrame(res))
+	case "crashloop":
+		// Dies instantly on every incarnation, before any telemetry: the
+		// canonical crash-loop the circuit breaker exists for.
+		enc.Encode(hello)
+		fmt.Fprintln(os.Stderr, "fake agent: crash loop")
+		os.Exit(3)
+	case "corrupty":
+		// One garbage line amid otherwise healthy frames.
+		enc.Encode(hello)
+		fmt.Println("@@garbage, not a frame@@")
+		enc.Encode(TelemetryFrame(Telemetry{T: 0.01, Level: 1, Tput: 100}))
+		enc.Encode(ResultFrame(Result{Completed: 50, Tput: 100, MeanLevel: 1, Verified: true}))
+	case "wedged":
+		// Ignores interrupts and never finishes: only the supervisor's kill
+		// escalation can end it.
+		enc.Encode(hello)
+		enc.Encode(TelemetryFrame(Telemetry{T: 0.01, Level: 1, Tput: 100}))
+		signal.Ignore(os.Interrupt)
+		time.Sleep(30 * time.Second)
+	case "slowpoke":
+		// Healthy but slow: overstays the deadline, yet flushes a final result
+		// when interrupted — the graceful half of the shutdown escalation.
+		enc.Encode(hello)
+		enc.Encode(TelemetryFrame(Telemetry{T: 0.01, Level: 1, Tput: 100}))
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		select {
+		case <-ch:
+			enc.Encode(ResultFrame(Result{Completed: 42, Interrupted: true}))
+			os.Exit(1)
+		case <-time.After(30 * time.Second):
+		}
 	}
 	os.Exit(0)
 }
@@ -208,6 +272,165 @@ func TestSupervisorLateArrivalRejected(t *testing.T) {
 	}
 	if results[0].Err != nil {
 		t.Errorf("on-time child damaged: %v", results[0].Err)
+	}
+}
+
+// TestRestartPolicyDelayDeterministic pins the backoff schedule's contract:
+// exponential growth capped at MaxBackoff, jitter within [0.5, 1.5) of the
+// base, and full determinism for a fixed (seed, child, restart) triple.
+func TestRestartPolicyDelayDeterministic(t *testing.T) {
+	p := RestartPolicy{MaxRestarts: 5, Backoff: 10 * time.Millisecond,
+		MaxBackoff: 80 * time.Millisecond, JitterSeed: 42}
+	for r := 1; r <= 8; r++ {
+		a, b := p.Delay("child", r), p.Delay("child", r)
+		if a != b {
+			t.Fatalf("restart %d: nondeterministic delay %v vs %v", r, a, b)
+		}
+		base := 10 * time.Millisecond << (r - 1)
+		if base > 80*time.Millisecond {
+			base = 80 * time.Millisecond
+		}
+		if a < base/2 || a >= base+base/2 {
+			t.Fatalf("restart %d: delay %v outside [%v, %v)", r, a, base/2, base+base/2)
+		}
+	}
+}
+
+// TestSupervisorRestartRecovers is the recovery half of the crash-loop
+// coverage: a child that crashes twice (streaming telemetry first) is
+// relaunched within the restart budget, its backoff delays follow the
+// deterministic schedule, the preserved tuning state reaches the replacement
+// process, and the sibling is untouched throughout.
+func TestSupervisorRestartRecovers(t *testing.T) {
+	opt := Options{
+		Duration: 5 * time.Second,
+		Restart: RestartPolicy{MaxRestarts: 3, Backoff: 5 * time.Millisecond,
+			MaxBackoff: 20 * time.Millisecond, JitterSeed: 7},
+		Exec: fakeExec("good", map[string]string{"A": "flaky"}),
+	}
+	results, err := Run(twoChildren(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := results[0]
+	if a.Restarts != 2 {
+		t.Fatalf("flaky child restarted %d times, want 2", a.Restarts)
+	}
+	if len(a.Backoffs) != 2 {
+		t.Fatalf("recorded backoffs %v, want 2 entries", a.Backoffs)
+	}
+	for i, d := range a.Backoffs {
+		if want := opt.Restart.Delay("A", i+1); d != want {
+			t.Errorf("backoff %d = %v, want the deterministic %v", i, d, want)
+		}
+	}
+	// Incarnation 1's last published state had WMax 10; the supervisor must
+	// have handed exactly that to incarnation 2 via -restore.
+	if a.MeanLevel != 10 {
+		t.Errorf("restored tuning state did not reach the replacement: echoed wMax %v, want 10", a.MeanLevel)
+	}
+	// Telemetry from all incarnations is concatenated on the group clock.
+	if a.Levels.Len() != 2 {
+		t.Errorf("crashed incarnations' telemetry lost: %d samples, want 2", a.Levels.Len())
+	}
+	if b := results[1]; b.Err != nil || b.Completed != 300 || b.Restarts != 0 {
+		t.Errorf("sibling damaged by the restarts: %+v", b)
+	}
+}
+
+// TestSupervisorBreakerTrips is the breaker half of the crash-loop coverage:
+// a child dying instantly on every incarnation trips the circuit breaker
+// after the configured number of consecutive crash-loops — long before the
+// restart budget — while the sibling stack runs to completion.
+func TestSupervisorBreakerTrips(t *testing.T) {
+	results, err := Run(twoChildren(), Options{
+		Duration: 5 * time.Second,
+		Restart: RestartPolicy{MaxRestarts: 10, Backoff: 2 * time.Millisecond,
+			MaxBackoff: 8 * time.Millisecond, JitterSeed: 3, BreakerThreshold: 3},
+		Exec: fakeExec("good", map[string]string{"B": "crashloop"}),
+	})
+	if err == nil || !strings.Contains(err.Error(), "circuit breaker") {
+		t.Fatalf("breaker trip unreported: %v", err)
+	}
+	b := results[1]
+	if !b.BreakerTripped {
+		t.Error("BreakerTripped not set")
+	}
+	if b.Restarts != 2 {
+		t.Errorf("breaker tripped after %d restarts, want 2 (3 consecutive crash-loops)", b.Restarts)
+	}
+	if a := results[0]; a.Err != nil || a.Completed != 300 || a.Levels.Len() != 3 {
+		t.Errorf("sibling stopped ticking during the crash-loop: %+v", a)
+	}
+}
+
+func TestSupervisorRestartBudgetExhausted(t *testing.T) {
+	results, err := Run(twoChildren()[:1], Options{
+		Duration: 5 * time.Second,
+		Restart:  RestartPolicy{MaxRestarts: 2, Backoff: 2 * time.Millisecond, JitterSeed: 1},
+		Exec:     fakeExec("crashloop", nil),
+	})
+	if err == nil || !strings.Contains(err.Error(), "restart budget exhausted") {
+		t.Fatalf("budget exhaustion unreported: %v", err)
+	}
+	if results[0].Restarts != 2 {
+		t.Errorf("restarted %d times, want the full budget of 2", results[0].Restarts)
+	}
+}
+
+// TestSupervisorFrameErrorBudget: a garbage line inside the budget is dropped
+// and counted instead of failing the child.
+func TestSupervisorFrameErrorBudget(t *testing.T) {
+	results, err := Run(twoChildren()[:1], Options{
+		Duration:         time.Second,
+		FrameErrorBudget: 2,
+		Exec:             fakeExec("corrupty", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].DroppedFrames != 1 {
+		t.Errorf("dropped frames %d, want 1", results[0].DroppedFrames)
+	}
+	if results[0].Completed != 50 || !results[0].Verified {
+		t.Errorf("result lost around the dropped frame: %+v", results[0])
+	}
+}
+
+// TestSupervisorWedgedChildBoundedTeardown is the escalation's hard half: a
+// child that ignores interrupts must still be reaped within Grace + KillGrace
+// — a wedged agent can no longer hang the run teardown indefinitely.
+func TestSupervisorWedgedChildBoundedTeardown(t *testing.T) {
+	start := time.Now()
+	_, err := Run(twoChildren()[:1], Options{
+		Duration:  100 * time.Millisecond,
+		Grace:     100 * time.Millisecond,
+		KillGrace: 200 * time.Millisecond,
+		Exec:      fakeExec("wedged", nil),
+	})
+	if err == nil || !strings.Contains(err.Error(), "run deadline") {
+		t.Fatalf("wedged child unreported: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("teardown of a wedged child took %v", elapsed)
+	}
+}
+
+// TestSupervisorInterruptLetsAgentFlush is the escalation's graceful half: a
+// slow-but-responsive child gets the interrupt first and manages to flush a
+// final (partial, Interrupted) result before the kill would land.
+func TestSupervisorInterruptLetsAgentFlush(t *testing.T) {
+	results, err := Run(twoChildren()[:1], Options{
+		Duration:  100 * time.Millisecond,
+		Grace:     100 * time.Millisecond,
+		KillGrace: 5 * time.Second,
+		Exec:      fakeExec("slowpoke", nil),
+	})
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("interrupted child unreported: %v", err)
+	}
+	if results[0].Completed != 42 {
+		t.Errorf("partial result not flushed on interrupt: %+v", results[0])
 	}
 }
 

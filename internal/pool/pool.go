@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rubic/internal/fault"
 	"rubic/internal/metrics"
 )
 
@@ -31,10 +32,13 @@ type Pool struct {
 	task Task
 	seed int64
 
-	level atomic.Int32
-	stop  chan struct{}
-	sems  []chan struct{}
-	count *metrics.ShardedCounter // shard = worker id
+	level  atomic.Int32
+	stop   chan struct{}
+	sems   []chan struct{}
+	count  *metrics.ShardedCounter // shard = worker id
+	faults *metrics.ShardedCounter // shard = worker id; recovered task panics
+	active atomic.Int64            // workers currently holding a gate slot
+	inj    *fault.Injector         // nil: no chaos (one pointer test per task)
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -52,12 +56,13 @@ func New(size int, seed int64, task Task) (*Pool, error) {
 		return nil, fmt.Errorf("pool: nil task")
 	}
 	p := &Pool{
-		size:  size,
-		task:  task,
-		seed:  seed,
-		stop:  make(chan struct{}),
-		sems:  make([]chan struct{}, size),
-		count: metrics.NewShardedCounter(size),
+		size:   size,
+		task:   task,
+		seed:   seed,
+		stop:   make(chan struct{}),
+		sems:   make([]chan struct{}, size),
+		count:  metrics.NewShardedCounter(size),
+		faults: metrics.NewShardedCounter(size),
 	}
 	for i := range p.sems {
 		p.sems[i] = make(chan struct{}, 1)
@@ -108,9 +113,26 @@ func (p *Pool) Stop() {
 	p.wg.Wait()
 }
 
-// worker is Algorithm 1's task-acquisition loop.
+// InstallFaults installs a fault injector driving the pool.panic and
+// pool.stall injection points. Call before Start; a nil injector (the
+// default) keeps the worker loop's fault hooks inert.
+func (p *Pool) InstallFaults(in *fault.Injector) { p.inj = in }
+
+// worker is Algorithm 1's task-acquisition loop, hardened: the gate slot a
+// worker holds (its contribution to Active) is released on every exit path —
+// including exiting between acquiring the gate and running its first task —
+// and task panics are recovered in runTask so one poisoned transaction body
+// can neither kill the process nor wedge the gate.
 func (p *Pool) worker(tid int) {
 	defer p.wg.Done()
+	admitted := false
+	release := func() {
+		if admitted {
+			admitted = false
+			p.active.Add(-1)
+		}
+	}
+	defer release()
 	rng := rand.New(rand.NewSource(p.seed + int64(tid)*1_000_003))
 	for {
 		select {
@@ -119,6 +141,7 @@ func (p *Pool) worker(tid int) {
 		default:
 		}
 		if tid >= int(p.level.Load()) {
+			release()
 			// Park until admitted again. The normal acquisition path above
 			// performs no blocking call, mirroring the paper's observation
 			// that Wait only happens when a thread must block.
@@ -129,11 +152,39 @@ func (p *Pool) worker(tid int) {
 				return
 			}
 		}
-		if p.task(tid, rng) {
+		if !admitted {
+			admitted = true
+			p.active.Add(1)
+		}
+		if p.inj != nil && p.inj.Fire(fault.WorkerStall) {
+			// A stalled worker sits in the task slot without progressing; it
+			// stays interruptible by Stop so the fault models a wedged
+			// transaction body, not an unkillable thread.
+			<-p.stop
+			return
+		}
+		if p.runTask(tid, rng) {
 			// Only this worker writes its shard; the monitor only reads.
 			p.count.Add(tid, 1)
 		}
 	}
+}
+
+// runTask executes one task, converting a panic raised inside the workload
+// closure into a per-worker fault count. The STM layer rolls back and
+// releases its locks before re-panicking user panics (stm.Tx.execute), so
+// recovering here leaves the runtime consistent.
+func (p *Pool) runTask(tid int, rng *rand.Rand) (completed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.faults.Add(tid, 1)
+			completed = false
+		}
+	}()
+	if p.inj != nil && p.inj.Fire(fault.WorkerPanic) {
+		panic(fmt.Sprintf("fault: injected panic in worker %d", tid))
+	}
+	return p.task(tid, rng)
 }
 
 // Completed returns the total number of completed tasks across all workers.
@@ -147,3 +198,17 @@ func (p *Pool) Completed() uint64 {
 func (p *Pool) PerWorkerCompleted() []uint64 {
 	return p.count.PerShard()[:p.size]
 }
+
+// Faults returns the total number of recovered task panics.
+func (p *Pool) Faults() uint64 { return p.faults.Sum() }
+
+// PerWorkerFaults returns each worker's recovered-panic count.
+func (p *Pool) PerWorkerFaults() []uint64 {
+	return p.faults.PerShard()[:p.size]
+}
+
+// Active returns the number of workers currently holding a gate slot (admitted
+// and inside the task loop). After Stop it is always zero: every exit path
+// releases the slot, including a worker exiting between acquiring the gate
+// and its first task.
+func (p *Pool) Active() int { return int(p.active.Load()) }

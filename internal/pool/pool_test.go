@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"rubic/internal/fault"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -166,6 +168,143 @@ func TestLevelChurn(t *testing.T) {
 	p.Stop()
 	if p.Completed() == 0 {
 		t.Fatal("no work completed under level churn")
+	}
+}
+
+// TestPanicRecovered: a poisoned task body must neither kill the process nor
+// stop the worker; the panic becomes a per-worker fault count and the worker
+// keeps executing subsequent tasks.
+func TestPanicRecovered(t *testing.T) {
+	var calls atomic.Int64
+	p, _ := New(1, 1, func(int, *rand.Rand) bool {
+		if calls.Add(1) <= 3 {
+			panic("poisoned transaction body")
+		}
+		return true
+	})
+	p.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Completed() < 10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	if p.Completed() < 10 {
+		t.Fatal("worker never recovered from the panics")
+	}
+	if got := p.Faults(); got != 3 {
+		t.Fatalf("fault count %d, want 3", got)
+	}
+	if per := p.PerWorkerFaults(); per[0] != 3 {
+		t.Fatalf("per-worker faults %v, want worker 0 = 3", per)
+	}
+	if p.Active() != 0 {
+		t.Fatalf("active slots %d after Stop, want 0", p.Active())
+	}
+}
+
+// TestChaosInjectedPanics drives the pool.panic injection point from a
+// seeded plan: the scheduled occurrences panic, everything else completes,
+// and the fault schedule is reproducible.
+func TestChaosInjectedPanics(t *testing.T) {
+	plan := &fault.Plan{Seed: 3, Events: []fault.Event{
+		{Point: fault.WorkerPanic, From: 5, Count: 4},
+	}}
+	p, _ := New(2, 1, func(int, *rand.Rand) bool { return true })
+	p.InstallFaults(fault.New(plan))
+	p.SetLevel(2)
+	p.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Faults() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	if got := p.Faults(); got != 4 {
+		t.Fatalf("injected faults %d, want exactly the scheduled 4", got)
+	}
+	if p.Completed() == 0 {
+		t.Fatal("no tasks completed around the injected panics")
+	}
+}
+
+// TestChaosStallReleasesGateSlot is the regression test for the leaked
+// active slot: a worker that stalls in the task slot (pool.stall) and then
+// exits at Stop — i.e. leaves between acquiring the gate and running a task
+// — must release its slot; Stop must not hang and Active must drain to 0.
+func TestChaosStallReleasesGateSlot(t *testing.T) {
+	plan := &fault.Plan{Seed: 4, Events: []fault.Event{
+		{Point: fault.WorkerStall, From: 0}, // the very first task slot stalls
+	}}
+	p, _ := New(2, 1, func(int, *rand.Rand) bool { return true })
+	p.InstallFaults(fault.New(plan))
+	p.SetLevel(2)
+	p.Start()
+	// Wait until the stalled worker holds a slot and the other makes progress.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Completed() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if p.Completed() == 0 {
+		t.Fatal("surviving worker made no progress beside the stalled one")
+	}
+	done := make(chan struct{})
+	go func() {
+		p.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung on a stalled worker")
+	}
+	if p.Active() != 0 {
+		t.Fatalf("leaked %d active slots after Stop", p.Active())
+	}
+}
+
+// TestNoSlotLeakOnImmediateStop churns the exit-between-gate-acquire-and-
+// first-task window: workers are admitted and immediately stopped, and the
+// accounting must always drain to zero.
+func TestNoSlotLeakOnImmediateStop(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		p, _ := New(4, int64(i), func(int, *rand.Rand) bool {
+			runtime.Gosched()
+			return true
+		})
+		p.Start()
+		p.SetLevel(4) // admit everyone (tokens race with the stop below)
+		if i%2 == 0 {
+			runtime.Gosched()
+		}
+		p.Stop()
+		if n := p.Active(); n != 0 {
+			t.Fatalf("iteration %d leaked %d active slots", i, n)
+		}
+	}
+}
+
+// TestActiveTracksLevel: Active converges to the gate level while running.
+func TestActiveTracksLevel(t *testing.T) {
+	p, _ := New(8, 1, func(int, *rand.Rand) bool {
+		runtime.Gosched()
+		return true
+	})
+	p.Start()
+	defer p.Stop()
+	p.SetLevel(5)
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Active() != 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.Active(); got != 5 {
+		t.Fatalf("active = %d at level 5", got)
+	}
+	p.SetLevel(2)
+	deadline = time.Now().Add(5 * time.Second)
+	for p.Active() != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.Active(); got != 2 {
+		t.Fatalf("active = %d after lowering to 2", got)
 	}
 }
 
