@@ -1,10 +1,10 @@
 GO ?= go
 
-# Packages carrying go test -bench micro-benchmarks (STM hot path and the
-# transactional containers).
-BENCH_PKGS = ./internal/stm ./internal/stm/container
+# Packages carrying go test -bench micro-benchmarks (STM hot path, the
+# transactional containers, and the malleable worker pool).
+BENCH_PKGS = ./internal/stm ./internal/stm/container ./internal/pool
 
-.PHONY: check build vet fmtcheck test race lint bench benchgate chaos
+.PHONY: check build vet fmtcheck test race lint bench benchgate benchscale benchscalegate chaos
 
 # check is the PR gate: vet, formatting, static analysis, the full test
 # suite, and a race-detector pass over the whole module.
@@ -34,18 +34,43 @@ race:
 lint:
 	$(GO) run ./cmd/rubic-lint ./...
 
-# bench runs the hot-path and container micro-benchmarks and records them as
-# a dated BENCH_<date>.json snapshot (see cmd/rubic-benchgate).
+# bench runs the hot-path, container and pool micro-benchmarks and records
+# them as a dated BENCH_<date>.json snapshot (see cmd/rubic-benchgate).
+# GOMAXPROCS is pinned to 1: rubic-bench/v2 keys carry the parallelism, so
+# serial snapshots must always be recorded at the same procs to stay
+# comparable across machines. Use benchscale for the parallel sweep.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) \
+	GOMAXPROCS=1 $(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/rubic-benchgate -emit BENCH_$$(date +%F).json
 
 # benchgate re-runs the benchmarks (short benchtime: the allocation gate is
 # deterministic, the time gate is loose) and compares them against the
-# checked-in baseline, failing on regressions.
+# checked-in serial baseline, failing on regressions. Pinned to GOMAXPROCS=1
+# to match how BENCH_baseline.json is recorded.
 benchgate:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 0.3s $(BENCH_PKGS) \
+	GOMAXPROCS=1 $(GO) test -run '^$$' -bench . -benchmem -benchtime 0.3s $(BENCH_PKGS) \
 		| $(GO) run ./cmd/rubic-benchgate -compare BENCH_baseline.json
+
+# benchscale is the multicore scaling sweep: the full benchmark suite at
+# GOMAXPROCS in {1, 2, 4, NumCPU} (deduplicated), folded into one dated
+# rubic-bench/v2 snapshot whose keys carry the per-run parallelism suffix.
+benchscale:
+	@ncpu=$$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1); \
+	procs=$$(printf '1\n2\n4\n%s\n' "$$ncpu" | sort -un); \
+	{ for p in $$procs; do \
+		echo ">>> benchscale: GOMAXPROCS=$$p" >&2; \
+		GOMAXPROCS=$$p $(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) || exit 1; \
+	done; } | $(GO) run ./cmd/rubic-benchgate -emit BENCH_scale_$$(date +%F).json
+
+# benchscalegate is the parallel regression gate: a 2-proc run compared
+# against the checked-in parallel baseline (recorded at GOMAXPROCS=2, the
+# smallest level where commit-path contention exists on any host). The
+# allocation slack is wider than the serial gate's: under contention every
+# retried write allocates a fresh publication box, so parallel allocs/op is
+# hardware-dependent where serial allocs/op is exact.
+benchscalegate:
+	GOMAXPROCS=2 $(GO) test -run '^$$' -bench . -benchmem -benchtime 0.3s $(BENCH_PKGS) \
+		| $(GO) run ./cmd/rubic-benchgate -compare BENCH_baseline_parallel.json -alloc-slack 3
 
 # chaos runs the seeded fault-injection soaks (internal/fault schedules are
 # pure functions of scenario@seed, so this is deterministic) under the race

@@ -1,6 +1,11 @@
 // Command rubic-benchgate turns `go test -bench -benchmem` output into the
-// repo's BENCH_<date>.json format and gates pull requests against a
-// checked-in baseline.
+// repo's BENCH_<date>.json format (schema rubic-bench/v2: the GOMAXPROCS
+// suffix stays in the benchmark key and each entry records its procs, so a
+// scaling sweep yields one comparable entry per parallelism level) and gates
+// pull requests against a checked-in baseline. Because keys carry the
+// parallelism, gate runs must pin GOMAXPROCS to the value the baseline was
+// recorded at (the Makefile's benchgate target pins 1; CI's parallel smoke
+// pins 2).
 //
 // Usage:
 //
@@ -38,8 +43,12 @@ import (
 	"time"
 )
 
-// Result is one benchmark's measurements.
+// Result is one benchmark's measurements. Procs is the GOMAXPROCS the
+// benchmark ran at (parsed from the -N suffix the testing package appends;
+// 1 when absent), so a scaling sweep's entries are distinguishable and a
+// gate run knows which parallelism a baseline number was recorded at.
 type Result struct {
+	Procs    int                `json:"procs,omitempty"`
 	Iters    int64              `json:"iters"`
 	NsPerOp  float64            `json:"ns_op"`
 	BPerOp   float64            `json:"b_op"`
@@ -58,11 +67,21 @@ type File struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
-const schemaID = "rubic-bench/v1"
+// Schema versions. v1 stripped the GOMAXPROCS suffix from benchmark names,
+// which made the same benchmark run at different parallelism levels collide
+// on one key (the last writer silently won). v2 keeps the suffix in the key
+// and records the parallelism per entry; v1 files are still readable so old
+// baselines keep gating GOMAXPROCS=1 runs.
+const (
+	schemaID   = "rubic-bench/v2"
+	schemaIDv1 = "rubic-bench/v1"
+)
 
-// gomaxprocsSuffix strips the -N procs suffix the testing package appends to
-// benchmark names, so results compare across machines.
-var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+// gomaxprocsSuffix matches the -N procs suffix the testing package appends
+// to benchmark names when GOMAXPROCS != 1. It is parsed into Result.Procs
+// and retained in the key, so a scaling sweep at several GOMAXPROCS values
+// yields distinct, comparable entries instead of silently overwriting one.
+var gomaxprocsSuffix = regexp.MustCompile(`-(\d+)$`)
 
 // parseBench reads `go test -bench` output and collects per-benchmark
 // results. Unrecognized lines (package headers, PASS, custom test output)
@@ -113,7 +132,13 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 		if !seen {
 			continue
 		}
-		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		name := fields[0]
+		res.Procs = 1
+		if m := gomaxprocsSuffix.FindStringSubmatch(name); m != nil {
+			if p, err := strconv.Atoi(m[1]); err == nil {
+				res.Procs = p
+			}
+		}
 		if prev, ok := out[name]; ok && prev.NsPerOp <= res.NsPerOp {
 			continue
 		}
@@ -176,8 +201,20 @@ func loadFile(path string) (*File, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if f.Schema != schemaID {
-		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, schemaID)
+	switch f.Schema {
+	case schemaID:
+	case schemaIDv1:
+		// v1 predates per-entry parallelism: every key had its suffix
+		// stripped, so entries are only meaningful for GOMAXPROCS=1 gating.
+		// Backfill Procs so comparisons can still explain themselves.
+		for name, r := range f.Benchmarks {
+			if r.Procs == 0 {
+				r.Procs = 1
+				f.Benchmarks[name] = r
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%s: schema %q, want %q (or legacy %q)", path, f.Schema, schemaID, schemaIDv1)
 	}
 	return &f, nil
 }

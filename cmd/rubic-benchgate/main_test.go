@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -34,18 +35,21 @@ func TestParseBench(t *testing.T) {
 	if len(res) != 4 {
 		t.Fatalf("parsed %d benchmarks, want 4: %v", len(res), res)
 	}
-	ro, ok := res["BenchmarkAtomicRO/tl2"]
+	ro, ok := res["BenchmarkAtomicRO/tl2-8"]
 	if !ok {
-		t.Fatalf("GOMAXPROCS suffix not stripped: %v", res)
+		t.Fatalf("GOMAXPROCS suffix must stay in the key (v2): %v", res)
 	}
 	if ro.Iters != 5013452 || ro.NsPerOp != 238.9 || ro.AllocsOp != 0 {
-		t.Errorf("BenchmarkAtomicRO/tl2 = %+v", ro)
+		t.Errorf("BenchmarkAtomicRO/tl2-8 = %+v", ro)
 	}
-	wr := res["BenchmarkAtomicWrite/tl2"]
+	if ro.Procs != 8 {
+		t.Errorf("Procs = %d, want 8 parsed from the suffix", ro.Procs)
+	}
+	wr := res["BenchmarkAtomicWrite/tl2-8"]
 	if wr.BPerOp != 16 || wr.AllocsOp != 1 {
-		t.Errorf("BenchmarkAtomicWrite/tl2 = %+v", wr)
+		t.Errorf("BenchmarkAtomicWrite/tl2-8 = %+v", wr)
 	}
-	fig := res["BenchmarkFig4CubicFunction"]
+	fig := res["BenchmarkFig4CubicFunction-8"]
 	if fig.Metrics["value-at-inflection"] != 12 {
 		t.Errorf("custom metric not captured: %+v", fig)
 	}
@@ -57,8 +61,33 @@ func TestParseBenchKeepsFastestDuplicate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := res["BenchmarkX"].NsPerOp; got != 40 {
+	if got := res["BenchmarkX-4"].NsPerOp; got != 40 {
 		t.Errorf("kept %v ns/op, want fastest 40", got)
+	}
+}
+
+// TestParseBenchProcsDoNotCollide pins the v2 fix for the scaling sweep: the
+// same benchmark run at several GOMAXPROCS values must yield one entry per
+// parallelism level, not one entry silently overwritten by the last run.
+func TestParseBenchProcsDoNotCollide(t *testing.T) {
+	in := "BenchmarkHot 100 90.0 ns/op\n" + // GOMAXPROCS=1: no suffix
+		"BenchmarkHot-2 100 60.0 ns/op\n" +
+		"BenchmarkHot-4 100 45.0 ns/op\n"
+	res, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d entries, want 3 distinct procs levels: %v", len(res), res)
+	}
+	for key, procs := range map[string]int{"BenchmarkHot": 1, "BenchmarkHot-2": 2, "BenchmarkHot-4": 4} {
+		r, ok := res[key]
+		if !ok {
+			t.Fatalf("missing %q: %v", key, res)
+		}
+		if r.Procs != procs {
+			t.Errorf("%s Procs = %d, want %d", key, r.Procs, procs)
+		}
 	}
 }
 
@@ -115,11 +144,41 @@ func TestEmitAndLoadRoundTrip(t *testing.T) {
 	if len(f.Benchmarks) != len(res) {
 		t.Fatalf("round trip lost benchmarks: %d != %d", len(f.Benchmarks), len(res))
 	}
-	if !reflect.DeepEqual(f.Benchmarks["BenchmarkAtomicWrite/tl2"],
-		Result{Iters: 2000000, NsPerOp: 601.5, BPerOp: 16, AllocsOp: 1}) {
-		t.Errorf("round trip mutated result: %+v", f.Benchmarks["BenchmarkAtomicWrite/tl2"])
+	if f.Schema != schemaID {
+		t.Errorf("emitted schema %q, want %q", f.Schema, schemaID)
+	}
+	if !reflect.DeepEqual(f.Benchmarks["BenchmarkAtomicWrite/tl2-8"],
+		Result{Procs: 8, Iters: 2000000, NsPerOp: 601.5, BPerOp: 16, AllocsOp: 1}) {
+		t.Errorf("round trip mutated result: %+v", f.Benchmarks["BenchmarkAtomicWrite/tl2-8"])
 	}
 	if _, err := loadFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
 		t.Error("want error for missing baseline file")
+	}
+}
+
+// TestLoadFileV1Compat: legacy rubic-bench/v1 baselines must still load (they
+// gate GOMAXPROCS=1 runs, whose keys carry no suffix) with Procs backfilled.
+func TestLoadFileV1Compat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.json")
+	v1 := `{"schema":"rubic-bench/v1","date":"2026-08-06T00:00:00Z","go":"go1.24.0",` +
+		`"goos":"linux","goarch":"amd64","gomaxprocs":1,` +
+		`"benchmarks":{"BenchmarkAtomicRO/tl2":{"iters":100,"ns_op":240,"b_op":0,"allocs_op":0}}}`
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := loadFile(path)
+	if err != nil {
+		t.Fatalf("v1 baseline must remain readable: %v", err)
+	}
+	if got := f.Benchmarks["BenchmarkAtomicRO/tl2"].Procs; got != 1 {
+		t.Errorf("v1 entry Procs = %d, want backfilled 1", got)
+	}
+
+	bad := filepath.Join(t.TempDir(), "v9.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"rubic-bench/v9","benchmarks":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadFile(bad); err == nil {
+		t.Error("unknown schema must be rejected")
 	}
 }

@@ -1,0 +1,64 @@
+package metrics
+
+import "sync/atomic"
+
+// Padded atomic words for globally shared hot fields: a leading full-line
+// pad keeps the word off the previous struct field's cache line, a trailing
+// pad keeps the next field off the word's own line. They exist for the few
+// single words every core hammers — the STM's global version clock and
+// NOrec sequence lock, the pool's parallelism level and active count —
+// where a ShardedCounter is the wrong shape because readers need one exact
+// word, not a statistical sum. Embedding the padding in the type (rather
+// than ordering struct fields by hand) keeps the isolation robust against
+// later field insertions.
+
+// PaddedUint64 is an atomic uint64 alone on its cache line.
+type PaddedUint64 struct {
+	_ [cacheLine]byte
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// Load returns the current value.
+func (p *PaddedUint64) Load() uint64 { return p.v.Load() }
+
+// Store sets the value.
+func (p *PaddedUint64) Store(x uint64) { p.v.Store(x) }
+
+// Add adds delta and returns the new value.
+func (p *PaddedUint64) Add(delta uint64) uint64 { return p.v.Add(delta) }
+
+// CompareAndSwap executes the compare-and-swap operation.
+func (p *PaddedUint64) CompareAndSwap(old, new uint64) bool { return p.v.CompareAndSwap(old, new) }
+
+// PaddedInt32 is an atomic int32 alone on its cache line.
+type PaddedInt32 struct {
+	_ [cacheLine]byte
+	v atomic.Int32
+	_ [cacheLine - 4]byte
+}
+
+// Load returns the current value.
+func (p *PaddedInt32) Load() int32 { return p.v.Load() }
+
+// Store sets the value.
+func (p *PaddedInt32) Store(x int32) { p.v.Store(x) }
+
+// Swap sets the value and returns the previous one.
+func (p *PaddedInt32) Swap(x int32) int32 { return p.v.Swap(x) }
+
+// PaddedInt64 is an atomic int64 alone on its cache line.
+type PaddedInt64 struct {
+	_ [cacheLine]byte
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Load returns the current value.
+func (p *PaddedInt64) Load() int64 { return p.v.Load() }
+
+// Store sets the value.
+func (p *PaddedInt64) Store(x int64) { p.v.Store(x) }
+
+// Add adds delta and returns the new value.
+func (p *PaddedInt64) Add(delta int64) int64 { return p.v.Add(delta) }

@@ -1,0 +1,47 @@
+package pool
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkPoolThroughput measures end-to-end pool throughput — ns per
+// completed task, including gate checks, level admission, the per-worker
+// completion counter and the monitor-side Completed() sampling — swept over
+// parallelism levels. The task itself is a short deterministic spin on the
+// worker-private RNG, so the benchmark isolates the pool machinery and the
+// cache traffic between the level/active words and the counter shards
+// rather than workload cost. `make benchscale` runs the sweep at several
+// GOMAXPROCS values; keep names stable.
+func BenchmarkPoolThroughput(b *testing.B) {
+	for _, lvl := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("level=%d", lvl), func(b *testing.B) {
+			task := func(_ int, rng *rand.Rand) bool {
+				// A handful of private RNG steps: enough work that the loop
+				// is not pure counter traffic, little enough that pool
+				// overhead dominates.
+				s := 0
+				for i := 0; i < 8; i++ {
+					s += int(rng.Int63() & 1)
+				}
+				return s >= 0
+			}
+			p, err := New(8, 1, task)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.SetLevel(lvl)
+			p.Start()
+			defer p.Stop()
+			b.ResetTimer()
+			// The monitor-side sampling loop the paper's controller performs:
+			// wait until the workers have completed b.N tasks.
+			for p.Completed() < uint64(b.N) {
+				runtime.Gosched()
+			}
+			b.StopTimer()
+		})
+	}
+}

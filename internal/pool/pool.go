@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 
 	"rubic/internal/fault"
 	"rubic/internal/metrics"
@@ -32,12 +31,19 @@ type Pool struct {
 	task Task
 	seed int64
 
-	level  atomic.Int32
+	// level and active are the pool's two globally shared hot words: every
+	// worker polls level once per task and the controller swaps it on each
+	// actuation, while active is written on every admission transition and
+	// read by the monitor. Both are cache-line padded (metrics.PaddedInt32/
+	// PaddedInt64) so a level actuation or admission bump does not
+	// invalidate the line the other workers' task loops are reading — the
+	// same false-sharing discipline the STM applies to its global clock.
+	level  metrics.PaddedInt32
 	stop   chan struct{}
 	sems   []chan struct{}
 	count  *metrics.ShardedCounter // shard = worker id
 	faults *metrics.ShardedCounter // shard = worker id; recovered task panics
-	active atomic.Int64            // workers currently holding a gate slot
+	active metrics.PaddedInt64     // workers currently holding a gate slot
 	inj    *fault.Injector         // nil: no chaos (one pointer test per task)
 
 	startOnce sync.Once

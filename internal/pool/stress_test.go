@@ -1,0 +1,85 @@
+package pool
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSetLevelStress hammers SetLevel from several goroutines while the
+// workers run flat out, under whatever detector the test binary carries
+// (the Makefile's race target runs it with -race). It pins the gate
+// invariants the padded level/active words must preserve under full
+// parallelism: the pool keeps completing tasks through continuous level
+// churn, Level stays within [1, Size], and after Stop every gate slot has
+// been released.
+func TestSetLevelStress(t *testing.T) {
+	const (
+		size     = 8
+		churners = 4
+		duration = 150 * time.Millisecond
+	)
+	var running atomic.Int64
+	p, err := New(size, 42, func(id int, rng *rand.Rand) bool {
+		running.Add(1)
+		s := 0
+		for i := 0; i < 32; i++ {
+			s += int(rng.Int63() & 3)
+		}
+		running.Add(-1)
+		return s >= 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetLevel(size)
+	p.Start()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.SetLevel(1 + rng.Intn(size))
+				if lvl := p.Level(); lvl < 1 || lvl > size {
+					t.Errorf("level %d escaped [1, %d]", lvl, size)
+					return
+				}
+				if a := p.Active(); a < 0 || a > size {
+					t.Errorf("active %d escaped [0, %d]", a, size)
+					return
+				}
+			}
+		}(int64(c) + 1)
+	}
+
+	before := p.Completed()
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	after := p.Completed()
+	p.Stop()
+
+	if after == before {
+		t.Fatal("no tasks completed while SetLevel was churning")
+	}
+	if a := p.Active(); a != 0 {
+		t.Fatalf("Active = %d after Stop, want 0", a)
+	}
+	if r := running.Load(); r != 0 {
+		t.Fatalf("%d task bodies still running after Stop", r)
+	}
+	if p.Faults() != 0 {
+		t.Fatalf("unexpected recovered panics: %d", p.Faults())
+	}
+}

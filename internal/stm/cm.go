@@ -1,8 +1,8 @@
 package stm
 
 import (
-	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,43 +36,152 @@ func (SuicideCM) BeforeRetry(_ *Tx, _ int) { runtime.Gosched() }
 // Name implements ContentionManager.
 func (SuicideCM) Name() string { return "suicide" }
 
-// BackoffCM aborts the attacker and applies randomized exponential backoff
-// between retries, bounding both the exponent and the ceiling. It is the
-// default manager: free of deadlock and, probabilistically, of livelock.
+// BackoffCM aborts the attacker and paces retries with an adaptive
+// spin → yield → sleep ladder, randomized from the transaction's private
+// xorshift PRNG. It is the default manager: free of deadlock and,
+// probabilistically, of livelock.
+//
+// The ladder replaces the earlier shared-rand time.Sleep ladder, whose two
+// multicore costs the parallel harness made visible: every retry serialized
+// on math/rand's global mutex (one more shared cache line on the abort
+// path), and the earliest retries — where the owner is typically nanoseconds
+// from done — paid a scheduler round trip or a timer sleep. Now the first
+// retries busy-spin briefly (multicore only: with one schedulable context
+// the owner cannot be running, so spinning is pure waste and the ladder
+// starts at yield), the middle retries yield the processor, and only
+// persistent conflicts escalate to randomized exponential sleeping, bounded
+// by Base/Max as before. All jitter comes from Tx.nextRand, so a
+// transaction's backoff sequence is deterministic and contention-free.
+//
+// The policy (like any ContentionManager) is selected via Config.CM;
+// BackoffCM{} is the default when Config.CM is nil.
 type BackoffCM struct {
-	// Base is the first-retry backoff ceiling; defaults to 1µs.
+	// Base is the sleep-phase first ceiling; defaults to backoffSleepBase.
 	Base time.Duration
-	// Max bounds the backoff ceiling; defaults to 100µs.
+	// Max bounds the sleep ceiling; defaults to backoffSleepMax.
 	Max time.Duration
+}
+
+// Backoff-ladder tuning. Spin counts are iterations of a no-op atomic load
+// loop (~1ns each); the phase boundaries are attempt numbers.
+const (
+	// backoffSpinRetries is the number of initial retries served by busy
+	// spinning when more than one processor is available.
+	backoffSpinRetries = 2
+	// backoffSpinCap bounds the randomized spin iteration count.
+	backoffSpinCap = 256
+	// backoffYieldRetries is the attempt number up to which retries are
+	// served by scheduler yields; beyond it the ladder sleeps.
+	backoffYieldRetries = 6
+	// backoffYieldCap bounds the randomized yield count per retry.
+	backoffYieldCap = 4
+	// backoffSleepBase is the default first sleep-phase ceiling.
+	backoffSleepBase = time.Microsecond
+	// backoffSleepMax is the default bound on the sleep ceiling.
+	backoffSleepMax = 100 * time.Microsecond
+)
+
+// backoffStep is one planned pacing action: spin iterations, scheduler
+// yields, or a sleep. Exactly one field is non-zero.
+type backoffStep struct {
+	spins  int
+	yields int
+	sleep  time.Duration
+}
+
+// plan computes the pacing for the attempt-th retry from one PRNG draw r
+// and the number of schedulable contexts. It is a pure function, which is
+// what makes the ladder unit-testable: the same (attempt, r, procs) always
+// yields the same step.
+func (b BackoffCM) plan(attempt int, r uint64, procs int) backoffStep {
+	if procs > 1 && attempt <= backoffSpinRetries {
+		// The conflicting owner is likely mid-commit on another core;
+		// spinning a few hundred nanoseconds beats handing our context to
+		// the scheduler and back.
+		bound := backoffSpinCap << uint(attempt-1)
+		return backoffStep{spins: 1 + int(r%uint64(bound))}
+	}
+	if attempt <= backoffYieldRetries {
+		return backoffStep{yields: 1 + int(r%backoffYieldCap)}
+	}
+	base := b.Base
+	if base <= 0 {
+		base = backoffSleepBase
+	}
+	maxd := b.Max
+	if maxd <= 0 {
+		maxd = backoffSleepMax
+	}
+	exp := attempt - backoffYieldRetries
+	if exp > 16 {
+		exp = 16
+	}
+	ceil := base << uint(exp)
+	if ceil > maxd {
+		ceil = maxd
+	}
+	d := time.Duration(r % uint64(ceil+1))
+	if d < backoffSleepBase {
+		// Too short for the timer's resolution to be meaningful: yield.
+		return backoffStep{yields: 1}
+	}
+	return backoffStep{sleep: d}
+}
+
+// spinSink is the load target of the backoff spin loop: an always-zero
+// atomic the compiler cannot elide, touched by no writer, so spinning reads
+// a shard-local cache line and generates no coherence traffic.
+var spinSink atomic.Uint64
+
+// backoffRand draws jitter for tx, falling back to a package-level
+// splitmix64 sequence when the manager is used detached from a transaction
+// (direct calls in tests or embedding managers).
+var backoffFallbackRand atomic.Uint64
+
+func backoffRand(tx *Tx) uint64 {
+	if tx != nil {
+		return tx.nextRand()
+	}
+	x := backoffFallbackRand.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return x
 }
 
 // ShouldAbort always sacrifices the attacker; progress comes from backoff.
 func (BackoffCM) ShouldAbort(_, _ *Tx) bool { return true }
 
-// BeforeRetry sleeps for a uniformly random duration below an exponentially
-// growing ceiling.
-func (b BackoffCM) BeforeRetry(_ *Tx, attempt int) {
-	base := b.Base
-	if base <= 0 {
-		base = time.Microsecond
+// spinProcs is the parallelism the spin-phase decision keys on: the lock
+// owner can only be making progress while we spin if another *hardware*
+// context is actually running it, so GOMAXPROCS is capped by the physical
+// CPU count (oversubscribed GOMAXPROCS on a small host would otherwise burn
+// the owner's own timeslice spinning).
+func spinProcs() int {
+	procs := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < procs {
+		procs = n
 	}
-	maxd := b.Max
-	if maxd <= 0 {
-		maxd = 100 * time.Microsecond
+	return procs
+}
+
+// BeforeRetry applies the adaptive spin → yield → sleep ladder.
+func (b BackoffCM) BeforeRetry(tx *Tx, attempt int) {
+	step := b.plan(attempt, backoffRand(tx), spinProcs())
+	switch {
+	case step.spins > 0:
+		for i := 0; i < step.spins; i++ {
+			if spinSink.Load() != 0 {
+				break
+			}
+		}
+	case step.yields > 0:
+		for i := 0; i < step.yields; i++ {
+			runtime.Gosched()
+		}
+	default:
+		time.Sleep(step.sleep)
 	}
-	if attempt > 16 {
-		attempt = 16
-	}
-	ceil := base << uint(attempt)
-	if ceil > maxd {
-		ceil = maxd
-	}
-	d := time.Duration(rand.Int63n(int64(ceil) + 1))
-	if d < time.Microsecond {
-		runtime.Gosched()
-		return
-	}
-	time.Sleep(d)
 }
 
 // Name implements ContentionManager.

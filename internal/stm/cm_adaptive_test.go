@@ -1,0 +1,196 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tests for the adaptive backoff ladder: plan() is a pure function of
+// (attempt, PRNG draw, procs), and all jitter comes from the per-Tx
+// xorshift PRNG, so every decision here is checked deterministically.
+
+// TestNextRandDeterministicPerTx: the jitter stream is a pure function of
+// the transaction's birth timestamp — equal seeds give equal streams,
+// different seeds give different ones, and no draw is ever zero-valued in a
+// way that would reseed mid-stream.
+func TestNextRandDeterministicPerTx(t *testing.T) {
+	draw := func(seed uint64, n int) []uint64 {
+		tx := &Tx{}
+		tx.ts.Store(seed)
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = tx.nextRand()
+		}
+		return out
+	}
+	a, b := draw(7, 32), draw(7, 32)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: same seed diverged: %#x != %#x", i, a[i], b[i])
+		}
+	}
+	c := draw(8, 32)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+}
+
+// TestBackoffPlanDeterministic: plan is pure — identical inputs give
+// identical steps, so a transaction's whole backoff schedule is replayable.
+func TestBackoffPlanDeterministic(t *testing.T) {
+	cm := BackoffCM{}
+	for attempt := 1; attempt <= 20; attempt++ {
+		for _, r := range []uint64{0, 1, 0xDEADBEEF, ^uint64(0)} {
+			s1 := cm.plan(attempt, r, 4)
+			s2 := cm.plan(attempt, r, 4)
+			if s1 != s2 {
+				t.Fatalf("plan(%d, %#x, 4) not deterministic: %+v != %+v", attempt, r, s1, s2)
+			}
+		}
+	}
+}
+
+// TestBackoffLadderEscalation pins the spin → yield → sleep phase
+// boundaries on a multicore host and the no-spin degenerate ladder on a
+// single schedulable context.
+func TestBackoffLadderEscalation(t *testing.T) {
+	cm := BackoffCM{Base: time.Microsecond, Max: 50 * time.Microsecond}
+	const r = 0xABCDEF0123456789 // any draw large enough to clear the 1µs sleep floor
+
+	for attempt := 1; attempt <= backoffSpinRetries; attempt++ {
+		s := cm.plan(attempt, r, 4)
+		if s.spins <= 0 || s.yields != 0 || s.sleep != 0 {
+			t.Fatalf("attempt %d on 4 procs: want pure spin step, got %+v", attempt, s)
+		}
+		if s.spins > backoffSpinCap<<uint(attempt-1) {
+			t.Fatalf("attempt %d: spin count %d exceeds bound", attempt, s.spins)
+		}
+		// A single schedulable context can never overlap with the owner:
+		// spinning must be skipped entirely.
+		if s1 := cm.plan(attempt, r, 1); s1.spins != 0 || s1.yields <= 0 {
+			t.Fatalf("attempt %d on 1 proc: want yield step, got %+v", attempt, s1)
+		}
+	}
+	for attempt := backoffSpinRetries + 1; attempt <= backoffYieldRetries; attempt++ {
+		s := cm.plan(attempt, r, 4)
+		if s.yields <= 0 || s.yields > backoffYieldCap || s.spins != 0 || s.sleep != 0 {
+			t.Fatalf("attempt %d: want bounded yield step, got %+v", attempt, s)
+		}
+	}
+	sawSleep := false
+	for attempt := backoffYieldRetries + 1; attempt <= 40; attempt++ {
+		s := cm.plan(attempt, r, 4)
+		if s.spins != 0 {
+			t.Fatalf("attempt %d: spinning after the yield phase: %+v", attempt, s)
+		}
+		if s.sleep > cm.Max {
+			t.Fatalf("attempt %d: sleep %v exceeds Max %v", attempt, s.sleep, cm.Max)
+		}
+		if s.sleep > 0 {
+			sawSleep = true
+		}
+	}
+	if !sawSleep {
+		t.Fatal("ladder never escalated to sleeping")
+	}
+	// A draw below the sleep floor degrades to a yield, never a busy sleep.
+	if s := cm.plan(backoffYieldRetries+1, 0, 4); s.sleep != 0 || s.yields != 1 {
+		t.Fatalf("sub-floor draw: want single yield, got %+v", s)
+	}
+}
+
+// TestBackoffJitterMatchesTxStream: BeforeRetry consumes exactly the
+// transaction's PRNG stream, so two transactions with equal birth
+// timestamps plan identical ladders (the deterministic-jitter contract the
+// chaos and differential harnesses rely on).
+func TestBackoffJitterMatchesTxStream(t *testing.T) {
+	mk := func() *Tx {
+		tx := &Tx{}
+		tx.ts.Store(99)
+		return tx
+	}
+	cm := BackoffCM{}
+	tx1, tx2 := mk(), mk()
+	for attempt := 1; attempt <= 10; attempt++ {
+		s1 := cm.plan(attempt, backoffRand(tx1), 4)
+		s2 := cm.plan(attempt, backoffRand(tx2), 4)
+		if s1 != s2 {
+			t.Fatalf("attempt %d: equal-seed transactions planned %+v vs %+v", attempt, s1, s2)
+		}
+	}
+	// Detached use (nil tx) must not panic and must keep producing steps.
+	for attempt := 1; attempt <= 10; attempt++ {
+		cm.BeforeRetry(nil, attempt)
+	}
+}
+
+// TestGreedyDoomsOwnerMidFlight drives the doomed-owner path end to end
+// under GreedyCM: an older attacker finds the lock held, dooms the younger
+// owner, and both transactions still commit — the victim after one
+// ConflictDoomed abort.
+func TestGreedyDoomsOwnerMidFlight(t *testing.T) {
+	rt := New(Config{CM: GreedyCM{}})
+	x := NewVar(0)
+
+	attackerStarted := make(chan struct{})
+	lockHeld := make(chan struct{})
+	var once sync.Once
+	deadline := time.Now().Add(10 * time.Second)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Victim: starts second (younger timestamp), acquires the write
+		// lock, then keeps performing transactional operations until the
+		// attacker's doom unwinds the attempt.
+		<-attackerStarted
+		err := rt.Atomic(func(tx *Tx) error {
+			x.Write(tx, x.Read(tx)+1)
+			if tx.Attempt() == 0 {
+				once.Do(func() { close(lockHeld) })
+				for time.Now().Before(deadline) {
+					// checkAlive inside Read observes the doom and unwinds
+					// with ConflictDoomed; the retry takes the branch above
+					// and returns promptly.
+					_ = x.Read(tx)
+				}
+				t.Error("victim was never doomed")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("victim: %v", err)
+		}
+	}()
+
+	// Attacker: starts first so its birth timestamp is older, but only
+	// touches x once the victim holds the lock.
+	err := rt.Atomic(func(tx *Tx) error {
+		if tx.Attempt() == 0 {
+			close(attackerStarted)
+			<-lockHeld
+		}
+		x.Write(tx, x.Read(tx)+1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("attacker: %v", err)
+	}
+	wg.Wait()
+
+	if got := x.Peek(); got != 2 {
+		t.Fatalf("x = %d, want 2 (both transactions committed)", got)
+	}
+	stats := rt.Stats()
+	if stats.Conflicts[ConflictDoomed] == 0 {
+		t.Fatalf("no ConflictDoomed abort recorded: %+v", stats.Conflicts)
+	}
+}

@@ -1,0 +1,114 @@
+package container
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"rubic/internal/stm"
+)
+
+// Parallel container benchmarks: the RunParallel counterparts of the serial
+// container benchmarks, with per-worker random key streams (seeded by a
+// worker ticket so runs are reproducible). Lookups are conflict-free;
+// updates on the shared structure conflict organically, exercising the
+// contention manager under a realistic access pattern. `make benchscale`
+// sweeps these over GOMAXPROCS; keep names stable.
+
+// workerSeq hands each RunParallel worker a distinct deterministic seed
+// (worker bodies start concurrently, so the ticket is atomic).
+type workerSeq struct{ n atomic.Int64 }
+
+func (s *workerSeq) next() int64 {
+	return s.n.Add(1) * 1_000_003
+}
+
+func BenchmarkParallelRBTreeLookup(b *testing.B) {
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			rt, tree := benchTree(b, e.algo)
+			seq := workerSeq{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seq.next()))
+				var key int64
+				hit := false
+				fn := func(tx *stm.Tx) error {
+					hit = tree.Contains(tx, key)
+					return nil
+				}
+				for pb.Next() {
+					key = int64(rng.Intn(4 * benchKeys))
+					if err := rt.AtomicRO(fn); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				_ = hit
+			})
+		})
+	}
+}
+
+func BenchmarkParallelHashMapGet(b *testing.B) {
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			rt, m := benchMap(b, e.algo)
+			seq := workerSeq{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seq.next()))
+				var key int64
+				sink := 0
+				fn := func(tx *stm.Tx) error {
+					sink, _ = m.Get(tx, key)
+					return nil
+				}
+				for pb.Next() {
+					key = int64(rng.Intn(4 * benchKeys))
+					if err := rt.AtomicRO(fn); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				_ = sink
+			})
+		})
+	}
+}
+
+func BenchmarkParallelHashMapUpdate(b *testing.B) {
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			rt, m := benchMap(b, e.algo)
+			seq := workerSeq{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seq.next()))
+				var key int64
+				ins := false
+				i := 0
+				fn := func(tx *stm.Tx) error {
+					if ins {
+						m.Put(tx, key, int(key)&0x7f)
+					} else {
+						m.Delete(tx, key)
+					}
+					return nil
+				}
+				for pb.Next() {
+					key = int64(rng.Intn(4 * benchKeys))
+					ins = i&1 == 0
+					i++
+					if err := rt.Atomic(fn); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

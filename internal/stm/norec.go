@@ -2,7 +2,8 @@ package stm
 
 import (
 	"runtime"
-	"sync/atomic"
+
+	"rubic/internal/metrics"
 )
 
 // This file implements the NOrec algorithm (Dalessandro, Spear & Scott,
@@ -40,9 +41,12 @@ func (a Algorithm) String() string {
 }
 
 // norecState is the NOrec global: a sequence lock, odd while a writer is in
-// its write-back phase.
+// its write-back phase. Like the TL2 clock it is the single word every
+// transaction polls and every writer commit CASes, so it is cache-line
+// padded to keep commit write-backs from false-sharing with the Runtime's
+// read-mostly neighbors.
 type norecState struct {
-	seq atomic.Uint64
+	seq metrics.PaddedUint64
 }
 
 // valueRead is one value-log entry: the location and the boxed value pointer
@@ -71,10 +75,8 @@ func (n *norecState) waitEven() uint64 {
 func (tx *Tx) readNorec(b *varBase) any {
 	tx.checkAlive()
 	tx.work.Add(1)
-	if len(tx.writes) > 0 {
-		if i, ok := tx.windex[b]; ok {
-			return *tx.writes[i].valp
-		}
+	if i := tx.findWrite(b); i >= 0 {
+		return *tx.writes[i].valp
 	}
 	for {
 		s1 := tx.rt.norec.waitEven()
@@ -125,11 +127,9 @@ func (tx *Tx) writeNorec(b *varBase, v any) {
 	if tx.readOnly {
 		panic("stm: write inside a read-only transaction")
 	}
-	if len(tx.writes) > 0 {
-		if i, ok := tx.windex[b]; ok {
-			*tx.writes[i].valp = v
-			return
-		}
+	if i := tx.findWrite(b); i >= 0 {
+		*tx.writes[i].valp = v
+		return
 	}
 	tx.appendWrite(writeEntry{base: b, valp: boxValue(v)})
 }

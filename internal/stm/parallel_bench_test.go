@@ -1,0 +1,118 @@
+package stm
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Parallel scaling benchmarks of the transaction life cycle: the RunParallel
+// counterparts of the serial hot-path benchmarks, run on both engines. They
+// are what `make benchscale` sweeps over GOMAXPROCS ∈ {1, 2, 4, NumCPU} and
+// what the v2 benchmark gate tracks at 2 procs: keep names stable.
+//
+// BenchmarkAtomicWriteHeavy and BenchmarkAtomicHighConflict (see
+// hotpath_bench_test.go) complete the RO/RMW/write-heavy/high-conflict
+// parallel quartet; they already run under RunParallel.
+
+// BenchmarkParallelRO reads one shared location from every worker under
+// AtomicRO. There are no conflicts and no writes, so the benchmark isolates
+// the read-side costs that scale with parallelism: the global-clock (or
+// NOrec seqlock) snapshot at transaction start and the sharded statistics
+// counters at commit.
+func BenchmarkParallelRO(b *testing.B) {
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			rt := New(Config{Algorithm: e.algo})
+			x := NewVar(42)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				sink := 0
+				fn := func(tx *Tx) error {
+					sink = x.Read(tx)
+					return nil
+				}
+				for pb.Next() {
+					if err := rt.AtomicRO(fn); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				_ = sink
+			})
+		})
+	}
+}
+
+// BenchmarkParallelRMW gives every worker a private counter location: a
+// read-modify-write per transaction with no data conflicts, so the benchmark
+// measures how writer commits scale — commit timestamping on the shared
+// clock (TL2) or write-back serialization on the seqlock (NOrec), plus the
+// write-set bookkeeping of a one-write transaction.
+func BenchmarkParallelRMW(b *testing.B) {
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			rt := New(Config{Algorithm: e.algo})
+			vars := make([]*Var[int], 64)
+			for i := range vars {
+				vars[i] = NewVar(0)
+			}
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				x := vars[int(next.Add(1)-1)%len(vars)]
+				fn := func(tx *Tx) error {
+					x.Write(tx, (x.Read(tx)+1)&0x7f)
+					return nil
+				}
+				for pb.Next() {
+					if err := rt.Atomic(fn); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkParallelReadSet is the parallel form of BenchmarkAtomicReadSet:
+// every worker reads a shared 32-location block and writes one private
+// location, so commit-time validation of a real read set runs concurrently
+// with other writers advancing the clock.
+func BenchmarkParallelReadSet(b *testing.B) {
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			rt := New(Config{Algorithm: e.algo})
+			shared := make([]*Var[int], 32)
+			for i := range shared {
+				shared[i] = NewVar(i & 0x7f)
+			}
+			private := make([]*Var[int], 64)
+			for i := range private {
+				private[i] = NewVar(0)
+			}
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				mine := private[int(next.Add(1)-1)%len(private)]
+				fn := func(tx *Tx) error {
+					sum := 0
+					for _, v := range shared {
+						sum += v.Read(tx)
+					}
+					mine.Write(tx, sum&0x7f)
+					return nil
+				}
+				for pb.Next() {
+					if err := rt.Atomic(fn); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

@@ -36,6 +36,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"rubic/internal/metrics"
 )
 
 // Config parameterizes a Runtime.
@@ -75,11 +77,15 @@ type Runtime struct {
 	cfg       Config
 	algo      Algorithm
 	lazyClock bool
-	clock     clock
-	norec     norecState
+	clock     clock      // cache-line padded: every commit writes it
+	norec     norecState // cache-line padded: every NOrec commit writes it
 	cm        ContentionManager
-	tsc       atomic.Uint64 // birth-timestamp source for greedy CM
-	stats     runtimeStats
+	// tsc is the birth-timestamp source for greedy contention management.
+	// Every transaction start increments it, so like the clock it lives
+	// alone on its cache line instead of bouncing the read-mostly fields
+	// around it.
+	tsc   metrics.PaddedUint64
+	stats runtimeStats
 
 	// txPool recycles Tx contexts so steady-state atomic blocks allocate
 	// nothing. shardSeq deals statistics shards to new Txs round-robin;

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Transaction status values. Transitions: active -> {doomed, committed,
@@ -109,13 +110,90 @@ type Tx struct {
 	// too and commit accounting stays off shared cache lines.
 	shard int
 
-	reads    []readEntry
-	vreads   []valueRead // NOrec value log
-	writes   []writeEntry
+	reads  []readEntry
+	vreads []valueRead // NOrec value log
+	writes []writeEntry
+
+	// wsig is a 64-bit signature (1-bit Bloom filter) of the bases in the
+	// write set. Read-after-write lookups test it first: a zero bit proves
+	// the base was never written, so the common miss (reading a location the
+	// transaction has not written) costs one AND instead of a map probe or
+	// scan. False positives only cost falling through to the real lookup.
+	wsig uint64
+
+	// windex indexes writes by base, but only once the write set outgrows
+	// windexLinearMax — below that a linear scan of the (cache-resident)
+	// writes slice beats map hashing, and small transactions never pay map
+	// insert/clear costs at all. Retained across retries and pooled reuse.
 	windex   map[*varBase]int
 	readOnly bool
 
+	// prng is the per-Tx xorshift64 state behind nextRand, seeded lazily
+	// from the birth timestamp. Contention-management jitter drawn from it
+	// is deterministic per transaction and touches no shared state (the
+	// global math/rand source serializes every caller on one mutex).
+	prng uint64
+
 	attempt int
+}
+
+// windexLinearMax is the write-set size up to which read-after-write lookups
+// linearly scan the writes slice instead of consulting the windex map. At
+// these sizes the scan is a handful of pointer compares in one or two cache
+// lines, while the map costs a hash plus bucket probe per lookup and an
+// insert per write; the crossover measured on the hot-path benchmarks sits
+// well above typical transaction sizes.
+const windexLinearMax = 16
+
+// sigbit hashes a location's identity to one of 64 signature bits. The
+// address is stable for the life of the varBase (Go's GC does not move
+// heap objects today; if it ever does, a stale signature only yields false
+// positives, which are harmless by construction).
+func sigbit(b *varBase) uint64 {
+	h := uint64(uintptr(unsafe.Pointer(b))) * 0x9E3779B97F4A7C15
+	return 1 << (h >> 58)
+}
+
+// findWrite returns the write-set index holding base, or -1. It is the
+// read-after-write and write-after-write lookup on both engines' hot paths:
+// empty write set and signature misses return without touching the write
+// set at all.
+func (tx *Tx) findWrite(b *varBase) int {
+	n := len(tx.writes)
+	if n == 0 || tx.wsig&sigbit(b) == 0 {
+		return -1
+	}
+	if n > windexLinearMax {
+		if i, ok := tx.windex[b]; ok {
+			return i
+		}
+		return -1
+	}
+	// Scan newest-first: redundant accesses cluster on recent writes.
+	for i := n - 1; i >= 0; i-- {
+		if tx.writes[i].base == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// nextRand advances the per-Tx xorshift64 PRNG. The state is seeded from
+// the transaction's birth timestamp on first use, so the jitter sequence is
+// deterministic per transaction and distinct between concurrent ones.
+func (tx *Tx) nextRand() uint64 {
+	x := tx.prng
+	if x == 0 {
+		x = tx.ts.Load()*0x9E3779B97F4A7C15 + 0x6A09E667F3BCC909
+		if x == 0 {
+			x = 1
+		}
+	}
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	tx.prng = x
+	return x
 }
 
 // Attempt reports the zero-based retry count of the current execution of the
@@ -136,6 +214,7 @@ func (tx *Tx) reset() {
 	tx.reads = tx.reads[:0]
 	tx.vreads = tx.vreads[:0]
 	tx.writes = tx.writes[:0]
+	tx.wsig = 0
 	clear(tx.windex) // keep the allocation: recycled across retries and pooled reuse
 }
 
@@ -170,10 +249,8 @@ func (tx *Tx) read(b *varBase) any {
 	}
 	tx.checkAlive()
 	tx.work.Add(1)
-	if len(tx.writes) > 0 {
-		if i, ok := tx.windex[b]; ok {
-			return *tx.writes[i].valp
-		}
+	if i := tx.findWrite(b); i >= 0 {
+		return *tx.writes[i].valp
 	}
 	for spins := 0; ; spins++ {
 		m1 := b.meta.Load()
@@ -224,11 +301,9 @@ func (tx *Tx) write(b *varBase, v any) {
 	if tx.readOnly {
 		panic("stm: write inside a read-only transaction")
 	}
-	if len(tx.writes) > 0 {
-		if i, ok := tx.windex[b]; ok {
-			*tx.writes[i].valp = v
-			return
-		}
+	if i := tx.findWrite(b); i >= 0 {
+		*tx.writes[i].valp = v
+		return
 	}
 	for spins := 0; ; spins++ {
 		m := b.meta.Load()
@@ -271,15 +346,27 @@ func boxValue(v any) *any {
 	return p
 }
 
-// appendWrite records a new write-set entry and indexes it. The windex map
-// is created lazily (read-only and read-dominated transactions never pay
-// for it) and retained across retries and pooled reuse.
+// appendWrite records a new write-set entry, folds the base into the
+// signature filter, and — only once the set outgrows the linear-scan range —
+// indexes it in windex. The map is created lazily the first time a write set
+// crosses windexLinearMax (small transactions never allocate or populate
+// it) and retained across retries and pooled reuse; the backfill loop runs
+// once per crossing, not per write.
 func (tx *Tx) appendWrite(e writeEntry) {
 	tx.writes = append(tx.writes, e)
-	if tx.windex == nil {
-		tx.windex = make(map[*varBase]int, 8)
+	tx.wsig |= sigbit(e.base)
+	n := len(tx.writes)
+	switch {
+	case n == windexLinearMax+1:
+		if tx.windex == nil {
+			tx.windex = make(map[*varBase]int, 4*windexLinearMax)
+		}
+		for i := range tx.writes {
+			tx.windex[tx.writes[i].base] = i
+		}
+	case n > windexLinearMax+1:
+		tx.windex[e.base] = n - 1
 	}
-	tx.windex[e.base] = len(tx.writes) - 1
 }
 
 // extend attempts to advance the read version after observing a location

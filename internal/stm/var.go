@@ -1,6 +1,9 @@
 package stm
 
-import "sync/atomic"
+import (
+	"runtime"
+	"sync/atomic"
+)
 
 // lockedBit marks a varBase metadata word as write-locked. The remaining
 // bits hold the location's commit version shifted left by one.
@@ -32,12 +35,24 @@ func (b *varBase) init(v any) {
 	b.val.Store(p)
 }
 
+// sampleSpinBudget is how many times sampleConsistent re-polls a locked
+// location before starting to yield. A commit write-back holds a lock for
+// tens of nanoseconds, so a short spin almost always suffices; past the
+// budget the owner is evidently descheduled and burning the core would only
+// keep it off the processor (on GOMAXPROCS=1 a pure spin never terminates).
+const sampleSpinBudget = 64
+
 // sampleConsistent performs a lock-free consistent read of (value, version)
-// outside any transaction, retrying across concurrent commits.
+// outside any transaction, retrying across concurrent commits. A locked
+// location is re-polled up to sampleSpinBudget times, then each further
+// probe yields the processor so the lock owner can run and release.
 func (b *varBase) sampleConsistent() (any, uint64) {
-	for {
+	for spins := 0; ; spins++ {
 		m1 := b.meta.Load()
 		if m1&lockedBit != 0 {
+			if spins >= sampleSpinBudget {
+				runtime.Gosched()
+			}
 			continue
 		}
 		p := b.val.Load()
