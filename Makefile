@@ -4,7 +4,7 @@ GO ?= go
 # transactional containers, and the malleable worker pool).
 BENCH_PKGS = ./internal/stm ./internal/stm/container ./internal/pool
 
-.PHONY: check build vet fmtcheck test race lint bench benchgate benchscale benchscalegate chaos
+.PHONY: check build vet fmtcheck test race lint bench benchgate benchscale benchscalegate chaos serve-smoke
 
 # check is the PR gate: vet, formatting, static analysis, the full test
 # suite, and a race-detector pass over the whole module.
@@ -71,6 +71,12 @@ benchscale:
 benchscalegate:
 	GOMAXPROCS=2 $(GO) test -run '^$$' -bench . -benchmem -benchtime 0.3s $(BENCH_PKGS) \
 		| $(GO) run ./cmd/rubic-benchgate -compare BENCH_baseline_parallel.json -alloc-slack 3
+
+# serve-smoke is the open-loop gate: a short fixed-seed Poisson run at low
+# QPS through cmd/rubic-serve, failing unless the latency histogram reports
+# a finite p999 and the SLO controller ends the run meeting its target.
+serve-smoke:
+	$(GO) run ./cmd/rubic-serve -smoke
 
 # chaos runs the seeded fault-injection soaks (internal/fault schedules are
 # pure functions of scenario@seed, so this is deterministic) under the race

@@ -1,11 +1,11 @@
 // Command rubic-benchgate turns `go test -bench -benchmem` output into the
-// repo's BENCH_<date>.json format (schema rubic-bench/v2: the GOMAXPROCS
-// suffix stays in the benchmark key and each entry records its procs, so a
-// scaling sweep yields one comparable entry per parallelism level) and gates
-// pull requests against a checked-in baseline. Because keys carry the
-// parallelism, gate runs must pin GOMAXPROCS to the value the baseline was
-// recorded at (the Makefile's benchgate target pins 1; CI's parallel smoke
-// pins 2).
+// repo's BENCH_<date>.json format (schema rubic-bench/v2, shared with
+// cmd/rubic-serve through internal/benchfmt: the GOMAXPROCS suffix stays in
+// the benchmark key and each entry records its procs, so a scaling sweep
+// yields one comparable entry per parallelism level) and gates pull requests
+// against a checked-in baseline. Because keys carry the parallelism, gate
+// runs must pin GOMAXPROCS to the value the baseline was recorded at (the
+// Makefile's benchgate target pins 1; CI's parallel smoke pins 2).
 //
 // Usage:
 //
@@ -16,6 +16,9 @@
 //
 //	-emit FILE      write the parsed results as JSON to FILE
 //	-compare FILE   gate the parsed results against the baseline in FILE
+//	-candidate FILE gate the results in this snapshot JSON instead of
+//	                parsing stdin (how rubic-serve -json output — p99 ns
+//	                in the ns_op slot — is gated against a latency baseline)
 //	-time-tol F     fail when ns/op exceeds baseline*F (default 3.0; the
 //	                wide default tolerates CI hardware variance and still
 //	                catches catastrophic regressions)
@@ -24,58 +27,43 @@
 //	-allow-missing  do not fail when a baseline benchmark is absent from
 //	                the new results (coverage rot is an error by default)
 //
+// Benchmarks present in the results but absent from the baseline do not
+// fail the gate — a new benchmark cannot have a baseline yet — but they are
+// listed on stdout as UNGATED so they cannot dodge the gate unnoticed: the
+// fix is to refresh the baseline with -emit.
+//
 // Exit status: 0 clean, 1 regression or missing coverage, 2 usage or
 // parse failure.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"regexp"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
-	"time"
+
+	"rubic/internal/benchfmt"
 )
 
-// Result is one benchmark's measurements. Procs is the GOMAXPROCS the
-// benchmark ran at (parsed from the -N suffix the testing package appends;
-// 1 when absent), so a scaling sweep's entries are distinguishable and a
-// gate run knows which parallelism a baseline number was recorded at.
-type Result struct {
-	Procs    int                `json:"procs,omitempty"`
-	Iters    int64              `json:"iters"`
-	NsPerOp  float64            `json:"ns_op"`
-	BPerOp   float64            `json:"b_op"`
-	AllocsOp float64            `json:"allocs_op"`
-	Metrics  map[string]float64 `json:"metrics,omitempty"`
-}
+// Result and File are the shared snapshot schema; the aliases keep this
+// package's parser and gate reading naturally.
+type (
+	Result = benchfmt.Result
+	File   = benchfmt.File
+)
 
-// File is the BENCH_<date>.json schema.
-type File struct {
-	Schema     string            `json:"schema"`
-	Date       string            `json:"date"`
-	GoVersion  string            `json:"go"`
-	GOOS       string            `json:"goos"`
-	GOARCH     string            `json:"goarch"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	Benchmarks map[string]Result `json:"benchmarks"`
-}
-
-// Schema versions. v1 stripped the GOMAXPROCS suffix from benchmark names,
-// which made the same benchmark run at different parallelism levels collide
-// on one key (the last writer silently won). v2 keeps the suffix in the key
-// and records the parallelism per entry; v1 files are still readable so old
-// baselines keep gating GOMAXPROCS=1 runs.
 const (
-	schemaID   = "rubic-bench/v2"
-	schemaIDv1 = "rubic-bench/v1"
+	schemaID   = benchfmt.SchemaID
+	schemaIDv1 = benchfmt.SchemaIDv1
 )
+
+func loadFile(path string) (*File, error)                   { return benchfmt.Load(path) }
+func emitFile(path string, results map[string]Result) error { return benchfmt.Emit(path, results) }
 
 // gomaxprocsSuffix matches the -N procs suffix the testing package appends
 // to benchmark names when GOMAXPROCS != 1. It is parsed into Result.Procs
@@ -163,7 +151,7 @@ type regression struct {
 // multiplicative tolerance, allocation regressions an additive slack
 // (allocs/op is hardware-independent, so the gate is tight). Benchmarks in
 // the baseline but absent from the new results are reported unless
-// allowMissing; new benchmarks without a baseline entry pass silently.
+// allowMissing; new benchmarks without a baseline entry pass (see ungated).
 func compare(base, cur map[string]Result, timeTol, allocSlack float64, allowMissing bool) []regression {
 	var regs []regression
 	names := make([]string, 0, len(base))
@@ -192,54 +180,26 @@ func compare(base, cur map[string]Result, timeTol, allocSlack float64, allowMiss
 	return regs
 }
 
-func loadFile(path string) (*File, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var f File
-	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	switch f.Schema {
-	case schemaID:
-	case schemaIDv1:
-		// v1 predates per-entry parallelism: every key had its suffix
-		// stripped, so entries are only meaningful for GOMAXPROCS=1 gating.
-		// Backfill Procs so comparisons can still explain themselves.
-		for name, r := range f.Benchmarks {
-			if r.Procs == 0 {
-				r.Procs = 1
-				f.Benchmarks[name] = r
-			}
+// ungated lists benchmarks present in the results but absent from the
+// baseline, sorted. They cannot fail the gate — there is nothing to compare
+// against — which is exactly why they must be surfaced: a renamed or newly
+// added benchmark otherwise runs forever without a regression bound.
+func ungated(base, cur map[string]Result) []string {
+	var names []string
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			names = append(names, name)
 		}
-	default:
-		return nil, fmt.Errorf("%s: schema %q, want %q (or legacy %q)", path, f.Schema, schemaID, schemaIDv1)
 	}
-	return &f, nil
-}
-
-func emitFile(path string, results map[string]Result) error {
-	f := File{
-		Schema:     schemaID,
-		Date:       time.Now().UTC().Format("2006-01-02T15:04:05Z"),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Benchmarks: results,
-	}
-	data, err := json.MarshalIndent(&f, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	sort.Strings(names)
+	return names
 }
 
 func main() {
 	var (
 		emit         = flag.String("emit", "", "write parsed results as JSON to this file")
 		compareWith  = flag.String("compare", "", "gate results against this baseline JSON")
+		candidate    = flag.String("candidate", "", "read results from this snapshot JSON instead of stdin")
 		timeTol      = flag.Float64("time-tol", 3.0, "ns/op failure multiplier over baseline (0 disables)")
 		allocSlack   = flag.Float64("alloc-slack", 0.5, "allocs/op failure slack over baseline")
 		allowMissing = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from results")
@@ -251,12 +211,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	results, err := parseBench(os.Stdin)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rubic-benchgate:", err)
-		os.Exit(2)
+	var results map[string]Result
+	if *candidate != "" {
+		f, err := loadFile(*candidate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rubic-benchgate:", err)
+			os.Exit(2)
+		}
+		results = f.Benchmarks
+		fmt.Printf("rubic-benchgate: loaded %d benchmarks from %s\n", len(results), *candidate)
+	} else {
+		var err error
+		results, err = parseBench(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rubic-benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("rubic-benchgate: parsed %d benchmarks\n", len(results))
 	}
-	fmt.Printf("rubic-benchgate: parsed %d benchmarks\n", len(results))
 
 	if *emit != "" {
 		if err := emitFile(*emit, results); err != nil {
@@ -278,6 +250,9 @@ func main() {
 				fmt.Fprintf(os.Stderr, "rubic-benchgate: REGRESSION %s: %s\n", r.name, r.what)
 			}
 			os.Exit(1)
+		}
+		for _, name := range ungated(base.Benchmarks, results) {
+			fmt.Printf("rubic-benchgate: UNGATED %s: not in baseline, refresh it with -emit\n", name)
 		}
 		fmt.Printf("rubic-benchgate: %d benchmarks within tolerance of %s\n", len(base.Benchmarks), *compareWith)
 	}

@@ -131,6 +131,29 @@ func TestCompareGates(t *testing.T) {
 	}
 }
 
+// TestUngatedListsNewBenchmarks: results without a baseline entry must be
+// surfaced (they cannot fail the gate, so silence would let a renamed or new
+// benchmark run unguarded forever), sorted for stable output.
+func TestUngatedListsNewBenchmarks(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {NsPerOp: 100},
+		"BenchmarkB": {NsPerOp: 100},
+	}
+	cur := map[string]Result{
+		"BenchmarkB":   {NsPerOp: 100},
+		"BenchmarkNew": {NsPerOp: 1},
+		"BenchmarkAdd": {NsPerOp: 2},
+	}
+	got := ungated(base, cur)
+	want := []string{"BenchmarkAdd", "BenchmarkNew"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ungated = %v, want %v", got, want)
+	}
+	if extra := ungated(base, map[string]Result{"BenchmarkA": {}}); len(extra) != 0 {
+		t.Fatalf("fully gated results reported %v as ungated", extra)
+	}
+}
+
 func TestEmitAndLoadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	res := parseSample(t)

@@ -1,0 +1,372 @@
+// Command rubic-serve drives workloads under open-loop load: a seeded
+// arrival process offers requests at a target rate regardless of how fast
+// the system absorbs them (queueing delay is part of every measured
+// latency), and the parallelism level is tuned online — against raw
+// throughput like the closed-loop drivers, or against a p99 target through
+// the SLO-aware controller.
+//
+//	rubic-serve -workload kv -arrival poisson -qps 800 -slo-p99 5ms
+//	rubic-serve -arrival burst -qps 500 -policy rubic -duration 10s
+//	rubic-serve -qps 200 -slo-p99 5ms -find-max          # max sustainable QPS
+//	rubic-serve -stacks kv/qps=800/slo=5ms,kv/qps=200/slo=50ms
+//	rubic-serve -smoke                                    # CI gate
+//
+// Single-stack runs print one line per epoch (level, posture, interval
+// quantiles); every mode ends with a summary table. -json FILE writes a
+// rubic-bench/v2 snapshot (p99 ns in the ns_op slot) that rubic-benchgate
+// can gate like any benchmark output.
+//
+// -find-max sweeps the offered rate — doubling while the stack sustains the
+// SLO, then bisecting — and reports the highest QPS at which the run held
+// p99 under target with <1% shed.
+//
+// -stacks co-locates several open-loop stacks in one process, each with its
+// own SLO; per-stack guards observe only their own latency.
+//
+// -smoke is the CI entry point: a short fixed-seed Poisson run at low QPS
+// that exits nonzero unless the p999 is finite and the SLO controller ends
+// the run meeting its target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"rubic/internal/benchfmt"
+	"rubic/internal/colocate"
+	"rubic/internal/load"
+)
+
+type cliConfig struct {
+	workload string
+	arrival  string
+	qps      float64
+	theta    float64
+	duration time.Duration
+	epoch    time.Duration
+	workers  int
+	queue    int
+	sloP99   time.Duration
+	policy   string
+	engine   string
+	seed     int64
+	stacks   string
+	findMax  bool
+	jsonOut  string
+	smoke    bool
+	quiet    bool
+}
+
+func main() {
+	var cfg cliConfig
+	flag.StringVar(&cfg.workload, "workload", "kv", "workload: kv (keyed) or any internal/stamp/workloads name")
+	flag.StringVar(&cfg.arrival, "arrival", "poisson", "arrival process: constant, poisson, diurnal or burst")
+	flag.Float64Var(&cfg.qps, "qps", 400, "offered request rate (find-max: the sweep's starting rate)")
+	flag.Float64Var(&cfg.theta, "theta", load.DefaultTheta, "Zipf skew for keyed workloads (0,1)")
+	flag.DurationVar(&cfg.duration, "duration", 3*time.Second, "run duration (find-max: per probe)")
+	flag.DurationVar(&cfg.epoch, "epoch", load.DefaultEpoch, "tuning/reporting epoch")
+	flag.IntVar(&cfg.workers, "workers", 2*runtime.NumCPU(), "worker pool size (the maximum level)")
+	flag.IntVar(&cfg.queue, "queue", load.DefaultQueueCap, "admission queue bound (arrivals beyond it are shed)")
+	flag.DurationVar(&cfg.sloP99, "slo-p99", 0, "p99 latency target (0 disables the SLO guard)")
+	flag.StringVar(&cfg.policy, "policy", "", "controller: slo, rubic or fixed (default slo with a target, fixed without)")
+	flag.StringVar(&cfg.engine, "algo", "tl2", "stm engine: tl2 or norec")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed (arrivals, keys and pool all derive from it)")
+	flag.StringVar(&cfg.stacks, "stacks", "", "co-located stacks, e.g. kv/qps=800/slo=5ms,kv/qps=200/slo=50ms")
+	flag.BoolVar(&cfg.findMax, "find-max", false, "sweep for the max sustainable QPS under -slo-p99")
+	flag.StringVar(&cfg.jsonOut, "json", "", "write a rubic-bench/v2 snapshot to this file")
+	flag.BoolVar(&cfg.smoke, "smoke", false, "CI smoke: short fixed-seed run, fail unless the SLO converges")
+	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the per-epoch report")
+	flag.Parse()
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rubic-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg cliConfig, out io.Writer) error {
+	if cfg.smoke {
+		return runSmoke(cfg, out)
+	}
+	if cfg.findMax {
+		return runFindMax(cfg, out)
+	}
+	if cfg.stacks != "" {
+		return runStacks(cfg, out)
+	}
+	_, err := runSingle(cfg, out)
+	return err
+}
+
+// flagSpec assembles the single-stack spec from the flags, mirroring the
+// -stacks spec defaults (policy slo when a target is set, fixed otherwise).
+func flagSpec(cfg cliConfig) (colocate.ServeSpec, error) {
+	spec := colocate.ServeSpec{
+		Workload: cfg.workload,
+		Arrival:  cfg.arrival,
+		QPS:      cfg.qps,
+		SLO:      cfg.sloP99,
+		Policy:   cfg.policy,
+		Theta:    cfg.theta,
+	}
+	if spec.QPS <= 0 {
+		return spec, fmt.Errorf("need -qps > 0, got %v", spec.QPS)
+	}
+	if spec.Policy == "" {
+		if spec.SLO > 0 {
+			spec.Policy = "slo"
+		} else {
+			spec.Policy = "fixed"
+		}
+	}
+	if spec.Policy == "slo" && spec.SLO <= 0 {
+		return spec, fmt.Errorf("-policy slo needs -slo-p99")
+	}
+	return spec, nil
+}
+
+// buildProc builds one stack from a spec with the CLI's shared knobs applied.
+func buildProc(cfg cliConfig, spec colocate.ServeSpec, seed int64) (colocate.ServeProc, error) {
+	proc, err := spec.Build(cfg.engine, cfg.workers, seed)
+	if err != nil {
+		return proc, err
+	}
+	proc.Config.Epoch = cfg.epoch
+	proc.Config.QueueCap = cfg.queue
+	return proc, nil
+}
+
+func runSingle(cfg cliConfig, out io.Writer) (colocate.ServeResult, error) {
+	var zero colocate.ServeResult
+	spec, err := flagSpec(cfg)
+	if err != nil {
+		return zero, err
+	}
+	proc, err := buildProc(cfg, spec, cfg.seed)
+	if err != nil {
+		return zero, err
+	}
+	if !cfg.quiet {
+		proc.Config.OnEpoch = func(e load.EpochStat) {
+			state := e.State
+			if state == "" {
+				state = "-"
+			}
+			fmt.Fprintf(out, "epoch %3d  level=%-2d state=%-9s qps=%-6.0f p50=%-10v p99=%-10v p999=%-10v queue=%d shed=%d\n",
+				e.Index, e.Level, state, e.QPS, e.P50, e.P99, e.P999, e.QueueDepth, e.Shed)
+		}
+	}
+	fmt.Fprintf(out, "serving %s under %s arrivals at %.0f QPS for %v (workers %d, policy %s, engine %s)...\n",
+		spec.Workload, spec.Arrival, spec.QPS, cfg.duration, cfg.workers, spec.Policy, cfg.engine)
+	group, err := colocate.NewServeGroup([]colocate.ServeProc{proc})
+	if err != nil {
+		return zero, err
+	}
+	results, err := group.Run(cfg.duration)
+	if err != nil {
+		return zero, err
+	}
+	if err := report(out, results); err != nil {
+		return zero, err
+	}
+	if cfg.jsonOut != "" {
+		if err := emitJSON(cfg.jsonOut, benchEntries(results)); err != nil {
+			return zero, err
+		}
+		fmt.Fprintf(out, "wrote %s\n", cfg.jsonOut)
+	}
+	return results[0], nil
+}
+
+func runStacks(cfg cliConfig, out io.Writer) error {
+	specs, err := colocate.ParseServeSpecs(cfg.stacks)
+	if err != nil {
+		return err
+	}
+	var procs []colocate.ServeProc
+	for i, s := range specs {
+		proc, err := buildProc(cfg, s, cfg.seed+int64(i)*7919)
+		if err != nil {
+			return err
+		}
+		proc.Name = "P" + strconv.Itoa(i+1) + "-" + proc.Name
+		procs = append(procs, proc)
+	}
+	group, err := colocate.NewServeGroup(procs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "co-locating %d open-loop stacks for %v (workers %d each, engine %s, %d CPUs)...\n",
+		len(procs), cfg.duration, cfg.workers, cfg.engine, runtime.NumCPU())
+	results, err := group.Run(cfg.duration)
+	if err != nil {
+		return err
+	}
+	if err := report(out, results); err != nil {
+		return err
+	}
+	if cfg.jsonOut != "" {
+		if err := emitJSON(cfg.jsonOut, benchEntries(results)); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", cfg.jsonOut)
+	}
+	return nil
+}
+
+// runFindMax sweeps the offered rate for the highest the stack sustains
+// under the SLO: double from the starting rate while probes pass, then
+// bisect between the last sustained and first failed rate.
+func runFindMax(cfg cliConfig, out io.Writer) error {
+	if cfg.sloP99 <= 0 {
+		return fmt.Errorf("-find-max needs -slo-p99")
+	}
+	probeCfg := cfg
+	probeCfg.quiet = true
+	probeCfg.jsonOut = ""
+	probe := func(qps float64) (bool, error) {
+		probeCfg.qps = qps
+		res, err := runSingle(probeCfg, io.Discard)
+		if err != nil {
+			return false, err
+		}
+		ok := sustained(res, cfg.sloP99)
+		verdict := "SUSTAINED"
+		if !ok {
+			verdict = "failed"
+		}
+		fmt.Fprintf(out, "probe %6.0f QPS: p99=%-10v shed=%-5d %s\n", qps, res.P99, res.Shed, verdict)
+		return ok, nil
+	}
+
+	good, bad := 0.0, 0.0
+	qps := cfg.qps
+	for i := 0; i < 8; i++ {
+		ok, err := probe(qps)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			bad = qps
+			break
+		}
+		good = qps
+		qps *= 2
+	}
+	if good == 0 {
+		return fmt.Errorf("starting rate %.0f QPS already misses the SLO; retry with a lower -qps", cfg.qps)
+	}
+	if bad == 0 {
+		fmt.Fprintf(out, "max sustainable QPS >= %.0f (ramp exhausted; raise -qps to probe further)\n", good)
+		return nil
+	}
+	for i := 0; i < 4; i++ {
+		mid := (good + bad) / 2
+		ok, err := probe(mid)
+		if err != nil {
+			return err
+		}
+		if ok {
+			good = mid
+		} else {
+			bad = mid
+		}
+	}
+	fmt.Fprintf(out, "max sustainable QPS ~= %.0f under p99 <= %v (next failure at %.0f)\n", good, cfg.sloP99, bad)
+	if cfg.jsonOut != "" {
+		name := "ServeMaxQPS/" + cfg.workload + "/" + cfg.arrival
+		entry := benchfmt.Result{
+			Procs:   runtime.GOMAXPROCS(0),
+			NsPerOp: float64(cfg.sloP99.Nanoseconds()),
+			Metrics: map[string]float64{"max-sustainable-qps": good},
+		}
+		if err := emitJSON(cfg.jsonOut, map[string]benchfmt.Result{name: entry}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", cfg.jsonOut)
+	}
+	return nil
+}
+
+// sustained is the sweep's pass criterion: the whole run's p99 held under
+// target and shedding stayed under 1% of arrivals (an open-loop server that
+// meets its SLO by dropping the load isn't sustaining it).
+func sustained(res colocate.ServeResult, slo time.Duration) bool {
+	return res.P99 <= slo && res.Shed*100 <= res.Arrived
+}
+
+// runSmoke is the CI gate: fixed seed, modest Poisson load, generous SLO.
+// It fails unless the guard ends the run meeting its target with a finite
+// p999 — the open-loop path, histogram and SLO controller all working.
+func runSmoke(cfg cliConfig, out io.Writer) error {
+	cfg.workload, cfg.arrival = "kv", "poisson"
+	cfg.qps, cfg.theta = 300, load.DefaultTheta
+	cfg.sloP99, cfg.policy = 250*time.Millisecond, "slo"
+	cfg.duration, cfg.epoch = 1500*time.Millisecond, 100*time.Millisecond
+	if cfg.workers > 4 {
+		cfg.workers = 4
+	}
+	cfg.queue, cfg.seed = load.DefaultQueueCap, 7
+	cfg.findMax, cfg.stacks = false, ""
+	res, err := runSingle(cfg, out)
+	if err != nil {
+		return err
+	}
+	if res.Completed == 0 {
+		return fmt.Errorf("smoke: no requests served")
+	}
+	if res.P999 <= 0 || res.P999 > time.Minute {
+		return fmt.Errorf("smoke: p999 %v not finite", res.P999)
+	}
+	if res.SLOState != "meeting" {
+		return fmt.Errorf("smoke: SLO controller ended %q (stats %+v), want meeting", res.SLOState, res.SLO)
+	}
+	fmt.Fprintf(out, "serve-smoke: PASS (p999=%v, slo %+v)\n", res.P999, res.SLO)
+	return nil
+}
+
+func report(out io.Writer, results []colocate.ServeResult) error {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nstack\tarrived\tcompleted\tshed\tqps\tp50\tp99\tp999\tmax\tmean-level\tslo")
+	for _, r := range results {
+		slo := "-"
+		if r.SLOState != "" {
+			slo = fmt.Sprintf("%s (%d cuts)", r.SLOState, r.SLO.Cuts)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.0f\t%v\t%v\t%v\t%v\t%.1f\t%s\n",
+			r.Name, r.Arrived, r.Completed, r.Shed, r.QPS, r.P50, r.P99, r.P999, r.Max, r.MeanLevel, slo)
+	}
+	return tw.Flush()
+}
+
+// benchEntries maps results into the shared snapshot schema: p99 ns rides
+// the ns_op slot so rubic-benchgate's time gate applies to tail latency
+// unchanged; the companions travel as custom metrics.
+func benchEntries(results []colocate.ServeResult) map[string]benchfmt.Result {
+	out := map[string]benchfmt.Result{}
+	for _, r := range results {
+		out["Serve/"+r.Name] = benchfmt.Result{
+			Procs:   runtime.GOMAXPROCS(0),
+			Iters:   int64(r.Completed),
+			NsPerOp: float64(r.P99.Nanoseconds()),
+			Metrics: map[string]float64{
+				"p50-ns":     float64(r.P50.Nanoseconds()),
+				"p999-ns":    float64(r.P999.Nanoseconds()),
+				"max-ns":     float64(r.Max.Nanoseconds()),
+				"qps":        r.QPS,
+				"shed":       float64(r.Shed),
+				"mean-level": r.MeanLevel,
+			},
+		}
+	}
+	return out
+}
+
+func emitJSON(path string, entries map[string]benchfmt.Result) error {
+	return benchfmt.Emit(path, entries)
+}

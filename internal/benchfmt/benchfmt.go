@@ -1,0 +1,96 @@
+// Package benchfmt is the shared definition of the repo's BENCH_*.json
+// snapshot format (schema rubic-bench/v2). It was extracted from
+// cmd/rubic-benchgate when cmd/rubic-serve started emitting snapshots of
+// its own: the service driver records latency quantiles in the same schema
+// (p99 nanoseconds in the ns_op slot, companions in metrics), so one gate
+// binary and one checked-in baseline mechanism covers closed-loop ns/op and
+// open-loop p99 alike.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Result is one benchmark's measurements. Procs is the GOMAXPROCS the
+// benchmark ran at (parsed from the -N suffix the testing package appends;
+// 1 when absent), so a scaling sweep's entries are distinguishable and a
+// gate run knows which parallelism a baseline number was recorded at.
+type Result struct {
+	Procs    int                `json:"procs,omitempty"`
+	Iters    int64              `json:"iters"`
+	NsPerOp  float64            `json:"ns_op"`
+	BPerOp   float64            `json:"b_op"`
+	AllocsOp float64            `json:"allocs_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_<date>.json schema.
+type File struct {
+	Schema     string            `json:"schema"`
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// Schema versions. v1 stripped the GOMAXPROCS suffix from benchmark names,
+// which made the same benchmark run at different parallelism levels collide
+// on one key (the last writer silently won). v2 keeps the suffix in the key
+// and records the parallelism per entry; v1 files are still readable so old
+// baselines keep gating GOMAXPROCS=1 runs.
+const (
+	SchemaID   = "rubic-bench/v2"
+	SchemaIDv1 = "rubic-bench/v1"
+)
+
+// Load reads and validates a snapshot, accepting the legacy v1 schema with
+// Procs backfilled (v1 predates per-entry parallelism, so its entries are
+// only meaningful for GOMAXPROCS=1 gating).
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch f.Schema {
+	case SchemaID:
+	case SchemaIDv1:
+		for name, r := range f.Benchmarks {
+			if r.Procs == 0 {
+				r.Procs = 1
+				f.Benchmarks[name] = r
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%s: schema %q, want %q (or legacy %q)", path, f.Schema, SchemaID, SchemaIDv1)
+	}
+	return &f, nil
+}
+
+// Emit writes results as a v2 snapshot stamped with the current toolchain
+// and host facts.
+func Emit(path string, results map[string]Result) error {
+	f := File{
+		Schema:     SchemaID,
+		Date:       time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

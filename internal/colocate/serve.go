@@ -1,0 +1,224 @@
+package colocate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rubic/internal/core"
+	"rubic/internal/load"
+	"rubic/internal/stamp/workloads"
+	"rubic/internal/stm"
+)
+
+// ServeProc describes one co-located open-loop serving stack: a fully
+// assembled load.Config plus a name. Unlike Proc, there is no arrival delay —
+// open-loop stacks express their load shape through the arrival process
+// itself (a diurnal or burst generator covers the staggered-arrival story).
+type ServeProc struct {
+	// Name labels the stack in results.
+	Name string
+	// Config is the stack's open-loop configuration (see load.Config); each
+	// stack owns its workload, arrival schedule and controller, so co-located
+	// stacks may hold different SLOs.
+	Config load.Config
+}
+
+// ServeResult is one stack's outcome.
+type ServeResult struct {
+	Name string
+	load.Result
+}
+
+// ServeGroup is a set of co-located open-loop serving stacks. As with Group,
+// the stacks share nothing but the CPU: each SLO guard observes only its own
+// stack's latency and decides unilaterally.
+type ServeGroup struct {
+	names   []string
+	servers []*load.Server
+}
+
+// NewServeGroup validates every stack's configuration up front, so a bad
+// spec fails before any load is generated.
+func NewServeGroup(procs []ServeProc) (*ServeGroup, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("colocate: no serving stacks")
+	}
+	g := &ServeGroup{}
+	seen := map[string]struct{}{}
+	for i, p := range procs {
+		if p.Name == "" {
+			return nil, fmt.Errorf("colocate: serving stack %d has no name", i)
+		}
+		if _, dup := seen[p.Name]; dup {
+			return nil, fmt.Errorf("colocate: duplicate serving stack name %q", p.Name)
+		}
+		seen[p.Name] = struct{}{}
+		s, err := load.NewServer(p.Config)
+		if err != nil {
+			return nil, fmt.Errorf("colocate: stack %s: %w", p.Name, err)
+		}
+		g.names = append(g.names, p.Name)
+		g.servers = append(g.servers, s)
+	}
+	return g, nil
+}
+
+// Servers exposes the built servers in input order (for guard inspection).
+func (g *ServeGroup) Servers() []*load.Server { return g.servers }
+
+// Run drives every stack concurrently for the given duration and returns
+// per-stack results in input order. Each server verifies its own workload;
+// the first failure is returned, with every stack's results intact (a
+// failed stack's partial Result is still populated by load.Server.Run).
+func (g *ServeGroup) Run(duration time.Duration) ([]ServeResult, error) {
+	results := make([]ServeResult, len(g.servers))
+	errs := make([]error, len(g.servers))
+	var wg sync.WaitGroup
+	for i := range g.servers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := g.servers[i].Run(duration)
+			results[i] = ServeResult{Name: g.names[i], Result: res}
+			if err != nil {
+				errs[i] = fmt.Errorf("colocate: stack %s: %w", g.names[i], err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// ServeSpec is the parsed form of one serving-stack description:
+//
+//	workload[/key=value]...
+//
+// e.g. "kv/qps=800/slo=5ms" or "bank/qps=200/arrival=diurnal/policy=rubic".
+// Keys: qps (required), slo (p99 target duration; 0/absent disables the
+// guard), arrival (constant|poisson|diurnal|burst; default poisson), policy
+// (slo|rubic|fixed; default slo when a target is set, fixed otherwise),
+// theta (Zipf skew for keyed workloads; default load.DefaultTheta).
+type ServeSpec struct {
+	Workload string
+	Arrival  string
+	QPS      float64
+	SLO      time.Duration
+	Policy   string
+	Theta    float64
+}
+
+// ParseServeSpec parses one serving-stack description.
+func ParseServeSpec(s string) (ServeSpec, error) {
+	spec := ServeSpec{Arrival: "poisson", Theta: load.DefaultTheta}
+	parts := strings.Split(s, "/")
+	if parts[0] == "" {
+		return spec, fmt.Errorf("colocate: serve spec %q has no workload", s)
+	}
+	spec.Workload = parts[0]
+	for _, opt := range parts[1:] {
+		key, val, ok := strings.Cut(opt, "=")
+		if !ok || val == "" {
+			return spec, fmt.Errorf("colocate: serve spec option %q (want key=value)", opt)
+		}
+		var err error
+		switch key {
+		case "qps":
+			spec.QPS, err = strconv.ParseFloat(val, 64)
+		case "slo":
+			spec.SLO, err = time.ParseDuration(val)
+		case "arrival":
+			spec.Arrival = val
+		case "policy":
+			spec.Policy = val
+		case "theta":
+			spec.Theta, err = strconv.ParseFloat(val, 64)
+		default:
+			err = fmt.Errorf("unknown option %q", key)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("colocate: serve spec %q: %s: %v", s, key, err)
+		}
+	}
+	if spec.QPS <= 0 {
+		return spec, fmt.Errorf("colocate: serve spec %q needs qps=<rate>", s)
+	}
+	if spec.Policy == "" {
+		if spec.SLO > 0 {
+			spec.Policy = "slo"
+		} else {
+			spec.Policy = "fixed"
+		}
+	}
+	if spec.Policy == "slo" && spec.SLO <= 0 {
+		return spec, fmt.Errorf("colocate: serve spec %q: policy=slo needs slo=<target>", s)
+	}
+	return spec, nil
+}
+
+// ParseServeSpecs parses a comma-separated list of serving-stack
+// descriptions ("kv/qps=800/slo=5ms,bank/qps=200/slo=20ms").
+func ParseServeSpecs(s string) ([]ServeSpec, error) {
+	var out []ServeSpec
+	for _, part := range strings.Split(s, ",") {
+		spec, err := ParseServeSpec(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// Build assembles the stack on its own STM runtime. workers bounds the
+// parallelism; seed derives every random stream (arrival, keys, pool), so
+// the same spec at the same seed offers the same schedule. The stack name
+// carries the spec's shape ("kv/poisson") for the results table; callers
+// dedupe with an index when co-locating identical specs.
+func (s ServeSpec) Build(engine string, workers int, seed int64) (ServeProc, error) {
+	var proc ServeProc
+	algo, err := ParseEngine(engine)
+	if err != nil {
+		return proc, err
+	}
+	cfg := load.Config{Workers: workers, Seed: seed}
+	if s.Workload == "kv" {
+		rt := stm.New(stm.Config{Algorithm: algo})
+		kv := load.NewKV(rt, load.KVConfig{})
+		keys, err := load.NewZipf(uint64(kv.Keys()), s.Theta, seed)
+		if err != nil {
+			return proc, err
+		}
+		cfg.Workload, cfg.Keys = kv, keys
+	} else {
+		w, _, err := workloads.New(s.Workload, stm.Config{Algorithm: algo})
+		if err != nil {
+			return proc, err
+		}
+		cfg.Workload = w
+	}
+	cfg.Arrival, err = load.NewArrival(s.Arrival, s.QPS, seed)
+	if err != nil {
+		return proc, err
+	}
+	switch s.Policy {
+	case "slo":
+		cfg.SLO = &core.SLOPolicy{TargetP99: s.SLO}
+	case "rubic":
+		cfg.Controller = core.NewRUBIC(core.RUBICConfig{MaxLevel: workers, InitialLevel: workers})
+	case "fixed":
+		// pinned at workers
+	default:
+		return proc, fmt.Errorf("colocate: serve policy %q (want slo, rubic or fixed)", s.Policy)
+	}
+	proc.Name = s.Workload + "/" + s.Arrival
+	proc.Config = cfg
+	return proc, nil
+}

@@ -1,0 +1,171 @@
+package colocate
+
+import (
+	"testing"
+	"time"
+
+	"rubic/internal/core"
+	"rubic/internal/load"
+	"rubic/internal/stm"
+)
+
+func serveKVProc(t *testing.T, name string, qps float64, slo *core.SLOPolicy, seed int64) ServeProc {
+	t.Helper()
+	rt := stm.New(stm.Config{})
+	kv := load.NewKV(rt, load.KVConfig{Keys: 300})
+	keys, err := load.NewZipf(uint64(kv.Keys()), load.DefaultTheta, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := load.NewPoisson(qps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ServeProc{Name: name, Config: load.Config{
+		Workload: kv,
+		Arrival:  a,
+		Keys:     keys,
+		Workers:  3,
+		SLO:      slo,
+		Epoch:    100 * time.Millisecond,
+		Seed:     seed,
+	}}
+}
+
+// TestServeGroupDifferentSLOs is the co-location contract for open-loop
+// stacks: two stacks with different p99 targets run side by side, and each
+// guard judges only its own stack — the generous SLO ends meeting while the
+// unreachable one is forced to cut, in the same process at the same time.
+func TestServeGroupDifferentSLOs(t *testing.T) {
+	procs := []ServeProc{
+		serveKVProc(t, "lenient", 300, &core.SLOPolicy{TargetP99: 250 * time.Millisecond}, 41),
+		serveKVProc(t, "strict", 300, &core.SLOPolicy{TargetP99: time.Nanosecond, BreachAfter: 1}, 43),
+	}
+	g, err := NewServeGroup(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := g.Run(900 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Name != "lenient" || results[1].Name != "strict" {
+		t.Fatalf("results out of input order: %v, %v", results[0].Name, results[1].Name)
+	}
+	lenient, strict := results[0], results[1]
+	if lenient.SLOState != "meeting" || lenient.SLO.Cuts != 0 {
+		t.Fatalf("lenient stack %q with %d cuts (%+v), want meeting with none", lenient.SLOState, lenient.SLO.Cuts, lenient.SLO)
+	}
+	if strict.SLO.Cuts == 0 {
+		t.Fatalf("strict stack's unreachable SLO produced no cuts: %+v", strict.SLO)
+	}
+	for _, r := range results {
+		if r.Completed == 0 {
+			t.Fatalf("stack %s served nothing", r.Name)
+		}
+	}
+}
+
+func TestServeGroupValidation(t *testing.T) {
+	if _, err := NewServeGroup(nil); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	p := serveKVProc(t, "a", 100, nil, 1)
+	if _, err := NewServeGroup([]ServeProc{p, serveKVProc(t, "a", 100, nil, 2)}); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	bad := p
+	bad.Name = ""
+	if _, err := NewServeGroup([]ServeProc{bad}); err == nil {
+		t.Fatal("unnamed stack accepted")
+	}
+	bad = p
+	bad.Config.Workers = 0
+	bad.Name = "b"
+	if _, err := NewServeGroup([]ServeProc{bad}); err == nil {
+		t.Fatal("invalid stack config accepted")
+	}
+}
+
+func TestParseServeSpecs(t *testing.T) {
+	specs, err := ParseServeSpecs("kv/qps=800/slo=5ms,bank/qps=200/arrival=diurnal/policy=rubic/theta=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("parsed %d specs, want 2", len(specs))
+	}
+	a, b := specs[0], specs[1]
+	if a.Workload != "kv" || a.QPS != 800 || a.SLO != 5*time.Millisecond || a.Policy != "slo" || a.Arrival != "poisson" {
+		t.Fatalf("spec a = %+v (policy must default to slo when a target is set)", a)
+	}
+	if a.Theta != load.DefaultTheta {
+		t.Fatalf("spec a theta %v, want default %v", a.Theta, load.DefaultTheta)
+	}
+	if b.Workload != "bank" || b.Arrival != "diurnal" || b.Policy != "rubic" || b.SLO != 0 || b.Theta != 0.5 {
+		t.Fatalf("spec b = %+v", b)
+	}
+	if c, err := ParseServeSpec("kv/qps=100"); err != nil || c.Policy != "fixed" {
+		t.Fatalf("no-SLO spec: %+v, %v (policy must default to fixed)", c, err)
+	}
+
+	for _, bad := range []string{
+		"",                      // no workload
+		"kv",                    // no qps
+		"kv/qps=0",              // zero qps
+		"kv/qps",                // option without value
+		"kv/qps=800/warp=1",     // unknown option
+		"kv/qps=800/slo=fast",   // unparsable duration
+		"kv/qps=800/policy=slo", // slo policy without a target
+	} {
+		if _, err := ParseServeSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestServeSpecBuild(t *testing.T) {
+	spec, err := ParseServeSpec("kv/qps=100/slo=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := spec.Build("tl2", 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.Name != "kv/poisson" {
+		t.Fatalf("proc name %q", proc.Name)
+	}
+	cfg := proc.Config
+	if cfg.Keys == nil || cfg.SLO == nil || cfg.SLO.TargetP99 != 10*time.Millisecond || cfg.Workers != 4 {
+		t.Fatalf("built config missing pieces: keys=%v slo=%+v workers=%d", cfg.Keys != nil, cfg.SLO, cfg.Workers)
+	}
+	if _, ok := cfg.Workload.(load.Keyed); !ok {
+		t.Fatal("kv workload must be keyed")
+	}
+
+	// Unkeyed stamp workloads build too — they serve through the Task path.
+	spec, err = ParseServeSpec("bank/qps=50/policy=rubic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err = spec.Build("norec", 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.Config.Controller == nil || proc.Config.SLO != nil || proc.Config.Keys != nil {
+		t.Fatalf("rubic-policy bank stack built wrong: %+v", proc.Config)
+	}
+
+	if _, err := spec.Build("warp-stm", 2, 7); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	spec.Policy = "entropy"
+	if _, err := spec.Build("tl2", 2, 7); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	spec.Workload, spec.Policy = "warpload", "fixed"
+	if _, err := spec.Build("tl2", 2, 7); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

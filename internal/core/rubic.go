@@ -115,6 +115,13 @@ func (r *RUBIC) RestoreState(st TuningState) {
 	}
 	if st.Epoch > 0 {
 		r.dtmax = st.Epoch
+	} else {
+		// A state without a growth epoch restarts the cubic round count:
+		// restoring into a mid-flight controller (the SLO guard's cut path)
+		// must not inherit the old round count, or growth would re-enter the
+		// probing phase immediately instead of climbing the curve toward the
+		// preserved wMax. Fresh controllers already sit at zero.
+		r.dtmax = 0
 	}
 	if ceil := float64(r.cfg.MaxLevel); r.level > ceil {
 		r.level = ceil

@@ -19,6 +19,8 @@ package fault
 import (
 	"fmt"
 	"sync"
+
+	"rubic/internal/rng"
 )
 
 // Point names one injection point. The catalog below is the complete set the
@@ -178,13 +180,11 @@ func (in *Injector) Payload(p Point, occurrence int) uint64 {
 // Mix64 is a splitmix64 finalizer: a cheap, high-quality deterministic hash
 // used wherever the chaos layer needs reproducible pseudo-randomness without
 // a shared rand.Rand (backoff jitter, corruption payloads, scenario
-// derivation).
-func Mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
+// derivation). It now lives in internal/rng — shared with the open-loop
+// arrival generators, which follow the same schedule-is-a-pure-function-of-
+// seed convention — and stays re-exported here so chaos-layer callers keep
+// their original import.
+func Mix64(x uint64) uint64 { return rng.Mix64(x) }
 
 // String renders a firing as point@occurrence.
 func (f Firing) String() string { return fmt.Sprintf("%s@%d", f.Point, f.Occurrence) }

@@ -1,0 +1,79 @@
+package load
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Request is one admitted unit of open-loop work. Arrival is stamped when
+// the generator offers the request — before it waits in the queue — so the
+// latency a worker records on completion includes queueing delay, the
+// component closed-loop measurement structurally cannot see.
+type Request struct {
+	// Key selects the datum a keyed workload operates on (Zipf-drawn);
+	// unkeyed workloads ignore it.
+	Key uint64
+	// Seq is the request's arrival index (0-based), a cheap deterministic
+	// per-request discriminator.
+	Seq uint64
+	// Arrival is the admission timestamp.
+	Arrival time.Time
+}
+
+// Queue is the bounded admission queue between the arrival generator and
+// the workers. Offer never blocks: when the queue is full the request is
+// shed and counted, modelling an admission-controlled service (an open-loop
+// generator that blocked on a full queue would silently turn back into a
+// closed loop). Pop blocks until a request, or returns ok=false once the
+// queue is closed and drained.
+type Queue struct {
+	ch     chan Request
+	shed   atomic.Uint64
+	closed atomic.Bool
+}
+
+// NewQueue returns a queue admitting at most capacity in-flight requests.
+func NewQueue(capacity int) (*Queue, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("load: queue capacity %d < 1", capacity)
+	}
+	return &Queue{ch: make(chan Request, capacity)}, nil
+}
+
+// Offer admits r, or sheds it (returning false) when the queue is full or
+// closed. Single producer: the Server's generator goroutine.
+func (q *Queue) Offer(r Request) bool {
+	if q.closed.Load() {
+		q.shed.Add(1)
+		return false
+	}
+	select {
+	case q.ch <- r:
+		return true
+	default:
+		q.shed.Add(1)
+		return false
+	}
+}
+
+// Pop removes the oldest admitted request, blocking while the queue is open
+// and empty. ok is false once the queue is closed and fully drained.
+func (q *Queue) Pop() (r Request, ok bool) {
+	r, ok = <-q.ch
+	return r, ok
+}
+
+// Close stops admission; queued requests remain poppable. Close is called
+// by the producer after its last Offer, so close-send races cannot occur.
+func (q *Queue) Close() {
+	if q.closed.CompareAndSwap(false, true) {
+		close(q.ch)
+	}
+}
+
+// Shed returns the number of rejected requests.
+func (q *Queue) Shed() uint64 { return q.shed.Load() }
+
+// Len returns the current queue depth (racy, monitoring only).
+func (q *Queue) Len() int { return len(q.ch) }

@@ -1,0 +1,347 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rubic/internal/core"
+	"rubic/internal/metrics"
+	"rubic/internal/pool"
+	"rubic/internal/stamp"
+)
+
+// Config assembles one open-loop serving stack.
+type Config struct {
+	// Workload handles the requests. Workloads implementing Keyed receive
+	// the Zipf-drawn key; others execute one closed-loop task per request.
+	Workload stamp.Workload
+	// Arrival is the seeded arrival schedule.
+	Arrival Arrival
+	// Keys, when non-nil, draws each request's key from the Zipfian hot-key
+	// mix; nil sends the arrival sequence number as the key (uniform only
+	// in the trivial sense — keyed workloads normally want a Zipf).
+	Keys *Zipf
+	// QueueCap bounds the admission queue (default 1024). Requests arriving
+	// at a full queue are shed and counted, not blocked on.
+	QueueCap int
+	// Workers is the pool size — the maximum parallelism level. Required.
+	Workers int
+	// Controller steers the level from per-epoch signals; nil pins the
+	// level at Workers.
+	Controller core.Controller
+	// SLO, when non-nil, wraps Controller (default: a RUBIC starting at
+	// full level) in a core.SLOGuard so the level is tuned against the p99
+	// target instead of raw throughput.
+	SLO *core.SLOPolicy
+	// Epoch is the reporting/tuning interval (default 250 ms).
+	Epoch time.Duration
+	// Seed derives every random stream of the stack (workload setup, pool
+	// workers; the Arrival and Keys generators are seeded by their own
+	// constructors, conventionally from the same seed).
+	Seed int64
+	// OnEpoch, when non-nil, receives each epoch's stats as the run
+	// progresses (the serve CLI's live report).
+	OnEpoch func(EpochStat)
+}
+
+// DefaultQueueCap is the default admission-queue bound.
+const DefaultQueueCap = 1024
+
+// DefaultEpoch is the default tuning/reporting epoch. Longer than the
+// closed-loop tuner's 10 ms tick: a p99 needs enough samples per window to
+// be a signal rather than noise.
+const DefaultEpoch = 250 * time.Millisecond
+
+// EpochStat is one epoch's report: interval quantiles (not cumulative), the
+// level in force, and the guard's posture.
+type EpochStat struct {
+	// Index is the epoch's 0-based sequence number.
+	Index int
+	// Level is the parallelism level actuated for the next epoch.
+	Level int
+	// State is the SLO guard's posture after the epoch ("" without an SLO).
+	State string
+	// Arrived, Completed and Shed are this epoch's deltas.
+	Arrived   uint64
+	Completed uint64
+	Shed      uint64
+	// QPS is Completed over the epoch duration.
+	QPS float64
+	// QueueDepth is the admission-queue depth at the epoch boundary.
+	QueueDepth int
+	// P50/P99/P999/Max are the epoch's latency quantiles, queueing delay
+	// included (Max at bucket resolution).
+	P50, P99, P999, Max time.Duration
+}
+
+// Result is the run's outcome.
+type Result struct {
+	// Epochs are the per-epoch reports, in order.
+	Epochs []EpochStat
+	// Hist is the cumulative latency histogram of every served request.
+	Hist *metrics.Hist
+	// Arrived counts generated requests; Admitted = Arrived - Shed.
+	Arrived, Completed, Shed uint64
+	// OfferedQPS is Arrived over the run; QPS is Completed over the run.
+	OfferedQPS, QPS float64
+	// P50/P99/P999/Max summarize the cumulative histogram.
+	P50, P99, P999, Max time.Duration
+	// MeanLevel is the average actuated level across epochs.
+	MeanLevel float64
+	// SLO carries the guard's final stats (zero without an SLO policy).
+	SLO core.SLOStats
+	// SLOState is the guard's final posture ("" without an SLO policy).
+	SLOState string
+	// Elapsed is the measured run duration.
+	Elapsed time.Duration
+}
+
+// Server runs one workload under open-loop load: a generator thread emits
+// the arrival schedule into the bounded admission queue, pool workers pop
+// requests and execute them against the workload, and an epoch loop reports
+// interval latency quantiles and (optionally) tunes the parallelism level —
+// against throughput like the closed-loop Tuner, or against a p99 target
+// through a core.SLOGuard.
+type Server struct {
+	cfg   Config
+	guard *core.SLOGuard
+}
+
+// NewServer validates the configuration. The SLO default controller is a
+// RUBIC starting at full level: a service entering traffic wants capacity
+// first and efficiency second, so the guard cuts down from the top rather
+// than growing from the floor while requests queue.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("load: server needs a workload")
+	}
+	if cfg.Arrival == nil {
+		return nil, fmt.Errorf("load: server needs an arrival process")
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("load: server needs at least one worker, got %d", cfg.Workers)
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.QueueCap < 1 {
+		return nil, fmt.Errorf("load: queue capacity %d < 1", cfg.QueueCap)
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = DefaultEpoch
+	}
+	s := &Server{cfg: cfg}
+	if cfg.SLO != nil {
+		inner := cfg.Controller
+		if inner == nil {
+			inner = core.NewRUBIC(core.RUBICConfig{MaxLevel: cfg.Workers, InitialLevel: cfg.Workers})
+		}
+		g, err := core.NewSLOGuard(inner, *cfg.SLO)
+		if err != nil {
+			return nil, err
+		}
+		s.guard = g
+		s.cfg.Controller = g
+	}
+	return s, nil
+}
+
+// Guard exposes the SLO guard (nil without an SLO policy).
+func (s *Server) Guard() *core.SLOGuard { return s.guard }
+
+// Run executes the open-loop run for the given duration, then verifies the
+// workload's invariants. The returned Result is valid even when err is a
+// verification failure.
+func (s *Server) Run(duration time.Duration) (Result, error) {
+	var res Result
+	if duration <= 0 {
+		return res, fmt.Errorf("load: run duration must be positive")
+	}
+	cfg := &s.cfg
+	if err := cfg.Workload.Setup(rand.New(rand.NewSource(cfg.Seed))); err != nil {
+		return res, fmt.Errorf("load: setup %s: %w", cfg.Workload.Name(), err)
+	}
+	queue, err := NewQueue(cfg.QueueCap)
+	if err != nil {
+		return res, err
+	}
+	keyed, _ := cfg.Workload.(Keyed)
+	task := cfg.Workload.Task()
+
+	// Per-worker histograms: single-writer record path, merged (atomically
+	// read) by the epoch loop while the workers keep recording.
+	hists := make([]*metrics.Hist, cfg.Workers)
+	for i := range hists {
+		hists[i] = metrics.NewHist()
+	}
+	pl, err := pool.New(cfg.Workers, cfg.Seed+1, func(workerID int, rng *rand.Rand) bool {
+		req, ok := queue.Pop()
+		if !ok {
+			return false // queue closed: the run is tearing down
+		}
+		var done bool
+		if keyed != nil {
+			done = keyed.ServeKey(workerID, req.Key, rng)
+		} else {
+			done = task(workerID, rng)
+		}
+		// Latency includes the time queued; failed requests took it too.
+		hists[workerID].Record(time.Since(req.Arrival))
+		return done
+	})
+	if err != nil {
+		return res, err
+	}
+
+	level := cfg.Workers
+	if cfg.Controller != nil {
+		level = cfg.Controller.Level()
+	}
+	pl.SetLevel(level)
+
+	// Generator: walks the arrival schedule in absolute time, so a slow
+	// consumer cannot stretch the schedule (that would close the loop). A
+	// late wakeup emits the overdue arrivals back-to-back.
+	var arrived atomic.Uint64
+	genStop := make(chan struct{})
+	var genWG sync.WaitGroup
+	genWG.Add(1)
+	go func() {
+		defer genWG.Done()
+		timer := time.NewTimer(0)
+		defer timer.Stop()
+		if !timer.Stop() {
+			<-timer.C
+		}
+		next := time.Now()
+		var seq uint64
+		for {
+			select {
+			case <-genStop:
+				return
+			default:
+			}
+			next = next.Add(cfg.Arrival.Next())
+			if wait := time.Until(next); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-genStop:
+					return
+				case <-timer.C:
+				}
+			}
+			key := seq
+			if cfg.Keys != nil {
+				key = cfg.Keys.Next()
+			}
+			queue.Offer(Request{Key: key, Seq: seq, Arrival: time.Now()})
+			arrived.Add(1)
+			seq++
+		}
+	}()
+
+	start := time.Now()
+	pl.Start()
+
+	// Epoch loop: merge the workers' cumulative histograms, difference
+	// against the previous merge for the interval view, decide the level.
+	ticker := time.NewTicker(cfg.Epoch)
+	defer ticker.Stop()
+	deadline := time.NewTimer(duration)
+	defer deadline.Stop()
+	prevCum := metrics.NewHist()
+	var prevCompleted, prevArrived, prevShed uint64
+	var levelSum float64
+	epochs := 0
+	epochSecs := cfg.Epoch.Seconds()
+loop:
+	for {
+		select {
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+			cum := metrics.NewHist()
+			for _, h := range hists {
+				cum.Merge(h)
+			}
+			interval := cum.Clone()
+			interval.Sub(prevCum)
+			prevCum = cum
+
+			completed := pl.Completed()
+			arr := arrived.Load()
+			shed := queue.Shed()
+			st := EpochStat{
+				Index:      epochs,
+				Arrived:    arr - prevArrived,
+				Completed:  completed - prevCompleted,
+				Shed:       shed - prevShed,
+				QPS:        float64(completed-prevCompleted) / epochSecs,
+				QueueDepth: queue.Len(),
+				P50:        interval.P50(),
+				P99:        interval.P99(),
+				P999:       interval.P999(),
+				Max:        interval.Quantile(1),
+			}
+			prevCompleted, prevArrived, prevShed = completed, arr, shed
+
+			switch {
+			case s.guard != nil:
+				level = s.guard.NextEpoch(st.P99, st.QPS)
+				st.State = s.guard.State().String()
+			case cfg.Controller != nil:
+				level = cfg.Controller.Next(st.QPS)
+			}
+			pl.SetLevel(level)
+			st.Level = level
+			levelSum += float64(level)
+			epochs++
+			res.Epochs = append(res.Epochs, st)
+			if cfg.OnEpoch != nil {
+				cfg.OnEpoch(st)
+			}
+		}
+	}
+
+	// Teardown order matters: stop the generator, close the queue so
+	// workers blocked in Pop unblock, then stop the pool (workers exit at
+	// the loop top; the residual backlog is discarded, not served).
+	close(genStop)
+	genWG.Wait()
+	queue.Close()
+	pl.Stop()
+	res.Elapsed = time.Since(start)
+
+	res.Hist = metrics.NewHist()
+	for _, h := range hists {
+		res.Hist.Merge(h)
+	}
+	res.Arrived = arrived.Load()
+	res.Completed = pl.Completed()
+	res.Shed = queue.Shed()
+	secs := res.Elapsed.Seconds()
+	if secs > 0 {
+		res.OfferedQPS = float64(res.Arrived) / secs
+		res.QPS = float64(res.Completed) / secs
+	}
+	res.P50 = res.Hist.P50()
+	res.P99 = res.Hist.P99()
+	res.P999 = res.Hist.P999()
+	res.Max = res.Hist.Max()
+	if epochs > 0 {
+		res.MeanLevel = levelSum / float64(epochs)
+	} else {
+		res.MeanLevel = float64(level)
+	}
+	if s.guard != nil {
+		res.SLO = s.guard.Stats()
+		res.SLOState = s.guard.State().String()
+	}
+	if err := cfg.Workload.Verify(); err != nil {
+		return res, fmt.Errorf("load: %s verification: %w", cfg.Workload.Name(), err)
+	}
+	return res, nil
+}

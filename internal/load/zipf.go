@@ -1,0 +1,82 @@
+package load
+
+import (
+	"fmt"
+	"math"
+
+	"rubic/internal/rng"
+)
+
+// Zipf draws keys from a Zipfian distribution over [0, n): key rank i is
+// drawn with probability proportional to 1/(i+1)^theta. It is the
+// YCSB-style hot-key mix (Gray et al.'s rejection-free inversion): at the
+// default skew and a 10k key space, roughly 80% of draws hit the hottest
+// 20% of keys — the classic 80/20 service traffic shape (StunDB's Zipfian
+// benchmarks use the same generator family).
+//
+// Draws are allocation-free and deterministic for a given (n, theta, seed).
+// Not safe for concurrent use; the Server's generator goroutine owns it.
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	s     *rng.Stream
+}
+
+// DefaultTheta is the default skew. At theta=0.99 (YCSB's default) and the
+// default 10k key space the hottest 20% of keys absorb ≈80% of draws.
+const DefaultTheta = 0.99
+
+// NewZipf returns a seeded Zipfian key generator over [0, n). theta must be
+// in (0, 1) — theta=1 diverges in this parameterization; uniform traffic is
+// the n-keys-theta→0 limit and has its own generator below.
+func NewZipf(n uint64, theta float64, seed int64) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("load: zipf key space must be non-empty, got %d", n)
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("load: zipf theta must be in (0,1), got %v", theta)
+	}
+	z := &Zipf{
+		n:     n,
+		theta: theta,
+		s:     rng.NewStream(seed, tagZipf),
+	}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	zeta2 := zeta(2, theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z, nil
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+// O(n) once at construction; key spaces are at most a few million.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next key. Rank 0 is the hottest key.
+func (z *Zipf) Next() uint64 {
+	u := z.s.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
+
+// Keys returns the size of the key space.
+func (z *Zipf) Keys() uint64 { return z.n }

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is an HDR-style log-bucketed latency histogram: fixed memory, a
+// zero-allocation lock-free record path, and quantiles with a bounded
+// relative error. It is the latency companion to ShardedCounter — workers
+// record into private histograms on the request path (including inside
+// transaction commit paths, where the PR-3 allocation gates forbid any
+// per-op allocation) and a monitor merges them without stopping the workers.
+//
+// Bucketing: values below 2^(histSubBits+1) ns are recorded exactly; above
+// that, each power-of-two octave is split into 2^histSubBits linear
+// sub-buckets, so the relative quantile error is bounded by
+// 2^-histSubBits ≈ 3.1%. The full int64 nanosecond range (over 290 years)
+// fits in histLen buckets — no clamping, no overflow bucket.
+//
+// Concurrency: Record uses one atomic add per call (plus a max CAS only
+// when a new maximum is observed); readers (Merge, Quantile via a merged
+// copy) load atomically, so a monitor may snapshot a histogram that a
+// worker is concurrently writing. Like the pool's completion counters, such
+// a snapshot is not a consistent cut — exactly the sampling the monitoring
+// thread performs everywhere else.
+type Hist struct {
+	counts [histLen]uint64
+	total  uint64
+	sum    uint64 // nanoseconds; mean support, saturating in practice never
+	max    uint64
+}
+
+const (
+	// histSubBits sets the resolution: 2^histSubBits linear sub-buckets per
+	// octave, bounding relative error by 2^-histSubBits.
+	histSubBits = 5
+	histSubCnt  = 1 << histSubBits // 32
+
+	// The first 2*histSubCnt values (0..63 ns) are exact; each octave above
+	// adds histSubCnt buckets. 63-bit values need (63-histSubBits) octaves.
+	histLen = 2*histSubCnt + (62-histSubBits)*histSubCnt
+)
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return new(Hist) }
+
+// histIndex maps a non-negative nanosecond value to its bucket.
+func histIndex(v int64) int {
+	u := uint64(v)
+	n := bits.Len64(u) // position of the highest set bit
+	if n <= histSubBits+1 {
+		return int(u) // exact region: v < 2^(histSubBits+1)
+	}
+	shift := n - (histSubBits + 1)
+	// u>>shift is in [histSubCnt, 2*histSubCnt): the sub-bucket plus offset.
+	return shift<<histSubBits + int(u>>uint(shift))
+}
+
+// histUpper returns the inclusive upper edge (ns) of bucket i — quantiles
+// report this conservative edge, so a reported p99 is never below the true
+// bucket's values.
+func histUpper(i int) int64 {
+	if i < 2*histSubCnt {
+		return int64(i)
+	}
+	shift := uint(i>>histSubBits) - 1
+	sub := uint64(i&(histSubCnt-1)) | histSubCnt
+	return int64(sub<<shift + (1 << shift) - 1)
+}
+
+// Record adds one latency observation. Negative durations are clamped to
+// zero (a clock step mid-request). The path is allocation-free and
+// lock-free: one atomic add, plus a CAS loop only while the observation is
+// a new maximum.
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	atomic.AddUint64(&h.counts[histIndex(v)], 1)
+	atomic.AddUint64(&h.total, 1)
+	atomic.AddUint64(&h.sum, uint64(v))
+	for {
+		m := atomic.LoadUint64(&h.max)
+		if uint64(v) <= m || atomic.CompareAndSwapUint64(&h.max, m, uint64(v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return atomic.LoadUint64(&h.total) }
+
+// Max returns the largest recorded observation (exact, not bucket-rounded).
+// After Sub it still reflects the cumulative stream's maximum.
+func (h *Hist) Max() time.Duration {
+	return time.Duration(atomic.LoadUint64(&h.max))
+}
+
+// Mean returns the arithmetic mean of the recorded observations, or 0 when
+// empty.
+func (h *Hist) Mean() time.Duration {
+	n := atomic.LoadUint64(&h.total)
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(atomic.LoadUint64(&h.sum) / n)
+}
+
+// Merge adds o's counts into h. h is typically a monitor-private
+// accumulator; o may be concurrently written (its counts are loaded
+// atomically, so the merge sees some recent, possibly inconsistent cut —
+// the usual monitoring semantics).
+func (h *Hist) Merge(o *Hist) {
+	if o == nil {
+		return
+	}
+	for i := range o.counts {
+		if c := atomic.LoadUint64(&o.counts[i]); c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.total += atomic.LoadUint64(&o.total)
+	h.sum += atomic.LoadUint64(&o.sum)
+	if m := atomic.LoadUint64(&o.max); m > h.max {
+		h.max = m
+	}
+}
+
+// Sub subtracts a previous snapshot of the same stream from h, leaving the
+// interval histogram — per-epoch quantiles come from cumulative merges
+// differenced this way. Buckets never go negative for a genuine prefix
+// snapshot; a racy off-by-a-few is clamped. Max is not restored to the
+// interval's own maximum (the information is gone); use Quantile(1) for a
+// bucket-resolution interval max. h must be monitor-private.
+func (h *Hist) Sub(o *Hist) {
+	if o == nil {
+		return
+	}
+	for i := range h.counts {
+		c := o.counts[i]
+		if c > h.counts[i] {
+			c = h.counts[i]
+		}
+		h.counts[i] -= c
+	}
+	if o.total > h.total {
+		h.total = 0
+	} else {
+		h.total -= o.total
+	}
+	if o.sum > h.sum {
+		h.sum = 0
+	} else {
+		h.sum -= o.sum
+	}
+}
+
+// Clone returns a monitor-private copy of h (atomic per-bucket loads).
+func (h *Hist) Clone() *Hist {
+	c := NewHist()
+	c.Merge(h)
+	return c
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) as the upper edge of the
+// bucket holding the ceil(q*count)-th observation — within one bucket width
+// (≤ 2^-histSubBits relative error) above the true order statistic. An
+// empty histogram returns 0. h must not be concurrently written (use a
+// Clone or a merged accumulator); the pre-epoch reporters all operate on
+// private merges.
+func (h *Hist) Quantile(q float64) time.Duration {
+	n := h.total
+	if n == 0 || math.IsNaN(q) || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i]
+		if seen >= rank {
+			return time.Duration(histUpper(i))
+		}
+	}
+	return h.Max()
+}
+
+// P50, P99 and P999 are the quantiles the serve layer reports every epoch.
+func (h *Hist) P50() time.Duration  { return h.Quantile(0.50) }
+func (h *Hist) P99() time.Duration  { return h.Quantile(0.99) }
+func (h *Hist) P999() time.Duration { return h.Quantile(0.999) }

@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// histErrBound checks one reported quantile against the sorted-slice oracle:
+// the histogram reports the upper edge of the bucket holding the order
+// statistic, so it is never below the true value and at most one bucket
+// width (2^-histSubBits relative, +1 ns in the exact region) above it.
+func histErrBound(t *testing.T, q float64, got, want time.Duration) {
+	t.Helper()
+	if got < want {
+		t.Fatalf("q=%v: histogram %v below oracle %v", q, got, want)
+	}
+	slack := want/histSubCnt + 1
+	if got > want+slack {
+		t.Fatalf("q=%v: histogram %v exceeds oracle %v by more than a bucket (%v)", q, got, want, slack)
+	}
+}
+
+// oracleQuantile is the reference definition both sides use: the
+// ceil(q*n)-th smallest observation.
+func oracleQuantile(sorted []time.Duration, q float64) time.Duration {
+	rank := int(float64(len(sorted))*q + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestHistMergedQuantilesVsOracle is the merge+accuracy property test: a
+// latency stream spanning seven orders of magnitude is dealt across
+// per-worker histograms, the merged histogram's quantiles must match a
+// sorted-slice oracle within the bucket error bound, across seeds.
+func TestHistMergedQuantilesVsOracle(t *testing.T) {
+	quantiles := []float64{0.5, 0.9, 0.99, 0.999, 1.0}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const workers, n = 8, 50000
+		hists := make([]*Hist, workers)
+		for i := range hists {
+			hists[i] = NewHist()
+		}
+		all := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			// Log-uniform magnitudes: sub-µs fast path through multi-second
+			// stalls, the shape a queue-delay distribution actually has.
+			mag := time.Duration(1) << uint(rng.Intn(33)) // 1 ns .. ~8 s
+			d := time.Duration(rng.Int63n(int64(mag))) + 1
+			all = append(all, d)
+			hists[i%workers].Record(d)
+		}
+		merged := NewHist()
+		for _, h := range hists {
+			merged.Merge(h)
+		}
+		if merged.Count() != n {
+			t.Fatalf("seed %d: merged count %d, want %d", seed, merged.Count(), n)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for _, q := range quantiles {
+			histErrBound(t, q, merged.Quantile(q), oracleQuantile(all, q))
+		}
+		if max := merged.Max(); max != all[n-1] {
+			t.Fatalf("seed %d: merged max %v, want exact %v", seed, max, all[n-1])
+		}
+	}
+}
+
+// TestHistSubIsInterval checks the epoch differencing path: cumulative
+// minus a prefix snapshot reports the suffix's quantiles.
+func TestHistSubIsInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHist()
+	const prefix, suffix = 20000, 30000
+	for i := 0; i < prefix; i++ {
+		h.Record(time.Duration(rng.Int63n(int64(time.Millisecond))))
+	}
+	snap := h.Clone()
+	tail := make([]time.Duration, 0, suffix)
+	for i := 0; i < suffix; i++ {
+		// The suffix lives an order of magnitude above the prefix, so a
+		// leaking prefix would visibly drag the interval quantiles down.
+		d := 10*time.Millisecond + time.Duration(rng.Int63n(int64(50*time.Millisecond)))
+		tail = append(tail, d)
+		h.Record(d)
+	}
+	interval := h.Clone()
+	interval.Sub(snap)
+	if interval.Count() != suffix {
+		t.Fatalf("interval count %d, want %d", interval.Count(), suffix)
+	}
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		histErrBound(t, q, interval.Quantile(q), oracleQuantile(tail, q))
+	}
+}
+
+// TestHistRecordAllocFree is the PR-3-style allocation gate: the record
+// path must be able to sit on a transaction commit path, so it may not
+// allocate.
+func TestHistRecordAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector adds shadow allocations")
+	}
+	h := NewHist()
+	d := time.Duration(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(d)
+		d = (d*7 + 13) % (10 * time.Second)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestHistConcurrentRecordMerge drives recorders against a monitor doing
+// merged snapshots; under -race this also proves the snapshot path is
+// data-race free against the lock-free record path.
+func TestHistConcurrentRecordMerge(t *testing.T) {
+	const workers, perWorker = 4, 20000
+	hists := make([]*Hist, workers)
+	for i := range hists {
+		hists[i] = NewHist()
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				hists[w].Record(time.Duration(i%1000) * time.Microsecond)
+			}
+		}(w)
+	}
+	var monitorErr error
+	var mwg sync.WaitGroup
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		var prev uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m := NewHist()
+			for _, h := range hists {
+				m.Merge(h)
+			}
+			if m.Count() < prev {
+				monitorErr = errCountWentBackwards
+				return
+			}
+			prev = m.Count()
+			_ = m.P99()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	mwg.Wait()
+	if monitorErr != nil {
+		t.Fatal(monitorErr)
+	}
+	m := NewHist()
+	for _, h := range hists {
+		m.Merge(h)
+	}
+	if m.Count() != workers*perWorker {
+		t.Fatalf("final merged count %d, want %d", m.Count(), workers*perWorker)
+	}
+}
+
+var errCountWentBackwards = &countErr{}
+
+type countErr struct{}
+
+func (*countErr) Error() string { return "merged count went backwards across snapshots" }
+
+func TestHistEmptyAndEdges(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram reports non-zero stats")
+	}
+	h.Record(-time.Second) // clamped, not panicking
+	h.Record(0)
+	h.Record(time.Duration(1<<62 + 12345))
+	if h.Count() != 3 {
+		t.Fatalf("count %d, want 3", h.Count())
+	}
+	if got := h.Quantile(1); got < time.Duration(1<<62) {
+		t.Fatalf("max-bucket quantile %v below recorded extreme", got)
+	}
+	if h.Quantile(0.001) != 0 {
+		t.Fatalf("low quantile %v, want the clamped zeros", h.Quantile(0.001))
+	}
+}
+
+// TestHistBucketRoundTrip pins the index/edge functions against each other
+// exhaustively across the first octaves and by sampling above.
+func TestHistBucketRoundTrip(t *testing.T) {
+	check := func(v int64) {
+		i := histIndex(v)
+		if i < 0 || i >= histLen {
+			t.Fatalf("value %d: index %d out of range", v, i)
+		}
+		up := histUpper(i)
+		if up < v {
+			t.Fatalf("value %d: bucket upper edge %d below the value", v, up)
+		}
+		if i+1 < histLen && histUpper(i+1) <= up {
+			t.Fatalf("bucket edges not increasing at %d", i)
+		}
+		// Error bound: within one bucket width.
+		if v >= 2*histSubCnt && float64(up-v) > float64(v)/histSubCnt {
+			t.Fatalf("value %d: edge %d further than one bucket width", v, up)
+		}
+	}
+	for v := int64(0); v < 1<<12; v++ {
+		check(v)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		check(rng.Int63())
+	}
+	check(1<<63 - 1)
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package metrics
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count assertions are skipped under -race: the detector adds
+// shadow allocations that testing.AllocsPerRun would attribute to the
+// histogram's record path.
+const raceEnabled = false

@@ -1,0 +1,62 @@
+// Package rng provides the repo's shared deterministic pseudo-randomness:
+// the splitmix64 finalizer (Mix64) and a tiny allocation-free sequence
+// generator (Stream) built on it. It exists so that every layer needing
+// reproducible randomness without a locked rand.Rand — the chaos layer's
+// fault schedules, the adaptive backoff jitter, and the open-loop arrival
+// generators — draws from one convention: a schedule is a pure function of
+// its seed, and distinct consumers decorrelate by hashing the seed with a
+// distinct stream tag.
+package rng
+
+import "math"
+
+// Mix64 is a splitmix64 finalizer: a cheap, high-quality deterministic hash.
+// It is the single mixing primitive the repo uses (internal/fault re-exports
+// it for compatibility with the chaos layer's original home).
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Stream is a splitmix64 sequence: successive Uint64 calls walk a counter
+// through Mix64. It is not safe for concurrent use; give each goroutine its
+// own stream (decorrelated via NewStream's tag).
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns a stream seeded from seed and a consumer tag. Two
+// streams with the same seed but different tags are decorrelated; the same
+// (seed, tag) pair always yields the same sequence.
+func NewStream(seed int64, tag uint64) *Stream {
+	return &Stream{state: Mix64(uint64(seed) ^ Mix64(tag))}
+}
+
+// Uint64 returns the next value of the sequence.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	x := s.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Float64 returns the next value uniformly distributed in [0, 1).
+func (s *Stream) Float64() float64 {
+	// 53 high-quality bits into the double's mantissa range.
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns the next exponentially distributed value with the given rate
+// (mean 1/rate). It panics on a non-positive rate, which is a programming
+// error. Used by the Poisson arrival generators: inter-arrival gaps of a
+// Poisson process of intensity λ are Exp(λ).
+func (s *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	// 1-Float64() is in (0, 1], so the log is finite.
+	return -math.Log(1-s.Float64()) / rate
+}
