@@ -4,7 +4,7 @@ GO ?= go
 # transactional containers, and the malleable worker pool).
 BENCH_PKGS = ./internal/stm ./internal/stm/container ./internal/pool
 
-.PHONY: check build vet fmtcheck test race lint bench benchgate benchscale benchscalegate chaos serve-smoke
+.PHONY: check build vet fmtcheck test race lint lint-fixtures bench benchgate benchscale benchscalegate chaos serve-smoke
 
 # check is the PR gate: vet, formatting, static analysis, the full test
 # suite, and a race-detector pass over the whole module.
@@ -30,9 +30,24 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# lint runs the repo's own static analyzers (see cmd/rubic-lint).
+# lint runs the repo's own static analyzers (see cmd/rubic-lint): the full
+# 8-analyzer suite over every package, cmd/ included. Any finding fails.
 lint:
 	$(GO) run ./cmd/rubic-lint ./...
+
+# lint-fixtures proves the analyzers still bite: every seeded-violation
+# fixture package must make rubic-lint exit non-zero. A lint run that passes
+# because an analyzer went blind is caught here, not by `make lint`.
+lint-fixtures:
+	@set -e; \
+	for d in stmescape txneffect roviolation ctlunits/periods ctlunits/core \
+	         atomicmix determinism/annotated determinism/registry noalloc seqlockproto; do \
+		rc=0; $(GO) run ./cmd/rubic-lint ./internal/analysis/testdata/src/$$d >/dev/null 2>&1 || rc=$$?; \
+		if [ "$$rc" -ne 1 ]; then \
+			echo "lint-fixtures: $$d: exit $$rc, want 1 (seeded findings)"; exit 1; \
+		fi; \
+		echo "lint-fixtures: $$d: findings detected (ok)"; \
+	done
 
 # bench runs the hot-path, container and pool micro-benchmarks and records
 # them as a dated BENCH_<date>.json snapshot (see cmd/rubic-benchgate).

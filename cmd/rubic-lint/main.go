@@ -1,10 +1,12 @@
 // Command rubic-lint runs rubic's custom STM/concurrency analyzers over the
-// repository: stmescape, txneffect, roviolation and ctlunits (see package
-// rubic/internal/analysis). It is part of the `make check` PR gate.
+// repository: stmescape, txneffect, roviolation, ctlunits, and the
+// concurrency-invariant suite atomicmix, determinism, noalloc and
+// seqlockproto (see package rubic/internal/analysis). It is part of the
+// `make check` PR gate.
 //
 // Usage:
 //
-//	rubic-lint [-json] [-analyzers=a,b] [-list] [packages...]
+//	rubic-lint [-json] [-analyzers=a,b] [-list] [-baseline file] [-write-baseline file] [packages...]
 //
 // Packages are directories or go-tool-style `dir/...` subtree patterns
 // (default ./...). The exit status is 0 when the tree is clean, 1 when any
@@ -14,6 +16,12 @@
 // flagged line or the line above it:
 //
 //	//lint:ignore rubic/<analyzer> reason
+//
+// For adopting a new analyzer on a tree with pre-existing findings,
+// -write-baseline records the current findings (keyed by analyzer,
+// module-root-relative file and message — line numbers are excluded so
+// unrelated edits do not invalidate the baseline) and -baseline makes
+// subsequent runs fail only on findings not in the recorded set.
 package main
 
 import (
@@ -22,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"rubic/internal/analysis"
 )
@@ -36,7 +46,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	baseline := fs.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *baseline != "" && *writeBaseline != "" {
+		fmt.Fprintln(stderr, "rubic-lint: -baseline and -write-baseline are mutually exclusive")
 		return 2
 	}
 
@@ -82,6 +98,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	findings := analysis.Run(loader, pkgs, analyzers)
+	if *writeBaseline != "" {
+		if err := saveBaseline(*writeBaseline, loader.ModuleRoot, findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "rubic-lint: recorded %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return 0
+	}
+	if *baseline != "" {
+		known, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		findings = filterBaseline(loader.ModuleRoot, findings, known)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -104,4 +136,72 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// baselineEntry keys one accepted finding. Line numbers are deliberately
+// excluded so edits elsewhere in a file do not invalidate its baseline; the
+// (analyzer, module-root-relative file, message) triple is stable across
+// unrelated churn.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// baselineKey maps a finding to its baseline identity.
+func baselineKey(moduleRoot string, f analysis.Finding) baselineEntry {
+	file := f.File
+	if rel, err := filepath.Rel(moduleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return baselineEntry{Analyzer: f.Analyzer, File: file, Message: f.Message}
+}
+
+// saveBaseline writes the findings' baseline keys as indented JSON; the
+// findings arrive sorted, so the file is deterministic and diffs cleanly.
+func saveBaseline(path, moduleRoot string, findings []analysis.Finding) error {
+	entries := make([]baselineEntry, 0, len(findings))
+	for _, f := range findings {
+		entries = append(entries, baselineKey(moduleRoot, f))
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// loadBaseline reads a baseline file into a set. Duplicate entries collapse;
+// a baselined message suppresses every occurrence in its file.
+func loadBaseline(path string) (map[baselineEntry]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("rubic-lint: parsing baseline %s: %w", path, err)
+	}
+	known := make(map[baselineEntry]bool, len(entries))
+	for _, e := range entries {
+		known[e] = true
+	}
+	return known, nil
+}
+
+// filterBaseline drops findings whose key the baseline already records.
+func filterBaseline(moduleRoot string, findings []analysis.Finding, known map[baselineEntry]bool) []analysis.Finding {
+	kept := findings[:0]
+	for _, f := range findings {
+		if !known[baselineKey(moduleRoot, f)] {
+			kept = append(kept, f)
+		}
+	}
+	return kept
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -18,6 +19,11 @@ func TestSeededViolationsFail(t *testing.T) {
 		"roviolation",
 		filepath.Join("ctlunits", "periods"),
 		filepath.Join("ctlunits", "core"),
+		"atomicmix",
+		filepath.Join("determinism", "annotated"),
+		filepath.Join("determinism", "registry"),
+		"noalloc",
+		"seqlockproto",
 	}
 	for _, dir := range dirs {
 		var stdout, stderr strings.Builder
@@ -74,7 +80,10 @@ func TestAnalyzerSubsetAndList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list: exit %d, want 0", code)
 	}
-	for _, name := range []string{"stmescape", "txneffect", "roviolation", "ctlunits"} {
+	for _, name := range []string{
+		"stmescape", "txneffect", "roviolation", "ctlunits",
+		"atomicmix", "determinism", "noalloc", "seqlockproto",
+	} {
 		if !strings.Contains(stdout.String(), "rubic/"+name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
 		}
@@ -90,5 +99,69 @@ func TestAnalyzerSubsetAndList(t *testing.T) {
 
 	if code := run([]string{"-analyzers=nosuch"}, &stdout, &stderr); code != 2 {
 		t.Errorf("unknown analyzer: exit %d, want 2", code)
+	}
+}
+
+// TestBaselineRoundTrip exercises the adoption workflow: record the seeded
+// fixture findings, then re-run against the baseline (clean), then scan a
+// different fixture with the same baseline (its findings are new → fail).
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "lint-baseline.json")
+	target := filepath.Join(fixtureRoot, "noalloc")
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-write-baseline", base, target}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline: exit %d, want 0 (stderr %q)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "recorded") {
+		t.Errorf("-write-baseline did not report the record count: %q", stderr.String())
+	}
+
+	// The baseline must be valid JSON with module-root-relative file paths.
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v\n%s", err, data)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("baseline has %d entries, want >= 3 seeded noalloc findings", len(entries))
+	}
+	for _, e := range entries {
+		if filepath.IsAbs(e.File) || strings.HasPrefix(e.File, "..") {
+			t.Errorf("baseline file path %q is not module-root-relative", e.File)
+		}
+		if e.Analyzer == "" || e.Message == "" {
+			t.Errorf("incomplete baseline entry: %+v", e)
+		}
+	}
+
+	// Same scan against the baseline: everything is known, exit clean.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, target}, &stdout, &stderr); code != 0 {
+		t.Errorf("baselined scan: exit %d, want 0\nstdout:\n%s", code, stdout.String())
+	}
+
+	// A different fixture's findings are not in the baseline: still fail.
+	stdout.Reset()
+	stderr.Reset()
+	other := filepath.Join(fixtureRoot, "seqlockproto")
+	if code := run([]string{"-baseline", base, other}, &stdout, &stderr); code != 1 {
+		t.Errorf("new findings under baseline: exit %d, want 1", code)
+	}
+
+	// Flag misuse and a missing baseline file are usage errors.
+	if code := run([]string{"-baseline", base, "-write-baseline", base, target}, &stdout, &stderr); code != 2 {
+		t.Errorf("-baseline with -write-baseline: exit %d, want 2", code)
+	}
+	if code := run([]string{"-baseline", filepath.Join(t.TempDir(), "missing.json"), target}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing baseline file: exit %d, want 2", code)
 	}
 }

@@ -6,9 +6,20 @@
 //
 // An Atomic block may run any number of times before it commits, so code
 // inside one must be idempotent and must confine shared state to stm.Var
-// accesses through the transaction handle. The analyzers (stmescape,
-// txneffect, roviolation, ctlunits) each guard one such invariant; see their
-// Doc strings and DESIGN.md's "Static analysis layer" section.
+// accesses through the transaction handle. The STM-specific analyzers
+// (stmescape, txneffect, roviolation, ctlunits) each guard one such
+// invariant. The concurrency-invariant analyzers (atomicmix, determinism,
+// noalloc, seqlockproto) guard whole-module properties the runtime's
+// correctness rests on but the compiler cannot see: hot words accessed only
+// through sync/atomic, schedules that are pure functions of (spec, seed),
+// allocation-free fast paths, and the NOrec seqlock read/write protocol.
+// See their Doc strings and DESIGN.md's "Static analysis layer" section.
+//
+// Three source annotations drive the concurrency analyzers:
+//
+//	//rubic:deterministic  (func doc)  — schedule root for rubic/determinism
+//	//rubic:noalloc        (func doc)  — fast path checked by rubic/noalloc
+//	//rubic:seqlock        (field doc) — seqlock word for rubic/seqlockproto
 //
 // Findings can be suppressed with a comment on the flagged line or the line
 // directly above it:
@@ -56,6 +67,11 @@ type Pass struct {
 	// module-internal package reachable from Pkg is already type-checked and
 	// its function bodies are available through it.
 	Loader *Loader
+	// Shared is per-Run scratch common to every pass of the run. Analyzers
+	// needing a module-wide view (atomicmix's field-access index, the
+	// seqlock field set, determinism's cross-root dedup) build it once on
+	// first use, keyed by analyzer name, instead of once per package.
+	Shared map[string]any
 
 	findings *[]Finding
 }
@@ -74,7 +90,10 @@ func (pass *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{StmEscape, TxnEffect, ROViolation, CtlUnits}
+	return []*Analyzer{
+		StmEscape, TxnEffect, ROViolation, CtlUnits,
+		AtomicMix, Determinism, NoAlloc, SeqlockProto,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list ("stmescape,ctlunits");
@@ -100,9 +119,11 @@ func ByName(spec string) ([]*Analyzer, error) {
 }
 
 // Run executes the analyzers over the packages and returns the surviving
-// findings (suppressions applied), sorted by position.
+// findings (suppressions applied), in a deterministic order: sorted by
+// (file, line, col, analyzer, message), independent of package-load order.
 func Run(loader *Loader, pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
+	shared := map[string]any{}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -110,6 +131,7 @@ func Run(loader *Loader, pkgs []*Package, analyzers []*Analyzer) []Finding {
 				Fset:     loader.Fset,
 				Pkg:      pkg,
 				Loader:   loader,
+				Shared:   shared,
 				findings: &findings,
 			}
 			a.Run(pass)
@@ -127,7 +149,10 @@ func Run(loader *Loader, pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	// Identical findings can arrive via overlapping rules; report each once.
 	dedup := findings[:0]

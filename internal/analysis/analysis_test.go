@@ -106,6 +106,13 @@ func TestCtlUnitsFixtures(t *testing.T) {
 	checkFixture(t, filepath.Join("ctlunits", "periods"), "ctlunits")
 	checkFixture(t, filepath.Join("ctlunits", "core"), "ctlunits")
 }
+func TestAtomicMixFixtures(t *testing.T) { checkFixture(t, "atomicmix", "atomicmix") }
+func TestDeterminismFixtures(t *testing.T) {
+	checkFixture(t, filepath.Join("determinism", "annotated"), "determinism")
+	checkFixture(t, filepath.Join("determinism", "registry"), "determinism")
+}
+func TestNoAllocFixtures(t *testing.T)      { checkFixture(t, "noalloc", "noalloc") }
+func TestSeqlockProtoFixtures(t *testing.T) { checkFixture(t, "seqlockproto", "seqlockproto") }
 
 // TestRepoClean is the self-gate: the analyzers must run clean over the
 // whole module (the same scan `make lint` performs).
@@ -133,8 +140,8 @@ func TestRepoClean(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 8 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 8, nil", len(all), err)
 	}
 	two, err := ByName("stmescape, ctlunits")
 	if err != nil || len(two) != 2 {
@@ -178,6 +185,43 @@ func TestExpandPatternsSkipsTestdata(t *testing.T) {
 	}
 	if len(dirs) < 10 {
 		t.Errorf("expected a full module expansion, got %d dirs: %v", len(dirs), dirs)
+	}
+}
+
+// TestRunDeterministic pins the output ordering contract: two runs of the
+// full suite over the same packages yield byte-identical finding sequences,
+// sorted by (file, line, col, analyzer, message). CI baselines and snapshot
+// diffs rely on this.
+func TestRunDeterministic(t *testing.T) {
+	loader := fixtureLoader(t)
+	var pkgs []*Package
+	for _, dir := range []string{"atomicmix", "noalloc", "seqlockproto"} {
+		pkg, err := loader.LoadDir(filepath.Join("testdata", "src", dir))
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	first := Run(loader, pkgs, All())
+	if len(first) == 0 {
+		t.Fatal("fixture scan found nothing; ordering test is vacuous")
+	}
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("findings out of (file, line) order: %s before %s", a, b)
+		}
+	}
+	for run := 0; run < 3; run++ {
+		again := Run(loader, pkgs, All())
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d findings, first run had %d", run, len(again), len(first))
+		}
+		for i := range again {
+			if fmt.Sprint(again[i]) != fmt.Sprint(first[i]) {
+				t.Errorf("run %d finding %d: %s != %s", run, i, again[i], first[i])
+			}
+		}
 	}
 }
 

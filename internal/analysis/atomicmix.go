@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix flags mixed atomic/plain access to shared words. The repo's hot
+// words — the padded clock, the NOrec seqlock, the pool gate words, the
+// latency histogram buckets — must be touched exclusively through
+// sync/atomic (or an atomic wrapper type): a location that one function
+// accesses with atomic.AddUint64 and another reads with a plain load is a
+// data race the -race detector only reports when the interleaving actually
+// fires under instrumentation. The analyzer proves the access discipline
+// module-wide instead:
+//
+//   - a struct field or package-level variable whose address is passed to
+//     any sync/atomic function anywhere in the module must not be read or
+//     written plainly anywhere else;
+//   - a field of an atomic wrapper type (sync/atomic's typed atomics or
+//     metrics.Padded*) must only be used as a method-call receiver or have
+//     its address taken — copying the wrapper by value (including ranging
+//     with a value variable over an array of them) tears the word out of
+//     the coherence protocol.
+//
+// Known false negatives: accesses through unsafe.Pointer or reflection;
+// addresses smuggled through intermediate pointer variables; composite-
+// literal initialization (construction precedes publication and is
+// deliberately exempt).
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "reports fields and package-level vars accessed via sync/atomic in " +
+		"one place and by plain load/store elsewhere, and atomic wrapper " +
+		"values copied instead of used through their methods",
+	Run: runAtomicMix,
+}
+
+// atomicmixIndex is the module-wide picture built once per Run: for every
+// word that some code accesses through sync/atomic, where those atomic
+// accesses are; and which identifier nodes belong to the atomic call
+// arguments themselves (exempt from the plain-access scan).
+type atomicmixIndex struct {
+	atomicUses map[*types.Var][]token.Position
+	exempt     map[*ast.Ident]bool
+}
+
+func runAtomicMix(pass *Pass) {
+	idx := atomicmixSharedIndex(pass)
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				v, ok := info.Uses[n].(*types.Var)
+				if !ok {
+					return true
+				}
+				sites, tracked := idx.atomicUses[v]
+				if !tracked || idx.exempt[n] || isCompositeKey(n, stack) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"plain access of %s, which is accessed via sync/atomic at %s; the race detector only catches this when the interleaving fires",
+					v.Name(), relPosition(pass, sites[0]))
+			case *ast.SelectorExpr:
+				pass.checkWrapperCopy(n, stack)
+			case *ast.RangeStmt:
+				// Ranging with a value variable over an array of atomic
+				// wrappers copies every element.
+				if n.Value != nil && isAtomicWrapperArray(info.Types[n.X].Type) {
+					pass.Reportf(n.Value.Pos(),
+						"range value copies %s elements out of their cache line; range by index and use atomic methods",
+						info.Types[n.X].Type.String())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// atomicmixSharedIndex builds (once per Run) the module-wide atomic-use
+// index over every package the loader has type-checked.
+func atomicmixSharedIndex(pass *Pass) *atomicmixIndex {
+	if idx, ok := pass.Shared["atomicmix"].(*atomicmixIndex); ok {
+		return idx
+	}
+	idx := &atomicmixIndex{
+		atomicUses: map[*types.Var][]token.Position{},
+		exempt:     map[*ast.Ident]bool{},
+	}
+	for _, pkg := range pass.Loader.Packages() {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					v, id := addressedWord(pkg.Info, un.X)
+					if v == nil {
+						continue
+					}
+					idx.atomicUses[v] = append(idx.atomicUses[v], pass.Fset.Position(un.Pos()))
+					idx.exempt[id] = true
+				}
+				return true
+			})
+		}
+	}
+	pass.Shared["atomicmix"] = idx
+	return idx
+}
+
+// addressedWord resolves &e's root word to a trackable variable: a struct
+// field (possibly through an index expression, as in &h.counts[i]) or a
+// package-level variable. It returns the identifier naming the word, which
+// the plain-access scan must exempt. Local variables are not tracked —
+// their sharing is the escape of the pointer, not the access mix.
+func addressedWord(info *types.Info, e ast.Expr) (*types.Var, *ast.Ident) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					return v, x.Sel
+				}
+				return nil, nil
+			}
+			// Qualified package-level variable (pkg.Word).
+			if v, ok := info.Uses[x.Sel].(*types.Var); ok && isPkgLevel(v) {
+				return v, x.Sel
+			}
+			return nil, nil
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok && isPkgLevel(v) {
+				return v, x
+			}
+			return nil, nil
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// isCompositeKey reports whether id is the key of a composite-literal
+// element (Hist{total: 0}): initialization before publication, exempt.
+func isCompositeKey(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	kv, ok := stack[len(stack)-1].(*ast.KeyValueExpr)
+	if !ok || kv.Key != ast.Node(id) {
+		return false
+	}
+	_, inLit := stack[len(stack)-2].(*ast.CompositeLit)
+	return inLit
+}
+
+// checkWrapperCopy flags an atomic wrapper field used as a value rather
+// than through its methods or address.
+func (pass *Pass) checkWrapperCopy(sel *ast.SelectorExpr, stack []ast.Node) {
+	info := pass.Pkg.Info
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	t := v.Type()
+	isArray := false
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		t, isArray = arr.Elem(), true
+	}
+	if !isAtomicWrapper(t) {
+		return
+	}
+	// Climb out of the selector/index chain to the node that consumes the
+	// wrapper value.
+	node := ast.Node(sel)
+	i := len(stack)
+	for i > 0 {
+		parent := stack[i-1]
+		if isArray {
+			if ix, ok := parent.(*ast.IndexExpr); ok && ix.X == node {
+				node, i = parent, i-1
+				continue
+			}
+		}
+		break
+	}
+	if i == 0 {
+		return
+	}
+	switch parent := stack[i-1].(type) {
+	case *ast.SelectorExpr:
+		if parent.X == node {
+			return // method (or promoted-field) access through the wrapper
+		}
+	case *ast.UnaryExpr:
+		if parent.Op == token.AND {
+			return // address taken; the pointer is the safe currency
+		}
+	case *ast.RangeStmt:
+		if parent.X == node {
+			return // handled (value-variable case) by the RangeStmt check
+		}
+	case *ast.CallExpr:
+		// len/cap of an array field measure, not copy.
+		if id, ok := parent.Fun.(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+				return
+			}
+		}
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"atomic field %s copied by value; use its atomic methods (or take its address)", v.Name())
+}
+
+// isAtomicWrapper reports whether t is one of sync/atomic's typed atomics
+// or a metrics.Padded* wrapper.
+func isAtomicWrapper(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "sync/atomic":
+		return obj.Name() != "Value" // atomic.Value is copy-hostile too, but vet owns it
+	case obj.Pkg().Name() == "metrics" && strings.HasPrefix(obj.Name(), "Padded"):
+		return true
+	}
+	return false
+}
+
+// isAtomicWrapperArray reports whether t is an array (or pointer to array)
+// of atomic wrappers.
+func isAtomicWrapperArray(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	arr, ok := t.Underlying().(*types.Array)
+	return ok && isAtomicWrapper(arr.Elem())
+}
+
+// relPosition renders a cross-file position compactly, relative to the
+// module root when inside it.
+func relPosition(pass *Pass, p token.Position) string {
+	file := p.Filename
+	if rel, ok := strings.CutPrefix(file, pass.Loader.ModuleRoot+"/"); ok {
+		file = rel
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}

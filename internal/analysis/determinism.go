@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism proves schedule purity. The chaos layer's fault plans, the
+// open-loop arrival schedules and the rng streams all promise the same
+// contract: a schedule is a pure function of (spec, seed), so the same
+// scenario@seed replays identically — the property the differential and
+// serializability oracles, the seeded chaos soaks and the benchmark
+// snapshots all rest on. The analyzer walks the static call graph from
+// every declared schedule root — functions annotated //rubic:deterministic,
+// plus a built-in registry (fault.PlanFor, load.NewArrival, rng.NewStream) —
+// and reports, with the offending call path, anything on the way that could
+// make two runs differ:
+//
+//   - wall-clock reads (time.Now/Since/Until, timer constructors);
+//   - global or unseeded randomness (anything in math/rand, math/rand/v2);
+//   - goroutine- or host-dependent state (runtime.NumCPU, NumGoroutine,
+//     GOMAXPROCS; select statements, whose case choice is scheduler-bound);
+//   - map iteration, whose order differs per run, in any reachable body.
+//
+// Known false negatives: dynamic calls (function values, interface
+// methods), callees outside the module's source (their bodies are not
+// loaded), and nondeterminism threaded through mutable shared state rather
+// than calls.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "reports wall-clock reads, math/rand use, map iteration, select " +
+		"statements and host-dependent state reachable from declared " +
+		"pure-schedule roots (//rubic:deterministic + root registry)",
+	Run: runDeterminism,
+}
+
+// deterministicRoots is the built-in root registry: exported schedule
+// constructors that must be deterministic even without an annotation.
+// Matched by (package name, function name) so the fixture universe and the
+// real module resolve identically.
+var deterministicRoots = []struct{ pkg, fn string }{
+	{"fault", "PlanFor"},
+	{"load", "NewArrival"},
+	{"rng", "NewStream"},
+}
+
+// nondetFuncs are the individually deny-listed stdlib functions.
+var nondetFuncs = map[string]string{
+	"time.Now":             "reads the wall clock",
+	"time.Since":           "reads the wall clock",
+	"time.Until":           "reads the wall clock",
+	"time.After":           "starts a wall-clock timer",
+	"time.Tick":            "starts a wall-clock timer",
+	"time.NewTimer":        "starts a wall-clock timer",
+	"time.NewTicker":       "starts a wall-clock timer",
+	"runtime.NumCPU":       "depends on the host",
+	"runtime.NumGoroutine": "depends on scheduler state",
+	"runtime.GOMAXPROCS":   "depends on host configuration",
+	"os.Getenv":            "reads the environment",
+}
+
+func runDeterminism(pass *Pass) {
+	reported, _ := pass.Shared["determinism.reported"].(map[token.Pos]bool)
+	if reported == nil {
+		reported = map[token.Pos]bool{}
+		pass.Shared["determinism.reported"] = reported
+	}
+	w := &determinismWalker{pass: pass, reported: reported}
+	for _, root := range determinismRootDecls(pass.Pkg) {
+		fn, _ := pass.Pkg.Info.Defs[root.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		w.visited = map[*types.Func]bool{fn: true}
+		w.walk(root.Body, pass.Pkg, []string{fn.Name()})
+	}
+}
+
+// determinismRootDecls collects the schedule roots declared in pkg:
+// annotated functions plus registry matches, in source order.
+func determinismRootDecls(pkg *Package) []*ast.FuncDecl {
+	roots := funcsWithDirective(pkg, directiveDeterministic)
+	seen := map[*ast.FuncDecl]bool{}
+	for _, r := range roots {
+		seen[r] = true
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil || seen[fd] {
+				continue
+			}
+			for _, reg := range deterministicRoots {
+				if pkg.Types.Name() == reg.pkg && fd.Name.Name == reg.fn {
+					roots = append(roots, fd)
+					seen[fd] = true
+				}
+			}
+		}
+	}
+	return roots
+}
+
+// determinismWalker performs the depth-first call-graph walk, carrying the
+// path from the root for the report and a per-root visited set for cycle
+// safety. The cross-pass reported set keeps one finding per offending
+// position when several roots reach it.
+type determinismWalker struct {
+	pass     *Pass
+	reported map[token.Pos]bool
+	visited  map[*types.Func]bool
+}
+
+func (w *determinismWalker) report(pos token.Pos, path []string, what string) {
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.pass.Reportf(pos, "%s on deterministic-schedule path %s: schedules must be pure functions of (spec, seed)",
+		what, strings.Join(path, " -> "))
+}
+
+// walk inspects one function body in its owning package, recursing into
+// statically resolvable module-internal callees.
+func (w *determinismWalker) walk(body ast.Node, pkg *Package, path []string) {
+	info := pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			qual := fn.Pkg().Path() + "." + fn.Name()
+			if why, ok := nondetFuncs[qual]; ok {
+				w.report(n.Pos(), append(path, fn.Name()), fn.Pkg().Name()+"."+fn.Name()+" ("+why+")")
+				return true
+			}
+			if p := fn.Pkg().Path(); p == "math/rand" || p == "math/rand/v2" {
+				w.report(n.Pos(), append(path, fn.Name()),
+					"math/rand."+fn.Name()+" (global or unseeded randomness; use rng.Stream)")
+				return true
+			}
+			if w.visited[fn] {
+				return true
+			}
+			decl, dpkg := w.pass.Loader.funcDecl(fn)
+			if decl == nil || decl.Body == nil {
+				return true
+			}
+			w.visited[fn] = true
+			w.walk(decl.Body, dpkg, append(path, fn.Name()))
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					w.report(n.Pos(), path, "map iteration (order differs per run)")
+				}
+			}
+		case *ast.SelectStmt:
+			w.report(n.Pos(), path, "select (case choice is scheduler-bound)")
+		}
+		return true
+	})
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Source annotations driving the concurrency-invariant analyzers. They
+// follow the //go:directive convention: machine-readable comment lines with
+// no space after the slashes, placed in the doc comment of the declaration
+// they govern (gofmt keeps such lines at the end of the doc block).
+const (
+	// directiveNoAlloc marks a function whose body must be allocation-free
+	// (checked by rubic/noalloc).
+	directiveNoAlloc = "noalloc"
+	// directiveDeterministic marks a schedule root: everything statically
+	// reachable from it must be a pure function of its inputs (checked by
+	// rubic/determinism).
+	directiveDeterministic = "deterministic"
+	// directiveSeqlock marks a struct field as a sequence-lock word whose
+	// every use site must follow the seqlock protocol (checked by
+	// rubic/seqlockproto).
+	directiveSeqlock = "seqlock"
+)
+
+// hasDirective reports whether the comment group contains a //rubic:<name>
+// line.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == "//rubic:"+name {
+			return true
+		}
+	}
+	return false
+}
+
+// funcsWithDirective returns the functions and methods of pkg whose doc
+// comment carries //rubic:<name>, with their declarations, in source order.
+func funcsWithDirective(pkg *Package, name string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasDirective(fd.Doc, name) {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// fieldsWithDirective returns the struct-field objects of pkg annotated with
+// //rubic:<name> (doc comment above the field or trailing line comment).
+func fieldsWithDirective(pkg *Package, name string) []*types.Var {
+	var out []*types.Var
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !hasDirective(field.Doc, name) && !hasDirective(field.Comment, name) {
+					continue
+				}
+				for _, id := range field.Names {
+					if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+						out = append(out, v)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// inspectWithStack walks n like ast.Inspect but hands f the enclosing-node
+// stack (outermost first, excluding the visited node itself). Analyzers use
+// it where a node's legality depends on its syntactic context — e.g. whether
+// an atomic field selector is a method-call receiver or a value copy.
+func inspectWithStack(n ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !f(c, stack) {
+			// Still push: ast.Inspect will not descend, so no pop arrives.
+			// Returning false from Inspect's callback skips children AND the
+			// nil pop call, so do not grow the stack here.
+			return false
+		}
+		stack = append(stack, c)
+		return true
+	})
+}
+
+// isPkgLevel reports whether v is a package-scoped variable.
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

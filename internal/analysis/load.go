@@ -185,6 +185,19 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	return pkg, nil
 }
 
+// Packages returns every package this loader has type-checked so far
+// (module-internal packages and explicitly loaded fixture trees; standard
+// library imports go through the source importer and are not included),
+// sorted by import path so module-wide index construction is deterministic.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // importPathFor derives the import path of a directory: the module path plus
 // the root-relative directory when inside the module's import graph, or a
 // synthetic slash path otherwise (testdata trees, which the go tool ignores).

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SeqlockProto verifies the NOrec sequence-lock protocol at every use site
+// of a word annotated //rubic:seqlock. The seqlock is correct only when
+// every participant plays its role exactly: readers sample the sequence,
+// read, and re-check (retrying on change or an odd value); writers acquire
+// with CompareAndSwap(s, s+1) and release with Store(s+2). A load whose
+// result is never compared, or a bare Store, silently breaks the
+// serialization the whole value-log validation scheme rests on — and no
+// test catches it until a torn read actually fires. Per function the
+// analyzer requires:
+//
+//   - every Load's result reaches an odd-test (s&1) or an ==/!= re-check,
+//     either directly or through the variable it is assigned to;
+//   - Store appears only alongside a CompareAndSwap acquire in the same
+//     function, and vice versa;
+//   - Add and Swap never touch the word (they skip the odd "locked" state).
+//
+// Known false negatives: load results laundered through struct fields,
+// channels or function returns before the check (the analyzer tracks only
+// direct uses and single-assignment locals), and protocol roles split
+// across functions that the same-function pairing rule cannot see.
+var SeqlockProto = &Analyzer{
+	Name: "seqlockproto",
+	Doc: "verifies the seqlock read protocol (load, read, re-check with " +
+		"odd-value retry) and writer pairing (CAS acquire + Store release) " +
+		"at every use of a field annotated //rubic:seqlock",
+	Run: runSeqlockProto,
+}
+
+// seqUseKind classifies one touch of a seqlock word.
+type seqUseKind int
+
+const (
+	seqLoad seqUseKind = iota
+	seqStore
+	seqCAS
+	seqAdd
+	seqSwap
+)
+
+func runSeqlockProto(pass *Pass) {
+	words := seqlockWords(pass)
+	if len(words) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkSeqlockFunc(pass, fd, words)
+			}
+		}
+	}
+}
+
+// seqlockWords collects, once per Run, every //rubic:seqlock-annotated field
+// in every package the loader knows, so fixture packages and the real module
+// resolve their own words identically.
+func seqlockWords(pass *Pass) map[*types.Var]bool {
+	if w, ok := pass.Shared["seqlockproto.words"].(map[*types.Var]bool); ok {
+		return w
+	}
+	words := map[*types.Var]bool{}
+	for _, pkg := range pass.Loader.Packages() {
+		for _, v := range fieldsWithDirective(pkg, directiveSeqlock) {
+			words[v] = true
+		}
+	}
+	pass.Shared["seqlockproto.words"] = words
+	return words
+}
+
+// seqUse is one classified touch of a seqlock word inside a function.
+type seqUse struct {
+	kind seqUseKind
+	call *ast.CallExpr
+	word *types.Var
+}
+
+func checkSeqlockFunc(pass *Pass, fd *ast.FuncDecl, words map[*types.Var]bool) {
+	info := pass.Pkg.Info
+	var uses []seqUse
+
+	// checkedCalls are load calls whose value feeds an odd-test or comparison
+	// directly; checkedVars are locals that do so.
+	checkedCalls := map[*ast.CallExpr]bool{}
+	checkedVars := map[*types.Var]bool{}
+	// assignedTo maps a load call to the local its value lands in.
+	assignedTo := map[*ast.CallExpr]*types.Var{}
+
+	inspectWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if kind, word, ok := classifySeqUse(info, n, words); ok {
+				uses = append(uses, seqUse{kind: kind, call: n, word: word})
+				if kind == seqLoad {
+					if v := singleAssignTarget(info, n, stack); v != nil {
+						assignedTo[n] = v
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.AND, token.EQL, token.NEQ:
+				for _, op := range []ast.Expr{n.X, n.Y} {
+					op = unparen(op)
+					if call, ok := op.(*ast.CallExpr); ok {
+						checkedCalls[call] = true
+					}
+					if id, ok := op.(*ast.Ident); ok {
+						if v, ok := info.Uses[id].(*types.Var); ok {
+							checkedVars[v] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var haveCAS, haveStore []seqUse
+	for _, u := range uses {
+		switch u.kind {
+		case seqCAS:
+			haveCAS = append(haveCAS, u)
+		case seqStore:
+			haveStore = append(haveStore, u)
+		}
+	}
+	for _, u := range uses {
+		switch u.kind {
+		case seqLoad:
+			if checkedCalls[u.call] {
+				continue
+			}
+			if v := assignedTo[u.call]; v != nil && checkedVars[v] {
+				continue
+			}
+			pass.Reportf(u.call.Pos(),
+				"seqlock load of %s is never re-checked: readers must odd-test (s&1) or compare (==/!=) the loaded sequence and retry on change",
+				u.word.Name())
+		case seqStore:
+			if len(haveCAS) == 0 {
+				pass.Reportf(u.call.Pos(),
+					"Store on seqlock word %s without a CompareAndSwap acquire in the same function: a blind release breaks writer mutual exclusion",
+					u.word.Name())
+			}
+		case seqCAS:
+			if len(haveStore) == 0 {
+				pass.Reportf(u.call.Pos(),
+					"CompareAndSwap on seqlock word %s without a Store release in the same function: the word is left odd and readers spin forever",
+					u.word.Name())
+			}
+		case seqAdd, seqSwap:
+			pass.Reportf(u.call.Pos(),
+				"%s on seqlock word %s: writers must acquire with CompareAndSwap(s, s+1) and release with Store(s+2)",
+				seqKindName(u.kind), u.word.Name())
+		}
+	}
+}
+
+// classifySeqUse recognizes the two syntactic forms of a seqlock touch:
+// a method call on an annotated field of an atomic wrapper type
+// (state.seq.Load()), and a sync/atomic function taking the annotated
+// field's address (atomic.LoadUint64(&state.seq)).
+func classifySeqUse(info *types.Info, call *ast.CallExpr, words map[*types.Var]bool) (seqUseKind, *types.Var, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, nil, false
+	}
+	// Method form: receiver is the annotated field.
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		if v, _ := addressedWord(info, sel.X); v != nil && words[v] {
+			if kind, ok := seqKindOf(sel.Sel.Name); ok {
+				return kind, v, true
+			}
+		}
+		return 0, nil, false
+	}
+	// Function form: sync/atomic.XxxUint64(&word, ...).
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+		return 0, nil, false
+	}
+	un, ok := call.Args[0].(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return 0, nil, false
+	}
+	v, _ := addressedWord(info, un.X)
+	if v == nil || !words[v] {
+		return 0, nil, false
+	}
+	name := fn.Name()
+	switch {
+	case strings.HasPrefix(name, "CompareAndSwap"):
+		return seqCAS, v, true
+	case strings.HasPrefix(name, "Load"):
+		return seqLoad, v, true
+	case strings.HasPrefix(name, "Store"):
+		return seqStore, v, true
+	case strings.HasPrefix(name, "Add"):
+		return seqAdd, v, true
+	case strings.HasPrefix(name, "Swap"):
+		return seqSwap, v, true
+	}
+	return 0, nil, false
+}
+
+// seqKindOf maps an atomic wrapper method name to a use kind.
+func seqKindOf(method string) (seqUseKind, bool) {
+	switch method {
+	case "Load":
+		return seqLoad, true
+	case "Store":
+		return seqStore, true
+	case "Add":
+		return seqAdd, true
+	case "Swap":
+		return seqSwap, true
+	case "CompareAndSwap":
+		return seqCAS, true
+	}
+	return 0, false
+}
+
+func seqKindName(k seqUseKind) string {
+	switch k {
+	case seqAdd:
+		return "Add"
+	case seqSwap:
+		return "Swap"
+	}
+	return "use"
+}
+
+// singleAssignTarget returns the local variable a call's single value is
+// assigned to (s := seq.Load(), or s = seq.Load()), nil for any other
+// consuming context.
+func singleAssignTarget(info *types.Info, call *ast.CallExpr, stack []ast.Node) *types.Var {
+	if len(stack) == 0 {
+		return nil
+	}
+	as, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != len(as.Lhs) {
+		return nil
+	}
+	for i, rhs := range as.Rhs {
+		if unparen(rhs) != ast.Node(call) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

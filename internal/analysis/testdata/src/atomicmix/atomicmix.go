@@ -1,0 +1,73 @@
+// Package atomicmix seeds mixed atomic/plain accesses for the rubic/atomicmix
+// fixture test: every seeded violation carries a // want annotation.
+package atomicmix
+
+import "sync/atomic"
+
+// stats is shared between a recording goroutine and snapshot readers.
+type stats struct {
+	hits   uint64
+	misses uint64
+}
+
+// dropped is a package-level word bumped atomically on the hot path.
+var dropped uint64
+
+func (s *stats) record(hit bool) {
+	if hit {
+		atomic.AddUint64(&s.hits, 1)
+		return
+	}
+	atomic.AddUint64(&s.misses, 1)
+}
+
+func (s *stats) snapshot() uint64 {
+	return s.hits // want "plain access of hits"
+}
+
+func (s *stats) reset() {
+	s.hits = 0 // want "plain access of hits"
+}
+
+func drop() {
+	atomic.AddUint64(&dropped, 1)
+}
+
+func droppedNow() uint64 {
+	return dropped // want "plain access of dropped"
+}
+
+// gauge exercises the wrapper-copy rules.
+type gauge struct {
+	v   atomic.Uint64
+	arr [4]atomic.Int64
+}
+
+func (g *gauge) load() uint64 { return g.v.Load() } // method receiver: fine
+
+func (g *gauge) addr() *atomic.Uint64 { return &g.v } // address taken: fine
+
+func (g *gauge) copyOut() atomic.Uint64 {
+	return g.v // want "atomic field v copied by value"
+}
+
+func (g *gauge) sum() int64 {
+	var t int64
+	for _, e := range g.arr { // want "range value copies"
+		t += e.Load()
+	}
+	return t
+}
+
+func (g *gauge) sumByIndex() int64 {
+	var t int64
+	for i := range g.arr {
+		t += g.arr[i].Load() // index + method: fine
+	}
+	return t
+}
+
+func (s *stats) teardownTotal() uint64 {
+	//lint:ignore rubic/atomicmix single-threaded teardown; all recorders have joined
+	return s.misses
+}

@@ -1,0 +1,63 @@
+// Package annotated seeds nondeterminism reachable from //rubic:deterministic
+// roots for the rubic/determinism fixture test.
+package annotated
+
+import (
+	"math/rand"
+	"time"
+)
+
+type spec struct {
+	weights map[string]int
+	seed    uint64
+}
+
+// Plan derives an injection schedule from spec; the contract is that the
+// same spec always yields the same schedule.
+//
+//rubic:deterministic
+func Plan(s spec) []int {
+	out := make([]int, 0, 8)
+	for name := range s.weights { // want "map iteration"
+		out = append(out, len(name))
+	}
+	return append(out, jitter(s.seed))
+}
+
+// jitter is only reached through Plan; the findings report that path.
+func jitter(seed uint64) int {
+	if seed == 0 {
+		return int(time.Now().UnixNano() % 8) // want "time.Now .*Plan -> jitter"
+	}
+	return rand.Intn(8) // want "math/rand.Intn .*Plan -> jitter"
+}
+
+// pick chooses between two schedule sources.
+//
+//rubic:deterministic
+func pick(a, b <-chan int) int {
+	select { // want "select .*scheduler-bound"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// seeded documents an accepted exception: the source is seed-derived, so the
+// sequence is reproducible even though it lives in math/rand.
+//
+//rubic:deterministic
+func seeded(seed int64) int64 {
+	//lint:ignore rubic/determinism seed-derived source is reproducible; rng.Stream migration tracked
+	return rand.NewSource(seed).Int63()
+}
+
+// pure is a root with nothing to report.
+//
+//rubic:deterministic
+func pure(seed uint64) uint64 {
+	seed ^= seed << 13
+	seed ^= seed >> 7
+	return seed
+}

@@ -1,0 +1,40 @@
+// Package fault mirrors the real chaos package's shape so the rubic/determinism
+// built-in root registry (package fault, func PlanFor) picks PlanFor up as a
+// schedule root without any annotation.
+package fault
+
+import (
+	"os"
+	"runtime"
+	"time"
+)
+
+// Plan is one stack's fault schedule.
+type Plan struct {
+	Seed  int64
+	Ticks []int64
+}
+
+var defaults = []int64{1, 2, 3}
+
+// PlanFor matches the registry: no //rubic:deterministic needed.
+func PlanFor(scenario string, seed int64) *Plan {
+	p := &Plan{Seed: seed}
+	switch scenario {
+	case "jitter":
+		p.Ticks = append(p.Ticks, time.Now().UnixNano()) // want "time.Now .*PlanFor"
+	case "host":
+		p.Ticks = append(p.Ticks, int64(runtime.NumCPU())) // want "runtime.NumCPU .*PlanFor"
+	case "env":
+		if os.Getenv("FAULT_TICK") != "" { // want "os.Getenv .*PlanFor"
+			p.Ticks = append(p.Ticks, 1)
+		}
+	}
+	for _, t := range defaults { // slice iteration: fine
+		p.Ticks = append(p.Ticks, t)
+	}
+	return p
+}
+
+// helper is NOT a root (wrong name), so its clock read is unreported.
+func helper() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,66 @@
+// Package noalloc seeds allocation sites in //rubic:noalloc bodies for the
+// rubic/noalloc fixture test.
+package noalloc
+
+type entry struct{ k, v uint64 }
+
+// record grows a log on what claims to be an allocation-free path.
+//
+//rubic:noalloc
+func record(buf []uint64, v uint64) []uint64 {
+	return append(buf, v) // want "append may grow"
+}
+
+//rubic:noalloc
+func index(m map[string]int, k string) {
+	m[k] = len(k) // want "map write may allocate"
+}
+
+//rubic:noalloc
+func fresh(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+//rubic:noalloc
+func describe(id int, name string) string {
+	return name + suffix(id) // want "string concatenation allocates"
+}
+
+func suffix(int) string { return "x" }
+
+//rubic:noalloc
+func boxed(e entry) any {
+	return e // want "boxing .*entry into interface result"
+}
+
+//rubic:noalloc
+func escape() *entry {
+	return &entry{k: 1} // want "composite literal escapes"
+}
+
+//rubic:noalloc
+func deferred(n int) func() int {
+	return func() int { return n } // want "func literal captures"
+}
+
+// reuse documents an accepted exception: the caller pre-sizes the buffer.
+//
+//rubic:noalloc
+func reuse(scratch []uint64, v uint64) []uint64 {
+	//lint:ignore rubic/noalloc scratch capacity is pre-sized by the caller
+	return append(scratch, v)
+}
+
+// clean is annotated and genuinely allocation-free.
+//
+//rubic:noalloc
+func clean(buf []uint64) uint64 {
+	var t uint64
+	for _, v := range buf {
+		t += v
+	}
+	return t
+}
+
+// unannotated may allocate freely.
+func unannotated() []int { return make([]int, 8) }

@@ -1,0 +1,98 @@
+// Package seqlockproto seeds sequence-lock protocol violations for the
+// rubic/seqlockproto fixture test. state uses the typed-atomic method form;
+// legacy uses sync/atomic functions on a plain word.
+package seqlockproto
+
+import "sync/atomic"
+
+type state struct {
+	// seq serializes write-back against optimistic readers: odd while a
+	// writer is publishing.
+	//
+	//rubic:seqlock
+	seq atomic.Uint64
+
+	val atomic.Uint64
+}
+
+// goodRead follows the protocol: sample even, read, re-check.
+func (s *state) goodRead() uint64 {
+	for {
+		s1 := s.seq.Load()
+		if s1&1 != 0 {
+			continue
+		}
+		v := s.val.Load()
+		if s.seq.Load() == s1 {
+			return v
+		}
+	}
+}
+
+// goodWrite pairs the CAS acquire with the Store release.
+func (s *state) goodWrite(v uint64) {
+	for {
+		s1 := s.seq.Load()
+		if s1&1 != 0 {
+			continue
+		}
+		if !s.seq.CompareAndSwap(s1, s1+1) {
+			continue
+		}
+		s.val.Store(v)
+		s.seq.Store(s1 + 2)
+		return
+	}
+}
+
+// badRead samples the sequence but never re-checks it.
+func (s *state) badRead() uint64 {
+	_ = s.seq.Load() // want "never re-checked"
+	return s.val.Load()
+}
+
+// badRelease releases without having acquired.
+func (s *state) badRelease() {
+	s.seq.Store(2) // want "without a CompareAndSwap acquire"
+}
+
+// badAcquire locks and forgets to release: readers spin forever.
+func (s *state) badAcquire() bool {
+	return s.seq.CompareAndSwap(0, 1) // want "without a Store release"
+}
+
+// badBump skips the odd writer-active state entirely.
+func (s *state) badBump() {
+	s.seq.Add(2) // want "Add on seqlock word seq"
+}
+
+// reset documents an accepted exception: it runs before any reader starts.
+func (s *state) reset() {
+	//lint:ignore rubic/seqlockproto construction-time reset precedes all readers
+	s.seq.Store(0)
+	s.val.Store(0)
+}
+
+// legacy drives the word through sync/atomic package functions.
+type legacy struct {
+	//rubic:seqlock
+	seq uint64
+	val uint64
+}
+
+func (l *legacy) read() uint64 {
+	for {
+		s1 := atomic.LoadUint64(&l.seq)
+		if s1&1 != 0 {
+			continue
+		}
+		v := atomic.LoadUint64(&l.val)
+		if atomic.LoadUint64(&l.seq) == s1 {
+			return v
+		}
+	}
+}
+
+func (l *legacy) bad() {
+	atomic.SwapUint64(&l.seq, 4) // want "Swap on seqlock word seq"
+}

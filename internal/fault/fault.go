@@ -165,6 +165,8 @@ func (in *Injector) Fired() int {
 // Payload derives a deterministic 64-bit payload for one firing, used e.g.
 // as corruption bytes or a slow-line delay factor. It depends only on the
 // plan seed, the point name and the occurrence index.
+//
+//rubic:deterministic
 func (in *Injector) Payload(p Point, occurrence int) uint64 {
 	var seed int64
 	if in != nil {

@@ -63,6 +63,8 @@ func NewConstant(qps float64) (*Constant, error) {
 	return &Constant{gap: gapNs(qps)}, nil
 }
 
+//rubic:deterministic
+//rubic:noalloc
 func (c *Constant) Next() time.Duration { return c.gap }
 func (c *Constant) Name() string        { return "constant" }
 
@@ -83,6 +85,8 @@ func NewPoisson(qps float64, seed int64) (*Poisson, error) {
 	return &Poisson{qps: qps, s: rng.NewStream(seed, tagArrival)}, nil
 }
 
+//rubic:deterministic
+//rubic:noalloc
 func (p *Poisson) Next() time.Duration {
 	return time.Duration(p.s.Exp(p.qps) * float64(time.Second))
 }
@@ -116,6 +120,8 @@ func NewDiurnal(troughQPS, peakQPS float64, period time.Duration, seed int64) (*
 	}, nil
 }
 
+//rubic:deterministic
+//rubic:noalloc
 func (d *Diurnal) Next() time.Duration {
 	rate := d.base + d.amp*math.Sin(2*math.Pi*d.virtual/d.period)
 	if rate <= 0 {
@@ -159,6 +165,8 @@ func NewBurst(baseQPS, factor float64, every, width time.Duration, seed int64) (
 	}, nil
 }
 
+//rubic:deterministic
+//rubic:noalloc
 func (b *Burst) Next() time.Duration {
 	rate := b.base
 	if math.Mod(b.virtual, b.every) < b.width {

@@ -62,6 +62,9 @@ func zeta(n uint64, theta float64) float64 {
 }
 
 // Next draws the next key. Rank 0 is the hottest key.
+//
+//rubic:deterministic
+//rubic:noalloc
 func (z *Zipf) Next() uint64 {
 	u := z.s.Float64()
 	uz := u * z.zetan

@@ -25,12 +25,15 @@ import (
 // copy) load atomically, so a monitor may snapshot a histogram that a
 // worker is concurrently writing. Like the pool's completion counters, such
 // a snapshot is not a consistent cut — exactly the sampling the monitoring
-// thread performs everywhere else.
+// thread performs everywhere else. The fields are typed atomics so every
+// access — including the monitor-private Merge/Sub/Quantile paths — goes
+// through the same coherence protocol; rubic/atomicmix enforces that no
+// plain load of these words creeps back in.
 type Hist struct {
-	counts [histLen]uint64
-	total  uint64
-	sum    uint64 // nanoseconds; mean support, saturating in practice never
-	max    uint64
+	counts [histLen]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64 // nanoseconds; mean support, saturating in practice never
+	max    atomic.Uint64
 }
 
 const (
@@ -75,39 +78,41 @@ func histUpper(i int) int64 {
 // zero (a clock step mid-request). The path is allocation-free and
 // lock-free: one atomic add, plus a CAS loop only while the observation is
 // a new maximum.
+//
+//rubic:noalloc
 func (h *Hist) Record(d time.Duration) {
 	v := int64(d)
 	if v < 0 {
 		v = 0
 	}
-	atomic.AddUint64(&h.counts[histIndex(v)], 1)
-	atomic.AddUint64(&h.total, 1)
-	atomic.AddUint64(&h.sum, uint64(v))
+	h.counts[histIndex(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(uint64(v))
 	for {
-		m := atomic.LoadUint64(&h.max)
-		if uint64(v) <= m || atomic.CompareAndSwapUint64(&h.max, m, uint64(v)) {
+		m := h.max.Load()
+		if uint64(v) <= m || h.max.CompareAndSwap(m, uint64(v)) {
 			return
 		}
 	}
 }
 
 // Count returns the number of recorded observations.
-func (h *Hist) Count() uint64 { return atomic.LoadUint64(&h.total) }
+func (h *Hist) Count() uint64 { return h.total.Load() }
 
 // Max returns the largest recorded observation (exact, not bucket-rounded).
 // After Sub it still reflects the cumulative stream's maximum.
 func (h *Hist) Max() time.Duration {
-	return time.Duration(atomic.LoadUint64(&h.max))
+	return time.Duration(h.max.Load())
 }
 
 // Mean returns the arithmetic mean of the recorded observations, or 0 when
 // empty.
 func (h *Hist) Mean() time.Duration {
-	n := atomic.LoadUint64(&h.total)
+	n := h.total.Load()
 	if n == 0 {
 		return 0
 	}
-	return time.Duration(atomic.LoadUint64(&h.sum) / n)
+	return time.Duration(h.sum.Load() / n)
 }
 
 // Merge adds o's counts into h. h is typically a monitor-private
@@ -118,15 +123,15 @@ func (h *Hist) Merge(o *Hist) {
 	if o == nil {
 		return
 	}
-	for i := range o.counts {
-		if c := atomic.LoadUint64(&o.counts[i]); c != 0 {
-			h.counts[i] += c
+	for i := range &o.counts {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
 		}
 	}
-	h.total += atomic.LoadUint64(&o.total)
-	h.sum += atomic.LoadUint64(&o.sum)
-	if m := atomic.LoadUint64(&o.max); m > h.max {
-		h.max = m
+	h.total.Add(o.total.Load())
+	h.sum.Add(o.sum.Load())
+	if m := o.max.Load(); m > h.max.Load() {
+		h.max.Store(m)
 	}
 }
 
@@ -140,22 +145,24 @@ func (h *Hist) Sub(o *Hist) {
 	if o == nil {
 		return
 	}
-	for i := range h.counts {
-		c := o.counts[i]
-		if c > h.counts[i] {
-			c = h.counts[i]
+	for i := range &h.counts {
+		c := o.counts[i].Load()
+		if have := h.counts[i].Load(); c > have {
+			c = have
 		}
-		h.counts[i] -= c
+		h.counts[i].Add(-c)
 	}
-	if o.total > h.total {
-		h.total = 0
+	subSat(&h.total, o.total.Load())
+	subSat(&h.sum, o.sum.Load())
+}
+
+// subSat subtracts v from w, clamping at zero. w is monitor-private, so the
+// load/store pair needs no CAS.
+func subSat(w *atomic.Uint64, v uint64) {
+	if have := w.Load(); v > have {
+		w.Store(0)
 	} else {
-		h.total -= o.total
-	}
-	if o.sum > h.sum {
-		h.sum = 0
-	} else {
-		h.sum -= o.sum
+		w.Store(have - v)
 	}
 }
 
@@ -173,7 +180,7 @@ func (h *Hist) Clone() *Hist {
 // Clone or a merged accumulator); the pre-epoch reporters all operate on
 // private merges.
 func (h *Hist) Quantile(q float64) time.Duration {
-	n := h.total
+	n := h.total.Load()
 	if n == 0 || math.IsNaN(q) || q <= 0 {
 		return 0
 	}
@@ -185,8 +192,8 @@ func (h *Hist) Quantile(q float64) time.Duration {
 		rank = 1
 	}
 	var seen uint64
-	for i := range h.counts {
-		seen += h.counts[i]
+	for i := range &h.counts {
+		seen += h.counts[i].Load()
 		if seen >= rank {
 			return time.Duration(histUpper(i))
 		}

@@ -81,6 +81,8 @@ func New(size int, seed int64, task Task) (*Pool, error) {
 func (p *Pool) Size() int { return p.size }
 
 // Level returns the current parallelism level.
+//
+//rubic:noalloc
 func (p *Pool) Level() int { return int(p.level.Load()) }
 
 // SetLevel changes the number of admitted workers, clamped to [1, Size].

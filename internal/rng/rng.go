@@ -13,6 +13,8 @@ import "math"
 // Mix64 is a splitmix64 finalizer: a cheap, high-quality deterministic hash.
 // It is the single mixing primitive the repo uses (internal/fault re-exports
 // it for compatibility with the chaos layer's original home).
+//
+//rubic:noalloc
 func Mix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -35,6 +37,9 @@ func NewStream(seed int64, tag uint64) *Stream {
 }
 
 // Uint64 returns the next value of the sequence.
+//
+//rubic:deterministic
+//rubic:noalloc
 func (s *Stream) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15
 	x := s.state
@@ -44,6 +49,9 @@ func (s *Stream) Uint64() uint64 {
 }
 
 // Float64 returns the next value uniformly distributed in [0, 1).
+//
+//rubic:deterministic
+//rubic:noalloc
 func (s *Stream) Float64() float64 {
 	// 53 high-quality bits into the double's mantissa range.
 	return float64(s.Uint64()>>11) / (1 << 53)
@@ -53,6 +61,9 @@ func (s *Stream) Float64() float64 {
 // (mean 1/rate). It panics on a non-positive rate, which is a programming
 // error. Used by the Poisson arrival generators: inter-arrival gaps of a
 // Poisson process of intensity λ are Exp(λ).
+//
+//rubic:deterministic
+//rubic:noalloc
 func (s *Stream) Exp(rate float64) float64 {
 	if rate <= 0 {
 		panic("rng: Exp with non-positive rate")

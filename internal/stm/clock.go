@@ -19,11 +19,15 @@ type clock struct {
 }
 
 // now returns the current global version.
+//
+//rubic:noalloc
 func (c *clock) now() uint64 { return c.c.Load() }
 
 // tick advances the clock and returns the new version, which becomes the
 // commit timestamp of the calling writer. This is TL2's GV1 scheme: a
 // fetch-and-add that every writer commit funnels through.
+//
+//rubic:noalloc
 func (c *clock) tick() uint64 { return c.c.Add(1) }
 
 // tickLazy is the lazy commit-timestamp scheme (TL2's GV4 "pass on
@@ -47,6 +51,8 @@ func (c *clock) tick() uint64 { return c.c.Add(1) }
 // caller's locations as locked or fully written back, never as a torn
 // pre-commit mix. Validation is still required on this path (quiet=false):
 // concurrent commits may have overwritten the caller's read set.
+//
+//rubic:noalloc
 func (c *clock) tickLazy(rv uint64) (wv uint64, quiet bool) {
 	if c.c.Load() == rv && c.c.CompareAndSwap(rv, rv+1) {
 		return rv + 1, true

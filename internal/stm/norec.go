@@ -46,6 +46,11 @@ func (a Algorithm) String() string {
 // padded to keep commit write-backs from false-sharing with the Runtime's
 // read-mostly neighbors.
 type norecState struct {
+	// seq is odd exactly while a writer is in write-back; readers sample it,
+	// read, and re-check. Every use site must follow that protocol
+	// (rubic/seqlockproto verifies it).
+	//
+	//rubic:seqlock
 	seq metrics.PaddedUint64
 }
 
@@ -59,6 +64,8 @@ type valueRead struct {
 
 // waitEven spins until the sequence lock is even (no write-back in
 // progress) and returns its value.
+//
+//rubic:noalloc
 func (n *norecState) waitEven() uint64 {
 	for {
 		s := n.seq.Load()
@@ -72,6 +79,8 @@ func (n *norecState) waitEven() uint64 {
 // readNorec is the NOrec read protocol: consistent value sampling against
 // the global sequence lock, with full value-log revalidation whenever a
 // concurrent commit moved the clock.
+//
+//rubic:noalloc
 func (tx *Tx) readNorec(b *varBase) any {
 	tx.checkAlive()
 	tx.work.Add(1)
@@ -91,6 +100,7 @@ func (tx *Tx) readNorec(b *varBase) any {
 		if s1 != s2 {
 			continue
 		}
+		//lint:ignore rubic/noalloc value-log capacity is retained across retries and pooled reuse; growth amortizes to zero
 		tx.vreads = append(tx.vreads, valueRead{base: b, p: p})
 		return *p
 	}
@@ -98,6 +108,8 @@ func (tx *Tx) readNorec(b *varBase) any {
 
 // revalidateNorec re-reads every logged location and compares the boxed
 // pointers, adopting the new snapshot on success.
+//
+//rubic:noalloc
 func (tx *Tx) revalidateNorec() bool {
 	for {
 		s := tx.rt.norec.waitEven()
@@ -120,7 +132,11 @@ func (tx *Tx) revalidateNorec() bool {
 	}
 }
 
-// writeNorec buffers the write; NOrec acquires nothing before commit.
+// writeNorec buffers the write; NOrec acquires nothing before commit. As
+// with write, the publication box built by boxValue is the one budgeted
+// allocation, outside this body.
+//
+//rubic:noalloc
 func (tx *Tx) writeNorec(b *varBase, v any) {
 	tx.checkAlive()
 	tx.work.Add(1)

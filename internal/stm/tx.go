@@ -158,6 +158,8 @@ func sigbit(b *varBase) uint64 {
 // read-after-write and write-after-write lookup on both engines' hot paths:
 // empty write set and signature misses return without touching the write
 // set at all.
+//
+//rubic:noalloc
 func (tx *Tx) findWrite(b *varBase) int {
 	n := len(tx.writes)
 	if n == 0 || tx.wsig&sigbit(b) == 0 {
@@ -181,6 +183,8 @@ func (tx *Tx) findWrite(b *varBase) int {
 // nextRand advances the per-Tx xorshift64 PRNG. The state is seeded from
 // the transaction's birth timestamp on first use, so the jitter sequence is
 // deterministic per transaction and distinct between concurrent ones.
+//
+//rubic:noalloc
 func (tx *Tx) nextRand() uint64 {
 	x := tx.prng
 	if x == 0 {
@@ -232,6 +236,8 @@ func (tx *Tx) poisonPanic() {
 
 // checkAlive aborts the attempt if a competitor doomed us, and panics if
 // this handle leaked out of its atomic block and was poisoned on release.
+//
+//rubic:noalloc
 func (tx *Tx) checkAlive() {
 	switch tx.status.Load() {
 	case txDoomed:
@@ -243,6 +249,8 @@ func (tx *Tx) checkAlive() {
 
 // read dispatches to the runtime's engine: TL2's invisible-reader protocol
 // with timestamp extension, or NOrec's value-validated sampling.
+//
+//rubic:noalloc
 func (tx *Tx) read(b *varBase) any {
 	if tx.rt.algo == NOrec {
 		return tx.readNorec(b)
@@ -283,6 +291,7 @@ func (tx *Tx) read(b *varBase) any {
 			}
 		}
 		if !tx.readOnly {
+			//lint:ignore rubic/noalloc read-set capacity is retained across retries and pooled reuse; growth amortizes to zero
 			tx.reads = append(tx.reads, readEntry{base: b, meta: m1})
 		}
 		return *p
@@ -290,7 +299,12 @@ func (tx *Tx) read(b *varBase) any {
 }
 
 // write dispatches to the engine: TL2 acquires the location's write lock
-// eagerly and buffers the value; NOrec only buffers.
+// eagerly and buffers the value; NOrec only buffers. The one allocation a
+// first write to a location costs — the publication box — lives in
+// boxValue, deliberately outside the annotated bodies (a rubic/noalloc
+// known false negative, documented in DESIGN.md).
+//
+//rubic:noalloc
 func (tx *Tx) write(b *varBase, v any) {
 	if tx.rt.algo == NOrec {
 		tx.writeNorec(b, v)
@@ -385,6 +399,8 @@ func (tx *Tx) extend() bool {
 
 // validateReads checks that every location in the read set still carries the
 // version observed at read time and is not locked by a competitor.
+//
+//rubic:noalloc
 func (tx *Tx) validateReads() bool {
 	for i := range tx.reads {
 		e := &tx.reads[i]
