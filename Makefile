@@ -4,7 +4,7 @@ GO ?= go
 # transactional containers, and the malleable worker pool).
 BENCH_PKGS = ./internal/stm ./internal/stm/container ./internal/pool
 
-.PHONY: check build vet fmtcheck test race lint lint-fixtures bench benchgate benchscale benchscalegate chaos serve-smoke
+.PHONY: check build vet fmtcheck test race lint lint-fixtures bench benchgate benchscale benchscalegate chaos serve-smoke adaptive-soak
 
 # check is the PR gate: vet, formatting, static analysis, the full test
 # suite, and a race-detector pass over the whole module.
@@ -99,3 +99,14 @@ serve-smoke:
 # trims the unrelated slow STAMP tests — the soaks themselves always run.
 chaos:
 	$(GO) test -race -short -count=1 -run 'Chaos' ./internal/... ./cmd/rubic-colocate
+
+# adaptive-soak exercises the engine/CM hot-swap machinery under the race
+# detector: the switch-point serializability oracle (a combined CM+engine
+# switch between every pair of commits, all four transition directions), the
+# switch-storm rounds, the quiesce-protocol unit tests, the adaptive-stack
+# wiring, and the seeded swapstorm recovery soak (kills an agent
+# mid-handoff, fixed seed). Deterministic schedules; no benchmark noise.
+adaptive-soak:
+	$(GO) test -race -count=1 -run 'Switch|Adaptive|Profile' \
+		./internal/stm ./internal/core ./internal/colocate
+	$(GO) test -race -count=1 -run 'TestChaosSwapStormSoak' ./internal/mproc

@@ -71,6 +71,9 @@ type cliConfig struct {
 	// scenario (or a flaky machine) crashes an agent.
 	restarts int
 	plot     bool
+	// adaptive is the '+'-separated engine[/cm] candidate list for online
+	// engine/CM hot-swap; empty runs the static -algo engine.
+	adaptive string
 }
 
 func main() {
@@ -95,6 +98,7 @@ func main() {
 	flag.StringVar(&cfg.chaos, "chaos", "", "seeded fault scenario: crashloop|stall|corrupt|mixed[@seed]")
 	flag.IntVar(&cfg.restarts, "restarts", 2, "proc mode: restart budget per crashed agent")
 	flag.BoolVar(&cfg.plot, "plot", true, "render the level traces")
+	flag.StringVar(&cfg.adaptive, "adaptive", "", "'+'-separated engine[/cm] hot-swap candidates (e.g. tl2/backoff+norec/greedy); empty stays on -algo")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rubic-colocate:", err)
@@ -109,6 +113,13 @@ func run(cfg cliConfig) error {
 	}
 	if cfg.chaos != "" {
 		if _, _, err := fault.ParseScenario(cfg.chaos); err != nil {
+			return err
+		}
+	}
+	if cfg.adaptive != "" {
+		// Fail fast on a bad candidate list in both modes (proc mode would
+		// otherwise only discover it inside the agents).
+		if _, err := colocate.ParseAdaptive(cfg.adaptive); err != nil {
 			return err
 		}
 	}
@@ -129,7 +140,7 @@ func stackName(i int, s colocate.StackSpec) string {
 func runGoroutine(cfg cliConfig, specs []colocate.StackSpec) error {
 	var stacks []colocate.Proc
 	for i, s := range specs {
-		w, _, ctrl, err := s.Build(cfg.engine, cfg.pool, len(specs))
+		w, rt, ctrl, err := s.Build(cfg.engine, cfg.pool, len(specs))
 		if err != nil {
 			return err
 		}
@@ -140,6 +151,16 @@ func runGoroutine(cfg cliConfig, specs []colocate.StackSpec) error {
 			PoolSize:     cfg.pool,
 			Seed:         cfg.seed + int64(i)*7919,
 			ArrivalDelay: s.ArrivalDelay,
+		}
+		if cfg.adaptive != "" {
+			if ctrl == nil {
+				return fmt.Errorf("-adaptive needs a tuning policy (stack %s pins its workers)", p.Name)
+			}
+			stack, err := colocate.NewAdaptiveStack(rt, ctrl, cfg.adaptive, core.AdaptiveConfig{})
+			if err != nil {
+				return err
+			}
+			p.Adapter = stack
 		}
 		if cfg.chaos != "" {
 			// Goroutine mode has no agent processes, so only the pool and
@@ -217,6 +238,7 @@ func runProc(cfg cliConfig, specs []colocate.StackSpec) error {
 		Duration: cfg.duration,
 		Period:   cfg.period,
 		Engine:   cfg.engine,
+		Adaptive: cfg.adaptive,
 		Exec:     agentExec,
 	}
 	if cfg.restarts > 0 {

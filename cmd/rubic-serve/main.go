@@ -9,6 +9,7 @@
 //	rubic-serve -arrival burst -qps 500 -policy rubic -duration 10s
 //	rubic-serve -qps 200 -slo-p99 5ms -find-max          # max sustainable QPS
 //	rubic-serve -stacks kv/qps=800/slo=5ms,kv/qps=200/slo=50ms
+//	rubic-serve -qps 400 -slo-p99 5ms -adaptive tl2:backoff+norec:greedy
 //	rubic-serve -smoke                                    # CI gate
 //
 // Single-stack runs print one line per epoch (level, posture, interval
@@ -55,6 +56,7 @@ type cliConfig struct {
 	sloP99   time.Duration
 	policy   string
 	engine   string
+	adaptive string
 	seed     int64
 	stacks   string
 	findMax  bool
@@ -76,6 +78,7 @@ func main() {
 	flag.DurationVar(&cfg.sloP99, "slo-p99", 0, "p99 latency target (0 disables the SLO guard)")
 	flag.StringVar(&cfg.policy, "policy", "", "controller: slo, rubic or fixed (default slo with a target, fixed without)")
 	flag.StringVar(&cfg.engine, "algo", "tl2", "stm engine: tl2 or norec")
+	flag.StringVar(&cfg.adaptive, "adaptive", "", "'+'-separated engine[:cm] hot-swap candidates (e.g. tl2:backoff+norec:greedy); in -stacks specs use the adaptive= key")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed (arrivals, keys and pool all derive from it)")
 	flag.StringVar(&cfg.stacks, "stacks", "", "co-located stacks, e.g. kv/qps=800/slo=5ms,kv/qps=200/slo=50ms")
 	flag.BoolVar(&cfg.findMax, "find-max", false, "sweep for the max sustainable QPS under -slo-p99")
@@ -113,6 +116,7 @@ func flagSpec(cfg cliConfig) (colocate.ServeSpec, error) {
 		SLO:      cfg.sloP99,
 		Policy:   cfg.policy,
 		Theta:    cfg.theta,
+		Adaptive: cfg.adaptive,
 	}
 	if spec.QPS <= 0 {
 		return spec, fmt.Errorf("need -qps > 0, got %v", spec.QPS)

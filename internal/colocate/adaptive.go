@@ -1,0 +1,215 @@
+package colocate
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"rubic/internal/core"
+	"rubic/internal/fault"
+	"rubic/internal/stm"
+)
+
+// AdaptiveCandidate is one selectable engine/contention-manager pairing.
+// The CM is a constructor, not an instance: every actuation installs a
+// fresh manager so per-manager state never leaks between reigns.
+type AdaptiveCandidate struct {
+	Name   string
+	Engine stm.Algorithm
+	CM     func() stm.ContentionManager
+}
+
+// ParseCM resolves a contention-manager name to a constructor.
+func ParseCM(name string) (func() stm.ContentionManager, error) {
+	switch name {
+	case "backoff", "":
+		return func() stm.ContentionManager { return stm.BackoffCM{} }, nil
+	case "suicide":
+		return func() stm.ContentionManager { return stm.SuicideCM{} }, nil
+	case "greedy":
+		return func() stm.ContentionManager { return stm.GreedyCM{} }, nil
+	case "two-phase", "twophase":
+		return func() stm.ContentionManager { return stm.TwoPhaseCM{} }, nil
+	case "karma":
+		return func() stm.ContentionManager { return stm.KarmaCM{} }, nil
+	case "polka":
+		return func() stm.ContentionManager { return stm.PolkaCM{} }, nil
+	}
+	return nil, fmt.Errorf("colocate: unknown contention manager %q (want backoff, suicide, greedy, two-phase, karma or polka)", name)
+}
+
+// ParseAdaptive parses a '+'-separated candidate list, each candidate an
+// engine with an optional contention manager: "tl2/backoff+norec/greedy".
+// ':' is accepted in place of '/' so candidate specs can ride inside serve
+// specs, whose options are themselves '/'-separated. The CM defaults to
+// backoff.
+func ParseAdaptive(spec string) ([]AdaptiveCandidate, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("colocate: empty adaptive spec")
+	}
+	var out []AdaptiveCandidate
+	seen := map[string]struct{}{}
+	for _, part := range strings.Split(spec, "+") {
+		part = strings.TrimSpace(part)
+		engineName, cmName := part, ""
+		if i := strings.IndexAny(part, "/:"); i >= 0 {
+			engineName, cmName = part[:i], part[i+1:]
+		}
+		engine, err := ParseEngine(engineName)
+		if err != nil {
+			return nil, fmt.Errorf("colocate: adaptive candidate %q: %w", part, err)
+		}
+		cm, err := ParseCM(cmName)
+		if err != nil {
+			return nil, fmt.Errorf("colocate: adaptive candidate %q: %w", part, err)
+		}
+		if cmName == "" {
+			cmName = "backoff"
+		}
+		name := engine.String() + "/" + cmName
+		if _, dup := seen[name]; dup {
+			return nil, fmt.Errorf("colocate: duplicate adaptive candidate %q", name)
+		}
+		seen[name] = struct{}{}
+		out = append(out, AdaptiveCandidate{Name: name, Engine: engine, CM: cm})
+	}
+	return out, nil
+}
+
+// AdaptiveStack binds a core.AdaptivePolicy to a live stm.Runtime and
+// (optionally) the stack's parallelism controller. It implements
+// core.Adapter: each epoch it samples the runtime's conflict profile, feeds
+// the policy, and actuates any candidate change — the CM immediately, the
+// engine through the runtime's quiesce-and-switch barrier. On an engine
+// handoff it re-anchors the controller from a snapshot exported at the
+// handoff instant (so an SLOGuard cut earlier in the same epoch is already
+// reflected — never resurrected) with a zero growth epoch: the new engine
+// restarts the cubic round count, just as a process restore does.
+type AdaptiveStack struct {
+	rt     *stm.Runtime
+	policy *core.AdaptivePolicy
+	cands  []AdaptiveCandidate
+
+	// Faults drives the adapt.handoff injection point; OnHandoffCrash, when
+	// both are set and the point fires, is invoked mid-handoff (the mproc
+	// agent exits the process there). Both are set before Start-equivalent
+	// use and never mutated concurrently.
+	Faults         *fault.Injector
+	OnHandoffCrash func()
+
+	mu       sync.Mutex
+	ctrl     core.Controller
+	prev     stm.Stats
+	handoffs uint64
+}
+
+// NewAdaptiveStack parses spec, builds the policy and actuates the first
+// candidate on rt. ctrl may be nil (no controller to re-anchor; it can be
+// bound later with BindController). cfg.Candidates is overwritten with the
+// parsed candidate names.
+func NewAdaptiveStack(rt *stm.Runtime, ctrl core.Controller, spec string, cfg core.AdaptiveConfig) (*AdaptiveStack, error) {
+	cands, err := ParseAdaptive(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Candidates = make([]string, len(cands))
+	for i, c := range cands {
+		cfg.Candidates[i] = c.Name
+	}
+	policy, err := core.NewAdaptivePolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a := &AdaptiveStack{rt: rt, policy: policy, cands: cands, ctrl: ctrl, prev: rt.Stats()}
+	a.actuate(0)
+	return a, nil
+}
+
+// BindController attaches (or replaces) the controller the stack re-anchors
+// at engine handoffs — for assemblies where the controller is built after
+// the runtime (the serve path wraps it in an SLOGuard inside load.NewServer).
+func (a *AdaptiveStack) BindController(ctrl core.Controller) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ctrl = ctrl
+}
+
+// Policy exposes the policy, for telemetry and tests.
+func (a *AdaptiveStack) Policy() *core.AdaptivePolicy { return a.policy }
+
+// Runtime exposes the bound runtime.
+func (a *AdaptiveStack) Runtime() *stm.Runtime { return a.rt }
+
+// Handoffs reports completed engine handoffs.
+func (a *AdaptiveStack) Handoffs() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.handoffs
+}
+
+// State exports the policy's resumable state (for the telemetry stream).
+func (a *AdaptiveStack) State() core.AdaptiveState { return a.policy.State() }
+
+// Restore adopts a predecessor's policy state and actuates its candidate,
+// so a restarted agent resumes on the stack its predecessor had settled on
+// instead of re-probing from scratch.
+func (a *AdaptiveStack) Restore(st core.AdaptiveState) bool {
+	if !a.policy.Restore(st) {
+		return false
+	}
+	a.actuate(a.policy.Current())
+	return true
+}
+
+// Epoch implements core.Adapter: called by the tuning loop once per epoch,
+// after the level for the epoch is actuated.
+func (a *AdaptiveStack) Epoch(tput float64) {
+	a.mu.Lock()
+	cur := a.rt.Stats()
+	prof := stm.ProfileBetween(a.prev, cur)
+	a.prev = cur
+	a.mu.Unlock()
+	dec := a.policy.Observe(core.AdaptiveSignal{
+		Tput:           tput,
+		AbortRatio:     prof.AbortRatio,
+		MeanReadSet:    prof.MeanReadSet,
+		MeanWriteSet:   prof.MeanWriteSet,
+		ConflictDegree: prof.ConflictDegree,
+	})
+	if dec.Switched {
+		a.actuate(dec.Candidate)
+	}
+}
+
+// actuate installs candidate i: the contention manager always (immediate,
+// no drain), the engine only when it differs (stop-the-world handoff).
+func (a *AdaptiveStack) actuate(i int) {
+	c := a.cands[i]
+	a.rt.SetContentionManager(c.CM())
+	if a.rt.Algorithm() == c.Engine {
+		return
+	}
+	a.mu.Lock()
+	ctrl := a.ctrl
+	a.mu.Unlock()
+	// Export the controller at the handoff instant: the tuning loop runs
+	// the adapter after the epoch's decision, so a cut this epoch is in the
+	// snapshot and cannot be undone by the restore below.
+	var snap core.TuningState
+	restorable := false
+	if ctrl != nil {
+		snap, restorable = core.StateOf(ctrl)
+	}
+	if a.Faults.Fire(fault.HandoffCrash) && a.OnHandoffCrash != nil {
+		a.OnHandoffCrash()
+	}
+	a.rt.SwitchEngine(c.Engine)
+	if restorable {
+		// Epoch left zero deliberately: a new engine restarts the cubic
+		// round count while keeping the learned level and anchor.
+		core.RestoreInto(ctrl, core.TuningState{Level: snap.Level, WMax: snap.WMax})
+	}
+	a.mu.Lock()
+	a.handoffs++
+	a.mu.Unlock()
+}

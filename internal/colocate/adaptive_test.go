@@ -1,0 +1,232 @@
+package colocate
+
+import (
+	"testing"
+
+	"rubic/internal/core"
+	"rubic/internal/stm"
+)
+
+func TestParseCM(t *testing.T) {
+	for name, want := range map[string]string{
+		"":          stm.BackoffCM{}.Name(),
+		"backoff":   stm.BackoffCM{}.Name(),
+		"suicide":   stm.SuicideCM{}.Name(),
+		"greedy":    stm.GreedyCM{}.Name(),
+		"two-phase": stm.TwoPhaseCM{}.Name(),
+		"twophase":  stm.TwoPhaseCM{}.Name(),
+		"karma":     stm.KarmaCM{}.Name(),
+		"polka":     stm.PolkaCM{}.Name(),
+	} {
+		ctor, err := ParseCM(name)
+		if err != nil {
+			t.Fatalf("ParseCM(%q): %v", name, err)
+		}
+		if got := ctor().Name(); got != want {
+			t.Fatalf("ParseCM(%q) built %q, want %q", name, got, want)
+		}
+	}
+	if _, err := ParseCM("aggressive"); err == nil {
+		t.Fatal("unknown contention manager accepted")
+	}
+}
+
+func TestParseAdaptive(t *testing.T) {
+	t.Run("slash_and_colon_mix", func(t *testing.T) {
+		// ':' rides inside serve specs (whose options are '/'-delimited), '/'
+		// is the flag syntax; both must parse to the same candidates.
+		for _, spec := range []string{"tl2/backoff+norec/greedy", "tl2:backoff+norec:greedy"} {
+			cands, err := ParseAdaptive(spec)
+			if err != nil {
+				t.Fatalf("ParseAdaptive(%q): %v", spec, err)
+			}
+			if len(cands) != 2 {
+				t.Fatalf("%q parsed to %d candidates", spec, len(cands))
+			}
+			if cands[0].Name != "tl2/backoff" || cands[0].Engine != stm.TL2 {
+				t.Fatalf("%q candidate 0: %+v", spec, cands[0])
+			}
+			if cands[1].Name != "norec/greedy" || cands[1].Engine != stm.NOrec {
+				t.Fatalf("%q candidate 1: %+v", spec, cands[1])
+			}
+			if got := cands[1].CM().Name(); got != (stm.GreedyCM{}).Name() {
+				t.Fatalf("%q candidate 1 CM %q", spec, got)
+			}
+		}
+	})
+	t.Run("cm_defaults_to_backoff", func(t *testing.T) {
+		cands, err := ParseAdaptive("norec")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cands[0].Name != "norec/backoff" || cands[0].CM().Name() != (stm.BackoffCM{}).Name() {
+			t.Fatalf("bare engine candidate %+v with CM %q", cands[0], cands[0].CM().Name())
+		}
+	})
+	t.Run("rejects", func(t *testing.T) {
+		for _, spec := range []string{
+			"",                          // empty
+			"   ",                       // blank
+			"tl2+tl2/backoff",           // duplicate after CM defaulting
+			"norec/greedy+norec:greedy", // duplicate across separator styles
+			"stmx/backoff",              // unknown engine
+			"tl2/aggressive",            // unknown CM
+		} {
+			if _, err := ParseAdaptive(spec); err == nil {
+				t.Fatalf("ParseAdaptive(%q) accepted", spec)
+			}
+		}
+	})
+}
+
+// TestAdaptiveStackActuatesFirstCandidate: construction installs candidate 0
+// — engine and a freshly built CM — before any epoch runs, so the stack never
+// serves on a configuration outside its candidate list.
+func TestAdaptiveStackActuatesFirstCandidate(t *testing.T) {
+	rt := stm.New(stm.Config{Algorithm: stm.TL2})
+	stack, err := NewAdaptiveStack(rt, nil, "norec/greedy+tl2/backoff", core.AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Algorithm(); got != stm.NOrec {
+		t.Fatalf("runtime on %s after construction, want norec", got.String())
+	}
+	if got := rt.ContentionManagerName(); got != (stm.GreedyCM{}).Name() {
+		t.Fatalf("CM %q after construction, want greedy", got)
+	}
+	if stack.Handoffs() != 1 {
+		t.Fatalf("handoffs %d after the construction switch, want 1", stack.Handoffs())
+	}
+	if names := stack.Policy().Candidates(); len(names) != 2 || names[0] != "norec/greedy" {
+		t.Fatalf("policy candidates %v", names)
+	}
+}
+
+// TestAdaptiveStackEpochDrivesSwitches walks a two-candidate probe sweep
+// through Epoch: each call samples the runtime profile, feeds the policy, and
+// actuates the decision — the engine handoff and CM swap land on the runtime.
+func TestAdaptiveStackEpochDrivesSwitches(t *testing.T) {
+	rt := stm.New(stm.Config{Algorithm: stm.TL2})
+	stack, err := NewAdaptiveStack(rt, nil, "tl2/backoff+norec/greedy", core.AdaptiveConfig{
+		Window: 1,
+		Warmup: -1, // no warmup: every epoch scores
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1 closes candidate 0's window and probes candidate 1: the stack
+	// must be on norec/greedy afterwards.
+	stack.Epoch(50)
+	if rt.Algorithm() != stm.NOrec || rt.ContentionManagerName() != (stm.GreedyCM{}).Name() {
+		t.Fatalf("after probe switch: %s/%s, want norec/greedy",
+			rt.Algorithm().String(), rt.ContentionManagerName())
+	}
+	if stack.Handoffs() != 1 {
+		t.Fatalf("handoffs %d, want 1", stack.Handoffs())
+	}
+	// Epoch 2 closes candidate 1's window; the sweep settles on the higher
+	// score — candidate 1, already running, so no further handoff.
+	stack.Epoch(100)
+	if stack.Policy().Current() != 1 {
+		t.Fatalf("settled on candidate %d, want 1", stack.Policy().Current())
+	}
+	if rt.Algorithm() != stm.NOrec || stack.Handoffs() != 1 {
+		t.Fatalf("settling flapped the runtime: %s, %d handoffs",
+			rt.Algorithm().String(), stack.Handoffs())
+	}
+	// The runtime keeps committing on the swapped stack.
+	v := stm.NewVar(0)
+	if err := rt.Atomic(func(tx *stm.Tx) error { v.Write(tx, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptiveStackReanchorsController: an engine handoff exports the bound
+// controller's state at the handoff instant and restores it un-epoched — the
+// learned level and anchor survive, the cubic round count restarts.
+func TestAdaptiveStackReanchorsController(t *testing.T) {
+	rt := stm.New(stm.Config{Algorithm: stm.TL2})
+	ctrl := core.NewRUBIC(core.RUBICConfig{MaxLevel: 16, InitialLevel: 6})
+	stack, err := NewAdaptiveStack(rt, ctrl, "tl2/backoff+norec/backoff", core.AdaptiveConfig{
+		Window: 1,
+		Warmup: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the controller learn a level above its anchor floor.
+	for i := 0; i < 3; i++ {
+		ctrl.Next(float64(100 + i))
+	}
+	before, ok := core.StateOf(ctrl)
+	if !ok {
+		t.Fatal("RUBIC not resumable")
+	}
+	stack.Epoch(50) // probe switch tl2 -> norec: handoff + re-anchor
+	if stack.Handoffs() != 1 {
+		t.Fatalf("handoffs %d, want 1", stack.Handoffs())
+	}
+	after, _ := core.StateOf(ctrl)
+	// Growth can leave the level above the anchor; the restore path then
+	// normalizes the anchor up to the level rather than aiming growth below it.
+	wantWMax := before.WMax
+	if wantWMax < before.Level {
+		wantWMax = before.Level
+	}
+	if after.Level != before.Level || after.WMax != wantWMax {
+		t.Fatalf("handoff moved the controller: %+v -> %+v (want level %v, wmax %v)",
+			before, after, before.Level, wantWMax)
+	}
+	if after.Epoch != 0 {
+		t.Fatalf("handoff kept the cubic round count %v, want a restart at 0", after.Epoch)
+	}
+}
+
+// TestAdaptiveStackRestore: a restored stack adopts the predecessor's
+// candidate and actuates it — runtime engine included — without a sweep.
+func TestAdaptiveStackRestore(t *testing.T) {
+	rt := stm.New(stm.Config{Algorithm: stm.TL2})
+	stack, err := NewAdaptiveStack(rt, nil, "tl2/backoff+norec/greedy", core.AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack.Restore(core.AdaptiveState{Candidate: "stmx/none"}) {
+		t.Fatal("restore accepted an unknown candidate")
+	}
+	if !stack.Restore(core.AdaptiveState{Candidate: "norec/greedy", Phase: "settled", Reference: 80, Switches: 3}) {
+		t.Fatal("restore rejected a known candidate")
+	}
+	if rt.Algorithm() != stm.NOrec || rt.ContentionManagerName() != (stm.GreedyCM{}).Name() {
+		t.Fatalf("restore left the runtime on %s/%s, want norec/greedy",
+			rt.Algorithm().String(), rt.ContentionManagerName())
+	}
+	st := stack.State()
+	if st.Candidate != "norec/greedy" || st.Phase != "settled" || st.Switches != 3 {
+		t.Fatalf("state after restore %+v", st)
+	}
+}
+
+func TestServeSpecAdaptiveKey(t *testing.T) {
+	spec, err := ParseServeSpec("kv/qps=400/slo=5ms/adaptive=tl2:backoff+norec:greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Adaptive != "tl2:backoff+norec:greedy" {
+		t.Fatalf("adaptive option parsed to %q", spec.Adaptive)
+	}
+	proc, err := spec.Build("tl2", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.Adaptive == nil || proc.Config.Adapter == nil {
+		t.Fatal("built serve proc has no adaptive stack wired")
+	}
+	if proc.Config.Adapter.(*AdaptiveStack) != proc.Adaptive {
+		t.Fatal("Config.Adapter and proc.Adaptive are different stacks")
+	}
+	// A bad candidate list inside a serve spec surfaces at Build.
+	spec.Adaptive = "tl2:nope"
+	if _, err := spec.Build("tl2", 4, 1); err == nil {
+		t.Fatal("Build accepted an unknown adaptive CM")
+	}
+}

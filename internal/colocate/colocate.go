@@ -43,6 +43,11 @@ type Proc struct {
 	// Health, when non-nil, wraps the controller in a telemetry health guard
 	// with this policy (hold on bad ticks, degrade to the fallback level).
 	Health *core.HealthPolicy
+	// Adapter, when non-nil, is driven once per tuner tick after actuation —
+	// the hook an AdaptiveStack uses to hot-swap the stack's engine and
+	// contention manager at epoch boundaries. It requires a Controller (the
+	// tuner is what delivers epochs).
+	Adapter core.Adapter
 }
 
 // Result is one stack's outcome.
@@ -176,6 +181,7 @@ func (g *Group) Run(duration time.Duration) ([]Result, error) {
 					Levels:     results[i].Levels,
 					Health:     p.Health,
 					Faults:     p.Faults,
+					Adapter:    p.Adapter,
 				}
 			} else {
 				pl.SetLevel(p.PoolSize)

@@ -24,6 +24,10 @@ type ServeProc struct {
 	// stack owns its workload, arrival schedule and controller, so co-located
 	// stacks may hold different SLOs.
 	Config load.Config
+	// Adaptive, when non-nil, is the stack's engine/CM hot-swap driver. It is
+	// already installed as Config.Adapter; NewServeGroup binds it to the SLO
+	// guard once the server (which builds the guard) exists.
+	Adaptive *AdaptiveStack
 }
 
 // ServeResult is one stack's outcome.
@@ -59,6 +63,14 @@ func NewServeGroup(procs []ServeProc) (*ServeGroup, error) {
 		s, err := load.NewServer(p.Config)
 		if err != nil {
 			return nil, fmt.Errorf("colocate: stack %s: %w", p.Name, err)
+		}
+		if p.Adaptive != nil {
+			// The guard wrapping the controller is built inside NewServer;
+			// re-bind so engine handoffs re-anchor the guard's inner
+			// controller rather than a stale pre-wrap reference.
+			if guard := s.Guard(); guard != nil {
+				p.Adaptive.BindController(guard)
+			}
 		}
 		g.names = append(g.names, p.Name)
 		g.servers = append(g.servers, s)
@@ -105,7 +117,11 @@ func (g *ServeGroup) Run(duration time.Duration) ([]ServeResult, error) {
 // Keys: qps (required), slo (p99 target duration; 0/absent disables the
 // guard), arrival (constant|poisson|diurnal|burst; default poisson), policy
 // (slo|rubic|fixed; default slo when a target is set, fixed otherwise),
-// theta (Zipf skew for keyed workloads; default load.DefaultTheta).
+// theta (Zipf skew for keyed workloads; default load.DefaultTheta),
+// adaptive (a '+'-separated engine:cm candidate list, e.g.
+// "tl2:backoff+norec:greedy" — ':' because '/' delimits serve options; an
+// adaptive stack hot-swaps the runtime among the candidates and overrides
+// the -engine flag's static choice).
 type ServeSpec struct {
 	Workload string
 	Arrival  string
@@ -113,6 +129,7 @@ type ServeSpec struct {
 	SLO      time.Duration
 	Policy   string
 	Theta    float64
+	Adaptive string
 }
 
 // ParseServeSpec parses one serving-stack description.
@@ -140,6 +157,8 @@ func ParseServeSpec(s string) (ServeSpec, error) {
 			spec.Policy = val
 		case "theta":
 			spec.Theta, err = strconv.ParseFloat(val, 64)
+		case "adaptive":
+			spec.Adaptive = val
 		default:
 			err = fmt.Errorf("unknown option %q", key)
 		}
@@ -189,8 +208,9 @@ func (s ServeSpec) Build(engine string, workers int, seed int64) (ServeProc, err
 		return proc, err
 	}
 	cfg := load.Config{Workers: workers, Seed: seed}
+	var rt *stm.Runtime
 	if s.Workload == "kv" {
-		rt := stm.New(stm.Config{Algorithm: algo})
+		rt = stm.New(stm.Config{Algorithm: algo})
 		kv := load.NewKV(rt, load.KVConfig{})
 		keys, err := load.NewZipf(uint64(kv.Keys()), s.Theta, seed)
 		if err != nil {
@@ -198,11 +218,11 @@ func (s ServeSpec) Build(engine string, workers int, seed int64) (ServeProc, err
 		}
 		cfg.Workload, cfg.Keys = kv, keys
 	} else {
-		w, _, err := workloads.New(s.Workload, stm.Config{Algorithm: algo})
+		w, wrt, err := workloads.New(s.Workload, stm.Config{Algorithm: algo})
 		if err != nil {
 			return proc, err
 		}
-		cfg.Workload = w
+		cfg.Workload, rt = w, wrt
 	}
 	cfg.Arrival, err = load.NewArrival(s.Arrival, s.QPS, seed)
 	if err != nil {
@@ -217,6 +237,16 @@ func (s ServeSpec) Build(engine string, workers int, seed int64) (ServeProc, err
 		// pinned at workers
 	default:
 		return proc, fmt.Errorf("colocate: serve policy %q (want slo, rubic or fixed)", s.Policy)
+	}
+	if s.Adaptive != "" {
+		// policy=slo binds the guard later (NewServeGroup, once the server
+		// builds it); policy=rubic re-anchors the bare controller directly.
+		stack, err := NewAdaptiveStack(rt, cfg.Controller, s.Adaptive, core.AdaptiveConfig{})
+		if err != nil {
+			return proc, err
+		}
+		cfg.Adapter = stack
+		proc.Adaptive = stack
 	}
 	proc.Name = s.Workload + "/" + s.Arrival
 	proc.Config = cfg

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements the adaptive-runtime selector (DESIGN.md §12): a
+// windowed scorer that chooses among candidate engine/contention-manager
+// stacks at epoch boundaries, in the regret-minimizing spirit of
+// window-based greedy contention management. The policy is substrate-free —
+// it sees only per-epoch signals and names candidates by index — so it can
+// be unit-tested without an STM runtime; colocate.AdaptiveStack binds it to
+// a real stm.Runtime. Like every controller in this package it works in
+// epoch counts, not durations, and is deterministic: equal signal sequences
+// produce equal decision sequences.
+
+// AdaptiveSignal is one epoch's observation of the currently running
+// candidate: the tuner's throughput sample plus the runtime's conflict
+// profile for the epoch.
+type AdaptiveSignal struct {
+	// Tput is the epoch's throughput (completions per second).
+	Tput float64
+	// AbortRatio, MeanReadSet, MeanWriteSet and ConflictDegree mirror
+	// stm.ConflictProfile.
+	AbortRatio     float64
+	MeanReadSet    float64
+	MeanWriteSet   float64
+	ConflictDegree float64
+}
+
+// score collapses a signal to the quantity candidates are ranked by:
+// goodput — throughput discounted by the fraction of work wasted on aborts.
+func (s AdaptiveSignal) score() float64 { return s.Tput * (1 - s.AbortRatio) }
+
+// AdaptivePhase is the policy's mode.
+type AdaptivePhase uint8
+
+const (
+	// AdaptiveProbing rotates through the candidates, scoring each over a
+	// measurement window.
+	AdaptiveProbing AdaptivePhase = iota
+	// AdaptiveSettled exploits the best-scoring candidate, watching for
+	// score degradation or profile drift.
+	AdaptiveSettled
+)
+
+func (p AdaptivePhase) String() string {
+	if p == AdaptiveSettled {
+		return "settled"
+	}
+	return "probing"
+}
+
+// AdaptiveConfig parameterizes an AdaptivePolicy.
+type AdaptiveConfig struct {
+	// Candidates names the selectable stacks (e.g. "tl2/backoff"); the
+	// policy refers to them by index. At least one is required.
+	Candidates []string
+	// Window is the number of epochs averaged into one candidate score
+	// (default 4).
+	Window int
+	// Warmup is the number of epochs discarded after every switch before
+	// scoring starts, hiding the handoff transient (default 1; negative
+	// disables).
+	Warmup int
+	// Hysteresis is the number of consecutive degraded epochs required
+	// before a settled policy re-probes (default 3) — one bad epoch never
+	// triggers a sweep.
+	Hysteresis int
+	// Margin is the fractional score drop tolerated while settled: the
+	// policy counts an epoch as degraded when the windowed mean falls below
+	// (1-Margin) times the reference score (default 0.10).
+	Margin float64
+	// DriftThreshold bounds profile movement while settled: an epoch whose
+	// abort ratio or conflict degree is more than this far from the values
+	// at settle time counts as degraded (default 0.25).
+	DriftThreshold float64
+}
+
+func (c *AdaptiveConfig) defaults() {
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	switch {
+	case c.Warmup == 0:
+		c.Warmup = 1
+	case c.Warmup < 0:
+		c.Warmup = 0
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 3
+	}
+	if c.Margin <= 0 {
+		c.Margin = 0.10
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = 0.25
+	}
+}
+
+// AdaptiveDecision is Observe's verdict for the epoch.
+type AdaptiveDecision struct {
+	// Candidate indexes AdaptiveConfig.Candidates; Name is its label.
+	Candidate int
+	Name      string
+	// Switched reports that the decision moved to a different candidate
+	// than the one that produced the observed epoch — the caller must
+	// actuate the change.
+	Switched bool
+	Phase    AdaptivePhase
+}
+
+// AdaptiveStats counts the policy's activity for telemetry.
+type AdaptiveStats struct {
+	// Epochs counts observations; Switches candidate changes; Probes
+	// completed per-candidate measurement windows; Reprobes sweeps
+	// triggered out of the settled phase.
+	Epochs   uint64
+	Switches uint64
+	Probes   uint64
+	Reprobes uint64
+}
+
+// AdaptiveState is the policy's resumable state, preserved across process
+// restarts by the supervisor exactly like TuningState. A restored policy
+// resumes settled on the preserved candidate — it exploits what its
+// predecessor learned instead of re-probing from scratch, and the drift
+// triggers re-open exploration if the world changed meanwhile.
+type AdaptiveState struct {
+	Candidate string  `json:"candidate"`
+	Phase     string  `json:"phase"`
+	Reference float64 `json:"reference"`
+	Switches  uint64  `json:"switches"`
+}
+
+// AdaptivePolicy scores candidates over sliding windows with hysteresis.
+// Methods are safe for concurrent use (Observe runs on the tuning loop,
+// State on the telemetry path).
+type AdaptivePolicy struct {
+	cfg AdaptiveConfig
+
+	mu                  sync.Mutex
+	phase               AdaptivePhase
+	cur                 int
+	warmup              int       // epochs left to discard before scoring
+	win                 []float64 // scores of the current window (probing: fills then closes; settled: rolling)
+	scores              []float64 // per-candidate score from the current sweep
+	probed              []bool
+	left                int // candidates still to finish in the current sweep
+	ref                 float64
+	refAbort, refDegree float64
+	// anchorPending makes the next settled observation re-anchor the drift
+	// references: a restored policy has no profile anchors of its own.
+	anchorPending bool
+	bad           int // consecutive degraded epochs while settled
+	stats         AdaptiveStats
+}
+
+// NewAdaptivePolicy validates cfg and returns a policy starting a probing
+// sweep at candidate 0.
+func NewAdaptivePolicy(cfg AdaptiveConfig) (*AdaptivePolicy, error) {
+	if len(cfg.Candidates) == 0 {
+		return nil, fmt.Errorf("core: adaptive policy needs at least one candidate")
+	}
+	cfg.defaults()
+	p := &AdaptivePolicy{
+		cfg:    cfg,
+		warmup: cfg.Warmup,
+		scores: make([]float64, len(cfg.Candidates)),
+		probed: make([]bool, len(cfg.Candidates)),
+		left:   len(cfg.Candidates),
+	}
+	return p, nil
+}
+
+// Candidates returns the configured candidate names.
+func (p *AdaptivePolicy) Candidates() []string { return p.cfg.Candidates }
+
+// Current returns the index of the candidate the policy wants running.
+func (p *AdaptivePolicy) Current() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cur
+}
+
+// Stats returns a snapshot of the activity counters.
+func (p *AdaptivePolicy) Stats() AdaptiveStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Observe feeds one epoch measured under the current candidate and returns
+// the decision for the next epoch. When Switched is set the caller must
+// actuate the returned candidate before the next epoch runs.
+func (p *AdaptivePolicy) Observe(sig AdaptiveSignal) AdaptiveDecision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Epochs++
+	if p.warmup > 0 {
+		p.warmup--
+		return p.decision(false)
+	}
+	if p.phase == AdaptiveProbing {
+		return p.observeProbing(sig)
+	}
+	return p.observeSettled(sig)
+}
+
+func (p *AdaptivePolicy) observeProbing(sig AdaptiveSignal) AdaptiveDecision {
+	p.win = append(p.win, sig.score())
+	if len(p.win) < p.cfg.Window {
+		return p.decision(false)
+	}
+	// Window complete: close this candidate's probe.
+	p.scores[p.cur] = mean(p.win)
+	p.probed[p.cur] = true
+	p.win = p.win[:0]
+	p.left--
+	p.stats.Probes++
+	if p.left > 0 {
+		return p.switchTo(p.nextUnprobed())
+	}
+	// Sweep complete: settle on the best score (ties to the lowest index,
+	// so equal candidates resolve deterministically).
+	best := 0
+	for i := 1; i < len(p.scores); i++ {
+		if p.scores[i] > p.scores[best] {
+			best = i
+		}
+	}
+	p.phase = AdaptiveSettled
+	p.ref = p.scores[best]
+	p.refAbort, p.refDegree = sig.AbortRatio, sig.ConflictDegree
+	p.bad = 0
+	if best != p.cur {
+		return p.switchTo(best)
+	}
+	return p.decision(false)
+}
+
+func (p *AdaptivePolicy) observeSettled(sig AdaptiveSignal) AdaptiveDecision {
+	if p.anchorPending {
+		p.refAbort, p.refDegree = sig.AbortRatio, sig.ConflictDegree
+		p.anchorPending = false
+	}
+	p.win = append(p.win, sig.score())
+	if len(p.win) > p.cfg.Window {
+		copy(p.win, p.win[1:])
+		p.win = p.win[:p.cfg.Window]
+	}
+	m := mean(p.win)
+	if m > p.ref {
+		// Track improvements so the reference reflects the candidate's best
+		// sustained behavior, not a weak settling window.
+		p.ref = m
+		p.refAbort, p.refDegree = sig.AbortRatio, sig.ConflictDegree
+	}
+	degraded := len(p.win) == p.cfg.Window && m < p.ref*(1-p.cfg.Margin)
+	drifted := abs(sig.AbortRatio-p.refAbort) > p.cfg.DriftThreshold ||
+		abs(sig.ConflictDegree-p.refDegree) > p.cfg.DriftThreshold
+	if degraded || drifted {
+		p.bad++
+	} else {
+		p.bad = 0
+	}
+	if p.bad < p.cfg.Hysteresis {
+		return p.decision(false)
+	}
+	// Sustained degradation or drift: re-open exploration, re-measuring the
+	// incumbent first (no switch yet — the incumbent may still win).
+	p.phase = AdaptiveProbing
+	for i := range p.probed {
+		p.probed[i] = false
+	}
+	p.left = len(p.cfg.Candidates)
+	p.win = p.win[:0]
+	p.bad = 0
+	p.stats.Reprobes++
+	return p.decision(false)
+}
+
+// nextUnprobed returns the next sweep candidate after cur, in index order.
+func (p *AdaptivePolicy) nextUnprobed() int {
+	n := len(p.cfg.Candidates)
+	for d := 1; d <= n; d++ {
+		if i := (p.cur + d) % n; !p.probed[i] {
+			return i
+		}
+	}
+	return p.cur
+}
+
+func (p *AdaptivePolicy) switchTo(i int) AdaptiveDecision {
+	p.cur = i
+	p.warmup = p.cfg.Warmup
+	p.win = p.win[:0]
+	p.stats.Switches++
+	return p.decision(true)
+}
+
+func (p *AdaptivePolicy) decision(switched bool) AdaptiveDecision {
+	return AdaptiveDecision{
+		Candidate: p.cur,
+		Name:      p.cfg.Candidates[p.cur],
+		Switched:  switched,
+		Phase:     p.phase,
+	}
+}
+
+// State exports the resumable state.
+func (p *AdaptivePolicy) State() AdaptiveState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return AdaptiveState{
+		Candidate: p.cfg.Candidates[p.cur],
+		Phase:     p.phase.String(),
+		Reference: p.ref,
+		Switches:  p.stats.Switches,
+	}
+}
+
+// Restore adopts a predecessor's state: the policy settles on the preserved
+// candidate (skipping the probing sweep entirely) with the preserved
+// reference score and switch count. An unknown candidate name leaves the
+// policy probing from scratch and returns false.
+func (p *AdaptivePolicy) Restore(st AdaptiveState) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx := -1
+	for i, name := range p.cfg.Candidates {
+		if name == st.Candidate {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	p.cur = idx
+	p.phase = AdaptiveSettled
+	p.ref = st.Reference
+	p.anchorPending = true
+	p.warmup = p.cfg.Warmup
+	p.win = p.win[:0]
+	p.bad = 0
+	p.stats.Switches = st.Switches
+	return true
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

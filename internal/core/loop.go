@@ -22,6 +22,14 @@ const (
 	injectedStaleAge = 1000 * DefaultPeriod
 )
 
+// Adapter is the per-epoch hook of an adaptive runtime stack (see
+// colocate.AdaptiveStack): each tick it receives the epoch's throughput
+// sample and may hot-swap the stack's engine or contention manager before
+// the next epoch runs.
+type Adapter interface {
+	Epoch(tput float64)
+}
+
 // Target is the malleable process a Tuner steers: the real worker pool and
 // any other adaptable runtime satisfy it.
 type Target interface {
@@ -57,6 +65,12 @@ type Tuner struct {
 	// Faults is the controller-layer fault injector (nil: no injection, the
 	// production state — the injection points below cost one nil test each).
 	Faults *fault.Injector
+	// Adapter, when non-nil, is driven once per tick after the level is
+	// actuated — the adaptive runtime's epoch boundary. Running it after
+	// actuation orders any engine handoff behind the controller's decision
+	// for the epoch (SLO cuts included), so the adapter's fresh StateOf
+	// snapshot at the handoff never resurrects pre-cut state.
+	Adapter Adapter
 
 	guard     *HealthGuard
 	published atomic.Pointer[TuningState]
@@ -163,6 +177,9 @@ func (t *Tuner) run() {
 				level = t.Controller.Next(tc)
 			}
 			t.actuate(level)
+			if t.Adapter != nil {
+				t.Adapter.Epoch(tc)
+			}
 			if t.Levels != nil {
 				t.Levels.Add(now.Sub(start).Seconds(), float64(level))
 			}

@@ -129,6 +129,14 @@ func (r *RUBIC) RestoreState(st TuningState) {
 	if ceil := float64(r.cfg.MaxLevel); r.lmax > ceil {
 		r.lmax = ceil
 	}
+	if r.lmax < r.level {
+		// An inverted anchor (wMax below the level) can only come from a
+		// stale or mixed snapshot — e.g. a restore racing an SLO cut that
+		// lowered wMax in between export and restore. Cubic growth toward a
+		// target below the current level would stall at +1 rounds forever;
+		// normalize so the level itself is the anchor.
+		r.lmax = r.level
+	}
 	r.tp = 0
 	r.growth = growthCubic
 	r.reduction = reductionLinear

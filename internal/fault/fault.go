@@ -57,6 +57,11 @@ const (
 	// ClockJump inflates one tick's elapsed-time measurement, as a suspended
 	// or migrated process would observe.
 	ClockJump Point = "ctl.clockjump"
+	// HandoffCrash kills the agent (exit 3) at the adaptive stack's engine
+	// handoff whose occurrence it matches — after the controller snapshot is
+	// taken, before the engine switch completes. Occurrences count engine
+	// handoffs, not epochs.
+	HandoffCrash Point = "adapt.handoff"
 )
 
 // Event schedules consecutive firings of one point: occurrences

@@ -23,11 +23,16 @@ const (
 	// ScenarioMixed layers controller-tick faults, worker panics, telemetry
 	// corruption and one crash per stack — every hardening layer at once.
 	ScenarioMixed = "mixed"
+	// ScenarioSwapStorm kills each stack's agent mid-engine-handoff on the
+	// first incarnation — the supervisor's preservation of both controller
+	// and adaptive-policy state carries the run (requires -adaptive stacks;
+	// without them the handoff point never fires and the run is clean).
+	ScenarioSwapStorm = "swapstorm"
 )
 
 // Scenarios lists the named scenarios in presentation order.
 func Scenarios() []string {
-	return []string{ScenarioCrashLoop, ScenarioStall, ScenarioCorrupt, ScenarioMixed}
+	return []string{ScenarioCrashLoop, ScenarioStall, ScenarioCorrupt, ScenarioMixed, ScenarioSwapStorm}
 }
 
 // ParseScenario splits a "<scenario>@<seed>" chaos spec; the seed defaults
@@ -92,6 +97,13 @@ func PlanFor(scenario string, seed int64, child, incarnation int) (*Plan, error)
 		)
 		if incarnation == 0 {
 			p.Events = append(p.Events, Event{Point: AgentCrash, From: 30 + int(h%6)})
+		}
+	case ScenarioSwapStorm:
+		if incarnation == 0 {
+			// Die during the second or third engine handoff (never the very
+			// first: the policy must have probed at least one alternative so
+			// there is learned state worth preserving).
+			p.Events = append(p.Events, Event{Point: HandoffCrash, From: 1 + int(h%2)})
 		}
 	default:
 		return nil, fmt.Errorf("fault: unknown chaos scenario %q", scenario)

@@ -45,6 +45,13 @@ type Config struct {
 	// OnEpoch, when non-nil, receives each epoch's stats as the run
 	// progresses (the serve CLI's live report).
 	OnEpoch func(EpochStat)
+	// Adapter, when non-nil, is driven once per epoch after the level is
+	// actuated — the hook an adaptive stack uses to hot-swap the serving
+	// runtime's engine and contention manager at epoch boundaries. Running
+	// it after actuation means a guard cut this epoch is already in force
+	// (and in any controller snapshot the adapter exports) before a handoff
+	// can begin.
+	Adapter core.Adapter
 }
 
 // DefaultQueueCap is the default admission-queue bound.
@@ -296,6 +303,9 @@ loop:
 				level = cfg.Controller.Next(st.QPS)
 			}
 			pl.SetLevel(level)
+			if cfg.Adapter != nil {
+				cfg.Adapter.Epoch(st.QPS)
+			}
 			st.Level = level
 			levelSum += float64(level)
 			epochs++

@@ -1,6 +1,7 @@
 package mproc
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -56,6 +57,17 @@ type AgentConfig struct {
 	// Guard enables the controller health guard (hold on bad telemetry,
 	// degrade to the equal-share level after consecutive bad ticks).
 	Guard bool
+	// Adaptive, when non-empty, runs the stack's runtime adaptively over the
+	// '+'-separated candidate list (see colocate.ParseAdaptive), hot-swapping
+	// engine and contention manager at epoch boundaries.
+	Adaptive string
+	// AdaptWindow is the adaptive policy's scoring window in epochs; the
+	// default is short so probing converges within agent-scale runs.
+	AdaptWindow int
+	// AdaptRestore, when non-empty, is the JSON core.AdaptiveState the
+	// adaptive policy resumes from — the supervisor passes the crashed
+	// predecessor's last published state, mirroring Restore.
+	AdaptRestore string
 }
 
 // AgentMain parses agent-mode command-line flags and runs the agent,
@@ -79,6 +91,9 @@ func AgentMain(args []string, out io.Writer) error {
 	fs.IntVar(&cfg.Incarnation, "incarnation", 0, "restart count (0 = first launch)")
 	fs.StringVar(&cfg.Restore, "restore", "", "tuning state to resume from, level,wmax,epoch")
 	fs.BoolVar(&cfg.Guard, "guard", true, "run the controller behind the telemetry health guard")
+	fs.StringVar(&cfg.Adaptive, "adaptive", "", "adaptive engine/CM candidates, e.g. tl2/backoff+norec/greedy (empty: static)")
+	fs.IntVar(&cfg.AdaptWindow, "adapt-window", 2, "adaptive scoring window, epochs")
+	fs.StringVar(&cfg.AdaptRestore, "adapt-restore", "", "adaptive policy state to resume from (JSON)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -207,6 +222,28 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 		pl.SetLevel(cfg.Pool)
 	}
 
+	var stack *colocate.AdaptiveStack
+	if cfg.Adaptive != "" {
+		stack, err = colocate.NewAdaptiveStack(rt, ctrl, cfg.Adaptive, core.AdaptiveConfig{Window: cfg.AdaptWindow})
+		if err != nil {
+			return err
+		}
+		stack.Faults = inj
+		// The adapt.handoff point is a real crash, like agent.crash: die
+		// mid-handoff with no teardown and no result frame.
+		stack.OnHandoffCrash = func() { os.Exit(3) }
+		if cfg.AdaptRestore != "" {
+			var st core.AdaptiveState
+			if err := json.Unmarshal([]byte(cfg.AdaptRestore), &st); err != nil {
+				return fmt.Errorf("mproc: adapt-restore state %q: %w", cfg.AdaptRestore, err)
+			}
+			stack.Restore(st)
+		}
+		if tuner != nil {
+			tuner.Adapter = stack
+		}
+	}
+
 	// An interrupt from the supervisor's graceful-shutdown escalation ends
 	// the measurement early instead of killing the process mid-write.
 	interrupt := make(chan os.Signal, 1)
@@ -251,11 +288,17 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 				if elapsed <= 0 {
 					continue
 				}
+				tput := float64(count-prevCount) / elapsed
+				if stack != nil && tuner == nil {
+					// No tuning loop to drive the adapter (greedy policy):
+					// the telemetry tick is the epoch boundary instead.
+					stack.Epoch(tput)
+				}
 				stats := rt.Stats()
 				tele := Telemetry{
 					T:       now.Sub(started).Seconds(),
 					Level:   pl.Level(),
-					Tput:    float64(count-prevCount) / elapsed,
+					Tput:    tput,
 					Commits: stats.Commits,
 					Aborts:  stats.Aborts,
 					Faults:  pl.Faults(),
@@ -264,6 +307,10 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 					if st, ok := tuner.TuningState(); ok {
 						tele.Ctl = &st
 					}
+				}
+				if stack != nil {
+					st := stack.State()
+					tele.Adapt = &st
 				}
 				prevCount, prevTime = count, now
 				var encErr error

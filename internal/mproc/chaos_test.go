@@ -179,3 +179,47 @@ func TestChaosScheduleDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosSwapStormSoak: swapstorm kills each agent mid-engine-handoff —
+// inside AdaptiveStack.actuate, after the controller snapshot but before the
+// switch completes — on its second or third handoff. The supervisor must
+// restart the stack once, hand the replacement both the preserved tuning
+// state and the preserved adaptive-policy state, and the replacement must
+// resume on its predecessor's candidate instead of re-probing from scratch.
+func TestChaosSwapStormSoak(t *testing.T) {
+	// Candidates alternate engines so every probing step is a real handoff —
+	// the scenario's crash point is guaranteed to arm within the first sweep.
+	const candidates = "tl2/backoff+norec/backoff+tl2/greedy+norec/greedy"
+	results, err := Run(chaosChildren(), Options{
+		Duration: 2 * time.Second,
+		Period:   5 * time.Millisecond,
+		Chaos:    "swapstorm@13",
+		Adaptive: candidates,
+		Restart: RestartPolicy{MaxRestarts: 2, Backoff: 10 * time.Millisecond,
+			MaxBackoff: 40 * time.Millisecond, JitterSeed: 13},
+		Exec: fakeExec("agent", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Restarts != 1 {
+			t.Errorf("%s: %d restarts, want 1 (swapstorm crashes incarnation 0 only)", r.Name, r.Restarts)
+		}
+		if !r.CtlRestored {
+			t.Errorf("%s: replacement incarnation was not handed the preserved tuning state", r.Name)
+		}
+		if !r.AdaptResumed {
+			t.Errorf("%s: replacement re-probed instead of resuming the preserved candidate (adapt=%+v)", r.Name, r.Adapt)
+		}
+		if r.Adapt == nil {
+			t.Errorf("%s: no adaptive state surfaced in telemetry", r.Name)
+		}
+		if r.Completed == 0 || !r.Verified {
+			t.Errorf("%s: final incarnation did not complete cleanly: %+v", r.Name, r)
+		}
+		if frac := nonZeroFraction(r); frac < 0.5 {
+			t.Errorf("%s: commit rate collapsed across the handoff crash: only %.0f%% of samples nonzero", r.Name, frac*100)
+		}
+	}
+}

@@ -74,6 +74,11 @@ type Telemetry struct {
 	// it to the replacement process after an agent restart, so tuning resumes
 	// from the preserved CUBIC anchors instead of the floor.
 	Ctl *core.TuningState `json:"ctl,omitempty"`
+	// Adapt, when present, is the adaptive policy's resumable state (current
+	// candidate, phase, reference score, switch count). Preserved and
+	// restored across restarts exactly like Ctl, and the channel through
+	// which switch events reach per-agent frames.
+	Adapt *core.AdaptiveState `json:"adapt,omitempty"`
 }
 
 // Result is the agent's final report.

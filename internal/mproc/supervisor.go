@@ -3,6 +3,7 @@ package mproc
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -141,6 +142,11 @@ type Options struct {
 	// threaded to every agent along with its child index and incarnation;
 	// empty runs no chaos.
 	Chaos string
+	// Adaptive, when non-empty, runs every child's runtime adaptively over
+	// this candidate list (colocate.ParseAdaptive syntax). The supervisor
+	// preserves each child's last published policy state and hands it to
+	// replacement incarnations, mirroring the tuning-state preservation.
+	Adaptive string
 	// Exec overrides child command construction; nil re-executes the
 	// current binary in agent mode.
 	Exec ExecFunc
@@ -182,6 +188,15 @@ type ChildResult struct {
 	// DroppedFrames counts undecodable telemetry lines absorbed by the
 	// frame-error budget.
 	DroppedFrames int
+	// Adapt is the last adaptive-policy state seen in telemetry (nil for
+	// non-adaptive children).
+	Adapt *core.AdaptiveState
+	// CtlRestored reports that at least one replacement incarnation was
+	// handed its predecessor's preserved tuning state; AdaptResumed that a
+	// replacement's first telemetry confirmed the restored adaptive
+	// candidate was actually running.
+	CtlRestored  bool
+	AdaptResumed bool
 	// Err is the child's failure cause: crash, timeout, protocol violation
 	// or agent-side error.
 	Err error
@@ -268,7 +283,7 @@ func Run(specs []ChildSpec, opt Options) ([]ChildResult, error) {
 // AgentArgs returns the agent-mode flag list for a child running for the
 // given active duration (total minus arrival delay).
 func AgentArgs(spec ChildSpec, opt Options, active time.Duration) []string {
-	return []string{
+	args := []string{
 		"-workload", spec.Workload,
 		"-policy", spec.Policy,
 		"-pool", strconv.Itoa(spec.Pool),
@@ -279,6 +294,10 @@ func AgentArgs(spec ChildSpec, opt Options, active time.Duration) []string {
 		"-gomaxprocs", strconv.Itoa(spec.GOMAXPROCS),
 		"-processes", strconv.Itoa(opt.Processes),
 	}
+	if opt.Adaptive != "" {
+		args = append(args, "-adaptive", opt.Adaptive)
+	}
+	return args
 }
 
 // selfExec re-executes the current binary in agent mode, the production
@@ -424,7 +443,12 @@ type attemptOutcome struct {
 	// wall time, which would bill every incarnation's setup against the run.
 	measured time.Duration
 	ctl      *core.TuningState
-	dropped  int
+	adapt    *core.AdaptiveState
+	// firstAdapt is the first telemetry frame's adaptive state: for a
+	// restarted incarnation it reveals whether the restored candidate was
+	// actually running when the replacement came up.
+	firstAdapt *core.AdaptiveState
+	dropped    int
 }
 
 // runChild supervises one child slot from launch to final outcome: it runs
@@ -447,13 +471,27 @@ func runChild(spec ChildSpec, idx int, opt Options, res *ChildResult) {
 	}
 
 	var preserved *core.TuningState
+	var preservedAdapt *core.AdaptiveState
 	var consumed time.Duration // measurement time burned by prior incarnations
 	crashLoops := 0
 	for attempt := 0; ; attempt++ {
-		out := runAttempt(spec, idx, attempt, active-consumed, preserved, opt, res)
+		if attempt > 0 {
+			if preserved != nil {
+				res.CtlRestored = true
+			}
+		}
+		out := runAttempt(spec, idx, attempt, active-consumed, preserved, preservedAdapt, opt, res)
 		consumed += out.measured
 		if out.ctl != nil {
 			preserved = out.ctl
+		}
+		if attempt > 0 && preservedAdapt != nil && out.firstAdapt != nil &&
+			out.firstAdapt.Candidate == preservedAdapt.Candidate {
+			res.AdaptResumed = true
+		}
+		if out.adapt != nil {
+			preservedAdapt = out.adapt
+			res.Adapt = out.adapt
 		}
 		res.DroppedFrames += out.dropped
 		if out.err == nil {
@@ -496,7 +534,7 @@ func runChild(spec ChildSpec, idx int, opt Options, res *ChildResult) {
 // watchdog covers every stage of the child's life (silent child, runaway
 // child, stuck pipe) with an interrupt→kill escalation, so the frame loop
 // may simply read until EOF and Wait afterwards.
-func runAttempt(spec ChildSpec, idx, attempt int, active time.Duration, restore *core.TuningState, opt Options, res *ChildResult) attemptOutcome {
+func runAttempt(spec ChildSpec, idx, attempt int, active time.Duration, restore *core.TuningState, adaptRestore *core.AdaptiveState, opt Options, res *ChildResult) attemptOutcome {
 	var out attemptOutcome
 	if active <= 0 {
 		out.err = errors.New("no run time left")
@@ -514,6 +552,11 @@ func runAttempt(spec ChildSpec, idx, attempt int, active time.Duration, restore 
 			strconv.FormatFloat(restore.Level, 'g', -1, 64)+","+
 				strconv.FormatFloat(restore.WMax, 'g', -1, 64)+","+
 				strconv.FormatFloat(restore.Epoch, 'g', -1, 64))
+	}
+	if adaptRestore != nil {
+		// AdaptiveState marshals without error (strings and scalars only).
+		payload, _ := json.Marshal(adaptRestore)
+		args = append(args, "-adapt-restore", string(payload))
 	}
 	cmd, err := opt.Exec(spec, args)
 	if err != nil {
@@ -592,6 +635,13 @@ frames:
 			if t.Ctl != nil {
 				ctl := *t.Ctl
 				out.ctl = &ctl
+			}
+			if t.Adapt != nil {
+				adapt := *t.Adapt
+				out.adapt = &adapt
+				if out.firstAdapt == nil {
+					out.firstAdapt = &adapt
+				}
 			}
 		case FrameResult:
 			if !gotHello {

@@ -1,0 +1,134 @@
+package stm
+
+import "math/bits"
+
+// This file implements the runtime's hot-swap surface (DESIGN.md §12): the
+// contention manager swaps immediately, the engine swaps through a
+// quiesce-and-switch barrier. The protocol is a one-word gate plus a sharded
+// in-flight count:
+//
+//   - every atomic block enters the gate before its first attempt (enter)
+//     and leaves after its last (exit);
+//   - a switcher closes the gate, waits for the in-flight count to drain to
+//     zero, swaps the engine word, and reopens;
+//   - blocked or retrying attempts re-park at safe points (the retry-loop
+//     top and inside Tx.Retry's wait loop), so a drain never deadlocks on a
+//     transaction that is merely waiting.
+//
+// Nothing here allocates and the gate fast path is two uncontended atomic
+// loads plus one sharded add, so the non-adaptive hot path keeps its
+// zero-alloc budget with the hook compiled in (the benchgate pins this).
+
+// sigAggWindow is the decay window of the rolling write-signature
+// aggregate: every sigAggWindow-th writer commit replaces the aggregate
+// with its own signature instead of ORing into it, so the estimate tracks
+// the recent epoch instead of saturating over the run.
+const sigAggWindow = 64
+
+// enter parks until no engine switch is draining, then claims an in-flight
+// slot. The double check closes the race with a switcher sampling the count
+// between our gate load and our increment: either we see the closed gate
+// and back out, or the switcher's drain loop sees our increment and waits.
+//
+//rubic:noalloc
+func (rt *Runtime) enter(shard int) {
+	for spins := 0; ; spins++ {
+		if rt.swGate.Load() == 0 {
+			rt.inflight.Add(shard, 1)
+			if rt.swGate.Load() == 0 {
+				return
+			}
+			rt.inflight.Add(shard, ^uint64(0))
+		}
+		backoffSpin(spins)
+	}
+}
+
+// exit releases the in-flight slot claimed by enter.
+//
+//rubic:noalloc
+func (rt *Runtime) exit(shard int) {
+	rt.inflight.Add(shard, ^uint64(0))
+}
+
+// SetContentionManager installs cm runtime-wide, effective for every
+// subsequent conflict decision; nil restores the default BackoffCM. No
+// drain is needed: contention managers decide only who waits or aborts
+// (liveness), never what a commit publishes (safety) — under encounter-time
+// locking every lock is released by its owner on commit or rollback
+// regardless of which manager doomed whom, so attempts racing the swap see
+// either manager and both answers are correct.
+func (rt *Runtime) SetContentionManager(cm ContentionManager) {
+	if cm == nil {
+		cm = BackoffCM{}
+	}
+	rt.cmAtom.Store(&cm)
+	rt.cmSwitches.Add(1)
+}
+
+// SwitchEngine performs the stop-the-world engine handoff: close the gate,
+// drain every in-flight attempt, re-seed the version clock, swap, reopen.
+// It is safe at any time from any goroutine and serializes with concurrent
+// switchers; switching to the current engine still drains (useful as a
+// barrier in tests). Pooled Tx contexts are untouched — their read/write
+// sets are per-attempt state that reset() clears — so the zero-alloc
+// steady state survives the swap.
+//
+// The clock re-seed closes the NOrec->TL2 livelock: NOrec commits bump each
+// written location's version (meta.Add in commitNorec) without advancing
+// the TL2 clock, so after a NOrec era location versions may exceed the
+// clock and every TL2 read would fail extension forever. Each NOrec era
+// performed (seq-mark)/2 writer commits — each raised its locations'
+// versions by one — so advancing the clock by that delta restores the TL2
+// invariant (clock >= every unlocked location version).
+func (rt *Runtime) SwitchEngine(to Algorithm) {
+	rt.swMu.Lock()
+	defer rt.swMu.Unlock()
+	from := rt.engine()
+	rt.swGate.Store(1)
+	for spins := 0; rt.inflight.Sum() != 0; spins++ {
+		backoffSpin(spins)
+	}
+	if from == NOrec {
+		seq := rt.norec.waitEven() // even once drained; waitEven keeps the seqlock protocol visible
+		rt.clock.advance((seq - rt.norecMark) / 2)
+		rt.norecMark = seq
+	}
+	rt.algoAtom.Store(uint32(to))
+	rt.engineSwitches.Add(1)
+	rt.swGate.Store(0)
+}
+
+// SwitchCounts reports completed engine and contention-manager swaps, for
+// telemetry and tests.
+func (rt *Runtime) SwitchCounts() (engine, cm uint64) {
+	return rt.engineSwitches.Load(), rt.cmSwitches.Load()
+}
+
+// noteCommit folds a committed attempt into the conflict-profile counters:
+// read/write-set sizes, and for writers the overlap of the write signature
+// against the rolling aggregate of recent writers' signatures (the
+// wsig-collision conflict-degree estimate). Zero-size adds are skipped so
+// the read-only fast path costs nothing extra.
+//
+//rubic:noalloc
+func (rt *Runtime) noteCommit(tx *Tx) {
+	if n := uint64(len(tx.reads)) + uint64(len(tx.vreads)); n > 0 {
+		rt.stats.readSetSum.Add(tx.shard, n)
+	}
+	if len(tx.writes) == 0 {
+		return
+	}
+	rt.stats.writeSetSum.Add(tx.shard, uint64(len(tx.writes)))
+	sig := tx.wsig
+	agg := rt.sigAgg.Load()
+	rt.stats.sigBits.Add(tx.shard, uint64(bits.OnesCount64(sig)))
+	rt.stats.sigOverlap.Add(tx.shard, uint64(bits.OnesCount64(sig&agg)))
+	if rt.sigSeq.Add(1)%sigAggWindow == 0 {
+		rt.sigAgg.Store(sig)
+	} else {
+		// Single-attempt CAS: a lost race drops one statistical sample from
+		// a rolling estimate, which is cheaper than looping on a hot word.
+		rt.sigAgg.CompareAndSwap(agg, agg|sig)
+	}
+}

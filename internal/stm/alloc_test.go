@@ -123,3 +123,42 @@ func TestAllocScalesWithWriteSet(t *testing.T) {
 		}
 	}
 }
+
+// TestAtomicROAllocFreePostSwitch pins the adaptive-era contract: the policy
+// hook machinery (switch gate check on the transaction path, CM indirection,
+// engine handoffs in the runtime's history) must not cost the steady-state
+// read-only path its zero-allocation guarantee. The runtime here has been
+// through a full engine round trip and a CM swap before measuring.
+func TestAtomicROAllocFreePostSwitch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector adds shadow allocations")
+	}
+	for _, algo := range allocEngines {
+		t.Run(algo.String(), func(t *testing.T) {
+			other := NOrec
+			if algo == NOrec {
+				other = TL2
+			}
+			rt := New(Config{Algorithm: other})
+			x := NewVar(41)
+			warmPool(t, rt, x)
+			rt.SetContentionManager(GreedyCM{})
+			rt.SwitchEngine(algo)
+			warmPool(t, rt, x)
+			var sink int
+			fn := func(tx *Tx) error {
+				sink = x.Read(tx)
+				return nil
+			}
+			allocs := testing.AllocsPerRun(1000, func() {
+				if err := rt.AtomicRO(fn); err != nil {
+					t.Error(err)
+				}
+			})
+			if allocs > 0.001 {
+				t.Errorf("post-switch AtomicRO allocates %.3f objects/op, want 0", allocs)
+			}
+			_ = sink
+		})
+	}
+}

@@ -30,6 +30,16 @@ func (c *clock) now() uint64 { return c.c.Load() }
 //rubic:noalloc
 func (c *clock) tick() uint64 { return c.c.Add(1) }
 
+// advance jumps the clock forward by delta. Only SwitchEngine calls it —
+// with the world stopped — to re-seed the TL2 clock with the writer commits
+// a NOrec era performed behind its back (each raised its written locations'
+// versions without touching this counter).
+func (c *clock) advance(delta uint64) {
+	if delta > 0 {
+		c.c.Add(delta)
+	}
+}
+
 // tickLazy is the lazy commit-timestamp scheme (TL2's GV4 "pass on
 // failure", the approach SwissTM-style runtimes use to keep one global
 // counter from serializing every commit). rv is the caller's read version.

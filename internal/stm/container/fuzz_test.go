@@ -284,3 +284,122 @@ func FuzzHashMap(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAdaptiveSwitch is the switch-point differential fuzzer: the same
+// operation sequence runs on an adaptive runtime that hot-swaps its engine
+// and contention manager mid-sequence (schedule derived from the fuzz input)
+// and on a static runtime, both checked against a plain-map oracle after
+// every commit. Any state the handoff tears — a value lost in the engine
+// switch, a version left in the future of the re-seeded clock — surfaces as
+// a divergence from the static twin or the oracle.
+//
+// Input encoding: byte 0 picks the switch period (every 1..8 operations, a
+// CM swap plus an engine handoff); the rest is the shared two-byte op
+// stream of decodeOps.
+func FuzzAdaptiveSwitch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1}) // period 1: switch before every op
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 3, 1, 2, 2, 1, 3, 0})
+	f.Add([]byte{2, 0, 5, 0, 5, 1, 5, 1, 5, 2, 5})
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6})
+	f.Add([]byte{7, 0, 6, 0, 5, 0, 4, 0, 3, 0, 2, 0, 1, 1, 3, 1, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		period := 1
+		if len(data) > 0 {
+			period = 1 + int(data[0]%8)
+			data = data[1:]
+		}
+		ops := decodeOps(data)
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		adaptive := stm.New(stm.Config{Algorithm: stm.TL2})
+		static := stm.New(stm.Config{Algorithm: stm.TL2})
+		runtimes := []*stm.Runtime{adaptive, static}
+		maps := []*HashMap[int]{NewHashMap[int](4), NewHashMap[int](4)}
+		oracle := map[int64]int{}
+		engines := [2]stm.Algorithm{stm.NOrec, stm.TL2}
+		cms := []stm.ContentionManager{stm.GreedyCM{}, stm.KarmaCM{}, nil, stm.SuicideCM{}}
+		switches := 0
+		for opIdx, op := range ops {
+			if opIdx > 0 && opIdx%period == 0 {
+				// The adaptive twin swaps CM and engine; nil CM exercises the
+				// default-restoring path. The static twin never switches.
+				adaptive.SetContentionManager(cms[switches%len(cms)])
+				adaptive.SwitchEngine(engines[switches%len(engines)])
+				switches++
+			}
+			var results [2]struct {
+				changed bool
+				got     int
+				ok      bool
+				n       int
+			}
+			for e, rt := range runtimes {
+				m := maps[e]
+				r := &results[e]
+				err := rt.Atomic(func(tx *stm.Tx) error {
+					switch op.kind {
+					case 0:
+						r.changed = m.Put(tx, op.key, op.val)
+					case 1:
+						r.changed = m.Delete(tx, op.key)
+					case 2:
+						r.got, r.ok = m.Get(tx, op.key)
+					case 3:
+						r.n = m.Len(tx)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("op %d runtime %d: %v", opIdx, e, err)
+				}
+			}
+			if results[0] != results[1] {
+				t.Fatalf("op %d (after %d switches): adaptive and static runtimes disagree: %+v vs %+v",
+					opIdx, switches, results[0], results[1])
+			}
+			_, inOracle := oracle[op.key]
+			switch op.kind {
+			case 0:
+				if results[0].changed != !inOracle {
+					t.Fatalf("op %d: Put(%d) changed=%v, oracle had=%v", opIdx, op.key, results[0].changed, inOracle)
+				}
+				oracle[op.key] = op.val
+			case 1:
+				if results[0].changed != inOracle {
+					t.Fatalf("op %d: Delete(%d) changed=%v, oracle had=%v", opIdx, op.key, results[0].changed, inOracle)
+				}
+				delete(oracle, op.key)
+			case 2:
+				if results[0].ok != inOracle || (inOracle && results[0].got != oracle[op.key]) {
+					t.Fatalf("op %d: Get(%d) = (%d,%v), oracle (%d,%v)",
+						opIdx, op.key, results[0].got, results[0].ok, oracle[op.key], inOracle)
+				}
+			case 3:
+				if results[0].n != len(oracle) {
+					t.Fatalf("op %d: Len = %d, oracle %d", opIdx, results[0].n, len(oracle))
+				}
+			}
+		}
+		// The handoffs the schedule promised actually happened, and the final
+		// map contents survived them all.
+		if eng, _ := adaptive.SwitchCounts(); int(eng) != switches {
+			t.Fatalf("engine switch count %d, schedule performed %d", eng, switches)
+		}
+		if err := adaptive.AtomicRO(func(tx *stm.Tx) error {
+			if n := maps[0].Len(tx); n != len(oracle) {
+				t.Fatalf("final Len = %d, oracle %d", n, len(oracle))
+			}
+			for k, v := range oracle {
+				got, ok := maps[0].Get(tx, k)
+				if !ok || got != v {
+					t.Fatalf("final Get(%d) = (%d,%v), oracle %d", k, got, ok, v)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package stm
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -123,6 +124,105 @@ func TestDifferentialSerializability(t *testing.T) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// --- Switch-point oracle ---
+//
+// The adaptive runtime hot-swaps the engine and contention manager while
+// transactions are in flight. The oracle above doesn't care how a history
+// was produced, only whether a sequential order explains it — so the same
+// search proves switch safety: inject a switch at every possible commit
+// boundary and at arbitrary racing points, and any tearing (a commit
+// straddling the handoff, a stale clock after the NOrec->TL2 re-seed, a
+// reader observing a half-switched world) surfaces as an unserializable
+// history.
+
+// switchDirections covers all four engine-transition directions. The
+// identity transitions matter too: a drain that closes and reopens the gate
+// with no engine change exercises the quiesce barrier against concurrent
+// commits without the clock re-seed in play.
+var switchDirections = [4][2]Algorithm{
+	{TL2, NOrec},
+	{NOrec, TL2},
+	{TL2, TL2},
+	{NOrec, NOrec},
+}
+
+// TestSwitchPointOracle runs the differential workload with a combined
+// CM+engine switch injected between every pair of commits: for every cut
+// point c in [0, total], one round switches after the c-th commit lands.
+// Every resulting history must still be explainable by a sequential order.
+func TestSwitchPointOracle(t *testing.T) {
+	const workers, txPerWorker = 3, 4
+	const total = workers * txPerWorker
+	for _, dir := range switchDirections {
+		from, to := dir[0], dir[1]
+		t.Run(from.String()+"_to_"+to.String(), func(t *testing.T) {
+			for cut := uint64(0); cut <= total; cut++ {
+				rt := New(Config{Algorithm: from})
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for rt.Stats().Commits < cut {
+						runtime.Gosched()
+					}
+					// CM swap first (undrained by design), then the engine
+					// handoff (stop-the-world) at the same cut point.
+					rt.SetContentionManager(GreedyCM{})
+					rt.SwitchEngine(to)
+				}()
+				histories, final := diffWorkload(t, rt, workers, txPerWorker)
+				<-done
+				if got := rt.Algorithm(); got != to {
+					t.Fatalf("cut %d: engine %s after switch, want %s", cut, got.String(), to.String())
+				}
+				if eng, cms := rt.SwitchCounts(); eng != 1 || cms != 1 {
+					t.Fatalf("cut %d: switch counts engine=%d cm=%d, want 1/1", cut, eng, cms)
+				}
+				if !findSerialOrder(histories, final) {
+					t.Fatalf("cut %d (%s->%s): no sequential order explains the commit history\nhistories: %+v\nfinal: %v",
+						cut, from.String(), to.String(), histories, final)
+				}
+			}
+		})
+	}
+}
+
+// TestSwitchStormSerializability is the mid-commit-storm schedule: a storm
+// goroutine flips the engine and rotates the contention manager as fast as
+// the drain allows while the full differential workload commits underneath.
+// Serializability must hold across every handoff the storm manages to land.
+func TestSwitchStormSerializability(t *testing.T) {
+	const workers, txPerWorker = 4, 6
+	cms := []ContentionManager{BackoffCM{}, GreedyCM{}, KarmaCM{}, SuicideCM{}}
+	engines := []Algorithm{NOrec, TL2}
+	for round := 0; round < 10; round++ {
+		rt := New(Config{Algorithm: TL2})
+		stop := make(chan struct{})
+		var storm sync.WaitGroup
+		storm.Add(1)
+		go func() {
+			defer storm.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rt.SetContentionManager(cms[i%len(cms)])
+				rt.SwitchEngine(engines[i%len(engines)])
+				runtime.Gosched()
+			}
+		}()
+		histories, final := diffWorkload(t, rt, workers, txPerWorker)
+		close(stop)
+		storm.Wait()
+		eng, _ := rt.SwitchCounts()
+		if !findSerialOrder(histories, final) {
+			t.Fatalf("round %d (%d switches): no sequential order explains the commit history\nhistories: %+v\nfinal: %v",
+				round, eng, histories, final)
 		}
 	}
 }

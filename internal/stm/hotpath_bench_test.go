@@ -178,3 +178,36 @@ func BenchmarkAtomicReadSet(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAtomicROPostSwitch is the adaptive-era twin of BenchmarkAtomicRO:
+// the same read-only hot path on a runtime that arrived at its engine
+// through a live handoff (and carries a swapped contention manager). Gated
+// against the baseline to prove the switch machinery — the gate check on
+// enter, the CM indirection — leaves the non-adaptive hot path unchanged.
+func BenchmarkAtomicROPostSwitch(b *testing.B) {
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			other := NOrec
+			if e.algo == NOrec {
+				other = TL2
+			}
+			rt := New(Config{Algorithm: other})
+			x := NewVar(42)
+			rt.SetContentionManager(GreedyCM{})
+			rt.SwitchEngine(e.algo)
+			sink := 0
+			fn := func(tx *Tx) error {
+				sink = x.Read(tx)
+				return nil
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.AtomicRO(fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = sink
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package stm
+
+// ConflictProfile summarizes one epoch of a Runtime's transactional
+// behavior in the terms the adaptive policy scores candidates by (see
+// core.AdaptivePolicy and DESIGN.md §12): how much work is wasted
+// (AbortRatio), how big transactions are (mean set sizes), and how much
+// committed writers' footprints overlap (ConflictDegree — the fraction of
+// write-signature bits that collide with the rolling aggregate of recent
+// writers' signatures, a cheap Bloom-style estimate of the "transactional
+// conflict" density of Alistarh et al.).
+type ConflictProfile struct {
+	// Commits and Aborts are the epoch's raw counts.
+	Commits uint64
+	Aborts  uint64
+	// AbortRatio is Aborts / (Commits + Aborts) over the epoch.
+	AbortRatio float64
+	// MeanReadSet is read-set (TL2) plus value-log (NOrec) entries per
+	// committed transaction; MeanWriteSet is write-set entries per committed
+	// writer.
+	MeanReadSet  float64
+	MeanWriteSet float64
+	// ConflictDegree estimates footprint overlap among recent writers:
+	// signature bits colliding with the rolling aggregate over total
+	// signature bits, in [0, 1]. Repeated writes to hot locations drive it
+	// toward 1; disjoint working sets keep it near the Bloom false-positive
+	// floor.
+	ConflictDegree float64
+}
+
+// ProfileBetween derives the profile of the epoch spanned by two Stats
+// snapshots of the same Runtime (prev taken at the epoch's start, cur at
+// its end). It is a pure function of the snapshot deltas: scalar arithmetic
+// only, no clocks, no map iteration, so equal snapshots always yield equal
+// profiles.
+//
+//rubic:deterministic
+func ProfileBetween(prev, cur Stats) ConflictProfile {
+	p := ConflictProfile{
+		Commits: cur.Commits - prev.Commits,
+		Aborts:  cur.Aborts - prev.Aborts,
+	}
+	if total := p.Commits + p.Aborts; total > 0 {
+		p.AbortRatio = float64(p.Aborts) / float64(total)
+	}
+	if p.Commits > 0 {
+		p.MeanReadSet = float64(cur.ReadSetSum-prev.ReadSetSum) / float64(p.Commits)
+	}
+	if writers := (cur.Commits - cur.ReadOnlyCommits) - (prev.Commits - prev.ReadOnlyCommits); writers > 0 {
+		p.MeanWriteSet = float64(cur.WriteSetSum-prev.WriteSetSum) / float64(writers)
+	}
+	if bits := cur.SigBits - prev.SigBits; bits > 0 {
+		p.ConflictDegree = float64(cur.SigOverlap-prev.SigOverlap) / float64(bits)
+	}
+	return p
+}

@@ -46,6 +46,16 @@ func (tx *Tx) waitForChange() error {
 		return ErrRetryWithoutReads
 	}
 	for spin := 0; ; spin++ {
+		// A blocked Retry holds a quiesce-gate slot; parking here instead
+		// would deadlock an engine drain against a waiter that may only be
+		// woken by a transaction parked behind the gate. Treat the switch as
+		// a spurious wakeup: release the slot, let the drain finish, re-park
+		// and re-execute the block under the (possibly new) engine.
+		if tx.rt.swGate.Load() != 0 {
+			tx.rt.exit(tx.shard)
+			tx.rt.enter(tx.shard)
+			return nil
+		}
 		for i := range watchTL2 {
 			e := &watchTL2[i]
 			if e.base.meta.Load() != e.meta {

@@ -23,6 +23,14 @@ type runtimeStats struct {
 	extensions      *metrics.ShardedCounter
 	retryWaits      *metrics.ShardedCounter
 	conflicts       [conflictKinds]*metrics.ShardedCounter
+
+	// Conflict-profile accumulators (see Runtime.noteCommit): set-size sums
+	// over committed attempts, and popcount sums of committed write
+	// signatures and of their overlap against the rolling aggregate.
+	readSetSum  *metrics.ShardedCounter
+	writeSetSum *metrics.ShardedCounter
+	sigBits     *metrics.ShardedCounter
+	sigOverlap  *metrics.ShardedCounter
 }
 
 // newRuntimeStats sizes every counter to the scheduler's parallelism: more
@@ -37,6 +45,10 @@ func newRuntimeStats() runtimeStats {
 		userAborts:      metrics.NewShardedCounter(shards),
 		extensions:      metrics.NewShardedCounter(shards),
 		retryWaits:      metrics.NewShardedCounter(shards),
+		readSetSum:      metrics.NewShardedCounter(shards),
+		writeSetSum:     metrics.NewShardedCounter(shards),
+		sigBits:         metrics.NewShardedCounter(shards),
+		sigOverlap:      metrics.NewShardedCounter(shards),
 	}
 	for k := range rs.conflicts {
 		rs.conflicts[k] = metrics.NewShardedCounter(shards)
@@ -63,6 +75,16 @@ type Stats struct {
 	RetryWaits uint64
 	// Conflicts breaks Aborts down by cause.
 	Conflicts map[ConflictKind]uint64
+
+	// ReadSetSum is the total read-set (TL2) plus value-log (NOrec) entries
+	// across committed attempts; WriteSetSum the total write-set entries
+	// across committed writers. SigBits/SigOverlap are popcount sums of
+	// committed write signatures and of their overlap with the rolling
+	// signature aggregate — the raw material of ConflictProfile.
+	ReadSetSum  uint64
+	WriteSetSum uint64
+	SigBits     uint64
+	SigOverlap  uint64
 }
 
 // AbortRatio returns aborts / (commits + aborts), the wasted-work measure
@@ -90,6 +112,10 @@ func (rs *runtimeStats) snapshot() Stats {
 		Extensions:      rs.extensions.Sum(),
 		RetryWaits:      rs.retryWaits.Sum(),
 		Conflicts:       make(map[ConflictKind]uint64, int(conflictKinds)),
+		ReadSetSum:      rs.readSetSum.Sum(),
+		WriteSetSum:     rs.writeSetSum.Sum(),
+		SigBits:         rs.sigBits.Sum(),
+		SigOverlap:      rs.sigOverlap.Sum(),
 	}
 	for k := ConflictKind(0); k < conflictKinds; k++ {
 		if n := rs.conflicts[k].Sum(); n > 0 {
@@ -106,6 +132,10 @@ func (rs *runtimeStats) reset() {
 	rs.userAborts.Reset()
 	rs.extensions.Reset()
 	rs.retryWaits.Reset()
+	rs.readSetSum.Reset()
+	rs.writeSetSum.Reset()
+	rs.sigBits.Reset()
+	rs.sigOverlap.Reset()
 	for k := range rs.conflicts {
 		rs.conflicts[k].Reset()
 	}

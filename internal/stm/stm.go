@@ -34,6 +34,7 @@ package stm
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -75,11 +76,43 @@ const maxRetainedEntries = 1 << 14
 // be shared across Runtimes.
 type Runtime struct {
 	cfg       Config
-	algo      Algorithm
 	lazyClock bool
 	clock     clock      // cache-line padded: every commit writes it
 	norec     norecState // cache-line padded: every NOrec commit writes it
-	cm        ContentionManager
+
+	// algoAtom holds the active engine and cmAtom the active contention
+	// manager. Both are atomics because SwitchEngine/SetContentionManager may
+	// replace them at any epoch boundary while transactions run (DESIGN.md
+	// §12): the CM swaps without any drain (managers affect only liveness —
+	// who waits or aborts — never which committed state is visible), while
+	// engine swaps go through the quiesce gate below so no transaction ever
+	// observes a mid-swap engine.
+	algoAtom atomic.Uint32
+	cmAtom   atomic.Pointer[ContentionManager]
+
+	// swGate is nonzero while an engine switch is draining or swapping;
+	// starting attempts park on it (see enter). inflight counts attempts
+	// currently inside the gate, sharded like the statistics so the
+	// non-adaptive hot path never bounces a shared line. swMu serializes
+	// switchers; norecMark remembers the NOrec sequence value at the start of
+	// the current NOrec era so the TL2 clock can be re-seeded with the era's
+	// writer commits on the way out (guarded by swMu).
+	swGate    metrics.PaddedUint64
+	inflight  *metrics.ShardedCounter
+	swMu      sync.Mutex
+	norecMark uint64
+
+	// engineSwitches/cmSwitches count completed swaps, for telemetry.
+	engineSwitches atomic.Uint64
+	cmSwitches     atomic.Uint64
+
+	// sigAgg is the rolling OR-aggregate of committed writers' wsig
+	// signatures; sigSeq counts writer commits to decay it (every
+	// sigAggWindow-th commit replaces instead of ORing). ConflictProfile
+	// estimates conflict degree from signature overlap against it.
+	sigAgg metrics.PaddedUint64
+	sigSeq metrics.PaddedUint64
+
 	// tsc is the birth-timestamp source for greedy contention management.
 	// Every transaction start increments it, so like the clock it lives
 	// alone on its cache line instead of bouncing the read-mostly fields
@@ -99,22 +132,36 @@ type Runtime struct {
 func New(cfg Config) *Runtime {
 	rt := &Runtime{
 		cfg:       cfg,
-		algo:      cfg.Algorithm,
 		lazyClock: !cfg.DisableLazyClock,
 		stats:     newRuntimeStats(),
+		inflight:  metrics.NewShardedCounter(runtime.GOMAXPROCS(0)),
 	}
-	rt.cm = cfg.CM
-	if rt.cm == nil {
-		rt.cm = BackoffCM{}
+	rt.algoAtom.Store(uint32(cfg.Algorithm))
+	cm := cfg.CM
+	if cm == nil {
+		cm = BackoffCM{}
 	}
+	rt.cmAtom.Store(&cm)
 	rt.txPool.New = func() any {
 		return &Tx{rt: rt, shard: int(rt.shardSeq.Add(1))}
 	}
 	return rt
 }
 
+// engine returns the active engine. Within one transaction attempt every
+// call returns the same value: attempts run inside the quiesce gate, and
+// SwitchEngine only stores a new engine after the gate has drained.
+//
+//rubic:noalloc
+func (rt *Runtime) engine() Algorithm { return Algorithm(rt.algoAtom.Load()) }
+
+// curCM returns the active contention manager.
+//
+//rubic:noalloc
+func (rt *Runtime) curCM() ContentionManager { return *rt.cmAtom.Load() }
+
 // Algorithm reports the runtime's engine.
-func (rt *Runtime) Algorithm() Algorithm { return rt.algo }
+func (rt *Runtime) Algorithm() Algorithm { return rt.engine() }
 
 // Atomic executes fn transactionally, retrying on conflicts until it
 // commits, fn returns an error, or the retry limit is exhausted.
@@ -138,13 +185,22 @@ func (rt *Runtime) run(fn func(tx *Tx) error, readOnly bool) error {
 	tx.readOnly = readOnly
 	tx.work.Store(0)
 	tx.ts.Store(rt.tsc.Add(1))
+	shard := tx.shard
+	rt.enter(shard)
+	defer rt.exit(shard)
 	defer rt.release(tx)
 	for attempt := 0; ; attempt++ {
 		if rt.cfg.MaxRetries > 0 && attempt >= rt.cfg.MaxRetries {
 			return fmt.Errorf("%w (after %d attempts)", ErrTooManyRetries, attempt)
 		}
 		if attempt > 0 {
-			rt.cm.BeforeRetry(tx, attempt)
+			// Between attempts nothing is held, so a pending engine switch
+			// may drain here: release the gate slot and re-park.
+			if rt.swGate.Load() != 0 {
+				rt.exit(shard)
+				rt.enter(shard)
+			}
+			rt.curCM().BeforeRetry(tx, attempt)
 		}
 		tx.attempt = attempt
 		tx.reset()
@@ -169,6 +225,7 @@ func (rt *Runtime) run(fn func(tx *Tx) error, readOnly bool) error {
 		}
 		if tx.commit() {
 			rt.stats.commits.Add(tx.shard, 1)
+			rt.noteCommit(tx)
 			return nil
 		}
 		rt.stats.aborts.Add(tx.shard, 1)
@@ -235,7 +292,7 @@ func (rt *Runtime) Stats() Stats { return rt.stats.snapshot() }
 func (rt *Runtime) ResetStats() { rt.stats.reset() }
 
 // ContentionManagerName reports the active contention policy.
-func (rt *Runtime) ContentionManagerName() string { return rt.cm.Name() }
+func (rt *Runtime) ContentionManagerName() string { return rt.curCM().Name() }
 
 // GlobalVersion exposes the current value of the version clock for tests and
 // diagnostics.

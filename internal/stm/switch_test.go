@@ -1,0 +1,204 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Unit tests for the quiesce-and-switch protocol: drain semantics, the
+// NOrec->TL2 clock re-seed, liveness against parked Retry waiters, and the
+// undrained contention-manager swap.
+
+// TestSwitchEnginePreservesData pins the basic contract: values written
+// under one engine read back identically under every other, in all four
+// transition directions.
+func TestSwitchEnginePreservesData(t *testing.T) {
+	for _, dir := range switchDirections {
+		from, to := dir[0], dir[1]
+		rt := New(Config{Algorithm: from})
+		v := NewVar(0)
+		if err := rt.Atomic(func(tx *Tx) error { v.Write(tx, 41); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		rt.SwitchEngine(to)
+		if got := rt.Algorithm(); got != to {
+			t.Fatalf("%s->%s: engine %s after switch", from.String(), to.String(), got.String())
+		}
+		var got int
+		err := rt.Atomic(func(tx *Tx) error {
+			got = v.Read(tx)
+			v.Write(tx, got+1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 41 || v.Peek() != 42 {
+			t.Fatalf("%s->%s: read %d, final %d; want 41, 42", from.String(), to.String(), got, v.Peek())
+		}
+	}
+}
+
+// TestSwitchEngineReseedsClock pins the NOrec->TL2 handoff arithmetic: every
+// writer commit of a NOrec era bumps the global seqlock by 2 without
+// touching the TL2 clock, so the handoff must advance the clock by the era's
+// writer-commit count — otherwise versions published during the era sit in
+// the future of every post-switch snapshot and TL2 livelocks on validation.
+func TestSwitchEngineReseedsClock(t *testing.T) {
+	rt := New(Config{Algorithm: NOrec})
+	v := NewVar(0)
+	const writes = 5
+	for i := 0; i < writes; i++ {
+		if err := rt.Atomic(func(tx *Tx) error { v.Write(tx, i+1); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := rt.clock.now()
+	rt.SwitchEngine(TL2)
+	if got := rt.clock.now() - before; got != writes {
+		t.Fatalf("clock advanced by %d across the handoff, want %d", got, writes)
+	}
+
+	// A second NOrec era must re-seed only its own commits: the mark moves
+	// with the handoff, so prior eras are not double-counted.
+	rt.SwitchEngine(NOrec)
+	const more = 3
+	for i := 0; i < more; i++ {
+		if err := rt.Atomic(func(tx *Tx) error { v.Write(tx, 100+i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before = rt.clock.now()
+	rt.SwitchEngine(TL2)
+	if got := rt.clock.now() - before; got != more {
+		t.Fatalf("second era advanced the clock by %d, want %d", got, more)
+	}
+
+	// And the re-seeded clock actually works: TL2 reads and writes settle
+	// without tripping over era-published versions.
+	var got int
+	if err := rt.AtomicRO(func(tx *Tx) error { got = v.Read(tx); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 102 {
+		t.Fatalf("post-handoff read %d, want 102", got)
+	}
+}
+
+// TestSwitchEngineDrainsInflight proves the stop-the-world barrier: a
+// transaction blocked inside its closure holds the gate, and SwitchEngine
+// must not complete until it commits.
+func TestSwitchEngineDrainsInflight(t *testing.T) {
+	rt := New(Config{Algorithm: TL2})
+	v := NewVar(0)
+	inTx := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	txDone := make(chan error, 1)
+	go func() {
+		txDone <- rt.Atomic(func(tx *Tx) error {
+			v.Write(tx, 7)
+			once.Do(func() { close(inTx) })
+			<-release
+			return nil
+		})
+	}()
+	<-inTx
+	swDone := make(chan struct{})
+	go func() {
+		rt.SwitchEngine(NOrec)
+		close(swDone)
+	}()
+	select {
+	case <-swDone:
+		t.Fatal("SwitchEngine completed with a transaction still in flight")
+	case <-time.After(20 * time.Millisecond):
+		// Still draining — the barrier holds.
+	}
+	close(release)
+	if err := <-txDone; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-swDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SwitchEngine never completed after the in-flight transaction drained")
+	}
+	if v.Peek() != 7 {
+		t.Fatalf("drained transaction's write lost: %d", v.Peek())
+	}
+}
+
+// TestSwitchEngineUnblocksRetry proves drain liveness against the blocking
+// primitive: a goroutine parked in Tx.Retry holds a gate slot, and the
+// handoff must treat it as a spurious wakeup (release, drain, re-park)
+// rather than deadlocking the drain against a waiter only a gated
+// transaction could wake.
+func TestSwitchEngineUnblocksRetry(t *testing.T) {
+	rt := New(Config{Algorithm: TL2})
+	flag := NewVar(0)
+	var once sync.Once
+	parked := make(chan struct{})
+	waiter := make(chan error, 1)
+	go func() {
+		waiter <- rt.Atomic(func(tx *Tx) error {
+			v := flag.Read(tx)
+			once.Do(func() { close(parked) })
+			if v == 0 {
+				tx.Retry()
+			}
+			return nil
+		})
+	}()
+	<-parked
+	time.Sleep(2 * time.Millisecond) // let the waiter reach waitForChange
+	swDone := make(chan struct{})
+	go func() {
+		rt.SwitchEngine(NOrec)
+		close(swDone)
+	}()
+	select {
+	case <-swDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SwitchEngine deadlocked against a parked Retry waiter")
+	}
+	if err := rt.Atomic(func(tx *Tx) error { flag.Write(tx, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-waiter:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Retry waiter never woke after the switch")
+	}
+}
+
+// TestSetContentionManager pins the undrained CM swap: effective
+// immediately, nil restores the default, and swaps are counted separately
+// from engine handoffs.
+func TestSetContentionManager(t *testing.T) {
+	rt := New(Config{Algorithm: TL2})
+	if got := rt.ContentionManagerName(); got != (BackoffCM{}).Name() {
+		t.Fatalf("default CM %q", got)
+	}
+	rt.SetContentionManager(GreedyCM{})
+	if got := rt.ContentionManagerName(); got != (GreedyCM{}).Name() {
+		t.Fatalf("CM %q after swap, want greedy", got)
+	}
+	rt.SetContentionManager(nil)
+	if got := rt.ContentionManagerName(); got != (BackoffCM{}).Name() {
+		t.Fatalf("CM %q after nil swap, want the default", got)
+	}
+	eng, cms := rt.SwitchCounts()
+	if eng != 0 || cms != 2 {
+		t.Fatalf("switch counts engine=%d cm=%d, want 0/2", eng, cms)
+	}
+	// The swapped manager must keep committing transactions.
+	v := NewVar(0)
+	if err := rt.Atomic(func(tx *Tx) error { v.Write(tx, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -210,7 +210,7 @@ func (tx *Tx) ReadOnly() bool { return tx.readOnly }
 
 func (tx *Tx) reset() {
 	tx.status.Store(txActive)
-	if tx.rt.algo == NOrec {
+	if tx.rt.engine() == NOrec {
 		tx.rv = tx.rt.norec.waitEven()
 	} else {
 		tx.rv = tx.rt.clock.now()
@@ -252,7 +252,7 @@ func (tx *Tx) checkAlive() {
 //
 //rubic:noalloc
 func (tx *Tx) read(b *varBase) any {
-	if tx.rt.algo == NOrec {
+	if tx.rt.engine() == NOrec {
 		return tx.readNorec(b)
 	}
 	tx.checkAlive()
@@ -271,7 +271,7 @@ func (tx *Tx) read(b *varBase) any {
 				runtime.Gosched()
 				continue
 			}
-			if tx.rt.cm.ShouldAbort(tx, owner) {
+			if tx.rt.curCM().ShouldAbort(tx, owner) {
 				tx.conflict(ConflictLockedRead)
 			}
 			backoffSpin(spins)
@@ -306,7 +306,7 @@ func (tx *Tx) read(b *varBase) any {
 //
 //rubic:noalloc
 func (tx *Tx) write(b *varBase, v any) {
-	if tx.rt.algo == NOrec {
+	if tx.rt.engine() == NOrec {
 		tx.writeNorec(b, v)
 		return
 	}
@@ -332,7 +332,7 @@ func (tx *Tx) write(b *varBase, v any) {
 				// well-formed Tx; treat as programming error.
 				panic("stm: lock held without write-set entry")
 			}
-			if tx.rt.cm.ShouldAbort(tx, owner) {
+			if tx.rt.curCM().ShouldAbort(tx, owner) {
 				tx.conflict(ConflictLockedWrite)
 			}
 			backoffSpin(spins)
@@ -421,7 +421,7 @@ func (tx *Tx) validateReads() bool {
 // commit attempts to make the transaction's writes visible. It returns false
 // (after rolling back) when validation fails or the transaction was doomed.
 func (tx *Tx) commit() bool {
-	if tx.rt.algo == NOrec {
+	if tx.rt.engine() == NOrec {
 		return tx.commitNorec()
 	}
 	if tx.status.Load() == txDoomed {
@@ -472,7 +472,7 @@ func (tx *Tx) commit() bool {
 // and marks the attempt aborted. Values were never written back, so no data
 // restoration is needed. (NOrec holds nothing.)
 func (tx *Tx) rollback() {
-	if tx.rt.algo == NOrec {
+	if tx.rt.engine() == NOrec {
 		tx.rollbackNorec()
 		return
 	}
