@@ -1,10 +1,11 @@
 GO ?= go
 
 # Packages carrying go test -bench micro-benchmarks (STM hot path, the
-# transactional containers, and the malleable worker pool).
-BENCH_PKGS = ./internal/stm ./internal/stm/container ./internal/pool
+# transactional containers, the malleable worker pool, and the durable
+# commit path).
+BENCH_PKGS = ./internal/stm ./internal/stm/container ./internal/pool ./internal/wal
 
-.PHONY: check build vet fmtcheck test race lint lint-fixtures bench benchgate benchscale benchscalegate chaos serve-smoke adaptive-soak
+.PHONY: check build vet fmtcheck test race lint lint-fixtures bench benchgate benchscale benchscalegate chaos serve-smoke adaptive-soak crash-soak
 
 # check is the PR gate: vet, formatting, static analysis, the full test
 # suite, and a race-detector pass over the whole module.
@@ -110,3 +111,13 @@ adaptive-soak:
 	$(GO) test -race -count=1 -run 'Switch|Adaptive|Profile' \
 		./internal/stm ./internal/core ./internal/colocate
 	$(GO) test -race -count=1 -run 'TestChaosSwapStormSoak' ./internal/mproc
+
+# crash-soak is the durability gate: seeded kill-loops under the race
+# detector. Real agent processes are killed mid-commit-storm (torn final
+# record, fsync stalls) and restarted over the same log directory; the
+# supervisor asserts every incarnation recovers exactly the committed
+# prefix and the workload re-verifies after replay. Schedules are pure
+# functions of scenario@seed, so failures reproduce.
+crash-soak:
+	$(GO) test -race -count=1 -run 'TestChaosDurabilitySoak|TestChaosCrashSoak' \
+		./internal/mproc -v

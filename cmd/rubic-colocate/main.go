@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"text/tabwriter"
@@ -49,6 +50,7 @@ import (
 	"rubic/internal/metrics"
 	"rubic/internal/mproc"
 	"rubic/internal/trace"
+	"rubic/internal/wal"
 )
 
 // agentExec lets tests reroute agent children to a helper binary; nil uses
@@ -74,6 +76,12 @@ type cliConfig struct {
 	// adaptive is the '+'-separated engine[/cm] candidate list for online
 	// engine/CM hot-swap; empty runs the static -algo engine.
 	adaptive string
+	// durable attaches a write-ahead log to every stack (the workload must
+	// implement wal.DurableState); walDir is the parent directory for the
+	// per-stack logs and fsync the group-commit policy.
+	durable bool
+	walDir  string
+	fsync   string
 }
 
 func main() {
@@ -99,6 +107,9 @@ func main() {
 	flag.IntVar(&cfg.restarts, "restarts", 2, "proc mode: restart budget per crashed agent")
 	flag.BoolVar(&cfg.plot, "plot", true, "render the level traces")
 	flag.StringVar(&cfg.adaptive, "adaptive", "", "'+'-separated engine[/cm] hot-swap candidates (e.g. tl2/backoff+norec/greedy); empty stays on -algo")
+	flag.BoolVar(&cfg.durable, "durable", false, "attach a write-ahead log to every stack")
+	flag.StringVar(&cfg.walDir, "wal-dir", "", "parent directory for the per-stack logs (required with -durable; reopening a directory recovers it)")
+	flag.StringVar(&cfg.fsync, "fsync", "always", "wal group-commit policy: always, interval or os")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rubic-colocate:", err)
@@ -120,6 +131,14 @@ func run(cfg cliConfig) error {
 		// Fail fast on a bad candidate list in both modes (proc mode would
 		// otherwise only discover it inside the agents).
 		if _, err := colocate.ParseAdaptive(cfg.adaptive); err != nil {
+			return err
+		}
+	}
+	if cfg.durable {
+		if cfg.walDir == "" {
+			return fmt.Errorf("-durable needs -wal-dir")
+		}
+		if _, err := wal.ParseFsyncPolicy(cfg.fsync); err != nil {
 			return err
 		}
 	}
@@ -181,6 +200,18 @@ func runGoroutine(cfg cliConfig, specs []colocate.StackSpec) error {
 			}
 			p.Health = &core.HealthPolicy{FallbackLevel: fallback}
 		}
+		if cfg.durable {
+			policy, err := wal.ParseFsyncPolicy(cfg.fsync)
+			if err != nil {
+				return err
+			}
+			p.Runtime = rt
+			p.Durable = &wal.Options{
+				Dir:    filepath.Join(cfg.walDir, p.Name),
+				Policy: policy,
+				Faults: p.Faults,
+			}
+		}
 		stacks = append(stacks, p)
 	}
 
@@ -213,6 +244,17 @@ func runGoroutine(cfg cliConfig, specs []colocate.StackSpec) error {
 		return err
 	}
 	fmt.Printf("Jain fairness (throughput): %.3f\n", metrics.Jain(tputs))
+	for _, r := range results {
+		if r.Wal == nil {
+			continue
+		}
+		status := "durable"
+		if r.Wal.Lost {
+			status = "durability LOST: " + r.Wal.LostErr.Error()
+		}
+		fmt.Printf("%s: wal acked %d/%d commits, recovered prefix %d — %s\n",
+			r.Name, r.Wal.DurableCSN, r.Wal.LastCSN, r.Wal.Recovered.LastCSN, status)
+	}
 	fmt.Println("all workload invariants verified")
 	plotLevels(set, cfg.plot)
 	return nil
@@ -239,6 +281,9 @@ func runProc(cfg cliConfig, specs []colocate.StackSpec) error {
 		Period:   cfg.period,
 		Engine:   cfg.engine,
 		Adaptive: cfg.adaptive,
+		Durable:  cfg.durable,
+		WALRoot:  cfg.walDir,
+		Fsync:    cfg.fsync,
 		Exec:     agentExec,
 	}
 	if cfg.restarts > 0 {
@@ -296,6 +341,17 @@ func runProc(cfg cliConfig, specs []colocate.StackSpec) error {
 	if len(tputs) > 0 {
 		fmt.Printf("Jain fairness (throughput): %.3f  mean level: %.1f\n",
 			metrics.Jain(tputs), metrics.Mean(levels))
+	}
+	for _, r := range results {
+		if r.Wal == nil {
+			continue
+		}
+		status := "durable"
+		if r.Wal.Lost {
+			status = "durability LOST"
+		}
+		fmt.Printf("%s: wal acked %d/%d commits, recovered prefix %d (%d recoveries across %d restarts) — %s\n",
+			r.Name, r.Wal.Acked, r.Wal.Last, r.Wal.Recovered, r.WalRecoveries, r.Restarts, status)
 	}
 	plotLevels(set, cfg.plot)
 	if err != nil {

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"text/tabwriter"
@@ -42,6 +43,7 @@ import (
 	"rubic/internal/benchfmt"
 	"rubic/internal/colocate"
 	"rubic/internal/load"
+	"rubic/internal/wal"
 )
 
 type cliConfig struct {
@@ -63,6 +65,9 @@ type cliConfig struct {
 	jsonOut  string
 	smoke    bool
 	quiet    bool
+	durable  bool
+	walDir   string
+	fsync    string
 }
 
 func main() {
@@ -85,6 +90,9 @@ func main() {
 	flag.StringVar(&cfg.jsonOut, "json", "", "write a rubic-bench/v2 snapshot to this file")
 	flag.BoolVar(&cfg.smoke, "smoke", false, "CI smoke: short fixed-seed run, fail unless the SLO converges")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the per-epoch report")
+	flag.BoolVar(&cfg.durable, "durable", false, "log commits to a write-ahead log (recovers an existing log first)")
+	flag.StringVar(&cfg.walDir, "wal-dir", "", "write-ahead log root (one subdirectory per stack; required with -durable)")
+	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL fsync policy: always, interval or os")
 	flag.Parse()
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rubic-serve:", err)
@@ -93,6 +101,17 @@ func main() {
 }
 
 func run(cfg cliConfig, out io.Writer) error {
+	if cfg.durable {
+		if cfg.walDir == "" {
+			return fmt.Errorf("-durable needs -wal-dir")
+		}
+		if _, err := wal.ParseFsyncPolicy(cfg.fsync); err != nil {
+			return err
+		}
+		if cfg.findMax {
+			return fmt.Errorf("-find-max probes reuse seeds; a recovered log would carry state between probes, so it does not combine with -durable")
+		}
+	}
 	if cfg.smoke {
 		return runSmoke(cfg, out)
 	}
@@ -142,7 +161,40 @@ func buildProc(cfg cliConfig, spec colocate.ServeSpec, seed int64) (colocate.Ser
 	}
 	proc.Config.Epoch = cfg.epoch
 	proc.Config.QueueCap = cfg.queue
+	if cfg.durable {
+		policy, err := wal.ParseFsyncPolicy(cfg.fsync)
+		if err != nil {
+			return proc, err
+		}
+		// Dir stays empty here: callers may still rename the proc (runStacks
+		// prefixes an index to dedupe identical specs), and the log directory
+		// must follow the final name. finalizeWal fills it in.
+		proc.Durable = &wal.Options{Policy: policy}
+	}
 	return proc, nil
+}
+
+// finalizeWal points the stack's log at its per-stack directory, derived from
+// the final (post-rename) stack name.
+func finalizeWal(cfg cliConfig, proc *colocate.ServeProc) {
+	if proc.Durable != nil {
+		proc.Durable.Dir = filepath.Join(cfg.walDir, proc.Name)
+	}
+}
+
+// reportWal prints each durable stack's log outcome (no-op without -durable).
+func reportWal(out io.Writer, results []colocate.ServeResult) {
+	for _, r := range results {
+		if r.Wal == nil {
+			continue
+		}
+		status := "durable"
+		if r.Wal.Lost {
+			status = "durability LOST: " + r.Wal.LostErr.Error()
+		}
+		fmt.Fprintf(out, "%s: wal acked %d/%d commits, recovered prefix %d — %s\n",
+			r.Name, r.Wal.DurableCSN, r.Wal.LastCSN, r.Wal.Recovered.LastCSN, status)
+	}
 }
 
 func runSingle(cfg cliConfig, out io.Writer) (colocate.ServeResult, error) {
@@ -165,6 +217,7 @@ func runSingle(cfg cliConfig, out io.Writer) (colocate.ServeResult, error) {
 				e.Index, e.Level, state, e.QPS, e.P50, e.P99, e.P999, e.QueueDepth, e.Shed)
 		}
 	}
+	finalizeWal(cfg, &proc)
 	fmt.Fprintf(out, "serving %s under %s arrivals at %.0f QPS for %v (workers %d, policy %s, engine %s)...\n",
 		spec.Workload, spec.Arrival, spec.QPS, cfg.duration, cfg.workers, spec.Policy, cfg.engine)
 	group, err := colocate.NewServeGroup([]colocate.ServeProc{proc})
@@ -178,6 +231,7 @@ func runSingle(cfg cliConfig, out io.Writer) (colocate.ServeResult, error) {
 	if err := report(out, results); err != nil {
 		return zero, err
 	}
+	reportWal(out, results)
 	if cfg.jsonOut != "" {
 		if err := emitJSON(cfg.jsonOut, benchEntries(results)); err != nil {
 			return zero, err
@@ -199,6 +253,7 @@ func runStacks(cfg cliConfig, out io.Writer) error {
 			return err
 		}
 		proc.Name = "P" + strconv.Itoa(i+1) + "-" + proc.Name
+		finalizeWal(cfg, &proc)
 		procs = append(procs, proc)
 	}
 	group, err := colocate.NewServeGroup(procs)
@@ -214,6 +269,7 @@ func runStacks(cfg cliConfig, out io.Writer) error {
 	if err := report(out, results); err != nil {
 		return err
 	}
+	reportWal(out, results)
 	if cfg.jsonOut != "" {
 		if err := emitJSON(cfg.jsonOut, benchEntries(results)); err != nil {
 			return err
@@ -317,6 +373,7 @@ func runSmoke(cfg cliConfig, out io.Writer) error {
 	}
 	cfg.queue, cfg.seed = load.DefaultQueueCap, 7
 	cfg.findMax, cfg.stacks = false, ""
+	cfg.durable = false // the smoke gate measures the latency path, not the log
 	res, err := runSingle(cfg, out)
 	if err != nil {
 		return err

@@ -19,7 +19,9 @@ import (
 	"rubic/internal/fault"
 	"rubic/internal/pool"
 	"rubic/internal/stamp"
+	"rubic/internal/stm"
 	"rubic/internal/trace"
+	"rubic/internal/wal"
 )
 
 // Proc describes one co-located application stack.
@@ -48,6 +50,15 @@ type Proc struct {
 	// contention manager at epoch boundaries. It requires a Controller (the
 	// tuner is what delivers epochs).
 	Adapter core.Adapter
+	// Durable, when non-nil, opens (or recovers) a write-ahead log in
+	// Durable.Dir after Setup and before traffic, attaches it to Runtime as
+	// the commit sink, and closes it at teardown (see AttachDurability). The
+	// workload must implement wal.DurableState and Runtime must be its own
+	// runtime.
+	Durable *wal.Options
+	// Runtime is the workload's STM runtime; required only when Durable is
+	// set.
+	Runtime *stm.Runtime
 }
 
 // Result is one stack's outcome.
@@ -64,6 +75,24 @@ type Result struct {
 	Levels *trace.Series
 	// Faults is the pool's recovered-panic count over the run.
 	Faults uint64
+	// Wal summarizes the stack's durability outcome (nil without Durable).
+	Wal *WalResult
+}
+
+// WalResult is one durable stack's log outcome.
+type WalResult struct {
+	// Recovered describes what the log replayed at open.
+	Recovered wal.Recovered
+	// LastCSN is the highest commit sequence number issued this run.
+	LastCSN uint64
+	// DurableCSN is the highest CSN known persisted at close.
+	DurableCSN uint64
+	// Lost reports that the log degraded to in-memory mode (fsync failure or
+	// torn write); LostErr carries the cause. A lost log does not fail the
+	// run — the stack keeps serving, explicitly non-durable — it is the
+	// caller's signal to alarm.
+	Lost    bool
+	LostErr error
 }
 
 // Group is a set of co-located stacks.
@@ -109,11 +138,25 @@ func (g *Group) Run(duration time.Duration) ([]Result, error) {
 		return nil, fmt.Errorf("colocate: duration must be positive")
 	}
 	// Setup is sequential and up front so arrival delays measure pure
-	// execution, not population.
+	// execution, not population. Durable stacks open (and possibly recover)
+	// their logs here too, before any traffic exists to log.
+	logs := make([]*wal.Log, len(g.procs))
 	for i := range g.procs {
 		p := &g.procs[i]
 		if err := p.Workload.Setup(rand.New(rand.NewSource(p.Seed))); err != nil {
 			return nil, fmt.Errorf("colocate: setup %s: %w", p.Name, err)
+		}
+		if p.Durable != nil {
+			l, err := AttachDurability(p.Workload, p.Runtime, *p.Durable)
+			if err != nil {
+				for _, open := range logs {
+					if open != nil {
+						open.Close()
+					}
+				}
+				return nil, fmt.Errorf("colocate: durability %s: %w", p.Name, err)
+			}
+			logs[i] = l
 		}
 	}
 
@@ -238,6 +281,30 @@ func (g *Group) Run(duration time.Duration) ([]Result, error) {
 		}
 		return results, fmt.Errorf("colocate: teardown wedged %v past the deadline; stacks still stopping: %s",
 			grace, strings.Join(wedged, ", "))
+	}
+	// Every pool has stopped, so no commit can still publish: flush and close
+	// the logs, and record each durable stack's outcome. A log that lost
+	// durability mid-run surfaces as an explicit flag on the result, not a run
+	// failure — the degradation ladder already kept the stack serving.
+	for i, l := range logs {
+		if l == nil {
+			continue
+		}
+		lost, lostErr := l.Lost()
+		wr := &WalResult{
+			Recovered:  l.Recovered(),
+			LastCSN:    l.LastCSN(),
+			DurableCSN: l.DurableCSN(),
+			Lost:       lost,
+			LostErr:    lostErr,
+		}
+		if err := l.Close(); err != nil && wr.LostErr == nil {
+			wr.Lost, wr.LostErr = true, err
+		}
+		if !wr.Lost {
+			wr.DurableCSN = l.DurableCSN() // final batch flushed by Close
+		}
+		results[i].Wal = wr
 	}
 	if firstErr != nil {
 		return results, firstErr

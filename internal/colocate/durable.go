@@ -1,0 +1,58 @@
+package colocate
+
+import (
+	"fmt"
+
+	"rubic/internal/stamp"
+	"rubic/internal/stm"
+	"rubic/internal/wal"
+)
+
+// AttachDurability binds a workload's durable locations to a write-ahead
+// log and attaches the log to the workload's runtime as its commit sink.
+// It is the recovery choreography in one place, in the order the wal
+// package's DurableState contract requires:
+//
+//	Setup (caller) → RegisterDurable → Open → ApplyTo → Rebase → Verify
+//
+// The workload must already be set up (its Vars exist) and must not yet be
+// taking traffic. When the log recovered a non-empty prefix, the restored
+// state is re-audited with the workload's own Verify before any new commit
+// is allowed — a recovery that breaks the workload's invariants fails loudly
+// here instead of corrupting the run.
+//
+// The caller owns the returned log and must Close it after the workload
+// stops committing.
+func AttachDurability(w stamp.Workload, rt *stm.Runtime, opts wal.Options) (*wal.Log, error) {
+	ds, ok := w.(wal.DurableState)
+	if !ok {
+		return nil, fmt.Errorf("colocate: workload %s does not support durability", w.Name())
+	}
+	if rt == nil {
+		return nil, fmt.Errorf("colocate: durability for %s needs the workload's runtime", w.Name())
+	}
+	reg := wal.NewRegistry()
+	if err := ds.RegisterDurable(reg); err != nil {
+		return nil, fmt.Errorf("colocate: register %s durable state: %w", w.Name(), err)
+	}
+	l, err := wal.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.ApplyTo(reg); err != nil {
+		l.Close()
+		return nil, fmt.Errorf("colocate: replay into %s: %w", w.Name(), err)
+	}
+	if l.Recovered().LastCSN > 0 {
+		if err := ds.Rebase(); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("colocate: rebase %s after recovery: %w", w.Name(), err)
+		}
+		if err := w.Verify(); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("colocate: recovered %s state fails verification: %w", w.Name(), err)
+		}
+	}
+	rt.AttachCommitSink(l)
+	return l, nil
+}

@@ -11,6 +11,7 @@ import (
 	"rubic/internal/load"
 	"rubic/internal/stamp/workloads"
 	"rubic/internal/stm"
+	"rubic/internal/wal"
 )
 
 // ServeProc describes one co-located open-loop serving stack: a fully
@@ -28,12 +29,22 @@ type ServeProc struct {
 	// already installed as Config.Adapter; NewServeGroup binds it to the SLO
 	// guard once the server (which builds the guard) exists.
 	Adaptive *AdaptiveStack
+	// Durable, when non-nil, opens (or recovers) a write-ahead log in
+	// Durable.Dir once the server has populated the workload, attaches it to
+	// Runtime as the commit sink, and closes it after the run (see
+	// AttachDurability). The workload must implement wal.DurableState and
+	// Runtime must be the stack's own runtime.
+	Durable *wal.Options
+	// Runtime is the stack's STM runtime; required only when Durable is set.
+	Runtime *stm.Runtime
 }
 
 // ServeResult is one stack's outcome.
 type ServeResult struct {
 	Name string
 	load.Result
+	// Wal summarizes the stack's durability outcome (nil without Durable).
+	Wal *WalResult
 }
 
 // ServeGroup is a set of co-located open-loop serving stacks. As with Group,
@@ -42,6 +53,7 @@ type ServeResult struct {
 type ServeGroup struct {
 	names   []string
 	servers []*load.Server
+	logs    []*wal.Log
 }
 
 // NewServeGroup validates every stack's configuration up front, so a bad
@@ -50,7 +62,7 @@ func NewServeGroup(procs []ServeProc) (*ServeGroup, error) {
 	if len(procs) == 0 {
 		return nil, fmt.Errorf("colocate: no serving stacks")
 	}
-	g := &ServeGroup{}
+	g := &ServeGroup{logs: make([]*wal.Log, len(procs))}
 	seen := map[string]struct{}{}
 	for i, p := range procs {
 		if p.Name == "" {
@@ -60,6 +72,21 @@ func NewServeGroup(procs []ServeProc) (*ServeGroup, error) {
 			return nil, fmt.Errorf("colocate: duplicate serving stack name %q", p.Name)
 		}
 		seen[p.Name] = struct{}{}
+		if p.Durable != nil {
+			// The workload populates inside load.Server.Run (Setup), so the
+			// log can only open — and replay a recovered prefix into the
+			// freshly registered locations — through the server's after-setup
+			// hook, in the window before any traffic exists.
+			idx, workload, rt, opts := i, p.Config.Workload, p.Runtime, *p.Durable
+			p.Config.AfterSetup = func() error {
+				l, err := AttachDurability(workload, rt, opts)
+				if err != nil {
+					return fmt.Errorf("durability: %w", err)
+				}
+				g.logs[idx] = l
+				return nil
+			}
+		}
 		s, err := load.NewServer(p.Config)
 		if err != nil {
 			return nil, fmt.Errorf("colocate: stack %s: %w", p.Name, err)
@@ -101,6 +128,29 @@ func (g *ServeGroup) Run(duration time.Duration) ([]ServeResult, error) {
 		}(i)
 	}
 	wg.Wait()
+	// Every server has drained, so no commit can still publish: flush and
+	// close the logs, and record each durable stack's outcome. A log that
+	// lost durability mid-run surfaces as an explicit flag, not a run failure.
+	for i, l := range g.logs {
+		if l == nil {
+			continue
+		}
+		lost, lostErr := l.Lost()
+		wr := &WalResult{
+			Recovered:  l.Recovered(),
+			LastCSN:    l.LastCSN(),
+			DurableCSN: l.DurableCSN(),
+			Lost:       lost,
+			LostErr:    lostErr,
+		}
+		if err := l.Close(); err != nil && wr.LostErr == nil {
+			wr.Lost, wr.LostErr = true, err
+		}
+		if !wr.Lost {
+			wr.DurableCSN = l.DurableCSN() // final batch flushed by Close
+		}
+		results[i].Wal = wr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return results, err
@@ -250,5 +300,6 @@ func (s ServeSpec) Build(engine string, workers int, seed int64) (ServeProc, err
 	}
 	proc.Name = s.Workload + "/" + s.Arrival
 	proc.Config = cfg
+	proc.Runtime = rt
 	return proc, nil
 }

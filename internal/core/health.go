@@ -192,6 +192,23 @@ func (g *HealthGuard) NextSample(s Sample) int {
 	return g.held
 }
 
+// Escalate forces the guard straight to Degraded, skipping the Holding
+// rungs. It is the out-of-band entry point for faults that are not
+// telemetry-shaped — the durability layer calls it when the WAL loses its
+// persistence guarantee (fsync failure), because running wide while
+// silently non-durable compounds the damage. The ladder's normal recovery
+// still applies: the next good sample returns the guard to Healthy, while
+// the durability-lost flag stays with the Log that raised it.
+func (g *HealthGuard) Escalate() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.bad = g.cfg.DegradeAfter
+	if g.state != Degraded {
+		g.state = Degraded
+		g.stats.Degradations++
+	}
+}
+
 // Missed records a tick that never produced a sample (a dropped tick) and
 // returns the level to keep actuating.
 func (g *HealthGuard) Missed() int {

@@ -112,6 +112,47 @@ func TestHealthGuardDegradationLadder(t *testing.T) {
 // TestHealthGuardAIADHolds runs the same outage against an AIAD baseline:
 // not resumable, but the guard still holds, degrades and recovers it, and
 // its level survives the outage unchanged.
+// TestHealthGuardEscalate is the durability layer's contract: an
+// out-of-band escalation jumps the ladder straight to the fallback level
+// without advancing the wrapped controller, and a good sample afterwards
+// recovers normal tuning from the preserved state.
+func TestHealthGuardEscalate(t *testing.T) {
+	const fallback = 3
+	inner := NewRUBIC(RUBICConfig{MaxLevel: 32})
+	g := NewHealthGuard(inner, HealthPolicy{FallbackLevel: fallback})
+	held := growTo(t, g, 8)
+
+	g.Escalate()
+	if g.State() != Degraded {
+		t.Fatalf("state %v after Escalate, want degraded", g.State())
+	}
+	if g.Level() != fallback {
+		t.Fatalf("level %d after Escalate, want fallback %d", g.Level(), fallback)
+	}
+	if inner.Level() != held {
+		t.Fatalf("inner advanced to %d during escalation, want untouched %d", inner.Level(), held)
+	}
+	if g.Stats().Degradations != 1 {
+		t.Fatalf("degradations %d, want 1", g.Stats().Degradations)
+	}
+	// A second escalation is idempotent on the counter.
+	g.Escalate()
+	if g.Stats().Degradations != 1 {
+		t.Fatalf("degradations %d after repeat Escalate, want 1", g.Stats().Degradations)
+	}
+	// A good sample recovers into normal tuning.
+	level := g.NextSample(Sample{Tput: 5000})
+	if g.State() != Healthy {
+		t.Fatalf("state %v after good sample, want healthy", g.State())
+	}
+	if level < held {
+		t.Fatalf("recovered level %d below the pre-escalation hold %d", level, held)
+	}
+	if g.Stats().Recoveries != 1 {
+		t.Fatalf("recoveries %d, want 1", g.Stats().Recoveries)
+	}
+}
+
 func TestHealthGuardAIADHolds(t *testing.T) {
 	const k, fallback = 4, 3
 	inner := NewAIAD(16, 1)

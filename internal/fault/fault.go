@@ -62,6 +62,27 @@ const (
 	// taken, before the engine switch completes. Occurrences count engine
 	// handoffs, not epochs.
 	HandoffCrash Point = "adapt.handoff"
+	// WALTorn tears the WAL batch write whose occurrence it matches: only a
+	// prefix of the batch reaches the file, and the process dies at the torn
+	// write (the logger invokes its crash hook) — the classic power-cut
+	// mid-write. Occurrences count batch writes.
+	WALTorn Point = "wal.torn"
+	// WALTruncate cuts a seeded number of bytes off the final log segment
+	// before recovery replays it, modelling a filesystem that lost the tail.
+	// Occurrences count recovery attempts.
+	WALTruncate Point = "wal.truncate"
+	// WALCorrupt flips one seeded byte in the WAL batch write whose
+	// occurrence it matches — silent media corruption. Recovery stops at the
+	// damaged frame and reports the loss; it never surfaces garbage.
+	WALCorrupt Point = "wal.corrupt"
+	// WALFsyncErr fails the fsync whose occurrence it matches. The log drops
+	// to in-memory mode with its durability-lost flag raised and escalates
+	// HealthGuard; it must not wedge committers.
+	WALFsyncErr Point = "wal.fsyncerr"
+	// WALFsyncStall delays the fsync whose occurrence it matches by a seeded
+	// bounded duration — a sick disk's latency spike. Committers waiting on
+	// the durable watermark ride it out; the ring absorbs the backlog.
+	WALFsyncStall Point = "wal.fsyncstall"
 )
 
 // Event schedules consecutive firings of one point: occurrences

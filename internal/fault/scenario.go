@@ -28,11 +28,18 @@ const (
 	// and adaptive-policy state carries the run (requires -adaptive stacks;
 	// without them the handoff point never fires and the run is clean).
 	ScenarioSwapStorm = "swapstorm"
+	// ScenarioDurability tears a WAL batch write mid-commit-storm on each of
+	// the first two incarnations, killing the agent at the torn write; each
+	// restart must recover exactly the committed prefix (every acked commit
+	// present, no unacked commit visible — the supervisor asserts the
+	// watermark) and re-pass the workload's Verify. Requires -durable stacks;
+	// without them the WAL points never fire and the run is clean.
+	ScenarioDurability = "durability"
 )
 
 // Scenarios lists the named scenarios in presentation order.
 func Scenarios() []string {
-	return []string{ScenarioCrashLoop, ScenarioStall, ScenarioCorrupt, ScenarioMixed, ScenarioSwapStorm}
+	return []string{ScenarioCrashLoop, ScenarioStall, ScenarioCorrupt, ScenarioMixed, ScenarioSwapStorm, ScenarioDurability}
 }
 
 // ParseScenario splits a "<scenario>@<seed>" chaos spec; the seed defaults
@@ -97,6 +104,18 @@ func PlanFor(scenario string, seed int64, child, incarnation int) (*Plan, error)
 		)
 		if incarnation == 0 {
 			p.Events = append(p.Events, Event{Point: AgentCrash, From: 30 + int(h%6)})
+		}
+	case ScenarioDurability:
+		if incarnation < 2 {
+			// Tear a batch write once the storm is established (dozens of
+			// batches in, so acked commits exist for the exact-prefix assert
+			// to bite on) and let a later fsync stall add disk-latency
+			// pressure before the kill.
+			base := 24 + int((h>>uint(8*incarnation))%24)
+			p.Events = append(p.Events,
+				Event{Point: WALFsyncStall, From: base / 2},
+				Event{Point: WALTorn, From: base},
+			)
 		}
 	case ScenarioSwapStorm:
 		if incarnation == 0 {

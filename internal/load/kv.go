@@ -9,6 +9,7 @@ import (
 	"rubic/internal/stamp"
 	"rubic/internal/stm"
 	"rubic/internal/stm/container"
+	"rubic/internal/wal"
 )
 
 // Keyed is implemented by workloads whose operations target a specific key,
@@ -133,6 +134,51 @@ func (k *KV) ServeKey(_ int, key uint64, rng *rand.Rand) bool {
 	}
 	k.increments.Add(1)
 	return true
+}
+
+// RegisterDurable implements wal.DurableState: key i binds to WAL id i+1.
+// Setup populates every key before traffic starts and entries are never
+// deleted, so each key's EntryVar is a stable location for the log to
+// target. Must run after Setup and before traffic.
+func (k *KV) RegisterDurable(reg *wal.Registry) error {
+	return k.rt.AtomicRO(func(tx *stm.Tx) error {
+		for i := 0; i < k.cfg.Keys; i++ {
+			v := k.m.EntryVar(tx, int64(i))
+			if v == nil {
+				return fmt.Errorf("load: kv key %d missing at registration", i)
+			}
+			if err := wal.RegisterVar(reg, uint64(i)+1, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Rebase implements wal.DurableState: after recovery the values hold the
+// replayed prefix's increments, but the fresh incarnation's increment
+// counter is zero — rebase it to the recovered sum so Verify's
+// sum==increments invariant holds for the restarted process.
+func (k *KV) Rebase() error {
+	var sum int64
+	err := k.rt.AtomicRO(func(tx *stm.Tx) error {
+		total := int64(0)
+		for i := 0; i < k.cfg.Keys; i++ {
+			v, ok := k.m.Get(tx, int64(i))
+			if !ok {
+				return fmt.Errorf("load: kv key %d vanished during rebase", i)
+			}
+			total += v
+		}
+		sum = total
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	k.increments.Store(uint64(sum))
+	k.misses.Store(0)
+	return nil
 }
 
 // Verify implements stamp.Workload: populated keys must never miss, and the

@@ -52,6 +52,11 @@ type Config struct {
 	// (and in any controller snapshot the adapter exports) before a handoff
 	// can begin.
 	Adapter core.Adapter
+	// AfterSetup, when non-nil, runs once the workload has populated and
+	// before any traffic is generated — the window in which a durability
+	// layer can register the workload's locations and replay a recovered
+	// log. An error aborts the run.
+	AfterSetup func() error
 }
 
 // DefaultQueueCap is the default admission-queue bound.
@@ -170,6 +175,11 @@ func (s *Server) Run(duration time.Duration) (Result, error) {
 	cfg := &s.cfg
 	if err := cfg.Workload.Setup(rand.New(rand.NewSource(cfg.Seed))); err != nil {
 		return res, fmt.Errorf("load: setup %s: %w", cfg.Workload.Name(), err)
+	}
+	if cfg.AfterSetup != nil {
+		if err := cfg.AfterSetup(); err != nil {
+			return res, fmt.Errorf("load: after-setup %s: %w", cfg.Workload.Name(), err)
+		}
 	}
 	queue, err := NewQueue(cfg.QueueCap)
 	if err != nil {

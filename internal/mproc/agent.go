@@ -18,6 +18,7 @@ import (
 	"rubic/internal/fault"
 	"rubic/internal/pool"
 	"rubic/internal/trace"
+	"rubic/internal/wal"
 )
 
 // AgentConfig describes the single stack an agent process runs.
@@ -68,6 +69,18 @@ type AgentConfig struct {
 	// adaptive policy resumes from — the supervisor passes the crashed
 	// predecessor's last published state, mirroring Restore.
 	AdaptRestore string
+	// Durable attaches a write-ahead log to the stack: the agent opens (or,
+	// on restart, recovers) the log in WALDir before taking traffic, streams
+	// WalState in its telemetry, and flushes and closes the log before the
+	// result frame. The workload must implement wal.DurableState.
+	Durable bool
+	// WALDir is the log directory; required with Durable. The supervisor
+	// keeps it stable across a child's incarnations so a restarted agent
+	// recovers its predecessor's committed prefix.
+	WALDir string
+	// Fsync names the log's fsync policy: always, interval or os (default
+	// always — the only policy whose acks survive kill -9 by contract).
+	Fsync string
 }
 
 // AgentMain parses agent-mode command-line flags and runs the agent,
@@ -94,6 +107,9 @@ func AgentMain(args []string, out io.Writer) error {
 	fs.StringVar(&cfg.Adaptive, "adaptive", "", "adaptive engine/CM candidates, e.g. tl2/backoff+norec/greedy (empty: static)")
 	fs.IntVar(&cfg.AdaptWindow, "adapt-window", 2, "adaptive scoring window, epochs")
 	fs.StringVar(&cfg.AdaptRestore, "adapt-restore", "", "adaptive policy state to resume from (JSON)")
+	fs.BoolVar(&cfg.Durable, "durable", false, "attach a write-ahead log to the stack")
+	fs.StringVar(&cfg.WALDir, "wal-dir", "", "write-ahead log directory (required with -durable)")
+	fs.StringVar(&cfg.Fsync, "fsync", "always", "wal fsync policy: always, interval or os")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -189,6 +205,31 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 	}
 	if err := w.Setup(rand.New(rand.NewSource(cfg.Seed))); err != nil {
 		return fmt.Errorf("mproc: setup %s: %w", cfg.Workload, err)
+	}
+	var wlog *wal.Log
+	var recoveredCSN uint64
+	if cfg.Durable {
+		if cfg.WALDir == "" {
+			return fmt.Errorf("mproc: -durable needs -wal-dir")
+		}
+		policy, err := wal.ParseFsyncPolicy(cfg.Fsync)
+		if err != nil {
+			return err
+		}
+		// Open (or, for a restarted incarnation, recover) the log before any
+		// traffic exists to log. A torn batch write is a real crash, like
+		// agent.crash: die with no teardown and no result frame — the
+		// supervisor restarts us and recovery proves the prefix.
+		wlog, err = colocate.AttachDurability(w, rt, wal.Options{
+			Dir:     cfg.WALDir,
+			Policy:  policy,
+			Faults:  inj,
+			OnCrash: func() { os.Exit(3) },
+		})
+		if err != nil {
+			return fmt.Errorf("mproc: durability %s: %w", cfg.Workload, err)
+		}
+		recoveredCSN = wlog.Recovered().LastCSN
 	}
 	pl, err := pool.New(cfg.Pool, cfg.Seed+1, w.Task())
 	if err != nil {
@@ -312,6 +353,15 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 					st := stack.State()
 					tele.Adapt = &st
 				}
+				if wlog != nil {
+					lost, _ := wlog.Lost()
+					tele.Wal = &WalState{
+						Acked:     wlog.DurableCSN(),
+						Last:      wlog.LastCSN(),
+						Recovered: recoveredCSN,
+						Lost:      lost,
+					}
+				}
 				prevCount, prevTime = count, now
 				var encErr error
 				if fired, occ := inj.FireN(fault.TelemetryCorrupt); fired {
@@ -336,6 +386,15 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 	if tuner != nil {
 		tuner.Start()
 	}
+	if wlog != nil && tuner != nil {
+		// Losing durability escalates the health guard straight to the
+		// equal-share fallback: a stack that is silently non-durable should
+		// not also be running wide. The pool keeps serving — explicitly
+		// degraded, never wedged.
+		if g := tuner.Guard(); g != nil {
+			wlog.SetLostHook(func(error) { g.Escalate() })
+		}
+	}
 	interrupted := false
 	select {
 	case <-time.After(cfg.Duration):
@@ -350,6 +409,22 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 	<-telemetryDone
 	elapsed := time.Since(started).Seconds()
 
+	// Flush and close the log before the result frame so the Acked it
+	// carries is the log's final durable watermark. Losing durability is an
+	// explicit flag on the result, not an agent failure — the degradation
+	// contract kept the pool serving.
+	var walFinal *WalState
+	if wlog != nil {
+		_ = wlog.Close()
+		lost, _ := wlog.Lost()
+		walFinal = &WalState{
+			Acked:     wlog.DurableCSN(),
+			Last:      wlog.LastCSN(),
+			Recovered: recoveredCSN,
+			Lost:      lost,
+		}
+	}
+
 	verifyErr := w.Verify()
 	stats := rt.Stats()
 	res := Result{
@@ -359,6 +434,7 @@ func RunAgent(cfg AgentConfig, out io.Writer) error {
 		Faults:      pl.Faults(),
 		Verified:    verifyErr == nil,
 		Interrupted: interrupted,
+		Wal:         walFinal,
 	}
 	if elapsed > 0 {
 		res.Tput = float64(res.Completed) / elapsed

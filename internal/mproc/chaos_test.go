@@ -1,6 +1,7 @@
 package mproc
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -150,6 +151,97 @@ func TestChaosMixedSoak(t *testing.T) {
 		if r.Completed == 0 || !r.Verified {
 			t.Errorf("%s: run damaged: %+v", r.Name, r)
 		}
+	}
+}
+
+// TestChaosDurabilitySoak is the durable acceptance soak: under
+// durability@9 each agent's WAL batch write is torn mid-commit-storm on its
+// first two incarnations (an fsync stall first adds disk-latency pressure),
+// killing the process at the torn write with no teardown. Every replacement
+// must recover its predecessor's log, and the supervisor asserts the
+// exact-prefix contract on each one's first report: the recovered prefix
+// covers every commit any predecessor acked durable. The third incarnation
+// runs clean and re-passes the workload's Verify over the recovered state.
+func TestChaosDurabilitySoak(t *testing.T) {
+	results, err := Run(chaosChildren(), Options{
+		Duration: 2 * time.Second,
+		Period:   5 * time.Millisecond,
+		Chaos:    "durability@9",
+		Durable:  true,
+		WALRoot:  t.TempDir(),
+		Restart: RestartPolicy{MaxRestarts: 4, Backoff: 10 * time.Millisecond,
+			MaxBackoff: 40 * time.Millisecond, JitterSeed: 9},
+		Exec: fakeExec("agent", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Restarts != 2 {
+			t.Errorf("%s: %d restarts, want 2 (durability tears incarnations 0 and 1)", r.Name, r.Restarts)
+		}
+		if r.Wal == nil {
+			t.Errorf("%s: durable child reported no WAL state", r.Name)
+			continue
+		}
+		if r.Wal.Recovered == 0 {
+			t.Errorf("%s: final incarnation recovered an empty prefix after two torn crashes", r.Name)
+		}
+		if r.WalAcked == 0 {
+			t.Errorf("%s: no commit was ever acked durable", r.Name)
+		}
+		if r.Wal.Acked != r.Wal.Last {
+			t.Errorf("%s: clean close left acked %d behind issued %d", r.Name, r.Wal.Acked, r.Wal.Last)
+		}
+		if r.Wal.Lost {
+			t.Errorf("%s: final (clean) incarnation flagged durability lost", r.Name)
+		}
+		if r.Completed == 0 || !r.Verified {
+			t.Errorf("%s: final incarnation did not complete cleanly: %+v", r.Name, r)
+		}
+	}
+}
+
+// TestChaosCrashSoak is the seeded kill-loop behind `make crash-soak`: under
+// crashloop@seed each durable agent is killed at a seed-determined telemetry
+// tick — mid-commit-storm, no teardown, no result frame — on its first two
+// incarnations. Unlike the torn-write soak, the log itself is healthy at
+// each kill, so recovery must surface everything written, and the
+// supervisor's exact-prefix assertion (inside Run) checks each replacement
+// against the durable watermark its predecessors reported. Multiple seeds
+// vary the kill points across the storm.
+func TestChaosCrashSoak(t *testing.T) {
+	for _, seed := range []int64{7, 21} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			results, err := Run(chaosChildren(), Options{
+				Duration: 2 * time.Second,
+				Period:   5 * time.Millisecond,
+				Chaos:    fmt.Sprintf("crashloop@%d", seed),
+				Durable:  true,
+				WALRoot:  t.TempDir(),
+				Restart: RestartPolicy{MaxRestarts: 4, Backoff: 10 * time.Millisecond,
+					MaxBackoff: 40 * time.Millisecond, JitterSeed: seed},
+				Exec: fakeExec("agent", nil),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range results {
+				if r.Restarts != 2 {
+					t.Errorf("%s: %d restarts, want 2 (crashloop kills incarnations 0 and 1)", r.Name, r.Restarts)
+				}
+				if r.WalRecoveries < 2 {
+					t.Errorf("%s: only %d incarnations recovered a non-empty prefix, want both replacements", r.Name, r.WalRecoveries)
+				}
+				if r.Wal == nil || r.Wal.Recovered == 0 {
+					t.Errorf("%s: final incarnation recovered nothing after two kills (wal=%+v)", r.Name, r.Wal)
+				}
+				if r.Completed == 0 || !r.Verified {
+					t.Errorf("%s: final incarnation did not complete cleanly: %+v", r.Name, r)
+				}
+			}
+		})
 	}
 }
 

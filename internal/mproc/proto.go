@@ -56,6 +56,25 @@ func (h Hello) Period() time.Duration { return time.Duration(h.PeriodNS) }
 // Duration returns the agent's run duration.
 func (h Hello) Duration() time.Duration { return time.Duration(h.DurationNS) }
 
+// WalState is the durable layer's position, attached to telemetry and
+// result frames when the agent runs with a write-ahead log. The supervisor
+// preserves the highest Acked it sees for each child and asserts that a
+// restarted incarnation's Recovered covers it — the exact-prefix recovery
+// contract, observed end to end across a real process boundary.
+type WalState struct {
+	// Acked is the highest commit sequence number known durable (persisted
+	// per the fsync policy).
+	Acked uint64 `json:"acked"`
+	// Last is the highest commit sequence number issued.
+	Last uint64 `json:"last"`
+	// Recovered is the prefix this incarnation replayed at startup (0 for a
+	// fresh log).
+	Recovered uint64 `json:"recovered"`
+	// Lost reports the log degraded to in-memory mode (fsync failure or torn
+	// write); commits after the flag are explicitly non-durable.
+	Lost bool `json:"lost,omitempty"`
+}
+
 // Telemetry is one periodic sample.
 type Telemetry struct {
 	// T is seconds since the agent's run started.
@@ -79,6 +98,8 @@ type Telemetry struct {
 	// restored across restarts exactly like Ctl, and the channel through
 	// which switch events reach per-agent frames.
 	Adapt *core.AdaptiveState `json:"adapt,omitempty"`
+	// Wal, when present, is the durable layer's position as of this sample.
+	Wal *WalState `json:"wal,omitempty"`
 }
 
 // Result is the agent's final report.
@@ -98,6 +119,9 @@ type Result struct {
 	Interrupted bool `json:"interrupted,omitempty"`
 	// Err carries the agent-side failure, if any (setup or verification).
 	Err string `json:"err,omitempty"`
+	// Wal, when present, is the durable layer's final position (after the
+	// log's closing flush).
+	Wal *WalState `json:"wal,omitempty"`
 }
 
 // Frame is one line of the wire protocol: a version, a type tag, and exactly

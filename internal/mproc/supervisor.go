@@ -147,6 +147,19 @@ type Options struct {
 	// preserves each child's last published policy state and hands it to
 	// replacement incarnations, mirroring the tuning-state preservation.
 	Adaptive string
+	// Durable runs every child with a write-ahead log under WALRoot. Each
+	// child gets a directory stable across its incarnations, so a restarted
+	// agent recovers its predecessor's committed prefix — and the supervisor
+	// asserts it did: a replacement whose recovered prefix misses a commit
+	// the predecessor had acked durable fails the child.
+	Durable bool
+	// WALRoot is the parent directory for the per-child logs; required with
+	// Durable.
+	WALRoot string
+	// Fsync names the children's fsync policy (default always — the only
+	// policy whose acks survive kill -9 by contract, so the only one the
+	// exact-prefix assertion can hold restarted incarnations to).
+	Fsync string
 	// Exec overrides child command construction; nil re-executes the
 	// current binary in agent mode.
 	Exec ExecFunc
@@ -191,6 +204,14 @@ type ChildResult struct {
 	// Adapt is the last adaptive-policy state seen in telemetry (nil for
 	// non-adaptive children).
 	Adapt *core.AdaptiveState
+	// Wal is the durable layer's last reported position (nil for
+	// non-durable children). Across restarts it is the final incarnation's.
+	Wal *WalState
+	// WalAcked is the highest durable watermark seen across every
+	// incarnation of this child — the prefix a replacement must recover.
+	WalAcked uint64
+	// WalRecoveries counts incarnations that recovered a non-empty prefix.
+	WalRecoveries int
 	// CtlRestored reports that at least one replacement incarnation was
 	// handed its predecessor's preserved tuning state; AdaptResumed that a
 	// replacement's first telemetry confirmed the restored adaptive
@@ -242,6 +263,14 @@ func Run(specs []ChildSpec, opt Options) ([]ChildResult, error) {
 	if opt.Chaos != "" {
 		if _, _, err := fault.ParseScenario(opt.Chaos); err != nil {
 			return nil, err
+		}
+	}
+	if opt.Durable {
+		if opt.WALRoot == "" {
+			return nil, fmt.Errorf("mproc: Durable needs WALRoot")
+		}
+		if opt.Fsync == "" {
+			opt.Fsync = "always"
 		}
 	}
 	if opt.Exec == nil {
@@ -297,7 +326,26 @@ func AgentArgs(spec ChildSpec, opt Options, active time.Duration) []string {
 	if opt.Adaptive != "" {
 		args = append(args, "-adaptive", opt.Adaptive)
 	}
+	if opt.Durable {
+		args = append(args, "-durable", "-wal-dir", walDirFor(opt.WALRoot, spec.Name), "-fsync", opt.Fsync)
+	}
 	return args
+}
+
+// walDirFor is the child's log directory: stable across its incarnations
+// (that is the whole point — a replacement must find its predecessor's log)
+// and disjoint from its siblings'. Path separators in the name are flattened
+// so a creative child name cannot escape the root.
+func walDirFor(root, name string) string {
+	safe := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '/' || c == '\\' || c == os.PathSeparator {
+			c = '_'
+		}
+		safe[i] = c
+	}
+	return root + string(os.PathSeparator) + string(safe)
 }
 
 // selfExec re-executes the current binary in agent mode, the production
@@ -449,6 +497,11 @@ type attemptOutcome struct {
 	// actually running when the replacement came up.
 	firstAdapt *core.AdaptiveState
 	dropped    int
+	// acked is the highest durable watermark this incarnation reported;
+	// walSeen flags that at least one frame carried WAL state (the first one
+	// is where the exact-prefix assertion runs).
+	acked   uint64
+	walSeen bool
 }
 
 // runChild supervises one child slot from launch to final outcome: it runs
@@ -472,6 +525,7 @@ func runChild(spec ChildSpec, idx int, opt Options, res *ChildResult) {
 
 	var preserved *core.TuningState
 	var preservedAdapt *core.AdaptiveState
+	var preservedAcked uint64  // highest durable watermark across incarnations
 	var consumed time.Duration // measurement time burned by prior incarnations
 	crashLoops := 0
 	for attempt := 0; ; attempt++ {
@@ -480,11 +534,15 @@ func runChild(spec ChildSpec, idx int, opt Options, res *ChildResult) {
 				res.CtlRestored = true
 			}
 		}
-		out := runAttempt(spec, idx, attempt, active-consumed, preserved, preservedAdapt, opt, res)
+		out := runAttempt(spec, idx, attempt, active-consumed, preserved, preservedAdapt, preservedAcked, opt, res)
 		consumed += out.measured
 		if out.ctl != nil {
 			preserved = out.ctl
 		}
+		if out.acked > preservedAcked {
+			preservedAcked = out.acked
+		}
+		res.WalAcked = preservedAcked
 		if attempt > 0 && preservedAdapt != nil && out.firstAdapt != nil &&
 			out.firstAdapt.Candidate == preservedAdapt.Candidate {
 			res.AdaptResumed = true
@@ -534,7 +592,7 @@ func runChild(spec ChildSpec, idx int, opt Options, res *ChildResult) {
 // watchdog covers every stage of the child's life (silent child, runaway
 // child, stuck pipe) with an interrupt→kill escalation, so the frame loop
 // may simply read until EOF and Wait afterwards.
-func runAttempt(spec ChildSpec, idx, attempt int, active time.Duration, restore *core.TuningState, adaptRestore *core.AdaptiveState, opt Options, res *ChildResult) attemptOutcome {
+func runAttempt(spec ChildSpec, idx, attempt int, active time.Duration, restore *core.TuningState, adaptRestore *core.AdaptiveState, preservedAcked uint64, opt Options, res *ChildResult) attemptOutcome {
 	var out attemptOutcome
 	if active <= 0 {
 		out.err = errors.New("no run time left")
@@ -589,6 +647,34 @@ func runAttempt(spec ChildSpec, idx, attempt int, active time.Duration, restore 
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	gotHello, gotResult := false, false
 	var protoErr error
+	// noteWal folds one frame's WAL position into the attempt. The first
+	// WAL-bearing frame of a replacement incarnation carries the assertion
+	// at the heart of the durability contract: the recovered prefix must
+	// cover every commit any predecessor acked durable. (The reverse bound —
+	// no unacked commit surfacing — cannot be checked from here: commits
+	// between the predecessor's last frame and its death are invisible to
+	// the supervisor; the wal package's replay tests own that half.)
+	noteWal := func(ws *WalState) error {
+		if ws == nil {
+			return nil
+		}
+		w := *ws
+		res.Wal = &w
+		if w.Acked > out.acked {
+			out.acked = w.Acked
+		}
+		if !out.walSeen {
+			out.walSeen = true
+			if w.Recovered > 0 {
+				res.WalRecoveries++
+			}
+			if w.Recovered < preservedAcked {
+				return fmt.Errorf("incarnation %d recovered prefix %d, predecessor acked %d durable: acked commits lost",
+					attempt, w.Recovered, preservedAcked)
+			}
+		}
+		return nil
+	}
 frames:
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
@@ -643,6 +729,10 @@ frames:
 					out.firstAdapt = &adapt
 				}
 			}
+			if err := noteWal(t.Wal); err != nil {
+				protoErr = err
+				break frames
+			}
 		case FrameResult:
 			if !gotHello {
 				protoErr = errors.New("mproc: result before handshake")
@@ -657,6 +747,10 @@ frames:
 			res.Commits, res.Aborts = r.Commits, r.Aborts
 			res.Faults = r.Faults
 			res.Verified = r.Verified
+			if err := noteWal(r.Wal); err != nil {
+				protoErr = err
+				break frames
+			}
 			if r.Err != "" {
 				protoErr = fmt.Errorf("agent reported: %s", r.Err)
 				break frames

@@ -12,6 +12,7 @@ import (
 
 	"rubic/internal/pool"
 	"rubic/internal/stm"
+	"rubic/internal/wal"
 )
 
 // Config parameterizes the benchmark.
@@ -153,6 +154,23 @@ func (b *Bench) Verify() error {
 	}
 	return nil
 }
+
+// RegisterDurable implements wal.DurableState: account i binds to WAL id
+// i+1 (ids must be nonzero). Must run after Setup and before traffic.
+func (b *Bench) RegisterDurable(reg *wal.Registry) error {
+	for i, a := range b.accounts {
+		if err := wal.RegisterVar(reg, uint64(i)+1, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rebase implements wal.DurableState. Recovery replays a prefix of committed
+// transfers, and every transfer conserves the total, so the invariant Verify
+// checks needs no recomputation. Audit counters start at zero in the fresh
+// incarnation, which is consistent: no audits have run against it yet.
+func (b *Bench) Rebase() error { return nil }
 
 // Ops reports (transfers, audits) issued so far.
 func (b *Bench) Ops() (transfers, audits uint64) {

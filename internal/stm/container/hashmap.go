@@ -111,6 +111,22 @@ func (m *HashMap[V]) PutIfAbsent(tx *stm.Tx, key int64, val V) (V, bool) {
 	return val, true
 }
 
+// EntryVar returns the transactional variable holding key's value, or nil
+// when the key is absent. Chain nodes never change their val Var once
+// inserted (updates write through it), so the returned Var stays the live
+// storage for the key until the entry is deleted — which is what durable
+// registration needs: a stable location to bind a WAL id to.
+func (m *HashMap[V]) EntryVar(tx *stm.Tx, key int64) *stm.Var[V] {
+	e := m.buckets[m.hash(key)].Read(tx)
+	for e != nil {
+		if e.key == key {
+			return e.val
+		}
+		e = e.next.Read(tx)
+	}
+	return nil
+}
+
 // Delete removes key and reports whether it was present.
 func (m *HashMap[V]) Delete(tx *stm.Tx, key int64) bool {
 	head := m.buckets[m.hash(key)]

@@ -168,6 +168,9 @@ func (tx *Tx) commitNorec() bool {
 		if !tx.rt.norec.seq.CompareAndSwap(s, s+1) {
 			continue // lost the lock race; re-check
 		}
+		// The CSN is drawn under the sequence lock: NOrec writer commits
+		// serialize here, so CSN order is exactly commit order (durable.go).
+		tx.beginDurable()
 		for i := range tx.writes {
 			w := &tx.writes[i]
 			// Publish the box built at write time: it was private until this
@@ -180,6 +183,7 @@ func (tx *Tx) commitNorec() bool {
 		}
 		tx.rt.norec.seq.Store(s + 2)
 		tx.status.Store(txCommitted)
+		tx.publishDurable()
 		return true
 	}
 }

@@ -113,6 +113,11 @@ type Runtime struct {
 	sigAgg metrics.PaddedUint64
 	sigSeq metrics.PaddedUint64
 
+	// sinkAtom holds the attached CommitSink (durable.go), or nil. Commits
+	// load it once after winning their critical section; the non-durable
+	// configuration pays one atomic load and a nil test per writer commit.
+	sinkAtom atomic.Pointer[CommitSink]
+
 	// tsc is the birth-timestamp source for greedy contention management.
 	// Every transaction start increments it, so like the clock it lives
 	// alone on its cache line instead of bouncing the read-mostly fields
@@ -226,6 +231,7 @@ func (rt *Runtime) run(fn func(tx *Tx) error, readOnly bool) error {
 		if tx.commit() {
 			rt.stats.commits.Add(tx.shard, 1)
 			rt.noteCommit(tx)
+			tx.waitDurable()
 			return nil
 		}
 		rt.stats.aborts.Add(tx.shard, 1)
@@ -244,6 +250,9 @@ func (rt *Runtime) release(tx *Tx) {
 	tx.reads = clearRetained(tx.reads)
 	tx.vreads = clearRetained(tx.vreads)
 	tx.writes = clearRetained(tx.writes)
+	tx.durOps = clearRetained(tx.durOps)
+	tx.sink = nil
+	tx.csn = 0
 	if len(tx.windex) > maxRetainedEntries {
 		tx.windex = nil // Go maps never shrink; drop outsized indexes
 	} else {

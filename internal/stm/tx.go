@@ -135,6 +135,14 @@ type Tx struct {
 	prng uint64
 
 	attempt int
+
+	// Durability hook state (durable.go): the sink and CSN drawn by
+	// beginDurable inside the commit critical section, consumed by
+	// publishDurable/waitDurable afterwards, and the reusable durable-op
+	// buffer (retained like the read/write sets).
+	sink   CommitSink
+	csn    uint64
+	durOps []DurableOp
 }
 
 // windexLinearMax is the write-set size up to which read-after-write lookups
@@ -459,12 +467,17 @@ func (tx *Tx) commit() bool {
 		tx.rt.stats.conflicts[ConflictDoomed].Add(tx.shard, 1)
 		return false
 	}
+	// The CSN is drawn here — after the commit point, while every write lock
+	// is still held — so commit sequence numbers are monotone along every
+	// read-from and overwrite dependency (durable.go).
+	tx.beginDurable()
 	for i := range tx.writes {
 		w := &tx.writes[i]
 		w.base.val.Store(w.valp)
 		w.base.owner.Store(nil)
 		w.base.meta.Store(wv << 1)
 	}
+	tx.publishDurable()
 	return true
 }
 

@@ -27,6 +27,12 @@ type varBase struct {
 	meta  atomic.Uint64
 	owner atomic.Pointer[Tx]
 	val   atomic.Pointer[any]
+
+	// durID is the location's stable durable identity (0 = not durable).
+	// Written only during quiescent registration (Var.MarkDurable) before
+	// concurrent transactions start; read by every commit while a CommitSink
+	// is attached.
+	durID uint64
 }
 
 func (b *varBase) init(v any) {
@@ -113,3 +119,20 @@ func (v *Var[T]) Version() uint64 {
 	_, ver := v.base.sampleConsistent()
 	return ver
 }
+
+// MarkDurable assigns the variable a stable durable identity: committed
+// writes to it are handed to the runtime's CommitSink under this ID, and
+// recovery addresses it by the same ID. IDs must be nonzero, unique within a
+// log, and stable across process restarts (derive them from the workload's
+// own structure, not from allocation order of unrelated objects). Call only
+// during quiescent phases — registration races with running transactions are
+// not detected.
+func (v *Var[T]) MarkDurable(id uint64) {
+	if id == 0 {
+		panic("stm: durable ID must be nonzero")
+	}
+	v.base.durID = id
+}
+
+// DurableID returns the identity assigned by MarkDurable, or 0.
+func (v *Var[T]) DurableID() uint64 { return v.base.durID }

@@ -1,0 +1,288 @@
+// Package wal is the durability layer behind internal/stm's CommitSink hook
+// (DESIGN.md §13): committed durable write-sets are encoded into a bounded
+// lock-free ring by the committing goroutines, drained by one dedicated log
+// goroutine that reorders them into commit-sequence-number order, CRC-frames
+// them, group-commits batches to an append-only segment file under a
+// configurable fsync policy, periodically compacts the log into a snapshot
+// of the materialized state, and — on restart — recovers exactly the durable
+// prefix: every acked commit present, no unacked commit visible, never a
+// torn or corrupt frame surfaced.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"rubic/internal/stm"
+)
+
+// Value type tags. The codec covers the scalar types the workloads keep in
+// durable Vars; a durable Var of any other type is rejected at registration
+// (RegisterVar probes the codec), and a value that still sneaks through is
+// encoded as tagNull, which recovery reports as loss instead of guessing.
+const (
+	tagNull byte = iota
+	tagInt
+	tagInt64
+	tagUint64
+	tagFloat64
+	tagBool
+	tagString
+	tagBytes
+)
+
+// Frame and file-format constants. A frame is [u32 payload length][u32
+// CRC-32C of the payload][payload]; a record payload is [8-byte LE CSN]
+// [uvarint op count][ops: uvarint durable ID, tagged value]. Segment and
+// snapshot files open with an 8-byte magic that pins the format version.
+const (
+	frameHeader = 8
+	maxFrame    = 1 << 24
+	segMagic    = "RUBICWA1"
+	snapMagic   = "RUBICSN1"
+)
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var errUnsupportedType = errors.New("wal: unsupported durable value type")
+
+// appendUvarint appends v in unsigned LEB128, like binary.AppendUvarint but
+// annotated for the hot path.
+//
+//rubic:noalloc
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		//lint:ignore rubic/noalloc encode buffers are ring-slot-retained; growth amortizes to zero
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	//lint:ignore rubic/noalloc encode buffers are ring-slot-retained; growth amortizes to zero
+	return append(b, byte(v))
+}
+
+// appendValue appends one tagged value. It reports false for types outside
+// the codec (the caller then raises the durability-lost flag; registration
+// probing makes that path unreachable in practice).
+//
+//rubic:noalloc
+func appendValue(b []byte, v any) ([]byte, bool) {
+	switch x := v.(type) {
+	case int:
+		//lint:ignore rubic/noalloc encode buffers are ring-slot-retained; growth amortizes to zero
+		b = append(b, tagInt)
+		b = binary.LittleEndian.AppendUint64(b, uint64(int64(x)))
+	case int64:
+		//lint:ignore rubic/noalloc encode buffers are ring-slot-retained; growth amortizes to zero
+		b = append(b, tagInt64)
+		b = binary.LittleEndian.AppendUint64(b, uint64(x))
+	case uint64:
+		//lint:ignore rubic/noalloc encode buffers are ring-slot-retained; growth amortizes to zero
+		b = append(b, tagUint64)
+		b = binary.LittleEndian.AppendUint64(b, x)
+	case float64:
+		//lint:ignore rubic/noalloc encode buffers are ring-slot-retained; growth amortizes to zero
+		b = append(b, tagFloat64)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	case bool:
+		bit := byte(0)
+		if x {
+			bit = 1
+		}
+		//lint:ignore rubic/noalloc encode buffers are ring-slot-retained; growth amortizes to zero
+		b = append(b, tagBool, bit)
+	case string:
+		//lint:ignore rubic/noalloc encode buffers are ring-slot-retained; growth amortizes to zero
+		b = append(b, tagString)
+		b = appendUvarint(b, uint64(len(x)))
+		//lint:ignore rubic/noalloc encode buffers are ring-slot-retained; growth amortizes to zero
+		b = append(b, x...)
+	case []byte:
+		//lint:ignore rubic/noalloc encode buffers are ring-slot-retained; growth amortizes to zero
+		b = append(b, tagBytes)
+		b = appendUvarint(b, uint64(len(x)))
+		//lint:ignore rubic/noalloc encode buffers are ring-slot-retained; growth amortizes to zero
+		b = append(b, x...)
+	default:
+		//lint:ignore rubic/noalloc encode buffers are ring-slot-retained; growth amortizes to zero
+		return append(b, tagNull), false
+	}
+	return b, true
+}
+
+// appendRecord encodes one committed durable write-set as a record payload.
+// It runs on the committing goroutine (Log.Publish) into a ring-slot buffer
+// whose capacity is retained, so steady-state encoding allocates nothing.
+//
+//rubic:noalloc
+func appendRecord(b []byte, csn uint64, ops []stm.DurableOp) ([]byte, bool) {
+	b = binary.LittleEndian.AppendUint64(b, csn)
+	b = appendUvarint(b, uint64(len(ops)))
+	ok := true
+	for i := range ops {
+		b = appendUvarint(b, ops[i].ID)
+		var vok bool
+		b, vok = appendValue(b, *ops[i].Box)
+		ok = ok && vok
+	}
+	return b, ok
+}
+
+// uvarint decodes an unsigned LEB128 from b, returning the value and the
+// number of bytes consumed (0 on truncation or overflow).
+//
+//rubic:deterministic
+//rubic:noalloc
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c < 0x80 {
+			if i == 9 && c > 1 {
+				return 0, 0 // overflows uint64
+			}
+			return v | uint64(c)<<shift, i + 1
+		}
+		if shift >= 63 {
+			return 0, 0
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0
+}
+
+// valueLen returns the encoded length of the tagged value at b[0:], or -1
+// when the bytes are truncated or the tag is unknown.
+//
+//rubic:deterministic
+//rubic:noalloc
+func valueLen(b []byte) int {
+	if len(b) == 0 {
+		return -1
+	}
+	switch b[0] {
+	case tagNull:
+		return 1
+	case tagInt, tagInt64, tagUint64, tagFloat64:
+		if len(b) < 9 {
+			return -1
+		}
+		return 9
+	case tagBool:
+		if len(b) < 2 {
+			return -1
+		}
+		return 2
+	case tagString, tagBytes:
+		n, c := uvarint(b[1:])
+		if c == 0 || uint64(len(b)) < 1+uint64(c)+n {
+			return -1
+		}
+		return 1 + c + int(n)
+	}
+	return -1
+}
+
+// decodeValue decodes one tagged value into its Go representation. tagNull
+// decodes to nil (the caller reports it as loss).
+func decodeValue(b []byte) (any, error) {
+	if n := valueLen(b); n < 0 || n != len(b) {
+		return nil, fmt.Errorf("wal: malformed value encoding (%d bytes)", len(b))
+	}
+	switch b[0] {
+	case tagNull:
+		return nil, nil
+	case tagInt:
+		return int(int64(binary.LittleEndian.Uint64(b[1:]))), nil
+	case tagInt64:
+		return int64(binary.LittleEndian.Uint64(b[1:])), nil
+	case tagUint64:
+		return binary.LittleEndian.Uint64(b[1:]), nil
+	case tagFloat64:
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[1:])), nil
+	case tagBool:
+		return b[1] != 0, nil
+	case tagString:
+		_, c := uvarint(b[1:])
+		return string(b[1+c:]), nil
+	case tagBytes:
+		_, c := uvarint(b[1:])
+		return append([]byte(nil), b[1+c:]...), nil
+	}
+	return nil, errUnsupportedType
+}
+
+// walkRecord iterates the (id, encoded value) pairs of a record payload,
+// calling visit for each. It validates the complete structure and returns
+// the record's CSN; a malformed payload yields an error and no guarantee
+// about prior visit calls (recovery discards the whole record).
+//
+//rubic:deterministic
+func walkRecord(p []byte, visit func(id uint64, val []byte)) (uint64, error) {
+	if len(p) < 8 {
+		return 0, errors.New("wal: record shorter than its CSN")
+	}
+	csn := binary.LittleEndian.Uint64(p)
+	rest := p[8:]
+	nops, c := uvarint(rest)
+	if c == 0 {
+		return 0, errors.New("wal: malformed op count")
+	}
+	rest = rest[c:]
+	for i := uint64(0); i < nops; i++ {
+		id, c := uvarint(rest)
+		if c == 0 || id == 0 {
+			return 0, errors.New("wal: malformed op ID")
+		}
+		rest = rest[c:]
+		n := valueLen(rest)
+		if n < 0 {
+			return 0, errors.New("wal: malformed op value")
+		}
+		if visit != nil {
+			visit(id, rest[:n])
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return 0, errors.New("wal: trailing bytes after record ops")
+	}
+	return csn, nil
+}
+
+// appendFrame wraps payload in a length+CRC frame and appends it to b.
+//
+//rubic:noalloc
+func appendFrame(b, payload []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(payload, castagnoli))
+	//lint:ignore rubic/noalloc batch buffer capacity is retained across batches; growth amortizes to zero
+	return append(b, payload...)
+}
+
+// nextFrame extracts the frame starting at data[off:]. ok is false at a
+// clean end of data and for every torn-tail shape — short header, impossible
+// length, truncated payload, CRC mismatch — which recovery all treats the
+// same way: the durable prefix ends here.
+//
+//rubic:deterministic
+func nextFrame(data []byte, off int) (payload []byte, next int, ok bool) {
+	if off < 0 || len(data)-off < frameHeader {
+		return nil, off, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	if n > maxFrame || len(data)-off-frameHeader < n {
+		return nil, off, false
+	}
+	want := binary.LittleEndian.Uint32(data[off+4:])
+	payload = data[off+frameHeader : off+frameHeader+n]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, off, false
+	}
+	return payload, off + frameHeader + n, true
+}

@@ -1,0 +1,619 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rubic/internal/fault"
+	"rubic/internal/stm"
+)
+
+// FsyncPolicy selects when the log goroutine forces batches to stable
+// storage, trading commit latency against the window of acked-but-volatile
+// commits.
+type FsyncPolicy uint8
+
+const (
+	// FsyncAlways fsyncs every batch and blocks each durable committer until
+	// its CSN is on stable storage (group commit: one fsync covers every
+	// record in the batch). Survives power loss.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs on a timer; committers never block. Acked commits
+	// are on stable storage within one interval. Survives power loss up to
+	// that window.
+	FsyncInterval
+	// FsyncOS writes batches without explicit fsync and acks on write; the
+	// page cache owns persistence. Written records survive a process kill
+	// (the kernel holds them), but not power loss.
+	FsyncOS
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOS:
+		return "os"
+	}
+	return "unknown"
+}
+
+// ParseFsyncPolicy parses the -fsync flag values.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "os":
+		return FsyncOS, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or os)", s)
+}
+
+// Defaults and sizing for the log goroutine.
+const (
+	defaultRingSize      = 1024
+	defaultSnapshotEvery = 1 << 14
+	maxBatchBytes        = 1 << 20
+)
+
+// defaultFsyncInterval paces the FsyncInterval policy's group fsync.
+var defaultFsyncInterval = 5 * time.Millisecond
+
+// Options parameterizes Open.
+type Options struct {
+	// Dir is the log directory (created if absent). One Log owns it.
+	Dir string
+	// Policy is the fsync policy; the zero value is FsyncAlways.
+	Policy FsyncPolicy
+	// Interval paces FsyncInterval's group fsync; 0 means the default (5ms).
+	Interval time.Duration
+	// SnapshotEvery compacts the log after this many records; 0 means the
+	// default (16384), negative disables periodic snapshots.
+	SnapshotEvery int
+	// RingSize bounds the commit ring (rounded up to a power of two);
+	// 0 means the default (1024).
+	RingSize int
+	// Faults is the chaos injector for the wal.* points; nil is inert.
+	Faults *fault.Injector
+	// OnCrash is invoked after an injected torn batch write (fault.WALTorn)
+	// — the simulated power cut. The chaos agent installs os.Exit here; nil
+	// leaves the log in its durability-lost state and keeps running (unit
+	// tests recover the directory afterwards).
+	OnCrash func()
+}
+
+// Recovered describes what Open reconstructed from the directory.
+type Recovered struct {
+	// LastCSN is the last commit in the recovered prefix (0 = empty log).
+	LastCSN uint64
+	// SnapshotCSN is the compaction point the prefix was rebuilt from.
+	SnapshotCSN uint64
+	// Records counts log records replayed on top of the snapshot.
+	Records uint64
+	// Torn reports that replay stopped before the end of the log bytes —
+	// a torn tail (expected after a crash) or detected corruption. Note
+	// says which and where.
+	Torn bool
+	Note string
+}
+
+// Log is a write-ahead log implementing stm.CommitSink: committed durable
+// write-sets enter through BeginCommit/Publish/WaitDurable and reach an
+// append-only segment file in CSN order. See the package comment for the
+// pipeline and DESIGN.md §13 for the recovery invariant.
+type Log struct {
+	opts Options
+	dir  string
+
+	csn     atomic.Uint64 // last assigned CSN (BeginCommit cursor)
+	durable atomic.Uint64 // highest acked-durable CSN
+	lost    atomic.Bool   // durability lost: log degraded to in-memory mode
+	closed  atomic.Bool
+
+	mu       sync.Mutex // guards cond, lostErr, lostHook
+	cond     *sync.Cond
+	lostErr  error
+	lostHook func(error)
+
+	ring  *ring
+	wake  chan struct{}
+	stopc chan struct{}
+	done  chan struct{}
+
+	rec Recovered
+
+	// Counters for telemetry and tests.
+	nBatches   atomic.Uint64
+	nRecords   atomic.Uint64
+	nSnapshots atomic.Uint64
+
+	// Log-goroutine-owned state. state is the materialized image of the
+	// written prefix: after framing record n it equals an exact replay of
+	// CSNs 1..n, which is what makes snapshots trivially consistent.
+	f         *os.File
+	state     map[uint64][]byte
+	pending   map[uint64][]byte // out-of-CSN-order arrivals awaiting their gap
+	batch     []byte
+	scratch   []byte
+	next      uint64 // next CSN to frame
+	written   uint64 // last CSN written to the segment
+	sinceSnap int
+	segStart  uint64
+}
+
+// Open recovers the directory's durable prefix (snapshot + segments),
+// compacts it into a fresh snapshot, starts a new segment and the log
+// goroutine, and returns the ready Log. Inspect Recovered for what was
+// replayed, then ApplyTo a Registry to load the state into the runtime's
+// Vars before attaching the Log as the runtime's CommitSink.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = defaultFsyncInterval
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = defaultSnapshotEvery
+	}
+	if opts.RingSize <= 0 {
+		opts.RingSize = defaultRingSize
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	state, rec, err := recoverDir(opts.Dir, opts.Faults)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		opts:    opts,
+		dir:     opts.Dir,
+		ring:    newRing(opts.RingSize),
+		wake:    make(chan struct{}, 1),
+		stopc:   make(chan struct{}),
+		done:    make(chan struct{}),
+		rec:     rec,
+		state:   state,
+		pending: make(map[uint64][]byte),
+		next:    rec.LastCSN + 1,
+		written: rec.LastCSN,
+	}
+	l.cond = sync.NewCond(&l.mu)
+	l.csn.Store(rec.LastCSN)
+	l.durable.Store(rec.LastCSN)
+	// Compact on open: persist the recovered prefix as one snapshot, start a
+	// fresh segment above it, and drop the files it subsumes. A crash at any
+	// point leaves either the old files or the new snapshot — both recover
+	// the same prefix.
+	if rec.LastCSN > 0 {
+		if err := l.writeSnapshotAt(rec.LastCSN); err != nil {
+			return nil, err
+		}
+	}
+	if err := l.openSegment(rec.LastCSN + 1); err != nil {
+		return nil, err
+	}
+	l.deleteSegmentsBelow(rec.LastCSN + 1)
+	go l.run()
+	return l, nil
+}
+
+// Recovered reports what Open reconstructed.
+func (l *Log) Recovered() Recovered { return l.rec }
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// LastCSN returns the highest commit sequence number assigned so far.
+func (l *Log) LastCSN() uint64 { return l.csn.Load() }
+
+// DurableCSN returns the ack watermark: every commit with CSN at or below
+// it is durable under the configured policy.
+func (l *Log) DurableCSN() uint64 { return l.durable.Load() }
+
+// Lost reports whether durability has been lost (fsync or write failure,
+// torn-write injection): the runtime keeps committing in memory, but acks
+// above the returned watermark are off. The error describes the cause.
+func (l *Log) Lost() (bool, error) {
+	if !l.lost.Load() {
+		return false, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return true, l.lostErr
+}
+
+// SetLostHook installs the durability-lost escalation callback (the agent
+// points it at HealthGuard). If durability is already lost the hook fires
+// immediately on this goroutine.
+func (l *Log) SetLostHook(f func(error)) {
+	l.mu.Lock()
+	if l.lost.Load() {
+		err := l.lostErr
+		l.mu.Unlock()
+		if f != nil {
+			f(err)
+		}
+		return
+	}
+	l.lostHook = f
+	l.mu.Unlock()
+}
+
+// BeginCommit implements stm.CommitSink: it assigns the next CSN. Called
+// inside commit critical sections; a single wait-free fetch-and-add.
+//
+//rubic:noalloc
+func (l *Log) BeginCommit() uint64 { return l.csn.Add(1) }
+
+// Publish implements stm.CommitSink: it encodes the committed write-set
+// into a ring slot. When the ring is full it spins (bounded by the log
+// goroutine's drain rate — this is the commit path's backpressure), unless
+// durability is lost or the log closed, in which case the record is
+// dropped: the prefix contract only covers acked commits.
+//
+//rubic:noalloc
+func (l *Log) Publish(csn uint64, ops []stm.DurableOp) {
+	if l.lost.Load() || l.closed.Load() {
+		return
+	}
+	r := l.ring
+	for {
+		pos := r.enq.Load()
+		s := &r.slots[pos&r.mask]
+		if s.seq.Load() == pos {
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.csn = csn
+				var ok bool
+				s.buf, ok = appendRecord(s.buf[:0], csn, ops)
+				s.seq.Store(pos + 1)
+				if !ok {
+					l.markLost(errUnsupportedType)
+				}
+				select {
+				case l.wake <- struct{}{}:
+				default:
+				}
+				return
+			}
+			continue
+		}
+		if l.lost.Load() || l.closed.Load() {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// WaitDurable implements stm.CommitSink: under FsyncAlways it blocks until
+// csn is on stable storage (or durability is lost); the asynchronous
+// policies return immediately.
+func (l *Log) WaitDurable(csn uint64) {
+	if l.opts.Policy != FsyncAlways {
+		return
+	}
+	if l.durable.Load() >= csn || l.lost.Load() {
+		return
+	}
+	l.mu.Lock()
+	for l.durable.Load() < csn && !l.lost.Load() {
+		l.cond.Wait()
+	}
+	l.mu.Unlock()
+}
+
+// Close drains the ring, flushes and fsyncs the tail, writes a final
+// snapshot and stops the log goroutine. Stop all transactional work first:
+// a Publish racing Close may be dropped. Close returns the durability-lost
+// cause, if any.
+func (l *Log) Close() error {
+	if !l.closed.CompareAndSwap(false, true) {
+		<-l.done
+		_, err := l.Lost()
+		return err
+	}
+	close(l.stopc)
+	<-l.done
+	_, err := l.Lost()
+	return err
+}
+
+// run is the log goroutine: drain, reorder, frame, group-commit, snapshot.
+func (l *Log) run() {
+	defer close(l.done)
+	var tick <-chan time.Time
+	if l.opts.Policy == FsyncInterval {
+		t := time.NewTicker(l.opts.Interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		l.gather()
+		if len(l.batch) > 0 {
+			l.commitBatch()
+			l.maybeSnapshot()
+			continue
+		}
+		select {
+		case <-l.wake:
+		case <-tick:
+			l.syncTail()
+		case <-l.stopc:
+			l.gather()
+			if len(l.batch) > 0 {
+				l.commitBatch()
+			}
+			l.syncTail()
+			l.finalCompact()
+			l.closeFile()
+			return
+		}
+	}
+}
+
+// gather drains the ring into the batch in exact CSN order, parking
+// out-of-order arrivals in pending until their gap fills. In lost mode it
+// drains and discards so committers never wedge on a full ring.
+func (l *Log) gather() {
+	for len(l.batch) < maxBatchBytes {
+		csn, buf, ok := l.ring.pop(l.scratch)
+		l.scratch = buf
+		if !ok {
+			return
+		}
+		if l.lost.Load() {
+			continue
+		}
+		if csn != l.next {
+			// A committer between BeginCommit and Publish still owns the gap;
+			// it is at most a few instructions behind.
+			l.pending[csn] = append([]byte(nil), l.scratch...)
+			continue
+		}
+		l.frame(l.scratch)
+		for {
+			p, ok := l.pending[l.next]
+			if !ok {
+				break
+			}
+			delete(l.pending, l.next)
+			l.frame(p)
+		}
+	}
+}
+
+// frame appends one record payload to the batch and folds it into the
+// materialized state image.
+func (l *Log) frame(payload []byte) {
+	l.batch = appendFrame(l.batch, payload)
+	_, err := walkRecord(payload, func(id uint64, val []byte) {
+		l.state[id] = append(l.state[id][:0], val...)
+	})
+	if err != nil {
+		// Impossible for payloads our own encoder produced; fail safe.
+		l.markLost(fmt.Errorf("wal: internal encoding error: %w", err))
+		return
+	}
+	l.next++
+	l.sinceSnap++
+	l.nRecords.Add(1)
+}
+
+// commitBatch writes the batch and advances the watermarks per policy. The
+// torn-write and corruption faults act here, on the boundary between the
+// in-memory batch and the file.
+func (l *Log) commitBatch() {
+	b := l.batch
+	last := l.next - 1
+	l.batch = b[:0]
+	if l.lost.Load() {
+		return
+	}
+	if fired, occ := l.opts.Faults.FireN(fault.WALTorn); fired {
+		keep := int(l.opts.Faults.Payload(fault.WALTorn, occ) % uint64(len(b)))
+		l.f.Write(b[:keep])
+		l.f.Sync()
+		l.markLost(fmt.Errorf("wal: injected torn write at batch %d (%d of %d bytes)", occ, keep, len(b)))
+		if l.opts.OnCrash != nil {
+			l.opts.OnCrash()
+		}
+		return
+	}
+	if fired, occ := l.opts.Faults.FireN(fault.WALCorrupt); fired {
+		idx := int(l.opts.Faults.Payload(fault.WALCorrupt, occ) % uint64(len(b)))
+		flip := byte(l.opts.Faults.Payload(fault.WALCorrupt, occ) >> 8)
+		if flip == 0 {
+			flip = 0xA5
+		}
+		b[idx] ^= flip
+	}
+	if _, err := l.f.Write(b); err != nil {
+		l.markLost(fmt.Errorf("wal: segment write: %w", err))
+		return
+	}
+	l.written = last
+	l.nBatches.Add(1)
+	switch l.opts.Policy {
+	case FsyncAlways:
+		if err := l.sync(); err != nil {
+			l.markLost(err)
+			return
+		}
+		l.setDurable(last)
+	case FsyncOS:
+		l.setDurable(last)
+	case FsyncInterval:
+		// The ticker's syncTail advances the watermark.
+	}
+}
+
+// syncTail force-syncs written-but-unsynced records (FsyncInterval's group
+// fsync; also the close path's final flush).
+func (l *Log) syncTail() {
+	if l.lost.Load() || l.written <= l.durable.Load() {
+		return
+	}
+	if err := l.sync(); err != nil {
+		l.markLost(err)
+		return
+	}
+	l.setDurable(l.written)
+}
+
+// sync fsyncs the segment, with the stall and error faults applied in that
+// order (a sick disk is slow before it is dead).
+func (l *Log) sync() error {
+	if fired, occ := l.opts.Faults.FireN(fault.WALFsyncStall); fired {
+		d := time.Duration(1+l.opts.Faults.Payload(fault.WALFsyncStall, occ)%5) * 10 * time.Millisecond
+		time.Sleep(d)
+	}
+	if l.opts.Faults.Fire(fault.WALFsyncErr) {
+		return errors.New("wal: injected fsync error")
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// setDurable advances the ack watermark and releases group-commit waiters.
+// The store happens under the cond's mutex so a waiter cannot check the
+// watermark, miss the broadcast, and sleep forever.
+func (l *Log) setDurable(csn uint64) {
+	l.mu.Lock()
+	if csn > l.durable.Load() {
+		l.durable.Store(csn)
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// markLost degrades the log to in-memory mode: the flag flips once, waiters
+// are released, the escalation hook fires. The log goroutine keeps draining
+// (and discarding) the ring so committers never block on a dead log.
+func (l *Log) markLost(err error) {
+	l.mu.Lock()
+	if l.lost.Load() {
+		l.mu.Unlock()
+		return
+	}
+	l.lostErr = err
+	l.lost.Store(true)
+	hook := l.lostHook
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if hook != nil {
+		hook(err)
+	}
+}
+
+// maybeSnapshot compacts once enough records accumulated since the last
+// snapshot: persist the state image, rotate to a fresh segment, drop the
+// segments the snapshot subsumes.
+func (l *Log) maybeSnapshot() {
+	if l.lost.Load() || l.opts.SnapshotEvery < 0 || l.sinceSnap < l.opts.SnapshotEvery {
+		return
+	}
+	at := l.written
+	if err := l.writeSnapshotAt(at); err != nil {
+		l.markLost(err)
+		return
+	}
+	l.closeFile()
+	if err := l.openSegment(at + 1); err != nil {
+		l.markLost(err)
+		return
+	}
+	l.deleteSegmentsBelow(at + 1)
+	l.sinceSnap = 0
+}
+
+// finalCompact runs on clean close: one snapshot covering everything, no
+// segments left to replay on the next Open.
+func (l *Log) finalCompact() {
+	if l.lost.Load() || l.written == 0 || l.sinceSnap == 0 {
+		return
+	}
+	if err := l.writeSnapshotAt(l.written); err != nil {
+		l.markLost(err)
+		return
+	}
+	l.closeFile()
+	l.deleteSegmentsBelow(l.written + 1)
+}
+
+// Segment file management. Names embed the first CSN the segment may
+// contain, so recovery orders them lexically and compaction can drop a
+// segment by name alone.
+
+func segName(start uint64) string {
+	return fmt.Sprintf("wal-%016x.log", start)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	start, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+	return start, err == nil
+}
+
+func (l *Log) openSegment(start uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(start)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment header: %w", err)
+	}
+	l.f = f
+	l.segStart = start
+	// Make the directory entry itself durable: a power cut must not lose
+	// the file that holds fsynced frames.
+	return syncDir(l.dir)
+}
+
+func (l *Log) closeFile() {
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+}
+
+// deleteSegmentsBelow removes every segment whose start CSN is below keep —
+// they only contain records a durable snapshot already covers.
+func (l *Log) deleteSegmentsBelow(keep uint64) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if start, ok := parseSegName(e.Name()); ok && start < keep {
+			os.Remove(filepath.Join(l.dir, e.Name()))
+		}
+	}
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil // directory sync is best-effort on exotic filesystems
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package wal
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count assertions are skipped under -race: the detector adds
+// shadow allocations that testing.AllocsPerRun would attribute to the log.
+const raceEnabled = false

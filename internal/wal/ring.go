@@ -1,0 +1,60 @@
+package wal
+
+import (
+	"sync/atomic"
+
+	"rubic/internal/metrics"
+)
+
+// ring is the bounded lock-free MPSC queue between committing goroutines and
+// the log goroutine — a Vyukov-style array queue specialized to one
+// consumer. Each slot carries a per-slot sequence word for the handshake and
+// a retained payload buffer, so steady-state publication performs no
+// allocation: producers CAS the enqueue cursor to claim a slot, encode their
+// record into the slot's buffer in place, and publish it with a sequence
+// store; the consumer copies the payload out into its batch and recycles the
+// slot.
+//
+// The slot protocol: seq == index means free for the producer claiming that
+// index; seq == index+1 means full, awaiting the consumer of that index;
+// the consumer frees a slot for its next lap by storing index+capacity.
+type ring struct {
+	mask  uint64
+	enq   metrics.PaddedUint64 // producers' claim cursor, alone on its line
+	deq   uint64               // consumer-owned, no concurrent access
+	slots []rslot
+}
+
+type rslot struct {
+	seq atomic.Uint64
+	csn uint64
+	buf []byte
+}
+
+// newRing returns a ring with capacity rounded up to a power of two.
+func newRing(capacity int) *ring {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	r := &ring{mask: uint64(size - 1), slots: make([]rslot, size)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// pop moves the next published payload into dst (reusing its capacity) and
+// recycles the slot. It returns ok == false when the ring is empty. Single
+// consumer only.
+func (r *ring) pop(dst []byte) (csn uint64, out []byte, ok bool) {
+	s := &r.slots[r.deq&r.mask]
+	if s.seq.Load() != r.deq+1 {
+		return 0, dst, false
+	}
+	csn = s.csn
+	dst = append(dst[:0], s.buf...)
+	s.seq.Store(r.deq + r.mask + 1)
+	r.deq++
+	return csn, dst, true
+}
