@@ -3,7 +3,7 @@ GO ?= go
 # Packages carrying go test -bench micro-benchmarks (STM hot path, the
 # transactional containers, the malleable worker pool, and the durable
 # commit path).
-BENCH_PKGS = ./internal/stm ./internal/stm/container ./internal/pool ./internal/wal
+BENCH_PKGS = ./internal/stm ./internal/stm/container ./internal/stm/container/blink ./internal/pool ./internal/wal
 
 .PHONY: check build vet fmtcheck test race lint lint-fixtures bench benchgate benchscale benchscalegate chaos serve-smoke adaptive-soak crash-soak
 
@@ -42,7 +42,8 @@ lint:
 lint-fixtures:
 	@set -e; \
 	for d in stmescape txneffect roviolation ctlunits/periods ctlunits/core \
-	         atomicmix determinism/annotated determinism/registry noalloc seqlockproto; do \
+	         atomicmix determinism/annotated determinism/registry noalloc \
+	         seqlockproto blinkseqlock; do \
 		rc=0; $(GO) run ./cmd/rubic-lint ./internal/analysis/testdata/src/$$d >/dev/null 2>&1 || rc=$$?; \
 		if [ "$$rc" -ne 1 ]; then \
 			echo "lint-fixtures: $$d: exit $$rc, want 1 (seeded findings)"; exit 1; \
@@ -111,6 +112,20 @@ adaptive-soak:
 	$(GO) test -race -count=1 -run 'Switch|Adaptive|Profile' \
 		./internal/stm ./internal/core ./internal/colocate
 	$(GO) test -race -count=1 -run 'TestChaosSwapStormSoak' ./internal/mproc
+
+# shard-soak exercises the range-sharded runtime and the B-Link index under
+# the race detector at full parallelism: the cross-shard commit storm (bank
+# conservation over AtomicAcross two-phase commits with concurrent
+# cross-shard auditors), the masked serializability oracle over sharded
+# histories, the sharded-container token storms, and the blink lock-free
+# reader/writer stress (concurrent torn-read probes over Tree and the
+# hybrid Map fast path).
+shard-soak:
+	$(GO) test -race -count=1 -run 'TestAtomicAcross|TestSharded|TestShardFor|TestFindSerialOrderMasked' \
+		./internal/stm ./internal/stm/container
+	$(GO) test -race -count=1 -run 'TestTreeConcurrent|TestMapConcurrentHybrid|TestOrderedScanAgreement' \
+		./internal/stm/container/blink ./internal/stm/container
+	$(GO) test -race -count=1 -run 'TestShardedKV|TestOrdered|TestServerOpenLoopOrdered' ./internal/load
 
 # crash-soak is the durability gate: seeded kill-loops under the race
 # detector. Real agent processes are killed mid-commit-storm (torn final

@@ -72,7 +72,7 @@ type cliConfig struct {
 
 func main() {
 	var cfg cliConfig
-	flag.StringVar(&cfg.workload, "workload", "kv", "workload: kv (keyed) or any internal/stamp/workloads name")
+	flag.StringVar(&cfg.workload, "workload", "kv", "workload: kv (keyed), ordered (keyed B-Link index), shardedkv (keyed, range-sharded runtime) or any internal/stamp/workloads name")
 	flag.StringVar(&cfg.arrival, "arrival", "poisson", "arrival process: constant, poisson, diurnal or burst")
 	flag.Float64Var(&cfg.qps, "qps", 400, "offered request rate (find-max: the sweep's starting rate)")
 	flag.Float64Var(&cfg.theta, "theta", load.DefaultTheta, "Zipf skew for keyed workloads (0,1)")

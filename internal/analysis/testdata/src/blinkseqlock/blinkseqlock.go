@@ -1,0 +1,100 @@
+// Package blinkseqlock seeds protocol violations in a miniature B-Link node
+// for the rubic/seqlockproto (and rubic/noalloc) fixture test: the shape
+// mirrors internal/stm/container/blink's node — a per-node version word
+// guarding optimistically read entries — so analyzer regressions that would
+// let real blink bugs through are caught here.
+package blinkseqlock
+
+import "sync/atomic"
+
+const order = 8
+
+type node struct {
+	// ver is the node's seqlock: odd while a writer mutates entries.
+	//
+	//rubic:seqlock
+	ver atomic.Uint64
+
+	n    atomic.Int32
+	high atomic.Int64
+	next atomic.Pointer[node]
+	keys [order]atomic.Int64
+}
+
+// goodGet is the blink reader protocol: sample even, read entries, re-check.
+func (nd *node) goodGet(key int64) (int64, bool) {
+	for {
+		v1 := nd.ver.Load()
+		if v1&1 != 0 {
+			continue
+		}
+		n := int(nd.n.Load())
+		var found int64
+		ok := false
+		for i := 0; i < n && i < order; i++ {
+			if nd.keys[i].Load() == key {
+				found, ok = key, true
+			}
+		}
+		if nd.ver.Load() == v1 {
+			return found, ok
+		}
+	}
+}
+
+// goodInsert pairs the latch CAS with its Store release.
+func (nd *node) goodInsert(key int64) {
+	for {
+		v1 := nd.ver.Load()
+		if v1&1 != 0 {
+			continue
+		}
+		if !nd.ver.CompareAndSwap(v1, v1+1) {
+			continue
+		}
+		n := nd.n.Load()
+		nd.keys[n].Store(key)
+		nd.n.Store(n + 1)
+		nd.ver.Store(v1 + 2)
+		return
+	}
+}
+
+// badDescend samples the version but never validates the entries it read —
+// a descent that can act on a torn node.
+func (nd *node) badDescend(key int64) int64 {
+	_ = nd.ver.Load() // want "never re-checked"
+	if key >= nd.high.Load() {
+		return -1
+	}
+	return nd.keys[0].Load()
+}
+
+// badUnlatch releases a latch it never acquired: a reader that raced the
+// real writer would observe the version going backwards.
+func (nd *node) badUnlatch() {
+	nd.ver.Store(0) // want "without a CompareAndSwap acquire"
+}
+
+// badLatch acquires the latch and leaks it: every future reader spins.
+func (nd *node) badLatch() bool {
+	return nd.ver.CompareAndSwap(0, 1) // want "without a Store release"
+}
+
+// badSplit bumps the version without ever exposing the odd writer-active
+// state, so concurrent readers can consume a half-built split.
+func (nd *node) badSplit() {
+	nd.ver.Add(2) // want "Add on seqlock word ver"
+}
+
+// badAllocDescend claims the reader fast path's no-allocation guarantee and
+// then heap-allocates the result set.
+//
+//rubic:noalloc
+func (nd *node) badAllocDescend() []int64 {
+	out := make([]int64, 0, order) // want "allocates"
+	for i := 0; i < order; i++ {
+		out = append(out, nd.keys[i].Load())
+	}
+	return out
+}

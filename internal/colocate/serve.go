@@ -180,6 +180,9 @@ type ServeSpec struct {
 	Policy   string
 	Theta    float64
 	Adaptive string
+	// Shards is the shard count for range-sharded workloads ("shardedkv");
+	// 0 defaults to the worker count at build time.
+	Shards int
 }
 
 // ParseServeSpec parses one serving-stack description.
@@ -209,6 +212,8 @@ func ParseServeSpec(s string) (ServeSpec, error) {
 			spec.Theta, err = strconv.ParseFloat(val, 64)
 		case "adaptive":
 			spec.Adaptive = val
+		case "shards":
+			spec.Shards, err = strconv.Atoi(val)
 		default:
 			err = fmt.Errorf("unknown option %q", key)
 		}
@@ -259,7 +264,8 @@ func (s ServeSpec) Build(engine string, workers int, seed int64) (ServeProc, err
 	}
 	cfg := load.Config{Workers: workers, Seed: seed}
 	var rt *stm.Runtime
-	if s.Workload == "kv" {
+	switch s.Workload {
+	case "kv":
 		rt = stm.New(stm.Config{Algorithm: algo})
 		kv := load.NewKV(rt, load.KVConfig{})
 		keys, err := load.NewZipf(uint64(kv.Keys()), s.Theta, seed)
@@ -267,7 +273,34 @@ func (s ServeSpec) Build(engine string, workers int, seed int64) (ServeProc, err
 			return proc, err
 		}
 		cfg.Workload, cfg.Keys = kv, keys
-	} else {
+	case "ordered":
+		rt = stm.New(stm.Config{Algorithm: algo})
+		ord := load.NewOrdered(rt, load.OrderedConfig{})
+		keys, err := load.NewZipf(uint64(ord.Keys()), s.Theta, seed)
+		if err != nil {
+			return proc, err
+		}
+		cfg.Workload, cfg.Keys = ord, keys
+	case "shardedkv":
+		if s.Adaptive != "" {
+			return proc, fmt.Errorf("colocate: adaptive engine switching is per-runtime; use the sharded runtime's own SwitchEngine instead of adaptive= with shardedkv")
+		}
+		shards := s.Shards
+		if shards <= 0 {
+			shards = workers
+		}
+		sr := stm.NewSharded(shards, stm.Config{Algorithm: algo})
+		skv := load.NewShardedKV(sr, load.KVConfig{})
+		keys, err := load.NewZipf(uint64(skv.Keys()), s.Theta, seed)
+		if err != nil {
+			return proc, err
+		}
+		cfg.Workload, cfg.Keys = skv, keys
+		// Durability needs a single commit critical section; the sharded
+		// runtime deliberately has none (stm.ErrCrossShardDurable), so the
+		// stack carries no Runtime and AttachDurability rejects it.
+		rt = nil
+	default:
 		w, wrt, err := workloads.New(s.Workload, stm.Config{Algorithm: algo})
 		if err != nil {
 			return proc, err

@@ -157,6 +157,37 @@ func TestServeSpecBuild(t *testing.T) {
 		t.Fatalf("rubic-policy bank stack built wrong: %+v", proc.Config)
 	}
 
+	// The keyed ordered-index and range-sharded workloads build too.
+	spec, err = ParseServeSpec("ordered/qps=100/slo=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err = spec.Build("tl2", 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := proc.Config.Workload.(load.Keyed); !ok || proc.Config.Keys == nil {
+		t.Fatal("ordered workload must be keyed with a Zipf generator")
+	}
+	spec, err = ParseServeSpec("shardedkv/qps=100/shards=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err = spec.Build("tl2", 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := proc.Config.Workload.(load.Keyed); !ok {
+		t.Fatal("shardedkv workload must be keyed")
+	}
+	if proc.Runtime != nil {
+		t.Fatal("shardedkv stack must not carry a single runtime (no durability)")
+	}
+	spec.Adaptive = "tl2:backoff+norec:greedy"
+	if _, err := spec.Build("tl2", 2, 7); err == nil {
+		t.Fatal("adaptive shardedkv accepted; engine hot-swap is per-runtime")
+	}
+
 	if _, err := spec.Build("warp-stm", 2, 7); err == nil {
 		t.Fatal("unknown engine accepted")
 	}

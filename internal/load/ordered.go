@@ -1,0 +1,294 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"rubic/internal/pool"
+	"rubic/internal/stm"
+	"rubic/internal/stm/container"
+	"rubic/internal/stm/container/blink"
+)
+
+// OrderedConfig parameterizes the ordered-index service workload.
+type OrderedConfig struct {
+	// Keys is the key-space size (default 10_000).
+	Keys int
+	// ReadPct is the percentage of point lookups (default 70). Half of them
+	// take the lock-free fast path (blink.Map.LookupFast), half run under
+	// AtomicRO — so both read protocols stay exercised under load.
+	ReadPct int
+	// ScanPct is the percentage of range scans (default 20); the remainder
+	// are transactional increments.
+	ScanPct int
+	// ScanWidth is the inclusive width of each range scan (default 64).
+	ScanWidth int
+}
+
+func (c *OrderedConfig) defaults() {
+	if c.Keys == 0 {
+		c.Keys = 10_000
+	}
+	if c.ReadPct == 0 {
+		c.ReadPct = 70
+	}
+	if c.ScanPct == 0 {
+		c.ScanPct = 20
+	}
+	if c.ScanWidth == 0 {
+		c.ScanWidth = 64
+	}
+}
+
+// Ordered is the ordered-index request workload: point lookups, range scans
+// and transactional increments over the hybrid B-Link map — the new workload
+// shape the ordered index enables (range queries have no HashMap analogue).
+// Point reads alternate between the lock-free fast path and the STM path;
+// scans use the weakly consistent fast scan, the shape an open-loop service
+// would serve paginated listings from.
+type Ordered struct {
+	cfg OrderedConfig
+	rt  *stm.Runtime
+	m   *blink.Map[int64]
+
+	// increments counts committed add operations — bumped after Atomic
+	// returns, never inside the closure, so retries cannot double-count.
+	increments atomic.Uint64
+	misses     atomic.Uint64
+}
+
+// NewOrdered returns an unpopulated ordered workload on the given runtime.
+func NewOrdered(rt *stm.Runtime, cfg OrderedConfig) *Ordered {
+	cfg.defaults()
+	return &Ordered{cfg: cfg, rt: rt}
+}
+
+// Keys reports the key-space size for the Zipf generator.
+func (o *Ordered) Keys() int { return o.cfg.Keys }
+
+// Name implements stamp.Workload.
+func (o *Ordered) Name() string {
+	return fmt.Sprintf("ordered(keys=%d,read=%d%%,scan=%d%%x%d)",
+		o.cfg.Keys, o.cfg.ReadPct, o.cfg.ScanPct, o.cfg.ScanWidth)
+}
+
+// Setup implements stamp.Workload: every key starts at value 0.
+func (o *Ordered) Setup(_ *rand.Rand) error {
+	if o.cfg.Keys < 1 {
+		return fmt.Errorf("load: ordered needs at least one key")
+	}
+	o.m = blink.NewMap[int64]()
+	for i := 0; i < o.cfg.Keys; i++ {
+		key := int64(i)
+		if err := o.rt.Atomic(func(tx *stm.Tx) error {
+			o.m.Put(tx, key, 0)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Task implements stamp.Workload: uniform keys on the closed-loop path.
+func (o *Ordered) Task() pool.Task {
+	return func(workerID int, rng *rand.Rand) bool {
+		return o.ServeKey(workerID, uint64(rng.Int63n(int64(o.cfg.Keys))), rng)
+	}
+}
+
+// ServeKey implements Keyed: one lookup, scan, or increment anchored at key.
+func (o *Ordered) ServeKey(_ int, key uint64, rng *rand.Rand) bool {
+	id := int64(key % uint64(o.cfg.Keys))
+	p := rng.Intn(100)
+	switch {
+	case p < o.cfg.ReadPct:
+		var ok bool
+		if p&1 == 0 {
+			_, ok = o.m.LookupFast(id)
+		} else {
+			if err := o.rt.AtomicRO(func(tx *stm.Tx) error {
+				_, ok = o.m.Get(tx, id)
+				return nil
+			}); err != nil {
+				return false
+			}
+		}
+		if !ok {
+			o.misses.Add(1)
+		}
+		return true
+	case p < o.cfg.ReadPct+o.cfg.ScanPct:
+		hi := id + int64(o.cfg.ScanWidth) - 1
+		n := 0
+		o.m.ScanFast(id, hi, func(k, v int64) bool {
+			n++
+			return true
+		})
+		// The key space is dense and keys are never deleted, so a scan
+		// anchored inside it must see its full width (clipped at the end).
+		want := int64(o.cfg.ScanWidth)
+		if rest := int64(o.cfg.Keys) - id; rest < want {
+			want = rest
+		}
+		if int64(n) < want {
+			o.misses.Add(1)
+		}
+		return true
+	default:
+		err := o.rt.Atomic(func(tx *stm.Tx) error {
+			v, _ := o.m.Get(tx, id)
+			o.m.Put(tx, id, v+1)
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		o.increments.Add(1)
+		return true
+	}
+}
+
+// Verify implements stamp.Workload: populated keys never miss, scans always
+// see their full width, the tree invariants hold, and the values sum to
+// exactly the committed increment count.
+func (o *Ordered) Verify() error {
+	if m := o.misses.Load(); m != 0 {
+		return fmt.Errorf("load: ordered saw %d misses/short scans on a dense key space", m)
+	}
+	var sum int64
+	var n int
+	err := o.rt.AtomicRO(func(tx *stm.Tx) error {
+		if err := o.m.CheckInvariants(tx); err != nil {
+			return err
+		}
+		total := int64(0) // closure-local: retry-safe accumulation
+		count := 0
+		o.m.Range(tx, func(k, v int64) bool {
+			total += v
+			count++
+			return true
+		})
+		sum, n = total, count
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if n != o.cfg.Keys {
+		return fmt.Errorf("load: ordered holds %d keys, want %d", n, o.cfg.Keys)
+	}
+	if want := int64(o.increments.Load()); sum != want {
+		return fmt.Errorf("load: ordered value sum %d != committed increments %d", sum, want)
+	}
+	return nil
+}
+
+// ShardedKV is the KV service workload on a range-sharded runtime: the same
+// read/increment mix as KV, but every operation runs as a single-shard
+// transaction on its key's shard, so commits on different shards share no
+// clock word. It is the workload the sharded-vs-global parallel benchmarks
+// compare and the keyed routing target for multi-runtime serving.
+type ShardedKV struct {
+	cfg KVConfig
+	sr  *stm.ShardedRuntime
+	m   *container.ShardedHashMap[int64]
+
+	increments atomic.Uint64
+	misses     atomic.Uint64
+}
+
+// NewShardedKV returns an unpopulated sharded KV workload over sr.
+func NewShardedKV(sr *stm.ShardedRuntime, cfg KVConfig) *ShardedKV {
+	cfg.defaults()
+	return &ShardedKV{cfg: cfg, sr: sr}
+}
+
+// Keys reports the key-space size for the Zipf generator.
+func (k *ShardedKV) Keys() int { return k.cfg.Keys }
+
+// Name implements stamp.Workload.
+func (k *ShardedKV) Name() string {
+	return fmt.Sprintf("shardedkv(shards=%d,keys=%d,read=%d%%)",
+		k.sr.Shards(), k.cfg.Keys, k.cfg.ReadPct)
+}
+
+// Setup implements stamp.Workload: every key starts at value 0. Bucket
+// counts are per shard, so the global budget is divided.
+func (k *ShardedKV) Setup(_ *rand.Rand) error {
+	if k.cfg.Keys < 1 {
+		return fmt.Errorf("load: shardedkv needs at least one key")
+	}
+	perShard := k.cfg.Buckets / k.sr.Shards()
+	if perShard < 1 {
+		perShard = 1
+	}
+	k.m = container.NewShardedHashMap[int64](k.sr, perShard)
+	for i := 0; i < k.cfg.Keys; i++ {
+		if _, err := k.m.Put(int64(i), 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Task implements stamp.Workload: uniform keys on the closed-loop path.
+func (k *ShardedKV) Task() pool.Task {
+	return func(workerID int, rng *rand.Rand) bool {
+		return k.ServeKey(workerID, uint64(rng.Int63n(int64(k.cfg.Keys))), rng)
+	}
+}
+
+// ServeKey implements Keyed: one read or increment, routed to key's shard.
+func (k *ShardedKV) ServeKey(_ int, key uint64, rng *rand.Rand) bool {
+	id := int64(key % uint64(k.cfg.Keys))
+	if rng.Intn(100) < k.cfg.ReadPct {
+		_, ok, err := k.m.Get(id)
+		if err != nil {
+			return false
+		}
+		if !ok {
+			k.misses.Add(1)
+		}
+		return true
+	}
+	if err := k.m.Update(id, func(cur int64, _ bool) int64 { return cur + 1 }); err != nil {
+		return false
+	}
+	k.increments.Add(1)
+	return true
+}
+
+// Verify implements stamp.Workload: populated keys never miss and the values
+// sum — under one cross-shard snapshot — to the committed increment count.
+func (k *ShardedKV) Verify() error {
+	if m := k.misses.Load(); m != 0 {
+		return fmt.Errorf("load: shardedkv saw %d misses on populated keys", m)
+	}
+	n, err := k.m.Len()
+	if err != nil {
+		return err
+	}
+	if n != k.cfg.Keys {
+		return fmt.Errorf("load: shardedkv holds %d keys, want %d", n, k.cfg.Keys)
+	}
+	var sum int64
+	if err := k.sr.AtomicAcross(func(cx *stm.CrossTx) error {
+		total := int64(0) // closure-local: retry-safe accumulation
+		for i := 0; i < k.sr.Shards(); i++ {
+			k.m.OnShard(i).Range(cx.On(i), func(_, v int64) bool {
+				total += v
+				return true
+			})
+		}
+		sum = total
+		return nil
+	}); err != nil {
+		return err
+	}
+	if want := int64(k.increments.Load()); sum != want {
+		return fmt.Errorf("load: shardedkv value sum %d != committed increments %d", sum, want)
+	}
+	return nil
+}

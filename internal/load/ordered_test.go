@@ -1,0 +1,119 @@
+package load
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rubic/internal/stm"
+)
+
+// TestOrderedWorkloadDirect drives the ordered workload's task loop directly
+// (closed-loop shape) and checks its invariants, including the dense-scan
+// guarantee and the increment-sum audit.
+func TestOrderedWorkloadDirect(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	o := NewOrdered(rt, OrderedConfig{Keys: 400, ScanWidth: 16})
+	rng := rand.New(rand.NewSource(5))
+	if err := o.Setup(rng); err != nil {
+		t.Fatal(err)
+	}
+	task := o.Task()
+	for i := 0; i < 3_000; i++ {
+		if !task(0, rng) {
+			t.Fatalf("op %d failed", i)
+		}
+	}
+	if err := o.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if o.increments.Load() == 0 {
+		t.Fatal("no increments committed; the mix never exercised the write path")
+	}
+}
+
+// TestServerOpenLoopOrdered runs the ordered workload under the open-loop
+// server: Zipf-keyed point reads, scans, and increments must serve and pass
+// Verify (which runs inside Run).
+func TestServerOpenLoopOrdered(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	o := NewOrdered(rt, OrderedConfig{Keys: 500})
+	z, err := NewZipf(uint64(o.Keys()), DefaultTheta, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := NewArrival("poisson", 400, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Config{
+		Workload: o,
+		Keys:     z,
+		Arrival:  arr,
+		Workers:  2,
+		Seed:     23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(500 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+// TestShardedKVWorkload drives the sharded KV through its task loop and the
+// open-loop server, checking the cross-shard audit in Verify.
+func TestShardedKVWorkload(t *testing.T) {
+	sr := stm.NewSharded(4, stm.Config{})
+	k := NewShardedKV(sr, KVConfig{Keys: 300})
+	rng := rand.New(rand.NewSource(9))
+	if err := k.Setup(rng); err != nil {
+		t.Fatal(err)
+	}
+	task := k.Task()
+	for i := 0; i < 3_000; i++ {
+		if !task(0, rng) {
+			t.Fatalf("op %d failed", i)
+		}
+	}
+	if err := k.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if k.increments.Load() == 0 {
+		t.Fatal("no increments committed")
+	}
+	if got := sr.Stats().Commits; got == 0 {
+		t.Fatal("sharded runtime recorded no commits")
+	}
+
+	z, err := NewZipf(uint64(k.Keys()), DefaultTheta, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := NewArrival("poisson", 400, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2 := NewShardedKV(stm.NewSharded(4, stm.Config{}), KVConfig{Keys: 300})
+	s, err := NewServer(Config{
+		Workload: k2,
+		Keys:     z,
+		Arrival:  arr,
+		Workers:  2,
+		Seed:     31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(500 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+}

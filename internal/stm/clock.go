@@ -40,6 +40,21 @@ func (c *clock) advance(delta uint64) {
 	}
 }
 
+// raiseTo lifts the clock to at least v (CAS-max). Cross-shard commits use
+// it to propagate a merged commit timestamp into every participating
+// shard's clock, preserving the per-shard invariant that the clock is never
+// behind any unlocked location version (sharded.go).
+//
+//rubic:noalloc
+func (c *clock) raiseTo(v uint64) {
+	for {
+		cur := c.c.Load()
+		if cur >= v || c.c.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // tickLazy is the lazy commit-timestamp scheme (TL2's GV4 "pass on
 // failure", the approach SwissTM-style runtimes use to keep one global
 // counter from serializing every commit). rv is the caller's read version.

@@ -156,3 +156,18 @@ func BenchmarkHashMapUpdate(b *testing.B) {
 		})
 	}
 }
+
+// benchShardedMap builds the range-sharded hash map (8 shards) with the same
+// population as benchMap, for the sharded-vs-global comparison.
+func benchShardedMap(b *testing.B, algo stm.Algorithm) *ShardedHashMap[int] {
+	sr := stm.NewSharded(8, stm.Config{Algorithm: algo})
+	m := NewShardedHashMap[int](sr, benchKeys/8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < benchKeys; i++ {
+		k := int64(rng.Intn(4 * benchKeys))
+		if _, err := m.Put(k, int(k)&0x7f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}

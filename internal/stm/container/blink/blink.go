@@ -1,0 +1,663 @@
+// Package blink provides a B-Link-tree ordered index in two forms: Tree, a
+// lock-free-reader index whose readers validate per-node seqlock versions and
+// never block (the StunDB bptree shape), and Map, the same structure held in
+// STM Vars so mutations stay serializable with every other transactional
+// container (map.go).
+//
+// The Tree follows Lehman & Yao: every node carries an exclusive upper bound
+// (high) and a right-sibling link (next); splits move entries to a new right
+// sibling and deletes never merge, so a reader that lands on a stale node
+// recovers by chasing right until its key is back in range. Readers therefore
+// need only per-node atomicity, which a per-node sequence lock provides:
+// sample the version, read, re-check — retrying on an odd value or a change.
+// Writers use the same word as their mutual-exclusion latch (CAS to odd,
+// release to +2), holding at most two latches (during a rightward hop) on one
+// level at a time, so writer latching is deadlock-free and readers are never
+// blocked by it.
+//
+// Keys span all of int64 except math.MaxInt64, which is the +infinity
+// sentinel in the rightmost node of every level.
+package blink
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+)
+
+// order is the per-node entry capacity. 32 keeps a node's key array within a
+// few cache lines while holding the tree to 3 levels past a million keys.
+const order = 32
+
+// maxHeight bounds the writer descent stack; order^maxHeight key capacity
+// makes overflow unreachable.
+const maxHeight = 16
+
+// infKey is the exclusive-upper-bound sentinel of rightmost nodes.
+const infKey = math.MaxInt64
+
+// node is one tree node. Every field a lock-free reader may touch while a
+// writer holds the latch is an atomic: readers validate ver afterwards, but
+// the intermediate loads themselves must be race-free. leaf and level are
+// immutable after construction and published through atomic pointers, so
+// plain reads of them are ordered.
+type node[V any] struct {
+	// ver is the node's sequence lock: odd exactly while a writer holds the
+	// node latched for mutation. Readers sample it, read, and re-check;
+	// writers acquire with CompareAndSwap(s, s+1) and release with
+	// Store(s+2) (rubic-lint's seqlockproto verifies every use site).
+	//
+	//rubic:seqlock
+	ver atomic.Uint64
+
+	leaf  bool
+	level int32
+
+	n    atomic.Int32              // live entry count
+	high atomic.Int64              // exclusive upper bound of this node's range
+	next atomic.Pointer[node[V]]   // right sibling at the same level
+	keys [order]atomic.Int64       // leaf: entry keys; branch: child upper bounds
+	vals []atomic.Pointer[V]       // leaf only: value boxes, fresh per update
+	kids []atomic.Pointer[node[V]] // branch only: children, kids[i] covers keys < keys[i]
+}
+
+func newNode[V any](leaf bool, level int32) *node[V] {
+	nd := &node[V]{leaf: leaf, level: level}
+	if leaf {
+		nd.vals = make([]atomic.Pointer[V], order)
+	} else {
+		nd.kids = make([]atomic.Pointer[node[V]], order)
+	}
+	return nd
+}
+
+// Tree is the lock-free-reader ordered index. Get and Scan never block and
+// never allocate; Put and Delete latch one node at a time. All methods are
+// safe for concurrent use. Tree is a plain shared structure, not an STM
+// container: use Map when mutations must serialize with transactions.
+type Tree[V any] struct {
+	root  atomic.Pointer[node[V]]
+	count atomic.Int64
+}
+
+// New returns an empty tree: a single leaf spanning the whole key space.
+func New[V any]() *Tree[V] {
+	t := &Tree[V]{}
+	leaf := newNode[V](true, 0)
+	leaf.high.Store(infKey)
+	t.root.Store(leaf)
+	return t
+}
+
+// Len reports the number of keys. It is exact while the tree is quiescent
+// and a linearizable-enough running count under concurrency (the counter is
+// bumped outside node latches).
+func (t *Tree[V]) Len() int { return int(t.count.Load()) }
+
+// Get returns the value bound to key. The reader descends without taking any
+// latch: each node is read under its sequence lock (sample, read, re-check)
+// and a key at or past the node's upper bound chases the right-sibling link,
+// which is how a reader overtaken by a concurrent split recovers.
+//
+//rubic:noalloc
+func (t *Tree[V]) Get(key int64) (V, bool) {
+	var zero V
+	nd := t.root.Load()
+	for {
+		s := nd.ver.Load()
+		if s&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		n := int(nd.n.Load())
+		high := nd.high.Load()
+		if key >= high {
+			nxt := nd.next.Load()
+			if nd.ver.Load() != s || nxt == nil {
+				continue
+			}
+			nd = nxt
+			continue
+		}
+		if !nd.leaf {
+			j := n - 1
+			for i := 0; i < n; i++ {
+				if key < nd.keys[i].Load() {
+					j = i
+					break
+				}
+			}
+			if j < 0 {
+				continue // torn: branch counts are never 0 when settled
+			}
+			child := nd.kids[j].Load()
+			if nd.ver.Load() != s || child == nil {
+				continue
+			}
+			nd = child
+			continue
+		}
+		var vp *V
+		for i := 0; i < n; i++ {
+			if nd.keys[i].Load() == key {
+				vp = nd.vals[i].Load()
+				break
+			}
+		}
+		if nd.ver.Load() != s {
+			continue
+		}
+		if vp == nil {
+			return zero, false
+		}
+		return *vp, true
+	}
+}
+
+// Scan calls fn for each key in [lo, hi] in ascending order until fn returns
+// false. Each leaf is captured atomically under its sequence lock before fn
+// sees it, so per-leaf snapshots are never torn; across leaves the scan is
+// weakly consistent (it observes each leaf at its own instant), the standard
+// B-Link contract. fn must not call back into the same tree's writers.
+//
+//rubic:noalloc
+func (t *Tree[V]) Scan(lo, hi int64, fn func(key int64, val V) bool) {
+	if hi < lo {
+		return
+	}
+	var ks [order]int64
+	var vs [order]V
+	nd := t.leafFor(lo)
+	for nd != nil {
+		s := nd.ver.Load()
+		if s&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		n := int(nd.n.Load())
+		high := nd.high.Load()
+		nxt := nd.next.Load()
+		cnt := 0
+		for i := 0; i < n; i++ {
+			k := nd.keys[i].Load()
+			if k < lo || k > hi {
+				continue
+			}
+			ks[cnt] = k
+			vp := nd.vals[i].Load()
+			if vp != nil {
+				vs[cnt] = *vp // boxes are immutable: a stale box is whole
+				cnt++
+			}
+		}
+		if nd.ver.Load() != s {
+			continue
+		}
+		for i := 0; i < cnt; i++ {
+			if !fn(ks[i], vs[i]) {
+				return
+			}
+		}
+		if high > hi {
+			return
+		}
+		nd = nxt
+	}
+}
+
+// leafFor descends to the leaf whose range covers key, latch-free.
+//
+//rubic:noalloc
+func (t *Tree[V]) leafFor(key int64) *node[V] {
+	nd := t.root.Load()
+	for {
+		if nd.leaf {
+			return nd
+		}
+		s := nd.ver.Load()
+		if s&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		n := int(nd.n.Load())
+		high := nd.high.Load()
+		var nxt *node[V]
+		if key >= high {
+			nxt = nd.next.Load()
+		} else {
+			j := n - 1
+			for i := 0; i < n; i++ {
+				if key < nd.keys[i].Load() {
+					j = i
+					break
+				}
+			}
+			if j >= 0 {
+				nxt = nd.kids[j].Load()
+			}
+		}
+		if nd.ver.Load() != s || nxt == nil {
+			continue
+		}
+		nd = nxt
+	}
+}
+
+// descendTo walks to the node at the target level whose range covers key,
+// recording the node visited at each level above it in stack (indexed by
+// level). The stack entries are optimistic parent hints for Put's upward
+// split propagation — they may be stale by use time, which the latched
+// move-right in insertParent absorbs.
+//
+//rubic:noalloc
+func (t *Tree[V]) descendTo(key int64, level int32, stack *[maxHeight]*node[V]) *node[V] {
+	nd := t.root.Load()
+	for {
+		if nd.level <= level {
+			return nd
+		}
+		s := nd.ver.Load()
+		if s&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		n := int(nd.n.Load())
+		high := nd.high.Load()
+		if key >= high {
+			nxt := nd.next.Load()
+			if nd.ver.Load() != s || nxt == nil {
+				continue
+			}
+			nd = nxt
+			continue
+		}
+		j := n - 1
+		for i := 0; i < n; i++ {
+			if key < nd.keys[i].Load() {
+				j = i
+				break
+			}
+		}
+		if j < 0 {
+			continue
+		}
+		child := nd.kids[j].Load()
+		if nd.ver.Load() != s || child == nil {
+			continue
+		}
+		if int(nd.level) < maxHeight {
+			stack[nd.level] = nd
+		}
+		nd = child
+	}
+}
+
+// Put binds key to val, returning true when the key was absent. Keys must be
+// below math.MaxInt64 (the +infinity sentinel).
+func (t *Tree[V]) Put(key int64, val V) bool {
+	if key == infKey {
+		panic("blink: math.MaxInt64 is the +infinity sentinel and cannot be a key")
+	}
+	box := new(V)
+	*box = val
+	var stack [maxHeight]*node[V]
+	start := t.descendTo(key, 0, &stack)
+	added, split, left, right, leftHigh, rightHigh := t.putLeaf(start, key, box)
+	if added {
+		t.count.Add(1)
+	}
+	// Propagate splits upward: each level inserts the new right sibling next
+	// to its left origin, possibly splitting again. The separator bounds were
+	// captured under the split latch — the nodes' live high fields may have
+	// shrunk again by now (another writer re-splitting them), which
+	// insertParent's min-replacement absorbs.
+	for lvl := int32(1); split; lvl++ {
+		child, childHigh := left, leftHigh
+		newNode, newHigh := right, rightHigh
+		parent := (*node[V])(nil)
+		if int(lvl) < maxHeight {
+			parent = stack[lvl]
+		}
+		if parent == nil {
+			// The split child was the root when we descended. Install a new
+			// root above it, or — if another writer grew the tree first —
+			// locate the parent that now exists.
+			if t.growRoot(child, childHigh, newNode, newHigh) {
+				return added
+			}
+			var restack [maxHeight]*node[V]
+			parent = t.descendTo(childHigh-1, lvl, &restack)
+			for l := lvl + 1; int(l) < maxHeight; l++ {
+				if stack[l] == nil {
+					stack[l] = restack[l]
+				}
+			}
+			if parent.level != lvl {
+				// The tree is still shorter than lvl at this key: the grower
+				// has not linked our level yet. Retry until it appears.
+				for parent.level != lvl {
+					runtime.Gosched()
+					parent = t.descendTo(childHigh-1, lvl, &restack)
+				}
+			}
+		}
+		split, left, right, leftHigh, rightHigh = t.insertParent(parent, child, childHigh, newNode, newHigh)
+	}
+	return added
+}
+
+// putLeaf latches the leaf covering key (moving right past concurrent
+// splits), then inserts, updates in place, or splits. On split it returns
+// the latched-and-released left node, its new right sibling, and both
+// nodes' bounds as captured under the latch; the caller links them into the
+// parent level.
+func (t *Tree[V]) putLeaf(start *node[V], key int64, box *V) (added, split bool, left, right *node[V], leftHigh, rightHigh int64) {
+	nd := start
+	// Latch acquire with move-right: the node covering key may have split
+	// since the latch-free descent.
+	var s uint64
+	for {
+		s = nd.ver.Load()
+		if s&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		if !nd.ver.CompareAndSwap(s, s+1) {
+			continue
+		}
+		if key < nd.high.Load() {
+			break
+		}
+		nxt := nd.next.Load()
+		nd.ver.Store(s + 2) // release before hopping right
+		if nxt == nil {
+			panic("blink: rightmost node with finite high")
+		}
+		nd = nxt
+	}
+	n := int(nd.n.Load())
+	pos := n
+	for i := 0; i < n; i++ {
+		k := nd.keys[i].Load()
+		if k == key {
+			nd.vals[i].Store(box)
+			nd.ver.Store(s + 2)
+			return false, false, nil, nil, 0, 0
+		}
+		if key < k {
+			pos = i
+			break
+		}
+	}
+	if n < order {
+		for i := n; i > pos; i-- {
+			nd.keys[i].Store(nd.keys[i-1].Load())
+			nd.vals[i].Store(nd.vals[i-1].Load())
+		}
+		nd.keys[pos].Store(key)
+		nd.vals[pos].Store(box)
+		nd.n.Store(int32(n + 1))
+		nd.ver.Store(s + 2)
+		return true, false, nil, nil, 0, 0
+	}
+	// Full: split. Merge the order+1 entries, keep the lower half here, move
+	// the upper half to a fresh right sibling built privately and published
+	// by the latched next/high update.
+	var mk [order + 1]int64
+	var mv [order + 1]*V
+	for i := 0; i < pos; i++ {
+		mk[i], mv[i] = nd.keys[i].Load(), nd.vals[i].Load()
+	}
+	mk[pos], mv[pos] = key, box
+	for i := pos; i < n; i++ {
+		mk[i+1], mv[i+1] = nd.keys[i].Load(), nd.vals[i].Load()
+	}
+	h := (order + 1) / 2
+	oldHigh := nd.high.Load()
+	r := newNode[V](true, 0)
+	for i := h; i <= order; i++ {
+		r.keys[i-h].Store(mk[i])
+		r.vals[i-h].Store(mv[i])
+	}
+	r.n.Store(int32(order + 1 - h))
+	r.high.Store(oldHigh)
+	r.next.Store(nd.next.Load())
+	for i := 0; i < h; i++ {
+		nd.keys[i].Store(mk[i])
+		nd.vals[i].Store(mv[i])
+	}
+	nd.n.Store(int32(h))
+	nd.high.Store(mk[h]) // left's new exclusive bound = right's first key
+	nd.next.Store(r)
+	nd.ver.Store(s + 2)
+	return true, true, nd, r, mk[h], oldHigh
+}
+
+// insertParent installs newNode (the right half of a split at the level
+// below) into the branch level starting at parent, next to the entry for
+// child. Two splits of the same node can reach the parent in either order,
+// so the replacement takes the minimum of the entry's current bound and the
+// captured one (bounds only ever shrink) and the new entry goes to its
+// sorted position, not blindly adjacent. Returns a further split to
+// propagate, or false.
+func (t *Tree[V]) insertParent(parent, child *node[V], childHigh int64, sib *node[V], newHigh int64) (split bool, left, right *node[V], leftHigh, rightHigh int64) {
+	nd := parent
+	var s uint64
+	var j int
+	// Latch acquire with move-right by identity: the entry pointing at child
+	// only ever moves rightward (splits shed upper entries to new right
+	// siblings), so scanning right under the latch must find it.
+	for {
+		s = nd.ver.Load()
+		if s&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		if !nd.ver.CompareAndSwap(s, s+1) {
+			continue
+		}
+		n := int(nd.n.Load())
+		j = -1
+		for i := 0; i < n; i++ {
+			if nd.kids[i].Load() == child {
+				j = i
+				break
+			}
+		}
+		if j >= 0 {
+			break
+		}
+		nxt := nd.next.Load()
+		nd.ver.Store(s + 2)
+		if nxt == nil {
+			panic("blink: split child lost from its parent level")
+		}
+		nd = nxt
+	}
+	n := int(nd.n.Load())
+	if cur := nd.keys[j].Load(); cur < childHigh {
+		childHigh = cur // a later split of child already shrank its bound
+	}
+	// Sorted insertion position for the new entry, at or right of j+1.
+	pos := n
+	for i := j + 1; i < n; i++ {
+		if newHigh < nd.keys[i].Load() {
+			pos = i
+			break
+		}
+	}
+	if n < order {
+		nd.keys[j].Store(childHigh)
+		for i := n; i > pos; i-- {
+			nd.keys[i].Store(nd.keys[i-1].Load())
+			nd.kids[i].Store(nd.kids[i-1].Load())
+		}
+		nd.keys[pos].Store(newHigh)
+		nd.kids[pos].Store(sib)
+		nd.n.Store(int32(n + 1))
+		nd.ver.Store(s + 2)
+		return false, nil, nil, 0, 0
+	}
+	var mk [order + 1]int64
+	var mc [order + 1]*node[V]
+	for i := 0; i < pos; i++ {
+		mk[i], mc[i] = nd.keys[i].Load(), nd.kids[i].Load()
+	}
+	mk[j] = childHigh
+	mk[pos], mc[pos] = newHigh, sib
+	for i := pos; i < n; i++ {
+		mk[i+1], mc[i+1] = nd.keys[i].Load(), nd.kids[i].Load()
+	}
+	h := (order + 1) / 2
+	oldHigh := nd.high.Load()
+	r := newNode[V](false, nd.level)
+	for i := h; i <= order; i++ {
+		r.keys[i-h].Store(mk[i])
+		r.kids[i-h].Store(mc[i])
+	}
+	r.n.Store(int32(order + 1 - h))
+	r.high.Store(oldHigh)
+	r.next.Store(nd.next.Load())
+	for i := 0; i < h; i++ {
+		nd.keys[i].Store(mk[i])
+		nd.kids[i].Store(mc[i])
+	}
+	nd.n.Store(int32(h))
+	nd.high.Store(mk[h-1]) // branch invariant: last entry bound == node bound
+	nd.next.Store(r)
+	nd.ver.Store(s + 2)
+	return true, nd, r, mk[h-1], oldHigh
+}
+
+// growRoot publishes a new root above a split root. A failed CAS means
+// another writer grew the tree first; the caller re-descends to find the
+// parent that now exists.
+func (t *Tree[V]) growRoot(left *node[V], leftHigh int64, right *node[V], rightHigh int64) bool {
+	r := newNode[V](false, left.level+1)
+	r.keys[0].Store(leftHigh)
+	r.kids[0].Store(left)
+	r.keys[1].Store(rightHigh)
+	r.kids[1].Store(right)
+	r.n.Store(2)
+	r.high.Store(infKey)
+	return t.root.CompareAndSwap(left, r)
+}
+
+// Delete unbinds key, reporting whether it was present. Leaves are compacted
+// in place and never merged (B-Link deletes leave empty leaves linked), so
+// readers need no extra protocol.
+func (t *Tree[V]) Delete(key int64) bool {
+	nd := t.leafFor(key)
+	var s uint64
+	for {
+		s = nd.ver.Load()
+		if s&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		if !nd.ver.CompareAndSwap(s, s+1) {
+			continue
+		}
+		if key < nd.high.Load() {
+			break
+		}
+		nxt := nd.next.Load()
+		nd.ver.Store(s + 2)
+		if nxt == nil {
+			panic("blink: rightmost node with finite high")
+		}
+		nd = nxt
+	}
+	n := int(nd.n.Load())
+	for i := 0; i < n; i++ {
+		if nd.keys[i].Load() == key {
+			for k := i; k < n-1; k++ {
+				nd.keys[k].Store(nd.keys[k+1].Load())
+				nd.vals[k].Store(nd.vals[k+1].Load())
+			}
+			nd.vals[n-1].Store(nil)
+			nd.n.Store(int32(n - 1))
+			nd.ver.Store(s + 2)
+			t.count.Add(-1)
+			return true
+		}
+	}
+	nd.ver.Store(s + 2)
+	return false
+}
+
+// CheckInvariants walks the whole structure and verifies the B-Link shape:
+// strictly sorted keys below each node's bound, branch separators equal to
+// child bounds, contiguous sibling ranges ending at +infinity, and a leaf
+// population matching Len. Quiescent use only (tests and fuzzers).
+func (t *Tree[V]) CheckInvariants() error {
+	level := t.root.Load()
+	for level != nil {
+		prevHigh := int64(math.MinInt64)
+		total := 0
+		for nd := level; nd != nil; nd = nd.next.Load() {
+			n := int(nd.n.Load())
+			high := nd.high.Load()
+			if n > order {
+				return fmt.Errorf("blink: node with %d entries exceeds order %d", n, order)
+			}
+			last := int64(math.MinInt64)
+			for i := 0; i < n; i++ {
+				k := nd.keys[i].Load()
+				if i > 0 && k <= last {
+					return fmt.Errorf("blink: unsorted keys %d <= %d at level %d", k, last, nd.level)
+				}
+				last = k
+				if nd.leaf {
+					if k >= high {
+						return fmt.Errorf("blink: leaf key %d >= bound %d", k, high)
+					}
+					if k < prevHigh {
+						return fmt.Errorf("blink: leaf key %d below left bound %d", k, prevHigh)
+					}
+					if nd.vals[i].Load() == nil {
+						return fmt.Errorf("blink: leaf key %d with nil value box", k)
+					}
+					total++
+				} else {
+					child := nd.kids[i].Load()
+					if child == nil {
+						return fmt.Errorf("blink: nil child under separator %d", k)
+					}
+					if ch := child.high.Load(); ch != k {
+						return fmt.Errorf("blink: separator %d != child bound %d", k, ch)
+					}
+					if child.level != nd.level-1 {
+						return fmt.Errorf("blink: child level %d under level %d", child.level, nd.level)
+					}
+				}
+			}
+			if !nd.leaf {
+				if n == 0 {
+					return fmt.Errorf("blink: empty branch node at level %d", nd.level)
+				}
+				if nd.keys[n-1].Load() != high {
+					return fmt.Errorf("blink: branch bound %d != last separator %d", high, nd.keys[n-1].Load())
+				}
+			}
+			if nd.next.Load() == nil && high != infKey {
+				return fmt.Errorf("blink: rightmost node at level %d ends at %d, not +inf", nd.level, high)
+			}
+			prevHigh = high
+		}
+		if level.leaf {
+			if got := t.Len(); total != got {
+				return fmt.Errorf("blink: leaf walk found %d keys, Len reports %d", total, got)
+			}
+			break
+		}
+		// Descend along the leftmost spine.
+		next := level.kids[0].Load()
+		if next == nil {
+			return fmt.Errorf("blink: leftmost branch at level %d has nil first child", level.level)
+		}
+		level = next
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package blink
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestTreeModel drives random operations against a map oracle, checking
+// lookups, scan output, and the structural invariants as the tree grows
+// through multiple levels and shrinks again.
+func TestTreeModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int64]()
+	model := map[int64]int64{}
+	const keySpace = 4096
+	for op := 0; op < 60_000; op++ {
+		k := rng.Int63n(keySpace)
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5:
+			v := rng.Int63()
+			_, had := model[k]
+			added := tr.Put(k, v)
+			if added == had {
+				t.Fatalf("op %d: Put(%d) added=%v, oracle had=%v", op, k, added, had)
+			}
+			model[k] = v
+		case 6, 7:
+			removed := tr.Delete(k)
+			_, had := model[k]
+			if removed != had {
+				t.Fatalf("op %d: Delete(%d)=%v, oracle had=%v", op, k, removed, had)
+			}
+			delete(model, k)
+		default:
+			got, ok := tr.Get(k)
+			want, had := model[k]
+			if ok != had || (ok && got != want) {
+				t.Fatalf("op %d: Get(%d)=(%d,%v), want (%d,%v)", op, k, got, ok, want, had)
+			}
+		}
+		if op%10_000 == 9_999 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len=%d, oracle %d", tr.Len(), len(model))
+	}
+	var wantKeys []int64
+	for k := range model {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+	var gotKeys []int64
+	tr.Scan(0, keySpace, func(k int64, v int64) bool {
+		if want := model[k]; v != want {
+			t.Fatalf("Scan: key %d value %d, want %d", k, v, want)
+		}
+		gotKeys = append(gotKeys, k)
+		return true
+	})
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("Scan yielded %d keys, want %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range gotKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("Scan order: index %d got %d want %d", i, gotKeys[i], wantKeys[i])
+		}
+	}
+}
+
+// TestTreeScanBounds covers the range-boundary cases: empty ranges, inverted
+// bounds, early stop, and bounds falling between keys.
+func TestTreeScanBounds(t *testing.T) {
+	tr := New[int64]()
+	for k := int64(0); k < 500; k += 5 {
+		tr.Put(k, k*10)
+	}
+	var got []int64
+	tr.Scan(7, 23, func(k, v int64) bool { got = append(got, k); return true })
+	want := []int64{10, 15, 20}
+	if len(got) != len(want) {
+		t.Fatalf("Scan(7,23) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scan(7,23) = %v, want %v", got, want)
+		}
+	}
+	got = got[:0]
+	tr.Scan(100, 50, func(k, v int64) bool { got = append(got, k); return true })
+	if len(got) != 0 {
+		t.Fatalf("inverted range yielded %v", got)
+	}
+	n := 0
+	tr.Scan(0, 499, func(k, v int64) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early-stop scan visited %d keys, want 3", n)
+	}
+}
+
+// TestTreeSequentialGrowth exercises the split path hard: ascending and
+// descending bulk inserts both end with a valid multi-level structure.
+func TestTreeSequentialGrowth(t *testing.T) {
+	for name, gen := range map[string]func(i int64) int64{
+		"ascending":  func(i int64) int64 { return i },
+		"descending": func(i int64) int64 { return 50_000 - i },
+		"strided":    func(i int64) int64 { return (i * 2654435761) % 100_000 },
+	} {
+		tr := New[int64]()
+		seen := map[int64]bool{}
+		for i := int64(0); i < 50_000; i++ {
+			k := gen(i)
+			added := tr.Put(k, i)
+			if added == seen[k] {
+				t.Fatalf("%s: Put(%d) added=%v with seen=%v", name, k, added, seen[k])
+			}
+			seen[k] = true
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Len() != len(seen) {
+			t.Fatalf("%s: Len=%d want %d", name, tr.Len(), len(seen))
+		}
+	}
+}
+
+// TestTreeConcurrent hammers the tree from concurrent writers and readers,
+// then verifies the settled structure and content. Readers additionally
+// assert they never observe a torn (key, value) pair: every written value
+// encodes its key, so any mismatch is a torn read.
+func TestTreeConcurrent(t *testing.T) {
+	const (
+		workers  = 8
+		keySpace = 2048
+		opsEach  = 20_000
+	)
+	tr := New[int64]()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsEach; i++ {
+				k := rng.Int63n(keySpace)
+				switch rng.Intn(4) {
+				case 0:
+					tr.Put(k, k<<20|rng.Int63n(1<<20))
+				case 1:
+					tr.Delete(k)
+				default:
+					if v, ok := tr.Get(k); ok && v>>20 != k {
+						panic("torn read: value does not encode its key")
+					}
+				}
+				if i%512 == 0 {
+					tr.Scan(k, k+64, func(sk, sv int64) bool {
+						if sv>>20 != sk {
+							panic("torn scan: value does not encode its key")
+						}
+						return true
+					})
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	tr.Scan(0, keySpace, func(k, v int64) bool {
+		if v>>20 != k {
+			t.Fatalf("settled value %d does not encode key %d", v, k)
+		}
+		n++
+		return true
+	})
+	if n != tr.Len() {
+		t.Fatalf("scan found %d keys, Len=%d", n, tr.Len())
+	}
+}

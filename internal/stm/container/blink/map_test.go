@@ -1,0 +1,218 @@
+package blink
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rubic/internal/stm"
+)
+
+var mapEngines = []struct {
+	name string
+	algo stm.Algorithm
+}{
+	{"tl2", stm.TL2},
+	{"norec", stm.NOrec},
+}
+
+// TestMapModel drives random transactional operations against a map oracle
+// on both engines, verifying lookups, ordered iteration, and structure.
+func TestMapModel(t *testing.T) {
+	for _, eng := range mapEngines {
+		t.Run(eng.name, func(t *testing.T) {
+			rt := stm.New(stm.Config{Algorithm: eng.algo})
+			m := NewMap[int64]()
+			model := map[int64]int64{}
+			rng := rand.New(rand.NewSource(7))
+			const keySpace = 2048
+			for op := 0; op < 30_000; op++ {
+				k := rng.Int63n(keySpace)
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4, 5:
+					v := rng.Int63()
+					var added bool
+					if err := rt.Atomic(func(tx *stm.Tx) error {
+						added = m.Put(tx, k, v)
+						return nil
+					}); err != nil {
+						t.Fatal(err)
+					}
+					_, had := model[k]
+					if added == had {
+						t.Fatalf("op %d: Put(%d) added=%v, oracle had=%v", op, k, added, had)
+					}
+					model[k] = v
+				case 6, 7:
+					var removed bool
+					if err := rt.Atomic(func(tx *stm.Tx) error {
+						removed = m.Delete(tx, k)
+						return nil
+					}); err != nil {
+						t.Fatal(err)
+					}
+					if _, had := model[k]; removed != had {
+						t.Fatalf("op %d: Delete(%d)=%v, oracle had=%v", op, k, removed, had)
+					}
+					delete(model, k)
+				case 8:
+					var got int64
+					var ok bool
+					if err := rt.AtomicRO(func(tx *stm.Tx) error {
+						got, ok = m.Get(tx, k)
+						return nil
+					}); err != nil {
+						t.Fatal(err)
+					}
+					want, had := model[k]
+					if ok != had || (ok && got != want) {
+						t.Fatalf("op %d: Get(%d)=(%d,%v), want (%d,%v)", op, k, got, ok, want, had)
+					}
+				default:
+					got, ok := m.LookupFast(k)
+					want, had := model[k]
+					if ok != had || (ok && got != want) {
+						t.Fatalf("op %d: LookupFast(%d)=(%d,%v), want (%d,%v)", op, k, got, ok, want, had)
+					}
+				}
+			}
+			if err := rt.AtomicRO(func(tx *stm.Tx) error {
+				if err := m.CheckInvariants(tx); err != nil {
+					return err
+				}
+				if n := m.Len(tx); n != len(model) {
+					t.Errorf("Len=%d, oracle %d", n, len(model))
+				}
+				prev := int64(-1)
+				m.Range(tx, func(k, v int64) bool {
+					if k <= prev {
+						t.Errorf("Range out of order: %d after %d", k, prev)
+					}
+					prev = k
+					if want := model[k]; v != want {
+						t.Errorf("Range: key %d value %d, want %d", k, v, want)
+					}
+					return true
+				})
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMapRangeBetween pins the inclusive-bounds semantics and early stop,
+// under AtomicRO and via the fast path, against each other.
+func TestMapRangeBetween(t *testing.T) {
+	rt := stm.New(stm.Config{})
+	m := NewMap[int64]()
+	if err := rt.Atomic(func(tx *stm.Tx) error {
+		for k := int64(0); k < 300; k += 3 {
+			m.Put(tx, k, k*2)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var tranKeys, fastKeys []int64
+	if err := rt.AtomicRO(func(tx *stm.Tx) error {
+		tranKeys = tranKeys[:0]
+		m.RangeBetween(tx, 10, 50, func(k, v int64) bool {
+			tranKeys = append(tranKeys, k)
+			return true
+		})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.ScanFast(10, 50, func(k, v int64) bool {
+		fastKeys = append(fastKeys, k)
+		return true
+	})
+	if len(tranKeys) == 0 || len(tranKeys) != len(fastKeys) {
+		t.Fatalf("transactional %v vs fast %v", tranKeys, fastKeys)
+	}
+	for i := range tranKeys {
+		if tranKeys[i] != fastKeys[i] {
+			t.Fatalf("transactional %v vs fast %v", tranKeys, fastKeys)
+		}
+		if tranKeys[i] < 10 || tranKeys[i] > 50 || tranKeys[i]%3 != 0 {
+			t.Fatalf("out-of-range key %d", tranKeys[i])
+		}
+	}
+	n := 0
+	m.ScanFast(0, 299, func(k, v int64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early-stop fast scan visited %d, want 5", n)
+	}
+}
+
+// TestMapConcurrentHybrid runs transactional writers against fast-path
+// readers on both engines. Values encode their key, so any torn or
+// inconsistent observation surfaces as a mismatch; the settled state is
+// verified against the structural invariants.
+func TestMapConcurrentHybrid(t *testing.T) {
+	for _, eng := range mapEngines {
+		t.Run(eng.name, func(t *testing.T) {
+			rt := stm.New(stm.Config{Algorithm: eng.algo})
+			m := NewMap[int64]()
+			const (
+				writers  = 4
+				readers  = 4
+				keySpace = 512
+				opsEach  = 4_000
+			)
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < opsEach; i++ {
+						k := rng.Int63n(keySpace)
+						if rng.Intn(4) == 0 {
+							_ = rt.Atomic(func(tx *stm.Tx) error {
+								m.Delete(tx, k)
+								return nil
+							})
+						} else {
+							v := k<<20 | rng.Int63n(1<<20)
+							_ = rt.Atomic(func(tx *stm.Tx) error {
+								m.Put(tx, k, v)
+								return nil
+							})
+						}
+					}
+				}(int64(w + 1))
+			}
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < opsEach; i++ {
+						k := rng.Int63n(keySpace)
+						if v, ok := m.LookupFast(k); ok && v>>20 != k {
+							panic("torn fast lookup: value does not encode key")
+						}
+						if i%64 == 0 {
+							m.ScanFast(k, k+32, func(sk, sv int64) bool {
+								if sv>>20 != sk {
+									panic("torn fast scan: value does not encode key")
+								}
+								return true
+							})
+						}
+					}
+				}(int64(100 + r))
+			}
+			wg.Wait()
+			if err := rt.AtomicRO(func(tx *stm.Tx) error {
+				return m.CheckInvariants(tx)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

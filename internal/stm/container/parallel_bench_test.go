@@ -112,3 +112,63 @@ func BenchmarkParallelHashMapUpdate(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkParallelShardedMapGet: the sharded-vs-global comparison's read
+// side. Each Get runs a single-shard read-only transaction on its key's
+// shard, so no commit clock or sequence lock is shared across procs —
+// compare against BenchmarkParallelHashMapGet (one global runtime).
+func BenchmarkParallelShardedMapGet(b *testing.B) {
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			m := benchShardedMap(b, e.algo)
+			seq := workerSeq{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seq.next()))
+				sink := 0
+				for pb.Next() {
+					v, _, err := m.Get(int64(rng.Intn(4 * benchKeys)))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					sink += v
+				}
+				_ = sink
+			})
+		})
+	}
+}
+
+// BenchmarkParallelShardedMapUpdate: the write side — per-shard commit
+// clocks mean two updates on different shards never serialize on one
+// counter. Compare against BenchmarkParallelHashMapUpdate.
+func BenchmarkParallelShardedMapUpdate(b *testing.B) {
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			m := benchShardedMap(b, e.algo)
+			seq := workerSeq{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seq.next()))
+				i := 0
+				for pb.Next() {
+					key := int64(rng.Intn(4 * benchKeys))
+					var err error
+					if i&1 == 0 {
+						_, err = m.Put(key, int(key)&0x7f)
+					} else {
+						_, err = m.Delete(key)
+					}
+					i++
+					if err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,153 @@
+package container
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rubic/internal/stm"
+)
+
+// TestShardedHashMapModel drives random operations against a map oracle on
+// both engines, exercising the self-routing single-shard paths and the
+// cross-shard Len/Range/Move.
+func TestShardedHashMapModel(t *testing.T) {
+	for _, algo := range []stm.Algorithm{stm.TL2, stm.NOrec} {
+		t.Run(algo.String(), func(t *testing.T) {
+			sr := stm.NewSharded(4, stm.Config{Algorithm: algo})
+			m := NewShardedHashMap[int64](sr, 16)
+			model := map[int64]int64{}
+			rng := rand.New(rand.NewSource(11))
+			const keySpace = 512
+			for op := 0; op < 8_000; op++ {
+				k := rng.Int63n(keySpace)
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4:
+					v := rng.Int63()
+					added, err := m.Put(k, v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, had := model[k]; added == had {
+						t.Fatalf("op %d: Put(%d) added=%v, oracle had=%v", op, k, added, had)
+					}
+					model[k] = v
+				case 5, 6:
+					removed, err := m.Delete(k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, had := model[k]; removed != had {
+						t.Fatalf("op %d: Delete(%d)=%v, oracle had=%v", op, k, removed, had)
+					}
+					delete(model, k)
+				case 7:
+					src, dst := k, rng.Int63n(keySpace)
+					moved, err := m.Move(src, dst)
+					if err != nil {
+						t.Fatal(err)
+					}
+					v, had := model[src]
+					if moved != had {
+						t.Fatalf("op %d: Move(%d,%d)=%v, oracle had=%v", op, src, dst, moved, had)
+					}
+					if had {
+						delete(model, src)
+						model[dst] = v
+					}
+				default:
+					got, ok, err := m.Get(k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, had := model[k]
+					if ok != had || (ok && got != want) {
+						t.Fatalf("op %d: Get(%d)=(%d,%v), want (%d,%v)", op, k, got, ok, want, had)
+					}
+				}
+			}
+			n, err := m.Len()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(model) {
+				t.Fatalf("Len=%d, oracle %d", n, len(model))
+			}
+			seen := map[int64]int64{}
+			if err := m.Range(func(k, v int64) bool {
+				seen[k] = v
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(seen) != len(model) {
+				t.Fatalf("Range visited %d entries, oracle %d", len(seen), len(model))
+			}
+			for k, v := range model {
+				if seen[k] != v {
+					t.Fatalf("Range: key %d value %d, oracle %d", k, seen[k], v)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedHashMapConcurrent: concurrent keyed updates partitioned by
+// worker; per-key totals must be exact, and a concurrent Move storm between
+// two dedicated keys must conserve their combined balance.
+func TestShardedHashMapConcurrent(t *testing.T) {
+	sr := stm.NewSharded(4, stm.Config{})
+	m := NewShardedHashMap[int](sr, 16)
+	const workers = 4
+	const opsEach = 2_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				k := int64(w*100 + i%100) // worker-disjoint keys
+				if err := m.Update(k, func(cur int, ok bool) int { return cur + 1 }); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	// Move storm: shuttle a token between two keys on different shards.
+	const tokenA, tokenB = 9_001, 9_002
+	if _, err := m.Put(tokenA, 7); err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			if _, err := m.Move(tokenA, tokenB); err != nil {
+				panic(err)
+			}
+			if _, err := m.Move(tokenB, tokenA); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < 100; i++ {
+			k := int64(w*100 + i)
+			got, ok, err := m.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok || got != opsEach/100 {
+				t.Fatalf("key %d = (%d,%v), want (%d,true)", k, got, ok, opsEach/100)
+			}
+		}
+	}
+	v, ok, err := m.Get(tokenA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || v != 7 {
+		t.Fatalf("token = (%d,%v), want (7,true)", v, ok)
+	}
+}

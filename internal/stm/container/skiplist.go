@@ -144,6 +144,28 @@ func (s *SkipList[V]) Range(tx *stm.Tx, fn func(key int64, val V) bool) {
 	}
 }
 
+// RangeBetween calls fn for every key in [lo, hi] in ascending order until
+// fn returns false. The descent to lo rides the towers, so a narrow window
+// over a large list reads O(log n + width) vars instead of the whole level-0
+// chain — the same contract RBTree.RangeBetween and blink's maps offer.
+func (s *SkipList[V]) RangeBetween(tx *stm.Tx, lo, hi int64, fn func(key int64, val V) bool) {
+	cur := s.head
+	for lvl := maxSkipHeight - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := cur.next[lvl].Read(tx)
+			if nxt == nil || nxt.key >= lo {
+				break
+			}
+			cur = nxt
+		}
+	}
+	for n := cur.next[0].Read(tx); n != nil && n.key <= hi; n = n.next[0].Read(tx) {
+		if !fn(n.key, n.val.Read(tx)) {
+			return
+		}
+	}
+}
+
 // Keys returns all keys in ascending order.
 func (s *SkipList[V]) Keys(tx *stm.Tx) []int64 {
 	out := make([]int64, 0, s.size.Read(tx))

@@ -7,6 +7,28 @@
 // of the materialized state, and — on restart — recovers exactly the durable
 // prefix: every acked commit present, no unacked commit visible, never a
 // torn or corrupt frame surfaced.
+//
+// # Scale-out notes (range-sharded runtimes)
+//
+// One Log serves one Runtime: commit sequence numbers are drawn inside that
+// runtime's commit critical section (BeginCommit under the TL2 write locks
+// or the NOrec sequence lock), which is what makes CSN order agree with
+// commit order. A range-sharded runtime (stm.ShardedRuntime) has one such
+// critical section per shard and none spanning them, so there are two sound
+// deployments:
+//
+//   - Per-shard logs: attach an independent Log to each shard's Runtime
+//     (one directory per shard). Each log's CSN sequence is exact for its
+//     shard; recovery restores every shard to a consistent prefix of its
+//     own history. Cross-shard transactions remain disallowed — the shards'
+//     prefixes could otherwise disagree about one transaction.
+//   - Single-shard gate: keep a single durable Runtime and no cross-shard
+//     traffic. stm.AtomicAcross enforces this itself, returning
+//     stm.ErrCrossShardDurable whenever any shard has a sink attached.
+//
+// A cross-shard durable commit would need a merged CSN drawn while every
+// participating shard's critical section is held — a distributed-commit
+// record this single-node log deliberately does not implement.
 package wal
 
 import (
